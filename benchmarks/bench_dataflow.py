@@ -1,0 +1,92 @@
+"""Ablation (extension): classical MFP vs MOP solvers.
+
+Connects the paper to the Kam–Ullman/Nielson tradition it cites:
+MFP (worklist, merges at joins — the direct analyzer's behaviour)
+stays linear in the number of conditionals; MOP (per-path enumeration
+— the CPS analyzers' behaviour) pays the exponential path count for
+its extra precision, and a path budget is the only way to bound it.
+"""
+
+import pytest
+
+from repro.corpus import conditional_chain
+from repro.dataflow import PathExplosion, build_problem, solve_mfp, solve_mop
+from repro.dataflow.mfp import mfp_value
+from repro.dataflow.mop import mop_value
+from repro.domains import ConstPropDomain
+from repro.domains.constprop import TOP
+
+DOM = ConstPropDomain()
+
+
+def _problem(k: int):
+    program = conditional_chain(k)
+    return build_problem(
+        program.term,
+        DOM,
+        entry_facts={f"x{i}": DOM.top for i in range(1, k + 1)},
+    )
+
+
+@pytest.mark.experiment("dataflow-ablation")
+@pytest.mark.parametrize("k", [2, 6, 10, 14])
+def test_mfp_scales_linearly(benchmark, k):
+    problem = _problem(k)
+
+    def run():
+        return solve_mfp(problem)
+
+    solution = benchmark(run)
+    assert solution[problem.exit_point] is not None
+
+
+@pytest.mark.experiment("dataflow-ablation")
+@pytest.mark.parametrize("k", [2, 6, 10, 14])
+def test_mop_pays_exponential_paths(benchmark, k):
+    problem = _problem(k)
+
+    def run():
+        return solve_mop(problem, max_paths=1_000_000)
+
+    solution = benchmark(run)
+    assert solution[problem.exit_point] is not None
+
+
+@pytest.mark.experiment("dataflow-ablation")
+def test_mop_budget_is_the_only_bound(benchmark):
+    problem = _problem(18)  # 2^18 paths
+
+    def run():
+        try:
+            solve_mop(problem, max_paths=10_000)
+        except PathExplosion as error:
+            return error
+        raise AssertionError("expected a path explosion")
+
+    error = benchmark(run)
+    assert isinstance(error, PathExplosion)
+
+
+@pytest.mark.experiment("dataflow-ablation")
+def test_precision_split_on_witness(benchmark):
+    from repro.anf import normalize
+    from repro.lang.parser import parse
+
+    term = normalize(
+        parse(
+            """(let (a1 (if0 x 0 1))
+                 (let (a2 (if0 a1 (+ a1 3) (+ a1 2)))
+                   a2))"""
+        ),
+        ensure_unique=False,
+    )
+    problem = build_problem(term, DOM, entry_facts={"x": DOM.top})
+
+    def run():
+        mfp = solve_mfp(problem)
+        mop = solve_mop(problem)
+        assert mfp_value(problem, mfp, "a2") is TOP
+        assert mop_value(problem, mop, "a2") == 3
+        return mfp, mop
+
+    benchmark(run)

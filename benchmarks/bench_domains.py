@@ -1,0 +1,86 @@
+"""Ablation: analyzer cost and behaviour across number domains.
+
+The analyzers are parametric in the finite-height number domain
+(DESIGN.md §4).  This benchmark measures what the choice costs on the
+recursive `factorial` workload — richer domains mean longer ascending
+chains before the Section 4.4 loop detection stabilizes — and pins
+the expected precision ordering on a straight-line workload.
+"""
+
+import pytest
+
+from repro.analysis import analyze_direct
+from repro.corpus import corpus_program
+from repro.domains import (
+    ConstPropDomain,
+    IntervalDomain,
+    ParityDomain,
+    SignDomain,
+    UnitDomain,
+)
+
+DOMAINS = {
+    "unit": UnitDomain(),
+    "parity": ParityDomain(),
+    "sign": SignDomain(),
+    "constprop": ConstPropDomain(),
+    "interval16": IntervalDomain(bound=16),
+}
+
+
+@pytest.mark.experiment("domains-ablation")
+@pytest.mark.parametrize("name", sorted(DOMAINS))
+def test_direct_analysis_cost_on_factorial(benchmark, name):
+    domain = DOMAINS[name]
+    term = corpus_program("factorial").term
+
+    def run():
+        return analyze_direct(term, domain)
+
+    result = benchmark(run)
+    assert result.stats.loop_cuts >= 1  # recursion was cut, not unrolled
+
+
+@pytest.mark.experiment("domains-ablation")
+def test_interval_chains_cost_more_than_flat_domains(benchmark):
+    """Finite-height is not constant-height: the bounded-interval
+    domain ascends through many more stores before stabilizing."""
+    term = corpus_program("factorial").term
+
+    def run():
+        flat = analyze_direct(term, ConstPropDomain())
+        rich = analyze_direct(term, IntervalDomain(bound=16))
+        assert rich.stats.visits > flat.stats.visits
+        return flat.stats.visits, rich.stats.visits
+
+    benchmark(run)
+
+
+@pytest.mark.experiment("domains-ablation")
+def test_precision_ordering_on_straight_line_code(benchmark):
+    """constprop proves the exact constant; parity/sign prove their
+    projections; unit only reachability."""
+    term = corpus_program("constants").term  # c = (3*3) - 4 = 5
+
+    def run():
+        results = {
+            name: analyze_direct(term, domain)
+            for name, domain in DOMAINS.items()
+        }
+        assert results["constprop"].constant_of("c") == 5
+        from repro.domains.parity import ODD
+        from repro.domains.sign import POS
+        from repro.domains.unit import UNIT_TOP
+        from repro.domains.interval import Interval
+
+        assert results["parity"].num_of("c") is ODD
+        assert results["sign"].num_of("b") is POS  # 3*3 > 0
+        # sign cannot decide pos - pos: c = b - 4 is TOP there
+        from repro.domains.sign import SIGN_TOP
+
+        assert results["sign"].num_of("c") is SIGN_TOP
+        assert results["unit"].num_of("c") is UNIT_TOP
+        assert results["interval16"].num_of("c") == Interval(5, 5)
+        return results
+
+    benchmark(run)

@@ -1,0 +1,141 @@
+"""Experiment S6.2a: the exponential cost of duplication.
+
+The Section 6.2 claim: "at each conditional and at each call site, the
+continuation may be duplicated along each of the possible paths, at an
+overall exponential cost in the analysis."
+
+Two workload families regenerate the effect:
+
+- ``conditional_chain(k)`` — k independent unknown conditionals; the
+  CPS analyzers visit ~3 * 2^k rules while the direct analyzer's work
+  is linear in k;
+- ``call_site_chain(k)`` — k calls of a two-closure function; the
+  syntactic-CPS analyzer additionally suffers false-return blowup
+  (every return applies every collected continuation), so it grows
+  even faster than 2^k.
+
+The benchmark timings are the figure's series; the visit-count
+assertions inside the callables pin the asymptotic *shape*.
+"""
+
+import pytest
+
+from repro.analysis import (
+    analyze_direct,
+    analyze_semantic_cps,
+    analyze_syntactic_cps,
+)
+from repro.analysis.delta import delta_store
+from repro.corpus import call_site_chain, conditional_chain
+from repro.cps import cps_transform
+from repro.domains import AbsStore, ConstPropDomain, Lattice
+
+DOM = ConstPropDomain()
+LAT = Lattice(DOM)
+
+CHAIN_LENGTHS = [2, 4, 6, 8, 10]
+
+
+def _prepare(program):
+    initial = program.initial_for(LAT)
+    cps_term = cps_transform(program.term)
+    cps_initial = dict(delta_store(AbsStore(LAT, initial)).items())
+    return program.term, initial, cps_term, cps_initial
+
+
+@pytest.mark.experiment("S6.2a")
+@pytest.mark.parametrize("k", CHAIN_LENGTHS)
+def test_conditional_chain_direct(benchmark, k):
+    term, initial, _, _ = _prepare(conditional_chain(k))
+
+    def run():
+        return analyze_direct(term, DOM, initial=initial)
+
+    result = benchmark(run)
+    # linear shape: 5k - 1 rule visits
+    assert result.stats.visits == 5 * k - 1
+
+
+@pytest.mark.experiment("S6.2a")
+@pytest.mark.parametrize("k", CHAIN_LENGTHS)
+def test_conditional_chain_semantic_cps(benchmark, k):
+    term, initial, _, _ = _prepare(conditional_chain(k))
+
+    def run():
+        return analyze_semantic_cps(term, DOM, initial=initial)
+
+    result = benchmark(run)
+    # exponential shape: 3 * 2^k - 2^(k-1) - 3 = visits; pin >= 2^k
+    assert result.stats.visits >= 2**k
+
+
+@pytest.mark.experiment("S6.2a")
+@pytest.mark.parametrize("k", CHAIN_LENGTHS)
+def test_conditional_chain_syntactic_cps(benchmark, k):
+    _, _, cps_term, cps_initial = _prepare(conditional_chain(k))
+
+    def run():
+        return analyze_syntactic_cps(
+            cps_term, DOM, initial=cps_initial, check=False
+        )
+
+    result = benchmark(run)
+    assert result.stats.visits >= 2**k
+
+
+@pytest.mark.experiment("S6.2a")
+@pytest.mark.parametrize("k", [1, 2, 3, 4])
+def test_call_site_chain_all_three(benchmark, k):
+    program = call_site_chain(k)
+    term, initial, cps_term, cps_initial = _prepare(program)
+
+    def run():
+        direct = analyze_direct(term, DOM, initial=initial)
+        semantic = analyze_semantic_cps(term, DOM, initial=initial)
+        syntactic = analyze_syntactic_cps(
+            cps_term, DOM, initial=cps_initial, check=False
+        )
+        return direct, semantic, syntactic
+
+    if k >= 4:
+        # the k=4 syntactic analysis alone is ~70k rule visits
+        # (super-exponential false-return blowup): measure it once
+        direct, semantic, syntactic = benchmark.pedantic(
+            run, rounds=1, iterations=1
+        )
+    else:
+        direct, semantic, syntactic = benchmark(run)
+    assert direct.stats.visits <= 3 * k + 2  # linear
+    assert semantic.stats.visits >= 2**k  # duplication
+    # false returns compound the duplication
+    assert syntactic.stats.visits >= semantic.stats.visits
+
+
+@pytest.mark.experiment("S6.2a")
+def test_growth_ratio_shape(benchmark):
+    """One callable computing the whole series, so the doubling ratio
+    is asserted as a unit: semantic visits roughly double per k while
+    direct visits grow by a constant."""
+
+    def run():
+        semantic_series = []
+        direct_series = []
+        for k in CHAIN_LENGTHS:
+            program = conditional_chain(k)
+            initial = program.initial_for(LAT)
+            direct_series.append(
+                analyze_direct(program.term, DOM, initial=initial).stats.visits
+            )
+            semantic_series.append(
+                analyze_semantic_cps(
+                    program.term, DOM, initial=initial
+                ).stats.visits
+            )
+        for left, right in zip(semantic_series, semantic_series[1:]):
+            ratio = right / left
+            assert 3.5 < ratio < 5.5  # k advances by 2: ~4x per step
+        for left, right in zip(direct_series, direct_series[1:]):
+            assert right - left == 10  # 5 visits per conditional, k += 2
+        return direct_series, semantic_series
+
+    benchmark(run)

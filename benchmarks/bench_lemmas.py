@@ -1,0 +1,80 @@
+"""Experiments L3.1 and L3.3: differential checks of the interpreter
+equivalences, over the corpus plus a deterministic batch of random
+programs.  The benchmarked callable performs the full check — an
+iteration only counts if every program agreed.
+"""
+
+import random
+
+import pytest
+
+from repro.anf import normalize
+from repro.corpus import PROGRAMS
+from repro.cps import cps_transform
+from repro.gen import random_closed_term
+from repro.interp import (
+    answers_delta_related,
+    run_direct,
+    run_semantic_cps,
+    run_syntactic_cps,
+)
+from repro.interp.values import Closure
+from repro.lang.syntax import free_variables
+
+RANDOM_BATCH = 50
+
+
+def _closed_corpus_terms():
+    # concrete interpretation handles every corpus program, including
+    # the analyzer-heavy ones
+    return [
+        p.term for p in PROGRAMS.values() if not free_variables(p.term)
+    ]
+
+
+def _random_terms():
+    return [
+        normalize(random_closed_term(random.Random(seed), 4))
+        for seed in range(RANDOM_BATCH)
+    ]
+
+
+def _agree(left, right) -> bool:
+    if isinstance(left, Closure) and isinstance(right, Closure):
+        return left.param == right.param and left.body == right.body
+    return left == right
+
+
+@pytest.mark.experiment("L3.1")
+def test_lemma31_direct_vs_semantic(benchmark):
+    terms = _closed_corpus_terms() + _random_terms()
+
+    def check():
+        count = 0
+        for term in terms:
+            direct = run_direct(term, fuel=1_000_000)
+            semantic = run_semantic_cps(term, fuel=1_000_000)
+            assert _agree(direct.value, semantic.value)
+            count += 1
+        return count
+
+    assert benchmark(check) == len(terms)
+
+
+@pytest.mark.experiment("L3.3")
+def test_lemma33_semantic_vs_syntactic(benchmark):
+    terms = _closed_corpus_terms() + _random_terms()
+    transformed = [(term, cps_transform(term)) for term in terms]
+
+    def check():
+        count = 0
+        for term, cps_term in transformed:
+            semantic = run_semantic_cps(term, fuel=1_000_000)
+            cps_answer = run_syntactic_cps(
+                cps_term, fuel=4_000_000, check=False
+            )
+            assert answers_delta_related(semantic, cps_answer)
+            count += 1
+        return count
+
+    assert benchmark(check) == len(transformed)

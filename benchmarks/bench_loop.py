@@ -1,0 +1,85 @@
+"""Experiment S6.2b: computability with the `loop` construct.
+
+The direct analysis of a looping program terminates instantly with the
+join of all naturals; the exact CPS analyses are not computable.  We
+benchmark the computable sides and pin the computability facts: the
+CPS analyzers raise by default, their 'top' fallback matches the
+direct result, and no finite unrolling is stable across thresholds.
+"""
+
+import pytest
+
+from repro.analysis import (
+    NonComputableError,
+    analyze_direct,
+    analyze_semantic_cps,
+    analyze_syntactic_cps,
+)
+from repro.corpus import loop_feeding_conditional
+from repro.cps import cps_transform
+from repro.domains import ConstPropDomain
+from repro.domains.constprop import TOP
+
+DOM = ConstPropDomain()
+
+
+@pytest.mark.experiment("S6.2b")
+def test_direct_analysis_of_loop(benchmark):
+    program = loop_feeding_conditional(10)
+
+    def run():
+        return analyze_direct(program.term, DOM)
+
+    result = benchmark(run)
+    assert result.num_of("i") is TOP
+    assert result.num_of("r") is TOP
+
+
+@pytest.mark.experiment("S6.2b")
+def test_cps_analyses_are_not_computable(benchmark):
+    program = loop_feeding_conditional(10)
+    cps_term = cps_transform(program.term)
+
+    def run():
+        raised = 0
+        try:
+            analyze_semantic_cps(program.term, DOM)
+        except NonComputableError:
+            raised += 1
+        try:
+            analyze_syntactic_cps(cps_term, DOM, check=False)
+        except NonComputableError:
+            raised += 1
+        return raised
+
+    assert benchmark(run) == 2
+
+
+@pytest.mark.experiment("S6.2b")
+def test_top_fallback_matches_direct(benchmark):
+    program = loop_feeding_conditional(10)
+    direct = analyze_direct(program.term, DOM)
+
+    def run():
+        return analyze_semantic_cps(program.term, DOM, loop_mode="top")
+
+    result = benchmark(run)
+    assert result.num_of("r") == direct.num_of("r")
+
+
+@pytest.mark.experiment("S6.2b")
+@pytest.mark.parametrize("bound", [8, 32, 128])
+def test_unrolling_cost_grows_with_bound(benchmark, bound):
+    program = loop_feeding_conditional(1_000_000)  # never crossed
+
+    def run():
+        return analyze_semantic_cps(
+            program.term, DOM, loop_mode="unroll", unroll_bound=bound
+        )
+
+    result = benchmark(run)
+    # every unrolled value is below the threshold: the analysis keeps
+    # "proving" r = 222, no matter the bound — and a larger threshold
+    # always exists (undecidability, experimentally)
+    assert result.constant_of("r") == 222
+    assert result.stats.visits >= bound

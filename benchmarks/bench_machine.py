@@ -1,0 +1,72 @@
+"""Ablation (extension): the two compiler back ends.
+
+Compares the direct (frame-pushing) and CPS (stackless, heap
+continuations) back ends on the corpus workloads: both must compute
+the same answers; the CPS route trades control-stack frames for
+environment-held continuation closures, typically executing more
+machine steps for the same program.
+"""
+
+import pytest
+
+from repro.corpus import corpus_program
+from repro.cps import TOP_KVAR, cps_transform
+from repro.machine import compile_cps, compile_direct, run_code
+from repro.machine.code import code_size
+
+WORKLOADS = ["factorial", "even-odd", "church", "higher-order"]
+
+
+@pytest.mark.experiment("machine-ablation")
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_direct_back_end(benchmark, name):
+    term = corpus_program(name).term
+    code = compile_direct(term)
+
+    def run():
+        return run_code(code, fuel=10_000_000)
+
+    value, stats = benchmark(run)
+    assert stats.max_frames >= 1  # the control stack is real
+
+
+@pytest.mark.experiment("machine-ablation")
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_cps_back_end(benchmark, name):
+    term = corpus_program(name).term
+    code = compile_cps(cps_transform(term))
+
+    def run():
+        return run_code(code, halt_kvar=TOP_KVAR, fuel=10_000_000)
+
+    value, stats = benchmark(run)
+    assert stats.max_frames == 0  # ... and here it lives in the heap
+
+
+@pytest.mark.experiment("machine-ablation")
+def test_back_ends_agree_and_compare_costs(benchmark):
+    def run():
+        rows = []
+        for name in WORKLOADS:
+            term = corpus_program(name).term
+            direct_value, direct_stats = run_code(
+                compile_direct(term), fuel=10_000_000
+            )
+            cps_code = compile_cps(cps_transform(term))
+            cps_value, cps_stats = run_code(
+                cps_code, halt_kvar=TOP_KVAR, fuel=10_000_000
+            )
+            if isinstance(direct_value, int):
+                assert direct_value == cps_value
+            rows.append(
+                (
+                    name,
+                    direct_stats.steps,
+                    cps_stats.steps,
+                    code_size(compile_direct(term)),
+                    code_size(cps_code),
+                )
+            )
+        return rows
+
+    benchmark(run)

@@ -1,0 +1,73 @@
+"""Ablation (extension): polyvariance vs duplication.
+
+Shivers-style k-CFA is the other classic route to more precision
+without a CPS transform.  This benchmark pins the separation the paper
+implies: call-string contexts repair monovariant *argument* merging,
+but the Theorem 5.2 gain lives at *returns*, which only duplication
+(CPS-implicit or the Section 6.3 direct-style pass) recovers.
+"""
+
+import pytest
+
+from repro.analysis import (
+    analyze_direct,
+    analyze_polyvariant,
+)
+from repro.anf import normalize
+from repro.corpus import THEOREM_52_CONDITIONAL
+from repro.domains import ConstPropDomain, Lattice
+from repro.domains.constprop import TOP
+from repro.lang.parser import parse
+from repro.opt import duplicate_join_continuations
+
+DOM = ConstPropDomain()
+LAT = Lattice(DOM)
+
+REPEATED_CALLS = normalize(
+    parse(
+        """(let (f (lambda (x) (add1 x)))
+             (let (u (f 1)) (let (v (f 2)) (+ u v))))"""
+    )
+)
+
+
+@pytest.mark.experiment("S6.3-ablation")
+@pytest.mark.parametrize("k", [0, 1, 2])
+def test_kcfa_on_repeated_calls(benchmark, k):
+    def run():
+        return analyze_polyvariant(REPEATED_CALLS, DOM, k=k)
+
+    result = benchmark(run)
+    if k == 0:
+        assert result.value.num is TOP  # monovariant merging
+    else:
+        assert result.value.num == 5  # contexts split the argument
+
+
+@pytest.mark.experiment("S6.3-ablation")
+@pytest.mark.parametrize("k", [0, 1, 2, 3])
+def test_kcfa_cannot_recover_duplication_gain(benchmark, k):
+    program = THEOREM_52_CONDITIONAL
+    initial = program.initial_for(LAT)
+
+    def run():
+        return analyze_polyvariant(
+            program.term, DOM, k=k, initial=initial
+        )
+
+    result = benchmark(run)
+    # no context length recovers a2 = 3; only duplication does
+    assert result.value_of("a2").num is TOP
+
+
+@pytest.mark.experiment("S6.3-ablation")
+def test_duplication_succeeds_where_kcfa_fails(benchmark):
+    program = THEOREM_52_CONDITIONAL
+    initial = program.initial_for(LAT)
+
+    def run():
+        duplicated = duplicate_join_continuations(program.term)
+        return analyze_direct(duplicated, DOM, initial=initial)
+
+    result = benchmark(run)
+    assert result.value.num == 3

@@ -1,0 +1,67 @@
+"""Experiment T5.1: direct analysis strictly beats syntactic-CPS on
+the false-return witnesses.
+
+Regenerates the content of the Theorem 5.1 proof: the per-variable
+rows (direct proves a1 = 1; the CPS analysis answers TOP for both)
+and the overall verdict, and times the two analyses.
+"""
+
+import pytest
+
+from repro import Precision, run_three_way
+from repro.analysis import analyze_direct, analyze_syntactic_cps
+from repro.analysis.compare import compare_direct_to_cps
+from repro.analysis.delta import delta_store
+from repro.corpus import SHIVERS_EXAMPLE, THEOREM_51_WITNESS
+from repro.cps import cps_transform
+from repro.domains import AbsStore, ConstPropDomain, Lattice
+from repro.domains.constprop import TOP
+
+DOM = ConstPropDomain()
+LAT = Lattice(DOM)
+
+
+@pytest.mark.experiment("T5.1")
+def test_direct_side_of_witness(benchmark):
+    program = THEOREM_51_WITNESS
+    initial = program.initial_for(LAT)
+
+    def run():
+        return analyze_direct(program.term, DOM, initial=initial)
+
+    result = benchmark(run)
+    # paper: the direct analysis determines a1 is the constant 1
+    assert result.constant_of("a1") == 1
+    assert result.num_of("a2") is TOP
+
+
+@pytest.mark.experiment("T5.1")
+def test_syntactic_cps_side_of_witness(benchmark):
+    program = THEOREM_51_WITNESS
+    initial = program.initial_for(LAT)
+    cps_term = cps_transform(program.term)
+    cps_initial = dict(delta_store(AbsStore(LAT, initial)).items())
+
+    def run():
+        return analyze_syntactic_cps(
+            cps_term, DOM, initial=cps_initial, check=False
+        )
+
+    result = benchmark(run)
+    # paper: the CPS analysis fails to produce any information about a1
+    assert result.num_of("a1") is TOP
+    assert result.num_of("a2") is TOP
+
+
+@pytest.mark.experiment("T5.1")
+@pytest.mark.parametrize(
+    "program", [THEOREM_51_WITNESS, SHIVERS_EXAMPLE], ids=lambda p: p.name
+)
+def test_verdict(benchmark, program):
+    def run():
+        report = run_three_way(program)
+        verdict = report.direct_vs_syntactic
+        assert verdict is Precision.LEFT_MORE_PRECISE
+        return verdict
+
+    assert benchmark(run) is Precision.LEFT_MORE_PRECISE

@@ -1,0 +1,61 @@
+"""Experiment T5.2: syntactic-CPS analysis strictly beats the direct
+analysis on the duplication witnesses.
+
+Regenerates both proof cases: the conditional join (CPS proves
+a2 = 3) and the two-closure call (CPS proves a2 = 5), plus the
+combined incomparability statement of Theorems 5.1 + 5.2.
+"""
+
+import pytest
+
+from repro import Precision, run_three_way
+from repro.corpus import (
+    THEOREM_51_WITNESS,
+    THEOREM_52_CONDITIONAL,
+    THEOREM_52_TWO_CLOSURES,
+)
+from repro.domains.constprop import TOP
+
+EXPECTED_CONSTANT = {
+    THEOREM_52_CONDITIONAL.name: 3,
+    THEOREM_52_TWO_CLOSURES.name: 5,
+}
+
+
+@pytest.mark.experiment("T5.2")
+@pytest.mark.parametrize(
+    "program",
+    [THEOREM_52_CONDITIONAL, THEOREM_52_TWO_CLOSURES],
+    ids=lambda p: p.name,
+)
+def test_duplication_witness(benchmark, program):
+    expected = EXPECTED_CONSTANT[program.name]
+
+    def run():
+        report = run_three_way(program)
+        # paper rows: the direct analysis loses a2 entirely ...
+        assert report.direct.num_of("a2") is TOP
+        # ... while both CPS-style analyses prove the constant
+        assert report.syntactic.constant_of("a2") == expected
+        assert report.semantic.constant_of("a2") == expected
+        assert (
+            report.direct_vs_syntactic is Precision.RIGHT_MORE_PRECISE
+        )
+        return report
+
+    benchmark(run)
+
+
+@pytest.mark.experiment("T5.2")
+def test_incomparability(benchmark):
+    """Theorems 5.1 + 5.2 combined: translation to CPS may increase or
+    decrease static information."""
+
+    def run():
+        gain = run_three_way(THEOREM_52_CONDITIONAL).direct_vs_syntactic
+        loss = run_three_way(THEOREM_51_WITNESS).direct_vs_syntactic
+        assert gain is Precision.RIGHT_MORE_PRECISE
+        assert loss is Precision.LEFT_MORE_PRECISE
+        return gain, loss
+
+    benchmark(run)

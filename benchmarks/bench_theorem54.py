@@ -1,0 +1,76 @@
+"""Experiment T5.4: semantic-CPS vs direct — the inequality always,
+equality exactly for distributive analyses.
+
+Regenerates the theorem over the corpus: with constant propagation
+(non-distributive) the semantic analysis is at least as precise
+everywhere and *strictly* better on the Theorem 5.2 witnesses; with
+the unit domain (pure 0CFA, distributive) the two analyses coincide
+on every program.
+"""
+
+import pytest
+
+from repro import Precision
+from repro.analysis import analyze_direct, analyze_semantic_cps
+from repro.analysis.compare import compare_semantic_to_direct
+from repro.corpus import (
+    PROGRAMS,
+    THEOREM_52_CONDITIONAL,
+    THEOREM_52_TWO_CLOSURES,
+)
+from repro.domains import ConstPropDomain, Lattice, UnitDomain
+
+#: Cut-free corpus subset (the theorem's exact scope; see DESIGN.md).
+WORKLOADS = [
+    name
+    for name in sorted(PROGRAMS)
+    if name not in ("factorial", "even-odd") and not PROGRAMS[name].heavy
+]
+
+
+def verdicts(domain):
+    lattice = Lattice(domain)
+    out = {}
+    for name in WORKLOADS:
+        program = PROGRAMS[name]
+        initial = program.initial_for(lattice)
+        direct = analyze_direct(program.term, domain, initial=initial)
+        semantic = analyze_semantic_cps(
+            program.term, domain, initial=initial
+        )
+        out[name] = compare_semantic_to_direct(semantic, direct)
+    return out
+
+
+@pytest.mark.experiment("T5.4")
+def test_nondistributive_constprop(benchmark):
+    def run():
+        results = verdicts(ConstPropDomain())
+        # inequality direction everywhere
+        assert all(
+            v in (Precision.EQUAL, Precision.LEFT_MORE_PRECISE)
+            for v in results.values()
+        ), results
+        # strict gain on the duplication witnesses
+        assert (
+            results[THEOREM_52_CONDITIONAL.name]
+            is Precision.LEFT_MORE_PRECISE
+        )
+        assert (
+            results[THEOREM_52_TWO_CLOSURES.name]
+            is Precision.LEFT_MORE_PRECISE
+        )
+        return results
+
+    benchmark(run)
+
+
+@pytest.mark.experiment("T5.4")
+def test_distributive_unit_domain(benchmark):
+    def run():
+        results = verdicts(UnitDomain())
+        # distributivity: exact agreement on every program
+        assert all(v is Precision.EQUAL for v in results.values()), results
+        return results
+
+    benchmark(run)

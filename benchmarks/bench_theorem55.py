@@ -1,0 +1,58 @@
+"""Experiment T5.5: semantic-CPS is at least as precise as
+syntactic-CPS (δe(A1) ⊑ A2), with the strict gap on the false-return
+witness.
+"""
+
+import pytest
+
+from repro import Precision, run_three_way
+from repro.analysis import analyze_semantic_cps, analyze_syntactic_cps
+from repro.analysis.compare import compare_semantic_to_syntactic
+from repro.analysis.delta import delta_store, delta_value
+from repro.corpus import PROGRAMS, THEOREM_51_WITNESS
+from repro.cps import cps_transform
+from repro.domains import AbsStore, ConstPropDomain, Lattice
+
+DOM = ConstPropDomain()
+LAT = Lattice(DOM)
+
+
+@pytest.mark.experiment("T5.5")
+def test_value_inequality_over_corpus(benchmark):
+    programs = [
+        PROGRAMS[name]
+        for name in sorted(PROGRAMS)
+        if not PROGRAMS[name].heavy
+    ]
+    prepared = []
+    for program in programs:
+        initial = program.initial_for(LAT)
+        cps_initial = dict(delta_store(AbsStore(LAT, initial)).items())
+        prepared.append(
+            (program.term, initial, cps_transform(program.term), cps_initial)
+        )
+
+    def run():
+        count = 0
+        for term, initial, cps_term, cps_initial in prepared:
+            semantic = analyze_semantic_cps(term, DOM, initial=initial)
+            syntactic = analyze_syntactic_cps(
+                cps_term, DOM, initial=cps_initial, check=False
+            )
+            assert LAT.leq(delta_value(semantic.value), syntactic.value)
+            count += 1
+        return count
+
+    assert benchmark(run) == len(prepared)
+
+
+@pytest.mark.experiment("T5.5")
+def test_strict_gap_on_false_return_witness(benchmark):
+    def run():
+        report = run_three_way(THEOREM_51_WITNESS)
+        assert report.semantic.constant_of("a1") == 1
+        verdict = report.semantic_vs_syntactic
+        assert verdict is Precision.LEFT_MORE_PRECISE
+        return verdict
+
+    benchmark(run)

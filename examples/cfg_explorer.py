@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Control-flow graph explorer: build the call graph and flow graph of
+a corpus program from the 0CFA results and print Graphviz DOT.
+
+Usage::
+
+    python examples/cfg_explorer.py [program-name]
+
+Run with no argument to use the 'factorial' corpus program, or pass
+any name from `repro.corpus.PROGRAMS`.
+"""
+
+import sys
+
+from repro.analysis import analyze_direct
+from repro.cfg import (
+    build_call_graph,
+    build_flow_graph,
+    call_graph_to_dot,
+    flow_graph_to_dot,
+)
+from repro.corpus import PROGRAMS, corpus_program
+from repro.domains import ConstPropDomain, Lattice
+from repro.lang import pretty
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "factorial"
+    try:
+        program = corpus_program(name)
+    except KeyError:
+        print(f"unknown program {name!r}; available: {sorted(PROGRAMS)}")
+        raise SystemExit(1)
+
+    domain = ConstPropDomain()
+    initial = program.initial_for(Lattice(domain))
+    result = analyze_direct(program.term, domain, initial=initial)
+
+    print(f"=== {program.name}: {program.description} ===")
+    print(pretty(program.term))
+
+    call_graph = build_call_graph(program.term, result)
+    print("\n=== call graph ===")
+    for site in call_graph.sites:
+        callees = sorted(call_graph.callees_of(site))
+        marker = "" if call_graph.is_monomorphic(site) else "  [polymorphic]"
+        print(f"  {site:10} -> {', '.join(callees) or '(unresolved)'}{marker}")
+    dead = call_graph.unreachable_lambdas()
+    if dead:
+        print(f"  unreachable procedures: {sorted(dead)}")
+
+    print("\n=== call graph (DOT) ===")
+    print(call_graph_to_dot(call_graph, title=program.name))
+
+    flow_graph = build_flow_graph(program.term, call_graph)
+    print("\n=== flow graph (DOT) ===")
+    print(flow_graph_to_dot(flow_graph, title=program.name))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""An analysis client: constant folding, inlining, and the paper's
+Section 6.3 program — "combine heuristic in-lining with a direct-style
+analysis" instead of transforming to CPS.
+
+The example optimizes a small program three ways and compares the
+precision of the resulting direct analyses against the CPS analyses
+of the original:
+
+1. plain direct analysis (loses facts at joins),
+2. direct analysis after heuristic inlining (Section 6.3),
+3. direct analysis after bounded continuation duplication (the
+   abstract's "some amount of duplication").
+
+Usage::
+
+    python examples/constant_folding.py
+"""
+
+from repro import run_three_way
+from repro.analysis import analyze_direct
+from repro.anf import normalize
+from repro.corpus import THEOREM_52_CONDITIONAL
+from repro.domains import ConstPropDomain, Lattice
+from repro.lang import parse, pretty
+from repro.opt import (
+    duplicate_join_continuations,
+    inline_monomorphic_calls,
+    optimize,
+)
+
+DOMAIN = ConstPropDomain()
+
+SOURCE = """
+(let (double (lambda (x) (* x 2)))
+  (let (a (double 10))
+    (let (b (double 11))
+      (let (c (if0 (- a 20) (+ a b) 0))
+        c))))
+"""
+
+
+def pipeline_demo() -> None:
+    term = normalize(parse(SOURCE))
+    print("=== input ===")
+    print(pretty(term))
+
+    before = analyze_direct(term, DOMAIN)
+    print(f"\nplain direct analysis result: {before.value!r}")
+    print("(the second call to double merged x to TOP, so b and c are lost)")
+
+    report = optimize(term, DOMAIN)
+    print(f"\n=== after optimize() [{report.rounds} rounds] ===")
+    print(pretty(report.term))
+    print(f"optimized analysis result: {report.analysis.value!r}")
+    assert report.analysis.value.num == 42
+    print("inlining + folding + DCE proved the program returns 42")
+
+
+def section_63_demo() -> None:
+    program = THEOREM_52_CONDITIONAL
+    lattice = Lattice(DOMAIN)
+    initial = program.initial_for(lattice)
+
+    print("\n=== Section 6.3: recovering CPS precision in direct style ===")
+    print(pretty(program.term))
+    cps_report = run_three_way(program)
+    plain = analyze_direct(program.term, DOMAIN, initial=initial)
+    duplicated_term = duplicate_join_continuations(program.term)
+    duplicated = analyze_direct(duplicated_term, DOMAIN, initial=initial)
+    inlined_term = inline_monomorphic_calls(
+        program.term, domain=DOMAIN, initial=initial
+    )
+    inlined = analyze_direct(inlined_term, DOMAIN, initial=initial)
+
+    print(f"\n  plain direct analysis        : {plain.value!r}")
+    print(f"  syntactic-CPS analysis       : {cps_report.syntactic.value!r}")
+    print(f"  direct + continuation dup    : {duplicated.value!r}")
+    print(f"  direct + heuristic inlining  : {inlined.value!r}")
+    assert duplicated.value.num == cps_report.syntactic.value.num == 3
+    print(
+        "\nBounded duplication gives the direct analysis exactly the\n"
+        "precision the CPS analyses obtain implicitly — no CPS transform\n"
+        "required, and the duplication budget is explicit."
+    )
+
+
+def main() -> None:
+    pipeline_demo()
+    section_63_demo()
+
+
+if __name__ == "__main__":
+    main()

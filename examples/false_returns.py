@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""False returns (Theorem 5.1 / Section 6.1): the CPS transformation
+can *destroy* static information.
+
+The CPS transformation reifies continuations into values; a 0CFA-style
+analysis must then collect, at each continuation variable, the set of
+continuations flowing there — and every return ``(k W)`` applies all
+of them.  Two call sites of the same procedure therefore get their
+returns merged: an infeasible path.  Shivers observed the phenomenon
+for his 0CFA ([16] p.33); Sabry & Felleisen's Theorem 5.1 pins it on
+the CPS transformation itself.
+
+Usage::
+
+    python examples/false_returns.py
+"""
+
+from repro import Precision, run_three_way
+from repro.corpus import SHIVERS_EXAMPLE, THEOREM_51_WITNESS
+from repro.cps import cps_pretty
+from repro.lang import pretty
+
+
+def show(program) -> None:
+    print(f"--- {program.name}: {program.description} ---")
+    print(pretty(program.term))
+    report = run_three_way(program)
+    print("\nCPS image:")
+    print(cps_pretty(report.cps_term))
+
+    print("\nWhat each analysis proves about a1 (bound to (f 1)):")
+    print(f"  direct        : {report.direct.value_of('a1')!r}")
+    print(f"  semantic-CPS  : {report.semantic.value_of('a1')!r}")
+    print(f"  syntactic-CPS : {report.syntactic.value_of('a1')!r}")
+
+    konts = report.syntactic.konts_of("k/x")
+    print(
+        f"\nContinuations collected at the identity's k-parameter: "
+        f"{sorted(map(str, konts))}"
+    )
+    print(
+        "Both call-site continuations flow to k/x, so the return of the\n"
+        "first call is also fed into the second call's continuation —\n"
+        "a path the direct interpreter can never take."
+    )
+    verdict = report.direct_vs_syntactic
+    assert verdict is Precision.LEFT_MORE_PRECISE
+    assert report.direct.constant_of("a1") == 1
+    print(f"\nVerdict: {verdict.value} (the direct analysis wins)\n")
+
+
+def main() -> None:
+    show(THEOREM_51_WITNESS)
+    show(SHIVERS_EXAMPLE)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Section 6.2: with a looping construct, the exact CPS analyses stop
+being computable.
+
+`loop` abbreviates ``x := 0; while true x := x + 1``: its exact
+collecting semantics is the infinite set {0, 1, 2, ...}.  The direct
+analyzer summarizes it as one lattice element (the join of all
+naturals) and terminates.  The CPS analyzers must apply the
+continuation to *every* natural and join the results — Sabry &
+Felleisen adapt Kam & Ullman's argument to show that join is
+undecidable.  This example makes the undecidability tangible: no
+finite unrolling bound is ever safe, because a program can branch on a
+threshold just above the bound.
+
+Usage::
+
+    python examples/loop_undecidable.py
+"""
+
+from repro.analysis import (
+    NonComputableError,
+    analyze_direct,
+    analyze_semantic_cps,
+)
+from repro.corpus import loop_feeding_conditional
+from repro.domains import ConstPropDomain
+from repro.lang import pretty
+
+DOMAIN = ConstPropDomain()
+
+
+def main() -> None:
+    program = loop_feeding_conditional(10)
+    print("=== the program (threshold 10) ===")
+    print(pretty(program.term))
+
+    print("\n--- direct analysis (Figure 4) ---")
+    direct = analyze_direct(program.term, DOMAIN)
+    print(f"terminates immediately: i = {direct.value_of('i')!r}, "
+          f"r = {direct.value_of('r')!r}")
+
+    print("\n--- semantic-CPS analysis (Figure 5), faithful mode ---")
+    try:
+        analyze_semantic_cps(program.term, DOMAIN)
+    except NonComputableError as error:
+        print(f"raises NonComputableError:\n  {error}")
+
+    print("\n--- 'top' mode: apply the continuation to the join of all "
+          "naturals ---")
+    top = analyze_semantic_cps(program.term, DOMAIN, loop_mode="top")
+    print(f"r = {top.value_of('r')!r} (same as the direct analysis)")
+
+    print("\n--- 'unroll' mode: the bound is never enough ---")
+    print(f"{'bound':>6} {'r':>12}")
+    for bound in (4, 8, 9, 10, 12, 20):
+        unrolled = analyze_semantic_cps(
+            program.term, DOMAIN, loop_mode="unroll", unroll_bound=bound
+        )
+        print(f"{bound:>6} {str(unrolled.value_of('r').num):>12}")
+    print(
+        "\nBelow the threshold every unrolled value takes the same branch\n"
+        "and the analysis 'proves' r = 222; the moment the bound crosses\n"
+        "the threshold the answer changes to TOP.  Since the threshold\n"
+        "can be any program-computed number, no finite bound is sound —\n"
+        "the exact semantic-CPS analysis is not a data flow algorithm."
+    )
+
+
+if __name__ == "__main__":
+    main()

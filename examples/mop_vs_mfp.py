@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""MOP vs MFP: the paper's story in the classical dataflow setting.
+
+Section 6.2 cites Nielson: the semantic-CPS analysis computes the MOP
+(merge over all paths) solution, the direct analysis the MFP (maximum
+fixed point) solution.  This walkthrough runs the classical solvers of
+`repro.dataflow` next to the interpreter-derived analyzers on the same
+witness and shows the alignment — and what each costs.
+
+Usage::
+
+    python examples/mop_vs_mfp.py
+"""
+
+from repro.analysis import analyze_direct, analyze_semantic_cps
+from repro.anf import normalize
+from repro.corpus import conditional_chain
+from repro.dataflow import PathExplosion, build_problem, solve_mfp, solve_mop
+from repro.dataflow.mfp import mfp_value
+from repro.dataflow.mop import mop_value
+from repro.domains import ConstPropDomain, Lattice
+from repro.lang import parse, pretty
+
+DOMAIN = ConstPropDomain()
+
+WITNESS = normalize(
+    parse(
+        """(let (a1 (if0 x 0 1))
+             (let (a2 (if0 a1 (+ a1 3) (+ a1 2)))
+               a2))"""
+    ),
+    ensure_unique=False,
+)
+
+
+def alignment() -> None:
+    print("=== the Theorem 5.2 witness, four ways ===")
+    print(pretty(WITNESS))
+    lattice = Lattice(DOMAIN)
+    initial = {"x": lattice.of_num(DOMAIN.top)}
+    entry = {"x": DOMAIN.top}
+
+    direct = analyze_direct(WITNESS, DOMAIN, initial=initial)
+    semantic = analyze_semantic_cps(WITNESS, DOMAIN, initial=initial)
+    problem = build_problem(WITNESS, DOMAIN, entry_facts=entry)
+    mfp = solve_mfp(problem)
+    mop = solve_mop(problem)
+
+    print("\nwhat each computes for a2:")
+    print(f"  classical MFP (Kildall)        : {mfp_value(problem, mfp, 'a2')}")
+    print(f"  direct analyzer (Figure 4)     : {direct.num_of('a2')}")
+    print(f"  classical MOP (path join)      : {mop_value(problem, mop, 'a2')}")
+    print(f"  semantic-CPS analyzer (Fig. 5) : {semantic.num_of('a2')}")
+    print(
+        "\nMFP merges at the join and answers ⊤, exactly like the direct\n"
+        "analyzer; MOP keeps paths apart and proves 3, exactly like the\n"
+        "CPS-style analyzers — Nielson's correspondence, reproduced."
+    )
+
+
+def cost() -> None:
+    print("\n=== what MOP costs (Section 6.2, classically) ===")
+    print(f"{'k':>3} {'MFP points':>11} {'MOP paths':>10}")
+    for k in (4, 8, 12, 16):
+        program = conditional_chain(k)
+        problem = build_problem(
+            program.term,
+            DOMAIN,
+            entry_facts={f"x{i}": DOMAIN.top for i in range(1, k + 1)},
+        )
+        solve_mfp(problem)
+        try:
+            solve_mop(problem, max_paths=2**14)
+            paths = f"{2 ** k}"
+        except PathExplosion:
+            paths = f"{2 ** k} (budget!)"
+        print(f"{k:>3} {len(problem.points):>11} {paths:>10}")
+    print(
+        "\nMFP visits each point a bounded number of times; MOP enumerates\n"
+        "2^k paths and, with loops in the graph, would not terminate at\n"
+        "all — Kam & Ullman's undecidability, which Section 6.2\n"
+        "transplants to the CPS analyses via the `loop` construct."
+    )
+
+
+def main() -> None:
+    alignment()
+    cost()
+
+
+if __name__ == "__main__":
+    main()

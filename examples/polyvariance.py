@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Polyvariance vs duplication: what k-CFA can and cannot recover.
+
+Shivers' k-CFA (the thesis the paper discusses for its 0CFA and
+false-return example) adds call-string contexts to the direct
+analyzer.  This walkthrough shows the separation:
+
+- contexts repair *argument merging* across call sites (the classic
+  monovariant weakness), but
+- the Theorem 5.2 precision lives at *returns* (store joins at
+  conditionals and multi-closure calls), which no context length
+  splits — only duplication does, whether implicit (CPS analyses) or
+  explicit (the Section 6.3 direct-style pass).
+
+Usage::
+
+    python examples/polyvariance.py
+"""
+
+from repro.analysis import (
+    analyze_direct,
+    analyze_polyvariant,
+)
+from repro.anf import normalize
+from repro.corpus import THEOREM_52_CONDITIONAL
+from repro.domains import ConstPropDomain, Lattice
+from repro.lang import parse, pretty
+from repro.opt import duplicate_join_continuations
+
+DOMAIN = ConstPropDomain()
+LATTICE = Lattice(DOMAIN)
+
+REPEATED_CALLS = """
+(let (f (lambda (x) (add1 x)))
+  (let (u (f 1))
+    (let (v (f 2))
+      (+ u v))))
+"""
+
+
+def argument_merging() -> None:
+    term = normalize(parse(REPEATED_CALLS))
+    print("=== argument merging across call sites ===")
+    print(pretty(term))
+    mono = analyze_direct(term, DOMAIN)
+    print(f"\n0CFA (Figure 4)  : result {mono.value!r} — x merged 1 u 2")
+    for k in (1, 2):
+        poly = analyze_polyvariant(term, DOMAIN, k=k)
+        contexts = {
+            "/".join(ctx) or "ε": str(val.num)
+            for ctx, val in poly.contexts_of("x").items()
+        }
+        print(f"{k}-CFA            : result {poly.value!r} — x per context: "
+              f"{contexts}")
+    poly = analyze_polyvariant(term, DOMAIN, k=1)
+    assert poly.value.num == 5
+
+
+def return_merging() -> None:
+    program = THEOREM_52_CONDITIONAL
+    initial = program.initial_for(LATTICE)
+    print("\n=== return merging at a conditional (Theorem 5.2) ===")
+    print(pretty(program.term))
+    print()
+    for k in (0, 1, 2, 3):
+        poly = analyze_polyvariant(
+            program.term, DOMAIN, k=k, initial=initial
+        )
+        print(f"{k}-CFA            : a2 = {poly.value_of('a2')!r}")
+    duplicated = duplicate_join_continuations(program.term)
+    after = analyze_direct(duplicated, DOMAIN, initial=initial)
+    print(f"duplication pass : a2-equivalent = {after.value!r}")
+    assert after.value.num == 3
+    print(
+        "\nNo context length helps — the loss happens when the branch\n"
+        "stores join at a2's binding, and contexts never split that\n"
+        "join.  Duplicating the continuation (what the CPS analyses do\n"
+        "implicitly) is the only lever, exactly as the paper argues."
+    )
+
+
+def main() -> None:
+    argument_merging()
+    return_merging()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""The three data flow analyzers (paper Figures 4-6) and their
+formal-relationship tooling (Section 5).
+
+- :mod:`repro.analysis.direct` — the direct abstract collecting
+  interpreter ``Me`` (Figure 4);
+- :mod:`repro.analysis.semantic_cps` — the semantic-CPS abstract
+  collecting interpreter ``Ce`` (Figure 5);
+- :mod:`repro.analysis.syntactic_cps` — the syntactic-CPS abstract
+  collecting interpreter ``Ms`` (Figure 6);
+- :mod:`repro.analysis.delta` — the abstract ``δe`` map between the
+  direct and CPS abstract domains;
+- :mod:`repro.analysis.compare` — precision comparisons (Theorems
+  5.1, 5.2, 5.4, 5.5).
+
+All analyzers are parametric in the number domain (see
+:mod:`repro.domains`) and detect loops exactly as Section 4.4
+prescribes: on re-encountering a ``(term, store)`` pair on the active
+derivation path they return the least precise value paired with the
+current store.
+"""
+
+from repro.analysis.common import (
+    A_DEC,
+    A_DECK,
+    A_INC,
+    A_INCK,
+    A_STOP,
+    AAnswer,
+    AbsClo,
+    AbsCo,
+    AbsCpsClo,
+    AFrame,
+    AnalysisError,
+    AnalysisStats,
+    BudgetExceeded,
+    NonComputableError,
+    closures_of_term,
+    cps_closures_of_term,
+    konts_of_term,
+)
+from repro.analysis.compare import Precision, compare_answers, compare_direct_to_cps
+from repro.analysis.delta import delta_answer, delta_store, delta_value
+from repro.analysis.direct import DirectAnalyzer, analyze_direct
+from repro.analysis.polyvariant import (
+    PolyvariantDirectAnalyzer,
+    PolyvariantResult,
+    analyze_polyvariant,
+)
+from repro.analysis.result import AnalysisResult
+from repro.analysis.semantic_cps import SemanticCpsAnalyzer, analyze_semantic_cps
+from repro.analysis.syntactic_cps import SyntacticCpsAnalyzer, analyze_syntactic_cps
+
+__all__ = [
+    "A_INC",
+    "A_DEC",
+    "A_INCK",
+    "A_DECK",
+    "A_STOP",
+    "AAnswer",
+    "AbsClo",
+    "AbsCo",
+    "AbsCpsClo",
+    "AFrame",
+    "AnalysisError",
+    "AnalysisStats",
+    "BudgetExceeded",
+    "NonComputableError",
+    "closures_of_term",
+    "cps_closures_of_term",
+    "konts_of_term",
+    "Precision",
+    "compare_answers",
+    "compare_direct_to_cps",
+    "delta_answer",
+    "delta_store",
+    "delta_value",
+    "DirectAnalyzer",
+    "analyze_direct",
+    "PolyvariantDirectAnalyzer",
+    "PolyvariantResult",
+    "analyze_polyvariant",
+    "SemanticCpsAnalyzer",
+    "analyze_semantic_cps",
+    "SyntacticCpsAnalyzer",
+    "analyze_syntactic_cps",
+    "AnalysisResult",
+]

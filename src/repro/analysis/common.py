@@ -1,0 +1,290 @@
+"""Shared machinery for the three abstract collecting interpreters.
+
+Abstract closures and continuations (Section 4.1), the ``CL⊤``/``K⊤``
+collectors used by the loop-detection rules (Section 4.4), answers,
+statistics, and configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.cps.ast import CApp, CIf0, CLam, CLoop, CPrim, CTerm
+from repro.cps.validate import cps_subterms
+from repro.domains.absval import AbsVal, Lattice
+from repro.domains.store import AbsStore
+from repro.lang.ast import Lam, Num, Prim, Term, Var
+from repro.lang.syntax import subterms
+
+
+class AnalysisError(Exception):
+    """Base class for analyzer errors."""
+
+
+class BudgetExceeded(AnalysisError):
+    """The analysis exceeded its optional work budget.
+
+    The CPS analyzers' duplication is worst-case exponential (Section
+    6.2); a visit budget lets surveys and services bound the damage and
+    observe how often real programs trigger the blowup.
+    """
+
+    def __init__(self, budget: int) -> None:
+        self.budget = budget
+        super().__init__(f"analysis exceeded {budget} rule visits")
+
+
+class NonComputableError(AnalysisError):
+    """The exact analysis result is not computable.
+
+    Raised by the CPS analyzers when they meet the Section 6.2 ``loop``
+    construct in ``loop_mode='reject'``: computing the infinite join
+    ``⊔_i appre(κ, (i, ∅))`` is undecidable in general (the paper
+    adapts Kam & Ullman's MOP-undecidability proof).
+    """
+
+
+# ----------------------------------------------------------------------
+# Abstract closures and continuations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class AbsTag:
+    """An abstract primitive-procedure tag (``inc``/``dec``/``inck``/``deck``)."""
+
+    tag: str
+
+    def __str__(self) -> str:
+        return self.tag
+
+
+A_INC = AbsTag("inc")
+A_DEC = AbsTag("dec")
+A_INCK = AbsTag("inck")
+A_DECK = AbsTag("deck")
+
+
+@dataclass(frozen=True, slots=True)
+class AbsClo:
+    """An abstract user closure ``(cle x, M)`` — the environment is
+    dropped by the 0CFA abstraction (Section 4.1)."""
+
+    param: str
+    body: Term = field(compare=True)
+
+    def __str__(self) -> str:
+        return f"(cle {self.param})"
+
+
+@dataclass(frozen=True, slots=True)
+class AbsCpsClo:
+    """An abstract CPS user closure ``(cle x k, P)``."""
+
+    param: str
+    kparam: str
+    body: CTerm
+
+    def __str__(self) -> str:
+        return f"(cle {self.param} {self.kparam})"
+
+
+@dataclass(frozen=True, slots=True)
+class AbsCo:
+    """An abstract continuation ``(coe x, P)`` of the syntactic-CPS
+    analyzer."""
+
+    param: str
+    body: CTerm
+
+    def __str__(self) -> str:
+        return f"(coe {self.param})"
+
+
+@dataclass(frozen=True, slots=True)
+class AbsStop:
+    """The abstract initial continuation ``stop``."""
+
+    def __str__(self) -> str:
+        return "stop"
+
+
+A_STOP = AbsStop()
+
+
+@dataclass(frozen=True, slots=True)
+class AFrame:
+    """An abstract semantic-CPS frame ``(let (x []) M)`` — the
+    environment component is dropped by the abstraction."""
+
+    name: str
+    body: Term
+
+    def __str__(self) -> str:
+        return f"(let ({self.name} []) ...)"
+
+
+#: An abstract continuation of the semantic-CPS analyzer: a stack of
+#: frames, innermost first.
+AKont = tuple[AFrame, ...]
+
+
+# ----------------------------------------------------------------------
+# phi_e: abstract syntactic values (shared by Figures 4 and 5)
+# ----------------------------------------------------------------------
+
+
+def abstract_value(lattice: Lattice, value: Term, store: AbsStore) -> AbsVal:
+    """``phi_e`` of Figures 4/5: the abstract value of a syntactic value."""
+    match value:
+        case Num(n):
+            return lattice.of_const(n)
+        case Var(name):
+            return store.get(name)
+        case Prim("add1"):
+            return lattice.of_clos(A_INC)
+        case Prim("sub1"):
+            return lattice.of_clos(A_DEC)
+        case Lam(param, body):
+            return lattice.of_clos(AbsClo(param, body))
+    raise TypeError(f"not a syntactic value: {value!r}")
+
+
+# ----------------------------------------------------------------------
+# CL⊤ / K⊤ collectors (Section 4.4)
+# ----------------------------------------------------------------------
+
+
+def closures_of_term(term: Term) -> frozenset:
+    """All abstract closures a direct/semantic analysis of ``term`` can
+    ever create: one ``(cle x, M)`` per lambda, plus ``inc``/``dec``
+    when the corresponding primitive occurs."""
+    found: set[Hashable] = set()
+    for sub in subterms(term):
+        if isinstance(sub, Lam):
+            found.add(AbsClo(sub.param, sub.body))
+        elif isinstance(sub, Prim):
+            found.add(A_INC if sub.name == "add1" else A_DEC)
+    return frozenset(found)
+
+
+def cps_closures_of_term(term: CTerm) -> frozenset:
+    """All abstract closures of a cps(A) program."""
+    found: set[Hashable] = set()
+    for sub in cps_subterms(term):
+        if isinstance(sub, CLam):
+            found.add(AbsCpsClo(sub.param, sub.kparam, sub.body))
+        elif isinstance(sub, CPrim):
+            found.add(A_INCK if sub.name == "add1k" else A_DECK)
+    return frozenset(found)
+
+
+def konts_of_term(term: CTerm) -> frozenset:
+    """All abstract continuations of a cps(A) program: one
+    ``(coe x, P)`` per continuation lambda, plus ``stop``."""
+    found: set[Hashable] = {A_STOP}
+    for sub in cps_subterms(term):
+        match sub:
+            case CApp(_, _, kont):
+                found.add(AbsCo(kont.param, kont.body))
+            case CIf0(_, kont, _, _, _):
+                found.add(AbsCo(kont.param, kont.body))
+            case CLoop(kont):
+                found.add(AbsCo(kont.param, kont.body))
+            case _:
+                pass
+    return frozenset(found)
+
+
+def closures_of_store(store: AbsStore) -> frozenset:
+    """Closures already present in an initial store (free-variable
+    assumptions contribute to CL⊤ as well)."""
+    found: set[Hashable] = set()
+    for _, value in store.items():
+        found |= value.clos
+    return frozenset(found)
+
+
+def konts_of_store(store: AbsStore) -> frozenset:
+    """Continuations already present in an initial store."""
+    found: set[Hashable] = set()
+    for _, value in store.items():
+        found |= value.konts
+    return frozenset(found)
+
+
+# ----------------------------------------------------------------------
+# Answers, statistics, configuration
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class AAnswer:
+    """An abstract answer: an abstract value paired with a store."""
+
+    value: AbsVal
+    store: AbsStore
+
+
+@dataclass(slots=True)
+class AnalysisStats:
+    """Instrumentation counters.
+
+    ``visits`` counts analyzer rule applications (the work measure of
+    the Section 6.2 cost experiments, independent of wall clock);
+    ``loop_cuts`` counts Section 4.4 loop detections; ``max_depth``
+    tracks the deepest active derivation path.
+    """
+
+    visits: int = 0
+    loop_cuts: int = 0
+    max_depth: int = 0
+    returns_analyzed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for reports."""
+        return {
+            "visits": self.visits,
+            "loop_cuts": self.loop_cuts,
+            "max_depth": self.max_depth,
+            "returns_analyzed": self.returns_analyzed,
+        }
+
+
+class WorkBudgetMixin:
+    """Visit counting with an optional budget (raises `BudgetExceeded`).
+
+    Analyzers call :meth:`tick` once per rule application; when
+    ``max_visits`` is set, exceeding it aborts the analysis — the
+    Section 6.2 exponential blowup made observable and boundable.
+    """
+
+    stats: AnalysisStats
+    max_visits: int | None = None
+
+    def tick(self) -> None:
+        """Count one rule application, enforcing the budget."""
+        self.stats.visits += 1
+        if self.max_visits is not None and self.stats.visits > self.max_visits:
+            raise BudgetExceeded(self.max_visits)
+
+
+#: How the CPS analyzers treat the Section 6.2 ``loop`` construct.
+#:
+#: - ``'reject'`` — raise `NonComputableError` (the faithful reading:
+#:   the exact join over all naturals is undecidable);
+#: - ``'top'``    — apply the continuation once to the join of all
+#:   naturals (sound, loses the per-iteration duplication — this is
+#:   what the direct analyzer effectively does);
+#: - ``'unroll'`` — join the continuation applied to 0..bound and then
+#:   stop; demonstrates the undecidability experimentally (the result
+#:   may keep changing as the bound grows) and is NOT sound in general.
+LOOP_MODES = ("reject", "top", "unroll")
+
+
+def check_loop_mode(mode: str) -> str:
+    """Validate a loop-handling mode."""
+    if mode not in LOOP_MODES:
+        raise ValueError(f"loop_mode must be one of {LOOP_MODES}, got {mode!r}")
+    return mode

@@ -1,0 +1,126 @@
+"""Precision comparisons between analysis results (paper Section 5).
+
+The lattice order *is* the precision order ("is more precise than"
+coincides with ⊑, Section 4.1): lower values describe fewer concrete
+behaviours.  Comparing two analyses of the same program means
+comparing their answers — the final value and, per variable, the final
+store entries.
+
+Theorem 5.1 and 5.2 together say the direct and syntactic-CPS results
+are *incomparable* in general, so the comparison returns a four-way
+`Precision` verdict.  When a direct answer is compared against a
+syntactic-CPS answer it must first be transported along ``δe`` and the
+CPS store's continuation-variable entries ignored — exactly the shape
+of the theorem statements ("for each variable in the domain of σ1").
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+from repro.analysis.common import AAnswer
+from repro.analysis.delta import delta_answer
+from repro.analysis.result import AnalysisResult
+from repro.domains.absval import Lattice
+
+
+class Precision(Enum):
+    """Outcome of comparing a left against a right analysis answer."""
+
+    #: Identical information.
+    EQUAL = "equal"
+    #: The left answer is strictly more precise (strictly below).
+    LEFT_MORE_PRECISE = "left-more-precise"
+    #: The right answer is strictly more precise.
+    RIGHT_MORE_PRECISE = "right-more-precise"
+    #: Neither answer is uniformly at least as precise as the other.
+    INCOMPARABLE = "incomparable"
+
+
+def answer_leq(
+    left: AAnswer,
+    right: AAnswer,
+    lattice: Lattice,
+    names: Iterable[str] | None = None,
+) -> bool:
+    """True when ``left`` is at least as precise as ``right``.
+
+    Compares the answer values and the store entries for ``names``
+    (default: every variable either store mentions).
+    """
+    if not lattice.leq(left.value, right.value):
+        return False
+    if names is None:
+        names = set(left.store.variables()) | set(right.store.variables())
+    for name in names:
+        if not lattice.leq(left.store.get(name), right.store.get(name)):
+            return False
+    return True
+
+
+def compare_answers(
+    left: AAnswer,
+    right: AAnswer,
+    lattice: Lattice,
+    names: Iterable[str] | None = None,
+) -> Precision:
+    """Four-way precision verdict between two answers."""
+    if names is not None:
+        names = list(names)
+    left_leq = answer_leq(left, right, lattice, names)
+    right_leq = answer_leq(right, left, lattice, names)
+    if left_leq and right_leq:
+        return Precision.EQUAL
+    if left_leq:
+        return Precision.LEFT_MORE_PRECISE
+    if right_leq:
+        return Precision.RIGHT_MORE_PRECISE
+    return Precision.INCOMPARABLE
+
+
+def source_variables(answer: AAnswer) -> set[str]:
+    """The store's source variables (continuation variables, which use
+    the ``k/`` namespace, are excluded)."""
+    return {
+        name for name in answer.store.variables() if not name.startswith("k/")
+    }
+
+
+def compare_direct_to_cps(
+    direct: AnalysisResult, cps: AnalysisResult
+) -> Precision:
+    """Compare a direct analysis against a syntactic-CPS analysis of
+    the transformed program (the Theorem 5.1/5.2 comparison).
+
+    The direct answer is transported along ``δe``; the comparison
+    ranges over the source variables both analyses know about.
+    """
+    transported = delta_answer(direct.answer)
+    names = source_variables(transported) | source_variables(cps.answer)
+    return compare_answers(transported, cps.answer, direct.lattice, names)
+
+
+def compare_semantic_to_direct(
+    semantic: AnalysisResult, direct: AnalysisResult
+) -> Precision:
+    """Compare a semantic-CPS analysis against a direct analysis of
+    the same source program (the Theorem 5.4 comparison; both answers
+    live in the same abstract domain)."""
+    return compare_answers(
+        semantic.answer, direct.answer, direct.lattice
+    )
+
+
+def compare_semantic_to_syntactic(
+    semantic: AnalysisResult, syntactic: AnalysisResult
+) -> Precision:
+    """Compare a semantic-CPS analysis of M against a syntactic-CPS
+    analysis of F_k[M] (the Theorem 5.5 comparison), along ``δe``."""
+    transported = delta_answer(semantic.answer)
+    names = source_variables(transported) | source_variables(
+        syntactic.answer
+    )
+    return compare_answers(
+        transported, syntactic.answer, semantic.lattice, names
+    )

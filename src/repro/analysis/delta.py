@@ -1,0 +1,69 @@
+"""The abstract ``δe`` map (paper Section 5).
+
+Relates direct abstract values to syntactic-CPS abstract values::
+
+    δe((n, {cl1, ..., cli})) = (n, {Ve(cl1), ..., Ve(cli)}, ∅)
+    Ve((cle x, M))           = (cle x k_x, F_{k_x}[M])
+    Ve(inc)                  = inck
+    Ve(dec)                  = deck
+
+and extends pointwise to stores and componentwise to answers.  The
+determinism of the CPS transformation (continuation variables derived
+from binder names) makes ``Ve`` a pure function whose images coincide
+with the closures the transformed whole program creates.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.analysis.common import (
+    A_DEC,
+    A_DECK,
+    A_INC,
+    A_INCK,
+    AAnswer,
+    AbsClo,
+    AbsCpsClo,
+)
+from repro.cps.transform import cps_transform, kvar_for
+from repro.domains.absval import AbsVal
+from repro.domains.store import AbsStore
+
+
+def delta_closure(clo: Hashable) -> Hashable:
+    """``Ve``: map one direct abstract closure to its CPS image."""
+    if clo is A_INC:
+        return A_INCK
+    if clo is A_DEC:
+        return A_DECK
+    if isinstance(clo, AbsClo):
+        kvar = kvar_for(clo.param)
+        return AbsCpsClo(
+            clo.param, kvar, cps_transform(clo.body, kvar, check=False)
+        )
+    raise TypeError(f"not a direct abstract closure: {clo!r}")
+
+
+def delta_value(value: AbsVal) -> AbsVal:
+    """``δe`` on abstract values."""
+    if value.konts:
+        raise ValueError("direct abstract values carry no continuations")
+    return AbsVal(
+        value.num,
+        frozenset(delta_closure(c) for c in value.clos),
+        frozenset(),
+    )
+
+
+def delta_store(store: AbsStore) -> AbsStore:
+    """``δe`` pointwise on stores."""
+    return AbsStore(
+        store.lattice,
+        {name: delta_value(value) for name, value in store.items()},
+    )
+
+
+def delta_answer(answer: AAnswer) -> AAnswer:
+    """``δe`` componentwise on answers."""
+    return AAnswer(delta_value(answer.value), delta_store(answer.store))

@@ -1,0 +1,464 @@
+"""A polyvariant (k-CFA) variant of the direct analyzer.
+
+The paper's analyzers are monovariant (0CFA, Section 4.1: one abstract
+location per variable).  Shivers' thesis [16] proposes *call-string
+polyvariance* instead: one location per variable **and** per context,
+where a context is the string of the last ``k`` call sites.  This
+module implements that generalization of Figure 4, for two reasons:
+
+1. as an ablation against the paper's central claim — the precision
+   the CPS analyses gain is *duplication of returns*, which call-string
+   contexts do **not** provide: k-CFA fixes the classic repeated-call
+   imprecision but leaves both Theorem 5.2 witnesses exactly as
+   imprecise as 0CFA (the tests pin this); and
+2. as the natural "more precision without CPS" extension alongside
+   the Section 6.3 inlining/duplication transformations.
+
+Design notes
+------------
+
+- Abstract locations are ``(variable, context)`` pairs; the store is
+  the same hashable `AbsStore`, keyed by `CtxVar`.
+- Abstract closures (`PolyClo`) carry a *binding-time environment*
+  mapping their free variables to the contexts those variables were
+  bound in, so a closure applied far from its definition still reads
+  the right bindings.  A closure with a missing entry falls back to
+  the join over every context of that variable (used for closures
+  assumed in the initial store and for the loop-cut top value, where
+  no specific context is known — always sound, merely coarser).
+- Termination follows the same Section 4.4 argument: contexts and
+  environments are drawn from finite sets, the store lattice has
+  finite height, and ``(term, env, ctx, store)`` active-path keys
+  repeat on any infinite derivation.
+- ``k = 0`` degenerates to exactly one context ``()`` and reproduces
+  the monovariant analyzer's results on cut-free programs (a
+  regression property the tests check).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.analysis.common import (
+    A_DEC,
+    A_INC,
+    AbsClo,
+    AnalysisStats,
+    WorkBudgetMixin,
+)
+from repro.analysis.result import AnalysisResult
+from repro.anf.validate import validate_anf
+from repro.domains.absval import AbsVal, Lattice
+from repro.domains.constprop import ConstPropDomain
+from repro.domains.protocol import NumDomain
+from repro.domains.store import AbsStore
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Loop,
+    Num,
+    Prim,
+    PrimApp,
+    Term,
+    Var,
+    is_value,
+)
+from repro.lang.syntax import free_variables, subterms
+
+_RECURSION_LIMIT = 100_000
+
+#: A call-string context: the labels of the last k call sites.
+Context = tuple[str, ...]
+
+#: The context everything starts in.
+TOP_CONTEXT: Context = ()
+
+
+@dataclass(frozen=True, slots=True)
+class CtxVar:
+    """A context-sensitive abstract location ``(variable, context)``."""
+
+    name: str
+    ctx: Context
+
+    def __str__(self) -> str:
+        inner = ",".join(self.ctx) or "ε"
+        return f"{self.name}@{inner}"
+
+
+@dataclass(frozen=True, slots=True)
+class PolyClo:
+    """A polyvariant abstract closure.
+
+    ``env`` records, for each free variable of the body, the context
+    its binding lives at — sorted tuple of pairs so the value is
+    hashable.  Variables absent from ``env`` are read with the
+    join-over-all-contexts fallback.
+    """
+
+    param: str
+    body: Term
+    env: tuple[tuple[str, Context], ...] = ()
+
+    def lookup_ctx(self, name: str) -> Context | None:
+        for entry_name, ctx in self.env:
+            if entry_name == name:
+                return ctx
+        return None
+
+    def __str__(self) -> str:
+        return f"(cle {self.param})"
+
+
+def _truncate(ctx: Context, k: int) -> Context:
+    return ctx[-k:] if k else TOP_CONTEXT
+
+
+class PolyvariantDirectAnalyzer(WorkBudgetMixin):
+    """Figure 4 with call-string polyvariance."""
+
+    analyzer_name = "direct-kcfa"
+
+    def __init__(
+        self,
+        term: Term,
+        domain: NumDomain | None = None,
+        k: int = 1,
+        initial: Mapping[str, AbsVal] | None = None,
+        check: bool = True,
+        max_visits: int | None = None,
+    ) -> None:
+        """Prepare a k-CFA analysis of ``term``.
+
+        Args:
+            term: a program of the restricted subset.
+            domain: abstract number domain (default constant
+                propagation).
+            k: call-string length (0 reproduces the monovariant
+                analyzer).
+            initial: assumptions for free variables, in the monovariant
+                abstract domain (closures are converted to polyvariant
+                closures with the fallback environment).
+            check: validate that ``term`` is in the restricted subset.
+        """
+        if check:
+            validate_anf(term)
+        if k < 0:
+            raise ValueError("context length k must be >= 0")
+        self.term = term
+        self.k = k
+        self.lattice = Lattice(domain if domain is not None else ConstPropDomain())
+        table: dict[Hashable, AbsVal] = {}
+        initial = dict(initial) if initial else {}
+        for name, value in initial.items():
+            table[CtxVar(name, TOP_CONTEXT)] = _polyvariant_value(value)
+        self.initial_store = AbsStore(self.lattice, table)  # type: ignore[arg-type]
+        cl_top: set[Hashable] = set()
+        for sub in subterms(term):
+            if isinstance(sub, Lam):
+                cl_top.add(PolyClo(sub.param, sub.body))
+            elif isinstance(sub, Prim):
+                cl_top.add(A_INC if sub.name == "add1" else A_DEC)
+        for value in table.values():
+            cl_top |= value.clos
+        self.top_value = AbsVal(self.lattice.domain.top, frozenset(cl_top))
+        self.stats = AnalysisStats()
+        self.max_visits = max_visits
+        self._active: set = set()
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(self) -> "PolyvariantResult":
+        """Analyze the program and return the polyvariant result."""
+        previous = sys.getrecursionlimit()
+        if _RECURSION_LIMIT > previous:
+            sys.setrecursionlimit(_RECURSION_LIMIT)
+        try:
+            env: dict[str, Context] = {
+                name: TOP_CONTEXT for name in free_variables(self.term)
+            }
+            value, store = self.eval(
+                self.term, env, TOP_CONTEXT, self.initial_store
+            )
+        finally:
+            if _RECURSION_LIMIT > previous:
+                sys.setrecursionlimit(previous)
+        return PolyvariantResult(self, value, store)
+
+    # ------------------------------------------------------------------
+    # Abstract values
+    # ------------------------------------------------------------------
+
+    def eval_value(
+        self,
+        value: Term,
+        env: Mapping[str, Context],
+        store: AbsStore,
+    ) -> AbsVal:
+        """``phi_e`` with context-sensitive variable lookup."""
+        lattice = self.lattice
+        match value:
+            case Num(n):
+                return lattice.of_const(n)
+            case Var(name):
+                return self._lookup(name, env.get(name), store)
+            case Prim("add1"):
+                return lattice.of_clos(A_INC)
+            case Prim("sub1"):
+                return lattice.of_clos(A_DEC)
+            case Lam(param, body):
+                needed = free_variables(body) - {param}
+                captured = tuple(
+                    sorted(
+                        (name, env[name]) for name in needed if name in env
+                    )
+                )
+                return lattice.of_clos(PolyClo(param, body, captured))
+        raise TypeError(f"not a syntactic value: {value!r}")
+
+    def _lookup(
+        self, name: str, ctx: Context | None, store: AbsStore
+    ) -> AbsVal:
+        """Read a variable: at its binding context when known, else the
+        join over every context (the sound fallback)."""
+        if ctx is not None:
+            return store.get(CtxVar(name, ctx))  # type: ignore[arg-type]
+        value = self.lattice.bottom
+        for key, entry in store.items():
+            if isinstance(key, CtxVar) and key.name == name:
+                value = self.lattice.join(value, entry)
+        return value
+
+    # ------------------------------------------------------------------
+    # The analyzer
+    # ------------------------------------------------------------------
+
+    def eval(
+        self,
+        term: Term,
+        env: Mapping[str, Context],
+        ctx: Context,
+        store: AbsStore,
+    ) -> tuple[AbsVal, AbsStore]:
+        """Analyze ``term`` under binding environment ``env`` in
+        context ``ctx``."""
+        registered: list = []
+        self._depth += 1
+        self.stats.max_depth = max(self.stats.max_depth, self._depth)
+        env = dict(env)
+        try:
+            while True:
+                self.tick()
+                if is_value(term):
+                    return self.eval_value(term, env, store), store
+                if not isinstance(term, Let):
+                    raise TypeError(
+                        f"term is not in the restricted subset: {term!r}"
+                    )
+                key = (id(term), frozenset(env.items()), ctx, store)
+                if key in self._active:
+                    self.stats.loop_cuts += 1
+                    return self.top_value, store
+                self._active.add(key)
+                registered.append(key)
+
+                name, rhs, body = term.name, term.rhs, term.body
+                if is_value(rhs):
+                    result = self.eval_value(rhs, env, store)
+                elif isinstance(rhs, App):
+                    fun = self.eval_value(rhs.fun, env, store)
+                    arg = self.eval_value(rhs.arg, env, store)
+                    result, store = self.apply(name, fun, arg, ctx, store)
+                elif isinstance(rhs, If0):
+                    result, store = self._branch(rhs, env, ctx, store)
+                elif isinstance(rhs, PrimApp):
+                    nums = [
+                        self.eval_value(a, env, store).num for a in rhs.args
+                    ]
+                    result = self.lattice.of_num(
+                        self.lattice.domain.binop(rhs.op, nums[0], nums[1])
+                    )
+                elif isinstance(rhs, Loop):
+                    result = self.lattice.of_num(self.lattice.domain.iota)
+                else:
+                    raise TypeError(f"invalid let right-hand side: {rhs!r}")
+                store = store.joined_bind(CtxVar(name, ctx), result)  # type: ignore[arg-type]
+                env[name] = ctx
+                term = body
+        finally:
+            self._depth -= 1
+            for key in registered:
+                self._active.discard(key)
+
+    def apply(
+        self,
+        site: str,
+        fun: AbsVal,
+        arg: AbsVal,
+        ctx: Context,
+        store: AbsStore,
+    ) -> tuple[AbsVal, AbsStore]:
+        """Apply every abstract closure; user closures run in the
+        context extended with this call site."""
+        lattice = self.lattice
+        domain = lattice.domain
+        value = lattice.bottom
+        out_store = store
+        for clo in fun.clos:
+            if clo is A_INC:
+                branch_value = lattice.of_num(domain.add1(arg.num))
+                branch_store = store
+            elif clo is A_DEC:
+                branch_value = lattice.of_num(domain.sub1(arg.num))
+                branch_store = store
+            elif isinstance(clo, PolyClo):
+                callee_ctx = _truncate(ctx + (site,), self.k)
+                entry = store.joined_bind(
+                    CtxVar(clo.param, callee_ctx), arg  # type: ignore[arg-type]
+                )
+                callee_env = dict(clo.env)
+                for free in free_variables(clo.body):
+                    if free not in callee_env and free != clo.param:
+                        known = clo.lookup_ctx(free)
+                        if known is not None:
+                            callee_env[free] = known
+                callee_env[clo.param] = callee_ctx
+                branch_value, branch_store = self.eval(
+                    clo.body, callee_env, callee_ctx, entry
+                )
+            else:
+                raise TypeError(f"unexpected abstract closure {clo!r}")
+            value = lattice.join(value, branch_value)
+            out_store = out_store.join(branch_store)
+        return value, out_store
+
+    def _branch(
+        self,
+        rhs: If0,
+        env: Mapping[str, Context],
+        ctx: Context,
+        store: AbsStore,
+    ) -> tuple[AbsVal, AbsStore]:
+        test = self.eval_value(rhs.test, env, store)
+        domain = self.lattice.domain
+        zero = domain.may_be_zero(test.num)
+        nonzero = domain.may_be_nonzero(test.num) or bool(test.clos)
+        if zero and not nonzero:
+            return self.eval(rhs.then, env, ctx, store)
+        if nonzero and not zero:
+            return self.eval(rhs.orelse, env, ctx, store)
+        if not zero and not nonzero:
+            return self.lattice.bottom, store
+        then_value, then_store = self.eval(rhs.then, env, ctx, store)
+        else_value, else_store = self.eval(rhs.orelse, env, ctx, store)
+        return (
+            self.lattice.join(then_value, else_value),
+            then_store.join(else_store),
+        )
+
+
+def _polyvariant_value(value: AbsVal) -> AbsVal:
+    """Convert a monovariant abstract value (initial-store assumption)
+    into the polyvariant domain."""
+    clos = frozenset(
+        PolyClo(c.param, c.body) if isinstance(c, AbsClo) else c
+        for c in value.clos
+    )
+    return AbsVal(value.num, clos, value.konts)
+
+
+def _monovariant_value(value: AbsVal) -> AbsVal:
+    """Drop the context components of a polyvariant value."""
+    clos = frozenset(
+        AbsClo(c.param, c.body) if isinstance(c, PolyClo) else c
+        for c in value.clos
+    )
+    return AbsVal(value.num, clos, value.konts)
+
+
+class PolyvariantResult:
+    """The result of a k-CFA analysis, with a per-context view and a
+    collapsed (monovariant) view for comparison against Figure 4."""
+
+    def __init__(
+        self,
+        analyzer: PolyvariantDirectAnalyzer,
+        value: AbsVal,
+        store: AbsStore,
+    ) -> None:
+        self.analyzer = analyzer
+        self.lattice = analyzer.lattice
+        self.stats = analyzer.stats
+        self.value = _monovariant_value(value)
+        self._store = store
+
+    def contexts_of(self, name: str) -> dict[Context, AbsVal]:
+        """Every context-specific value recorded for ``name``."""
+        return {
+            key.ctx: _monovariant_value(entry)
+            for key, entry in self._store.items()
+            if isinstance(key, CtxVar) and key.name == name
+        }
+
+    def value_of(self, name: str, ctx: Context | None = None) -> AbsVal:
+        """The value of ``name`` in a specific context, or the join
+        over every context when ``ctx`` is None."""
+        if ctx is not None:
+            return _monovariant_value(
+                self._store.get(CtxVar(name, ctx))  # type: ignore[arg-type]
+            )
+        value = self.lattice.bottom
+        for entry in self.contexts_of(name).values():
+            value = self.lattice.join(value, entry)
+        return value
+
+    def constant_of(self, name: str, ctx: Context | None = None) -> int | None:
+        """The proven integer constant for ``name``, if any."""
+        num = self.value_of(name, ctx).num
+        if isinstance(num, int) and not isinstance(num, bool):
+            return num
+        return None
+
+    def collapse(self) -> AnalysisResult:
+        """A monovariant `AnalysisResult` view (join over contexts),
+        directly comparable with :func:`repro.analysis.analyze_direct`
+        output."""
+        from repro.analysis.common import AAnswer
+
+        table: dict[str, AbsVal] = {}
+        for key, entry in self._store.items():
+            if not isinstance(key, CtxVar):
+                continue
+            mono = _monovariant_value(entry)
+            existing = table.get(key.name)
+            table[key.name] = (
+                mono if existing is None else self.lattice.join(existing, mono)
+            )
+        collapsed = AbsStore(self.lattice, table)
+        return AnalysisResult(
+            self.analyzer.analyzer_name,
+            AAnswer(self.value, collapsed),
+            self.stats,
+            self.lattice,
+        )
+
+
+def analyze_polyvariant(
+    term: Term,
+    domain: NumDomain | None = None,
+    k: int = 1,
+    initial: Mapping[str, AbsVal] | None = None,
+    check: bool = True,
+    max_visits: int | None = None,
+) -> PolyvariantResult:
+    """Run the k-CFA direct data flow analysis on ``term``."""
+    return PolyvariantDirectAnalyzer(
+        term, domain, k, initial, check, max_visits
+    ).run()

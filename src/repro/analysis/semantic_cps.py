@@ -1,0 +1,312 @@
+"""The semantic-CPS abstract collecting interpreter ``Ce`` — Figure 5.
+
+The analyzer abstracts the machine of Figure 2: the continuation is an
+explicit stack of abstract frames ``(let (x []) M)`` (environments are
+dropped by the 0CFA abstraction).  The crucial difference from the
+direct analyzer is the return operation ``appre``: when a conditional
+(or a call with several abstract closures) splits the analysis, the
+continuation frames are re-analyzed **per path** and the results are
+joined only at the very end — the *duplication* of Section 6.2, which
+gains precision in non-distributive analyses (Theorem 5.4) at
+worst-case exponential cost.
+
+Loop detection (Section 4.4) keys on ``(M, sigma)`` only — not on the
+continuation — and on a hit returns ``(⊤, CL⊤)`` *to the current
+continuation* (the frames still get analyzed with the top value).
+
+For the Section 6.2 ``loop`` construct the exact result is the
+undecidable join ``⊔_i appre(κ, (i, ∅))``; the ``loop_mode``
+constructor argument selects between raising `NonComputableError`
+(default, the faithful reading), applying the continuation once to the
+join of all naturals (sound but duplication-free), or unrolling a
+finite prefix (demonstrative, unsound in general).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Mapping
+
+from repro.analysis.common import (
+    A_DEC,
+    A_INC,
+    AAnswer,
+    AbsClo,
+    AFrame,
+    AKont,
+    AnalysisStats,
+    NonComputableError,
+    WorkBudgetMixin,
+    abstract_value,
+    check_loop_mode,
+    closures_of_store,
+    closures_of_term,
+)
+from repro.analysis.result import AnalysisResult
+from repro.anf.validate import validate_anf
+from repro.domains.absval import AbsVal, Lattice
+from repro.domains.constprop import ConstPropDomain
+from repro.domains.protocol import NumDomain
+from repro.domains.store import AbsStore
+from repro.lang.ast import App, If0, Let, Loop, PrimApp, Term, is_value
+
+_RECURSION_LIMIT = 100_000
+
+
+class SemanticCpsAnalyzer(WorkBudgetMixin):
+    """Figure 5, with Section 4.4 loop detection."""
+
+    analyzer_name = "semantic-cps"
+
+    def __init__(
+        self,
+        term: Term,
+        domain: NumDomain | None = None,
+        initial: Mapping[str, AbsVal] | None = None,
+        loop_mode: str = "reject",
+        unroll_bound: int = 32,
+        check: bool = True,
+        cut_values: bool = False,
+        max_visits: int | None = None,
+    ) -> None:
+        """Prepare an analysis of ``term``.
+
+        Args:
+            term: a program of the restricted subset.
+            domain: abstract number domain (default constant propagation).
+            initial: assumptions for free variables.
+            loop_mode: treatment of the ``loop`` construct — 'reject'
+                (raise), 'top', or 'unroll' (see module docstring).
+            unroll_bound: iterations joined in 'unroll' mode.
+            check: validate that ``term`` is in the restricted subset.
+            cut_values: ablation switch — also register *value*
+                judgments in the Section 4.4 active set (the literal
+                reading of "the arguments (M, σ) have already been
+                considered").  Termination does not need it, and it
+                lets cuts deliver (⊤, CL⊤) straight into join frames,
+                perturbing the Theorem 5.4 relationship on recursive
+                programs; see DESIGN.md §3.5.
+        """
+        if check:
+            validate_anf(term)
+        self.term = term
+        self.lattice = Lattice(domain if domain is not None else ConstPropDomain())
+        self.initial_store = AbsStore(self.lattice, initial)
+        cl_top = closures_of_term(term) | closures_of_store(self.initial_store)
+        self.top_value = AbsVal(self.lattice.domain.top, cl_top)
+        self.loop_mode = check_loop_mode(loop_mode)
+        self.unroll_bound = unroll_bound
+        self.cut_values = cut_values
+        self.stats = AnalysisStats()
+        self.max_visits = max_visits
+        self._active: set[tuple[int, AbsStore]] = set()
+        self._depth = 0
+
+    def run(self, kont: AKont = ()) -> AnalysisResult:
+        """Analyze the program under continuation ``kont`` (default nil)."""
+        previous = sys.getrecursionlimit()
+        if _RECURSION_LIMIT > previous:
+            sys.setrecursionlimit(_RECURSION_LIMIT)
+        try:
+            answer = self.eval(self.term, kont, self.initial_store)
+        finally:
+            if _RECURSION_LIMIT > previous:
+                sys.setrecursionlimit(previous)
+        return AnalysisResult(
+            self.analyzer_name, answer, self.stats, self.lattice
+        )
+
+    # ------------------------------------------------------------------
+    # phi_e (shared shape with the direct analyzer)
+    # ------------------------------------------------------------------
+
+    def eval_value(self, value: Term, store: AbsStore) -> AbsVal:
+        """``phi_e``: the abstract value of a syntactic value."""
+        return abstract_value(self.lattice, value, store)
+
+    # ------------------------------------------------------------------
+    # Ce
+    # ------------------------------------------------------------------
+
+    def eval(self, term: Term, kont: AKont, store: AbsStore) -> AAnswer:
+        """``Ce``: analyze ``term`` with continuation ``kont``."""
+        registered: list[tuple[int, AbsStore]] = []
+        self._depth += 1
+        self.stats.max_depth = max(self.stats.max_depth, self._depth)
+        try:
+            while True:
+                self.tick()
+                if is_value(term) and not self.cut_values:
+                    # Value judgments are not registered: any infinite
+                    # derivation passes through let-headed judgments
+                    # infinitely often, so cutting there suffices for
+                    # termination — and cutting at values would deliver
+                    # (⊤, CL⊤) straight into join frames, perturbing
+                    # the Theorem 5.4 relationship on recursive
+                    # programs (see DESIGN.md §3.5; the `cut_values`
+                    # ablation switch restores the literal reading).
+                    return self.ret(
+                        kont, self.eval_value(term, store), store
+                    )
+                key = (id(term), store)
+                if key in self._active:
+                    # Section 4.4: return (⊤, CL⊤) *to the continuation*.
+                    self.stats.loop_cuts += 1
+                    return self.ret(kont, self.top_value, store)
+                self._active.add(key)
+                registered.append(key)
+                if is_value(term):
+                    return self.ret(
+                        kont, self.eval_value(term, store), store
+                    )
+                if not isinstance(term, Let):
+                    raise TypeError(
+                        f"term is not in the restricted subset: {term!r}"
+                    )
+                name, rhs, body = term.name, term.rhs, term.body
+                if is_value(rhs):
+                    store = store.joined_bind(
+                        name, self.eval_value(rhs, store)
+                    )
+                    term = body
+                elif isinstance(rhs, App):
+                    fun = self.eval_value(rhs.fun, store)
+                    arg = self.eval_value(rhs.arg, store)
+                    return self.apply(
+                        fun, arg, (AFrame(name, body),) + kont, store
+                    )
+                elif isinstance(rhs, If0):
+                    return self._branch(name, rhs, body, kont, store)
+                elif isinstance(rhs, PrimApp):
+                    nums = [
+                        self.eval_value(a, store).num for a in rhs.args
+                    ]
+                    result = self.lattice.of_num(
+                        self.lattice.domain.binop(rhs.op, nums[0], nums[1])
+                    )
+                    store = store.joined_bind(name, result)
+                    term = body
+                elif isinstance(rhs, Loop):
+                    return self._loop((AFrame(name, body),) + kont, store)
+                else:
+                    raise TypeError(f"invalid let right-hand side: {rhs!r}")
+        finally:
+            self._depth -= 1
+            for key in registered:
+                self._active.discard(key)
+
+    # ------------------------------------------------------------------
+    # appk_e: abstract application with explicit continuation
+    # ------------------------------------------------------------------
+
+    def apply(
+        self, fun: AbsVal, arg: AbsVal, kont: AKont, store: AbsStore
+    ) -> AAnswer:
+        """``appk_e``: apply every abstract closure, each returning
+        through the (duplicated) continuation; join the answers."""
+        lattice = self.lattice
+        domain = lattice.domain
+        answer: AAnswer | None = None
+        for clo in fun.clos:
+            if clo is A_INC:
+                branch = self.ret(
+                    kont, lattice.of_num(domain.add1(arg.num)), store
+                )
+            elif clo is A_DEC:
+                branch = self.ret(
+                    kont, lattice.of_num(domain.sub1(arg.num)), store
+                )
+            elif isinstance(clo, AbsClo):
+                entry = store.joined_bind(clo.param, arg)
+                branch = self.eval(clo.body, kont, entry)
+            else:
+                raise TypeError(f"unexpected abstract closure {clo!r}")
+            answer = branch if answer is None else self._join(answer, branch)
+        if answer is None:
+            return AAnswer(self.lattice.bottom, store)
+        return answer
+
+    # ------------------------------------------------------------------
+    # appr_e: the return operation
+    # ------------------------------------------------------------------
+
+    def ret(self, kont: AKont, value: AbsVal, store: AbsStore) -> AAnswer:
+        """``appr_e``: return ``value`` through the continuation.
+
+        This is where the CPS-style duplication lives: every caller
+        that reaches a return with a different value re-analyzes the
+        frames below."""
+        if not kont:
+            return AAnswer(value, store)
+        self.stats.returns_analyzed += 1
+        frame, rest = kont[0], kont[1:]
+        return self.eval(
+            frame.body, rest, store.joined_bind(frame.name, value)
+        )
+
+    # ------------------------------------------------------------------
+    # Conditionals and loops
+    # ------------------------------------------------------------------
+
+    def _branch(
+        self, name: str, rhs: If0, body: Term, kont: AKont, store: AbsStore
+    ) -> AAnswer:
+        """The ``if0`` rules of Figure 5: the join frame is pushed and
+        each feasible branch is analyzed *with its own copy of the
+        continuation*; answers join only at the very end."""
+        test = self.eval_value(rhs.test, store)
+        domain = self.lattice.domain
+        zero_possible = domain.may_be_zero(test.num)
+        nonzero_possible = domain.may_be_nonzero(test.num) or bool(test.clos)
+        inner: AKont = (AFrame(name, body),) + kont
+        if zero_possible and not nonzero_possible:
+            return self.eval(rhs.then, inner, store)
+        if nonzero_possible and not zero_possible:
+            return self.eval(rhs.orelse, inner, store)
+        if not zero_possible and not nonzero_possible:
+            return AAnswer(self.lattice.bottom, store)
+        then_answer = self.eval(rhs.then, inner, store)
+        else_answer = self.eval(rhs.orelse, inner, store)
+        return self._join(then_answer, else_answer)
+
+    def _loop(self, kont: AKont, store: AbsStore) -> AAnswer:
+        """Section 6.2: ``loop`` passes every natural number to the
+        continuation; the exact join is not computable."""
+        lattice = self.lattice
+        domain = lattice.domain
+        if self.loop_mode == "reject":
+            raise NonComputableError(
+                "semantic-CPS analysis of `loop` requires the join of "
+                "appre(kont, (i, {})) over all naturals i, which is "
+                "undecidable (paper Section 6.2); re-run with "
+                "loop_mode='top' or loop_mode='unroll'"
+            )
+        if self.loop_mode == "top":
+            return self.ret(kont, lattice.of_num(domain.iota), store)
+        answer: AAnswer | None = None
+        for i in range(self.unroll_bound + 1):
+            branch = self.ret(kont, lattice.of_const(i), store)
+            answer = branch if answer is None else self._join(answer, branch)
+        assert answer is not None
+        return answer
+
+    def _join(self, a: AAnswer, b: AAnswer) -> AAnswer:
+        return AAnswer(
+            self.lattice.join(a.value, b.value), a.store.join(b.store)
+        )
+
+
+def analyze_semantic_cps(
+    term: Term,
+    domain: NumDomain | None = None,
+    initial: Mapping[str, AbsVal] | None = None,
+    loop_mode: str = "reject",
+    unroll_bound: int = 32,
+    check: bool = True,
+    max_visits: int | None = None,
+) -> AnalysisResult:
+    """Run the semantic-CPS data flow analysis (Figure 5) on ``term``."""
+    return SemanticCpsAnalyzer(
+        term, domain, initial, loop_mode, unroll_bound, check,
+        max_visits=max_visits,
+    ).run()

@@ -1,0 +1,351 @@
+"""The syntactic-CPS abstract collecting interpreter ``Ms`` — Figure 6.
+
+The analyzer abstracts the interpreter of Figure 3.  Because the CPS
+transformation reifies continuations into values the program
+manipulates, the analysis must collect, at every continuation variable
+``k``, the *set* of abstract continuations ``(coe x, P)`` that may
+flow there — and a return ``(k W)`` applies **every** collected
+continuation and joins the results.  This is the *false return*
+problem of Section 6.1 (Theorem 5.1, and Shivers' 0CFA example):
+distinct procedure returns are confused, so the analysis may follow
+infeasible paths.
+
+At the same time, each individual continuation application re-analyzes
+the continuation body per incoming value — the same duplication as the
+semantic-CPS analyzer — so the analysis may also *gain* information
+over the direct analyzer in non-distributive analyses (Theorem 5.2).
+Theorem 5.5 bounds it from above by the semantic-CPS analysis.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Mapping
+
+from repro.analysis.common import (
+    A_DECK,
+    A_INCK,
+    A_STOP,
+    AAnswer,
+    AbsCo,
+    AbsCpsClo,
+    AnalysisStats,
+    NonComputableError,
+    WorkBudgetMixin,
+    check_loop_mode,
+    closures_of_store,
+    cps_closures_of_term,
+    konts_of_store,
+    konts_of_term,
+)
+from repro.analysis.result import AnalysisResult
+from repro.cps.ast import (
+    CApp,
+    CIf0,
+    CLam,
+    CLet,
+    CLoop,
+    CNum,
+    CPrim,
+    CPrimLet,
+    CTerm,
+    CValue,
+    CVar,
+    KApp,
+)
+from repro.cps.transform import TOP_KVAR
+from repro.cps.validate import validate_cps
+from repro.domains.absval import AbsVal, Lattice
+from repro.domains.constprop import ConstPropDomain
+from repro.domains.protocol import NumDomain
+from repro.domains.store import AbsStore
+
+_RECURSION_LIMIT = 100_000
+
+
+class SyntacticCpsAnalyzer(WorkBudgetMixin):
+    """Figure 6, with Section 4.4 loop detection."""
+
+    analyzer_name = "syntactic-cps"
+
+    def __init__(
+        self,
+        term: CTerm,
+        domain: NumDomain | None = None,
+        initial: Mapping[str, AbsVal] | None = None,
+        top_kvar: str = TOP_KVAR,
+        loop_mode: str = "reject",
+        unroll_bound: int = 32,
+        check: bool = True,
+        max_visits: int | None = None,
+    ) -> None:
+        """Prepare an analysis of the cps(A) program ``term``.
+
+        Args:
+            term: a cps(A) program, usually ``cps_transform(M)``.
+            domain: abstract number domain (default constant propagation).
+            initial: assumptions for free variables — pass the δe-image
+                of the direct initial store (see
+                :func:`repro.analysis.delta.delta_store`).
+            top_kvar: the program's continuation variable; if absent
+                from ``initial`` it is bound to ``{stop}``.
+            loop_mode: treatment of the ``loop`` construct ('reject',
+                'top', or 'unroll').
+            unroll_bound: iterations joined in 'unroll' mode.
+            check: validate the cps(A) grammar and scoping.
+        """
+        if check:
+            validate_cps(term, frozenset((top_kvar,)))
+        self.term = term
+        self.lattice = Lattice(domain if domain is not None else ConstPropDomain())
+        table = dict(initial) if initial else {}
+        if top_kvar not in table:
+            table[top_kvar] = self.lattice.of_konts(A_STOP)
+        self.initial_store = AbsStore(self.lattice, table)
+        cl_top = cps_closures_of_term(term) | closures_of_store(
+            self.initial_store
+        )
+        k_top = konts_of_term(term) | konts_of_store(self.initial_store)
+        #: The least precise value ``(⊤, CL⊤, K⊤)`` (Section 4.4).
+        self.top_value = AbsVal(self.lattice.domain.top, cl_top, k_top)
+        self.loop_mode = check_loop_mode(loop_mode)
+        self.unroll_bound = unroll_bound
+        self.stats = AnalysisStats()
+        self.max_visits = max_visits
+        self._active: set[tuple[int, AbsStore]] = set()
+        self._depth = 0
+
+    def run(self) -> AnalysisResult:
+        """Analyze the program and return the result."""
+        previous = sys.getrecursionlimit()
+        if _RECURSION_LIMIT > previous:
+            sys.setrecursionlimit(_RECURSION_LIMIT)
+        try:
+            answer = self.eval(self.term, self.initial_store)
+        finally:
+            if _RECURSION_LIMIT > previous:
+                sys.setrecursionlimit(previous)
+        return AnalysisResult(
+            self.analyzer_name, answer, self.stats, self.lattice
+        )
+
+    # ------------------------------------------------------------------
+    # phi_s: abstract cps(A) values
+    # ------------------------------------------------------------------
+
+    def eval_value(self, value: CValue, store: AbsStore) -> AbsVal:
+        """``phi_s`` of Figure 6."""
+        lattice = self.lattice
+        match value:
+            case CNum(n):
+                return lattice.of_const(n)
+            case CVar(name):
+                return store.get(name)
+            case CPrim("add1k"):
+                return lattice.of_clos(A_INCK)
+            case CPrim("sub1k"):
+                return lattice.of_clos(A_DECK)
+            case CLam(param, kparam, body):
+                return lattice.of_clos(AbsCpsClo(param, kparam, body))
+        raise TypeError(f"not a cps(A) value: {value!r}")
+
+    # ------------------------------------------------------------------
+    # Ms
+    # ------------------------------------------------------------------
+
+    def eval(self, term: CTerm, store: AbsStore) -> AAnswer:
+        """``Ms``: analyze the serious term ``term`` in ``store``."""
+        registered: list[tuple[int, AbsStore]] = []
+        self._depth += 1
+        self.stats.max_depth = max(self.stats.max_depth, self._depth)
+        try:
+            while True:
+                key = (id(term), store)
+                if key in self._active:
+                    self.stats.loop_cuts += 1
+                    return AAnswer(self.top_value, store)
+                self._active.add(key)
+                registered.append(key)
+                self.tick()
+
+                match term:
+                    case KApp(kvar, value):
+                        # The false-return rule: k may hold *several*
+                        # continuations; apply them all and join.
+                        kont_val = store.get(kvar)
+                        result = self.eval_value(value, store)
+                        return self.ret(kont_val, result, store)
+                    case CLet(name, value, body):
+                        store = store.joined_bind(
+                            name, self.eval_value(value, store)
+                        )
+                        term = body
+                    case CApp(fun, arg, klam):
+                        fun_v = self.eval_value(fun, store)
+                        arg_v = self.eval_value(arg, store)
+                        kont_val = self.lattice.of_konts(
+                            AbsCo(klam.param, klam.body)
+                        )
+                        return self.apply(fun_v, arg_v, kont_val, store)
+                    case CIf0(kvar, klam, test, then, orelse):
+                        return self._branch(
+                            kvar, klam, test, then, orelse, store
+                        )
+                    case CPrimLet(name, op, args, body):
+                        nums = [
+                            self.eval_value(a, store).num for a in args
+                        ]
+                        result = self.lattice.of_num(
+                            self.lattice.domain.binop(op, nums[0], nums[1])
+                        )
+                        store = store.joined_bind(name, result)
+                        term = body
+                    case CLoop(klam):
+                        kont_val = self.lattice.of_konts(
+                            AbsCo(klam.param, klam.body)
+                        )
+                        return self._loop(kont_val, store)
+                    case _:
+                        raise TypeError(f"not a cps(A) term: {term!r}")
+        finally:
+            self._depth -= 1
+            for key in registered:
+                self._active.discard(key)
+
+    # ------------------------------------------------------------------
+    # app_s: abstract application
+    # ------------------------------------------------------------------
+
+    def apply(
+        self, fun: AbsVal, arg: AbsVal, kont_val: AbsVal, store: AbsStore
+    ) -> AAnswer:
+        """``app_s``: apply every abstract closure; user closures also
+        receive the continuation value through their k-parameter."""
+        lattice = self.lattice
+        domain = lattice.domain
+        answer: AAnswer | None = None
+        for clo in fun.clos:
+            if clo is A_INCK:
+                branch = self.ret(
+                    kont_val, lattice.of_num(domain.add1(arg.num)), store
+                )
+            elif clo is A_DECK:
+                branch = self.ret(
+                    kont_val, lattice.of_num(domain.sub1(arg.num)), store
+                )
+            elif isinstance(clo, AbsCpsClo):
+                entry = store.joined_bind(clo.param, arg).joined_bind(
+                    clo.kparam, kont_val
+                )
+                branch = self.eval(clo.body, entry)
+            else:
+                raise TypeError(f"unexpected abstract closure {clo!r}")
+            answer = branch if answer is None else self._join(answer, branch)
+        if answer is None:
+            return AAnswer(self.lattice.bottom, store)
+        return answer
+
+    # ------------------------------------------------------------------
+    # appr_s: abstract return
+    # ------------------------------------------------------------------
+
+    def ret(self, kont_val: AbsVal, value: AbsVal, store: AbsStore) -> AAnswer:
+        """``appr_s``: pass ``value`` to every abstract continuation in
+        ``kont_val`` and join the answers.
+
+        When several continuations have been merged at one variable,
+        this is exactly the false-return confusion of Section 6.1."""
+        answer: AAnswer | None = None
+        for kont in kont_val.konts:
+            self.stats.returns_analyzed += 1
+            if kont is A_STOP:
+                branch = AAnswer(value, store)
+            elif isinstance(kont, AbsCo):
+                branch = self.eval(
+                    kont.body, store.joined_bind(kont.param, value)
+                )
+            else:
+                raise TypeError(f"unexpected abstract continuation {kont!r}")
+            answer = branch if answer is None else self._join(answer, branch)
+        if answer is None:
+            return AAnswer(self.lattice.bottom, store)
+        return answer
+
+    # ------------------------------------------------------------------
+    # Conditionals and loops
+    # ------------------------------------------------------------------
+
+    def _branch(
+        self,
+        kvar: str,
+        klam,
+        test: CValue,
+        then: CTerm,
+        orelse: CTerm,
+        store: AbsStore,
+    ) -> AAnswer:
+        """The ``if0`` rules of Figure 6: the join continuation is
+        bound to ``kvar`` in the store, then each feasible branch is
+        analyzed; both-branch answers join at the end."""
+        test_v = self.eval_value(test, store)
+        domain = self.lattice.domain
+        zero_possible = domain.may_be_zero(test_v.num)
+        nonzero_possible = domain.may_be_nonzero(test_v.num) or bool(
+            test_v.clos
+        )
+        bound = store.joined_bind(
+            kvar, self.lattice.of_konts(AbsCo(klam.param, klam.body))
+        )
+        if zero_possible and not nonzero_possible:
+            return self.eval(then, bound)
+        if nonzero_possible and not zero_possible:
+            return self.eval(orelse, bound)
+        if not zero_possible and not nonzero_possible:
+            return AAnswer(self.lattice.bottom, store)
+        then_answer = self.eval(then, bound)
+        else_answer = self.eval(orelse, bound)
+        return self._join(then_answer, else_answer)
+
+    def _loop(self, kont_val: AbsVal, store: AbsStore) -> AAnswer:
+        """Section 6.2 ``loop``: same undecidability as the semantic
+        analyzer; see the module docstring of
+        :mod:`repro.analysis.semantic_cps`."""
+        lattice = self.lattice
+        domain = lattice.domain
+        if self.loop_mode == "reject":
+            raise NonComputableError(
+                "syntactic-CPS analysis of `loop` requires the join of "
+                "the continuation applied to every natural, which is "
+                "undecidable (paper Section 6.2); re-run with "
+                "loop_mode='top' or loop_mode='unroll'"
+            )
+        if self.loop_mode == "top":
+            return self.ret(kont_val, lattice.of_num(domain.iota), store)
+        answer: AAnswer | None = None
+        for i in range(self.unroll_bound + 1):
+            branch = self.ret(kont_val, lattice.of_const(i), store)
+            answer = branch if answer is None else self._join(answer, branch)
+        assert answer is not None
+        return answer
+
+    def _join(self, a: AAnswer, b: AAnswer) -> AAnswer:
+        return AAnswer(
+            self.lattice.join(a.value, b.value), a.store.join(b.store)
+        )
+
+
+def analyze_syntactic_cps(
+    term: CTerm,
+    domain: NumDomain | None = None,
+    initial: Mapping[str, AbsVal] | None = None,
+    top_kvar: str = TOP_KVAR,
+    loop_mode: str = "reject",
+    unroll_bound: int = 32,
+    check: bool = True,
+    max_visits: int | None = None,
+) -> AnalysisResult:
+    """Run the syntactic-CPS data flow analysis (Figure 6)."""
+    return SyntacticCpsAnalyzer(
+        term, domain, initial, top_kvar, loop_mode, unroll_bound, check,
+        max_visits=max_visits,
+    ).run()

@@ -1,0 +1,22 @@
+"""A-normalization (paper Section 2).
+
+The paper's analyzers operate on the *restricted subset* of A in which
+every intermediate result is named and all bound variables are unique::
+
+    M ::= V
+        | (let (x V) M)
+        | (let (x (V V)) M)
+        | (let (x (if0 V M M)) M)
+        | (let (x (op V V)) M)      -- second-class operators
+        | (let (x (loop)) M)        -- Section 6.2 construct
+    V ::= n | x | add1 | sub1 | (lambda (x) M)
+
+:func:`normalize` maps an arbitrary A term into this subset using the
+A-reductions; :func:`validate_anf` checks membership.
+"""
+
+from repro.anf.normalize import normalize
+from repro.anf.splice import bind_anf
+from repro.anf.validate import is_anf, is_anf_value, validate_anf
+
+__all__ = ["normalize", "bind_anf", "is_anf", "is_anf_value", "validate_anf"]

@@ -1,0 +1,29 @@
+"""Splicing: graft one A-normal form term into another.
+
+`bind_anf` realizes "evaluate ``producer``, bind its result to
+``name``, then continue with ``consumer``" without leaving the
+restricted subset: it walks the producer's let-spine and replaces the
+tail value ``V`` by ``(let (name V) consumer)``.  The caller must
+ensure binder disjointness (rename copies first)."""
+
+from __future__ import annotations
+
+from repro.lang.ast import Let, Term, is_value
+
+
+def bind_anf(producer: Term, name: str, consumer: Term) -> Term:
+    """Bind the result of ``producer`` to ``name`` in ``consumer``.
+
+    Both arguments must be in the restricted subset and their binders
+    (plus ``name``) must be pairwise distinct; the result is then in
+    the restricted subset too.
+    """
+    if is_value(producer):
+        return Let(name, producer, consumer)
+    if isinstance(producer, Let):
+        return Let(
+            producer.name,
+            producer.rhs,
+            bind_anf(producer.body, name, consumer),
+        )
+    raise TypeError(f"not an A-normal form term: {producer!r}")

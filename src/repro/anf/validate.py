@@ -1,0 +1,72 @@
+"""Membership checks for the restricted (A-normal form) subset."""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Loop,
+    Num,
+    Prim,
+    PrimApp,
+    Term,
+    Var,
+)
+from repro.lang.errors import SyntaxValidationError
+from repro.lang.syntax import has_unique_binders
+
+
+def is_anf_value(value: Term) -> bool:
+    """True when ``value`` is a syntactic value of the restricted subset."""
+    match value:
+        case Num() | Var() | Prim():
+            return True
+        case Lam(_, body):
+            return is_anf(body)
+        case _:
+            return False
+
+
+def _is_anf_rhs(rhs: Term) -> bool:
+    """True when ``rhs`` may appear as a let right-hand side."""
+    if is_anf_value(rhs):
+        return True
+    match rhs:
+        case App(fun, arg):
+            return is_anf_value(fun) and is_anf_value(arg)
+        case PrimApp(_, args):
+            return all(is_anf_value(arg) for arg in args)
+        case If0(test, then, orelse):
+            return is_anf_value(test) and is_anf(then) and is_anf(orelse)
+        case Loop():
+            return True
+        case _:
+            return False
+
+
+def is_anf(term: Term) -> bool:
+    """True when ``term`` belongs to the restricted subset grammar.
+
+    Does *not* check the unique-binder side condition; use
+    :func:`validate_anf` for the full invariant.
+    """
+    while isinstance(term, Let):
+        if not _is_anf_rhs(term.rhs):
+            return False
+        term = term.body
+    return is_anf_value(term)
+
+
+def validate_anf(term: Term) -> None:
+    """Raise `SyntaxValidationError` unless ``term`` is a well-formed
+    program of the restricted subset with unique binders."""
+    if not is_anf(term):
+        raise SyntaxValidationError(
+            "term is not in A-normal form (restricted subset)"
+        )
+    if not has_unique_binders(term):
+        raise SyntaxValidationError(
+            "A-normal form requires all bound variables to be unique"
+        )

@@ -1,0 +1,152 @@
+"""High-level facade: run the paper's three analyzers side by side.
+
+This is the entry point most downstream users want::
+
+    from repro import api
+    report = api.run_three_way("(let (a1 (f 1)) (let (a2 (f 2)) a2))",
+                               initial={"f": ...})
+    report.direct.constant_of("a1")      # 1
+    report.direct_vs_syntactic           # Precision.LEFT_MORE_PRECISE
+
+Accepts raw source text, arbitrary A terms (normalized on the fly), or
+`CorpusProgram` records, and handles the δe transport of the initial
+store to the CPS side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.analysis.compare import (
+    Precision,
+    compare_direct_to_cps,
+    compare_semantic_to_direct,
+    compare_semantic_to_syntactic,
+)
+from repro.analysis.delta import delta_store
+from repro.analysis.direct import analyze_direct
+from repro.analysis.result import AnalysisResult
+from repro.analysis.semantic_cps import analyze_semantic_cps
+from repro.analysis.syntactic_cps import analyze_syntactic_cps
+from repro.anf import is_anf, normalize
+from repro.corpus.programs import CorpusProgram
+from repro.cps import cps_transform
+from repro.cps.ast import CTerm
+from repro.domains.absval import AbsVal, Lattice
+from repro.domains.constprop import ConstPropDomain
+from repro.domains.protocol import NumDomain
+from repro.domains.store import AbsStore
+from repro.lang.ast import Term, TERM_CLASSES
+from repro.lang.parser import parse
+
+
+def prepare(program: "str | Term | CorpusProgram") -> Term:
+    """Turn source text / an arbitrary term / a corpus entry into a
+    program of the restricted subset."""
+    if isinstance(program, CorpusProgram):
+        return program.term
+    if isinstance(program, str):
+        program = parse(program)
+    if not isinstance(program, TERM_CLASSES):
+        raise TypeError(f"not an A program: {program!r}")
+    if is_anf(program):
+        return program
+    return normalize(program)
+
+
+@dataclass(frozen=True)
+class ThreeWayReport:
+    """Results of the three analyses of one program, plus the Section 5
+    pairwise verdicts."""
+
+    term: Term
+    cps_term: CTerm
+    direct: AnalysisResult
+    semantic: AnalysisResult
+    syntactic: AnalysisResult
+
+    @property
+    def direct_vs_syntactic(self) -> Precision:
+        """The Theorem 5.1/5.2 comparison (incomparable in general)."""
+        return compare_direct_to_cps(self.direct, self.syntactic)
+
+    @property
+    def semantic_vs_direct(self) -> Precision:
+        """The Theorem 5.4 comparison (semantic is never worse)."""
+        return compare_semantic_to_direct(self.semantic, self.direct)
+
+    @property
+    def semantic_vs_syntactic(self) -> Precision:
+        """The Theorem 5.5 comparison (semantic is never worse)."""
+        return compare_semantic_to_syntactic(self.semantic, self.syntactic)
+
+    def summary(self) -> str:
+        """A human-readable multi-line summary."""
+        lines = [
+            f"direct       : value={self.direct.value!r} "
+            f"visits={self.direct.stats.visits}",
+            f"semantic-CPS : value={self.semantic.value!r} "
+            f"visits={self.semantic.stats.visits}",
+            f"syntactic-CPS: value={self.syntactic.value!r} "
+            f"visits={self.syntactic.stats.visits}",
+            f"direct vs syntactic-CPS : {self.direct_vs_syntactic.value}",
+            f"semantic vs direct      : {self.semantic_vs_direct.value}",
+            f"semantic vs syntactic   : {self.semantic_vs_syntactic.value}",
+        ]
+        return "\n".join(lines)
+
+
+def run_three_way(
+    program: "str | Term | CorpusProgram",
+    domain: NumDomain | None = None,
+    initial: Mapping[str, AbsVal] | None = None,
+    loop_mode: str = "reject",
+    unroll_bound: int = 32,
+    max_visits: int | None = None,
+) -> ThreeWayReport:
+    """Run all three analyzers on one program.
+
+    Args:
+        program: source text, an A term, or a corpus entry (whose
+            bundled initial assumptions are used unless ``initial``
+            overrides them).
+        domain: the abstract number domain (default: constant
+            propagation).
+        initial: free-variable assumptions, in the *direct* abstract
+            domain; the syntactic-CPS analyzer receives their δe image.
+        loop_mode, unroll_bound: `loop` handling for the CPS analyzers.
+        max_visits: optional per-analyzer work budget (the CPS
+            analyzers are worst-case exponential, Section 6.2);
+            exceeding it raises `BudgetExceeded`.
+
+    Returns:
+        A `ThreeWayReport` with the three results and pairwise verdicts.
+    """
+    domain = domain if domain is not None else ConstPropDomain()
+    lattice = Lattice(domain)
+    if initial is None and isinstance(program, CorpusProgram):
+        initial = program.initial_for(lattice)
+    term = prepare(program)
+    cps_term = cps_transform(term)
+    cps_initial = dict(
+        delta_store(AbsStore(lattice, initial)).items()
+    )
+    direct = analyze_direct(term, domain, initial=initial, max_visits=max_visits)
+    semantic = analyze_semantic_cps(
+        term,
+        domain,
+        initial=initial,
+        loop_mode=loop_mode,
+        unroll_bound=unroll_bound,
+        max_visits=max_visits,
+    )
+    syntactic = analyze_syntactic_cps(
+        cps_term,
+        domain,
+        initial=cps_initial,
+        loop_mode=loop_mode,
+        unroll_bound=unroll_bound,
+        max_visits=max_visits,
+    )
+    return ThreeWayReport(term, cps_term, direct, semantic, syntactic)

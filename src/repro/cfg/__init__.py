@@ -1,0 +1,36 @@
+"""Control-flow graphs from analysis results.
+
+"All analyzers compute the control flow graph of the source program"
+(paper Section 1/abstract): the closure sets in the final abstract
+store determine, for every call site, the procedures that may be
+invoked there.  This package materializes that information:
+
+- :mod:`repro.cfg.callgraph` — the call multigraph (call sites →
+  abstract callees);
+- :mod:`repro.cfg.flowgraph` — the intraprocedural flow graph over
+  A-normal form program points, with call/return edges overlaid from
+  the call graph;
+- :mod:`repro.cfg.export` — DOT and networkx exports.
+"""
+
+from repro.cfg.callgraph import (
+    CallEdge,
+    CallGraph,
+    build_call_graph,
+    build_call_graph_from_cps,
+)
+from repro.cfg.export import call_graph_to_dot, flow_graph_to_dot, to_networkx
+from repro.cfg.flowgraph import FlowEdge, FlowGraph, build_flow_graph
+
+__all__ = [
+    "CallEdge",
+    "CallGraph",
+    "build_call_graph",
+    "build_call_graph_from_cps",
+    "FlowEdge",
+    "FlowGraph",
+    "build_flow_graph",
+    "call_graph_to_dot",
+    "flow_graph_to_dot",
+    "to_networkx",
+]

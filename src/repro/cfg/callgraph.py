@@ -1,0 +1,180 @@
+"""Call graphs from 0CFA results.
+
+A call site in the restricted subset is a binding ``(let (x (V1 V2)) M)``;
+its label is the bound variable ``x`` (the paper's convention: names
+replace labels).  The callees are the abstract closures the analysis
+recorded for ``V1``: user closures are labelled by their (unique)
+parameter, the primitives by their tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.common import (
+    A_DEC,
+    A_DECK,
+    A_INC,
+    A_INCK,
+    AbsClo,
+    AbsCpsClo,
+    abstract_value,
+)
+from repro.analysis.result import AnalysisResult
+from repro.cps.transform import cps_transform_value
+from repro.lang.ast import App, Lam, Let, Term, Var, is_value
+from repro.lang.syntax import subterms
+
+#: Callee label for the increment primitive.
+INC_LABEL = "<add1>"
+
+#: Callee label for the decrement primitive.
+DEC_LABEL = "<sub1>"
+
+
+@dataclass(frozen=True, slots=True)
+class CallEdge:
+    """One possible call: a call site may invoke a callee.
+
+    ``site`` is the let-bound variable of the call; ``callee`` is the
+    unique parameter of the invoked lambda or a primitive label.
+    """
+
+    site: str
+    callee: str
+
+
+@dataclass(frozen=True)
+class CallGraph:
+    """The call multigraph of one analyzed program."""
+
+    #: All call-site labels, in program order.
+    sites: tuple[str, ...]
+    #: All lambda labels (their unique parameters), in program order.
+    lambdas: tuple[str, ...]
+    #: The resolved edges.
+    edges: frozenset[CallEdge]
+
+    def callees_of(self, site: str) -> frozenset[str]:
+        """Labels of procedures the call site may invoke."""
+        return frozenset(e.callee for e in self.edges if e.site == site)
+
+    def callers_of(self, callee: str) -> frozenset[str]:
+        """Call sites that may invoke the given procedure."""
+        return frozenset(e.site for e in self.edges if e.callee == callee)
+
+    def unreachable_lambdas(self) -> frozenset[str]:
+        """Lambdas no resolved call edge targets (dead procedures,
+        modulo the program's result value)."""
+        called = {e.callee for e in self.edges}
+        return frozenset(l for l in self.lambdas if l not in called)
+
+    def is_monomorphic(self, site: str) -> bool:
+        """True when the analysis resolved the site to one callee."""
+        return len(self.callees_of(site)) == 1
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+def _call_sites(term: Term) -> Iterator[Let]:
+    for sub in subterms(term):
+        if isinstance(sub, Let) and isinstance(sub.rhs, App):
+            yield sub
+
+
+def _closure_label(clo: object) -> str | None:
+    if clo is A_INC or clo is A_INCK:
+        return INC_LABEL
+    if clo is A_DEC or clo is A_DECK:
+        return DEC_LABEL
+    if isinstance(clo, (AbsClo, AbsCpsClo)):
+        # CPS closures label the same source lambda: binders are
+        # unique, so the parameter identifies it
+        return clo.param
+    return None
+
+
+def build_call_graph(term: Term, result: AnalysisResult) -> CallGraph:
+    """Materialize the call graph of ``term`` from a direct or
+    semantic-CPS analysis result.
+
+    Args:
+        term: the analyzed program (restricted subset).
+        result: the analysis result whose final store resolves the
+            function positions.
+    """
+    store = result.answer.store
+    lattice = result.lattice
+    sites: list[str] = []
+    lambdas: list[str] = []
+    edges: set[CallEdge] = set()
+    for sub in subterms(term):
+        if isinstance(sub, Lam):
+            lambdas.append(sub.param)
+    for site in _call_sites(term):
+        sites.append(site.name)
+        fun_value = abstract_value(lattice, site.rhs.fun, store)
+        for clo in fun_value.clos:
+            label = _closure_label(clo)
+            if label is not None:
+                edges.add(CallEdge(site.name, label))
+    return CallGraph(tuple(sites), tuple(lambdas), frozenset(edges))
+
+
+def build_call_graph_from_cps(
+    term: Term, cps_result: AnalysisResult
+) -> CallGraph:
+    """Materialize the *source* program's call graph from a
+    syntactic-CPS analysis of its CPS image.
+
+    The paper claims all three analyzers compute the control flow
+    graph of the source program; this function makes the claim
+    checkable.  Every source call site ``(let (x (V1 V2)) M)`` maps to
+    the CPS call ``(V[V1] V[V2] (lambda (x) ...))``, so the closures
+    the CPS analysis collected for ``V[V1]`` resolve the source site;
+    unique binders identify lambdas across the translation.
+
+    Because the CPS analysis may *merge* values at false returns, the
+    resulting graph can have strictly more edges than
+    :func:`build_call_graph` over the direct analysis — the control
+    flow graph itself coarsens, which is Shivers' original complaint
+    made concrete (`tests/cfg/test_cps_callgraph.py`).
+    """
+    store = cps_result.answer.store
+    lattice = cps_result.lattice
+    sites: list[str] = []
+    lambdas: list[str] = []
+    edges: set[CallEdge] = set()
+    for sub in subterms(term):
+        if isinstance(sub, Lam):
+            lambdas.append(sub.param)
+    for site in _call_sites(term):
+        sites.append(site.name)
+        fun = site.rhs.fun
+        if isinstance(fun, Var):
+            fun_value = store.get(fun.name)
+            closures = fun_value.clos
+        elif is_value(fun):
+            # a literal lambda/prim in function position: its CPS image
+            # is the (unique) closure it evaluates to
+            image = cps_transform_value(fun)
+            closures = frozenset({_cps_value_closure(image)}) - {None}
+        else:
+            closures = frozenset()
+        for clo in closures:
+            label = _closure_label(clo)
+            if label is not None:
+                edges.add(CallEdge(site.name, label))
+    return CallGraph(tuple(sites), tuple(lambdas), frozenset(edges))
+
+
+def _cps_value_closure(image) -> object | None:
+    from repro.cps.ast import CLam, CPrim
+
+    if isinstance(image, CLam):
+        return AbsCpsClo(image.param, image.kparam, image.body)
+    if isinstance(image, CPrim):
+        return A_INCK if image.name == "add1k" else A_DECK
+    return None

@@ -1,0 +1,65 @@
+"""Exports: Graphviz DOT text and (optionally) networkx graphs."""
+
+from __future__ import annotations
+
+from repro.cfg.callgraph import CallGraph
+from repro.cfg.flowgraph import FlowGraph
+
+_EDGE_STYLES = {
+    "seq": "",
+    "branch-then": ' [label="then", style=dashed]',
+    "branch-else": ' [label="else", style=dashed]',
+    "join": ' [style=dotted]',
+    "call": ' [label="call", color=blue]',
+    "return": ' [label="ret", color=blue, style=dashed]',
+}
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def call_graph_to_dot(graph: CallGraph, title: str = "callgraph") -> str:
+    """Render a call graph as Graphviz DOT text."""
+    lines = [f"digraph {_quote(title)} {{"]
+    for site in graph.sites:
+        lines.append(f"  {_quote(site)} [shape=box];")
+    for lam in graph.lambdas:
+        lines.append(f"  {_quote('λ' + lam)} [shape=ellipse];")
+    for edge in sorted(graph.edges, key=lambda e: (e.site, e.callee)):
+        callee = edge.callee if edge.callee.startswith("<") else "λ" + edge.callee
+        lines.append(f"  {_quote(edge.site)} -> {_quote(callee)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def flow_graph_to_dot(graph: FlowGraph, title: str = "flowgraph") -> str:
+    """Render a flow graph as Graphviz DOT text."""
+    lines = [f"digraph {_quote(title)} {{"]
+    for node in graph.nodes:
+        shape = "oval" if node.startswith(("enter:", "exit:")) else "box"
+        lines.append(f"  {_quote(node)} [shape={shape}];")
+    for edge in sorted(graph.edges, key=lambda e: (e.src, e.dst, e.kind)):
+        style = _EDGE_STYLES.get(edge.kind, "")
+        lines.append(f"  {_quote(edge.src)} -> {_quote(edge.dst)}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_networkx(graph: "CallGraph | FlowGraph"):
+    """Convert either graph into a networkx DiGraph (edge attribute
+    ``kind`` for flow graphs).  Requires networkx."""
+    import networkx as nx
+
+    result = nx.DiGraph()
+    if isinstance(graph, CallGraph):
+        result.add_nodes_from(graph.sites, role="site")
+        result.add_nodes_from(graph.lambdas, role="lambda")
+        for edge in graph.edges:
+            result.add_edge(edge.site, edge.callee)
+        return result
+    result.add_nodes_from(graph.nodes)
+    for edge in graph.edges:
+        result.add_edge(edge.src, edge.dst, kind=edge.kind)
+    return result

@@ -1,0 +1,129 @@
+"""Intraprocedural flow graphs over A-normal form program points.
+
+Every let-bound variable is a program point (the paper's labels).
+Each procedure (the top level and every lambda body) contributes a
+chain of points between a synthetic ``enter:<label>`` and
+``exit:<label>`` node; conditionals fork ``branch-then``/``branch-else``
+edges and re-join at the binding of their result.  When a call graph
+is supplied, interprocedural ``call``/``return`` edges are overlaid on
+the call-site points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.callgraph import CallGraph
+from repro.lang.ast import App, If0, Lam, Let, Term
+from repro.lang.syntax import subterms
+
+#: Label of the top-level procedure.
+MAIN = "main"
+
+
+@dataclass(frozen=True, slots=True)
+class FlowEdge:
+    """A directed flow edge with a kind tag.
+
+    Kinds: ``seq``, ``branch-then``, ``branch-else``, ``join``,
+    ``call``, ``return``.
+    """
+
+    src: str
+    dst: str
+    kind: str
+
+
+@dataclass(frozen=True)
+class FlowGraph:
+    """The flow graph of one program."""
+
+    nodes: tuple[str, ...]
+    edges: frozenset[FlowEdge]
+
+    def successors(self, node: str) -> frozenset[str]:
+        """Nodes reachable from ``node`` in one step."""
+        return frozenset(e.dst for e in self.edges if e.src == node)
+
+    def predecessors(self, node: str) -> frozenset[str]:
+        """Nodes from which ``node`` is reachable in one step."""
+        return frozenset(e.src for e in self.edges if e.dst == node)
+
+    def edges_of_kind(self, kind: str) -> frozenset[FlowEdge]:
+        """All edges with the given kind tag."""
+        return frozenset(e for e in self.edges if e.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+def enter(label: str) -> str:
+    """The entry node of a procedure."""
+    return f"enter:{label}"
+
+
+def exit_(label: str) -> str:
+    """The exit node of a procedure."""
+    return f"exit:{label}"
+
+
+class _Builder:
+    def __init__(self, call_graph: CallGraph | None) -> None:
+        self.nodes: list[str] = []
+        self.edges: set[FlowEdge] = set()
+        self.call_graph = call_graph
+
+    def add_node(self, name: str) -> None:
+        if name not in self.nodes:
+            self.nodes.append(name)
+
+    def add_edge(self, src: str, dst: str, kind: str) -> None:
+        self.edges.add(FlowEdge(src, dst, kind))
+
+    def procedure(self, label: str, body: Term) -> None:
+        """Lay out one procedure between its enter/exit nodes."""
+        self.add_node(enter(label))
+        self.add_node(exit_(label))
+        last = self.spine(body, enter(label), "seq")
+        self.add_edge(last, exit_(label), "seq")
+
+    def spine(self, term: Term, prev: str, first_kind: str) -> str:
+        """Lay out a let-spine; returns its last program point."""
+        kind = first_kind
+        while isinstance(term, Let):
+            point = term.name
+            self.add_node(point)
+            rhs = term.rhs
+            if isinstance(rhs, If0):
+                then_last = self.spine(rhs.then, prev, "branch-then")
+                else_last = self.spine(rhs.orelse, prev, "branch-else")
+                self.add_edge(then_last, point, "join")
+                self.add_edge(else_last, point, "join")
+            else:
+                self.add_edge(prev, point, kind)
+                if isinstance(rhs, App) and self.call_graph is not None:
+                    for callee in self.call_graph.callees_of(point):
+                        if callee.startswith("<"):
+                            continue  # primitives have no body
+                        self.add_edge(point, enter(callee), "call")
+                        self.add_edge(exit_(callee), point, "return")
+            prev, kind, term = point, "seq", term.body
+        return prev
+
+
+def build_flow_graph(
+    term: Term, call_graph: CallGraph | None = None
+) -> FlowGraph:
+    """Build the flow graph of a restricted-subset program.
+
+    Args:
+        term: the program (A-normal form, unique binders).
+        call_graph: when given, interprocedural call/return edges are
+            added using its resolution.
+    """
+    builder = _Builder(call_graph)
+    builder.procedure(MAIN, term)
+    for sub in subterms(term):
+        if isinstance(sub, Lam):
+            builder.procedure(sub.param, sub.body)
+    return FlowGraph(tuple(builder.nodes), frozenset(builder.edges))

@@ -1,0 +1,469 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+- ``run``      evaluate a program with one of the three interpreters
+- ``analyze``  run the three data flow analyzers and print the facts
+- ``anf``      print the A-normal form of a program
+- ``cps``      print the CPS transform of a program
+- ``optimize`` run the analysis-driven optimizer and print the result
+- ``graph``    print the call or flow graph as Graphviz DOT
+
+Programs are read from a file argument, or from ``-e SOURCE`` for
+inline text.  Free variables can be given concrete values (``run``)
+or abstract assumptions (``analyze``) with ``--assume name=value``;
+analysis assumptions default to ⊤ for numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import analyze_polyvariant
+from repro.anf import normalize
+from repro.api import run_three_way
+from repro.cfg import (
+    build_call_graph,
+    build_flow_graph,
+    call_graph_to_dot,
+    flow_graph_to_dot,
+)
+from repro.cps import cps_pretty, cps_transform
+from repro.domains import (
+    ConstPropDomain,
+    IntervalDomain,
+    Lattice,
+    ParityDomain,
+    SignDomain,
+    UnitDomain,
+)
+from repro.interp import run_direct, run_semantic_cps, run_syntactic_cps
+from repro.interp.values import Env, Store
+from repro.lang import parse, pretty
+from repro.lang.syntax import free_variables
+from repro.opt import optimize
+
+DOMAINS = {
+    "constprop": ConstPropDomain,
+    "unit": UnitDomain,
+    "parity": ParityDomain,
+    "sign": SignDomain,
+    "interval": IntervalDomain,
+}
+
+
+def _load_term(args: argparse.Namespace):
+    if args.expr is not None:
+        source = args.expr
+    elif args.file is not None:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    else:
+        raise SystemExit("provide a FILE or -e SOURCE")
+    return normalize(parse(source))
+
+
+def _parse_assumes(pairs: list[str]) -> dict[str, int]:
+    out = {}
+    for pair in pairs:
+        name, _, text = pair.partition("=")
+        if not name or not text:
+            raise SystemExit(f"bad --assume {pair!r}; expected name=value")
+        try:
+            out[name] = int(text)
+        except ValueError:
+            raise SystemExit(f"--assume value must be an integer: {pair!r}")
+    return out
+
+
+def _add_program_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", nargs="?", help="program file")
+    parser.add_argument("-e", "--expr", help="inline program text")
+    parser.add_argument(
+        "--assume",
+        action="append",
+        default=[],
+        metavar="NAME=INT",
+        help="value for a free variable (repeatable)",
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    term = _load_term(args)
+    values = _parse_assumes(args.assume)
+    env, store = Env(), Store()
+    for name, value in values.items():
+        loc = store.new(name)
+        store.bind(loc, value)
+        env = env.bind(name, loc)
+    missing = free_variables(term) - set(values)
+    if missing:
+        raise SystemExit(f"unbound free variables: {sorted(missing)}")
+    if args.interpreter == "direct":
+        answer = run_direct(term, env=env, store=store, fuel=args.fuel)
+    elif args.interpreter == "semantic":
+        answer = run_semantic_cps(term, env=env, store=store, fuel=args.fuel)
+    else:
+        answer = run_syntactic_cps(cps_transform(term), fuel=args.fuel)
+        if values:
+            raise SystemExit(
+                "--assume is not supported with the syntactic interpreter"
+            )
+    print(answer.value)
+    return 0
+
+
+def _analysis_initial(term, lattice: Lattice, assumes: dict[str, int]):
+    initial = {}
+    for name in free_variables(term):
+        if name in assumes:
+            initial[name] = lattice.of_const(assumes[name])
+        else:
+            initial[name] = lattice.of_num(lattice.domain.top)
+    return initial
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    term = _load_term(args)
+    domain = DOMAINS[args.domain]()
+    lattice = Lattice(domain)
+    initial = _analysis_initial(term, lattice, _parse_assumes(args.assume))
+    if args.json:
+        import json
+
+        report = run_three_way(
+            term, domain=domain, initial=initial, loop_mode=args.loop_mode
+        )
+        payload = {
+            "direct": report.direct.to_dict(),
+            "semantic_cps": report.semantic.to_dict(),
+            "syntactic_cps": report.syntactic.to_dict(),
+            "verdicts": {
+                "direct_vs_syntactic": report.direct_vs_syntactic.value,
+                "semantic_vs_direct": report.semantic_vs_direct.value,
+                "semantic_vs_syntactic": report.semantic_vs_syntactic.value,
+            },
+        }
+        print(json.dumps(payload, indent=2, ensure_ascii=False))
+        return 0
+    if args.k is not None:
+        result = analyze_polyvariant(term, domain, k=args.k, initial=initial)
+        collapsed = result.collapse()
+        print(f"value: {collapsed.value!r}")
+        for name in sorted(collapsed.variables()):
+            print(f"  {name:12} {collapsed.value_of(name)!r}")
+        return 0
+    report = run_three_way(
+        term, domain=domain, initial=initial, loop_mode=args.loop_mode
+    )
+    print(report.summary())
+    print("\nper-variable facts (direct analyzer):")
+    for name in sorted(report.direct.variables()):
+        value = report.direct.value_of(name)
+        constant = report.direct.constant_of(name)
+        suffix = f"   == {constant}" if constant is not None else ""
+        print(f"  {name:12} {value!r}{suffix}")
+    return 0
+
+
+def _cmd_anf(args: argparse.Namespace) -> int:
+    print(pretty(_load_term(args)))
+    return 0
+
+
+def _cmd_cps(args: argparse.Namespace) -> int:
+    print(cps_pretty(cps_transform(_load_term(args))))
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    term = _load_term(args)
+    domain = DOMAINS[args.domain]()
+    lattice = Lattice(domain)
+    initial = _analysis_initial(term, lattice, _parse_assumes(args.assume))
+    passes = tuple(args.passes.split(",")) if args.passes else None
+    kwargs = {"passes": passes} if passes else {}
+    report = optimize(term, domain, initial=initial, **kwargs)
+    print(pretty(report.term))
+    print(f"; rounds: {report.rounds}", file=sys.stderr)
+    print(f"; analysis: {report.analysis.value!r}", file=sys.stderr)
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    term = _load_term(args)
+    domain = ConstPropDomain()
+    lattice = Lattice(domain)
+    initial = _analysis_initial(term, lattice, _parse_assumes(args.assume))
+    from repro.analysis import analyze_direct
+
+    result = analyze_direct(term, domain, initial=initial)
+    call_graph = build_call_graph(term, result)
+    if args.kind == "call":
+        print(call_graph_to_dot(call_graph))
+    else:
+        print(flow_graph_to_dot(build_flow_graph(term, call_graph)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Sabry & Felleisen (PLDI 1994) reproduction: interpreters, "
+            "CPS transformation, and data flow analyzers for the "
+            "language A."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="evaluate a program")
+    _add_program_arguments(run_parser)
+    run_parser.add_argument(
+        "--interpreter",
+        choices=("direct", "semantic", "syntactic"),
+        default="direct",
+        help="which Figure 1-3 interpreter to use",
+    )
+    run_parser.add_argument(
+        "--fuel", type=int, default=1_000_000, help="step budget"
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    analyze_parser = commands.add_parser(
+        "analyze", help="run the data flow analyzers"
+    )
+    _add_program_arguments(analyze_parser)
+    analyze_parser.add_argument(
+        "--domain", choices=sorted(DOMAINS), default="constprop"
+    )
+    analyze_parser.add_argument(
+        "--loop-mode",
+        choices=("reject", "top", "unroll"),
+        default="reject",
+        help="`loop` handling for the CPS analyzers",
+    )
+    analyze_parser.add_argument(
+        "--k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="use the polyvariant (k-CFA) direct analyzer instead",
+    )
+    analyze_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the three-way report as JSON",
+    )
+    analyze_parser.set_defaults(handler=_cmd_analyze)
+
+    anf_parser = commands.add_parser("anf", help="print the A-normal form")
+    _add_program_arguments(anf_parser)
+    anf_parser.set_defaults(handler=_cmd_anf)
+
+    cps_parser = commands.add_parser("cps", help="print the CPS transform")
+    _add_program_arguments(cps_parser)
+    cps_parser.set_defaults(handler=_cmd_cps)
+
+    optimize_parser = commands.add_parser(
+        "optimize", help="run the analysis-driven optimizer"
+    )
+    _add_program_arguments(optimize_parser)
+    optimize_parser.add_argument(
+        "--domain", choices=sorted(DOMAINS), default="constprop"
+    )
+    optimize_parser.add_argument(
+        "--passes",
+        help="comma-separated subset of inline,dup,fold,dce",
+    )
+    optimize_parser.set_defaults(handler=_cmd_optimize)
+
+    graph_parser = commands.add_parser(
+        "graph", help="print call/flow graphs as DOT"
+    )
+    _add_program_arguments(graph_parser)
+    graph_parser.add_argument(
+        "--kind", choices=("call", "flow"), default="call"
+    )
+    graph_parser.set_defaults(handler=_cmd_graph)
+
+    report_parser = commands.add_parser(
+        "report",
+        help="regenerate the EXPERIMENTS.md measured tables",
+    )
+    report_parser.set_defaults(handler=_cmd_report)
+
+    survey_parser = commands.add_parser(
+        "survey",
+        help="tabulate analysis verdicts over program populations",
+    )
+    survey_parser.add_argument(
+        "--count", type=int, default=100, help="random programs to survey"
+    )
+    survey_parser.add_argument(
+        "--depth", type=int, default=4, help="random program depth"
+    )
+    survey_parser.add_argument(
+        "--domain", choices=sorted(DOMAINS), default="constprop"
+    )
+    survey_parser.set_defaults(handler=_cmd_survey)
+
+    compile_parser = commands.add_parser(
+        "compile",
+        help="compile to bytecode and run on the abstract machine",
+    )
+    _add_program_arguments(compile_parser)
+    compile_parser.add_argument(
+        "--backend",
+        choices=("direct", "cps"),
+        default="direct",
+        help="direct (frame-pushing) or CPS (stackless) code generator",
+    )
+    compile_parser.add_argument(
+        "--no-run",
+        action="store_true",
+        help="only print the bytecode",
+    )
+    compile_parser.set_defaults(handler=_cmd_compile)
+
+    dataflow_parser = commands.add_parser(
+        "dataflow",
+        help="run the classical MFP/MOP solvers over the flow graph",
+    )
+    _add_program_arguments(dataflow_parser)
+    dataflow_parser.add_argument(
+        "--solver", choices=("mfp", "mop", "both"), default="both"
+    )
+    dataflow_parser.add_argument(
+        "--domain", choices=sorted(DOMAINS), default="constprop"
+    )
+    dataflow_parser.add_argument(
+        "--refine",
+        action="store_true",
+        help="propagate test=0 along then-edges",
+    )
+    dataflow_parser.set_defaults(handler=_cmd_dataflow)
+    return parser
+
+
+def _cmd_dataflow(args: argparse.Namespace) -> int:
+    from repro.dataflow import build_problem, solve_mfp, solve_mop
+    from repro.lang.syntax import free_variables as _free
+
+    term = _load_term(args)
+    domain = DOMAINS[args.domain]()
+    assumes = _parse_assumes(args.assume)
+    entry = {
+        name: (
+            domain.const(assumes[name]) if name in assumes else domain.top
+        )
+        for name in _free(term)
+    }
+    problem = build_problem(
+        term, domain, entry_facts=entry, refine_tests=args.refine
+    )
+    solvers = {
+        "mfp": solve_mfp,
+        "mop": solve_mop,
+    }
+    wanted = ("mfp", "mop") if args.solver == "both" else (args.solver,)
+    for which in wanted:
+        solution = solvers[which](problem)
+        exit_facts = solution[problem.exit_point]
+        print(f"[{which.upper()}] facts at exit:")
+        if exit_facts is None:
+            print("  (unreachable)")
+            continue
+        for name in sorted(exit_facts):
+            print(f"  {name:12} {exit_facts[name]!r}")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.cps import TOP_KVAR, cps_transform as to_cps
+    from repro.machine import compile_cps, compile_direct, run_code
+    from repro.machine.code import code_size
+
+    term = _load_term(args)
+    if args.backend == "direct":
+        code = compile_direct(term)
+        halt_kvar = None
+    else:
+        code = compile_cps(to_cps(term))
+        halt_kvar = TOP_KVAR
+    _print_code(code)
+    print(f"; {code_size(code)} instructions", file=sys.stderr)
+    if args.no_run:
+        return 0
+    values = _parse_assumes(args.assume)
+    value, stats = run_code(code, initial_env=values, halt_kvar=halt_kvar)
+    print(f"; result: {value}", file=sys.stderr)
+    print(
+        f"; steps: {stats.steps}, control-stack depth: {stats.max_frames}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _print_code(code, depth: int = 0) -> None:
+    from dataclasses import fields
+
+    from repro.machine.code import Branch, BranchJump, Close, CloseF, CloseK
+
+    pad = "  " * depth
+    for instr in code:
+        simple = ", ".join(
+            f"{f.name}={getattr(instr, f.name)!r}"
+            for f in fields(instr)
+            if not isinstance(getattr(instr, f.name), tuple)
+        )
+        print(f"{pad}{type(instr).__name__}({simple})")
+        match instr:
+            case Close(_, inner) | CloseK(_, inner):
+                _print_code(inner, depth + 1)
+            case CloseF(_, _, inner):
+                _print_code(inner, depth + 1)
+            case Branch(t, e) | BranchJump(t, e):
+                _print_code(t, depth + 1)
+                print(f"{pad}--else--")
+                _print_code(e, depth + 1)
+            case _:
+                pass
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    from repro.survey import (
+        survey_corpus,
+        survey_random,
+        survey_random_open,
+    )
+
+    domain = DOMAINS[args.domain]()
+    print(survey_corpus(domain).summary())
+    print()
+    print(survey_random(args.count, args.depth, domain=domain).summary())
+    print()
+    print(
+        survey_random_open(args.count, args.depth, domain=domain).summary()
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import generate_report
+
+    print(generate_report())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Program corpus: the paper's witness programs and a library of
+sample programs used by tests, examples and benchmarks."""
+
+from repro.corpus.programs import (
+    CorpusProgram,
+    PROGRAMS,
+    SHIVERS_EXAMPLE,
+    THEOREM_51_WITNESS,
+    THEOREM_52_CONDITIONAL,
+    THEOREM_52_TWO_CLOSURES,
+    conditional_chain,
+    call_site_chain,
+    corpus_program,
+    loop_feeding_conditional,
+)
+
+__all__ = [
+    "CorpusProgram",
+    "PROGRAMS",
+    "SHIVERS_EXAMPLE",
+    "THEOREM_51_WITNESS",
+    "THEOREM_52_CONDITIONAL",
+    "THEOREM_52_TWO_CLOSURES",
+    "conditional_chain",
+    "call_site_chain",
+    "corpus_program",
+    "loop_feeding_conditional",
+]

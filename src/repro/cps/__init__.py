@@ -1,0 +1,71 @@
+"""The target language cps(A) and the syntactic CPS transformation.
+
+Paper Definition 3.2: the transformation ``F``/``V`` maps A-normal
+form programs into the continuation-passing language ``cps(A)``::
+
+    P ::= (k W) | (let (x W) P) | (W W (lambda (x) P))
+        | (let (k (lambda (x) P)) (if0 W P P))
+    W ::= n | x | add1k | sub1k | (lambda (x k) P)
+
+with ``x`` ranging over ``Vars``, ``k`` over ``KVars``, and
+``KVars ∩ Vars = ∅``.  Continuation variables are kept disjoint by
+construction: the transform derives them from binder names with a
+``k/`` prefix, which cannot occur in a source binder after
+:func:`repro.lang.rename.uniquify`.
+"""
+
+from repro.cps.ast import (
+    CApp,
+    CIf0,
+    CLam,
+    CLet,
+    CLoop,
+    CNum,
+    CPrim,
+    CPrimLet,
+    CTerm,
+    CVar,
+    CValue,
+    KApp,
+    KLam,
+    c_value_of,
+)
+from repro.cps.parser import parse_cps, parse_cps_value
+from repro.cps.pretty import cps_pretty
+from repro.cps.transform import (
+    TOP_KVAR,
+    cps_transform,
+    cps_transform_value,
+    kvar_for,
+)
+from repro.cps.untransform import UnCpsError, uncps, uncps_value
+from repro.cps.validate import is_cps_term, validate_cps
+
+__all__ = [
+    "CApp",
+    "CIf0",
+    "CLam",
+    "CLet",
+    "CLoop",
+    "CNum",
+    "CPrim",
+    "CPrimLet",
+    "CTerm",
+    "CValue",
+    "CVar",
+    "KApp",
+    "KLam",
+    "c_value_of",
+    "cps_pretty",
+    "parse_cps",
+    "parse_cps_value",
+    "cps_transform",
+    "cps_transform_value",
+    "kvar_for",
+    "TOP_KVAR",
+    "is_cps_term",
+    "validate_cps",
+    "UnCpsError",
+    "uncps",
+    "uncps_value",
+]

@@ -1,0 +1,223 @@
+"""An s-expression parser for cps(A) concrete syntax.
+
+Reads back exactly what :func:`repro.cps.pretty.cps_pretty` prints
+(the round trip is property-tested), so cps(A) programs can be stored
+and edited as text like source programs::
+
+    P ::= (k W)
+        | (let (x W) P)
+        | (let (x (op W W)) P)
+        | (let (k (lambda (x) P)) (if0 W P P))
+        | (W W (lambda (x) P))
+        | (loop (lambda (x) P))
+    W ::= n | x | add1k | sub1k | (lambda (x k) P)
+
+Continuation variables are recognized by the ``k/`` namespace prefix
+the transformation uses.
+"""
+
+from __future__ import annotations
+
+from repro.cps.ast import (
+    CApp,
+    CIf0,
+    CLam,
+    CLet,
+    CLoop,
+    CNum,
+    CPrim,
+    CPrimLet,
+    CTerm,
+    CValue,
+    CVar,
+    KApp,
+    KLam,
+    CPS_PRIMS,
+)
+from repro.lang.ast import SECOND_CLASS_OPS
+from repro.lang.errors import ParseError
+from repro.lang.parser import Atom, Datum, SList, read
+
+
+def is_kvar(name: str) -> bool:
+    """True when ``name`` belongs to the continuation namespace."""
+    return name.startswith("k/")
+
+
+def _is_number(text: str) -> bool:
+    body = text[1:] if text[:1] in "+-" else text
+    return body.isdigit() and bool(body)
+
+
+def parse_cps(source: str) -> CTerm:
+    """Parse a serious cps(A) term from concrete syntax."""
+    return _parse_term(read(source))
+
+
+def parse_cps_value(source: str) -> CValue:
+    """Parse a trivial (W) cps(A) term from concrete syntax."""
+    return _parse_value(read(source))
+
+
+def _parse_value(datum: Datum) -> CValue:
+    if isinstance(datum, Atom):
+        text = datum.text
+        if _is_number(text):
+            return CNum(int(text))
+        if text in CPS_PRIMS:
+            return CPrim(text)
+        if is_kvar(text):
+            raise ParseError(
+                f"continuation variable {text!r} is not a value",
+                datum.line,
+                datum.column,
+            )
+        return CVar(text)
+    head = datum.items[0] if datum.items else None
+    if isinstance(head, Atom) and head.text == "lambda":
+        return _parse_clam(datum)
+    raise ParseError("expected a cps(A) value", datum.line, datum.column)
+
+
+def _parse_params(datum: SList, count: int) -> list[str]:
+    if len(datum.items) != 3:
+        raise ParseError("malformed lambda", datum.line, datum.column)
+    params = datum.items[1]
+    if not isinstance(params, SList) or len(params.items) != count:
+        raise ParseError(
+            f"lambda takes a {count}-parameter list here",
+            datum.line,
+            datum.column,
+        )
+    names = []
+    for item in params.items:
+        if not isinstance(item, Atom) or _is_number(item.text):
+            raise ParseError(
+                "expected a parameter name", datum.line, datum.column
+            )
+        names.append(item.text)
+    return names
+
+
+def _parse_clam(datum: SList) -> CLam:
+    param, kparam = _parse_params(datum, 2)
+    if is_kvar(param) or not is_kvar(kparam):
+        raise ParseError(
+            "user lambda takes (x k/...) parameters",
+            datum.line,
+            datum.column,
+        )
+    return CLam(param, kparam, _parse_term(datum.items[2]))
+
+
+def _parse_klam(datum: Datum) -> KLam:
+    if not (
+        isinstance(datum, SList)
+        and datum.items
+        and isinstance(datum.items[0], Atom)
+        and datum.items[0].text == "lambda"
+    ):
+        raise ParseError(
+            "expected a continuation lambda",
+            datum.line,
+            datum.column,
+        )
+    (param,) = _parse_params(datum, 1)
+    if is_kvar(param):
+        raise ParseError(
+            "continuation lambda binds a source variable",
+            datum.line,
+            datum.column,
+        )
+    return KLam(param, _parse_term(datum.items[2]))
+
+
+def _parse_let(datum: SList) -> CTerm:
+    if len(datum.items) != 3:
+        raise ParseError("malformed let", datum.line, datum.column)
+    binding = datum.items[1]
+    if not isinstance(binding, SList) or len(binding.items) != 2:
+        raise ParseError(
+            "let takes a binding pair", datum.line, datum.column
+        )
+    name_datum, value_datum = binding.items
+    if not isinstance(name_datum, Atom) or _is_number(name_datum.text):
+        raise ParseError(
+            "expected a bound name", datum.line, datum.column
+        )
+    name = name_datum.text
+    if is_kvar(name):
+        # (let (k (lambda (x) P)) (if0 W P P))
+        kont = _parse_klam(value_datum)
+        body = datum.items[2]
+        if not (
+            isinstance(body, SList)
+            and len(body.items) == 4
+            and isinstance(body.items[0], Atom)
+            and body.items[0].text == "if0"
+        ):
+            raise ParseError(
+                "a continuation binding must scope an if0",
+                datum.line,
+                datum.column,
+            )
+        return CIf0(
+            name,
+            kont,
+            _parse_value(body.items[1]),
+            _parse_term(body.items[2]),
+            _parse_term(body.items[3]),
+        )
+    if (
+        isinstance(value_datum, SList)
+        and value_datum.items
+        and isinstance(value_datum.items[0], Atom)
+        and value_datum.items[0].text in SECOND_CLASS_OPS
+    ):
+        op = value_datum.items[0].text
+        arity = SECOND_CLASS_OPS[op]
+        if len(value_datum.items) != arity + 1:
+            raise ParseError(
+                f"operator {op!r} takes {arity} arguments",
+                value_datum.line,
+                value_datum.column,
+            )
+        args = tuple(_parse_value(d) for d in value_datum.items[1:])
+        return CPrimLet(name, op, args, _parse_term(datum.items[2]))
+    return CLet(name, _parse_value(value_datum), _parse_term(datum.items[2]))
+
+
+def _parse_term(datum: Datum) -> CTerm:
+    if isinstance(datum, Atom):
+        raise ParseError(
+            f"a serious term cannot be the atom {datum.text!r}",
+            datum.line,
+            datum.column,
+        )
+    if not datum.items:
+        raise ParseError("empty term ()", datum.line, datum.column)
+    head = datum.items[0]
+    if isinstance(head, Atom):
+        if head.text == "let":
+            return _parse_let(datum)
+        if head.text == "loop":
+            if len(datum.items) != 2:
+                raise ParseError(
+                    "loop takes one continuation", datum.line, datum.column
+                )
+            return CLoop(_parse_klam(datum.items[1]))
+        if is_kvar(head.text):
+            if len(datum.items) != 2:
+                raise ParseError(
+                    "a return takes one value", datum.line, datum.column
+                )
+            return KApp(head.text, _parse_value(datum.items[1]))
+    if len(datum.items) == 3:
+        return CApp(
+            _parse_value(datum.items[0]),
+            _parse_value(datum.items[1]),
+            _parse_klam(datum.items[2]),
+        )
+    raise ParseError(
+        "expected a cps(A) serious term", datum.line, datum.column
+    )

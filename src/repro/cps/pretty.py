@@ -1,0 +1,99 @@
+"""Pretty-printer for cps(A) terms (concrete syntax of Definition 3.2)."""
+
+from __future__ import annotations
+
+from repro.cps.ast import (
+    CApp,
+    CIf0,
+    CLam,
+    CLet,
+    CLoop,
+    CNum,
+    CPrim,
+    CPrimLet,
+    CTerm,
+    CValue,
+    CVar,
+    KApp,
+    KLam,
+)
+
+
+def cps_pretty(term: CTerm | CValue | KLam, width: int = 72) -> str:
+    """Render a cps(A) term as concrete syntax."""
+    return _render(term, 0, width)
+
+
+def _flat(term: CTerm | CValue | KLam) -> str:
+    match term:
+        case CNum(value):
+            return str(value)
+        case CVar(name):
+            return name
+        case CPrim(name):
+            return name
+        case CLam(param, kparam, body):
+            return f"(lambda ({param} {kparam}) {_flat(body)})"
+        case KLam(param, body):
+            return f"(lambda ({param}) {_flat(body)})"
+        case KApp(kvar, value):
+            return f"({kvar} {_flat(value)})"
+        case CLet(name, value, body):
+            return f"(let ({name} {_flat(value)}) {_flat(body)})"
+        case CApp(fun, arg, kont):
+            return f"({_flat(fun)} {_flat(arg)} {_flat(kont)})"
+        case CIf0(kvar, kont, test, then, orelse):
+            return (
+                f"(let ({kvar} {_flat(kont)}) "
+                f"(if0 {_flat(test)} {_flat(then)} {_flat(orelse)}))"
+            )
+        case CPrimLet(name, op, args, body):
+            rendered = " ".join(_flat(a) for a in args)
+            return f"(let ({name} ({op} {rendered})) {_flat(body)})"
+        case CLoop(kont):
+            return f"(loop {_flat(kont)})"
+    raise TypeError(f"not a cps(A) term: {term!r}")
+
+
+def _render(term: CTerm | CValue | KLam, indent: int, width: int) -> str:
+    flat = _flat(term)
+    if indent + len(flat) <= width:
+        return flat
+    pad = " " * (indent + 2)
+    match term:
+        case CLam(param, kparam, body):
+            inner = _render(body, indent + 2, width)
+            return f"(lambda ({param} {kparam})\n{pad}{inner})"
+        case KLam(param, body):
+            inner = _render(body, indent + 2, width)
+            return f"(lambda ({param})\n{pad}{inner})"
+        case CLet(name, value, body):
+            value_s = _render(value, indent + len(name) + 8, width)
+            body_s = _render(body, indent + 2, width)
+            return f"(let ({name} {value_s})\n{pad}{body_s})"
+        case CApp(fun, arg, kont):
+            fun_s = _render(fun, indent + 2, width)
+            arg_s = _render(arg, indent + 2, width)
+            kont_s = _render(kont, indent + 2, width)
+            return f"({fun_s}\n{pad}{arg_s}\n{pad}{kont_s})"
+        case CIf0(kvar, kont, test, then, orelse):
+            kont_s = _render(kont, indent + len(kvar) + 8, width)
+            test_s = _render(test, indent + 8, width)
+            then_s = _render(then, indent + 4, width)
+            else_s = _render(orelse, indent + 4, width)
+            inner_pad = " " * (indent + 4)
+            return (
+                f"(let ({kvar} {kont_s})\n"
+                f"{pad}(if0 {test_s}\n"
+                f"{inner_pad}{then_s}\n"
+                f"{inner_pad}{else_s}))"
+            )
+        case CPrimLet(name, op, args, body):
+            rendered = " ".join(_flat(a) for a in args)
+            body_s = _render(body, indent + 2, width)
+            return f"(let ({name} ({op} {rendered}))\n{pad}{body_s})"
+        case CLoop(kont):
+            kont_s = _render(kont, indent + 2, width)
+            return f"(loop\n{pad}{kont_s})"
+        case _:
+            return flat

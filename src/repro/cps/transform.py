@@ -1,0 +1,143 @@
+"""The syntactic CPS transformation ``F``/``V`` (paper Definition 3.2).
+
+The transformation maps A-normal form terms to cps(A)::
+
+    F_k[V]                           = (k V[V])
+    F_k[(let (x V) M)]               = (let (x V[V]) F_k[M])
+    F_k[(let (x (V1 V2)) M)]         = (V[V1] V[V2] (lambda (x) F_k[M]))
+    F_k[(let (x (if0 V0 M1 M2)) M)]  = (let (k' (lambda (x) F_k[M]))
+                                          (if0 V[V0] F_k'[M1] F_k'[M2]))
+
+    V[n] = n   V[x] = x   V[add1] = add1k   V[sub1] = sub1k
+    V[(lambda (x) M)] = (lambda (x k_x) F_{k_x}[M])
+
+plus the two language extensions::
+
+    F_k[(let (x (op V1 V2)) M)] = (let (x (op V[V1] V[V2])) F_k[M])
+    F_k[(let (x (loop)) M)]     = (loop (lambda (x) F_k[M]))
+
+Continuation variables are derived deterministically from binder
+names (``k/x`` for binder ``x``), so the transformation is a pure
+function of its argument.  This matters for the delta maps of
+Sections 3.3 and 5: the CPS image of a closure computed in isolation
+coincides with the closure the transformed whole program creates.
+Because binders are unique in the restricted subset, derived
+continuation variables are unique too, and the ``k/`` prefix keeps
+``KVars`` disjoint from source ``Vars``.
+"""
+
+from __future__ import annotations
+
+from repro.anf.validate import validate_anf
+from repro.cps.ast import (
+    CApp,
+    CIf0,
+    CLam,
+    CLet,
+    CLoop,
+    CNum,
+    CPrim,
+    CPrimLet,
+    CTerm,
+    CValue,
+    CVar,
+    KApp,
+    KLam,
+)
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Loop,
+    Num,
+    Prim,
+    PrimApp,
+    Term,
+    Value,
+    Var,
+    is_value,
+)
+from repro.lang.errors import SyntaxValidationError
+
+#: The continuation variable of a whole program, bound to ``stop`` in
+#: the initial store (paper Lemma 3.3).
+TOP_KVAR = "k/halt"
+
+
+def kvar_for(binder: str) -> str:
+    """The continuation variable derived from source binder ``binder``."""
+    return f"k/{binder}"
+
+
+def cps_transform_value(value: Value) -> CValue:
+    """The value transformation ``V`` of Definition 3.2."""
+    match value:
+        case Num(n):
+            return CNum(n)
+        case Var(name):
+            return CVar(name)
+        case Prim("add1"):
+            return CPrim("add1k")
+        case Prim("sub1"):
+            return CPrim("sub1k")
+        case Lam(param, body):
+            kvar = kvar_for(param)
+            return CLam(param, kvar, _transform(body, kvar))
+    raise SyntaxValidationError(f"not a syntactic value: {value!r}")
+
+
+def _transform(term: Term, kvar: str) -> CTerm:
+    """The term transformation ``F_k`` of Definition 3.2."""
+    if is_value(term):
+        return KApp(kvar, cps_transform_value(term))
+    if not isinstance(term, Let):
+        raise SyntaxValidationError(
+            f"term is not in the restricted subset: {term!r}"
+        )
+    name, rhs, body = term.name, term.rhs, term.body
+    if is_value(rhs):
+        return CLet(name, cps_transform_value(rhs), _transform(body, kvar))
+    match rhs:
+        case App(fun, arg):
+            return CApp(
+                cps_transform_value(fun),
+                cps_transform_value(arg),
+                KLam(name, _transform(body, kvar)),
+            )
+        case If0(test, then, orelse):
+            join_kvar = kvar_for(name)
+            return CIf0(
+                join_kvar,
+                KLam(name, _transform(body, kvar)),
+                cps_transform_value(test),
+                _transform(then, join_kvar),
+                _transform(orelse, join_kvar),
+            )
+        case PrimApp(op, args):
+            return CPrimLet(
+                name,
+                op,
+                tuple(cps_transform_value(a) for a in args),
+                _transform(body, kvar),
+            )
+        case Loop():
+            return CLoop(KLam(name, _transform(body, kvar)))
+    raise SyntaxValidationError(f"invalid let right-hand side: {rhs!r}")
+
+
+def cps_transform(term: Term, kvar: str = TOP_KVAR, check: bool = True) -> CTerm:
+    """Transform an A-normal form program into cps(A).
+
+    Args:
+        term: a program of the restricted subset.
+        kvar: the continuation variable of the whole program; callers
+            bind it to ``stop`` in the initial environment/store.
+        check: validate that ``term`` is in the restricted subset.
+
+    Returns:
+        The cps(A) program ``F_kvar[term]``.
+    """
+    if check:
+        validate_anf(term)
+    return _transform(term, kvar)

@@ -1,0 +1,126 @@
+"""The inverse CPS transformation: cps(A) back to direct style.
+
+The paper's companion work ("The Essence of Compiling with
+Continuations", PLDI 1993, cited as [7]) shows that CPS compilation
+factors through A-normal form: ``F`` is injective, and every program
+in its image translates back.  ``uncps`` inverts Definition 3.2
+structurally::
+
+    U_k[(k W)]                     = V⁻¹[W]
+    U_k[(let (x W) P)]             = (let (x V⁻¹[W]) U_k[P])
+    U_k[(W1 W2 (lambda (x) P))]    = (let (x (V⁻¹[W1] V⁻¹[W2])) U_k[P])
+    U_k[(let (k' (lambda (x) P))
+          (if0 W P1 P2))]          = (let (x (if0 V⁻¹[W] U_k'[P1] U_k'[P2]))
+                                        U_k[P])
+
+plus the operator/loop extensions.  On the image of ``F`` the
+composition ``uncps . cps_transform`` is the identity (property-tested
+on the corpus and random programs); terms outside the image — e.g.
+returns to a non-current continuation, which is exactly the shape the
+false-return confusion invents — raise `UnCpsError`.
+"""
+
+from __future__ import annotations
+
+from repro.cps.ast import (
+    CApp,
+    CIf0,
+    CLam,
+    CLet,
+    CLoop,
+    CNum,
+    CPrim,
+    CPrimLet,
+    CTerm,
+    CValue,
+    CVar,
+    KApp,
+)
+from repro.cps.transform import TOP_KVAR
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Loop,
+    Num,
+    Prim,
+    PrimApp,
+    Term,
+    Value,
+    Var,
+)
+
+
+class UnCpsError(Exception):
+    """The term is not in the image of the CPS transformation."""
+
+
+def uncps_value(value: CValue) -> Value:
+    """``V⁻¹``: invert the value transformation."""
+    match value:
+        case CNum(n):
+            return Num(n)
+        case CVar(name):
+            return Var(name)
+        case CPrim("add1k"):
+            return Prim("add1")
+        case CPrim("sub1k"):
+            return Prim("sub1")
+        case CLam(param, kparam, body):
+            return Lam(param, _uncps(body, kparam))
+    raise UnCpsError(f"not a cps(A) value: {value!r}")
+
+
+def _uncps(term: CTerm, kvar: str) -> Term:
+    match term:
+        case KApp(target, value):
+            if target != kvar:
+                raise UnCpsError(
+                    f"return to {target!r} where the current continuation "
+                    f"is {kvar!r}: not in the image of the transformation"
+                )
+            return uncps_value(value)
+        case CLet(name, value, body):
+            return Let(name, uncps_value(value), _uncps(body, kvar))
+        case CApp(fun, arg, kont):
+            return Let(
+                kont.param,
+                App(uncps_value(fun), uncps_value(arg)),
+                _uncps(kont.body, kvar),
+            )
+        case CIf0(join_kvar, kont, test, then, orelse):
+            return Let(
+                kont.param,
+                If0(
+                    uncps_value(test),
+                    _uncps(then, join_kvar),
+                    _uncps(orelse, join_kvar),
+                ),
+                _uncps(kont.body, kvar),
+            )
+        case CPrimLet(name, op, args, body):
+            return Let(
+                name,
+                PrimApp(op, tuple(uncps_value(a) for a in args)),
+                _uncps(body, kvar),
+            )
+        case CLoop(kont):
+            return Let(kont.param, Loop(), _uncps(kont.body, kvar))
+    raise UnCpsError(f"not a cps(A) term: {term!r}")
+
+
+def uncps(term: CTerm, kvar: str = TOP_KVAR) -> Term:
+    """Translate a cps(A) program back to the restricted subset.
+
+    Args:
+        term: a cps(A) program in the image of ``F_kvar``.
+        kvar: the program's top continuation variable.
+
+    Returns:
+        The direct-style program ``M`` with ``F_kvar[M] == term``.
+
+    Raises:
+        UnCpsError: when ``term`` is not in the transformation's image.
+    """
+    return _uncps(term, kvar)

@@ -1,0 +1,129 @@
+"""Structural validation for cps(A) terms.
+
+Checks grammar membership, the KVars/Vars disjointness convention, and
+scoping of continuation variables (each ``(k W)`` return must refer to
+a continuation variable in scope: a `CLam` k-parameter, a `CIf0` join
+binding, or the program's top continuation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cps.ast import (
+    CApp,
+    CIf0,
+    CLam,
+    CLet,
+    CLoop,
+    CNum,
+    CPrim,
+    CPrimLet,
+    CTerm,
+    CValue,
+    CVar,
+    KApp,
+    KLam,
+    CTERM_CLASSES,
+)
+from repro.lang.errors import SyntaxValidationError
+
+
+def is_cps_term(term: object) -> bool:
+    """True when ``term`` is a serious cps(A) term (shallow check)."""
+    return isinstance(term, CTERM_CLASSES)
+
+
+def cps_subterms(term: CTerm) -> Iterator[CTerm | CValue | KLam]:
+    """Yield all serious terms, values, and continuation lambdas inside
+    ``term``, pre-order."""
+    stack: list[CTerm | CValue | KLam] = [term]
+    while stack:
+        current = stack.pop()
+        yield current
+        match current:
+            case KApp(_, value):
+                stack.append(value)
+            case CLet(_, value, body):
+                stack.extend((body, value))
+            case CApp(fun, arg, kont):
+                stack.extend((kont, arg, fun))
+            case CIf0(_, kont, test, then, orelse):
+                stack.extend((orelse, then, test, kont))
+            case CPrimLet(_, _, args, body):
+                stack.append(body)
+                stack.extend(reversed(args))
+            case CLoop(kont):
+                stack.append(kont)
+            case CLam(_, _, body):
+                stack.append(body)
+            case KLam(_, body):
+                stack.append(body)
+            case _:
+                pass
+
+
+def validate_cps(term: CTerm, top_kvars: frozenset[str] = frozenset()) -> None:
+    """Raise `SyntaxValidationError` unless ``term`` is well-formed.
+
+    Args:
+        term: the cps(A) program to check.
+        top_kvars: continuation variables assumed bound by the initial
+            environment (usually ``{TOP_KVAR}``).
+    """
+    _check(term, top_kvars, set())
+
+
+def _check_value(value: CValue, kvars: frozenset[str], xvars: set[str]) -> None:
+    match value:
+        case CNum() | CPrim():
+            return
+        case CVar(name):
+            if name.startswith("k/"):
+                raise SyntaxValidationError(
+                    f"source variable {name!r} uses the continuation namespace"
+                )
+            return
+        case CLam(param, kparam, body):
+            if not kparam.startswith("k/"):
+                raise SyntaxValidationError(
+                    f"continuation parameter {kparam!r} must use the k/ namespace"
+                )
+            _check(body, frozenset((kparam,)), xvars | {param})
+            return
+    raise SyntaxValidationError(f"not a cps(A) value: {value!r}")
+
+
+def _check(term: CTerm, kvars: frozenset[str], xvars: set[str]) -> None:
+    match term:
+        case KApp(kvar, value):
+            if kvar not in kvars:
+                raise SyntaxValidationError(
+                    f"return to unbound continuation variable {kvar!r}"
+                )
+            _check_value(value, kvars, xvars)
+        case CLet(name, value, body):
+            _check_value(value, kvars, xvars)
+            _check(body, kvars, xvars | {name})
+        case CApp(fun, arg, kont):
+            _check_value(fun, kvars, xvars)
+            _check_value(arg, kvars, xvars)
+            _check(kont.body, kvars, xvars | {kont.param})
+        case CIf0(kvar, kont, test, then, orelse):
+            if not kvar.startswith("k/"):
+                raise SyntaxValidationError(
+                    f"join continuation {kvar!r} must use the k/ namespace"
+                )
+            _check_value(test, kvars, xvars)
+            _check(kont.body, kvars, xvars | {kont.param})
+            inner = kvars | {kvar}
+            _check(then, inner, xvars)
+            _check(orelse, inner, xvars)
+        case CPrimLet(name, _, args, body):
+            for arg in args:
+                _check_value(arg, kvars, xvars)
+            _check(body, kvars, xvars | {name})
+        case CLoop(kont):
+            _check(kont.body, kvars, xvars | {kont.param})
+        case _:
+            raise SyntaxValidationError(f"not a cps(A) term: {term!r}")

@@ -1,0 +1,42 @@
+"""Classical dataflow frameworks: MFP and MOP.
+
+The paper situates its results in the Kam–Ullman / Nielson tradition
+(Section 6.2): "Nielson proved that, for a small imperative language,
+the semantic-CPS analysis computes the MOP (meet over all paths)
+solution and the direct analysis computes the less precise MFP
+(maximum fixed point) solution."  This package implements that
+tradition directly, over the flow graphs of A-normal form programs:
+
+- :mod:`repro.dataflow.framework` — program points, edge transfer
+  functions, and the graph builder;
+- :mod:`repro.dataflow.mfp` — Kildall's worklist algorithm (the MFP
+  solution);
+- :mod:`repro.dataflow.mop` — explicit path enumeration (the MOP
+  solution; decidable here because ANF flow graphs are acyclic — the
+  general case is exactly what Section 6.2's `loop` argument shows to
+  be undecidable).
+
+The tests connect the two worlds: MOP ⊒ MFP always, strictly on the
+paper's Theorem 5.2 witness (where the interpreter-derived analyzers
+show the same split: semantic-CPS = MOP-like, direct = MFP-like), and
+MOP = MFP for distributive frameworks.
+"""
+
+from repro.dataflow.framework import (
+    DataflowProblem,
+    ENTRY,
+    Facts,
+    build_problem,
+)
+from repro.dataflow.mfp import solve_mfp
+from repro.dataflow.mop import PathExplosion, solve_mop
+
+__all__ = [
+    "DataflowProblem",
+    "ENTRY",
+    "Facts",
+    "build_problem",
+    "solve_mfp",
+    "solve_mop",
+    "PathExplosion",
+]

@@ -1,0 +1,303 @@
+"""The dataflow framework: points, facts, and edge transfer functions.
+
+A *fact table* maps variables to abstract numbers from a `NumDomain`
+(``None`` represents the unreachable bottom table).  Each edge of the
+flow graph carries a transfer function from the source point's
+post-state to the destination point's post-state; all semantics lives
+on edges, so MFP and MOP share one problem description.
+
+The framework is intraprocedural and first-order: procedure-call
+results are approximated by ⊤ unless the operator is syntactically
+``add1``/``sub1`` (the interpreter-derived analyzers of
+:mod:`repro.analysis` are the higher-order story; this module exists
+to connect the paper to the classical Kam–Ullman/Nielson setting it
+cites).  ANF flow graphs are acyclic, which keeps MOP decidable —
+exactly the boundary Section 6.2's ``loop`` argument draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional
+
+from repro.anf.validate import validate_anf
+from repro.domains.protocol import NumDomain
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Loop,
+    Num,
+    Prim,
+    PrimApp,
+    Term,
+    Var,
+    is_value,
+)
+
+#: The synthetic entry point of a problem.
+ENTRY = "<entry>"
+
+#: A fact table: variable -> abstract number.  None = unreachable.
+Facts = Optional[dict[str, Hashable]]
+
+#: An edge transfer function.
+Transfer = Callable[[Facts], Facts]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A flow edge with its transfer function and a display label."""
+
+    src: str
+    dst: str
+    label: str
+    transfer: Transfer = field(compare=False)
+
+
+@dataclass(frozen=True)
+class DataflowProblem:
+    """A dataflow problem instance over one program."""
+
+    domain: NumDomain
+    points: tuple[str, ...]
+    edges: tuple[Edge, ...]
+    #: The program's result point (the tail value is read here).
+    exit_point: str
+    #: Facts assumed at ENTRY (free variables, usually ⊤).
+    entry_facts: dict[str, Hashable]
+
+    def in_edges(self, point: str) -> list[Edge]:
+        """Edges arriving at ``point``."""
+        return [e for e in self.edges if e.dst == point]
+
+    def out_edges(self, point: str) -> list[Edge]:
+        """Edges leaving ``point``."""
+        return [e for e in self.edges if e.src == point]
+
+    def join_facts(self, left: Facts, right: Facts) -> Facts:
+        """Pointwise join; None (unreachable) is the identity."""
+        if left is None:
+            return None if right is None else dict(right)
+        if right is None:
+            return dict(left)
+        joined = dict(left)
+        for name, value in right.items():
+            existing = joined.get(name)
+            joined[name] = (
+                value
+                if existing is None
+                else self.domain.join(existing, value)
+            )
+        return joined
+
+    def facts_leq(self, left: Facts, right: Facts) -> bool:
+        """Pointwise order (missing entries are bottom)."""
+        if left is None:
+            return True
+        if right is None:
+            return False
+        for name, value in left.items():
+            other = right.get(name)
+            if other is None:
+                if not self.domain.is_bottom(value):
+                    return False
+            elif not self.domain.leq(value, other):
+                return False
+        return True
+
+
+class _Builder:
+    def __init__(self, domain: NumDomain, refine_tests: bool) -> None:
+        self.domain = domain
+        self.refine_tests = refine_tests
+        self.points: list[str] = [ENTRY]
+        self.edges: list[Edge] = []
+
+    def add_point(self, name: str) -> None:
+        if name not in self.points:
+            self.points.append(name)
+
+    def add_edge(self, src: str, dst: str, label: str, fn: Transfer) -> None:
+        self.edges.append(Edge(src, dst, label, fn))
+
+    # ------------------------------------------------------------------
+    # Value and transfer construction
+    # ------------------------------------------------------------------
+
+    def eval_value(self, value: Term, facts: dict) -> Hashable:
+        """The abstract number of a syntactic value under ``facts``."""
+        domain = self.domain
+        match value:
+            case Num(n):
+                return domain.const(n)
+            case Var(name):
+                return facts.get(name, domain.bottom)
+            case Prim(_) | Lam(_, _):
+                return domain.bottom  # not a number
+        raise TypeError(f"not a syntactic value: {value!r}")
+
+    def assign(self, name: str, rhs: Term) -> Transfer:
+        """Transfer assigning the abstract value of ``rhs`` to ``name``."""
+        domain = self.domain
+
+        def run(facts: Facts) -> Facts:
+            if facts is None:
+                return None
+            out = dict(facts)
+            if is_value(rhs):
+                out[name] = self.eval_value(rhs, facts)
+            elif isinstance(rhs, PrimApp):
+                first, second = rhs.args
+                out[name] = domain.binop(
+                    rhs.op,
+                    self.eval_value(first, facts),
+                    self.eval_value(second, facts),
+                )
+            elif isinstance(rhs, App):
+                if isinstance(rhs.fun, Prim):
+                    operand = self.eval_value(rhs.arg, facts)
+                    out[name] = (
+                        domain.add1(operand)
+                        if rhs.fun.name == "add1"
+                        else domain.sub1(operand)
+                    )
+                else:
+                    out[name] = domain.top  # unknown call result
+            elif isinstance(rhs, Loop):
+                out[name] = domain.iota
+            else:
+                raise TypeError(f"unsupported right-hand side: {rhs!r}")
+            return out
+
+        return run
+
+    def assign_value(self, name: str, tail: Term) -> Transfer:
+        """Transfer binding a branch's tail value to the join point."""
+        return self.assign(name, tail)
+
+    def refine(self, test: Term, want_zero: bool) -> Transfer:
+        """Branch-edge refinement: on the then-edge the test is 0."""
+        domain = self.domain
+
+        def run(facts: Facts) -> Facts:
+            if facts is None:
+                return None
+            value = self.eval_value(test, facts) if is_value(test) else None
+            if value is not None:
+                feasible = (
+                    domain.may_be_zero(value)
+                    if want_zero
+                    else domain.may_be_nonzero(value)
+                )
+                if not feasible:
+                    return None  # infeasible edge
+            if not self.refine_tests:
+                return dict(facts)
+            out = dict(facts)
+            if want_zero and isinstance(test, Var):
+                out[test.name] = domain.const(0)
+            return out
+
+        return run
+
+    @staticmethod
+    def compose(first: Transfer, second: Transfer) -> Transfer:
+        def run(facts: Facts) -> Facts:
+            return second(first(facts))
+
+        return run
+
+    @staticmethod
+    def identity(facts: Facts) -> Facts:
+        return None if facts is None else dict(facts)
+
+    # ------------------------------------------------------------------
+    # Spine walking
+    # ------------------------------------------------------------------
+
+    def spine(self, term: Term, prev: str, incoming: Transfer, label: str) -> tuple[str, Term]:
+        """Lay out a let-spine; returns (last point, tail value)."""
+        while isinstance(term, Let):
+            point = term.name
+            self.add_point(point)
+            rhs = term.rhs
+            if isinstance(rhs, If0):
+                then_edge = self.compose(
+                    incoming, self.refine(rhs.test, want_zero=True)
+                )
+                else_edge = self.compose(
+                    incoming, self.refine(rhs.test, want_zero=False)
+                )
+                t_last, t_tail = self._branch(
+                    rhs.then, prev, then_edge, f"{label}/then"
+                )
+                e_last, e_tail = self._branch(
+                    rhs.orelse, prev, else_edge, f"{label}/else"
+                )
+                self.add_edge(
+                    t_last, point, "join", self.assign_value(point, t_tail)
+                )
+                self.add_edge(
+                    e_last, point, "join", self.assign_value(point, e_tail)
+                )
+            else:
+                self.add_edge(
+                    prev,
+                    point,
+                    label,
+                    self.compose(incoming, self.assign(point, rhs)),
+                )
+            prev, incoming, label, term = point, self.identity, "seq", term.body
+        return prev, term
+
+    def _branch(
+        self, branch: Term, prev: str, incoming: Transfer, label: str
+    ) -> tuple[str, Term]:
+        """A conditional branch: a sub-spine (possibly empty)."""
+        if not isinstance(branch, Let):
+            # bare-value branch: the fork point is also the last point;
+            # stash the refinement into the pending transfer by adding
+            # a synthetic pass-through point
+            synthetic = f"<{label}:{len(self.points)}>"
+            self.add_point(synthetic)
+            self.add_edge(prev, synthetic, label, incoming)
+            return synthetic, branch
+        return self.spine(branch, prev, incoming, label)
+
+
+def build_problem(
+    term: Term,
+    domain: NumDomain,
+    entry_facts: dict[str, Hashable] | None = None,
+    refine_tests: bool = False,
+    check: bool = True,
+) -> DataflowProblem:
+    """Build the dataflow problem of a restricted-subset program.
+
+    Args:
+        term: the program (A-normal form, unique binders).
+        domain: the abstract number domain.
+        entry_facts: assumptions for free variables (default: none).
+        refine_tests: propagate ``test = 0`` along then-edges
+            (conditional-constant-propagation style; off = classic).
+        check: validate the input program.
+    """
+    if check:
+        validate_anf(term)
+    builder = _Builder(domain, refine_tests)
+    last, tail = builder.spine(term, ENTRY, builder.identity, "seq")
+    # materialize the program result as a synthetic point
+    result_point = "<result>"
+    builder.add_point(result_point)
+    builder.add_edge(
+        last, result_point, "seq", builder.assign_value(result_point, tail)
+    )
+    return DataflowProblem(
+        domain=domain,
+        points=tuple(builder.points),
+        edges=tuple(builder.edges),
+        exit_point=result_point,
+        entry_facts=dict(entry_facts) if entry_facts else {},
+    )

@@ -1,0 +1,76 @@
+"""Path enumeration: the MOP solution.
+
+MOP (meet over all paths; our lattice is join-ordered, so it is a join
+here) composes the transfer functions along *every* entry-to-point
+path separately and joins only the end results — the same per-path
+duplication as the paper's CPS-based analyzers.  Kam & Ullman showed
+MOP is uncomputable for arbitrary monotone frameworks with cycles; the
+paper's Section 6.2 `loop` argument is that result transplanted to the
+CPS analyses.  ANF flow graphs are acyclic, so enumeration terminates —
+at worst-case exponential cost in the number of conditionals, the
+other face of the same Section 6.2 coin.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.dataflow.framework import ENTRY, DataflowProblem, Facts
+
+
+class PathExplosion(Exception):
+    """Path enumeration exceeded the budget (the Section 6.2 cost)."""
+
+    def __init__(self, budget: int) -> None:
+        self.budget = budget
+        super().__init__(f"more than {budget} paths enumerated")
+
+
+def solve_mop(
+    problem: DataflowProblem, max_paths: int = 100_000
+) -> dict[str, Facts]:
+    """Solve a dataflow problem by explicit path enumeration.
+
+    Args:
+        problem: the problem (its flow graph must be acyclic, which
+            ANF graphs are).
+        max_paths: explosion budget; `PathExplosion` beyond it.
+
+    Returns:
+        The join-over-all-paths post-state at every program point.
+    """
+    facts: dict[str, Facts] = {point: None for point in problem.points}
+    entry: Facts = dict(problem.entry_facts)
+    facts[ENTRY] = dict(entry)
+    successors: dict[str, list] = {point: [] for point in problem.points}
+    for edge in problem.edges:
+        successors[edge.src].append(edge)
+
+    paths_seen = 0
+    # depth-first enumeration of all paths, carrying the composed facts
+    stack: list[tuple[str, Facts]] = [(ENTRY, entry)]
+    while stack:
+        point, carried = stack.pop()
+        outgoing = successors[point]
+        if not outgoing:
+            paths_seen += 1
+            if paths_seen > max_paths:
+                raise PathExplosion(max_paths)
+            continue
+        for edge in outgoing:
+            delivered = edge.transfer(carried)
+            if delivered is None:
+                continue  # infeasible path
+            facts[edge.dst] = problem.join_facts(facts[edge.dst], delivered)
+            stack.append((edge.dst, delivered))
+    return facts
+
+
+def mop_value(
+    problem: DataflowProblem, solution: dict[str, Facts], name: str
+) -> Hashable:
+    """The abstract value of ``name`` at the program's exit."""
+    exit_facts = solution[problem.exit_point]
+    if exit_facts is None:
+        return problem.domain.bottom
+    return exit_facts.get(name, problem.domain.bottom)

@@ -1,0 +1,100 @@
+"""Abstract values: the product lattice of Sections 4.1-4.2.
+
+An `AbsVal` pairs an abstract number with a set of abstract closures
+and (for the syntactic-CPS analyzer) a set of abstract continuations::
+
+    direct / semantic-CPS :  Num~ x P(Clo~)
+    syntactic-CPS         :  Num~ x P(Clo~) x P(Con~)
+
+Ordering and join are componentwise: the number component by the
+`NumDomain`, the set components by inclusion/union.  The `Lattice`
+helper bundles a domain with these operations so analyzers and stores
+share one implementation.
+
+The closure/continuation set members are opaque hashable tokens (the
+analysis layer supplies ``(cle x, M)`` records, ``inc``/``dec`` tags,
+``(coe x, P)`` records and ``stop``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.domains.protocol import NumDomain
+
+EMPTY: frozenset = frozenset()
+
+
+@dataclass(frozen=True, slots=True)
+class AbsVal:
+    """An abstract value: number x closures x continuations."""
+
+    num: Hashable
+    clos: frozenset = EMPTY
+    konts: frozenset = EMPTY
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [repr(self.num)]
+        parts.append("{" + ", ".join(sorted(map(str, self.clos))) + "}")
+        if self.konts:
+            parts.append("{" + ", ".join(sorted(map(str, self.konts))) + "}")
+        return "(" + ", ".join(parts) + ")"
+
+
+class Lattice:
+    """Componentwise lattice operations on `AbsVal`, for a fixed domain."""
+
+    __slots__ = ("domain", "bottom")
+
+    def __init__(self, domain: NumDomain) -> None:
+        self.domain = domain
+        #: The least abstract value.
+        self.bottom = AbsVal(domain.bottom, EMPTY, EMPTY)
+
+    def of_const(self, n: int) -> AbsVal:
+        """Abstract a numeric literal."""
+        return AbsVal(self.domain.const(n), EMPTY, EMPTY)
+
+    def of_num(self, num: Hashable) -> AbsVal:
+        """Inject a bare abstract number."""
+        return AbsVal(num, EMPTY, EMPTY)
+
+    def of_clos(self, *clos: Hashable) -> AbsVal:
+        """Inject a set of abstract closures."""
+        return AbsVal(self.domain.bottom, frozenset(clos), EMPTY)
+
+    def of_konts(self, *konts: Hashable) -> AbsVal:
+        """Inject a set of abstract continuations."""
+        return AbsVal(self.domain.bottom, EMPTY, frozenset(konts))
+
+    def join(self, a: AbsVal, b: AbsVal) -> AbsVal:
+        """Componentwise least upper bound."""
+        if a is b:
+            return a
+        return AbsVal(
+            self.domain.join(a.num, b.num),
+            a.clos | b.clos,
+            a.konts | b.konts,
+        )
+
+    def join_all(self, values: "list[AbsVal] | tuple[AbsVal, ...]") -> AbsVal:
+        """Join of a (possibly empty) collection."""
+        result = self.bottom
+        for value in values:
+            result = self.join(result, value)
+        return result
+
+    def leq(self, a: AbsVal, b: AbsVal) -> bool:
+        """Componentwise order: ``a`` at least as precise as ``b``."""
+        return (
+            self.domain.leq(a.num, b.num)
+            and a.clos <= b.clos
+            and a.konts <= b.konts
+        )
+
+    def is_bottom(self, a: AbsVal) -> bool:
+        """True when ``a`` carries no information at all."""
+        return (
+            self.domain.is_bottom(a.num) and not a.clos and not a.konts
+        )

@@ -1,0 +1,161 @@
+"""A bounded interval domain.
+
+Standard interval analysis has infinite ascending chains and needs
+widening; the paper's termination argument instead requires a
+finite-height lattice.  This domain squares that circle by clamping
+interval endpoints to ``[-bound, bound]``: endpoints outside the range
+saturate to ±infinity.  With ``2*bound + 3`` possible endpoints the
+lattice height is finite and Section 4.4's loop detection applies
+unchanged.
+
+Elements are ``INT_BOT`` or ``Interval(lo, hi)`` with
+``lo <= hi``, where ``lo`` may be ``-inf`` and ``hi`` ``+inf``
+(represented as ``None`` endpoints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.domains.protocol import NumDomain
+
+
+@dataclass(frozen=True, slots=True)
+class _IntervalBot:
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+INT_BOT = _IntervalBot()
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed interval; ``None`` endpoints mean unbounded."""
+
+    lo: Optional[int]
+    hi: Optional[int]
+
+    def __repr__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo},{hi}]"
+
+
+IntervalValue = Union[_IntervalBot, Interval]
+
+
+class IntervalDomain(NumDomain[IntervalValue]):
+    """Intervals with endpoints saturating at ``±bound``."""
+
+    name = "interval"
+    distributive = False
+
+    def __init__(self, bound: int = 64) -> None:
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        self.bound = bound
+
+    def _clamp(self, lo: Optional[int], hi: Optional[int]) -> Interval:
+        # Round each endpoint *outward* to the nearest representable
+        # value: lower bounds saturate down, upper bounds saturate up.
+        if lo is not None:
+            if lo < -self.bound:
+                lo = None
+            elif lo > self.bound:
+                lo = self.bound
+        if hi is not None:
+            if hi > self.bound:
+                hi = None
+            elif hi < -self.bound:
+                hi = -self.bound
+        return Interval(lo, hi)
+
+    @property
+    def bottom(self) -> IntervalValue:
+        return INT_BOT
+
+    @property
+    def top(self) -> IntervalValue:
+        return Interval(None, None)
+
+    @property
+    def iota(self) -> IntervalValue:
+        """Join of all naturals: [0, +inf)."""
+        return Interval(0, None)
+
+    def const(self, n: int) -> IntervalValue:
+        return self._clamp(n, n)
+
+    def join(self, a: IntervalValue, b: IntervalValue) -> IntervalValue:
+        if a is INT_BOT:
+            return b
+        if b is INT_BOT:
+            return a
+        assert isinstance(a, Interval) and isinstance(b, Interval)
+        lo = None if a.lo is None or b.lo is None else min(a.lo, b.lo)
+        hi = None if a.hi is None or b.hi is None else max(a.hi, b.hi)
+        return Interval(lo, hi)
+
+    def leq(self, a: IntervalValue, b: IntervalValue) -> bool:
+        if a is INT_BOT:
+            return True
+        if b is INT_BOT:
+            return False
+        assert isinstance(a, Interval) and isinstance(b, Interval)
+        lo_ok = b.lo is None or (a.lo is not None and a.lo >= b.lo)
+        hi_ok = b.hi is None or (a.hi is not None and a.hi <= b.hi)
+        return lo_ok and hi_ok
+
+    def _shift(self, a: IntervalValue, delta: int) -> IntervalValue:
+        if a is INT_BOT:
+            return a
+        assert isinstance(a, Interval)
+        lo = None if a.lo is None else a.lo + delta
+        hi = None if a.hi is None else a.hi + delta
+        return self._clamp(lo, hi)
+
+    def add1(self, a: IntervalValue) -> IntervalValue:
+        return self._shift(a, 1)
+
+    def sub1(self, a: IntervalValue) -> IntervalValue:
+        return self._shift(a, -1)
+
+    def binop(
+        self, op: str, a: IntervalValue, b: IntervalValue
+    ) -> IntervalValue:
+        if a is INT_BOT or b is INT_BOT:
+            return INT_BOT
+        assert isinstance(a, Interval) and isinstance(b, Interval)
+        if op == "+":
+            lo = None if a.lo is None or b.lo is None else a.lo + b.lo
+            hi = None if a.hi is None or b.hi is None else a.hi + b.hi
+            return self._clamp(lo, hi)
+        if op == "-":
+            lo = None if a.lo is None or b.hi is None else a.lo - b.hi
+            hi = None if a.hi is None or b.lo is None else a.hi - b.lo
+            return self._clamp(lo, hi)
+        if op == "*":
+            corners = []
+            for x in (a.lo, a.hi):
+                for y in (b.lo, b.hi):
+                    if x is None or y is None:
+                        return self.top
+                    corners.append(x * y)
+            return self._clamp(min(corners), max(corners))
+        raise ValueError(f"unknown operator {op!r}")
+
+    def may_be_zero(self, a: IntervalValue) -> bool:
+        if a is INT_BOT:
+            return False
+        assert isinstance(a, Interval)
+        lo_ok = a.lo is None or a.lo <= 0
+        hi_ok = a.hi is None or a.hi >= 0
+        return lo_ok and hi_ok
+
+    def may_be_nonzero(self, a: IntervalValue) -> bool:
+        if a is INT_BOT:
+            return False
+        assert isinstance(a, Interval)
+        return a != Interval(0, 0)

@@ -1,0 +1,94 @@
+"""The parity domain: even / odd / unknown.
+
+A classic four-point abstraction::
+
+          TOP
+         /   \\
+      EVEN   ODD
+         \\   /
+          BOT
+
+Parity transfer functions are ring homomorphisms modulo 2, so the
+*value-level* operations are additive; like every relational-free
+analysis, the store-level merge can still lose correlations between
+variables, so the domain is conservatively marked non-distributive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.domains.protocol import NumDomain
+
+
+@dataclass(frozen=True, slots=True)
+class _Parity:
+    label: str
+
+    def __repr__(self) -> str:
+        return self.label
+
+
+PAR_BOT = _Parity("⊥")
+EVEN = _Parity("even")
+ODD = _Parity("odd")
+PAR_TOP = _Parity("⊤")
+
+_FLIP = {PAR_BOT: PAR_BOT, EVEN: ODD, ODD: EVEN, PAR_TOP: PAR_TOP}
+
+
+class ParityDomain(NumDomain[_Parity]):
+    """Abstract numbers by parity."""
+
+    name = "parity"
+    distributive = False
+
+    @property
+    def bottom(self) -> _Parity:
+        return PAR_BOT
+
+    @property
+    def top(self) -> _Parity:
+        return PAR_TOP
+
+    def const(self, n: int) -> _Parity:
+        return EVEN if n % 2 == 0 else ODD
+
+    def join(self, a: _Parity, b: _Parity) -> _Parity:
+        if a is PAR_BOT:
+            return b
+        if b is PAR_BOT:
+            return a
+        if a == b:
+            return a
+        return PAR_TOP
+
+    def leq(self, a: _Parity, b: _Parity) -> bool:
+        return a is PAR_BOT or b is PAR_TOP or a == b
+
+    def add1(self, a: _Parity) -> _Parity:
+        return _FLIP[a]
+
+    def sub1(self, a: _Parity) -> _Parity:
+        return _FLIP[a]
+
+    def binop(self, op: str, a: _Parity, b: _Parity) -> _Parity:
+        if a is PAR_BOT or b is PAR_BOT:
+            return PAR_BOT
+        if op in ("+", "-"):
+            if a is PAR_TOP or b is PAR_TOP:
+                return PAR_TOP
+            return EVEN if a == b else ODD
+        if op == "*":
+            if a is EVEN or b is EVEN:
+                return EVEN  # even * anything is even, even for TOP
+            if a is PAR_TOP or b is PAR_TOP:
+                return PAR_TOP
+            return ODD
+        raise ValueError(f"unknown operator {op!r}")
+
+    def may_be_zero(self, a: _Parity) -> bool:
+        return a is EVEN or a is PAR_TOP
+
+    def may_be_nonzero(self, a: _Parity) -> bool:
+        return a is not PAR_BOT

@@ -1,0 +1,107 @@
+"""The `NumDomain` interface: a finite-height lattice of abstract numbers.
+
+Every domain supplies the operations the analyzers need:
+
+- the lattice structure (``bottom``, ``top``, ``join``, ``leq``);
+- abstraction of literals (``const``);
+- transfer functions for the primitives (``add1``, ``sub1``, ``binop``);
+- the branch test (``may_be_zero`` / ``may_be_nonzero``), which drives
+  the ``if0`` rules of Figures 4-6;
+- ``iota``, the join of the abstractions of all naturals, which is the
+  direct analyzer's answer for the Section 6.2 ``loop`` construct.
+
+Domain elements must be immutable and hashable (they are stored in
+hashable abstract stores used as loop-detection keys).  The lattice
+must have finite height: the Section 4.4 termination argument is
+"stores ascend along a derivation and the store lattice has no
+infinite ascending chains".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generic, Hashable, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class NumDomain(ABC, Generic[T]):
+    """A finite-height abstract domain for numbers."""
+
+    #: Short identifier used in reports and benchmarks.
+    name: str = "abstract"
+
+    #: Whether every transfer function of the *whole analysis* over
+    #: this domain distributes over joins (Definition 5.3).  Constant
+    #: propagation famously does not; see the domain docstrings for
+    #: the per-domain argument.
+    distributive: bool = False
+
+    @property
+    @abstractmethod
+    def bottom(self) -> T:
+        """The least element (no value reaches this point)."""
+
+    @property
+    @abstractmethod
+    def top(self) -> T:
+        """The greatest element (any number)."""
+
+    @abstractmethod
+    def const(self, n: int) -> T:
+        """Abstract the literal ``n``."""
+
+    @abstractmethod
+    def join(self, a: T, b: T) -> T:
+        """Least upper bound."""
+
+    @abstractmethod
+    def leq(self, a: T, b: T) -> bool:
+        """Lattice order: ``a`` is at least as precise as ``b``."""
+
+    @abstractmethod
+    def add1(self, a: T) -> T:
+        """Transfer function of the ``add1`` primitive."""
+
+    @abstractmethod
+    def sub1(self, a: T) -> T:
+        """Transfer function of the ``sub1`` primitive."""
+
+    @abstractmethod
+    def binop(self, op: str, a: T, b: T) -> T:
+        """Transfer function of a second-class operator (``+ - *``)."""
+
+    @abstractmethod
+    def may_be_zero(self, a: T) -> bool:
+        """Could a concrete number abstracted by ``a`` equal 0?"""
+
+    @abstractmethod
+    def may_be_nonzero(self, a: T) -> bool:
+        """Could a concrete number abstracted by ``a`` differ from 0?"""
+
+    @property
+    def iota(self) -> T:
+        """The join of ``const(i)`` over all naturals ``i >= 0``.
+
+        Used by the direct analyzer's rule for the ``loop`` construct;
+        defaults to ``top``, which is always sound.
+        """
+        return self.top
+
+    def is_bottom(self, a: T) -> bool:
+        """True when ``a`` is the least element."""
+        return a == self.bottom
+
+    # ------------------------------------------------------------------
+    # Concretization-side helpers used by soundness tests.
+    # ------------------------------------------------------------------
+
+    def abstracts(self, a: T, n: int) -> bool:
+        """True when the concrete number ``n`` is described by ``a``.
+
+        Default implementation: ``const(n) <= a``.
+        """
+        return self.leq(self.const(n), a)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,122 @@
+"""The sign domain: negative / zero / positive / unknown.
+
+The five-point lattice::
+
+           TOP
+         /  |  \\
+      NEG ZERO POS
+         \\  |  /
+           BOT
+
+Join of any two distinct signs is TOP (no intermediate points such as
+"non-negative" — keeping the lattice small keeps the ``if0`` branch
+behaviour easy to reason about in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.domains.protocol import NumDomain
+
+
+@dataclass(frozen=True, slots=True)
+class _Sign:
+    label: str
+
+    def __repr__(self) -> str:
+        return self.label
+
+
+SIGN_BOT = _Sign("⊥")
+NEG = _Sign("neg")
+ZERO = _Sign("zero")
+POS = _Sign("pos")
+SIGN_TOP = _Sign("⊤")
+
+
+class SignDomain(NumDomain[_Sign]):
+    """Abstract numbers by sign."""
+
+    name = "sign"
+    distributive = False
+
+    @property
+    def bottom(self) -> _Sign:
+        return SIGN_BOT
+
+    @property
+    def top(self) -> _Sign:
+        return SIGN_TOP
+
+    def const(self, n: int) -> _Sign:
+        if n < 0:
+            return NEG
+        if n == 0:
+            return ZERO
+        return POS
+
+    def join(self, a: _Sign, b: _Sign) -> _Sign:
+        if a is SIGN_BOT:
+            return b
+        if b is SIGN_BOT:
+            return a
+        if a == b:
+            return a
+        return SIGN_TOP
+
+    def leq(self, a: _Sign, b: _Sign) -> bool:
+        return a is SIGN_BOT or b is SIGN_TOP or a == b
+
+    def add1(self, a: _Sign) -> _Sign:
+        if a is ZERO:
+            return POS
+        if a is POS:
+            return POS
+        if a is NEG:
+            return SIGN_TOP  # -1 + 1 = 0; -5 + 1 < 0
+        return a
+
+    def sub1(self, a: _Sign) -> _Sign:
+        if a is ZERO:
+            return NEG
+        if a is NEG:
+            return NEG
+        if a is POS:
+            return SIGN_TOP  # 1 - 1 = 0; 5 - 1 > 0
+        return a
+
+    def binop(self, op: str, a: _Sign, b: _Sign) -> _Sign:
+        if a is SIGN_BOT or b is SIGN_BOT:
+            return SIGN_BOT
+        if op == "-":
+            return self.binop("+", a, self._negate(b))
+        if op == "+":
+            if a is ZERO:
+                return b
+            if b is ZERO:
+                return a
+            if a is b and a in (NEG, POS):
+                return a
+            return SIGN_TOP
+        if op == "*":
+            if a is ZERO or b is ZERO:
+                return ZERO
+            if a is SIGN_TOP or b is SIGN_TOP:
+                return SIGN_TOP
+            return POS if a is b else NEG
+        raise ValueError(f"unknown operator {op!r}")
+
+    @staticmethod
+    def _negate(a: _Sign) -> _Sign:
+        if a is NEG:
+            return POS
+        if a is POS:
+            return NEG
+        return a
+
+    def may_be_zero(self, a: _Sign) -> bool:
+        return a is ZERO or a is SIGN_TOP
+
+    def may_be_nonzero(self, a: _Sign) -> bool:
+        return a in (NEG, POS, SIGN_TOP)

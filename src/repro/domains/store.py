@@ -1,0 +1,125 @@
+"""Abstract stores (paper Section 4.1).
+
+After the 0CFA abstraction, every variable has exactly one location —
+the variable itself — and the store maps each variable to the join of
+all values bound to it.  Abstract stores are immutable and hashable:
+``(term, store)`` pairs key the Section 4.4 loop detection, and store
+equality is how loops are recognized.
+
+Entries whose value is bottom are normalized away, so a store that
+never bound ``x`` equals one that bound it to bottom.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.domains.absval import AbsVal, Lattice
+
+
+class AbsStore:
+    """An immutable, hashable map from variables to abstract values."""
+
+    __slots__ = ("_lattice", "_table", "_hash")
+
+    def __init__(
+        self,
+        lattice: Lattice,
+        table: Mapping[str, AbsVal] | None = None,
+    ) -> None:
+        self._lattice = lattice
+        cleaned: dict[str, AbsVal] = {}
+        if table:
+            for name, value in table.items():
+                if not lattice.is_bottom(value):
+                    cleaned[name] = value
+        self._table = cleaned
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    @property
+    def lattice(self) -> Lattice:
+        """The lattice this store's values belong to."""
+        return self._lattice
+
+    def get(self, name: str) -> AbsVal:
+        """The value of ``name``; bottom when never bound."""
+        return self._table.get(name, self._lattice.bottom)
+
+    def variables(self) -> Iterator[str]:
+        """Iterate over the variables with a non-bottom entry."""
+        return iter(self._table)
+
+    def items(self) -> Iterator[tuple[str, AbsVal]]:
+        """Iterate over (variable, value) pairs."""
+        return iter(self._table.items())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    # ------------------------------------------------------------------
+    # Lattice structure
+    # ------------------------------------------------------------------
+
+    def joined_bind(self, name: str, value: AbsVal) -> "AbsStore":
+        """The paper's ``sigma[x := sigma(x) u u]`` update."""
+        joined = self._lattice.join(self.get(name), value)
+        if joined == self.get(name) and name in self._table:
+            return self
+        table = dict(self._table)
+        table[name] = joined
+        return AbsStore(self._lattice, table)
+
+    def join(self, other: "AbsStore") -> "AbsStore":
+        """Pointwise least upper bound of two stores."""
+        if self is other:
+            return self
+        table = dict(self._table)
+        for name, value in other._table.items():
+            existing = table.get(name)
+            table[name] = (
+                value if existing is None else self._lattice.join(existing, value)
+            )
+        return AbsStore(self._lattice, table)
+
+    def leq(self, other: "AbsStore") -> bool:
+        """Pointwise order: every entry at least as precise in ``other``."""
+        for name, value in self._table.items():
+            if not self._lattice.leq(value, other.get(name)):
+                return False
+        return True
+
+    def restrict(self, names: Iterable[str]) -> "AbsStore":
+        """The store restricted to ``names`` (used by comparisons that
+        must ignore continuation-variable entries)."""
+        wanted = set(names)
+        return AbsStore(
+            self._lattice,
+            {n: v for n, v in self._table.items() if n in wanted},
+        )
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AbsStore):
+            return NotImplemented
+        return self._table == other._table
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._table.items()))
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"{name} -> {value!r}" for name, value in sorted(self._table.items())
+        )
+        return f"AbsStore({inner})"

@@ -1,0 +1,78 @@
+"""The two-point reachability domain: no numeric information at all.
+
+Elements are ``UNIT_BOT`` (no number reaches this point) and
+``UNIT_TOP`` (some number may).  Instantiating the analyzers at this
+domain yields a pure control-flow (0CFA) analysis: the only useful
+content of abstract values is the closure sets.
+
+All transfer functions are *additive* (they distribute over joins):
+``add1``/``sub1`` are the identity, a binary operator is non-bottom
+iff both operands are... which is the one non-additive case — however
+the language's lexical scoping makes it unobservable (see the
+distributivity notes in ``analysis/compare.py``).  Empirically the
+analyzers agree on this domain wherever we have tested them; the
+Theorem 5.4 test suite asserts the ``A1 ⊑ A3`` direction universally
+and the equality on the distributive workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.domains.protocol import NumDomain
+
+
+@dataclass(frozen=True, slots=True)
+class _UnitValue:
+    label: str
+
+    def __repr__(self) -> str:
+        return self.label
+
+
+#: No number flows here.
+UNIT_BOT = _UnitValue("⊥")
+
+#: Some number may flow here.
+UNIT_TOP = _UnitValue("num")
+
+
+class UnitDomain(NumDomain[_UnitValue]):
+    """The two-point lattice {⊥ < num}: reachability only."""
+
+    name = "unit"
+    distributive = True
+
+    @property
+    def bottom(self) -> _UnitValue:
+        return UNIT_BOT
+
+    @property
+    def top(self) -> _UnitValue:
+        return UNIT_TOP
+
+    def const(self, n: int) -> _UnitValue:
+        return UNIT_TOP
+
+    def join(self, a: _UnitValue, b: _UnitValue) -> _UnitValue:
+        return UNIT_TOP if UNIT_TOP in (a, b) else UNIT_BOT
+
+    def leq(self, a: _UnitValue, b: _UnitValue) -> bool:
+        return a is UNIT_BOT or b is UNIT_TOP
+
+    def add1(self, a: _UnitValue) -> _UnitValue:
+        return a
+
+    def sub1(self, a: _UnitValue) -> _UnitValue:
+        return a
+
+    def binop(self, op: str, a: _UnitValue, b: _UnitValue) -> _UnitValue:
+        if op not in ("+", "-", "*"):
+            raise ValueError(f"unknown operator {op!r}")
+        return UNIT_BOT if UNIT_BOT in (a, b) else UNIT_TOP
+
+    def may_be_zero(self, a: _UnitValue) -> bool:
+        return a is UNIT_TOP
+
+    def may_be_nonzero(self, a: _UnitValue) -> bool:
+        return a is UNIT_TOP

@@ -1,0 +1,19 @@
+"""Random program generation for property-based testing and sweeps."""
+
+from repro.gen.random_terms import (
+    FUN,
+    NUM,
+    random_closed_term,
+    random_first_order_term,
+    random_open_term,
+    random_program,
+)
+
+__all__ = [
+    "NUM",
+    "FUN",
+    "random_closed_term",
+    "random_first_order_term",
+    "random_open_term",
+    "random_program",
+]

@@ -1,0 +1,223 @@
+"""Seeded random generation of well-scoped, terminating A terms.
+
+The generator produces *simply-typed* terms (numbers and first-order /
+second-order function types), which guarantees termination of the
+concrete interpreters — the source language has no recursion except
+through self-application, which simple types rule out.  That makes the
+generated programs suitable for differential testing of the three
+interpreters (Lemmas 3.1 and 3.3) and for soundness tests of the
+analyzers against concrete runs.
+
+Types are represented as:
+
+- ``NUM`` — the base type of numbers;
+- ``FUN(a, b)`` — procedures from ``a`` to ``b``.
+
+The generator is driven by a caller-supplied :class:`random.Random`,
+so hypothesis can feed it seeds and shrink over them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Union
+
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Num,
+    Prim,
+    PrimApp,
+    Term,
+    Var,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class _NumType:
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "num"
+
+
+@dataclass(frozen=True, slots=True)
+class FunType:
+    """The type of procedures from ``arg`` to ``result``."""
+
+    arg: "Type"
+    result: "Type"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"({self.arg} -> {self.result})"
+
+
+Type = Union[_NumType, FunType]
+
+#: The base type of numbers.
+NUM: Type = _NumType()
+
+
+def FUN(arg: Type, result: Type) -> FunType:
+    """Construct a function type."""
+    return FunType(arg, result)
+
+
+#: Function types the generator draws lambdas from.
+_FUNCTION_TYPES = (
+    FUN(NUM, NUM),
+    FUN(NUM, FUN(NUM, NUM)),
+    FUN(FUN(NUM, NUM), NUM),
+)
+
+
+class _Generator:
+    def __init__(self, rng: random.Random, first_order: bool = False) -> None:
+        self.rng = rng
+        self.counter = 0
+        #: restrict to numbers, arithmetic and conditionals (no lambdas
+        #: or calls) — the fragment the classical dataflow frameworks
+        #: of `repro.dataflow` handle exactly
+        self.first_order = first_order
+
+    def fresh(self, base: str) -> str:
+        self.counter += 1
+        return f"{base}{self.counter}"
+
+    def gen(self, want: Type, env: dict[str, Type], depth: int) -> Term:
+        """Generate a term of type ``want`` under ``env``."""
+        rng = self.rng
+        candidates = [name for name, ty in env.items() if ty == want]
+        if depth <= 0:
+            if want == NUM:
+                if candidates and rng.random() < 0.5:
+                    return Var(rng.choice(candidates))
+                return Num(rng.randint(-5, 5))
+            if candidates:
+                return Var(rng.choice(candidates))
+            return self._lambda(want, env, 0)
+
+        roll = rng.random()
+        if want == NUM:
+            if self.first_order:
+                # rebalance away from the higher-order constructions
+                roll *= 0.8
+            if roll < 0.12:
+                return Num(rng.randint(-5, 5))
+            if roll < 0.24 and candidates:
+                return Var(rng.choice(candidates))
+            if roll < 0.38:
+                prim = Prim(rng.choice(("add1", "sub1")))
+                return App(prim, self.gen(NUM, env, depth - 1))
+            if roll < 0.52:
+                op = rng.choice(("+", "-", "*"))
+                return PrimApp(
+                    op,
+                    (
+                        self.gen(NUM, env, depth - 1),
+                        self.gen(NUM, env, depth - 1),
+                    ),
+                )
+            if roll < 0.64:
+                return If0(
+                    self.gen(NUM, env, depth - 1),
+                    self.gen(NUM, env, depth - 1),
+                    self.gen(NUM, env, depth - 1),
+                )
+            if roll < 0.80:
+                return self._let(want, env, depth)
+            return self._call(want, env, depth)
+        # function type requested
+        if roll < 0.3 and candidates:
+            return Var(rng.choice(candidates))
+        if roll < 0.45:
+            return self._let(want, env, depth)
+        if roll < 0.55:
+            return If0(
+                self.gen(NUM, env, depth - 1),
+                self.gen(want, env, depth - 1),
+                self.gen(want, env, depth - 1),
+            )
+        return self._lambda(want, env, depth)
+
+    def _lambda(self, want: Type, env: dict[str, Type], depth: int) -> Term:
+        if want == NUM:
+            # No lambda has type num; fall back to a literal.
+            return Num(self.rng.randint(-5, 5))
+        assert isinstance(want, FunType)
+        param = self.fresh("x")
+        body_env = dict(env)
+        body_env[param] = want.arg
+        if want == FUN(NUM, NUM) and self.rng.random() < 0.2:
+            return Prim(self.rng.choice(("add1", "sub1")))
+        return Lam(param, self.gen(want.result, body_env, max(depth - 1, 0)))
+
+    def _let(self, want: Type, env: dict[str, Type], depth: int) -> Term:
+        name = self.fresh("v")
+        rhs_type = (
+            NUM
+            if self.first_order or self.rng.random() < 0.6
+            else self.rng.choice(_FUNCTION_TYPES)
+        )
+        rhs = self.gen(rhs_type, env, depth - 1)
+        body_env = dict(env)
+        body_env[name] = rhs_type
+        return Let(name, rhs, self.gen(want, body_env, depth - 1))
+
+    def _call(self, want: Type, env: dict[str, Type], depth: int) -> Term:
+        arg_type = NUM if self.rng.random() < 0.7 else FUN(NUM, NUM)
+        fun = self.gen(FUN(arg_type, want), env, depth - 1)
+        arg = self.gen(arg_type, env, depth - 1)
+        return App(fun, arg)
+
+
+def random_closed_term(
+    rng: random.Random, max_depth: int = 5, want: Type = NUM
+) -> Term:
+    """Generate a closed, simply-typed (hence terminating) term.
+
+    Args:
+        rng: the randomness source (seed it for reproducibility).
+        max_depth: recursion budget; terms grow roughly exponentially
+            with it, so 4-6 is a practical range.
+        want: the type of the generated term (default: a number).
+    """
+    return _Generator(rng).gen(want, {}, max_depth)
+
+
+def random_first_order_term(
+    rng: random.Random,
+    max_depth: int = 5,
+    free_numeric: tuple[str, ...] = ("in0", "in1"),
+) -> Term:
+    """Generate a first-order term: numbers, arithmetic, ``add1``/
+    ``sub1`` applications and conditionals over unknown inputs — the
+    fragment the classical dataflow frameworks of
+    :mod:`repro.dataflow` model exactly."""
+    env: dict[str, Type] = {name: NUM for name in free_numeric}
+    return _Generator(rng, first_order=True).gen(NUM, env, max_depth)
+
+
+def random_open_term(
+    rng: random.Random,
+    max_depth: int = 5,
+    free_numeric: tuple[str, ...] = ("in0", "in1"),
+    want: Type = NUM,
+) -> Term:
+    """Generate a simply-typed term with free numeric inputs.
+
+    Unlike closed random programs — which an analysis folds completely,
+    so all three analyzers trivially agree — open programs have
+    statically unknown conditional tests and data, which is where the
+    paper's phenomena (branch joins, duplication gains/losses) occur.
+    The free variables have type ``num``; evaluate or analyze with an
+    environment/initial store covering them.
+    """
+    env: dict[str, Type] = {name: NUM for name in free_numeric}
+    return _Generator(rng).gen(want, env, max_depth)
+
+
+def random_program(seed: int, max_depth: int = 5, want: Type = NUM) -> Term:
+    """Generate a closed term from an integer seed (hypothesis-friendly)."""
+    return random_closed_term(random.Random(seed), max_depth, want)

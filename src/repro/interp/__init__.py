@@ -1,0 +1,59 @@
+"""Concrete interpreters (paper Figures 1-3).
+
+Three interpreters, all defined over the restricted (A-normal form)
+subset:
+
+- :mod:`repro.interp.direct` — the direct store interpreter ``M``
+  (Figure 1), a big-step evaluator.
+- :mod:`repro.interp.semantic_cps` — the semantic-CPS interpreter ``C``
+  (Figure 2), an abstract machine whose continuations are lists of
+  ``(let (x []) M)`` frames paired with environments.
+- :mod:`repro.interp.syntactic_cps` — the interpreter ``Mc``
+  (Figure 3) for programs in the image of the CPS transformation;
+  its run-time values include reified continuations.
+
+:mod:`repro.interp.delta` implements the ``δ`` map relating direct
+run-time values to their CPS counterparts (Section 3.3), used to state
+and test Lemma 3.3.
+"""
+
+from repro.interp.direct import run_direct
+from repro.interp.delta import answers_delta_related, values_delta_related
+from repro.interp.errors import (
+    Diverged,
+    FuelExhausted,
+    InterpError,
+    StuckError,
+)
+from repro.interp.semantic_cps import run_semantic_cps
+from repro.interp.syntactic_cps import run_syntactic_cps
+from repro.interp.values import (
+    DEC,
+    INC,
+    Answer,
+    Closure,
+    Env,
+    Loc,
+    PrimVal,
+    Store,
+)
+
+__all__ = [
+    "run_direct",
+    "run_semantic_cps",
+    "run_syntactic_cps",
+    "answers_delta_related",
+    "values_delta_related",
+    "InterpError",
+    "StuckError",
+    "FuelExhausted",
+    "Diverged",
+    "Answer",
+    "Closure",
+    "Env",
+    "Loc",
+    "Store",
+    "PrimVal",
+    "INC",
+    "DEC",
+]

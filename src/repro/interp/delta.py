@@ -1,0 +1,110 @@
+"""The ``δ`` map relating direct and CPS run-time values (Section 3.3).
+
+The paper defines::
+
+    δ(n)              = n
+    δ(inc)            = inck
+    δ(dec)            = deck
+    δ((cl x, M, rho)) = (cl x k_x, F_{k_x}[M], δ(rho))
+
+and extends δ pointwise to stores and componentwise to answers.
+Lemma 3.3 states that running ``F_k[M]`` under `Mc` yields the δ-image
+of the semantic-CPS answer for ``M``, with the CPS store holding
+additional continuation entries.
+
+Two independent evaluations allocate locations in different orders, so
+rather than comparing stores entry-by-entry we compare the *reachable
+structure* of the answers: numbers must agree, primitive tags must be
+δ-images, and closures must have δ-related bodies and δ-related
+environments on the free variables of those bodies.  This captures
+exactly the observable content of the lemma while being insensitive to
+location naming.
+"""
+
+from __future__ import annotations
+
+from repro.cps.transform import cps_transform, kvar_for
+from repro.interp.values import (
+    DEC,
+    DECK,
+    INC,
+    INCK,
+    Answer,
+    Closure,
+    CoKont,
+    CpsClosure,
+    Store,
+    StopKont,
+)
+from repro.lang.syntax import free_variables
+
+#: Default recursion guard for structural comparison.
+MAX_DEPTH = 100
+
+
+def values_delta_related(
+    direct_value: object,
+    direct_store: Store,
+    cps_value: object,
+    cps_store: Store,
+    depth: int = MAX_DEPTH,
+) -> bool:
+    """True when ``cps_value`` is the δ-image of ``direct_value``.
+
+    Closures are compared by transforming the direct closure's body on
+    the fly (δ is defined in terms of ``F``) and recursively comparing
+    the captured environments on the body's free variables.
+    """
+    if depth <= 0:
+        raise RecursionError("delta comparison exceeded depth guard")
+    if isinstance(direct_value, int) and not isinstance(direct_value, bool):
+        return direct_value == cps_value
+    if direct_value is INC:
+        return cps_value is INCK
+    if direct_value is DEC:
+        return cps_value is DECK
+    if isinstance(direct_value, Closure):
+        if not isinstance(cps_value, CpsClosure):
+            return False
+        if cps_value.param != direct_value.param:
+            return False
+        if cps_value.kparam != kvar_for(direct_value.param):
+            return False
+        expected_body = cps_transform(
+            direct_value.body, kvar_for(direct_value.param), check=False
+        )
+        if cps_value.body != expected_body:
+            return False
+        needed = free_variables(direct_value.body) - {direct_value.param}
+        for name in needed:
+            if name not in direct_value.env or name not in cps_value.env:
+                return False
+            direct_entry = direct_store.lookup(direct_value.env.lookup(name))
+            cps_entry = cps_store.lookup(cps_value.env.lookup(name))
+            if not values_delta_related(
+                direct_entry, direct_store, cps_entry, cps_store, depth - 1
+            ):
+                return False
+        return True
+    if isinstance(direct_value, (CoKont, StopKont)):
+        # Continuations are CPS-only values; δ has no direct preimage.
+        return False
+    return False
+
+
+def answers_delta_related(
+    direct_answer: Answer, cps_answer: Answer, depth: int = MAX_DEPTH
+) -> bool:
+    """True when the answers are related as in Lemma 3.3.
+
+    The value components must be δ-related; the CPS store may contain
+    extra continuation entries (they are ignored by the reachability
+    comparison).
+    """
+    return values_delta_related(
+        direct_answer.value,
+        direct_answer.store,
+        cps_answer.value,
+        cps_answer.store,
+        depth,
+    )

@@ -1,0 +1,179 @@
+"""The direct (store) interpreter ``M`` — paper Figure 1.
+
+A big-step evaluator for the restricted subset.  The let-spine of a
+term is traversed iteratively (those transitions are tail calls in the
+figure); genuine recursion happens only at procedure application and
+conditional branches, so the Python stack depth tracks the evaluated
+program's control stack, as in the figure.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.anf.validate import validate_anf
+from repro.interp.errors import Diverged, FuelExhausted, StackOverflow, StuckError
+from repro.interp.values import (
+    DEC,
+    INC,
+    Answer,
+    Closure,
+    DirectValue,
+    Env,
+    Store,
+    expect_number,
+)
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Loop,
+    Num,
+    Prim,
+    PrimApp,
+    Term,
+    Var,
+    is_value,
+)
+
+#: Default step budget for evaluation.
+DEFAULT_FUEL = 100_000
+
+#: Semantics of the second-class operators.
+OPERATIONS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+
+class Fuel:
+    """A mutable step budget shared across an evaluation."""
+
+    __slots__ = ("remaining", "budget")
+
+    def __init__(self, budget: int) -> None:
+        self.budget = budget
+        self.remaining = budget
+
+    def tick(self) -> None:
+        """Consume one step, raising `FuelExhausted` at zero."""
+        if self.remaining <= 0:
+            raise FuelExhausted(self.budget)
+        self.remaining -= 1
+
+
+def evaluate_value(value: Term, env: Env, store: Store) -> DirectValue:
+    """The auxiliary function ``phi`` of Figure 1: evaluate a syntactic
+    value to a run-time value."""
+    match value:
+        case Num(n):
+            return n
+        case Var(name):
+            return store.lookup(env.lookup(name))
+        case Prim("add1"):
+            return INC
+        case Prim("sub1"):
+            return DEC
+        case Lam(param, body):
+            return Closure(param, body, env)
+    raise StuckError(f"not a syntactic value: {value!r}")
+
+
+def apply_procedure(
+    fun: DirectValue, arg: DirectValue, store: Store, fuel: Fuel
+) -> DirectValue:
+    """The ``app`` predicate of Figure 1: apply a run-time procedure."""
+    if fun is INC:
+        return expect_number(arg, "add1") + 1
+    if fun is DEC:
+        return expect_number(arg, "sub1") - 1
+    if isinstance(fun, Closure):
+        loc = store.new(fun.param)
+        store.bind(loc, arg)
+        return _eval(fun.body, fun.env.bind(fun.param, loc), store, fuel)
+    raise StuckError(f"cannot apply non-procedure {fun!r}")
+
+
+def _branch_index(test: DirectValue) -> bool:
+    """True for the then-branch: the test evaluated to 0."""
+    return isinstance(test, int) and not isinstance(test, bool) and test == 0
+
+
+def _eval(term: Term, env: Env, store: Store, fuel: Fuel) -> DirectValue:
+    while True:
+        fuel.tick()
+        if is_value(term):
+            return evaluate_value(term, env, store)
+        if not isinstance(term, Let):
+            raise StuckError(f"term is not in the restricted subset: {term!r}")
+        rhs = term.rhs
+        if is_value(rhs):
+            result = evaluate_value(rhs, env, store)
+        else:
+            match rhs:
+                case App(fun, arg):
+                    fun_v = evaluate_value(fun, env, store)
+                    arg_v = evaluate_value(arg, env, store)
+                    result = apply_procedure(fun_v, arg_v, store, fuel)
+                case If0(test, then, orelse):
+                    test_v = evaluate_value(test, env, store)
+                    branch = then if _branch_index(test_v) else orelse
+                    result = _eval(branch, env, store, fuel)
+                case PrimApp(op, args):
+                    numbers = [
+                        expect_number(evaluate_value(a, env, store), op)
+                        for a in args
+                    ]
+                    result = OPERATIONS[op](*numbers)
+                case Loop():
+                    raise Diverged()
+                case _:
+                    raise StuckError(f"invalid let right-hand side: {rhs!r}")
+        loc = store.new(term.name)
+        store.bind(loc, result)
+        env = env.bind(term.name, loc)
+        term = term.body
+
+
+def run_direct(
+    term: Term,
+    env: Env | None = None,
+    store: Store | None = None,
+    fuel: int = DEFAULT_FUEL,
+    check: bool = True,
+) -> Answer:
+    """Evaluate an A-normal form ``term`` with the direct interpreter.
+
+    Args:
+        term: a program of the restricted subset (use
+            :func:`repro.anf.normalize` first for arbitrary terms).
+        env, store: optional initial environment and store, for programs
+            with free variables.
+        fuel: step budget; `FuelExhausted` is raised when it runs out.
+        check: validate that ``term`` is in the restricted subset.
+
+    Returns:
+        The final `Answer` (value and store).
+    """
+    if check:
+        validate_anf(term)
+    env = env if env is not None else Env()
+    store = store if store is not None else Store()
+    # Figure 1's `app` rule is genuinely recursive; give the evaluated
+    # program's control stack room proportional to the step budget.
+    # (CPython >= 3.11 heap-allocates pure-Python frames, so a large
+    # limit is safe.)
+    previous_limit = sys.getrecursionlimit()
+    wanted = min(3 * fuel + 1_000, 1_000_000)
+    if wanted > previous_limit:
+        sys.setrecursionlimit(wanted)
+    try:
+        value = _eval(term, env, store, Fuel(fuel))
+    except RecursionError:
+        raise StackOverflow() from None
+    finally:
+        if wanted > previous_limit:
+            sys.setrecursionlimit(previous_limit)
+    return Answer(value, store)

@@ -1,0 +1,54 @@
+"""Exceptions raised by the concrete interpreters."""
+
+from __future__ import annotations
+
+
+class InterpError(Exception):
+    """Base class for interpreter errors."""
+
+
+class StuckError(InterpError):
+    """The program reached a state with no applicable rule.
+
+    Examples: applying a number, incrementing a closure, referencing
+    an unbound variable, or branching on a continuation where the
+    semantics does not define one.
+    """
+
+
+class FuelExhausted(InterpError):
+    """Evaluation exceeded the step budget.
+
+    The source language is untyped and supports recursion through
+    self-application, so evaluation may legitimately diverge; fuel
+    makes divergence observable in tests.
+    """
+
+    def __init__(self, fuel: int) -> None:
+        self.fuel = fuel
+        super().__init__(f"evaluation exceeded {fuel} steps")
+
+
+class StackOverflow(InterpError):
+    """The evaluated program's control stack outgrew the host stack.
+
+    Only the direct interpreter can raise this: Figure 1 is a big-step
+    evaluator whose ``app`` rule is genuinely recursive, so deeply
+    nested non-tail calls consume host stack frames.  The machines of
+    Figures 2 and 3 never raise it — their continuations are explicit.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("interpreted control stack exceeded the host limit")
+
+
+class Diverged(InterpError):
+    """Evaluation reached the `loop` construct, which never returns.
+
+    ``loop`` abbreviates ``x := 0; while true x := x + 1`` (paper
+    Section 6.2); concretely it has no answer, so the interpreters
+    raise instead of spinning down the fuel.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("(loop) diverges: it never produces a value")

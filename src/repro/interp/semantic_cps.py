@@ -1,0 +1,111 @@
+"""The semantic-CPS interpreter ``C`` — paper Figure 2.
+
+An abstract machine over source (A-normal form) terms whose control
+state is an explicit continuation: a stack of ``((let (x []) M), rho)``
+frames.  Every rule of Figure 2 is a tail transition, so the machine
+runs as a single loop with no Python recursion; ``appk`` is the CPS
+counterpart of ``app`` and ``appr`` is the return operation (bind the
+return value, restore the environment, pop the control stack).
+"""
+
+from __future__ import annotations
+
+from repro.anf.validate import validate_anf
+from repro.interp.direct import DEFAULT_FUEL, OPERATIONS, Fuel, evaluate_value
+from repro.interp.errors import Diverged, StuckError
+from repro.interp.values import (
+    DEC,
+    INC,
+    Answer,
+    Closure,
+    DirectValue,
+    Env,
+    Frame,
+    Kont,
+    Store,
+    expect_number,
+)
+from repro.lang.ast import App, If0, Let, Loop, PrimApp, Term, is_value
+
+
+def run_semantic_cps(
+    term: Term,
+    env: Env | None = None,
+    store: Store | None = None,
+    kont: Kont = (),
+    fuel: int = DEFAULT_FUEL,
+    check: bool = True,
+) -> Answer:
+    """Evaluate an A-normal form ``term`` with the semantic-CPS machine.
+
+    By Lemma 3.1 the result coincides with
+    :func:`repro.interp.direct.run_direct` (the test suite checks this
+    on the corpus and on random programs).
+    """
+    if check:
+        validate_anf(term)
+    env = env if env is not None else Env()
+    store = store if store is not None else Store()
+    meter = Fuel(fuel)
+    stack: list[Frame] = list(reversed(kont))  # top of stack = end of list
+
+    def bind(target_env: Env, name: str, value: DirectValue) -> Env:
+        loc = store.new(name)
+        store.bind(loc, value)
+        return target_env.bind(name, loc)
+
+    while True:
+        meter.tick()
+        # --- C: evaluate the current term ------------------------------
+        if is_value(term):
+            value = evaluate_value(term, env, store)
+            # --- appr: return `value` to the continuation --------------
+            if not stack:
+                return Answer(value, store)
+            frame = stack.pop()
+            env = bind(frame.env, frame.name, value)
+            term = frame.body
+            continue
+        if not isinstance(term, Let):
+            raise StuckError(f"term is not in the restricted subset: {term!r}")
+        name, rhs, body = term.name, term.rhs, term.body
+        if is_value(rhs):
+            env = bind(env, name, evaluate_value(rhs, env, store))
+            term = body
+            continue
+        match rhs:
+            case App(fun, arg):
+                fun_v = evaluate_value(fun, env, store)
+                arg_v = evaluate_value(arg, env, store)
+                # --- appk: apply with an explicit continuation ---------
+                if fun_v is INC or fun_v is DEC:
+                    delta = 1 if fun_v is INC else -1
+                    result = expect_number(arg_v, "add1/sub1") + delta
+                    env = bind(env, name, result)
+                    term = body
+                elif isinstance(fun_v, Closure):
+                    stack.append(Frame(name, body, env))
+                    env = bind(fun_v.env, fun_v.param, arg_v)
+                    term = fun_v.body
+                else:
+                    raise StuckError(f"cannot apply non-procedure {fun_v!r}")
+            case If0(test, then, orelse):
+                test_v = evaluate_value(test, env, store)
+                is_zero = (
+                    isinstance(test_v, int)
+                    and not isinstance(test_v, bool)
+                    and test_v == 0
+                )
+                stack.append(Frame(name, body, env))
+                term = then if is_zero else orelse
+            case PrimApp(op, args):
+                numbers = [
+                    expect_number(evaluate_value(a, env, store), op)
+                    for a in args
+                ]
+                env = bind(env, name, OPERATIONS[op](*numbers))
+                term = body
+            case Loop():
+                raise Diverged()
+            case _:
+                raise StuckError(f"invalid let right-hand side: {rhs!r}")

@@ -1,0 +1,157 @@
+"""The syntactic-CPS interpreter ``Mc`` — paper Figure 3.
+
+A specialized direct interpreter for cps(A) programs.  Its run-time
+values include reified continuations ``(co x, P, rho)`` and ``stop``:
+the salient aspect of the CPS transformation is precisely that the
+continuation becomes an object the program manipulates, and Figure 3
+keeps those objects distinguishable from user closures (footnote 4:
+representing continuations as procedures would be unrealistic and
+confusing for the data flow analyzers).
+
+Every rule of the figure is a tail transition (the program is in CPS),
+so the machine is a single loop.
+"""
+
+from __future__ import annotations
+
+from repro.cps.ast import (
+    CApp,
+    CIf0,
+    CLam,
+    CLet,
+    CLoop,
+    CNum,
+    CPrim,
+    CPrimLet,
+    CTerm,
+    CValue,
+    CVar,
+    KApp,
+)
+from repro.cps.transform import TOP_KVAR
+from repro.cps.validate import validate_cps
+from repro.interp.direct import DEFAULT_FUEL, OPERATIONS, Fuel
+from repro.interp.errors import Diverged, StuckError
+from repro.interp.values import (
+    DECK,
+    INCK,
+    STOP,
+    Answer,
+    CoKont,
+    CpsClosure,
+    CpsValue,
+    Env,
+    Store,
+    StopKont,
+    expect_number,
+)
+
+
+def evaluate_cps_value(value: CValue, env: Env, store: Store) -> CpsValue:
+    """The auxiliary function ``phi_c`` of Figure 3."""
+    match value:
+        case CNum(n):
+            return n
+        case CVar(name):
+            return store.lookup(env.lookup(name))
+        case CPrim("add1k"):
+            return INCK
+        case CPrim("sub1k"):
+            return DECK
+        case CLam(param, kparam, body):
+            return CpsClosure(param, kparam, body, env)
+    raise StuckError(f"not a cps(A) value: {value!r}")
+
+
+def run_syntactic_cps(
+    term: CTerm,
+    env: Env | None = None,
+    store: Store | None = None,
+    top_kvar: str = TOP_KVAR,
+    fuel: int = DEFAULT_FUEL,
+    check: bool = True,
+) -> Answer:
+    """Evaluate a cps(A) program with the interpreter of Figure 3.
+
+    The top continuation variable ``top_kvar`` is bound to ``stop`` in
+    the initial environment and store, as in Lemma 3.3.
+    """
+    if check:
+        validate_cps(term, frozenset((top_kvar,)))
+    env = env if env is not None else Env()
+    store = store if store is not None else Store()
+    if top_kvar not in env:
+        loc = store.new(top_kvar)
+        store.bind(loc, STOP)
+        env = env.bind(top_kvar, loc)
+    meter = Fuel(fuel)
+
+    def bind(target_env: Env, name: str, value: CpsValue) -> Env:
+        loc = store.new(name)
+        store.bind(loc, value)
+        return target_env.bind(name, loc)
+
+    state: tuple = ("eval", term, env)
+    while True:
+        meter.tick()
+        kind = state[0]
+        if kind == "eval":
+            _, term, env = state
+            match term:
+                case KApp(kvar, value):
+                    target = store.lookup(env.lookup(kvar))
+                    result = evaluate_cps_value(value, env, store)
+                    state = ("return", target, result)
+                case CLet(name, value, body):
+                    env = bind(env, name, evaluate_cps_value(value, env, store))
+                    state = ("eval", body, env)
+                case CApp(fun, arg, klam):
+                    fun_v = evaluate_cps_value(fun, env, store)
+                    arg_v = evaluate_cps_value(arg, env, store)
+                    reified = CoKont(klam.param, klam.body, env)
+                    state = ("apply", fun_v, arg_v, reified)
+                case CIf0(kvar, klam, test, then, orelse):
+                    test_v = evaluate_cps_value(test, env, store)
+                    env = bind(env, kvar, CoKont(klam.param, klam.body, env))
+                    is_zero = (
+                        isinstance(test_v, int)
+                        and not isinstance(test_v, bool)
+                        and test_v == 0
+                    )
+                    state = ("eval", then if is_zero else orelse, env)
+                case CPrimLet(name, op, args, body):
+                    numbers = [
+                        expect_number(
+                            evaluate_cps_value(a, env, store), op
+                        )
+                        for a in args
+                    ]
+                    env = bind(env, name, OPERATIONS[op](*numbers))
+                    state = ("eval", body, env)
+                case CLoop(_):
+                    raise Diverged()
+                case _:
+                    raise StuckError(f"not a cps(A) term: {term!r}")
+        elif kind == "apply":
+            # --- app_c: apply a procedure to a value and a continuation
+            _, fun_v, arg_v, kont = state
+            if fun_v is INCK or fun_v is DECK:
+                delta = 1 if fun_v is INCK else -1
+                result = expect_number(arg_v, "add1k/sub1k") + delta
+                state = ("return", kont, result)
+            elif isinstance(fun_v, CpsClosure):
+                env = bind(fun_v.env, fun_v.param, arg_v)
+                env = bind(env, fun_v.kparam, kont)
+                state = ("eval", fun_v.body, env)
+            else:
+                raise StuckError(f"cannot apply non-procedure {fun_v!r}")
+        else:
+            # --- appr_c: return a value through a continuation ---------
+            _, target, result = state
+            if isinstance(target, StopKont):
+                return Answer(result, store)
+            if isinstance(target, CoKont):
+                env = bind(target.env, target.param, result)
+                state = ("eval", target.body, env)
+            else:
+                raise StuckError(f"cannot return through {target!r}")

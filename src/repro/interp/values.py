@@ -1,0 +1,212 @@
+"""Run-time values, environments, and stores (paper Figures 1-3 domains).
+
+The concrete domains are::
+
+    Ans = Val x Sto
+    Env = Var -> Loc                  (finite table)
+    Sto = Loc -> Val                  (finite table)
+    Val = Num + Clo                   (direct / semantic-CPS)
+    Clo = (Var x A x Env) + inc + dec
+
+and, for the syntactic-CPS interpreter (Figure 3)::
+
+    Val = Num + Clo + Con
+    Clo = (Var x KVar x cps(A) x Env) + inck + deck
+    Con = (Var x cps(A) x Env) + stop
+
+Numbers are represented directly as Python ints.  Environments are
+persistent (closures capture them); the store is single-threaded
+through evaluation exactly as in the figures, so it is implemented as
+a mutable table with an allocation counter.  ``new`` allocates
+locations tagged with the variable they were created for, so that
+``new⁻¹`` (recovering the variable from a location, which the
+abstraction step of Section 4.1 uses) is trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Union
+
+from repro.interp.errors import StuckError
+
+
+@dataclass(frozen=True, slots=True)
+class Loc:
+    """A store location, tagged with the variable it was created for."""
+
+    name: str
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"{self.name}@{self.index}"
+
+
+class Env:
+    """A persistent finite map from variable names to locations."""
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: Mapping[str, Loc] | None = None) -> None:
+        self._table: dict[str, Loc] = dict(table) if table else {}
+
+    def bind(self, name: str, loc: Loc) -> "Env":
+        """Return a new environment extended with ``name -> loc``."""
+        extended = dict(self._table)
+        extended[name] = loc
+        return Env(extended)
+
+    def lookup(self, name: str) -> Loc:
+        """Return the location of ``name``, or raise `StuckError`."""
+        try:
+            return self._table[name]
+        except KeyError:
+            raise StuckError(f"unbound variable {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._table
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._table)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}:{v}" for k, v in self._table.items())
+        return f"Env({inner})"
+
+
+class Store:
+    """A single-threaded finite map from locations to values.
+
+    The operational rules of Figures 1-3 thread the store linearly, so
+    a mutable table is a faithful and efficient representation.  The
+    allocation counter guarantees globally fresh locations.
+    """
+
+    __slots__ = ("_table", "_next")
+
+    def __init__(self) -> None:
+        self._table: dict[Loc, Any] = {}
+        self._next = 0
+
+    def new(self, name: str) -> Loc:
+        """Allocate a fresh location for variable ``name``."""
+        loc = Loc(name, self._next)
+        self._next += 1
+        return loc
+
+    def bind(self, loc: Loc, value: Any) -> None:
+        """Store ``value`` at ``loc``."""
+        self._table[loc] = value
+
+    def lookup(self, loc: Loc) -> Any:
+        """Return the value at ``loc``, or raise `StuckError`."""
+        try:
+            return self._table[loc]
+        except KeyError:
+            raise StuckError(f"dangling location {loc}") from None
+
+    def items(self) -> Iterator[tuple[Loc, Any]]:
+        """Iterate over (location, value) pairs."""
+        return iter(self._table.items())
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, loc: Loc) -> bool:
+        return loc in self._table
+
+
+@dataclass(frozen=True, slots=True)
+class PrimVal:
+    """A primitive-procedure tag: ``inc``/``dec`` (direct and
+    semantic-CPS) or ``inck``/``deck`` (syntactic-CPS)."""
+
+    tag: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.tag
+
+
+#: The direct/semantic-CPS primitive values.
+INC = PrimVal("inc")
+DEC = PrimVal("dec")
+
+#: The syntactic-CPS primitive values.
+INCK = PrimVal("inck")
+DECK = PrimVal("deck")
+
+
+@dataclass(frozen=True, slots=True)
+class Closure:
+    """A user closure ``(cl x, M, rho)`` of the direct semantics."""
+
+    param: str
+    body: Any  # repro.lang.ast.Term
+    env: Env
+
+
+@dataclass(frozen=True, slots=True)
+class CpsClosure:
+    """A user closure ``(cl x k, P, rho)`` of the syntactic-CPS
+    semantics; ``P`` is a cps(A) term."""
+
+    param: str
+    kparam: str
+    body: Any  # repro.cps.ast.CTerm
+    env: Env
+
+
+@dataclass(frozen=True, slots=True)
+class CoKont:
+    """A reified continuation ``(co x, P, rho)`` of the syntactic-CPS
+    semantics."""
+
+    param: str
+    body: Any  # repro.cps.ast.CTerm
+    env: Env
+
+
+@dataclass(frozen=True, slots=True)
+class StopKont:
+    """The initial continuation ``stop``."""
+
+
+STOP = StopKont()
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """A semantic-CPS continuation frame ``((let (x []) M), rho)``."""
+
+    name: str
+    body: Any  # repro.lang.ast.Term
+    env: Env
+
+
+#: A semantic-CPS continuation: a stack of frames, innermost first
+#: (``nil`` is the empty tuple).
+Kont = tuple[Frame, ...]
+
+#: Values of the direct and semantic-CPS interpreters.
+DirectValue = Union[int, PrimVal, Closure]
+
+#: Values of the syntactic-CPS interpreter.
+CpsValue = Union[int, PrimVal, CpsClosure, CoKont, StopKont]
+
+
+@dataclass(frozen=True, slots=True)
+class Answer:
+    """An answer: a run-time value paired with the final store."""
+
+    value: Any
+    store: Store = field(compare=False)
+
+
+def expect_number(value: Any, context: str) -> int:
+    """Return ``value`` as an int or raise `StuckError`."""
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value
+    raise StuckError(f"{context}: expected a number, got {value!r}")

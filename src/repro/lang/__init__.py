@@ -1,0 +1,93 @@
+"""The source language A.
+
+This package defines the higher-order applicative core language of
+Sabry & Felleisen (PLDI 1994, Section 2): the abstract syntax, an
+s-expression concrete syntax (parser and pretty-printer), binder
+hygiene (the "all bound variables are unique" invariant that the
+paper's analyzers rely on), and structural utilities.
+"""
+
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Loop,
+    Num,
+    Prim,
+    PrimApp,
+    Term,
+    Value,
+    Var,
+    is_value,
+)
+from repro.lang.builder import (
+    add,
+    add1,
+    app,
+    if0,
+    lam,
+    let,
+    loop,
+    mul,
+    num,
+    prim_app,
+    sub,
+    sub1,
+    var,
+)
+from repro.lang.errors import LangError, ParseError, ScopeError, SyntaxValidationError
+from repro.lang.parser import parse, parse_program
+from repro.lang.pretty import pretty
+from repro.lang.rename import fresh_name_supply, uniquify
+from repro.lang.syntax import (
+    binders,
+    bound_variables,
+    free_variables,
+    has_unique_binders,
+    subterms,
+    term_size,
+)
+
+__all__ = [
+    "App",
+    "If0",
+    "Lam",
+    "Let",
+    "Loop",
+    "Num",
+    "Prim",
+    "PrimApp",
+    "Term",
+    "Value",
+    "Var",
+    "is_value",
+    "LangError",
+    "ParseError",
+    "ScopeError",
+    "SyntaxValidationError",
+    "parse",
+    "parse_program",
+    "pretty",
+    "uniquify",
+    "fresh_name_supply",
+    "binders",
+    "bound_variables",
+    "free_variables",
+    "has_unique_binders",
+    "subterms",
+    "term_size",
+    "add",
+    "add1",
+    "app",
+    "if0",
+    "lam",
+    "let",
+    "loop",
+    "mul",
+    "num",
+    "prim_app",
+    "sub",
+    "sub1",
+    "var",
+]

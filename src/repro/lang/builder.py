@@ -1,0 +1,99 @@
+"""Convenience constructors for building A terms in Python code.
+
+The tests, benchmarks and corpus build many terms; these helpers keep
+those sites short and accept bare ints/strs where unambiguous::
+
+    from repro.lang import builder as b
+    term = b.let("x", b.num(1), b.app("f", "x"))
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Loop,
+    Num,
+    Prim,
+    PrimApp,
+    Term,
+    Var,
+)
+
+
+def coerce(value: Term | int | str) -> Term:
+    """Turn a bare int into a `Num` and a bare str into a `Var`."""
+    if isinstance(value, int) and not isinstance(value, bool):
+        return Num(value)
+    if isinstance(value, str):
+        return Var(value)
+    return value
+
+
+def num(value: int) -> Num:
+    """Build a numeral."""
+    return Num(value)
+
+
+def var(name: str) -> Var:
+    """Build a variable reference."""
+    return Var(name)
+
+
+def add1() -> Prim:
+    """The first-class increment primitive."""
+    return Prim("add1")
+
+
+def sub1() -> Prim:
+    """The first-class decrement primitive."""
+    return Prim("sub1")
+
+
+def lam(param: str, body: Term | int | str) -> Lam:
+    """Build ``(lambda (param) body)``."""
+    return Lam(param, coerce(body))
+
+
+def app(fun: Term | int | str, arg: Term | int | str) -> App:
+    """Build an application ``(fun arg)``."""
+    return App(coerce(fun), coerce(arg))
+
+
+def let(name: str, rhs: Term | int | str, body: Term | int | str) -> Let:
+    """Build ``(let (name rhs) body)``."""
+    return Let(name, coerce(rhs), coerce(body))
+
+
+def if0(
+    test: Term | int | str, then: Term | int | str, orelse: Term | int | str
+) -> If0:
+    """Build ``(if0 test then orelse)``."""
+    return If0(coerce(test), coerce(then), coerce(orelse))
+
+
+def prim_app(op: str, *args: Term | int | str) -> PrimApp:
+    """Build a second-class operator application ``(op args...)``."""
+    return PrimApp(op, tuple(coerce(a) for a in args))
+
+
+def add(left: Term | int | str, right: Term | int | str) -> PrimApp:
+    """Build ``(+ left right)``."""
+    return prim_app("+", left, right)
+
+
+def sub(left: Term | int | str, right: Term | int | str) -> PrimApp:
+    """Build ``(- left right)``."""
+    return prim_app("-", left, right)
+
+
+def mul(left: Term | int | str, right: Term | int | str) -> PrimApp:
+    """Build ``(* left right)``."""
+    return prim_app("*", left, right)
+
+
+def loop() -> Loop:
+    """Build the Section 6.2 ``(loop)`` construct."""
+    return Loop()

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the source language A."""
+
+from __future__ import annotations
+
+
+class LangError(Exception):
+    """Base class for all errors raised by :mod:`repro.lang`."""
+
+
+class ParseError(LangError):
+    """Raised when concrete syntax cannot be parsed into a term.
+
+    Attributes:
+        message: human-readable description of the problem.
+        line: 1-based line of the offending token (0 if unknown).
+        column: 1-based column of the offending token (0 if unknown).
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        location = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class SyntaxValidationError(LangError):
+    """Raised when a term violates a structural invariant.
+
+    Used by the ANF validator, the cps(A) validator, and the
+    unique-binder checks that the abstract interpreters require.
+    """
+
+
+class ScopeError(LangError):
+    """Raised when a term references a variable that is not in scope."""

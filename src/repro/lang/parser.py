@@ -1,0 +1,271 @@
+"""An s-expression parser for the source language A.
+
+Concrete syntax (comments start with ``;`` and run to end of line)::
+
+    M ::= n | x | add1 | sub1
+        | (lambda (x) M)
+        | (M M)
+        | (let (x M) M)
+        | (if0 M M M)
+        | (+ M M) | (- M M) | (* M M)
+        | (loop)
+
+The parser is split into a tokenizer, a reader producing nested lists
+of atoms (an *s-expression datum*), and a translation of datums into
+:mod:`repro.lang.ast` terms.  Positions are tracked through all three
+stages so parse errors point at the offending token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Loop,
+    Num,
+    Prim,
+    PrimApp,
+    Term,
+    Var,
+    FIRST_CLASS_PRIMS,
+    SECOND_CLASS_OPS,
+)
+from repro.lang.errors import ParseError
+
+#: Words that cannot be used as variable names.
+RESERVED_WORDS = frozenset(
+    {"lambda", "let", "if0", "loop", "add1", "sub1"} | set(SECOND_CLASS_OPS)
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A lexical token with its source position (1-based)."""
+
+    text: str
+    line: int
+    column: int
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A leaf s-expression datum: a number or a symbol."""
+
+    text: str
+    line: int
+    column: int
+
+
+@dataclass(frozen=True, slots=True)
+class SList:
+    """A parenthesized s-expression datum."""
+
+    items: tuple["Datum", ...]
+    line: int
+    column: int
+
+
+Datum = Union[Atom, SList]
+
+_DELIMITERS = "()"
+_WHITESPACE = " \t\r\n"
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield the tokens of ``source``, skipping whitespace and comments."""
+    line, column = 1, 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+        elif char in _WHITESPACE:
+            index += 1
+            column += 1
+        elif char == ";":
+            while index < length and source[index] != "\n":
+                index += 1
+        elif char in _DELIMITERS:
+            yield Token(char, line, column)
+            index += 1
+            column += 1
+        else:
+            start = index
+            start_column = column
+            while (
+                index < length
+                and source[index] not in _WHITESPACE
+                and source[index] not in _DELIMITERS
+                and source[index] != ";"
+            ):
+                index += 1
+                column += 1
+            yield Token(source[start:index], line, start_column)
+
+
+def _read_datum(tokens: list[Token], position: int) -> tuple[Datum, int]:
+    """Read one datum starting at ``tokens[position]``."""
+    if position >= len(tokens):
+        raise ParseError("unexpected end of input")
+    token = tokens[position]
+    if token.text == "(":
+        items: list[Datum] = []
+        cursor = position + 1
+        while True:
+            if cursor >= len(tokens):
+                raise ParseError(
+                    "unclosed parenthesis", token.line, token.column
+                )
+            if tokens[cursor].text == ")":
+                return SList(tuple(items), token.line, token.column), cursor + 1
+            datum, cursor = _read_datum(tokens, cursor)
+            items.append(datum)
+    if token.text == ")":
+        raise ParseError("unexpected ')'", token.line, token.column)
+    return Atom(token.text, token.line, token.column), position + 1
+
+
+def read(source: str) -> Datum:
+    """Read exactly one s-expression datum from ``source``."""
+    tokens = list(tokenize(source))
+    if not tokens:
+        raise ParseError("empty input")
+    datum, position = _read_datum(tokens, 0)
+    if position != len(tokens):
+        trailing = tokens[position]
+        raise ParseError(
+            f"trailing input {trailing.text!r}", trailing.line, trailing.column
+        )
+    return datum
+
+
+def _is_number(text: str) -> bool:
+    body = text[1:] if text[:1] in "+-" else text
+    return body.isdigit() and bool(body)
+
+
+def _parse_name(datum: Datum, role: str) -> str:
+    if not isinstance(datum, Atom):
+        raise ParseError(f"expected a {role} name", datum.line, datum.column)
+    if _is_number(datum.text):
+        raise ParseError(
+            f"expected a {role} name, got number {datum.text}",
+            datum.line,
+            datum.column,
+        )
+    if datum.text in RESERVED_WORDS:
+        raise ParseError(
+            f"reserved word {datum.text!r} cannot be a {role} name",
+            datum.line,
+            datum.column,
+        )
+    return datum.text
+
+
+def _expect_items(datum: SList, count: int, form: str) -> tuple[Datum, ...]:
+    if len(datum.items) != count:
+        raise ParseError(
+            f"{form} takes {count - 1} operands, got {len(datum.items) - 1}",
+            datum.line,
+            datum.column,
+        )
+    return datum.items
+
+
+def _parse_datum(datum: Datum) -> Term:
+    if isinstance(datum, Atom):
+        return _parse_atom(datum)
+    if not datum.items:
+        raise ParseError("empty application ()", datum.line, datum.column)
+    head = datum.items[0]
+    if isinstance(head, Atom):
+        keyword = head.text
+        if keyword == "lambda":
+            return _parse_lambda(datum)
+        if keyword == "let":
+            return _parse_let(datum)
+        if keyword == "if0":
+            items = _expect_items(datum, 4, "if0")
+            return If0(
+                _parse_datum(items[1]),
+                _parse_datum(items[2]),
+                _parse_datum(items[3]),
+            )
+        if keyword == "loop":
+            _expect_items(datum, 1, "loop")
+            return Loop()
+        if keyword in SECOND_CLASS_OPS:
+            arity = SECOND_CLASS_OPS[keyword]
+            items = _expect_items(datum, arity + 1, keyword)
+            return PrimApp(keyword, tuple(_parse_datum(d) for d in items[1:]))
+    if len(datum.items) != 2:
+        raise ParseError(
+            f"application takes 1 operand, got {len(datum.items) - 1}",
+            datum.line,
+            datum.column,
+        )
+    return App(_parse_datum(datum.items[0]), _parse_datum(datum.items[1]))
+
+
+def _parse_atom(atom: Atom) -> Term:
+    if _is_number(atom.text):
+        return Num(int(atom.text))
+    if atom.text in FIRST_CLASS_PRIMS:
+        return Prim(atom.text)
+    if atom.text in RESERVED_WORDS:
+        raise ParseError(
+            f"reserved word {atom.text!r} is not a term", atom.line, atom.column
+        )
+    return Var(atom.text)
+
+
+def _parse_lambda(datum: SList) -> Lam:
+    items = _expect_items(datum, 3, "lambda")
+    params = items[1]
+    if not isinstance(params, SList) or len(params.items) != 1:
+        raise ParseError(
+            "lambda takes a single-parameter list, e.g. (lambda (x) M)",
+            datum.line,
+            datum.column,
+        )
+    name = _parse_name(params.items[0], "parameter")
+    return Lam(name, _parse_datum(items[2]))
+
+
+def _parse_let(datum: SList) -> Let:
+    items = _expect_items(datum, 3, "let")
+    binding = items[1]
+    if not isinstance(binding, SList) or len(binding.items) != 2:
+        raise ParseError(
+            "let takes a binding pair, e.g. (let (x M) M)",
+            datum.line,
+            datum.column,
+        )
+    name = _parse_name(binding.items[0], "let-bound")
+    return Let(name, _parse_datum(binding.items[1]), _parse_datum(items[2]))
+
+
+def parse(source: str) -> Term:
+    """Parse a single A term from concrete syntax.
+
+    >>> parse("(let (x 1) (add1 x))")
+    Let(name='x', rhs=Num(value=1), body=App(fun=Prim(name='add1'), arg=Var(name='x')))
+    """
+    return _parse_datum(read(source))
+
+
+def parse_program(source: str) -> Term:
+    """Parse a program: one term, with surrounding comments allowed.
+
+    Provided as a named entry point for symmetry with other frontends;
+    currently a program is a single term.
+    """
+    return parse(source)

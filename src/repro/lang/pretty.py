@@ -1,0 +1,85 @@
+"""Pretty-printer for A terms.
+
+Produces concrete syntax that :func:`repro.lang.parser.parse` reads
+back to a structurally equal term (a round-trip property the test
+suite checks).  Output is either flat or indented, depending on the
+``width`` budget.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Loop,
+    Num,
+    Prim,
+    PrimApp,
+    Term,
+    Var,
+)
+
+
+def pretty(term: Term, width: int = 72) -> str:
+    """Render ``term`` as concrete syntax, wrapping at ``width`` columns."""
+    return _render(term, 0, width)
+
+
+def pretty_flat(term: Term) -> str:
+    """Render ``term`` on a single line."""
+    return _flat(term)
+
+
+def _flat(term: Term) -> str:
+    match term:
+        case Num(value):
+            return str(value)
+        case Var(name):
+            return name
+        case Prim(name):
+            return name
+        case Lam(param, body):
+            return f"(lambda ({param}) {_flat(body)})"
+        case App(fun, arg):
+            return f"({_flat(fun)} {_flat(arg)})"
+        case Let(name, rhs, body):
+            return f"(let ({name} {_flat(rhs)}) {_flat(body)})"
+        case If0(test, then, orelse):
+            return f"(if0 {_flat(test)} {_flat(then)} {_flat(orelse)})"
+        case PrimApp(op, args):
+            rendered = " ".join(_flat(a) for a in args)
+            return f"({op} {rendered})"
+        case Loop():
+            return "(loop)"
+    raise TypeError(f"not an A term: {term!r}")
+
+
+def _render(term: Term, indent: int, width: int) -> str:
+    flat = _flat(term)
+    if indent + len(flat) <= width:
+        return flat
+    pad = " " * (indent + 2)
+    match term:
+        case Lam(param, body):
+            inner = _render(body, indent + 2, width)
+            return f"(lambda ({param})\n{pad}{inner})"
+        case App(fun, arg):
+            fun_s = _render(fun, indent + 2, width)
+            arg_s = _render(arg, indent + 2, width)
+            return f"({fun_s}\n{pad}{arg_s})"
+        case Let(name, rhs, body):
+            rhs_s = _render(rhs, indent + len(name) + 8, width)
+            body_s = _render(body, indent + 2, width)
+            return f"(let ({name} {rhs_s})\n{pad}{body_s})"
+        case If0(test, then, orelse):
+            test_s = _render(test, indent + 6, width)
+            then_s = _render(then, indent + 2, width)
+            else_s = _render(orelse, indent + 2, width)
+            return f"(if0 {test_s}\n{pad}{then_s}\n{pad}{else_s})"
+        case PrimApp(op, args):
+            parts = "\n".join(pad + _render(a, indent + 2, width) for a in args)
+            return f"({op}\n{parts})"
+        case _:
+            return flat

@@ -1,0 +1,118 @@
+"""Structural utilities over A terms.
+
+Free/bound variable computation, binder collection, the unique-binder
+invariant check that the paper's analyses presuppose, subterm
+iteration, and term size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Loop,
+    Num,
+    Prim,
+    PrimApp,
+    Term,
+    Var,
+)
+from repro.lang.errors import ScopeError
+
+
+def subterms(term: Term) -> Iterator[Term]:
+    """Yield ``term`` and all of its subterms, pre-order."""
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        yield current
+        match current:
+            case Lam(_, body):
+                stack.append(body)
+            case App(fun, arg):
+                stack.extend((arg, fun))
+            case Let(_, rhs, body):
+                stack.extend((body, rhs))
+            case If0(test, then, orelse):
+                stack.extend((orelse, then, test))
+            case PrimApp(_, args):
+                stack.extend(reversed(args))
+            case _:
+                pass
+
+
+def term_size(term: Term) -> int:
+    """Return the number of AST nodes in ``term``."""
+    return sum(1 for _ in subterms(term))
+
+
+def free_variables(term: Term) -> frozenset[str]:
+    """Return the set of free variable names of ``term``."""
+    match term:
+        case Num() | Prim() | Loop():
+            return frozenset()
+        case Var(name):
+            return frozenset((name,))
+        case Lam(param, body):
+            return free_variables(body) - {param}
+        case App(fun, arg):
+            return free_variables(fun) | free_variables(arg)
+        case Let(name, rhs, body):
+            return free_variables(rhs) | (free_variables(body) - {name})
+        case If0(test, then, orelse):
+            return (
+                free_variables(test)
+                | free_variables(then)
+                | free_variables(orelse)
+            )
+        case PrimApp(_, args):
+            names: frozenset[str] = frozenset()
+            for arg in args:
+                names |= free_variables(arg)
+            return names
+    raise TypeError(f"not an A term: {term!r}")
+
+
+def binders(term: Term) -> list[str]:
+    """Return every binder occurrence (lambda params and let names), in
+    pre-order, with duplicates preserved."""
+    found: list[str] = []
+    for sub in subterms(term):
+        match sub:
+            case Lam(param, _):
+                found.append(param)
+            case Let(name, _, _):
+                found.append(name)
+            case _:
+                pass
+    return found
+
+
+def bound_variables(term: Term) -> frozenset[str]:
+    """Return the set of names bound anywhere in ``term``."""
+    return frozenset(binders(term))
+
+
+def has_unique_binders(term: Term) -> bool:
+    """True when every binder in ``term`` binds a distinct name and no
+    binder shadows a free variable.
+
+    This is the paper's standing assumption ("all bound variables in a
+    program are unique"); the analyzers rely on it to use variables as
+    abstract locations.
+    """
+    names = binders(term)
+    if len(names) != len(set(names)):
+        return False
+    return not (set(names) & free_variables(term))
+
+
+def check_closed(term: Term, allowed: frozenset[str] = frozenset()) -> None:
+    """Raise `ScopeError` unless all free variables are in ``allowed``."""
+    extra = free_variables(term) - allowed
+    if extra:
+        raise ScopeError(f"unbound variables: {sorted(extra)}")

@@ -1,0 +1,173 @@
+"""Bytecode for the abstract machine.
+
+A code object is a tuple of instructions.  The machine keeps an
+accumulator, a lexical environment, an operand stack, and — only for
+code produced by the *direct* back end — a control stack of return
+frames.  Instruction summary::
+
+    Const(n)            acc := n
+    Lookup(x)           acc := env[x]
+    MakePrim(tag)       acc := the primitive procedure `tag`
+    Close(x, code)      acc := closure(x, code, env)
+    CloseK(x, code)     acc := continuation-closure(x, code, env)
+    Bind(x)             env := env[x := acc]
+    Push                push acc on the operand stack
+    Call                arg := acc, fun := pop; invoke fun, pushing a
+                        return frame (direct back end)
+    CallK               kont := acc, arg := pop, fun := pop; invoke fun
+                        passing kont (CPS back end; no frame)
+    RetK(k)             invoke the continuation env[k] with acc
+    Branch(then, else)  enter a sub-code block, pushing a join frame
+    BranchJump(t, e)    replace the current code by a branch (no frame)
+    Op(op)              rhs := acc, lhs := pop; acc := lhs op rhs
+    DivergeLoop         the `loop` construct: diverge
+    Halt                stop with acc as the answer
+
+Code blocks produced by `Branch` resume through the frame mechanism;
+`BranchJump` blocks never return, which is what keeps the CPS back
+end's control stack empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class Lookup:
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class MakePrim:
+    tag: str  # 'add1' | 'sub1'
+
+
+@dataclass(frozen=True, slots=True)
+class Close:
+    param: str
+    code: "Code"
+
+
+@dataclass(frozen=True, slots=True)
+class CloseF:
+    """A CPS user closure: takes a value and a continuation."""
+
+    param: str
+    kparam: str
+    code: "Code"
+
+
+@dataclass(frozen=True, slots=True)
+class CloseK:
+    param: str
+    code: "Code"
+
+
+@dataclass(frozen=True, slots=True)
+class Bind:
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Push:
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class Call:
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class TailCall:
+    """A call in tail position: invoke without pushing a return frame
+    (the callee's result falls through to the caller's pending frame)."""
+
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class CallK:
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class RetK:
+    kvar: str
+
+
+@dataclass(frozen=True, slots=True)
+class Branch:
+    then_code: "Code"
+    else_code: "Code"
+
+
+@dataclass(frozen=True, slots=True)
+class BranchJump:
+    then_code: "Code"
+    else_code: "Code"
+
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    op: str
+
+
+@dataclass(frozen=True, slots=True)
+class DivergeLoop:
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class Halt:
+    pass
+
+
+Instr = Union[
+    Const,
+    Lookup,
+    MakePrim,
+    Close,
+    CloseF,
+    CloseK,
+    Bind,
+    Push,
+    Call,
+    TailCall,
+    CallK,
+    RetK,
+    Branch,
+    BranchJump,
+    Op,
+    DivergeLoop,
+    Halt,
+]
+
+#: A compiled code block.
+Code = tuple[Instr, ...]
+
+
+def code_size(code: Code) -> int:
+    """Total instruction count, including nested blocks."""
+    total = 0
+    for instr in code:
+        total += 1
+        match instr:
+            case Close(_, inner) | CloseK(_, inner):
+                total += code_size(inner)
+            case CloseF(_, _, inner):
+                total += code_size(inner)
+            case Branch(then_code, else_code) | BranchJump(
+                then_code, else_code
+            ):
+                total += code_size(then_code) + code_size(else_code)
+            case _:
+                pass
+    return total

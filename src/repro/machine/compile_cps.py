@@ -1,0 +1,124 @@
+"""Code generation from cps(A) (the CPS back end).
+
+Every serious term compiles to code that *jumps*: calls pass an
+explicit continuation closure (`CallK`), returns invoke a continuation
+from the environment (`RetK`), and conditionals replace the current
+code (`BranchJump`).  No instruction ever pushes a return frame, so
+the machine's control stack stays empty — the program's control
+context lives in the continuation closures instead.  This is the
+operational content of the paper's Section 6.3 remark that CPS merely
+*obscures* the single control stack: it is still there, spelled as a
+chain of heap closures.
+"""
+
+from __future__ import annotations
+
+from repro.cps.ast import (
+    CApp,
+    CIf0,
+    CLam,
+    CLet,
+    CLoop,
+    CNum,
+    CPrim,
+    CPrimLet,
+    CTerm,
+    CValue,
+    CVar,
+    KApp,
+    KLam,
+)
+from repro.cps.transform import TOP_KVAR
+from repro.cps.validate import validate_cps
+from repro.machine.code import (
+    Bind,
+    BranchJump,
+    CallK,
+    CloseF,
+    CloseK,
+    Code,
+    Const,
+    DivergeLoop,
+    Instr,
+    Lookup,
+    MakePrim,
+    Op,
+    Push,
+    RetK,
+)
+
+
+def compile_cps(
+    term: CTerm, top_kvar: str = TOP_KVAR, check: bool = True
+) -> Code:
+    """Compile a cps(A) program to machine code.
+
+    The machine binds ``top_kvar`` to the halt continuation before
+    running.  The produced code contains no `Halt`: execution ends
+    when the halt continuation is invoked.
+    """
+    if check:
+        validate_cps(term, frozenset((top_kvar,)))
+    return tuple(_compile(term))
+
+
+def _compile_value(value: CValue) -> list[Instr]:
+    match value:
+        case CNum(n):
+            return [Const(n)]
+        case CVar(name):
+            return [Lookup(name)]
+        case CPrim(name):
+            return [MakePrim("add1" if name == "add1k" else "sub1")]
+        case CLam(param, kparam, body):
+            return [CloseF(param, kparam, tuple(_compile(body)))]
+    raise TypeError(f"not a cps(A) value: {value!r}")
+
+
+def _compile_klam(kont: KLam) -> Instr:
+    return CloseK(kont.param, tuple(_compile(kont.body)))
+
+
+def _compile(term: CTerm) -> list[Instr]:
+    code: list[Instr] = []
+    while True:
+        match term:
+            case KApp(kvar, value):
+                code += _compile_value(value)
+                code.append(RetK(kvar))
+                return code
+            case CLet(name, value, body):
+                code += _compile_value(value)
+                code.append(Bind(name))
+                term = body
+            case CApp(fun, arg, kont):
+                code += _compile_value(fun)
+                code.append(Push())
+                code += _compile_value(arg)
+                code.append(Push())
+                code.append(_compile_klam(kont))
+                code.append(CallK())
+                return code
+            case CIf0(kvar, kont, test, then, orelse):
+                code.append(_compile_klam(kont))
+                code.append(Bind(kvar))
+                code += _compile_value(test)
+                code.append(
+                    BranchJump(
+                        tuple(_compile(then)), tuple(_compile(orelse))
+                    )
+                )
+                return code
+            case CPrimLet(name, op, args, body):
+                first, second = args
+                code += _compile_value(first)
+                code.append(Push())
+                code += _compile_value(second)
+                code.append(Op(op))
+                code.append(Bind(name))
+                term = body
+            case CLoop(_):
+                code.append(DivergeLoop())
+                return code
+            case _:
+                raise TypeError(f"not a cps(A) term: {term!r}")

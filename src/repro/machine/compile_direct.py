@@ -1,0 +1,125 @@
+"""Code generation from A-normal form (the direct back end).
+
+Procedure calls compile to `Call`, which makes the machine push a
+return frame; conditionals compile to `Branch` blocks that resume
+through a join frame.  The machine therefore maintains the program's
+control stack explicitly — one stack, in the machine, exactly as the
+direct semantics of Figure 1 has it.
+
+The back end performs *last-call optimization*: a binding whose body
+is exactly its own variable — ``(let (x (f a)) x)`` or
+``(let (x (if0 ...)) x)``, the shapes A-normalization produces for
+tail calls and tail conditionals — compiles to `TailCall` /
+`BranchJump`, which do not push a frame.  Tail-recursive loops
+therefore run in constant stack space, matching what the CPS back end
+gets for free (every CPS call is a tail call by construction).
+"""
+
+from __future__ import annotations
+
+from repro.anf.validate import validate_anf
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Loop,
+    Num,
+    Prim,
+    PrimApp,
+    Term,
+    Var,
+    is_value,
+)
+from repro.machine.code import (
+    Bind,
+    Branch,
+    BranchJump,
+    Call,
+    Close,
+    Code,
+    Const,
+    DivergeLoop,
+    Halt,
+    Instr,
+    Lookup,
+    MakePrim,
+    Op,
+    Push,
+    TailCall,
+)
+
+
+def compile_direct(term: Term, check: bool = True) -> Code:
+    """Compile a restricted-subset program to machine code.
+
+    The produced code ends in `Halt`; run it with
+    :func:`repro.machine.vm.run_code`.
+    """
+    if check:
+        validate_anf(term)
+    return tuple(_compile(term)) + (Halt(),)
+
+
+def _compile_value(value: Term) -> list[Instr]:
+    match value:
+        case Num(n):
+            return [Const(n)]
+        case Var(name):
+            return [Lookup(name)]
+        case Prim(name):
+            return [MakePrim(name)]
+        case Lam(param, body):
+            return [Close(param, tuple(_compile(body)))]
+    raise TypeError(f"not a syntactic value: {value!r}")
+
+
+def _is_tail_binding(term: Let) -> bool:
+    """``(let (x rhs) x)``: the binding's value is the block's value."""
+    return isinstance(term.body, Var) and term.body.name == term.name
+
+
+def _compile(term: Term) -> list[Instr]:
+    code: list[Instr] = []
+    while isinstance(term, Let):
+        rhs = term.rhs
+        if _is_tail_binding(term) and isinstance(rhs, App):
+            code += _compile_value(rhs.fun)
+            code.append(Push())
+            code += _compile_value(rhs.arg)
+            code.append(TailCall())
+            return code
+        if _is_tail_binding(term) and isinstance(rhs, If0):
+            code += _compile_value(rhs.test)
+            code.append(
+                BranchJump(
+                    tuple(_compile(rhs.then)), tuple(_compile(rhs.orelse))
+                )
+            )
+            return code
+        if is_value(rhs):
+            code += _compile_value(rhs)
+        elif isinstance(rhs, App):
+            code += _compile_value(rhs.fun)
+            code.append(Push())
+            code += _compile_value(rhs.arg)
+            code.append(Call())
+        elif isinstance(rhs, PrimApp):
+            first, second = rhs.args
+            code += _compile_value(first)
+            code.append(Push())
+            code += _compile_value(second)
+            code.append(Op(rhs.op))
+        elif isinstance(rhs, If0):
+            code += _compile_value(rhs.test)
+            code.append(
+                Branch(tuple(_compile(rhs.then)), tuple(_compile(rhs.orelse)))
+            )
+        elif isinstance(rhs, Loop):
+            code.append(DivergeLoop())
+        else:
+            raise TypeError(f"invalid let right-hand side: {rhs!r}")
+        code.append(Bind(term.name))
+        term = term.body
+    code += _compile_value(term)
+    return code

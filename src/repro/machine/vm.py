@@ -1,0 +1,267 @@
+"""The abstract machine executing compiled code.
+
+One machine runs both back ends' output.  Its state is::
+
+    (code, pc, env, acc, operand stack, frame stack)
+
+The frame stack is only ever touched by `Call`/`Branch` — instructions
+the *direct* back end emits.  CPS-compiled code consists entirely of
+jumps, so its frame stack stays empty for the whole run;
+`MachineStats.max_frames` records the observed depth so tests can
+assert the contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.interp.errors import Diverged, FuelExhausted, StuckError
+from repro.machine.code import (
+    Bind,
+    Branch,
+    BranchJump,
+    Call,
+    CallK,
+    Close,
+    CloseF,
+    CloseK,
+    Code,
+    Const,
+    DivergeLoop,
+    Halt,
+    Lookup,
+    MakePrim,
+    Op,
+    Push,
+    RetK,
+    TailCall,
+)
+
+#: Default step budget.
+DEFAULT_FUEL = 1_000_000
+
+_OPERATIONS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class MPrim:
+    """A primitive procedure value."""
+
+    tag: str  # 'add1' | 'sub1'
+
+
+@dataclass(frozen=True, slots=True)
+class MClosure:
+    """A direct-style closure."""
+
+    param: str
+    code: Code
+    env: Mapping[str, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class MClosureK:
+    """A CPS closure: takes a value and a continuation."""
+
+    param: str
+    kparam: str
+    code: Code
+    env: Mapping[str, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class MKont:
+    """A reified continuation closure."""
+
+    param: str
+    code: Code
+    env: Mapping[str, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class MHalt:
+    """The halt continuation."""
+
+
+@dataclass(frozen=True, slots=True)
+class _Frame:
+    code: Code
+    pc: int
+    env: Mapping[str, Any]
+
+
+@dataclass(slots=True)
+class MachineStats:
+    """Execution counters.
+
+    ``max_frames`` is the key observable: > 0 for direct-compiled
+    code with non-tail calls, always 0 for CPS-compiled code.
+    """
+
+    steps: int = 0
+    max_frames: int = 0
+    max_operands: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view."""
+        return {
+            "steps": self.steps,
+            "max_frames": self.max_frames,
+            "max_operands": self.max_operands,
+        }
+
+
+def _expect_int(value: Any, context: str) -> int:
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value
+    raise StuckError(f"{context}: expected a number, got {value!r}")
+
+
+def run_code(
+    code: Code,
+    initial_env: Mapping[str, Any] | None = None,
+    halt_kvar: str | None = None,
+    fuel: int = DEFAULT_FUEL,
+) -> tuple[Any, MachineStats]:
+    """Execute a compiled program.
+
+    Args:
+        code: output of :func:`compile_direct` or :func:`compile_cps`.
+        initial_env: bindings for free variables (machine values).
+        halt_kvar: for CPS code — the continuation variable to bind to
+            the halt continuation (pass the transform's ``TOP_KVAR``).
+        fuel: step budget.
+
+    Returns:
+        The final accumulator value and the run's `MachineStats`.
+    """
+    env: dict[str, Any] = dict(initial_env) if initial_env else {}
+    if halt_kvar is not None:
+        env[halt_kvar] = MHalt()
+    pc = 0
+    acc: Any = None
+    operands: list[Any] = []
+    frames: list[_Frame] = []
+    stats = MachineStats()
+
+    def enter(target: Code, new_env: dict[str, Any]) -> tuple[Code, int, dict]:
+        return target, 0, new_env
+
+    while True:
+        stats.steps += 1
+        if stats.steps > fuel:
+            raise FuelExhausted(fuel)
+        if pc >= len(code):
+            # a block fell off its end: resume the pending frame, or —
+            # with no frames left (e.g. after a top-level tail call) —
+            # the block's value is the program's answer
+            if not frames:
+                return acc, stats
+            frame = frames.pop()
+            code, pc, env = frame.code, frame.pc, dict(frame.env)
+            continue
+        instr = code[pc]
+        pc += 1
+        match instr:
+            case Const(n):
+                acc = n
+            case Lookup(name):
+                try:
+                    acc = env[name]
+                except KeyError:
+                    raise StuckError(f"unbound variable {name!r}") from None
+            case MakePrim(tag):
+                acc = MPrim(tag)
+            case Close(param, body):
+                acc = MClosure(param, body, dict(env))
+            case CloseF(param, kparam, body):
+                acc = MClosureK(param, kparam, body, dict(env))
+            case CloseK(param, body):
+                acc = MKont(param, body, dict(env))
+            case Bind(name):
+                env = dict(env)
+                env[name] = acc
+            case Push():
+                operands.append(acc)
+                stats.max_operands = max(stats.max_operands, len(operands))
+            case Call() | TailCall():
+                fun = operands.pop()
+                arg = acc
+                if isinstance(fun, MPrim):
+                    delta = 1 if fun.tag == "add1" else -1
+                    acc = _expect_int(arg, fun.tag) + delta
+                elif isinstance(fun, MClosure):
+                    if isinstance(instr, Call):
+                        frames.append(_Frame(code, pc, env))
+                        stats.max_frames = max(
+                            stats.max_frames, len(frames)
+                        )
+                    # TailCall reuses the caller's pending frame
+                    new_env = dict(fun.env)
+                    new_env[fun.param] = arg
+                    code, pc, env = enter(fun.code, new_env)
+                else:
+                    raise StuckError(f"cannot apply {fun!r}")
+            case CallK():
+                kont = acc
+                arg = operands.pop()
+                fun = operands.pop()
+                if isinstance(fun, MPrim):
+                    delta = 1 if fun.tag == "add1" else -1
+                    result = _expect_int(arg, fun.tag) + delta
+                    done, state = _invoke_kont(kont, result)
+                    if done:
+                        return state, stats
+                    code, pc, env = state
+                elif isinstance(fun, MClosureK):
+                    new_env = dict(fun.env)
+                    new_env[fun.param] = arg
+                    new_env[fun.kparam] = kont
+                    code, pc, env = enter(fun.code, new_env)
+                else:
+                    raise StuckError(f"cannot apply {fun!r}")
+            case RetK(kvar):
+                try:
+                    kont = env[kvar]
+                except KeyError:
+                    raise StuckError(
+                        f"unbound continuation {kvar!r}"
+                    ) from None
+                done, state = _invoke_kont(kont, acc)
+                if done:
+                    return state, stats
+                code, pc, env = state
+            case Branch(then_code, else_code):
+                frames.append(_Frame(code, pc, env))
+                stats.max_frames = max(stats.max_frames, len(frames))
+                taken = then_code if acc == 0 and isinstance(acc, int) else else_code
+                code, pc = taken, 0
+            case BranchJump(then_code, else_code):
+                taken = then_code if acc == 0 and isinstance(acc, int) else else_code
+                code, pc = taken, 0
+            case Op(op):
+                rhs = _expect_int(acc, op)
+                lhs = _expect_int(operands.pop(), op)
+                acc = _OPERATIONS[op](lhs, rhs)
+            case DivergeLoop():
+                raise Diverged()
+            case Halt():
+                return acc, stats
+            case _:
+                raise StuckError(f"unknown instruction {instr!r}")
+
+
+def _invoke_kont(kont: Any, value: Any):
+    """Invoke a continuation value; returns (done, answer-or-state)."""
+    if isinstance(kont, MHalt):
+        return True, value
+    if isinstance(kont, MKont):
+        new_env = dict(kont.env)
+        new_env[kont.param] = value
+        return False, (kont.code, 0, new_env)
+    raise StuckError(f"cannot return through {kont!r}")

@@ -1,0 +1,36 @@
+"""Analysis-driven optimizations, including the paper's conclusion.
+
+Section 6.3 argues that "a practical analysis based on the CPS
+transformation should not perform any duplication when the analysis is
+distributive ... a more practical alternative is to combine heuristic
+in-lining with a direct-style analysis", and the abstract adds that "a
+direct data flow analysis that relies on some amount of duplication
+would be as satisfactory as a CPS analysis".  This package implements
+those alternatives:
+
+- :mod:`repro.opt.constfold` — constant folding and static branch
+  collapsing driven by the direct analysis;
+- :mod:`repro.opt.deadcode` — pure dead-binding elimination;
+- :mod:`repro.opt.inline` — heuristic inlining of monomorphic,
+  non-recursive calls (the Section 6.3 proposal);
+- :mod:`repro.opt.dup` — bounded continuation duplication into
+  conditional branches (the "some amount of duplication" of the
+  abstract; recovers the Theorem 5.2 precision in direct style);
+- :mod:`repro.opt.pipeline` — an iterated optimize/analyze loop.
+"""
+
+from repro.opt.constfold import constant_fold
+from repro.opt.deadcode import eliminate_dead_code, is_pure
+from repro.opt.dup import duplicate_join_continuations
+from repro.opt.inline import inline_monomorphic_calls
+from repro.opt.pipeline import OptimizationReport, optimize
+
+__all__ = [
+    "constant_fold",
+    "eliminate_dead_code",
+    "is_pure",
+    "duplicate_join_continuations",
+    "inline_monomorphic_calls",
+    "OptimizationReport",
+    "optimize",
+]

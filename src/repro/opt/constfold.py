@@ -1,0 +1,111 @@
+"""Constant folding and static branch collapsing.
+
+Driven by a direct analysis (Figure 4): a binding whose abstract value
+is a single integer constant is rewritten to bind the literal, and a
+conditional whose test is statically decided collapses to the taken
+branch.  Folding is restricted to right-hand sides that provably
+terminate (values, operator applications, applications of the
+``add1``/``sub1`` primitives): folding a diverging computation into a
+literal would change the program's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.common import A_DEC, A_INC, abstract_value
+from repro.analysis.direct import analyze_direct
+from repro.analysis.result import AnalysisResult
+from repro.anf.splice import bind_anf
+from repro.domains.absval import AbsVal
+from repro.domains.protocol import NumDomain
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Num,
+    PrimApp,
+    Term,
+    is_value,
+)
+
+
+def constant_fold(
+    term: Term,
+    result: AnalysisResult | None = None,
+    domain: NumDomain | None = None,
+    initial: Mapping[str, AbsVal] | None = None,
+) -> Term:
+    """Fold constants and collapse decided branches in ``term``.
+
+    Args:
+        term: a program of the restricted subset (unique binders).
+        result: a direct analysis result for ``term``; computed on the
+            fly when omitted.
+        domain, initial: forwarded to the analysis when it is computed
+            here.
+
+    Returns:
+        The rewritten program (still in the restricted subset; binders
+        unchanged, so the analysis facts remain valid for it).
+    """
+    if result is None:
+        result = analyze_direct(term, domain, initial=initial)
+    return _fold(term, result)
+
+
+def _terminating_rhs(rhs: Term, result: AnalysisResult) -> bool:
+    """Right-hand sides that cannot diverge or get stuck-free-fold."""
+    if is_value(rhs):
+        return False  # already minimal; nothing to gain
+    if isinstance(rhs, PrimApp):
+        return True
+    if isinstance(rhs, App):
+        # only primitive procedures terminate unconditionally
+        fun = abstract_value(
+            result.lattice, rhs.fun, result.answer.store
+        )
+        return bool(fun.clos) and fun.clos <= {A_INC, A_DEC}
+    return False
+
+
+def _fold(term: Term, result: AnalysisResult) -> Term:
+    match term:
+        case Let(name, rhs, body):
+            folded_body = _fold(body, result)
+            constant = result.constant_of(name)
+            if constant is not None and _terminating_rhs(rhs, result):
+                return Let(name, Num(constant), folded_body)
+            if isinstance(rhs, If0):
+                return _fold_branch(name, rhs, folded_body, result)
+            return Let(name, _fold_value(rhs, result), folded_body)
+        case Lam(param, body):
+            return Lam(param, _fold(body, result))
+        case _:
+            return term
+
+
+def _fold_value(rhs: Term, result: AnalysisResult) -> Term:
+    """Fold inside lambda right-hand sides; leave the rest alone."""
+    if isinstance(rhs, Lam):
+        return Lam(rhs.param, _fold(rhs.body, result))
+    return rhs
+
+
+def _fold_branch(
+    name: str, rhs: If0, body: Term, result: AnalysisResult
+) -> Term:
+    """Collapse a statically decided conditional to the taken branch,
+    splicing it into the binding of the conditional's result."""
+    domain = result.lattice.domain
+    test = abstract_value(result.lattice, rhs.test, result.answer.store)
+    zero = domain.may_be_zero(test.num)
+    nonzero = domain.may_be_nonzero(test.num) or bool(test.clos)
+    then_branch = _fold(rhs.then, result)
+    else_branch = _fold(rhs.orelse, result)
+    if zero and not nonzero:
+        return bind_anf(then_branch, name, body)
+    if nonzero and not zero:
+        return bind_anf(else_branch, name, body)
+    return Let(name, If0(rhs.test, then_branch, else_branch), body)

@@ -1,0 +1,68 @@
+"""Dead-binding elimination.
+
+A binding ``(let (x rhs) body)`` is removed when ``x`` is unused in
+``body`` and ``rhs`` is *pure* — guaranteed to produce a value without
+observable effects.  In this language the only effects are divergence
+(applications may loop via self-application; ``loop`` always does), so
+purity is a syntactic check: values and operator applications are
+pure, conditionals are pure when both branches are, applications and
+``loop`` are not.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Loop,
+    PrimApp,
+    Term,
+    is_value,
+)
+from repro.lang.syntax import free_variables
+
+
+def is_pure(term: Term) -> bool:
+    """True when evaluating ``term`` always terminates with a value."""
+    if is_value(term):
+        return True
+    match term:
+        case Let(_, rhs, body):
+            return is_pure(rhs) and is_pure(body)
+        case PrimApp(_, _):
+            return True  # arguments are values in the restricted subset
+        case If0(_, then, orelse):
+            return is_pure(then) and is_pure(orelse)
+        case App(_, _) | Loop():
+            return False
+    return False
+
+
+def eliminate_dead_code(term: Term) -> Term:
+    """Remove unused pure bindings, bottom-up, everywhere (including
+    inside lambda bodies and conditional branches)."""
+    match term:
+        case Let(name, rhs, body):
+            new_body = eliminate_dead_code(body)
+            new_rhs = _clean_rhs(rhs)
+            if name not in free_variables(new_body) and is_pure(new_rhs):
+                return new_body
+            return Let(name, new_rhs, new_body)
+        case Lam(param, body):
+            return Lam(param, eliminate_dead_code(body))
+        case _:
+            return term
+
+
+def _clean_rhs(rhs: Term) -> Term:
+    match rhs:
+        case Lam(param, body):
+            return Lam(param, eliminate_dead_code(body))
+        case If0(test, then, orelse):
+            return If0(
+                test, eliminate_dead_code(then), eliminate_dead_code(orelse)
+            )
+        case _:
+            return rhs

@@ -1,0 +1,165 @@
+"""Heuristic inlining of monomorphic calls (paper Section 6.3).
+
+The paper's conclusion proposes combining *heuristic in-lining* with a
+direct-style analysis as the practical alternative to CPS-based
+duplication.  This pass inlines a call site when:
+
+- the direct analysis resolves the function position to exactly one
+  abstract closure (the call is *monomorphic*),
+- that closure's lambda is syntactically present in the program (not
+  an initial-store assumption),
+- the callee is not directly recursive through the same closure,
+- the callee body is within the size budget, and
+- every free variable of the callee body (other than its parameter)
+  is bound by a *top-level straight-line* binder — a let on the
+  program's outer spine, outside any lambda or branch, plus the
+  program's assumed free variables.  Such binders execute exactly
+  once, so the value the closure captured is the value in scope at
+  the call site; abstract closures drop their environments (Section
+  4.1), which makes this check the semantic safety condition for
+  splicing a closure body into a different context.
+
+The inlined copy is alpha-renamed, so the unique-binder invariant is
+preserved; after inlining, re-running the direct analysis sees the
+call's continuation specialized to this one call site, which is
+exactly the duplication the CPS analyses perform implicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.common import AbsClo, abstract_value
+from repro.analysis.direct import analyze_direct
+from repro.analysis.result import AnalysisResult
+from repro.anf.splice import bind_anf
+from repro.domains.absval import AbsVal
+from repro.domains.protocol import NumDomain
+from repro.lang.ast import App, If0, Lam, Let, Term
+from repro.lang.rename import NameSupply, fresh_name_supply, uniquify
+from repro.lang.syntax import free_variables, subterms, term_size
+
+#: Default size budget for inlined callee bodies (AST nodes).
+DEFAULT_MAX_SIZE = 60
+
+
+def inline_monomorphic_calls(
+    term: Term,
+    result: AnalysisResult | None = None,
+    domain: NumDomain | None = None,
+    initial: Mapping[str, AbsVal] | None = None,
+    max_size: int = DEFAULT_MAX_SIZE,
+) -> Term:
+    """Inline every monomorphic, non-recursive, small call in ``term``.
+
+    Returns the rewritten program; run :func:`repro.analysis.direct.
+    analyze_direct` on it again to see the precision gained.
+    """
+    if result is None:
+        result = analyze_direct(term, domain, initial=initial)
+    supply = fresh_name_supply(term)
+    program_lambdas = {
+        AbsClo(sub.param, sub.body)
+        for sub in subterms(term)
+        if isinstance(sub, Lam)
+    }
+    inliner = _Inliner(result, supply, program_lambdas, max_size)
+    # Assumed free variables behave like once-bound globals.
+    globals_ = frozenset(free_variables(term))
+    inliner.linear_scope.update(globals_)
+    return inliner.rewrite(term, linear=True, scope=globals_)
+
+
+class _Inliner:
+    def __init__(
+        self,
+        result: AnalysisResult,
+        supply: NameSupply,
+        program_lambdas: set[AbsClo],
+        max_size: int,
+    ) -> None:
+        self.result = result
+        self.supply = supply
+        self.program_lambdas = program_lambdas
+        self.max_size = max_size
+        self.inlined_count = 0
+        #: Binders on the outer straight-line spine (execute once).
+        self.linear_scope: set[str] = set()
+
+    def rewrite(self, term: Term, linear: bool, scope: frozenset) -> Term:
+        match term:
+            case Let(name, rhs, body):
+                if linear:
+                    self.linear_scope.add(name)
+                new_body = self.rewrite(body, linear, scope | {name})
+                if isinstance(rhs, App):
+                    inlined = self._try_inline(name, rhs, new_body, scope)
+                    if inlined is not None:
+                        return inlined
+                return Let(name, self._rewrite_rhs(rhs, scope), new_body)
+            case Lam(param, body):
+                return Lam(
+                    param, self.rewrite(body, False, scope | {param})
+                )
+            case _:
+                return term
+
+    def _rewrite_rhs(self, rhs: Term, scope: frozenset) -> Term:
+        match rhs:
+            case Lam(param, body):
+                return Lam(
+                    param, self.rewrite(body, False, scope | {param})
+                )
+            case If0(test, then, orelse):
+                return If0(
+                    test,
+                    self.rewrite(then, False, scope),
+                    self.rewrite(orelse, False, scope),
+                )
+            case _:
+                return rhs
+
+    def _try_inline(
+        self, name: str, rhs: App, body: Term, scope: frozenset
+    ) -> Term | None:
+        """Inline ``(let (name (f arg)) body)`` when the heuristic
+        conditions hold; None when they do not."""
+        fun = abstract_value(
+            self.result.lattice, rhs.fun, self.result.answer.store
+        )
+        if len(fun.clos) != 1:
+            return None  # polymorphic or unresolved call
+        (callee,) = fun.clos
+        if not isinstance(callee, AbsClo):
+            return None  # primitive: nothing to inline
+        if callee not in self.program_lambdas:
+            return None  # closure assumed in the initial store
+        if term_size(callee.body) > self.max_size:
+            return None
+        if self._directly_recursive(callee):
+            return None
+        captured = free_variables(callee.body) - {callee.param}
+        if not captured <= self.linear_scope:
+            return None  # captured bindings may differ at the site
+        if not captured <= scope:
+            return None  # captured bindings not visible at the site
+        # alpha-rename a fresh copy of the callee
+        renamed = uniquify(Lam(callee.param, callee.body), self.supply)
+        assert isinstance(renamed, Lam)
+        self.inlined_count += 1
+        inlined_body = bind_anf(renamed.body, name, body)
+        return Let(renamed.param, rhs.arg, inlined_body)
+
+    def _directly_recursive(self, callee: AbsClo) -> bool:
+        """Does any call inside the callee's body resolve back to the
+        callee itself?"""
+        for sub in subterms(callee.body):
+            if isinstance(sub, Let) and isinstance(sub.rhs, App):
+                fun = abstract_value(
+                    self.result.lattice,
+                    sub.rhs.fun,
+                    self.result.answer.store,
+                )
+                if callee in fun.clos:
+                    return True
+        return False

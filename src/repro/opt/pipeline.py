@@ -1,0 +1,92 @@
+"""The iterated optimize/analyze loop.
+
+Each round re-runs the direct analysis on the current program (the
+transforms change program points, so facts must be recomputed) and
+applies the selected passes.  The loop stops when a round leaves the
+program unchanged or the round budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.analysis.direct import analyze_direct
+from repro.analysis.result import AnalysisResult
+from repro.anf.validate import validate_anf
+from repro.domains.absval import AbsVal
+from repro.domains.protocol import NumDomain
+from repro.lang.ast import Term
+from repro.opt.constfold import constant_fold
+from repro.opt.deadcode import eliminate_dead_code
+from repro.opt.dup import duplicate_join_continuations
+from repro.opt.inline import inline_monomorphic_calls
+
+#: Pass names accepted by :func:`optimize`, in their application order.
+ALL_PASSES = ("inline", "dup", "fold", "dce")
+
+
+@dataclass(frozen=True)
+class OptimizationReport:
+    """Outcome of an optimization run."""
+
+    #: The input program.
+    original: Term
+    #: The optimized program.
+    term: Term
+    #: Number of full rounds executed (including the no-change round).
+    rounds: int
+    #: The direct analysis of the *final* program.
+    analysis: AnalysisResult
+    #: Pass names in the order applied each round.
+    passes: tuple[str, ...] = field(default=ALL_PASSES)
+
+
+def optimize(
+    term: Term,
+    domain: NumDomain | None = None,
+    initial: Mapping[str, AbsVal] | None = None,
+    passes: Sequence[str] = ALL_PASSES,
+    max_rounds: int = 4,
+    inline_size: int = 60,
+    dup_size: int = 60,
+) -> OptimizationReport:
+    """Optimize a restricted-subset program to a fixed point (bounded).
+
+    Args:
+        term: the program (restricted subset, unique binders).
+        domain: analysis domain (default constant propagation).
+        initial: free-variable assumptions for the analysis.
+        passes: which passes to run, in order; a subset of
+            ``("inline", "dup", "fold", "dce")``.
+        max_rounds: round budget.
+        inline_size, dup_size: size budgets of the duplicating passes.
+
+    Returns:
+        An `OptimizationReport` with the final program and analysis.
+    """
+    unknown = set(passes) - set(ALL_PASSES)
+    if unknown:
+        raise ValueError(f"unknown passes: {sorted(unknown)}")
+    original = term
+    rounds = 0
+    for _ in range(max_rounds):
+        rounds += 1
+        result = analyze_direct(term, domain, initial=initial)
+        previous = term
+        for name in passes:
+            if name == "inline":
+                term = inline_monomorphic_calls(
+                    term, domain=domain, initial=initial, max_size=inline_size
+                )
+            elif name == "dup":
+                term = duplicate_join_continuations(term, max_size=dup_size)
+            elif name == "fold":
+                term = constant_fold(term, domain=domain, initial=initial)
+            elif name == "dce":
+                term = eliminate_dead_code(term)
+            validate_anf(term)
+        if term == previous:
+            break
+    final = analyze_direct(term, domain, initial=initial)
+    return OptimizationReport(original, term, rounds, final, tuple(passes))

@@ -1,0 +1,178 @@
+"""Empirical survey: how often do the analyses actually differ?
+
+The paper proves the direct and CPS analyses *can* differ in both
+directions and argues the differences matter in practice.  This module
+quantifies the phenomenon over program populations: it runs the
+three-way analysis over the corpus and over seeded random programs and
+tabulates the Section 5 verdicts, plus the relative analyzer costs.
+
+``python -m repro survey --count 200`` prints the tabulation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.common import BudgetExceeded
+from repro.analysis.compare import Precision
+from repro.anf import normalize
+from repro.api import run_three_way
+from repro.corpus import PROGRAMS, CorpusProgram
+from repro.domains.protocol import NumDomain
+from repro.domains.absval import Lattice
+from repro.domains.constprop import ConstPropDomain
+from repro.gen import random_open_term, random_program
+from repro.lang.syntax import free_variables, term_size
+
+#: Default per-program analyzer work budget.  The syntactic-CPS
+#: analyzer is worst-case super-exponential (Section 6.2 + false
+#: returns); programs that blow past the budget are counted rather
+#: than analyzed to completion.
+DEFAULT_BUDGET = 200_000
+
+
+@dataclass
+class SurveyResult:
+    """Aggregated verdicts and costs over a program population."""
+
+    population: str
+    count: int = 0
+    direct_vs_syntactic: Counter = field(default_factory=Counter)
+    semantic_vs_direct: Counter = field(default_factory=Counter)
+    semantic_vs_syntactic: Counter = field(default_factory=Counter)
+    direct_visits: int = 0
+    semantic_visits: int = 0
+    syntactic_visits: int = 0
+    total_size: int = 0
+    budget_exceeded: int = 0
+
+    def record(self, report) -> None:
+        """Fold one three-way report into the aggregate."""
+        self.count += 1
+        self.direct_vs_syntactic[report.direct_vs_syntactic.value] += 1
+        self.semantic_vs_direct[report.semantic_vs_direct.value] += 1
+        self.semantic_vs_syntactic[report.semantic_vs_syntactic.value] += 1
+        self.direct_visits += report.direct.stats.visits
+        self.semantic_visits += report.semantic.stats.visits
+        self.syntactic_visits += report.syntactic.stats.visits
+        self.total_size += term_size(report.term)
+
+    def verdict_share(self, counter: Counter, verdict: Precision) -> float:
+        """Fraction of the population with the given verdict."""
+        if not self.count:
+            return 0.0
+        return counter[verdict.value] / self.count
+
+    def summary(self) -> str:
+        """A human-readable tabulation."""
+        lines = [
+            f"population: {self.population} "
+            f"({self.count} programs analyzed, {self.budget_exceeded} "
+            f"hit the work budget, avg size "
+            f"{self.total_size / max(self.count, 1):.1f} nodes)",
+            f"  mean analyzer visits: direct "
+            f"{self.direct_visits / max(self.count, 1):.1f}, semantic-CPS "
+            f"{self.semantic_visits / max(self.count, 1):.1f}, syntactic-CPS "
+            f"{self.syntactic_visits / max(self.count, 1):.1f}",
+        ]
+        for label, counter in (
+            ("direct vs syntactic-CPS", self.direct_vs_syntactic),
+            ("semantic vs direct", self.semantic_vs_direct),
+            ("semantic vs syntactic", self.semantic_vs_syntactic),
+        ):
+            shares = ", ".join(
+                f"{verdict}: {count}" for verdict, count in counter.most_common()
+            )
+            lines.append(f"  {label:24} {shares}")
+        return "\n".join(lines)
+
+
+def survey_programs(
+    programs: Iterable[CorpusProgram],
+    population: str,
+    domain: NumDomain | None = None,
+    budget: int = DEFAULT_BUDGET,
+) -> SurveyResult:
+    """Survey an iterable of corpus programs."""
+    result = SurveyResult(population)
+    for program in programs:
+        try:
+            result.record(
+                run_three_way(program, domain=domain, max_visits=budget)
+            )
+        except BudgetExceeded:
+            result.budget_exceeded += 1
+    return result
+
+
+def survey_corpus(
+    domain: NumDomain | None = None, budget: int = DEFAULT_BUDGET
+) -> SurveyResult:
+    """Survey the built-in corpus."""
+    return survey_programs(PROGRAMS.values(), "corpus", domain, budget)
+
+
+def survey_random(
+    count: int = 100,
+    depth: int = 4,
+    seed_base: int = 0,
+    domain: NumDomain | None = None,
+    budget: int = DEFAULT_BUDGET,
+) -> SurveyResult:
+    """Survey ``count`` seeded random closed programs.
+
+    Closed simply-typed programs fold completely under constant
+    propagation, so all verdicts come out equal — included as the
+    baseline population.  See :func:`survey_random_open` for the
+    population where the paper's phenomena occur.
+    """
+    result = SurveyResult(f"random-closed(depth={depth})")
+    for seed in range(seed_base, seed_base + count):
+        term = normalize(random_program(seed, depth))
+        try:
+            result.record(
+                run_three_way(term, domain=domain, max_visits=budget)
+            )
+        except BudgetExceeded:
+            result.budget_exceeded += 1
+    return result
+
+
+def survey_random_open(
+    count: int = 100,
+    depth: int = 4,
+    seed_base: int = 0,
+    domain: NumDomain | None = None,
+    budget: int = DEFAULT_BUDGET,
+    inputs: tuple[str, ...] = ("in0", "in1"),
+) -> SurveyResult:
+    """Survey random programs with unknown numeric inputs.
+
+    Free inputs are assumed ⊤, so conditional tests and arithmetic stay
+    statically unknown — the population where branch joins and
+    duplication actually bite.
+    """
+    import random as _random
+
+    domain = domain if domain is not None else ConstPropDomain()
+    lattice = Lattice(domain)
+    result = SurveyResult(f"random-open(depth={depth})")
+    for seed in range(seed_base, seed_base + count):
+        term = normalize(
+            random_open_term(_random.Random(seed), depth, inputs)
+        )
+        initial = {
+            name: lattice.of_num(domain.top)
+            for name in free_variables(term)
+        }
+        try:
+            result.record(
+                run_three_way(
+                    term, domain=domain, initial=initial, max_visits=budget
+                )
+            )
+        except BudgetExceeded:
+            result.budget_exceeded += 1
+    return result

@@ -1,0 +1,157 @@
+"""Validation against an enumerated collecting semantics.
+
+Section 4 derives the analyzers by abstracting a *collecting*
+semantics: the map from each variable to the set of values bound to it
+along **all** executions.  For programs whose free variables range
+over a small finite set we can compute that collecting semantics
+exactly — run the concrete interpreter once per input assignment and
+union the per-variable bindings — and then check the Section 4.3
+correctness criterion against it: the abstract store entry for ``x``
+must describe *every* collected value, for every input that the
+initial abstract store covers.
+
+This is a much sharper soundness test than comparing against a single
+run: it exercises exactly the joins (branch merges, multi-call-site
+parameters) where the analyzers approximate.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis import (
+    analyze_direct,
+    analyze_polyvariant,
+    analyze_semantic_cps,
+)
+from repro.anf import normalize
+from repro.domains import (
+    ConstPropDomain,
+    IntervalDomain,
+    Lattice,
+    ParityDomain,
+    SignDomain,
+)
+from repro.interp import run_direct
+from repro.interp.errors import InterpError
+from repro.interp.values import Closure, Env, PrimVal, Store
+from repro.lang.parser import parse
+from repro.lang.syntax import free_variables
+
+INPUT_RANGE = range(-2, 4)
+
+PROGRAMS = [
+    # branch joins
+    "(let (a (if0 x 0 1)) (let (b (if0 a (+ a 3) (+ a 2))) b))",
+    # nested conditionals with correlations
+    "(let (a (if0 x 1 2)) (let (b (if0 y a (* a a))) (+ a b)))",
+    # parameter joins across call sites
+    """(let (f (lambda (p) (* p p)))
+         (let (u (f x)) (let (v (f (add1 x))) (+ u v))))""",
+    # higher-order: chosen closure depends on input
+    """(let (inc (lambda (i) (add1 i)))
+         (let (dec (lambda (j) (sub1 j)))
+           (let (pick (if0 x inc dec))
+             (pick y))))""",
+    # arithmetic mixing
+    "(let (a (* x y)) (let (b (- a x)) (if0 b a b)))",
+]
+
+DOMAINS = [
+    ConstPropDomain(),
+    ParityDomain(),
+    SignDomain(),
+    IntervalDomain(bound=8),
+]
+
+
+def collecting_semantics(term, names):
+    """Run the program for every input assignment; return the map
+    variable -> set of concrete values bound along any run."""
+    collected: dict[str, set] = {}
+    results = []
+    for values in itertools.product(INPUT_RANGE, repeat=len(names)):
+        env, store = Env(), Store()
+        for name, value in zip(names, values):
+            loc = store.new(name)
+            store.bind(loc, value)
+            env = env.bind(name, loc)
+        try:
+            answer = run_direct(term, env=env, store=store, fuel=200_000)
+        except InterpError:
+            continue
+        results.append(answer.value)
+        for loc, value in answer.store.items():
+            collected.setdefault(loc.name, set()).add(value)
+    return collected, results
+
+
+def describes(domain, abstract, concrete) -> bool:
+    if isinstance(concrete, int):
+        return domain.abstracts(abstract.num, concrete)
+    if isinstance(concrete, (PrimVal, Closure)):
+        return bool(abstract.clos)
+    return False
+
+
+def initial_for(lattice, names):
+    """Cover the whole input range with one abstract value per input."""
+    domain = lattice.domain
+    joined = domain.bottom
+    for i in INPUT_RANGE:
+        joined = domain.join(joined, domain.const(i))
+    return {name: lattice.of_num(joined) for name in names}
+
+
+@pytest.mark.parametrize("source", PROGRAMS, ids=lambda s: s[:28])
+@pytest.mark.parametrize("domain", DOMAINS, ids=lambda d: d.name)
+class TestAgainstCollectingSemantics:
+    def test_direct_analyzer_covers_all_runs(self, source, domain):
+        term = normalize(parse(source))
+        names = sorted(free_variables(term))
+        collected, results = collecting_semantics(term, names)
+        assert results, "workload must have at least one terminating run"
+        lattice = Lattice(domain)
+        analysis = analyze_direct(
+            term, domain, initial=initial_for(lattice, names)
+        )
+        for name, values in collected.items():
+            for value in values:
+                assert describes(
+                    domain, analysis.value_of(name), value
+                ), f"{name} misses {value!r}"
+        for result in results:
+            assert describes(domain, analysis.value, result)
+
+    def test_semantic_analyzer_covers_all_runs(self, source, domain):
+        term = normalize(parse(source))
+        names = sorted(free_variables(term))
+        collected, results = collecting_semantics(term, names)
+        lattice = Lattice(domain)
+        analysis = analyze_semantic_cps(
+            term, domain, initial=initial_for(lattice, names)
+        )
+        for name, values in collected.items():
+            for value in values:
+                assert describes(
+                    domain, analysis.value_of(name), value
+                ), f"{name} misses {value!r}"
+        for result in results:
+            assert describes(domain, analysis.value, result)
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_polyvariant_analyzer_covers_all_runs(self, source, domain, k):
+        term = normalize(parse(source))
+        names = sorted(free_variables(term))
+        collected, results = collecting_semantics(term, names)
+        lattice = Lattice(domain)
+        analysis = analyze_polyvariant(
+            term, domain, k=k, initial=initial_for(lattice, names)
+        )
+        for name, values in collected.items():
+            for value in values:
+                assert describes(
+                    domain, analysis.value_of(name), value
+                ), f"{name} misses {value!r}"
+        for result in results:
+            assert describes(domain, analysis.value, result)

@@ -1,0 +1,79 @@
+"""Ablation: the granularity of the Section 4.4 loop cut matters.
+
+DESIGN.md §3.5, finding 2: registering *value* judgments in the active
+set (a literal reading of "the arguments (M, σ) have already been
+considered") lets a cut fire at a judgment whose continuation frame
+binds the cut's (⊤, CL⊤) directly, injecting spurious closures the
+default (let-headed-only) cut discipline filters through arithmetic.
+The `cut_values=True` switch restores the literal reading so the
+effect can be measured.
+"""
+
+import pytest
+
+from repro import Precision
+from repro.analysis import analyze_direct
+from repro.analysis.compare import compare_semantic_to_direct
+from repro.analysis.semantic_cps import SemanticCpsAnalyzer
+from repro.corpus import PROGRAMS
+from repro.domains import ConstPropDomain, Lattice, SignDomain
+
+
+def run_semantic(program, domain, cut_values):
+    lattice = Lattice(domain)
+    initial = program.initial_for(lattice)
+    analyzer = SemanticCpsAnalyzer(
+        program.term, domain, initial=initial, cut_values=cut_values
+    )
+    return analyzer.run()
+
+
+class TestDefaultDiscipline:
+    def test_theorem54_holds_on_factorial_sign(self):
+        program = PROGRAMS["factorial"]
+        domain = SignDomain()
+        direct = analyze_direct(program.term, domain)
+        semantic = run_semantic(program, domain, cut_values=False)
+        assert compare_semantic_to_direct(semantic, direct) in (
+            Precision.EQUAL,
+            Precision.LEFT_MORE_PRECISE,
+        )
+
+    def test_results_identical_on_cut_free_programs(self):
+        # on non-recursive programs the switch is unobservable
+        program = PROGRAMS["theorem-5.2-conditional"]
+        domain = ConstPropDomain()
+        default = run_semantic(program, domain, cut_values=False)
+        literal = run_semantic(program, domain, cut_values=True)
+        assert default.answer == literal.answer
+        assert default.stats.loop_cuts == literal.stats.loop_cuts == 0
+
+
+class TestLiteralReading:
+    def test_value_cuts_perturb_theorem54(self):
+        """With value judgments registered, cuts deliver (⊤, CL⊤) into
+        join frames and the semantic analysis accumulates spurious
+        closures the direct analysis does not have."""
+        program = PROGRAMS["factorial"]
+        domain = SignDomain()
+        direct = analyze_direct(program.term, domain)
+        literal = run_semantic(program, domain, cut_values=True)
+        verdict = compare_semantic_to_direct(literal, direct)
+        assert verdict in (
+            Precision.RIGHT_MORE_PRECISE,
+            Precision.INCOMPARABLE,
+        )
+        # the mechanism: extra closures in the final answer
+        assert literal.value.clos - direct.value.clos
+
+    def test_literal_mode_still_terminates(self):
+        program = PROGRAMS["factorial"]
+        result = run_semantic(program, ConstPropDomain(), cut_values=True)
+        assert result.stats.loop_cuts >= 1
+
+    def test_literal_mode_cuts_at_least_as_often(self):
+        program = PROGRAMS["even-odd"]
+        domain = ConstPropDomain()
+        default = run_semantic(program, domain, cut_values=False)
+        literal = run_semantic(program, domain, cut_values=True)
+        assert literal.stats.loop_cuts >= default.stats.loop_cuts

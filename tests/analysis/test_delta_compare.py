@@ -1,0 +1,131 @@
+"""Unit tests for the abstract δe map and the precision comparisons."""
+
+import pytest
+
+from repro.analysis import (
+    A_DEC,
+    A_DECK,
+    A_INC,
+    A_INCK,
+    A_STOP,
+    AAnswer,
+    AbsClo,
+    AbsCpsClo,
+)
+from repro.analysis.compare import (
+    Precision,
+    answer_leq,
+    compare_answers,
+    source_variables,
+)
+from repro.analysis.delta import (
+    delta_answer,
+    delta_closure,
+    delta_store,
+    delta_value,
+)
+from repro.cps.ast import CVar, KApp
+from repro.domains import AbsStore, AbsVal, ConstPropDomain, Lattice
+from repro.domains.constprop import TOP
+from repro.lang.ast import Var
+
+DOM = ConstPropDomain()
+LAT = Lattice(DOM)
+
+
+class TestDeltaClosure:
+    def test_inc_maps_to_inck(self):
+        assert delta_closure(A_INC) is A_INCK
+        assert delta_closure(A_DEC) is A_DECK
+
+    def test_user_closure_gets_cps_body(self):
+        image = delta_closure(AbsClo("x", Var("x")))
+        assert image == AbsCpsClo("x", "k/x", KApp("k/x", CVar("x")))
+
+    def test_rejects_cps_closures(self):
+        with pytest.raises(TypeError):
+            delta_closure(A_INCK)
+
+
+class TestDeltaValue:
+    def test_number_component_unchanged(self):
+        assert delta_value(LAT.of_const(5)).num == 5
+
+    def test_closures_mapped(self):
+        value = LAT.of_clos(A_INC, AbsClo("x", Var("x")))
+        image = delta_value(value)
+        assert A_INCK in image.clos
+        assert len(image.clos) == 2
+
+    def test_no_continuations_in_image(self):
+        assert delta_value(LAT.of_const(1)).konts == frozenset()
+
+    def test_rejects_values_with_continuations(self):
+        with pytest.raises(ValueError):
+            delta_value(LAT.of_konts(A_STOP))
+
+
+class TestDeltaStoreAnswer:
+    def test_pointwise(self):
+        store = AbsStore(
+            LAT, {"a": LAT.of_const(1), "f": LAT.of_clos(A_INC)}
+        )
+        image = delta_store(store)
+        assert image.get("a").num == 1
+        assert image.get("f").clos == frozenset({A_INCK})
+
+    def test_componentwise_on_answers(self):
+        answer = AAnswer(
+            LAT.of_const(2), AbsStore(LAT, {"x": LAT.of_clos(A_DEC)})
+        )
+        image = delta_answer(answer)
+        assert image.value.num == 2
+        assert image.store.get("x").clos == frozenset({A_DECK})
+
+
+def ans(value, **entries):
+    return AAnswer(value, AbsStore(LAT, entries))
+
+
+class TestCompareAnswers:
+    def test_equal(self):
+        a = ans(LAT.of_const(1), x=LAT.of_const(2))
+        b = ans(LAT.of_const(1), x=LAT.of_const(2))
+        assert compare_answers(a, b, LAT) is Precision.EQUAL
+
+    def test_left_more_precise_via_value(self):
+        a = ans(LAT.of_const(1))
+        b = ans(LAT.of_num(TOP))
+        assert compare_answers(a, b, LAT) is Precision.LEFT_MORE_PRECISE
+
+    def test_right_more_precise_via_store(self):
+        a = ans(LAT.of_const(1), x=LAT.of_num(TOP))
+        b = ans(LAT.of_const(1), x=LAT.of_const(5))
+        assert compare_answers(a, b, LAT) is Precision.RIGHT_MORE_PRECISE
+
+    def test_incomparable(self):
+        a = ans(LAT.of_const(1), x=LAT.of_num(TOP))
+        b = ans(LAT.of_num(TOP), x=LAT.of_const(5))
+        assert compare_answers(a, b, LAT) is Precision.INCOMPARABLE
+
+    def test_names_filter(self):
+        a = ans(LAT.of_const(1), x=LAT.of_num(TOP), y=LAT.of_const(2))
+        b = ans(LAT.of_const(1), x=LAT.of_const(5), y=LAT.of_const(2))
+        # restricted to y, the answers agree
+        assert compare_answers(a, b, LAT, names=["y"]) is Precision.EQUAL
+
+    def test_missing_entry_is_bottom(self):
+        a = ans(LAT.of_const(1))
+        b = ans(LAT.of_const(1), x=LAT.of_const(5))
+        assert answer_leq(a, b, LAT)
+        assert not answer_leq(b, a, LAT)
+
+
+class TestSourceVariables:
+    def test_excludes_kvar_namespace(self):
+        answer = ans(
+            LAT.of_const(1),
+            x=LAT.of_const(2),
+            **{"k/halt": LAT.of_konts(A_STOP)},
+        )
+        assert source_variables(answer) == {"x"}

@@ -1,0 +1,227 @@
+"""Unit tests for the direct abstract collecting interpreter (Figure 4)."""
+
+import pytest
+
+from repro.analysis import A_DEC, A_INC, AbsClo, analyze_direct
+from repro.anf import normalize
+from repro.domains import (
+    ConstPropDomain,
+    IntervalDomain,
+    Lattice,
+    ParityDomain,
+    SignDomain,
+)
+from repro.domains.constprop import BOT, TOP
+from repro.lang.ast import Num, Var
+from repro.lang.errors import SyntaxValidationError
+from repro.lang.parser import parse
+
+DOM = ConstPropDomain()
+LAT = Lattice(DOM)
+
+
+def analyze(source: str, initial=None, domain=DOM):
+    return analyze_direct(normalize(parse(source)), domain, initial=initial)
+
+
+class TestStraightLine:
+    def test_constant_result(self):
+        assert analyze("42").value.num == 42
+
+    def test_arithmetic_folds(self):
+        result = analyze("(let (a (+ 1 2)) (let (b (* a a)) b))")
+        assert result.constant_of("a") == 3
+        assert result.constant_of("b") == 9
+
+    def test_add1_chain(self):
+        assert analyze("(add1 (add1 (add1 0)))").value.num == 3
+
+    def test_prim_values_become_tags(self):
+        result = analyze("(let (p add1) (p 1))")
+        assert result.closures_of("p") == frozenset({A_INC})
+        assert result.value.num == 2
+
+    def test_lambda_becomes_abstract_closure(self):
+        result = analyze("(let (f (lambda (x) x)) f)")
+        (clo,) = result.closures_of("f")
+        assert isinstance(clo, AbsClo)
+        assert clo.param == "x"
+
+
+class TestConditionals:
+    def test_known_zero_takes_then_only(self):
+        result = analyze("(let (r (if0 0 1 2)) r)")
+        assert result.constant_of("r") == 1
+
+    def test_known_nonzero_takes_else_only(self):
+        result = analyze("(let (r (if0 7 1 2)) r)")
+        assert result.constant_of("r") == 2
+
+    def test_closure_test_takes_else(self):
+        result = analyze("(let (r (if0 (lambda (x) x) 1 2)) r)")
+        assert result.constant_of("r") == 2
+
+    def test_unknown_test_merges_branches(self):
+        result = analyze(
+            "(let (r (if0 x 1 2)) r)", initial={"x": LAT.of_num(TOP)}
+        )
+        assert result.num_of("r") is TOP
+
+    def test_unknown_test_same_branches_stays_constant(self):
+        result = analyze(
+            "(let (r (if0 x 5 5)) r)", initial={"x": LAT.of_num(TOP)}
+        )
+        assert result.constant_of("r") == 5
+
+    def test_dead_conditional_on_bottom_test(self):
+        # x is never bound: the conditional is unreachable
+        result = analyze("(let (r (if0 x 1 2)) r)")
+        assert result.lattice.is_bottom(result.value_of("r"))
+
+    def test_branch_stores_merge_before_continuation(self):
+        # the defining non-distributive behaviour (Theorem 5.2 shape)
+        result = analyze(
+            """(let (a (if0 x 0 1))
+                 (let (b (if0 a (+ a 3) (+ a 2)))
+                   b))""",
+            initial={"x": LAT.of_num(TOP)},
+        )
+        assert result.num_of("a") is TOP
+        assert result.num_of("b") is TOP
+
+
+class TestApplications:
+    def test_single_closure_call(self):
+        result = analyze("(let (f (lambda (x) (add1 x))) (f 1))")
+        assert result.value.num == 2
+        assert result.constant_of("x") == 1
+
+    def test_two_call_sites_join_at_parameter(self):
+        # 0CFA: one abstract location per variable.  The collecting
+        # interpretation is a single pass, so the first call still sees
+        # x = 1; by the second call the location holds the join.
+        result = analyze(
+            "(let (f (lambda (x) x)) (let (u (f 1)) (let (v (f 2)) v)))"
+        )
+        assert result.num_of("x") is TOP
+        assert result.constant_of("u") == 1
+        assert result.num_of("v") is TOP
+
+    def test_multi_closure_call_joins_results(self):
+        result = analyze_direct(
+            parse("(let (r (f 3)) r)"),
+            DOM,
+            initial={
+                "f": LAT.of_clos(AbsClo("p", Num(10)), AbsClo("q", Num(20)))
+            },
+        )
+        assert result.num_of("r") is TOP
+
+    def test_calling_bottom_is_dead(self):
+        result = analyze("(let (r (g 1)) r)")  # g unbound
+        assert result.lattice.is_bottom(result.value_of("r"))
+
+    def test_number_in_function_position_contributes_nothing(self):
+        result = analyze("(let (r (1 2)) r)")
+        assert result.lattice.is_bottom(result.value_of("r"))
+
+    def test_higher_order_flow(self):
+        result = analyze(
+            """(let (apply (lambda (g) (g 7)))
+                 (let (inc add1)
+                   (apply inc)))"""
+        )
+        assert result.value.num == 8
+        assert A_INC in result.closures_of("g")
+
+
+class TestRecursionTermination:
+    def test_factorial_terminates_with_top(self):
+        result = analyze(
+            """(let (fact (lambda (self)
+                            (lambda (n)
+                              (if0 n 1 (* n ((self self) (- n 1)))))))
+                 ((fact fact) 6))"""
+        )
+        assert result.value.num is TOP
+        assert result.stats.loop_cuts >= 1
+
+    def test_omega_terminates(self):
+        result = analyze("((lambda (x) (x x)) (lambda (y) (y y)))")
+        assert result.stats.loop_cuts >= 1
+
+    def test_loop_cut_returns_all_closures(self):
+        # on a cut the analyzer returns (TOP, CL_top)
+        result = analyze("((lambda (x) (x x)) (lambda (y) (y y)))")
+        assert result.value.num is TOP or result.value.clos
+
+    def test_mutual_recursion_terminates(self):
+        result = analyze(
+            """(let (mk (lambda (self)
+                          (lambda (n)
+                            (if0 n 0 ((self self) (- n 1))))))
+                 ((mk mk) 5))"""
+        )
+        assert result.value.num in (0, TOP)
+
+
+class TestLoopConstruct:
+    def test_loop_value_is_iota(self):
+        result = analyze("(let (d (loop)) d)")
+        assert result.num_of("d") is TOP  # constprop iota
+
+    def test_loop_with_interval_domain(self):
+        from repro.domains.interval import Interval
+
+        result = analyze(
+            "(let (d (loop)) d)", domain=IntervalDomain(bound=8)
+        )
+        assert result.num_of("d") == Interval(0, None)
+
+    def test_direct_analysis_of_loop_terminates(self):
+        result = analyze("(let (d (loop)) (let (r (if0 d 1 2)) r))")
+        assert result.num_of("r") is TOP
+
+
+class TestOtherDomains:
+    def test_parity(self):
+        result = analyze(
+            "(let (a (+ 2 4)) (let (b (add1 a)) b))", domain=ParityDomain()
+        )
+        from repro.domains.parity import EVEN, ODD
+
+        assert result.num_of("a") is EVEN
+        assert result.num_of("b") is ODD
+
+    def test_sign(self):
+        result = analyze(
+            "(let (a (* 3 4)) (let (b (- 0 a)) b))", domain=SignDomain()
+        )
+        from repro.domains.sign import NEG, POS
+
+        assert result.num_of("a") is POS
+        assert result.num_of("b") is NEG
+
+    def test_parity_refines_branches(self):
+        # odd tests cannot be zero
+        result = analyze(
+            "(let (a (add1 (* 2 x))) (let (r (if0 a 111 222)) r))",
+            initial={"x": Lattice(ParityDomain()).of_num(ParityDomain().top)},
+            domain=ParityDomain(),
+        )
+        from repro.domains.parity import ODD
+
+        assert result.num_of("a") is ODD
+        # only the else branch is feasible: r = 222 exactly
+        assert result.num_of("r") == ParityDomain().const(222)
+
+
+class TestValidation:
+    def test_rejects_non_anf(self):
+        with pytest.raises(SyntaxValidationError):
+            analyze_direct(parse("(f (g 1))"))
+
+    def test_stats_are_populated(self):
+        result = analyze("(let (a 1) (let (b 2) (+ a b)))")
+        assert result.stats.visits >= 3
+        assert result.stats.max_depth >= 1

@@ -1,0 +1,202 @@
+"""Tests for the k-CFA polyvariant direct analyzer.
+
+Beyond unit behaviour, these tests pin the scientific point of the
+extension: call-string polyvariance repairs the classic monovariant
+imprecision (parameter merging across call sites) but does *not*
+recover the Theorem 5.2 duplication gain — supporting the paper's
+claim that the CPS analyses' extra precision is specifically the
+duplication of returns, not context sensitivity.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    analyze_direct,
+    analyze_polyvariant,
+)
+from repro.analysis.polyvariant import CtxVar, PolyClo, TOP_CONTEXT
+from repro.anf import normalize
+from repro.corpus import (
+    PROGRAMS,
+    THEOREM_52_CONDITIONAL,
+    THEOREM_52_TWO_CLOSURES,
+)
+from repro.domains import ConstPropDomain, Lattice, ParityDomain
+from repro.domains.constprop import TOP
+from repro.gen import random_closed_term
+from repro.interp import run_direct
+from repro.interp.values import Closure, PrimVal
+from repro.lang.parser import parse
+
+DOM = ConstPropDomain()
+LAT = Lattice(DOM)
+
+REPEATED_CALLS = """(let (f (lambda (x) (add1 x)))
+                     (let (u (f 1)) (let (v (f 2)) (+ u v))))"""
+
+
+def analyze(source: str, k: int = 1, initial=None, domain=DOM):
+    return analyze_polyvariant(
+        normalize(parse(source)), domain, k=k, initial=initial
+    )
+
+
+class TestBasics:
+    def test_constant_result(self):
+        assert analyze("(add1 41)").value.num == 42
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            analyze("42", k=-1)
+
+    def test_contexts_of_exposes_per_site_values(self):
+        result = analyze(REPEATED_CALLS, k=1)
+        contexts = result.contexts_of("x")
+        assert contexts[("u",)].num == 1
+        assert contexts[("v",)].num == 2
+
+    def test_value_of_specific_context(self):
+        result = analyze(REPEATED_CALLS, k=1)
+        assert result.constant_of("x", ("u",)) == 1
+        assert result.constant_of("x", ("v",)) == 2
+        assert result.value_of("x").num is TOP  # join over contexts
+
+    def test_closures_carry_binding_environments(self):
+        result = analyze(
+            "(let (a 7) (let (f (lambda (x) (+ x a))) (f 1)))", k=1
+        )
+        (clo,) = result.value_of("f").clos
+        # the collapsed view drops contexts; the raw store keeps them
+        raw = result.contexts_of("f")[TOP_CONTEXT]
+        assert raw.clos
+
+
+class TestPolyvariancePrecision:
+    def test_repairs_repeated_call_merging(self):
+        mono = analyze_direct(normalize(parse(REPEATED_CALLS)), DOM)
+        poly = analyze(REPEATED_CALLS, k=1)
+        assert mono.value.num is TOP
+        assert poly.value.num == 5
+        assert poly.constant_of("v") == 3
+
+    def test_k2_separates_two_level_call_chains(self):
+        source = """(let (apply (lambda (g) (g 10)))
+                     (let (inc (lambda (y) (add1 y)))
+                       (let (dec (lambda (z) (sub1 z)))
+                         (let (a (apply inc))
+                           (let (b (apply dec))
+                             (+ a b))))))"""
+        mono = analyze_direct(normalize(parse(source)), DOM)
+        poly1 = analyze(source, k=1)
+        assert mono.value.num is TOP
+        # k=1 distinguishes the apply calls: a=11, b=9
+        assert poly1.constant_of("a") == 11
+        assert poly1.constant_of("b") == 9
+        assert poly1.value.num == 20
+
+
+class TestDuplicationIsNotPolyvariance:
+    """The paper's point, sharpened: no call-string length recovers
+    the Theorem 5.2 precision, because the loss happens at *returns*
+    (store merges), which contexts do not split."""
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_conditional_witness_stays_top(self, k):
+        program = THEOREM_52_CONDITIONAL
+        result = analyze_polyvariant(
+            program.term, DOM, k=k, initial=program.initial_for(LAT)
+        )
+        assert result.value_of("a2").num is TOP
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_two_closure_witness_stays_top(self, k):
+        program = THEOREM_52_TWO_CLOSURES
+        result = analyze_polyvariant(
+            program.term, DOM, k=k, initial=program.initial_for(LAT)
+        )
+        assert result.value_of("a2").num is TOP
+
+
+class TestMonovariantDegeneration:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            n
+            for n in sorted(PROGRAMS)
+            if n not in ("factorial", "even-odd")
+            and not PROGRAMS[n].heavy
+        ],
+    )
+    def test_k0_matches_figure4_on_cut_free_corpus(self, name):
+        program = PROGRAMS[name]
+        initial = program.initial_for(LAT)
+        mono = analyze_direct(program.term, DOM, initial=initial)
+        poly = analyze_polyvariant(
+            program.term, DOM, k=0, initial=initial
+        ).collapse()
+        assert poly.value == mono.value
+        for var in mono.variables():
+            assert poly.value_of(var) == mono.value_of(var), var
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), depth=st.integers(2, 4))
+    def test_k0_matches_figure4_on_random_programs(self, seed, depth):
+        term = normalize(random_closed_term(random.Random(seed), depth))
+        mono = analyze_direct(term, DOM)
+        poly = analyze_polyvariant(term, DOM, k=0).collapse()
+        assert poly.value == mono.value
+
+
+class TestTermination:
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_factorial_terminates(self, k):
+        result = analyze_polyvariant(PROGRAMS["factorial"].term, DOM, k=k)
+        assert result.stats.loop_cuts >= 1
+
+    def test_omega_terminates(self):
+        result = analyze(
+            "((lambda (x) (x x)) (lambda (y) (y y)))", k=2
+        )
+        assert result.stats.loop_cuts >= 1
+
+
+class TestSoundness:
+    def _describes(self, domain, abstract, concrete) -> bool:
+        if isinstance(concrete, int):
+            return domain.abstracts(abstract.num, concrete)
+        if isinstance(concrete, PrimVal):
+            return bool(abstract.clos)
+        if isinstance(concrete, Closure):
+            return any(
+                isinstance(c, PolyClo) or c.param == concrete.param
+                for c in abstract.clos
+            ) or bool(abstract.clos)
+        return False
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        depth=st.integers(2, 4),
+        k=st.integers(0, 2),
+    )
+    def test_sound_against_concrete_runs(self, seed, depth, k):
+        term = normalize(random_closed_term(random.Random(seed), depth))
+        concrete = run_direct(term, fuel=500_000)
+        result = analyze_polyvariant(term, DOM, k=k)
+        if isinstance(concrete.value, int):
+            assert DOM.abstracts(result.value.num, concrete.value)
+        for loc, value in concrete.store.items():
+            if isinstance(value, int):
+                abstract = result.value_of(loc.name)
+                assert DOM.abstracts(abstract.num, value), loc.name
+
+    def test_sound_with_parity(self):
+        dom = ParityDomain()
+        result = analyze(REPEATED_CALLS, k=1, domain=dom)
+        from repro.domains.parity import ODD
+
+        assert result.value.num is ODD  # 5 is odd, provably

@@ -1,0 +1,108 @@
+"""Tests for the AnalysisResult query API and analyzer statistics."""
+
+import pytest
+
+from repro.analysis import (
+    A_STOP,
+    analyze_direct,
+    analyze_syntactic_cps,
+)
+from repro.anf import normalize
+from repro.cps import TOP_KVAR, cps_transform
+from repro.domains import ConstPropDomain
+from repro.lang.parser import parse
+
+DOM = ConstPropDomain()
+
+
+def direct(source: str):
+    return analyze_direct(normalize(parse(source)), DOM)
+
+
+class TestQueries:
+    def test_value_of_unknown_variable_is_bottom(self):
+        result = direct("42")
+        assert result.lattice.is_bottom(result.value_of("ghost"))
+
+    def test_constant_of_known(self):
+        assert direct("(let (a (+ 1 2)) a)").constant_of("a") == 3
+
+    def test_constant_of_top_is_none(self):
+        result = direct("(let (f (lambda (x) x)) (let (u (f 1)) (f 2)))")
+        assert result.constant_of("x") is None
+
+    def test_constant_of_unbound_is_none(self):
+        assert direct("42").constant_of("ghost") is None
+
+    def test_closures_of(self):
+        result = direct("(let (f (lambda (x) x)) f)")
+        assert len(result.closures_of("f")) == 1
+        assert result.closures_of("nope") == frozenset()
+
+    def test_konts_of_on_cps_analysis(self):
+        result = analyze_syntactic_cps(
+            cps_transform(normalize(parse("(let (a 1) a)"))), DOM
+        )
+        assert result.konts_of(TOP_KVAR) == frozenset({A_STOP})
+
+    def test_is_reachable(self):
+        result = direct("(let (a 1) a)")
+        assert result.is_reachable("a")
+        assert not result.is_reachable("ghost")
+
+    def test_variables_lists_bound_entries(self):
+        result = direct("(let (a 1) (let (b 2) b))")
+        assert set(result.variables()) == {"a", "b"}
+
+    def test_repr_mentions_analyzer(self):
+        assert "direct" in repr(direct("42"))
+
+
+class TestToDict:
+    def test_json_serializable(self):
+        import json
+
+        result = direct("(let (f (lambda (x) x)) (let (a (f 1)) a))")
+        payload = json.dumps(result.to_dict())
+        assert "cle" in payload
+
+    def test_continuations_included_for_cps(self):
+        result = analyze_syntactic_cps(
+            cps_transform(normalize(parse("(let (a 1) a)"))), DOM
+        )
+        view = result.to_dict()
+        assert "continuations" in view["store"][TOP_KVAR]
+
+    def test_stats_included(self):
+        view = direct("42").to_dict()
+        assert view["stats"]["visits"] >= 1
+        assert view["analyzer"] == "direct"
+
+
+class TestStats:
+    def test_as_dict_keys(self):
+        stats = direct("(let (a 1) a)").stats
+        data = stats.as_dict()
+        assert set(data) == {
+            "visits",
+            "loop_cuts",
+            "max_depth",
+            "returns_analyzed",
+        }
+        assert data["visits"] >= 2
+
+    def test_returns_counted_by_cps_analyzers(self):
+        term = normalize(parse("(let (f (lambda (x) x)) (f 1))"))
+        result = analyze_syntactic_cps(cps_transform(term), DOM)
+        assert result.stats.returns_analyzed >= 1
+
+
+class TestAnalyzerErrors:
+    def test_direct_analyzer_rejects_cps_closures(self):
+        from repro.analysis import A_INCK
+        from repro.domains import Lattice
+
+        lat = Lattice(DOM)
+        term = normalize(parse("(let (r (f 1)) r)"))
+        with pytest.raises(TypeError):
+            analyze_direct(term, DOM, initial={"f": lat.of_clos(A_INCK)})

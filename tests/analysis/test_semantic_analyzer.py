@@ -1,0 +1,136 @@
+"""Unit tests for the semantic-CPS abstract interpreter (Figure 5)."""
+
+import pytest
+
+from repro.analysis import analyze_semantic_cps, AbsClo, NonComputableError
+from repro.analysis.common import AFrame
+from repro.analysis.semantic_cps import SemanticCpsAnalyzer
+from repro.anf import normalize
+from repro.domains import ConstPropDomain, Lattice
+from repro.domains.constprop import TOP
+from repro.lang.parser import parse
+
+DOM = ConstPropDomain()
+LAT = Lattice(DOM)
+
+
+def analyze(source: str, initial=None, **kwargs):
+    return analyze_semantic_cps(
+        normalize(parse(source)), DOM, initial=initial, **kwargs
+    )
+
+
+class TestBasics:
+    def test_constant_result(self):
+        assert analyze("42").value.num == 42
+
+    def test_arithmetic(self):
+        result = analyze("(let (a (+ 1 2)) (let (b (* a a)) b))")
+        assert result.constant_of("b") == 9
+
+    def test_closure_call(self):
+        result = analyze("(let (f (lambda (x) (add1 x))) (f 1))")
+        assert result.value.num == 2
+
+    def test_known_conditional(self):
+        assert analyze("(let (r (if0 0 1 2)) r)").constant_of("r") == 1
+
+
+class TestDuplication:
+    def test_continuation_analyzed_per_branch(self):
+        # the continuation (let (b ...) b) sees a=0 and a=1 separately
+        result = analyze(
+            """(let (a (if0 x 0 1))
+                 (let (b (if0 a (+ a 3) (+ a 2)))
+                   b))""",
+            initial={"x": LAT.of_num(TOP)},
+        )
+        assert result.constant_of("b") == 3
+        # the store still joins a's bindings across paths
+        assert result.num_of("a") is TOP
+
+    def test_continuation_analyzed_per_callee(self):
+        from repro.lang.ast import Num
+
+        result = analyze_semantic_cps(
+            normalize(
+                parse("(let (a (f 3)) (let (b (if0 a 5 (+ a 4))) b))")
+            ),
+            DOM,
+            initial={
+                "f": LAT.of_clos(AbsClo("p", Num(0)), AbsClo("q", Num(1)))
+            },
+        )
+        assert result.constant_of("b") == 5
+
+    def test_returns_counter_tracks_duplication(self):
+        result = analyze(
+            "(let (a (if0 x 0 1)) (let (b (add1 a)) b))",
+            initial={"x": LAT.of_num(TOP)},
+        )
+        assert result.stats.returns_analyzed >= 2
+
+
+class TestTermination:
+    def test_factorial_terminates(self):
+        result = analyze(
+            """(let (fact (lambda (self)
+                            (lambda (n)
+                              (if0 n 1 (* n ((self self) (- n 1)))))))
+                 ((fact fact) 6))"""
+        )
+        assert result.stats.loop_cuts >= 1
+        assert result.value.num is TOP
+
+    def test_omega_terminates(self):
+        result = analyze("((lambda (x) (x x)) (lambda (y) (y y)))")
+        assert result.stats.loop_cuts >= 1
+
+    def test_loop_cut_returns_through_continuation(self):
+        # even after a cut, the continuation of the recursive call is
+        # analyzed with the top value: b gets a binding
+        result = analyze(
+            """(let (f (lambda (self) (self self)))
+                 (let (b (f f))
+                   (add1 b)))"""
+        )
+        assert result.num_of("b") is TOP
+
+
+class TestLoopConstruct:
+    def test_reject_mode_raises(self):
+        with pytest.raises(NonComputableError):
+            analyze("(let (d (loop)) d)")
+
+    def test_top_mode_matches_direct_iota(self):
+        result = analyze("(let (d (loop)) d)", loop_mode="top")
+        assert result.num_of("d") is TOP
+
+    def test_unroll_mode_joins_prefix(self):
+        result = analyze(
+            "(let (d (loop)) (let (r (if0 d 1 2)) r))",
+            loop_mode="unroll",
+            unroll_bound=4,
+        )
+        assert result.num_of("r") is TOP  # both branches reached
+
+    def test_unroll_duplication_beats_top_mode(self):
+        # every unrolled value hits the same branch arm with a
+        # *constant*, so r stays precise per path; top mode cannot
+        source = "(let (d (loop)) (let (r (* d 0)) r))"
+        unrolled = analyze(source, loop_mode="unroll", unroll_bound=3)
+        assert unrolled.constant_of("r") == 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            analyze("(let (d (loop)) d)", loop_mode="bogus")
+
+
+class TestInitialContinuation:
+    def test_run_under_frames(self):
+        analyzer = SemanticCpsAnalyzer(
+            normalize(parse("41")), DOM
+        )
+        frame_body = normalize(parse("(add1 h)"), ensure_unique=False)
+        result = analyzer.run(kont=(AFrame("h", frame_body),))
+        assert result.value.num == 42

@@ -1,0 +1,144 @@
+"""Unit tests for the syntactic-CPS abstract interpreter (Figure 6)."""
+
+import pytest
+
+from repro.analysis import (
+    A_STOP,
+    AbsCo,
+    AbsCpsClo,
+    NonComputableError,
+    analyze_syntactic_cps,
+)
+from repro.analysis.delta import delta_store
+from repro.anf import normalize
+from repro.cps import TOP_KVAR, cps_transform
+from repro.domains import AbsStore, ConstPropDomain, Lattice
+from repro.domains.constprop import TOP
+from repro.lang.parser import parse
+
+DOM = ConstPropDomain()
+LAT = Lattice(DOM)
+
+
+def analyze(source: str, initial=None, **kwargs):
+    term = cps_transform(normalize(parse(source)))
+    if initial is not None:
+        initial = dict(delta_store(AbsStore(LAT, initial)).items())
+    return analyze_syntactic_cps(term, DOM, initial=initial, **kwargs)
+
+
+class TestBasics:
+    def test_constant_result(self):
+        assert analyze("42").value.num == 42
+
+    def test_arithmetic(self):
+        result = analyze("(let (a (+ 1 2)) (let (b (* a a)) b))")
+        assert result.constant_of("b") == 9
+
+    def test_closure_call(self):
+        result = analyze("(let (f (lambda (x) (add1 x))) (f 1))")
+        assert result.value.num == 2
+
+    def test_known_conditional(self):
+        assert analyze("(let (r (if0 0 1 2)) r)").constant_of("r") == 1
+
+    def test_top_kvar_bound_to_stop(self):
+        result = analyze("5")
+        assert result.konts_of(TOP_KVAR) == frozenset({A_STOP})
+
+    def test_lambda_value_is_cps_closure(self):
+        result = analyze("(let (f (lambda (x) x)) f)")
+        (clo,) = result.closures_of("f")
+        assert isinstance(clo, AbsCpsClo)
+        assert clo.kparam == "k/x"
+
+
+class TestContinuationCollection:
+    def test_kvars_collect_continuations(self):
+        # two call sites of f => two continuations flow to f's k-param
+        result = analyze(
+            "(let (f (lambda (x) x)) (let (u (f 1)) (let (v (f 2)) v)))"
+        )
+        konts = result.konts_of("k/x")
+        assert len(konts) == 2
+        assert all(isinstance(k, AbsCo) for k in konts)
+
+    def test_false_returns_confuse_values(self):
+        # ... and therefore u receives the join of both returns
+        result = analyze(
+            "(let (f (lambda (x) x)) (let (u (f 1)) (let (v (f 2)) v)))"
+        )
+        assert result.num_of("u") is TOP
+
+    def test_join_continuation_bound_at_conditional(self):
+        result = analyze(
+            "(let (r (if0 x 1 2)) r)", initial={"x": LAT.of_num(TOP)}
+        )
+        assert result.konts_of("k/r")  # the join continuation was bound
+
+
+class TestDuplication:
+    def test_continuation_analyzed_per_branch(self):
+        result = analyze(
+            """(let (a (if0 x 0 1))
+                 (let (b (if0 a (+ a 3) (+ a 2)))
+                   b))""",
+            initial={"x": LAT.of_num(TOP)},
+        )
+        assert result.constant_of("b") == 3
+
+
+class TestTermination:
+    def test_factorial_terminates(self):
+        result = analyze(
+            """(let (fact (lambda (self)
+                            (lambda (n)
+                              (if0 n 1 (* n ((self self) (- n 1)))))))
+                 ((fact fact) 6))"""
+        )
+        assert result.stats.loop_cuts >= 1
+
+    def test_omega_terminates(self):
+        result = analyze("((lambda (x) (x x)) (lambda (y) (y y)))")
+        assert result.stats.loop_cuts >= 1
+
+    def test_cut_value_includes_all_continuations(self):
+        result = analyze("((lambda (x) (x x)) (lambda (y) (y y)))")
+        assert result.value.num is TOP
+        assert A_STOP in result.value.konts
+
+
+class TestLoopConstruct:
+    def test_reject_mode_raises(self):
+        with pytest.raises(NonComputableError):
+            analyze("(let (d (loop)) d)")
+
+    def test_top_mode(self):
+        result = analyze("(let (d (loop)) d)", loop_mode="top")
+        assert result.num_of("d") is TOP
+
+    def test_unroll_mode(self):
+        result = analyze(
+            "(let (d (loop)) (let (r (* d 0)) r))",
+            loop_mode="unroll",
+            unroll_bound=3,
+        )
+        assert result.constant_of("r") == 0
+
+
+class TestValidation:
+    def test_rejects_bad_terms(self):
+        from repro.cps.ast import CNum, KApp
+        from repro.lang.errors import SyntaxValidationError
+
+        with pytest.raises(SyntaxValidationError):
+            analyze_syntactic_cps(KApp("k/ghost", CNum(1)))
+
+    def test_check_can_be_disabled(self):
+        from repro.cps.ast import CNum, KApp
+
+        # the analyzer treats an unbound kvar as bottom: dead return
+        result = analyze_syntactic_cps(
+            KApp("k/ghost", CNum(1)), DOM, check=False
+        )
+        assert result.lattice.is_bottom(result.value)

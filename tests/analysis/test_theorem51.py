@@ -1,0 +1,100 @@
+"""Theorem 5.1: the direct analysis of M can be strictly more precise
+than the syntactic-CPS analysis of F_k[M] (*false returns*).
+
+The paper's proof witness: M = (let (a1 (f 1)) (let (a2 (f 2)) a2))
+with f bound to the identity closure.  The direct analysis proves
+a1 = 1; the CPS analysis merges the two continuations that flow to the
+identity's continuation parameter and answers ⊤ for both a1 and a2.
+"""
+
+from repro import Precision, run_three_way
+from repro.analysis import AbsCo, analyze_direct, analyze_syntactic_cps
+from repro.analysis.compare import compare_direct_to_cps
+from repro.analysis.delta import delta_store
+from repro.corpus import SHIVERS_EXAMPLE, THEOREM_51_WITNESS
+from repro.cps import cps_transform
+from repro.domains import AbsStore, ConstPropDomain, Lattice
+from repro.domains.constprop import TOP
+
+DOM = ConstPropDomain()
+LAT = Lattice(DOM)
+
+
+class TestPaperWitness:
+    def run_both(self):
+        program = THEOREM_51_WITNESS
+        initial = program.initial_for(LAT)
+        direct = analyze_direct(program.term, DOM, initial=initial)
+        cps_initial = dict(delta_store(AbsStore(LAT, initial)).items())
+        syntactic = analyze_syntactic_cps(
+            cps_transform(program.term), DOM, initial=cps_initial
+        )
+        return direct, syntactic
+
+    def test_direct_proves_a1_constant(self):
+        direct, _ = self.run_both()
+        assert direct.constant_of("a1") == 1
+
+    def test_direct_a2_is_top(self):
+        # the second call sees x already joined to TOP
+        direct, _ = self.run_both()
+        assert direct.num_of("a2") is TOP
+
+    def test_cps_loses_a1(self):
+        _, syntactic = self.run_both()
+        assert syntactic.num_of("a1") is TOP
+
+    def test_cps_collects_both_continuations_at_kx(self):
+        # the false-return mechanism: both call-site continuations
+        # flow to the identity's continuation parameter k/x
+        _, syntactic = self.run_both()
+        konts = syntactic.konts_of("k/x")
+        assert len(konts) == 2
+        assert all(isinstance(k, AbsCo) for k in konts)
+
+    def test_verdict_direct_strictly_more_precise(self):
+        direct, syntactic = self.run_both()
+        assert (
+            compare_direct_to_cps(direct, syntactic)
+            is Precision.LEFT_MORE_PRECISE
+        )
+
+    def test_three_way_report_agrees(self):
+        report = run_three_way(THEOREM_51_WITNESS)
+        assert report.direct_vs_syntactic is Precision.LEFT_MORE_PRECISE
+
+
+class TestShiversExample:
+    """Shivers' 0CFA example ([16] p.33, Section 6.1): the identity
+    procedure is defined inside the program; same confusion."""
+
+    def test_direct_proves_first_call_constant(self):
+        report = run_three_way(SHIVERS_EXAMPLE)
+        assert report.direct.constant_of("a1") == 1
+
+    def test_cps_confuses_returns(self):
+        report = run_three_way(SHIVERS_EXAMPLE)
+        assert report.syntactic.num_of("a1") is TOP
+
+    def test_verdict(self):
+        report = run_three_way(SHIVERS_EXAMPLE)
+        assert report.direct_vs_syntactic is Precision.LEFT_MORE_PRECISE
+
+
+class TestMechanism:
+    def test_single_call_site_has_no_false_return(self):
+        # with only one call site there is one continuation: no loss
+        report = run_three_way("(let (f (lambda (x) x)) (let (u (f 1)) u))")
+        assert report.syntactic.constant_of("u") == 1
+        assert report.direct_vs_syntactic is Precision.EQUAL
+
+    def test_distinct_callees_do_not_confuse(self):
+        # two different identities: each k-param collects one
+        # continuation, so precision is preserved
+        report = run_three_way(
+            """(let (f (lambda (x) x))
+                 (let (g (lambda (y) y))
+                   (let (u (f 1)) (let (v (g 2)) v))))"""
+        )
+        assert report.syntactic.constant_of("u") == 1
+        assert report.syntactic.constant_of("v") == 2

@@ -1,0 +1,87 @@
+"""Theorem 5.2: the syntactic-CPS analysis of F_k[M] can be strictly
+more precise than the direct analysis of M (*duplication*).
+
+Two paper witnesses:
+
+1. a conditional join — the direct analysis merges a1 ∈ {0,1} to ⊤
+   before the second conditional, the CPS analysis re-analyzes the
+   continuation per branch and proves a2 = 3;
+2. two closures at one call site — the direct analysis joins the two
+   results at a1, the CPS analysis analyzes the continuation once per
+   closure and proves a2 = 5.
+"""
+
+from repro import Precision, run_three_way
+from repro.corpus import THEOREM_52_CONDITIONAL, THEOREM_52_TWO_CLOSURES
+from repro.domains.constprop import TOP
+
+
+class TestConditionalWitness:
+    def test_direct_loses_a2(self):
+        report = run_three_way(THEOREM_52_CONDITIONAL)
+        assert report.direct.num_of("a1") is TOP
+        assert report.direct.num_of("a2") is TOP
+
+    def test_cps_proves_a2(self):
+        report = run_three_way(THEOREM_52_CONDITIONAL)
+        assert report.syntactic.constant_of("a2") == 3
+
+    def test_verdict_cps_strictly_more_precise(self):
+        report = run_three_way(THEOREM_52_CONDITIONAL)
+        assert report.direct_vs_syntactic is Precision.RIGHT_MORE_PRECISE
+
+    def test_semantic_cps_also_proves_a2(self):
+        # the gain is duplication, not reification: the semantic-CPS
+        # analyzer achieves it too
+        report = run_three_way(THEOREM_52_CONDITIONAL)
+        assert report.semantic.constant_of("a2") == 3
+
+
+class TestTwoClosuresWitness:
+    def test_direct_loses_everything_after_the_join(self):
+        report = run_three_way(THEOREM_52_TWO_CLOSURES)
+        assert report.direct.num_of("a1") is TOP
+        assert report.direct.num_of("a2") is TOP
+
+    def test_cps_proves_a2(self):
+        report = run_three_way(THEOREM_52_TWO_CLOSURES)
+        assert report.syntactic.constant_of("a2") == 5
+
+    def test_verdict(self):
+        report = run_three_way(THEOREM_52_TWO_CLOSURES)
+        assert report.direct_vs_syntactic is Precision.RIGHT_MORE_PRECISE
+
+
+class TestIncomparability:
+    """Theorems 5.1 + 5.2 together: the translation to CPS may increase
+    or decrease static information — the analyses are incomparable."""
+
+    def test_both_directions_occur(self):
+        from repro.corpus import THEOREM_51_WITNESS
+
+        gain = run_three_way(THEOREM_52_CONDITIONAL).direct_vs_syntactic
+        loss = run_three_way(THEOREM_51_WITNESS).direct_vs_syntactic
+        assert gain is Precision.RIGHT_MORE_PRECISE
+        assert loss is Precision.LEFT_MORE_PRECISE
+
+    def test_single_program_can_be_incomparable(self):
+        # combine both mechanisms in one program: a false-return loss
+        # on u and a duplication gain on b
+        source = """
+        (let (id (lambda (x) x))
+          (let (u (id 1))
+            (let (w (id 2))
+              (let (a (if0 y 0 1))
+                (let (b (if0 a (+ a 3) (+ a 2)))
+                  b)))))
+        """
+        from repro.domains import ConstPropDomain, Lattice
+
+        lat = Lattice(ConstPropDomain())
+        report = run_three_way(source, initial={"y": lat.of_num(TOP)})
+        # direct wins on u, CPS wins on b
+        assert report.direct.constant_of("u") == 1
+        assert report.syntactic.num_of("u") is TOP
+        assert report.direct.num_of("b") is TOP
+        assert report.syntactic.constant_of("b") == 3
+        assert report.direct_vs_syntactic is Precision.INCOMPARABLE

@@ -1,0 +1,144 @@
+"""Theorem 5.5: the semantic-CPS analysis of M is always at least as
+precise as the syntactic-CPS analysis of F_k[M]:
+
+    (M, nil, σ) Ce A1  iff  (F_k[M], δe(σ)[k := (⊥,∅,{stop})]) Ms A2
+    where δe(A1) ⊑ A2.
+
+Reproduction scope (see DESIGN.md): the theorem concerns the analyzer
+*specifications*; the Section 4.4 loop-detection device is asymmetric
+(the semantic cut feeds (⊤, CL⊤) through the pending frames, the
+syntactic cut returns its top value directly), so on recursive
+programs the *store-level* inequality can fray while the answer-value
+inequality held in every run we performed.  We therefore assert:
+
+- the answer-value inequality on the whole corpus x every domain;
+- the full (value + store) inequality on cut-free derivations and on
+  random (non-recursive, hence cut-free) programs;
+- the strict gap and its false-return mechanism on the Theorem 5.1
+  witness;
+- a documented artifact test for the store-level deviation.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Precision, run_three_way
+from repro.analysis import analyze_semantic_cps, analyze_syntactic_cps
+from repro.analysis.compare import (
+    answer_leq,
+    compare_semantic_to_syntactic,
+    source_variables,
+)
+from repro.analysis.delta import delta_answer, delta_store, delta_value
+from repro.anf import normalize
+from repro.corpus import PROGRAMS, THEOREM_51_WITNESS
+from repro.cps import cps_transform
+from repro.domains import (
+    AbsStore,
+    ConstPropDomain,
+    Lattice,
+    ParityDomain,
+    SignDomain,
+    UnitDomain,
+)
+from repro.gen import random_closed_term
+
+DOMAINS = [ConstPropDomain(), UnitDomain(), ParityDomain(), SignDomain()]
+
+AT_LEAST_AS_PRECISE = (Precision.EQUAL, Precision.LEFT_MORE_PRECISE)
+
+#: Programs whose syntactic-CPS analysis is tractable (see
+#: CorpusProgram.heavy; `ackermann` hits the Section 6.2 blowup).
+LIGHT_PROGRAMS = [n for n in sorted(PROGRAMS) if not PROGRAMS[n].heavy]
+
+
+def run_pair(program, domain):
+    lattice = Lattice(domain)
+    initial = program.initial_for(lattice)
+    semantic = analyze_semantic_cps(program.term, domain, initial=initial)
+    cps_initial = dict(delta_store(AbsStore(lattice, initial)).items())
+    syntactic = analyze_syntactic_cps(
+        cps_transform(program.term), domain, initial=cps_initial
+    )
+    return lattice, semantic, syntactic
+
+
+class TestValueInequality:
+    @pytest.mark.parametrize("name", LIGHT_PROGRAMS)
+    @pytest.mark.parametrize("domain", DOMAINS, ids=[d.name for d in DOMAINS])
+    def test_answer_value_never_less_precise(self, name, domain):
+        lattice, semantic, syntactic = run_pair(PROGRAMS[name], domain)
+        assert lattice.leq(delta_value(semantic.value), syntactic.value)
+
+
+class TestFullInequalityOnCutFreeRuns:
+    @pytest.mark.parametrize("name", LIGHT_PROGRAMS)
+    def test_corpus_cut_free_runs(self, name):
+        lattice, semantic, syntactic = run_pair(
+            PROGRAMS[name], ConstPropDomain()
+        )
+        if semantic.stats.loop_cuts or syntactic.stats.loop_cuts:
+            pytest.skip("cuts fired; covered by the value-level test")
+        assert (
+            compare_semantic_to_syntactic(semantic, syntactic)
+            in AT_LEAST_AS_PRECISE
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), depth=st.integers(2, 5))
+    def test_random_programs(self, seed, depth):
+        term = normalize(random_closed_term(random.Random(seed), depth))
+        domain = ConstPropDomain()
+        semantic = analyze_semantic_cps(term, domain)
+        syntactic = analyze_syntactic_cps(cps_transform(term), domain)
+        assert (
+            compare_semantic_to_syntactic(semantic, syntactic)
+            in AT_LEAST_AS_PRECISE
+        )
+
+
+class TestStrictGap:
+    def test_false_returns_make_the_gap_strict(self):
+        # on the Theorem 5.1 witness the semantic analyzer keeps the
+        # single control stack and proves a1 = 1; the syntactic one
+        # merges the continuations and cannot
+        report = run_three_way(THEOREM_51_WITNESS)
+        assert report.semantic.constant_of("a1") == 1
+        assert report.semantic_vs_syntactic is Precision.LEFT_MORE_PRECISE
+
+    def test_duplication_gain_is_shared(self):
+        # on the Theorem 5.2 witnesses both CPS-style analyses prove
+        # the constant: the syntactic analyzer is not behind
+        from repro.corpus import THEOREM_52_CONDITIONAL
+
+        report = run_three_way(THEOREM_52_CONDITIONAL)
+        assert report.semantic.constant_of("a2") == 3
+        assert report.syntactic.constant_of("a2") == 3
+        assert report.semantic_vs_syntactic is Precision.EQUAL
+
+
+class TestCutArtifact:
+    def test_store_level_deviation_on_recursive_programs(self):
+        """Reproduction finding (mirror of the Theorem 5.4 artifact):
+        on recursive programs the semantic cut binds (⊤, CL⊤) into
+        store entries through the pending frames, while the syntactic
+        cut only taints the final answer value — so the *store-level*
+        direction of Theorem 5.5 deviates even though the value-level
+        direction holds.  Documented in DESIGN.md."""
+        lattice, semantic, syntactic = run_pair(
+            PROGRAMS["factorial"], ConstPropDomain()
+        )
+        assert semantic.stats.loop_cuts >= 1
+        # value level holds ...
+        assert lattice.leq(delta_value(semantic.value), syntactic.value)
+        # ... but the store level does not
+        transported = delta_answer(semantic.answer)
+        names = source_variables(transported) | source_variables(
+            syntactic.answer
+        )
+        assert not answer_leq(
+            transported, syntactic.answer, lattice, names
+        )

@@ -1,0 +1,106 @@
+"""Tests for A-normalization (paper Section 2)."""
+
+import pytest
+
+from repro.anf import is_anf, normalize, validate_anf
+from repro.interp import run_direct
+from repro.lang.errors import SyntaxValidationError
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty_flat
+from repro.lang.syntax import free_variables, has_unique_binders
+
+
+class TestPaperExample:
+    def test_section2_example(self):
+        """(f (let (x 1) (g x))) becomes the let chain of the paper."""
+        term = normalize(parse("(f (let (x 1) (g x)))"))
+        assert pretty_flat(term) == (
+            "(let (x 1) (let (t%1 (g x)) (let (t (f t%1)) t)))"
+        )
+
+    def test_footnote2_reordering(self):
+        """(add1 (let (x V) 0)) re-orders to evaluate the binding first."""
+        term = normalize(parse("(add1 (let (x 5) 0))"))
+        assert pretty_flat(term) == "(let (x 5) (let (t (add1 0)) t))"
+
+
+class TestGrammar:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "42",
+            "x",
+            "(f x)",
+            "((f x) (g y))",
+            "(let (x (f 1)) (let (y (g x)) (+ x y)))",
+            "(if0 (f 1) (g 2) (h 3))",
+            "(lambda (x) (f (g x)))",
+            "(add1 (if0 (g 2) ((lambda (y) (+ y 1)) 5) 7))",
+            "(let (d (loop)) d)",
+            "(* (+ 1 2) (- 3 4))",
+            "(let (x (let (y 1) (let (z 2) (+ y z)))) x)",
+        ],
+    )
+    def test_normalize_produces_anf(self, source):
+        result = normalize(parse(source))
+        assert is_anf(result)
+        validate_anf(result)
+
+    def test_result_has_unique_binders(self):
+        result = normalize(parse("((lambda (x) x) (lambda (x) x))"))
+        assert has_unique_binders(result)
+
+    def test_preserves_free_variables(self):
+        term = parse("(f (let (x (g 1)) (h x)))")
+        assert free_variables(normalize(term)) == {"f", "g", "h"}
+
+    def test_idempotent_on_anf(self):
+        term = normalize(parse("(f (g 1))"))
+        assert normalize(term) == term
+
+
+class TestSemanticsPreservation:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("(add1 (add1 0))", 2),
+            ("(sub1 (+ 2 3))", 4),
+            ("((lambda (x) (* x x)) (+ 1 2))", 9),
+            ("(if0 (sub1 1) 10 20)", 10),
+            ("(if0 (add1 0) 10 20)", 20),
+            ("(let (f (lambda (x) (add1 x))) (f (f (f 0))))", 3),
+            ("(add1 (let (x 1) (let (y 2) (+ x y))))", 4),
+            ("(if0 ((lambda (x) x) 0) (+ 1 2) (loop))", 3),
+            ("((lambda (f) ((f 1) 2)) (lambda (a) (lambda (b) (- a b))))", -1),
+        ],
+    )
+    def test_value_preserved(self, source, expected):
+        result = run_direct(normalize(parse(source)))
+        assert result.value == expected
+
+
+class TestValidator:
+    def test_rejects_unnamed_application(self):
+        with pytest.raises(SyntaxValidationError):
+            validate_anf(parse("(f (g 1))"))
+
+    def test_rejects_non_value_test(self):
+        with pytest.raises(SyntaxValidationError):
+            validate_anf(parse("(let (x (if0 (f 1) 2 3)) x)"))
+
+    def test_rejects_duplicate_binders(self):
+        with pytest.raises(SyntaxValidationError):
+            validate_anf(parse("(let (x 1) (let (x 2) x))"))
+
+    def test_rejects_bare_if0(self):
+        # if0 may only appear as a let right-hand side
+        assert not is_anf(parse("(if0 x 1 2)"))
+
+    def test_accepts_lambda_with_anf_body(self):
+        validate_anf(parse("(lambda (x) (let (y (add1 x)) y))"))
+
+    def test_rejects_lambda_with_non_anf_body(self):
+        assert not is_anf(parse("(lambda (x) (f (g x)))"))
+
+    def test_accepts_loop_rhs(self):
+        validate_anf(parse("(let (d (loop)) d)"))

@@ -1,0 +1,73 @@
+"""The source call graph recovered from the syntactic-CPS analysis.
+
+"All analyzers compute the control flow graph of the source program"
+(paper abstract) — here the claim is checked, and its fine print
+exposed: the CPS-derived call graph always *covers* the direct one,
+and false returns can make it strictly coarser (spurious call edges),
+which is the control-flow face of Theorem 5.1.
+"""
+
+import pytest
+
+from repro import run_three_way
+from repro.anf import normalize
+from repro.cfg import build_call_graph, build_call_graph_from_cps
+from repro.corpus import PROGRAMS
+from repro.lang.parser import parse
+from repro.lang.syntax import free_variables
+
+
+def graphs_of(program_or_source):
+    report = run_three_way(program_or_source)
+    direct_graph = build_call_graph(report.term, report.direct)
+    cps_graph = build_call_graph_from_cps(report.term, report.syntactic)
+    return direct_graph, cps_graph
+
+
+LIGHT_CLOSED = [
+    name
+    for name in sorted(PROGRAMS)
+    if not PROGRAMS[name].heavy and not free_variables(PROGRAMS[name].term)
+]
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("name", LIGHT_CLOSED)
+    def test_cps_graph_covers_direct_graph(self, name):
+        direct_graph, cps_graph = graphs_of(PROGRAMS[name])
+        assert direct_graph.sites == cps_graph.sites
+        assert direct_graph.lambdas == cps_graph.lambdas
+        assert direct_graph.edges <= cps_graph.edges
+
+    def test_equal_on_first_order_flow(self):
+        direct_graph, cps_graph = graphs_of(
+            "(let (f (lambda (x) (add1 x))) (f (f 0)))"
+        )
+        assert direct_graph.edges == cps_graph.edges
+
+
+class TestFalseReturnsCoarsenTheGraph:
+    SOURCE = """
+    (let (id (lambda (x) x))
+      (let (g1 (id add1))
+        (let (g2 (id sub1))
+          (let (u (g1 0))
+            u))))
+    """
+
+    def test_direct_graph_is_precise(self):
+        direct_graph, _ = graphs_of(self.SOURCE)
+        # the first call through id returns only add1
+        assert direct_graph.callees_of("u") == frozenset({"<add1>"})
+
+    def test_cps_graph_gains_a_spurious_edge(self):
+        _, cps_graph = graphs_of(self.SOURCE)
+        # id's continuation variable merges both returns, so both
+        # primitives flow to g1: a call edge that no execution takes
+        assert cps_graph.callees_of("u") == frozenset(
+            {"<add1>", "<sub1>"}
+        )
+
+    def test_coarsening_is_strict(self):
+        direct_graph, cps_graph = graphs_of(self.SOURCE)
+        assert direct_graph.edges < cps_graph.edges

@@ -1,0 +1,102 @@
+"""Tests for flow-graph construction and exports."""
+
+from repro.analysis import analyze_direct
+from repro.anf import normalize
+from repro.cfg import (
+    build_call_graph,
+    build_flow_graph,
+    call_graph_to_dot,
+    flow_graph_to_dot,
+    to_networkx,
+)
+from repro.cfg.flowgraph import FlowEdge, enter, exit_
+from repro.domains import ConstPropDomain
+from repro.lang.parser import parse
+
+DOM = ConstPropDomain()
+
+
+def prepared(source: str):
+    term = normalize(parse(source))
+    result = analyze_direct(term, DOM)
+    return term, result
+
+
+class TestIntraprocedural:
+    def test_straight_line_chain(self):
+        term, _ = prepared("(let (a 1) (let (b (add1 a)) b))")
+        graph = build_flow_graph(term)
+        assert FlowEdge(enter("main"), "a", "seq") in graph.edges
+        assert FlowEdge("a", "b", "seq") in graph.edges
+        assert FlowEdge("b", exit_("main"), "seq") in graph.edges
+
+    def test_branch_fork_and_join(self):
+        term, _ = prepared(
+            "(let (t (if0 x (let (u 1) u) (let (v 2) v))) t)"
+        )
+        graph = build_flow_graph(term)
+        assert FlowEdge(enter("main"), "u", "branch-then") in graph.edges
+        assert FlowEdge(enter("main"), "v", "branch-else") in graph.edges
+        assert FlowEdge("u", "t", "join") in graph.edges
+        assert FlowEdge("v", "t", "join") in graph.edges
+
+    def test_value_branch_collapses_to_join(self):
+        term, _ = prepared("(let (t (if0 x 1 2)) t)")
+        graph = build_flow_graph(term)
+        # both branches are bare values: the fork point joins directly
+        assert FlowEdge(enter("main"), "t", "join") in graph.edges
+
+    def test_lambda_bodies_get_own_procedures(self):
+        term, _ = prepared("(let (f (lambda (p) (add1 p))) (f 1))")
+        graph = build_flow_graph(term)
+        assert enter("p") in graph.nodes
+        assert exit_("p") in graph.nodes
+
+    def test_successors_predecessors(self):
+        term, _ = prepared("(let (a 1) (let (b 2) b))")
+        graph = build_flow_graph(term)
+        assert "b" in graph.successors("a")
+        assert "a" in graph.predecessors("b")
+
+
+class TestInterprocedural:
+    def test_call_and_return_edges(self):
+        term, result = prepared(
+            "(let (f (lambda (p) (add1 p))) (let (r (f 1)) r))"
+        )
+        graph = build_flow_graph(term, build_call_graph(term, result))
+        assert FlowEdge("r", enter("p"), "call") in graph.edges
+        assert FlowEdge(exit_("p"), "r", "return") in graph.edges
+
+    def test_primitive_calls_add_no_edges(self):
+        term, result = prepared("(let (r (add1 1)) r)")
+        graph = build_flow_graph(term, build_call_graph(term, result))
+        assert not graph.edges_of_kind("call")
+
+
+class TestExports:
+    def test_flow_graph_dot(self):
+        term, _ = prepared("(let (a 1) (let (b (if0 a 1 2)) b))")
+        dot = flow_graph_to_dot(build_flow_graph(term))
+        assert dot.startswith("digraph")
+        assert '"a" -> "b"' in dot
+
+    def test_call_graph_dot(self):
+        term, result = prepared(
+            "(let (f (lambda (x) x)) (let (r (f 1)) r))"
+        )
+        dot = call_graph_to_dot(build_call_graph(term, result))
+        assert '"r" -> "λx"' in dot
+
+    def test_networkx_flow(self):
+        term, _ = prepared("(let (a 1) (let (b 2) b))")
+        nx_graph = to_networkx(build_flow_graph(term))
+        assert nx_graph.has_edge("a", "b")
+        assert nx_graph.edges["a", "b"]["kind"] == "seq"
+
+    def test_networkx_call(self):
+        term, result = prepared(
+            "(let (f (lambda (x) x)) (let (r (f 1)) r))"
+        )
+        nx_graph = to_networkx(build_call_graph(term, result))
+        assert nx_graph.has_edge("r", "x")

@@ -1,0 +1,103 @@
+"""Tests for the program corpus and parametric workload families."""
+
+import pytest
+
+from repro.anf import validate_anf
+from repro.corpus import (
+    PROGRAMS,
+    conditional_chain,
+    call_site_chain,
+    corpus_program,
+    loop_feeding_conditional,
+)
+from repro.domains import ConstPropDomain, Lattice
+from repro.interp import run_direct
+from repro.lang.syntax import free_variables
+
+LAT = Lattice(ConstPropDomain())
+
+
+class TestCorpusIntegrity:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_terms_are_valid_anf(self, name):
+        validate_anf(PROGRAMS[name].term)
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_initial_covers_free_variables(self, name):
+        program = PROGRAMS[name]
+        assumed = set(program.initial_for(LAT))
+        assert free_variables(program.term) <= assumed | set()
+
+    def test_lookup(self):
+        assert corpus_program("factorial").name == "factorial"
+        with pytest.raises(KeyError):
+            corpus_program("no-such-program")
+
+    def test_closed_programs_run(self):
+        for name, program in PROGRAMS.items():
+            if free_variables(program.term):
+                continue
+            if name == "shivers-p33":
+                pass
+            answer = run_direct(program.term, fuel=500_000)
+            assert answer.value is not None
+
+    def test_factorial_value(self):
+        assert run_direct(corpus_program("factorial").term).value == 720
+
+    def test_even_odd_value(self):
+        assert run_direct(corpus_program("even-odd").term).value == 1
+
+    def test_church_value(self):
+        assert run_direct(corpus_program("church").term).value == 3
+
+    def test_church_pairs_value(self):
+        assert run_direct(corpus_program("church-pairs").term).value == 7
+
+    def test_ackermann_value(self):
+        assert run_direct(corpus_program("ackermann").term).value == 9
+
+    def test_mini_evaluator_value(self):
+        program = corpus_program("mini-evaluator")
+        assert run_direct(program.term, fuel=1_000_000).value == 10
+
+
+class TestWorkloadFamilies:
+    @pytest.mark.parametrize("k", [1, 3, 6])
+    def test_conditional_chain_shape(self, k):
+        program = conditional_chain(k)
+        validate_anf(program.term)
+        assert free_variables(program.term) == {
+            f"x{i}" for i in range(1, k + 1)
+        }
+
+    @pytest.mark.parametrize("k", [1, 3, 6])
+    def test_call_site_chain_shape(self, k):
+        program = call_site_chain(k)
+        validate_anf(program.term)
+        assert free_variables(program.term) == {"f"}
+
+    def test_chain_rejects_zero(self):
+        with pytest.raises(ValueError):
+            conditional_chain(0)
+        with pytest.raises(ValueError):
+            call_site_chain(0)
+
+    def test_conditional_chain_concrete_run(self):
+        from repro.interp.values import Env, Store
+
+        program = conditional_chain(4)
+        env, store = Env(), Store()
+        for i in range(1, 5):
+            loc = store.new(f"x{i}")
+            store.bind(loc, i % 2)
+            env = env.bind(f"x{i}", loc)
+        answer = run_direct(program.term, env=env, store=store)
+        assert isinstance(answer.value, int)
+
+    def test_loop_program_has_loop(self):
+        from repro.lang.ast import Loop
+        from repro.lang.syntax import subterms
+
+        program = loop_feeding_conditional(5)
+        assert any(isinstance(s, Loop) for s in subterms(program.term))

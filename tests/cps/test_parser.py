@@ -1,0 +1,137 @@
+"""Tests for the cps(A) parser, including the pretty round trip."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anf import normalize
+from repro.cps import cps_pretty, cps_transform, parse_cps, parse_cps_value
+from repro.cps.ast import (
+    CApp,
+    CIf0,
+    CLam,
+    CLet,
+    CLoop,
+    CNum,
+    CPrim,
+    CPrimLet,
+    CVar,
+    KApp,
+    KLam,
+)
+from repro.gen import random_closed_term
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse
+
+
+class TestValues:
+    def test_number(self):
+        assert parse_cps_value("42") == CNum(42)
+
+    def test_variable(self):
+        assert parse_cps_value("x") == CVar("x")
+
+    def test_primitives(self):
+        assert parse_cps_value("add1k") == CPrim("add1k")
+        assert parse_cps_value("sub1k") == CPrim("sub1k")
+
+    def test_user_lambda(self):
+        assert parse_cps_value("(lambda (x k/x) (k/x x))") == CLam(
+            "x", "k/x", KApp("k/x", CVar("x"))
+        )
+
+    def test_kvar_is_not_a_value(self):
+        with pytest.raises(ParseError):
+            parse_cps_value("k/halt")
+
+
+class TestSeriousTerms:
+    def test_return(self):
+        assert parse_cps("(k/halt 7)") == KApp("k/halt", CNum(7))
+
+    def test_let(self):
+        assert parse_cps("(let (x 1) (k/halt x))") == CLet(
+            "x", CNum(1), KApp("k/halt", CVar("x"))
+        )
+
+    def test_operator_let(self):
+        assert parse_cps("(let (x (+ a 3)) (k/halt x))") == CPrimLet(
+            "x", "+", (CVar("a"), CNum(3)), KApp("k/halt", CVar("x"))
+        )
+
+    def test_call(self):
+        assert parse_cps("(f 1 (lambda (r) (k/halt r)))") == CApp(
+            CVar("f"), CNum(1), KLam("r", KApp("k/halt", CVar("r")))
+        )
+
+    def test_conditional(self):
+        source = (
+            "(let (k/r (lambda (r) (k/halt r))) "
+            "(if0 x (k/r 1) (k/r 2)))"
+        )
+        assert parse_cps(source) == CIf0(
+            "k/r",
+            KLam("r", KApp("k/halt", CVar("r"))),
+            CVar("x"),
+            KApp("k/r", CNum(1)),
+            KApp("k/r", CNum(2)),
+        )
+
+    def test_loop(self):
+        assert parse_cps("(loop (lambda (d) (k/halt d)))") == CLoop(
+            KLam("d", KApp("k/halt", CVar("d")))
+        )
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "x",
+            "()",
+            "(k/halt)",
+            "(k/halt 1 2)",
+            "(let (x 1))",
+            "(let (k/r 1) (if0 x (k/r 1) (k/r 2)))",
+            "(let (k/r (lambda (r) (k/halt r))) (k/r 1))",
+            "(f 1)",
+            "(f 1 2 3)",
+            "(loop)",
+            "(lambda (x k/x) (k/x x))",  # a value, not a serious term
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(ParseError):
+            parse_cps(source)
+
+
+class TestRoundTrip:
+    SOURCES = [
+        "42",
+        "(f 1)",
+        "(if0 x 1 2)",
+        "(+ x 3)",
+        "(loop)",
+        "(let (g (lambda (x) (add1 x))) (if0 (g 0) (g 10) (g 20)))",
+        """(let (fact (lambda (self)
+                        (lambda (n)
+                          (if0 n 1 (* n ((self self) (- n 1)))))))
+             ((fact fact) 6))""",
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_transform_pretty_parse(self, source):
+        program = cps_transform(normalize(parse(source)))
+        assert parse_cps(cps_pretty(program)) == program
+
+    @pytest.mark.parametrize("width", [20, 40, 100])
+    def test_round_trip_any_width(self, width):
+        program = cps_transform(normalize(parse(self.SOURCES[-2])))
+        assert parse_cps(cps_pretty(program, width=width)) == program
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), depth=st.integers(2, 5))
+    def test_round_trip_random_programs(self, seed, depth):
+        term = normalize(random_closed_term(random.Random(seed), depth))
+        program = cps_transform(term)
+        assert parse_cps(cps_pretty(program)) == program

@@ -1,0 +1,157 @@
+"""Tests for the syntactic CPS transformation (Definition 3.2)."""
+
+import pytest
+
+from repro.anf import normalize
+from repro.cps import (
+    TOP_KVAR,
+    cps_pretty,
+    cps_transform,
+    cps_transform_value,
+    kvar_for,
+    validate_cps,
+)
+from repro.cps.ast import (
+    CApp,
+    CIf0,
+    CLam,
+    CLet,
+    CLoop,
+    CNum,
+    CPrim,
+    CPrimLet,
+    CVar,
+    KApp,
+    KLam,
+)
+from repro.lang.ast import Lam, Num, Prim, Var
+from repro.lang.errors import SyntaxValidationError
+from repro.lang.parser import parse
+
+
+def transform(source: str):
+    return cps_transform(normalize(parse(source)))
+
+
+class TestValueTransformation:
+    def test_number(self):
+        assert cps_transform_value(Num(3)) == CNum(3)
+
+    def test_variable(self):
+        assert cps_transform_value(Var("x")) == CVar("x")
+
+    def test_add1(self):
+        assert cps_transform_value(Prim("add1")) == CPrim("add1k")
+
+    def test_sub1(self):
+        assert cps_transform_value(Prim("sub1")) == CPrim("sub1k")
+
+    def test_lambda_gains_continuation_parameter(self):
+        result = cps_transform_value(Lam("x", Var("x")))
+        assert result == CLam("x", "k/x", KApp("k/x", CVar("x")))
+
+
+class TestTermTransformation:
+    def test_value_returns_to_k(self):
+        assert transform("42") == KApp(TOP_KVAR, CNum(42))
+
+    def test_let_of_value(self):
+        assert transform("(let (x 1) x)") == CLet(
+            "x", CNum(1), KApp(TOP_KVAR, CVar("x"))
+        )
+
+    def test_application_reifies_continuation(self):
+        # (let (t (f 1)) t) => (f 1 (lambda (t) (k t)))
+        result = cps_transform(normalize(parse("(f 1)"), ensure_unique=False))
+        assert result == CApp(
+            CVar("f"), CNum(1), KLam("t", KApp(TOP_KVAR, CVar("t")))
+        )
+
+    def test_if0_names_the_join_continuation(self):
+        result = cps_transform(
+            normalize(parse("(if0 x 1 2)"), ensure_unique=False)
+        )
+        assert result == CIf0(
+            kvar_for("t"),
+            KLam("t", KApp(TOP_KVAR, CVar("t"))),
+            CVar("x"),
+            KApp(kvar_for("t"), CNum(1)),
+            KApp(kvar_for("t"), CNum(2)),
+        )
+
+    def test_operator_binding_stays_direct(self):
+        result = cps_transform(
+            normalize(parse("(+ x 3)"), ensure_unique=False)
+        )
+        assert result == CPrimLet(
+            "t",
+            "+",
+            (CVar("x"), CNum(3)),
+            KApp(TOP_KVAR, CVar("t")),
+        )
+
+    def test_loop_receives_continuation(self):
+        result = cps_transform(
+            normalize(parse("(loop)"), ensure_unique=False)
+        )
+        assert result == CLoop(KLam("t", KApp(TOP_KVAR, CVar("t"))))
+
+    def test_paper_theorem51_shape(self):
+        """F_k[(let (a1 (f 1)) (let (a2 (f 2)) a2))]
+        = (f 1 (lambda (a1) (f 2 (lambda (a2) (k a2)))))"""
+        term = parse("(let (a1 (f 1)) (let (a2 (f 2)) a2))")
+        result = cps_transform(term)
+        assert result == CApp(
+            CVar("f"),
+            CNum(1),
+            KLam(
+                "a1",
+                CApp(
+                    CVar("f"),
+                    CNum(2),
+                    KLam("a2", KApp(TOP_KVAR, CVar("a2"))),
+                ),
+            ),
+        )
+
+    def test_rejects_non_anf_input(self):
+        with pytest.raises(SyntaxValidationError):
+            cps_transform(parse("(f (g 1))"))
+
+    def test_deterministic(self):
+        term = normalize(parse("(let (f (lambda (x) (add1 x))) (f 1))"))
+        assert cps_transform(term) == cps_transform(term)
+
+
+class TestValidatorAndPrinter:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "42",
+            "(f 1)",
+            "(if0 x 1 2)",
+            "(+ x 3)",
+            "(loop)",
+            "(let (f (lambda (x) (add1 x))) (if0 (f 0) (f 10) (f 20)))",
+            """(let (fact (lambda (self)
+                            (lambda (n)
+                              (if0 n 1 (* n ((self self) (- n 1)))))))
+                 ((fact fact) 8))""",
+        ],
+    )
+    def test_transform_output_validates(self, source):
+        program = transform(source)
+        validate_cps(program, frozenset((TOP_KVAR,)))
+
+    def test_pretty_produces_text(self):
+        text = cps_pretty(transform("(let (g (lambda (x) (add1 x))) (g 0))"))
+        assert "lambda" in text and "k/" in text
+
+    def test_validate_rejects_unbound_kvar(self):
+        with pytest.raises(SyntaxValidationError):
+            validate_cps(KApp("k/ghost", CNum(1)), frozenset())
+
+    def test_validate_rejects_kvar_in_var_namespace(self):
+        bad = CLam("x", "notk", KApp("notk", CVar("x")))
+        with pytest.raises(SyntaxValidationError):
+            validate_cps(KApp(TOP_KVAR, bad), frozenset((TOP_KVAR,)))

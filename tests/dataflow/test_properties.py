@@ -1,0 +1,120 @@
+"""Property-based tests for the classical dataflow solvers.
+
+On random first-order programs (the fragment the frameworks model
+exactly):
+
+- MOP is pointwise at least as precise as MFP (Kam–Ullman);
+- both are sound against enumerated concrete executions;
+- on the distributive unit framework MOP and MFP coincide;
+- branch refinement only ever improves MFP.
+"""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anf import normalize
+from repro.dataflow import build_problem, solve_mfp, solve_mop
+from repro.domains import ConstPropDomain, UnitDomain
+from repro.gen import random_first_order_term
+from repro.interp import run_direct
+from repro.interp.errors import InterpError
+from repro.interp.values import Env, Store
+from repro.lang.syntax import free_variables
+
+DOM = ConstPropDomain()
+
+seeds = st.integers(0, 2**32 - 1)
+
+
+def make_term(seed: int, depth: int):
+    term = random_first_order_term(random.Random(seed), depth)
+    return normalize(term)
+
+
+def make_problem(term, domain=DOM, **kwargs):
+    entry = {name: domain.top for name in free_variables(term)}
+    return build_problem(term, domain, entry_facts=entry, **kwargs)
+
+
+class TestMopDominatesMfp:
+    @settings(max_examples=100, deadline=None)
+    @given(seed=seeds, depth=st.integers(1, 5))
+    def test_pointwise(self, seed, depth):
+        term = make_term(seed, depth)
+        problem = make_problem(term)
+        mfp = solve_mfp(problem)
+        mop = solve_mop(problem, max_paths=1_000_000)
+        for point in problem.points:
+            assert problem.facts_leq(mop[point], mfp[point]), point
+
+
+class TestDistributiveCoincidence:
+    @settings(max_examples=80, deadline=None)
+    @given(seed=seeds, depth=st.integers(1, 5))
+    def test_unit_framework(self, seed, depth):
+        domain = UnitDomain()
+        term = make_term(seed, depth)
+        problem = make_problem(term, domain)
+        mfp = solve_mfp(problem)
+        mop = solve_mop(problem, max_paths=1_000_000)
+        for point in problem.points:
+            assert mfp[point] == mop[point], point
+
+
+class TestSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=seeds,
+        depth=st.integers(1, 4),
+        refine=st.booleans(),
+    )
+    def test_exit_facts_cover_enumerated_runs(self, seed, depth, refine):
+        term = make_term(seed, depth)
+        names = sorted(free_variables(term))
+        problem = build_problem(
+            term,
+            DOM,
+            entry_facts={n: DOM.top for n in names},
+            refine_tests=refine,
+        )
+        for solution in (
+            solve_mfp(problem),
+            solve_mop(problem, max_paths=1_000_000),
+        ):
+            exit_facts = solution[problem.exit_point]
+            for values in itertools.product((-1, 0, 2), repeat=len(names)):
+                env, store = Env(), Store()
+                for name, value in zip(names, values):
+                    loc = store.new(name)
+                    store.bind(loc, value)
+                    env = env.bind(name, loc)
+                try:
+                    answer = run_direct(
+                        term, env=env, store=store, fuel=100_000
+                    )
+                except InterpError:
+                    continue
+                assert exit_facts is not None
+                if isinstance(answer.value, int):
+                    assert DOM.abstracts(
+                        exit_facts.get("<result>", DOM.bottom),
+                        answer.value,
+                    ), (values, answer.value)
+
+
+class TestRefinementMonotone:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds, depth=st.integers(1, 4))
+    def test_refined_mfp_at_least_as_precise(self, seed, depth):
+        term = make_term(seed, depth)
+        plain = make_problem(term)
+        refined = make_problem(term, refine_tests=True)
+        plain_solution = solve_mfp(plain)
+        refined_solution = solve_mfp(refined)
+        for point in plain.points:
+            assert plain.facts_leq(
+                refined_solution[point], plain_solution[point]
+            ), point

@@ -1,0 +1,183 @@
+"""Domain-specific behaviour beyond the generic lattice laws."""
+
+import pytest
+
+from repro.domains import (
+    ConstPropDomain,
+    IntervalDomain,
+    ParityDomain,
+    SignDomain,
+    UnitDomain,
+)
+from repro.domains.constprop import BOT, TOP
+from repro.domains.interval import INT_BOT, Interval
+from repro.domains.parity import EVEN, ODD, PAR_TOP
+from repro.domains.sign import NEG, POS, SIGN_TOP, ZERO
+from repro.domains.unit import UNIT_BOT, UNIT_TOP
+
+
+class TestConstProp:
+    dom = ConstPropDomain()
+
+    def test_flat_join(self):
+        assert self.dom.join(1, 1) == 1
+        assert self.dom.join(1, 2) is TOP
+
+    def test_add1_on_constant(self):
+        assert self.dom.add1(41) == 42
+        assert self.dom.sub1(0) == -1
+
+    def test_add1_preserves_extremes(self):
+        assert self.dom.add1(TOP) is TOP
+        assert self.dom.add1(BOT) is BOT
+
+    def test_binop_constants(self):
+        assert self.dom.binop("+", 2, 3) == 5
+        assert self.dom.binop("*", -2, 3) == -6
+
+    def test_binop_strict_in_bottom(self):
+        assert self.dom.binop("+", BOT, 5) is BOT
+        assert self.dom.binop("*", TOP, BOT) is BOT
+
+    def test_mul_zero_beats_top(self):
+        assert self.dom.binop("*", 0, TOP) == 0
+        assert self.dom.binop("*", TOP, 0) == 0
+
+    def test_branching(self):
+        assert self.dom.may_be_zero(0)
+        assert not self.dom.may_be_nonzero(0)
+        assert self.dom.may_be_nonzero(3)
+        assert not self.dom.may_be_zero(3)
+        assert self.dom.may_be_zero(TOP) and self.dom.may_be_nonzero(TOP)
+
+    def test_not_distributive_flag(self):
+        assert not self.dom.distributive
+
+
+class TestUnit:
+    dom = UnitDomain()
+
+    def test_single_abstraction(self):
+        assert self.dom.const(0) is UNIT_TOP
+        assert self.dom.const(123) is UNIT_TOP
+
+    def test_no_numeric_distinctions(self):
+        assert self.dom.may_be_zero(UNIT_TOP)
+        assert self.dom.may_be_nonzero(UNIT_TOP)
+
+    def test_distributive_flag(self):
+        assert self.dom.distributive
+
+    def test_binop_strict(self):
+        assert self.dom.binop("+", UNIT_BOT, UNIT_TOP) is UNIT_BOT
+
+
+class TestParity:
+    dom = ParityDomain()
+
+    def test_const(self):
+        assert self.dom.const(4) is EVEN
+        assert self.dom.const(-3) is ODD
+        assert self.dom.const(0) is EVEN
+
+    def test_add1_flips(self):
+        assert self.dom.add1(EVEN) is ODD
+        assert self.dom.sub1(ODD) is EVEN
+
+    def test_plus_table(self):
+        assert self.dom.binop("+", EVEN, EVEN) is EVEN
+        assert self.dom.binop("+", EVEN, ODD) is ODD
+        assert self.dom.binop("-", ODD, ODD) is EVEN
+
+    def test_times_even_absorbs_top(self):
+        assert self.dom.binop("*", EVEN, PAR_TOP) is EVEN
+        assert self.dom.binop("*", ODD, ODD) is ODD
+
+    def test_odd_cannot_be_zero(self):
+        assert not self.dom.may_be_zero(ODD)
+        assert self.dom.may_be_zero(EVEN)
+
+
+class TestSign:
+    dom = SignDomain()
+
+    def test_const(self):
+        assert self.dom.const(-2) is NEG
+        assert self.dom.const(0) is ZERO
+        assert self.dom.const(9) is POS
+
+    def test_add1(self):
+        assert self.dom.add1(ZERO) is POS
+        assert self.dom.add1(POS) is POS
+        assert self.dom.add1(NEG) is SIGN_TOP
+
+    def test_sub1(self):
+        assert self.dom.sub1(ZERO) is NEG
+        assert self.dom.sub1(NEG) is NEG
+        assert self.dom.sub1(POS) is SIGN_TOP
+
+    def test_multiplication_signs(self):
+        assert self.dom.binop("*", NEG, NEG) is POS
+        assert self.dom.binop("*", NEG, POS) is NEG
+        assert self.dom.binop("*", ZERO, SIGN_TOP) is ZERO
+
+    def test_subtraction_via_negation(self):
+        assert self.dom.binop("-", ZERO, POS) is NEG
+        assert self.dom.binop("-", POS, NEG) is POS
+
+    def test_iota_is_top(self):
+        # naturals include 0 and positives; the 5-point lattice joins
+        # them to TOP
+        assert self.dom.iota is SIGN_TOP
+
+
+class TestInterval:
+    dom = IntervalDomain(bound=10)
+
+    def test_const(self):
+        assert self.dom.const(3) == Interval(3, 3)
+
+    def test_clamping_saturates_outward(self):
+        assert self.dom.const(100) == Interval(10, None)
+        assert self.dom.const(-100) == Interval(None, -10)
+        assert self.dom.add1(Interval(10, 10)) == Interval(10, None)
+
+    def test_join_is_hull(self):
+        assert self.dom.join(Interval(1, 2), Interval(5, 6)) == Interval(1, 6)
+
+    def test_leq_is_containment(self):
+        assert self.dom.leq(Interval(2, 3), Interval(1, 5))
+        assert not self.dom.leq(Interval(0, 3), Interval(1, 5))
+
+    def test_arithmetic(self):
+        assert self.dom.binop("+", Interval(1, 2), Interval(3, 4)) == Interval(4, 6)
+        assert self.dom.binop("-", Interval(1, 2), Interval(3, 4)) == Interval(-3, -1)
+        assert self.dom.binop("*", Interval(-2, 3), Interval(2, 2)) == Interval(-4, 6)
+
+    def test_iota(self):
+        assert self.dom.iota == Interval(0, None)
+        assert self.dom.abstracts(self.dom.iota, 0)
+        assert not self.dom.abstracts(self.dom.iota, -1)
+
+    def test_zero_test(self):
+        assert self.dom.may_be_zero(Interval(-1, 1))
+        assert not self.dom.may_be_zero(Interval(1, 5))
+        assert not self.dom.may_be_nonzero(Interval(0, 0))
+
+    def test_bottom_strictness(self):
+        assert self.dom.binop("+", INT_BOT, Interval(0, 1)) is INT_BOT
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            IntervalDomain(bound=0)
+
+    def test_finite_height_by_construction(self):
+        # repeatedly widening via add1 must stabilize (saturation)
+        value = self.dom.const(0)
+        seen = set()
+        for _ in range(100):
+            value = self.dom.join(value, self.dom.add1(value))
+            if value in seen:
+                break
+            seen.add(value)
+        assert value == Interval(0, None)

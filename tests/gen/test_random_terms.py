@@ -1,0 +1,57 @@
+"""Tests for the random program generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anf import normalize, validate_anf
+from repro.gen import FUN, NUM, random_closed_term, random_program
+from repro.interp import run_direct
+from repro.interp.errors import InterpError
+from repro.interp.values import Closure, PrimVal
+from repro.lang.syntax import check_closed, term_size
+
+
+class TestGeneratorBasics:
+    def test_deterministic_per_seed(self):
+        assert random_program(7) == random_program(7)
+
+    def test_different_seeds_differ_somewhere(self):
+        terms = {random_program(seed) for seed in range(30)}
+        assert len(terms) > 10
+
+    def test_terms_are_closed(self):
+        for seed in range(50):
+            check_closed(random_program(seed))
+
+    def test_depth_controls_size(self):
+        rng = random.Random(0)
+        small = [term_size(random_closed_term(random.Random(s), 2)) for s in range(30)]
+        large = [term_size(random_closed_term(random.Random(s), 6)) for s in range(30)]
+        assert sum(large) > sum(small)
+
+    def test_function_type_yields_procedure(self):
+        for seed in range(20):
+            term = random_program(seed, want=FUN(NUM, NUM))
+            answer = run_direct(normalize(term), fuel=500_000)
+            assert isinstance(answer.value, (Closure, PrimVal))
+
+
+class TestGeneratedProgramsAreWellBehaved:
+    @settings(max_examples=150, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), depth=st.integers(1, 6))
+    def test_terminate_and_never_get_stuck(self, seed, depth):
+        """Simple types guarantee termination and stuck-freedom."""
+        term = normalize(random_closed_term(random.Random(seed), depth))
+        validate_anf(term)
+        answer = run_direct(term, fuel=1_000_000)
+        assert isinstance(answer.value, (int, Closure, PrimVal))
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_num_typed_programs_return_numbers(self, seed):
+        term = normalize(random_closed_term(random.Random(seed), 4, NUM))
+        answer = run_direct(term, fuel=1_000_000)
+        assert isinstance(answer.value, int)

@@ -1,0 +1,170 @@
+"""Tests for the direct (store) interpreter — paper Figure 1."""
+
+import pytest
+
+from repro.anf import normalize
+from repro.interp import run_direct
+from repro.interp.errors import Diverged, FuelExhausted, StuckError
+from repro.interp.values import DEC, INC, Closure, Env, Store
+from repro.lang.errors import SyntaxValidationError
+from repro.lang.parser import parse
+
+
+def run(source: str, **kwargs):
+    return run_direct(normalize(parse(source)), **kwargs)
+
+
+class TestValues:
+    def test_number(self):
+        assert run("42").value == 42
+
+    def test_lambda_yields_closure(self):
+        answer = run("(lambda (x) x)")
+        assert isinstance(answer.value, Closure)
+        assert answer.value.param == "x"
+
+    def test_add1_yields_inc(self):
+        assert run("add1").value is INC
+
+    def test_sub1_yields_dec(self):
+        assert run("sub1").value is DEC
+
+
+class TestApplication:
+    def test_add1(self):
+        assert run("(add1 41)").value == 42
+
+    def test_sub1(self):
+        assert run("(sub1 0)").value == -1
+
+    def test_beta(self):
+        assert run("((lambda (x) (add1 x)) 1)").value == 2
+
+    def test_higher_order(self):
+        src = "((lambda (f) (f ((lambda (g) (g 1)) f))) (lambda (x) (+ x 10)))"
+        assert run(src).value == 21
+
+    def test_curried(self):
+        src = "(((lambda (a) (lambda (b) (- a b))) 10) 3)"
+        assert run(src).value == 7
+
+    def test_closure_captures_environment(self):
+        src = "(let (a 5) (let (f (lambda (x) (+ x a))) (let (a 100) (f 1))))"
+        # unique binders: the uniquify pass renames the second a; f sees 5
+        assert run(src).value == 6
+
+    def test_each_invocation_gets_fresh_location(self):
+        # The paper: the bound variable of a procedure is related to a
+        # different location per invocation.
+        answer = run("(let (f (lambda (x) x)) (let (u (f 1)) (f 2)))")
+        assert answer.value == 2
+        locations = [loc for loc, _ in answer.store.items() if loc.name == "x"]
+        assert len(locations) == 2
+
+
+class TestConditionals:
+    def test_zero_takes_then(self):
+        assert run("(if0 0 1 2)").value == 1
+
+    def test_nonzero_takes_else(self):
+        assert run("(if0 7 1 2)").value == 2
+
+    def test_negative_is_nonzero(self):
+        assert run("(if0 -1 1 2)").value == 2
+
+    def test_closure_test_is_nonzero(self):
+        assert run("(if0 (lambda (x) x) 1 2)").value == 2
+
+    def test_untaken_branch_not_evaluated(self):
+        assert run("(if0 0 5 (loop))").value == 5
+        assert run("(if0 1 (loop) 5)").value == 5
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [("(+ 2 3)", 5), ("(- 2 3)", -1), ("(* 2 3)", 6), ("(* -2 3)", -6)],
+    )
+    def test_arithmetic(self, source, expected):
+        assert run(source).value == expected
+
+    def test_nested(self):
+        assert run("(* (+ 1 2) (- 7 3))").value == 12
+
+
+class TestLet:
+    def test_simple_binding(self):
+        assert run("(let (x 3) (add1 x))").value == 4
+
+    def test_sequencing(self):
+        assert run("(let (x 1) (let (y (+ x x)) (* y y)))").value == 4
+
+
+class TestErrors:
+    def test_apply_number_is_stuck(self):
+        with pytest.raises(StuckError):
+            run("(1 2)")
+
+    def test_add1_of_closure_is_stuck(self):
+        with pytest.raises(StuckError):
+            run("(add1 (lambda (x) x))")
+
+    def test_plus_of_closure_is_stuck(self):
+        with pytest.raises(StuckError):
+            run("(+ 1 (lambda (x) x))")
+
+    def test_unbound_variable_is_stuck(self):
+        with pytest.raises(StuckError):
+            run("(add1 unknown)")
+
+    def test_loop_diverges(self):
+        with pytest.raises(Diverged):
+            run("(loop)")
+
+    def test_omega_exhausts_fuel(self):
+        with pytest.raises(FuelExhausted):
+            run("((lambda (x) (x x)) (lambda (x) (x x)))", fuel=5000)
+
+    def test_check_rejects_non_anf(self):
+        with pytest.raises(SyntaxValidationError):
+            run_direct(parse("(f (g 1))"))
+
+    def test_check_can_be_disabled(self):
+        # without validation, a value term still evaluates
+        assert run_direct(parse("42"), check=False).value == 42
+
+
+class TestInitialEnvironment:
+    def test_free_variables_via_env_and_store(self):
+        env = Env()
+        store = Store()
+        loc = store.new("n")
+        store.bind(loc, 10)
+        env = env.bind("n", loc)
+        answer = run_direct(
+            normalize(parse("(add1 n)")), env=env, store=store
+        )
+        assert answer.value == 11
+
+
+class TestRecursionViaSelfApplication:
+    def test_factorial(self):
+        # Z-combinator-free recursion through self-application.
+        src = """
+        (let (fact (lambda (self)
+                     (lambda (n)
+                       (if0 n 1 (* n ((self self) (- n 1)))))))
+          ((fact fact) 6))
+        """
+        assert run(src).value == 720
+
+    def test_fibonacci(self):
+        src = """
+        (let (fib (lambda (self)
+                    (lambda (n)
+                      (if0 n 0
+                        (if0 (- n 1) 1
+                          (+ ((self self) (- n 1)) ((self self) (- n 2))))))))
+          ((fib fib) 10))
+        """
+        assert run(src).value == 55

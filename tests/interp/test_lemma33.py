@@ -1,0 +1,90 @@
+"""Lemma 3.3: the syntactic-CPS interpreter run on F_k[M] produces the
+delta-image of the semantic-CPS (hence direct) answer for M.
+
+    (M, rho, nil, s) C (u1, s1)
+      iff
+    (F_k[M], rho[k := new(k)], delta(s)[new(k) := stop]) Mc
+        (delta(u1), delta(s1)[... continuation entries ...])
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anf import normalize
+from repro.cps import cps_transform
+from repro.gen import random_closed_term
+from repro.interp import (
+    answers_delta_related,
+    run_direct,
+    run_semantic_cps,
+    run_syntactic_cps,
+    values_delta_related,
+)
+from repro.interp.values import DEC, INC, DECK, INCK, Store
+from repro.lang.parser import parse
+
+PROGRAMS = [
+    "42",
+    "add1",
+    "sub1",
+    "(lambda (x) x)",
+    "(lambda (x) (lambda (y) (+ x y)))",
+    "(let (a 7) (lambda (x) (+ x a)))",  # closure captures a binding
+    "(add1 (sub1 5))",
+    "((lambda (x) (* x x)) 12)",
+    "(if0 (sub1 1) (+ 1 2) (loop))",
+    "(let (f (lambda (x) (lambda (y) (- x y)))) ((f 10) 4))",
+    "(let (twice (lambda (f) (lambda (x) (f (f x))))) ((twice add1) 0))",
+    """(let (fact (lambda (self)
+                    (lambda (n)
+                      (if0 n 1 (* n ((self self) (- n 1)))))))
+         ((fact fact) 8))""",
+]
+
+
+class TestDeltaOnBaseValues:
+    def test_numbers(self):
+        s1, s2 = Store(), Store()
+        assert values_delta_related(5, s1, 5, s2)
+        assert not values_delta_related(5, s1, 6, s2)
+
+    def test_primitives(self):
+        s1, s2 = Store(), Store()
+        assert values_delta_related(INC, s1, INCK, s2)
+        assert values_delta_related(DEC, s1, DECK, s2)
+        assert not values_delta_related(INC, s1, DECK, s2)
+        assert not values_delta_related(INC, s1, INC, s2)
+
+    def test_number_vs_closure(self):
+        s1, s2 = Store(), Store()
+        assert not values_delta_related(5, s1, INCK, s2)
+
+
+class TestLemma33Examples:
+    @pytest.mark.parametrize("source", PROGRAMS)
+    def test_agreement(self, source):
+        term = normalize(parse(source))
+        semantic = run_semantic_cps(term, fuel=500_000)
+        cps_answer = run_syntactic_cps(cps_transform(term), fuel=2_000_000)
+        assert answers_delta_related(semantic, cps_answer)
+
+    @pytest.mark.parametrize("source", PROGRAMS)
+    def test_transitive_with_direct(self, source):
+        """Together with Lemma 3.1 the result relates Mc to M."""
+        term = normalize(parse(source))
+        direct = run_direct(term, fuel=500_000)
+        cps_answer = run_syntactic_cps(cps_transform(term), fuel=2_000_000)
+        assert answers_delta_related(direct, cps_answer)
+
+
+class TestLemma33Property:
+    @settings(max_examples=150, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), depth=st.integers(2, 6))
+    def test_random_programs(self, seed, depth):
+        term = normalize(random_closed_term(random.Random(seed), depth))
+        semantic = run_semantic_cps(term, fuel=500_000)
+        cps_answer = run_syntactic_cps(cps_transform(term), fuel=2_000_000)
+        assert answers_delta_related(semantic, cps_answer)

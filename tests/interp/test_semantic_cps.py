@@ -1,0 +1,78 @@
+"""Tests for the semantic-CPS machine — paper Figure 2."""
+
+import pytest
+
+from repro.anf import normalize
+from repro.interp import run_semantic_cps
+from repro.interp.errors import Diverged, FuelExhausted, StuckError
+from repro.interp.values import Closure, Env, Frame, Store
+from repro.lang.parser import parse
+
+
+def run(source: str, **kwargs):
+    return run_semantic_cps(normalize(parse(source)), **kwargs)
+
+
+class TestBasics:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("42", 42),
+            ("(add1 41)", 42),
+            ("(sub1 0)", -1),
+            ("((lambda (x) (add1 x)) 1)", 2),
+            ("(if0 0 1 2)", 1),
+            ("(if0 9 1 2)", 2),
+            ("(+ (add1 1) (* 3 3))", 11),
+            ("(let (x 3) (let (y (add1 x)) (* x y)))", 12),
+            ("(((lambda (a) (lambda (b) (- a b))) 10) 3)", 7),
+        ],
+    )
+    def test_evaluation(self, source, expected):
+        assert run(source).value == expected
+
+    def test_lambda_yields_closure(self):
+        assert isinstance(run("(lambda (x) x)").value, Closure)
+
+    def test_untaken_branch_not_evaluated(self):
+        assert run("(if0 0 5 (loop))").value == 5
+
+
+class TestMachineCharacter:
+    def test_deep_non_tail_recursion_has_no_host_stack_cost(self):
+        # The machine's continuation is explicit, so deep non-tail
+        # recursion that would overflow the direct interpreter's host
+        # stack runs fine here.
+        src = """
+        (let (down (lambda (self)
+                     (lambda (n)
+                       (if0 n 0 (add1 ((self self) (- n 1)))))))
+          ((down down) 3000))
+        """
+        assert run(src, fuel=2_000_000).value == 3000
+
+    def test_initial_continuation_frames_apply_in_order(self):
+        # Provide a non-empty initial continuation: the answer value is
+        # threaded through the supplied frames.
+        store = Store()
+        env = Env()
+        frame_term = normalize(parse("(add1 h)"), ensure_unique=False)
+        kont = (Frame("h", frame_term, env),)
+        answer = run_semantic_cps(
+            normalize(parse("41")), env=env, store=store, kont=kont
+        )
+        assert answer.value == 42
+
+
+class TestErrors:
+    def test_apply_number_is_stuck(self):
+        with pytest.raises(StuckError):
+            run("(1 2)")
+
+    def test_loop_diverges(self):
+        with pytest.raises(Diverged):
+            run("(loop)")
+
+    def test_omega_exhausts_fuel(self):
+        with pytest.raises(FuelExhausted):
+            run("((lambda (x) (x x)) (lambda (x) (x x)))", fuel=5000)

@@ -1,0 +1,89 @@
+"""Unit tests for run-time values, environments and stores."""
+
+import pytest
+
+from repro.interp.errors import StuckError
+from repro.interp.values import (
+    DEC,
+    INC,
+    Answer,
+    Closure,
+    Env,
+    Loc,
+    PrimVal,
+    Store,
+    expect_number,
+)
+from repro.lang.ast import Num, Var
+
+
+class TestEnv:
+    def test_bind_is_persistent(self):
+        env = Env()
+        extended = env.bind("x", Loc("x", 0))
+        assert "x" in extended
+        assert "x" not in env
+
+    def test_lookup_returns_latest_binding(self):
+        env = Env().bind("x", Loc("x", 0)).bind("x", Loc("x", 1))
+        assert env.lookup("x") == Loc("x", 1)
+
+    def test_lookup_unbound_raises(self):
+        with pytest.raises(StuckError):
+            Env().lookup("missing")
+
+    def test_len_and_iter(self):
+        env = Env().bind("a", Loc("a", 0)).bind("b", Loc("b", 1))
+        assert len(env) == 2
+        assert set(env) == {"a", "b"}
+
+
+class TestStore:
+    def test_new_locations_are_fresh(self):
+        store = Store()
+        locs = {store.new("x") for _ in range(10)}
+        assert len(locs) == 10
+
+    def test_location_records_variable(self):
+        store = Store()
+        assert store.new("foo").name == "foo"
+
+    def test_bind_and_lookup(self):
+        store = Store()
+        loc = store.new("x")
+        store.bind(loc, 42)
+        assert store.lookup(loc) == 42
+
+    def test_dangling_lookup_raises(self):
+        with pytest.raises(StuckError):
+            Store().lookup(Loc("x", 99))
+
+    def test_items_and_len(self):
+        store = Store()
+        loc = store.new("x")
+        store.bind(loc, 1)
+        assert len(store) == 1
+        assert list(store.items()) == [(loc, 1)]
+
+
+class TestValues:
+    def test_prim_singletons_distinct(self):
+        assert INC != DEC
+        assert INC == PrimVal("inc")
+
+    def test_closure_equality_is_structural(self):
+        env = Env()
+        assert Closure("x", Var("x"), env) == Closure("x", Var("x"), env)
+
+    def test_answer_compares_by_value(self):
+        s1, s2 = Store(), Store()
+        assert Answer(1, s1) == Answer(1, s2)
+        assert Answer(1, s1) != Answer(2, s1)
+
+    def test_expect_number_accepts_ints(self):
+        assert expect_number(5, "ctx") == 5
+
+    @pytest.mark.parametrize("bad", [True, INC, None, "s"])
+    def test_expect_number_rejects_non_ints(self, bad):
+        with pytest.raises(StuckError):
+            expect_number(bad, "ctx")

@@ -1,0 +1,115 @@
+"""Unit tests for the A abstract syntax."""
+
+import pytest
+
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Loop,
+    Num,
+    Prim,
+    PrimApp,
+    Var,
+    is_value,
+)
+
+
+class TestNodeConstruction:
+    def test_num_holds_int(self):
+        assert Num(42).value == 42
+
+    def test_num_rejects_bool(self):
+        with pytest.raises(TypeError):
+            Num(True)
+
+    def test_num_rejects_float(self):
+        with pytest.raises(TypeError):
+            Num(1.5)
+
+    def test_num_negative(self):
+        assert Num(-3).value == -3
+
+    def test_var_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_prim_accepts_add1_and_sub1(self):
+        assert Prim("add1").name == "add1"
+        assert Prim("sub1").name == "sub1"
+
+    def test_prim_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Prim("mul1")
+
+    def test_lam_rejects_empty_param(self):
+        with pytest.raises(ValueError):
+            Lam("", Num(1))
+
+    def test_let_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Let("", Num(1), Num(2))
+
+    def test_primapp_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            PrimApp("/", (Num(1), Num(2)))
+
+    def test_primapp_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            PrimApp("+", (Num(1),))
+
+    def test_primapp_accepts_binary_ops(self):
+        for op in ("+", "-", "*"):
+            node = PrimApp(op, (Num(1), Num(2)))
+            assert node.op == op
+
+
+class TestStructuralEquality:
+    def test_equal_nums(self):
+        assert Num(1) == Num(1)
+        assert Num(1) != Num(2)
+
+    def test_equal_lams(self):
+        assert Lam("x", Var("x")) == Lam("x", Var("x"))
+        assert Lam("x", Var("x")) != Lam("y", Var("y"))
+
+    def test_nodes_are_hashable(self):
+        terms = {
+            Num(1),
+            Var("x"),
+            Prim("add1"),
+            Lam("x", Var("x")),
+            App(Var("f"), Num(1)),
+            Let("x", Num(1), Var("x")),
+            If0(Num(0), Num(1), Num(2)),
+            PrimApp("+", (Num(1), Num(2))),
+            Loop(),
+        }
+        assert len(terms) == 9
+
+    def test_nodes_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Num(1).value = 2  # type: ignore[misc]
+
+
+class TestIsValue:
+    @pytest.mark.parametrize(
+        "term",
+        [Num(0), Var("x"), Prim("add1"), Lam("x", Var("x"))],
+    )
+    def test_values(self, term):
+        assert is_value(term)
+
+    @pytest.mark.parametrize(
+        "term",
+        [
+            App(Var("f"), Num(1)),
+            Let("x", Num(1), Var("x")),
+            If0(Num(0), Num(1), Num(2)),
+            PrimApp("+", (Num(1), Num(2))),
+            Loop(),
+        ],
+    )
+    def test_non_values(self, term):
+        assert not is_value(term)

@@ -1,0 +1,127 @@
+"""Unit tests for the s-expression parser."""
+
+import pytest
+
+from repro.lang.ast import (
+    App,
+    If0,
+    Lam,
+    Let,
+    Loop,
+    Num,
+    Prim,
+    PrimApp,
+    Var,
+)
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse, tokenize
+
+
+class TestTokenizer:
+    def test_positions(self):
+        tokens = list(tokenize("(f\n  x)"))
+        assert [(t.text, t.line, t.column) for t in tokens] == [
+            ("(", 1, 1),
+            ("f", 1, 2),
+            ("x", 2, 3),
+            (")", 2, 4),
+        ]
+
+    def test_comments_are_skipped(self):
+        tokens = list(tokenize("; hello\nx ; trailing\n"))
+        assert [t.text for t in tokens] == ["x"]
+
+    def test_adjacent_parens(self):
+        tokens = list(tokenize("((x))"))
+        assert [t.text for t in tokens] == ["(", "(", "x", ")", ")"]
+
+
+class TestParseAtoms:
+    def test_number(self):
+        assert parse("42") == Num(42)
+
+    def test_negative_number(self):
+        assert parse("-7") == Num(-7)
+
+    def test_variable(self):
+        assert parse("foo") == Var("foo")
+
+    def test_add1(self):
+        assert parse("add1") == Prim("add1")
+
+    def test_sub1(self):
+        assert parse("sub1") == Prim("sub1")
+
+
+class TestParseForms:
+    def test_lambda(self):
+        assert parse("(lambda (x) x)") == Lam("x", Var("x"))
+
+    def test_application(self):
+        assert parse("(f 1)") == App(Var("f"), Num(1))
+
+    def test_nested_application(self):
+        assert parse("((f 1) 2)") == App(App(Var("f"), Num(1)), Num(2))
+
+    def test_let(self):
+        assert parse("(let (x 1) x)") == Let("x", Num(1), Var("x"))
+
+    def test_if0(self):
+        assert parse("(if0 x 1 2)") == If0(Var("x"), Num(1), Num(2))
+
+    def test_plus(self):
+        assert parse("(+ 1 2)") == PrimApp("+", (Num(1), Num(2)))
+
+    def test_minus_vs_negative_literal(self):
+        assert parse("(- x 1)") == PrimApp("-", (Var("x"), Num(1)))
+        assert parse("-1") == Num(-1)
+
+    def test_loop(self):
+        assert parse("(loop)") == Loop()
+
+    def test_whitespace_and_comments(self):
+        term = parse("""
+            ; compute something
+            (let (x 1)   ; bind x
+              (add1 x))
+        """)
+        assert term == Let("x", Num(1), App(Prim("add1"), Var("x")))
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",
+            "(",
+            ")",
+            "()",
+            "(f 1) extra",
+            "(lambda x x)",
+            "(lambda (x y) x)",
+            "(lambda (1) x)",
+            "(let x 1)",
+            "(let (1 2) 3)",
+            "(let (lambda 2) 3)",
+            "(if0 1 2)",
+            "(if0 1 2 3 4)",
+            "(+ 1)",
+            "(+ 1 2 3)",
+            "(loop 1)",
+            "lambda",
+            "let",
+            "(f 1 2)",
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("(f\n))")
+        assert excinfo.value.line == 2
+
+    def test_reserved_word_cannot_be_bound(self):
+        with pytest.raises(ParseError):
+            parse("(let (if0 1) 2)")

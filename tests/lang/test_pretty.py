@@ -1,0 +1,68 @@
+"""Round-trip and formatting tests for the pretty-printer."""
+
+import pytest
+
+from repro.lang.builder import add, add1, app, if0, lam, let, loop, num, var
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty, pretty_flat
+
+SAMPLES = [
+    "42",
+    "-3",
+    "x",
+    "add1",
+    "sub1",
+    "(loop)",
+    "(lambda (x) x)",
+    "(f x)",
+    "(let (x 1) x)",
+    "(if0 x 1 2)",
+    "(+ 1 2)",
+    "(- x y)",
+    "(* x x)",
+    "((lambda (x) (add1 x)) 5)",
+    "(let (f (lambda (x) (if0 x 0 (f (- x 1))))) (f 10))",
+    "(let (a (+ 1 2)) (let (b (* a a)) (if0 b a (loop))))",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", SAMPLES)
+    def test_parse_pretty_parse(self, source):
+        term = parse(source)
+        assert parse(pretty(term)) == term
+
+    @pytest.mark.parametrize("source", SAMPLES)
+    def test_parse_flat_parse(self, source):
+        term = parse(source)
+        assert parse(pretty_flat(term)) == term
+
+    @pytest.mark.parametrize("width", [10, 20, 40, 100])
+    def test_roundtrip_at_any_width(self, width):
+        term = parse(SAMPLES[-2])
+        assert parse(pretty(term, width=width)) == term
+
+
+class TestFormatting:
+    def test_flat_output_has_no_newlines(self):
+        term = parse(SAMPLES[-1])
+        assert "\n" not in pretty_flat(term)
+
+    def test_wide_budget_keeps_small_terms_flat(self):
+        assert pretty(parse("(f x)")) == "(f x)"
+
+    def test_narrow_budget_wraps(self):
+        term = let("some_variable", num(1), app("function", "some_variable"))
+        assert "\n" in pretty(term, width=20)
+
+    def test_builder_and_parser_agree(self):
+        built = let(
+            "x",
+            add(1, 2),
+            if0("x", num(0), app(add1(), "x")),
+        )
+        assert built == parse("(let (x (+ 1 2)) (if0 x 0 (add1 x)))")
+
+    def test_builder_loop_and_lam(self):
+        built = let("d", loop(), lam("y", var("y")))
+        assert built == parse("(let (d (loop)) (lambda (y) y))")

@@ -1,0 +1,72 @@
+"""Tests for the uniquify pass and fresh-name supplies."""
+
+from repro.lang.parser import parse
+from repro.lang.rename import NameSupply, fresh_name_supply, uniquify
+from repro.lang.syntax import free_variables, has_unique_binders
+
+
+class TestNameSupply:
+    def test_prefers_base_name(self):
+        supply = NameSupply()
+        assert supply.fresh("x") == "x"
+
+    def test_avoids_used_names(self):
+        supply = NameSupply(["x"])
+        assert supply.fresh("x") == "x%1"
+        assert supply.fresh("x") == "x%2"
+
+    def test_reserve_blocks_name(self):
+        supply = NameSupply()
+        supply.reserve("t")
+        assert supply.fresh("t") == "t%1"
+
+    def test_freshens_derived_names(self):
+        supply = NameSupply(["x", "x%1"])
+        assert supply.fresh("x%1") == "x%2"
+
+    def test_fresh_name_supply_scans_terms(self):
+        supply = fresh_name_supply(parse("(let (a 1) (b a))"))
+        assert supply.fresh("a") == "a%1"
+        assert supply.fresh("b") == "b%1"
+        assert supply.fresh("c") == "c"
+
+
+class TestUniquify:
+    def test_establishes_invariant(self):
+        term = parse("((lambda (x) x) (lambda (x) x))")
+        assert not has_unique_binders(term)
+        assert has_unique_binders(uniquify(term))
+
+    def test_identity_on_already_unique(self):
+        term = parse("(let (a 1) (lambda (b) (a b)))")
+        assert uniquify(term) == term
+
+    def test_preserves_free_variables(self):
+        term = parse("(let (x g) ((lambda (x) (x g)) x))")
+        renamed = uniquify(term)
+        assert free_variables(renamed) == free_variables(term) == {"g"}
+        assert has_unique_binders(renamed)
+
+    def test_does_not_capture_free_variables(self):
+        # free `x` must not be captured by any renamed binder
+        term = parse("(x (lambda (x) x))")
+        renamed = uniquify(term)
+        assert has_unique_binders(renamed)
+        assert free_variables(renamed) == {"x"}
+
+    def test_shadowing_resolved_innermost_wins(self):
+        term = parse("(lambda (x) (lambda (x) x))")
+        renamed = uniquify(term)
+        outer, inner = renamed, renamed.body
+        assert inner.body.name == inner.param
+        assert inner.param != outer.param
+
+    def test_nested_lets(self):
+        term = parse("(let (x 1) (let (x (add1 x)) (add1 x)))")
+        renamed = uniquify(term)
+        assert has_unique_binders(renamed)
+        # semantics preserved: inner add1 sees the inner binding
+        from repro.anf import normalize
+        from repro.interp import run_direct
+
+        assert run_direct(normalize(renamed)).value == 3

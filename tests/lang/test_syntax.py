@@ -1,0 +1,89 @@
+"""Tests for free variables, binders, sizes, and scope checks."""
+
+import pytest
+
+from repro.lang.errors import ScopeError
+from repro.lang.parser import parse
+from repro.lang.syntax import (
+    binders,
+    bound_variables,
+    check_closed,
+    free_variables,
+    has_unique_binders,
+    subterms,
+    term_size,
+)
+
+
+class TestFreeVariables:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("42", set()),
+            ("x", {"x"}),
+            ("add1", set()),
+            ("(loop)", set()),
+            ("(lambda (x) x)", set()),
+            ("(lambda (x) y)", {"y"}),
+            ("(f x)", {"f", "x"}),
+            ("(let (x 1) x)", set()),
+            ("(let (x y) x)", {"y"}),
+            ("(let (x x) x)", {"x"}),  # rhs is outside the binding
+            ("(if0 a b c)", {"a", "b", "c"}),
+            ("(+ x (- y z))", {"x", "y", "z"}),
+            ("(lambda (x) (let (y x) (f y)))", {"f"}),
+        ],
+    )
+    def test_cases(self, source, expected):
+        assert free_variables(parse(source)) == expected
+
+
+class TestBinders:
+    def test_collects_duplicates(self):
+        term = parse("((lambda (x) x) (lambda (x) x))")
+        assert binders(term) == ["x", "x"]
+
+    def test_let_and_lambda(self):
+        term = parse("(let (a 1) (lambda (b) (let (c b) c)))")
+        assert set(binders(term)) == {"a", "b", "c"}
+        assert bound_variables(term) == {"a", "b", "c"}
+
+
+class TestUniqueBinders:
+    def test_unique(self):
+        assert has_unique_binders(parse("(let (a 1) (lambda (b) (a b)))"))
+
+    def test_duplicate_binder(self):
+        assert not has_unique_binders(parse("((lambda (x) x) (lambda (x) x))"))
+
+    def test_binder_shadowing_free_variable(self):
+        assert not has_unique_binders(parse("(x (lambda (x) x))"))
+
+
+class TestSubtermsAndSize:
+    def test_size_counts_nodes(self):
+        assert term_size(parse("x")) == 1
+        assert term_size(parse("(f x)")) == 3
+        assert term_size(parse("(if0 a b c)")) == 4
+        assert term_size(parse("(+ 1 2)")) == 3
+
+    def test_subterms_preorder_root_first(self):
+        term = parse("(let (x 1) (f x))")
+        first = next(iter(subterms(term)))
+        assert first == term
+
+    def test_subterms_count_matches_size(self):
+        term = parse("(let (f (lambda (x) (if0 x 0 (f (- x 1))))) (f 10))")
+        assert len(list(subterms(term))) == term_size(term)
+
+
+class TestCheckClosed:
+    def test_closed_term_passes(self):
+        check_closed(parse("(lambda (x) x)"))
+
+    def test_open_term_raises(self):
+        with pytest.raises(ScopeError):
+            check_closed(parse("(f x)"))
+
+    def test_allowed_set(self):
+        check_closed(parse("(f x)"), allowed=frozenset({"f", "x"}))

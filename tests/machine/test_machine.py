@@ -1,0 +1,218 @@
+"""Tests for the compiler back ends and the abstract machine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anf import normalize
+from repro.corpus import PROGRAMS
+from repro.cps import TOP_KVAR, cps_transform
+from repro.gen import random_closed_term
+from repro.interp import run_direct
+from repro.interp.errors import Diverged, FuelExhausted, StuckError
+from repro.lang.parser import parse
+from repro.lang.syntax import free_variables
+from repro.machine import compile_cps, compile_direct, run_code
+from repro.machine.code import Halt, code_size
+from repro.machine.vm import MClosure, MClosureK, MPrim
+
+
+def run_both(source_or_term, fuel=1_000_000):
+    term = (
+        normalize(parse(source_or_term))
+        if isinstance(source_or_term, str)
+        else source_or_term
+    )
+    direct_value, direct_stats = run_code(compile_direct(term), fuel=fuel)
+    cps_value, cps_stats = run_code(
+        compile_cps(cps_transform(term)), halt_kvar=TOP_KVAR, fuel=fuel
+    )
+    return (direct_value, direct_stats), (cps_value, cps_stats)
+
+
+class TestBasicPrograms:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("42", 42),
+            ("(add1 41)", 42),
+            ("(sub1 0)", -1),
+            ("(+ 2 3)", 5),
+            ("(* (- 7 3) 3)", 12),
+            ("(if0 0 1 2)", 1),
+            ("(if0 9 1 2)", 2),
+            ("((lambda (x) (* x x)) 6)", 36),
+            ("(let (f (lambda (x) (lambda (y) (- x y)))) ((f 10) 4))", 6),
+            ("(let (twice (lambda (f) (lambda (x) (f (f x))))) ((twice add1) 0))", 2),
+        ],
+    )
+    def test_both_back_ends_agree_with_expected(self, source, expected):
+        (dv, _), (cv, _) = run_both(source)
+        assert dv == expected
+        assert cv == expected
+
+    def test_closure_results(self):
+        term = normalize(parse("(lambda (x) x)"))
+        dv, _ = run_code(compile_direct(term))
+        cv, _ = run_code(
+            compile_cps(cps_transform(term)), halt_kvar=TOP_KVAR
+        )
+        assert isinstance(dv, MClosure)
+        assert isinstance(cv, MClosureK)
+
+    def test_prim_value_results(self):
+        dv, _ = run_code(compile_direct(normalize(parse("add1"))))
+        assert dv == MPrim("add1")
+
+
+class TestControlStackContrast:
+    """The operational reading of Section 6.3: the CPS back end has no
+    control stack — the continuation closures in the environment play
+    that role."""
+
+    @pytest.mark.parametrize(
+        "name", ["factorial", "even-odd", "church", "ackermann"]
+    )
+    def test_cps_code_never_pushes_frames(self, name):
+        term = PROGRAMS[name].term
+        _, stats = run_code(
+            compile_cps(cps_transform(term)),
+            halt_kvar=TOP_KVAR,
+            fuel=10_000_000,
+        )
+        assert stats.max_frames == 0
+
+    def test_direct_code_stack_grows_with_recursion(self):
+        shallow = PROGRAMS["church"].term
+        deep = PROGRAMS["factorial"].term
+        _, s1 = run_code(compile_direct(shallow))
+        _, s2 = run_code(compile_direct(deep))
+        assert s2.max_frames > s1.max_frames >= 1
+
+    def test_tail_recursion_runs_in_constant_stack(self):
+        """Last-call optimization: the countdown loop's recursive call
+        and conditional are both in tail position, so the direct back
+        end runs it without growing the control stack."""
+
+        def countdown(n):
+            return normalize(
+                parse(
+                    f"""(let (down (lambda (self)
+                                 (lambda (n)
+                                   (if0 n 0 ((self self) (- n 1))))))
+                      ((down down) {n}))"""
+                )
+            )
+
+        _, small = run_code(compile_direct(countdown(5)), fuel=10_000_000)
+        _, large = run_code(
+            compile_direct(countdown(2000)), fuel=10_000_000
+        )
+        assert large.max_frames == small.max_frames  # O(1) frames
+
+    def test_tail_call_instruction_emitted(self):
+        from repro.machine import TailCall
+        from repro.machine.code import Branch
+
+        term = normalize(parse("(let (f (lambda (x) x)) (f 1))"))
+        code = compile_direct(term)
+
+        def instrs(block):
+            for instr in block:
+                yield instr
+                match instr:
+                    case Branch(t, e):
+                        yield from instrs(t)
+                        yield from instrs(e)
+                    case _:
+                        if hasattr(instr, "code"):
+                            yield from instrs(instr.code)
+
+        assert any(isinstance(i, TailCall) for i in instrs(code))
+
+    def test_direct_stack_depth_tracks_input(self):
+        def fact_term(n):
+            return normalize(
+                parse(
+                    f"""(let (fact (lambda (self)
+                                 (lambda (n)
+                                   (if0 n 1 (* n ((self self) (- n 1)))))))
+                      ((fact fact) {n}))"""
+                )
+            )
+
+        _, small = run_code(compile_direct(fact_term(3)))
+        _, large = run_code(compile_direct(fact_term(9)))
+        # one frame per recursion level: the non-tail recursive call
+        # (the multiplication consumes its result); the conditional and
+        # the self-application are tail-optimized
+        assert large.max_frames - small.max_frames == 9 - 3
+
+
+class TestAgreementWithInterpreters:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_corpus(self, name):
+        term = PROGRAMS[name].term
+        if free_variables(term):
+            pytest.skip("open program")
+        reference = run_direct(term, fuel=1_000_000).value
+        if not isinstance(reference, int):
+            pytest.skip("non-numeric result; covered above")
+        (dv, _), (cv, _) = run_both(term, fuel=10_000_000)
+        assert dv == reference
+        assert cv == reference
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), depth=st.integers(2, 5))
+    def test_random_programs(self, seed, depth):
+        term = normalize(random_closed_term(random.Random(seed), depth))
+        reference = run_direct(term, fuel=1_000_000).value
+        (dv, _), (cv, _) = run_both(term, fuel=4_000_000)
+        if isinstance(reference, int):
+            assert dv == reference
+            assert cv == reference
+
+
+class TestErrorsAndEdges:
+    def test_stuck_on_unbound_variable(self):
+        term = normalize(parse("(add1 ghost)"))
+        with pytest.raises(StuckError):
+            run_code(compile_direct(term, check=False))
+
+    def test_stuck_on_applying_number(self):
+        term = normalize(parse("(1 2)"))
+        with pytest.raises(StuckError):
+            run_code(compile_direct(term))
+
+    def test_loop_diverges(self):
+        term = normalize(parse("(loop)"))
+        with pytest.raises(Diverged):
+            run_code(compile_direct(term))
+        with pytest.raises(Diverged):
+            run_code(
+                compile_cps(cps_transform(term)), halt_kvar=TOP_KVAR
+            )
+
+    def test_omega_exhausts_fuel(self):
+        term = normalize(parse("((lambda (x) (x x)) (lambda (y) (y y)))"))
+        with pytest.raises(FuelExhausted):
+            run_code(compile_direct(term), fuel=10_000)
+
+    def test_initial_env(self):
+        term = normalize(parse("(+ n 2)"))
+        value, _ = run_code(compile_direct(term), initial_env={"n": 40})
+        assert value == 42
+
+    def test_direct_code_ends_with_halt(self):
+        code = compile_direct(normalize(parse("42")))
+        assert isinstance(code[-1], Halt)
+
+    def test_cps_code_has_no_halt(self):
+        code = compile_cps(cps_transform(normalize(parse("42"))))
+        assert not any(isinstance(i, Halt) for i in code)
+
+    def test_code_size_counts_nested_blocks(self):
+        term = normalize(parse("(let (f (lambda (x) (if0 x 1 2))) (f 0))"))
+        assert code_size(compile_direct(term)) > len(compile_direct(term))

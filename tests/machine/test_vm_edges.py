@@ -1,0 +1,114 @@
+"""Edge-case tests for the abstract machine itself."""
+
+import pytest
+
+from repro.interp.errors import StuckError
+from repro.machine import run_code
+from repro.machine.code import (
+    Bind,
+    Call,
+    CallK,
+    CloseK,
+    Code,
+    Const,
+    Halt,
+    Lookup,
+    MakePrim,
+    Op,
+    Push,
+    RetK,
+    code_size,
+)
+from repro.machine.vm import MHalt, MKont, MPrim
+
+
+class TestHandwrittenCode:
+    def test_minimal_program(self):
+        value, stats = run_code((Const(7), Halt()))
+        assert value == 7
+        assert stats.steps == 2
+
+    def test_arithmetic(self):
+        code: Code = (Const(2), Push(), Const(3), Op("*"), Halt())
+        value, _ = run_code(code)
+        assert value == 6
+
+    def test_falling_off_with_no_frames_is_the_answer(self):
+        value, _ = run_code((Const(9),))
+        assert value == 9
+
+    def test_prim_call(self):
+        code: Code = (MakePrim("add1"), Push(), Const(41), Call(), Halt())
+        value, _ = run_code(code)
+        assert value == 42
+
+    def test_manual_continuation(self):
+        # bind a continuation, return through it
+        code: Code = (
+            CloseK("r", (Lookup("r"), RetK("k/halt"))),
+            Bind("k/j"),
+            Const(5),
+            RetK("k/j"),
+        )
+        value, _ = run_code(code, halt_kvar="k/halt")
+        assert value == 5
+
+
+class TestStuckStates:
+    def test_unbound_variable(self):
+        with pytest.raises(StuckError):
+            run_code((Lookup("ghost"), Halt()))
+
+    def test_apply_number(self):
+        with pytest.raises(StuckError):
+            run_code((Const(1), Push(), Const(2), Call(), Halt()))
+
+    def test_prim_on_non_number(self):
+        code: Code = (
+            MakePrim("add1"),
+            Push(),
+            MakePrim("sub1"),
+            Call(),
+            Halt(),
+        )
+        with pytest.raises(StuckError):
+            run_code(code)
+
+    def test_return_through_number(self):
+        code: Code = (Const(1), Bind("k/j"), Const(2), RetK("k/j"))
+        with pytest.raises(StuckError):
+            run_code(code)
+
+    def test_unbound_continuation(self):
+        with pytest.raises(StuckError):
+            run_code((Const(1), RetK("k/ghost")))
+
+    def test_callk_on_number(self):
+        code: Code = (
+            Const(1),
+            Push(),
+            Const(2),
+            Push(),
+            CloseK("r", (Lookup("r"), RetK("k/halt"))),
+            CallK(),
+        )
+        with pytest.raises(StuckError):
+            run_code(code, halt_kvar="k/halt")
+
+
+class TestValues:
+    def test_machine_value_types(self):
+        assert MPrim("add1") == MPrim("add1")
+        assert MHalt() == MHalt()
+        kont = MKont("x", (Halt(),), {})
+        assert kont.param == "x"
+
+    def test_code_size_flat(self):
+        assert code_size((Const(1), Halt())) == 2
+
+    def test_initial_env_values_pass_through(self):
+        value, _ = run_code(
+            (Lookup("n"), Push(), Const(2), Op("+"), Halt()),
+            initial_env={"n": 40},
+        )
+        assert value == 42

@@ -1,0 +1,113 @@
+"""Tests for analysis-driven constant folding."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anf import normalize, validate_anf
+from repro.domains import ConstPropDomain, Lattice
+from repro.gen import random_closed_term
+from repro.interp import run_direct
+from repro.lang.ast import Let, Num
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty_flat
+from repro.opt import constant_fold
+
+DOM = ConstPropDomain()
+LAT = Lattice(DOM)
+
+
+def fold(source: str, initial=None):
+    term = normalize(parse(source))
+    return term, constant_fold(term, initial=initial)
+
+
+class TestFolding:
+    def test_folds_operator_binding(self):
+        _, folded = fold("(let (a (+ 1 2)) a)")
+        assert isinstance(folded, Let)
+        assert folded.rhs == Num(3)
+
+    def test_folds_chain(self):
+        _, folded = fold("(let (a (+ 1 2)) (let (b (* a a)) b))")
+        assert folded.rhs == Num(3)
+        assert folded.body.rhs == Num(9)
+
+    def test_folds_primitive_application(self):
+        _, folded = fold("(add1 41)")
+        assert folded.rhs == Num(42)
+
+    def test_does_not_fold_unknown(self):
+        term, folded = fold(
+            "(let (a (+ x 1)) a)", initial={"x": LAT.of_num(DOM.top)}
+        )
+        assert folded == term  # nothing provable
+
+    def test_does_not_fold_possibly_diverging_call(self):
+        # f is a user closure: the call may diverge, keep it
+        source = """(let (f (lambda (x) 7)) (let (r (f 0)) r))"""
+        term, folded = fold(source)
+        assert pretty_flat(folded) == pretty_flat(term)
+
+    def test_folds_inside_lambda_bodies(self):
+        _, folded = fold("(let (f (lambda (x) (+ 1 2))) (f 0))")
+        lam = folded.rhs
+        assert lam.body.rhs == Num(3)
+
+
+class TestBranchCollapsing:
+    def test_collapses_zero_test(self):
+        _, folded = fold("(let (r (if0 0 (+ 1 2) (loop))) r)")
+        assert "loop" not in pretty_flat(folded)
+        assert "if0" not in pretty_flat(folded)
+
+    def test_collapses_nonzero_test(self):
+        _, folded = fold("(let (r (if0 9 (loop) (+ 1 2))) r)")
+        assert "loop" not in pretty_flat(folded)
+
+    def test_keeps_unknown_test(self):
+        _, folded = fold(
+            "(let (r (if0 x 1 2)) r)", initial={"x": LAT.of_num(DOM.top)}
+        )
+        assert "if0" in pretty_flat(folded)
+
+    def test_collapse_preserves_bindings(self):
+        _, folded = fold("(let (r (if0 0 (let (u (+ 1 1)) u) 9)) r)")
+        result = run_direct(folded, check=True)
+        assert result.value == 2
+
+    def test_collapse_keeps_dead_conditional_on_bottom_test(self):
+        # unreachable conditional (x unbound): neither branch provable,
+        # term kept as-is
+        term, folded = fold("(let (r (if0 x 1 2)) r)")
+        assert pretty_flat(folded) == pretty_flat(term)
+
+
+class TestSemanticsPreservation:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "(let (a (+ 1 2)) (let (b (* a a)) (- b a)))",
+            "(if0 (sub1 1) 10 20)",
+            "(let (f (lambda (x) (add1 x))) (f (f 0)))",
+            "((lambda (x) (if0 x 1 2)) 0)",
+        ],
+    )
+    def test_value_unchanged(self, source):
+        term = normalize(parse(source))
+        folded = constant_fold(term)
+        validate_anf(folded)
+        assert run_direct(term).value == run_direct(folded).value
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), depth=st.integers(2, 5))
+    def test_random_programs(self, seed, depth):
+        term = normalize(random_closed_term(random.Random(seed), depth))
+        folded = constant_fold(term)
+        validate_anf(folded)
+        before = run_direct(term, fuel=500_000)
+        after = run_direct(folded, fuel=500_000)
+        if isinstance(before.value, int):
+            assert after.value == before.value

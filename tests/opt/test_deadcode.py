@@ -1,0 +1,80 @@
+"""Tests for dead-binding elimination and the purity predicate."""
+
+import pytest
+
+from repro.anf import normalize, validate_anf
+from repro.interp import run_direct
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty_flat
+from repro.opt import eliminate_dead_code, is_pure
+
+
+def dce(source: str):
+    term = normalize(parse(source))
+    result = eliminate_dead_code(term)
+    validate_anf(result)
+    return term, result
+
+
+class TestPurity:
+    @pytest.mark.parametrize(
+        "source",
+        ["42", "x", "(lambda (x) (f x))", "(+ 1 2)", "(let (a 1) (+ a a))"],
+    )
+    def test_pure(self, source):
+        assert is_pure(normalize(parse(source)))
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "(f 1)",
+            "(loop)",
+            "(let (a (f 1)) 2)",
+            "(if0 x (f 1) 2)",
+        ],
+    )
+    def test_impure(self, source):
+        assert not is_pure(normalize(parse(source)))
+
+    def test_pure_conditional(self):
+        assert is_pure(normalize(parse("(if0 x (+ 1 2) 3)")))
+
+
+class TestElimination:
+    def test_removes_unused_pure_binding(self):
+        _, result = dce("(let (unused (+ 1 2)) 9)")
+        assert pretty_flat(result) == "9"
+
+    def test_keeps_used_binding(self):
+        term, result = dce("(let (a (+ 1 2)) a)")
+        assert pretty_flat(result) == pretty_flat(term)
+
+    def test_keeps_possibly_diverging_binding(self):
+        term, result = dce("(let (unused (f 1)) 9)")
+        assert pretty_flat(result) == pretty_flat(term)
+
+    def test_keeps_loop(self):
+        term, result = dce("(let (unused (loop)) 9)")
+        assert pretty_flat(result) == pretty_flat(term)
+
+    def test_cascading_removal(self):
+        _, result = dce("(let (a 1) (let (b (+ a a)) (let (c 2) c)))")
+        assert pretty_flat(result) == "(let (c 2) c)"
+
+    def test_removes_inside_lambda(self):
+        _, result = dce("(lambda (x) (let (dead 1) x))")
+        assert pretty_flat(result) == "(lambda (x) x)"
+
+    def test_removes_inside_branches(self):
+        _, result = dce("(let (r (if0 x (let (d 1) 5) 6)) r)")
+        assert "(d 1)" not in pretty_flat(result)
+
+    def test_removes_unused_lambda_binding(self):
+        _, result = dce("(let (f (lambda (x) x)) 3)")
+        assert pretty_flat(result) == "3"
+
+    def test_semantics_preserved(self):
+        term, result = dce(
+            "(let (a 5) (let (dead (* a a)) (let (b (add1 a)) b)))"
+        )
+        assert run_direct(term).value == run_direct(result).value == 6

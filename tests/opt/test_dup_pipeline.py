@@ -1,0 +1,143 @@
+"""Tests for continuation duplication and the optimization pipeline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Precision, run_three_way
+from repro.analysis import analyze_direct
+from repro.analysis.compare import compare_answers
+from repro.anf import normalize, validate_anf
+from repro.corpus import THEOREM_52_CONDITIONAL
+from repro.domains import ConstPropDomain, Lattice
+from repro.domains.constprop import TOP
+from repro.gen import random_closed_term
+from repro.interp import run_direct
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty_flat
+from repro.opt import (
+    duplicate_join_continuations,
+    optimize,
+)
+
+DOM = ConstPropDomain()
+LAT = Lattice(DOM)
+
+
+class TestDuplication:
+    def test_duplicates_continuation_into_branches(self):
+        term = normalize(parse("(let (a (if0 x 0 1)) (add1 a))"))
+        result = duplicate_join_continuations(term)
+        validate_anf(result)
+        text = pretty_flat(result)
+        assert text.count("add1") == 2  # one copy per branch
+
+    def test_bare_tail_not_duplicated(self):
+        term = normalize(parse("(let (a (if0 x 0 1)) a)"))
+        result = duplicate_join_continuations(term)
+        assert pretty_flat(result) == pretty_flat(term)
+
+    def test_size_budget_respected(self):
+        term = normalize(
+            parse("(let (a (if0 x 0 1)) (+ (+ a a) (+ a a)))")
+        )
+        untouched = duplicate_join_continuations(term, max_size=2)
+        assert pretty_flat(untouched) == pretty_flat(term)
+
+    def test_semantics_preserved(self):
+        source = "(let (a (if0 x 0 1)) (let (b (if0 a (+ a 3) (+ a 2))) b))"
+        term = normalize(parse(source))
+        duplicated = duplicate_join_continuations(term)
+        validate_anf(duplicated)
+        for x in (0, 7):
+            from repro.interp.values import Env, Store
+
+            def run(t):
+                env, store = Env(), Store()
+                loc = store.new("x")
+                store.bind(loc, x)
+                return run_direct(t, env=env.bind("x", loc), store=store)
+
+            assert run(term).value == run(duplicated).value
+
+
+class TestAbstractClaim:
+    """The abstract's closing sentence: a direct analysis with some
+    duplication is as satisfactory as a CPS analysis."""
+
+    def test_duplication_recovers_theorem52_precision(self):
+        program = THEOREM_52_CONDITIONAL
+        initial = program.initial_for(LAT)
+        before = analyze_direct(program.term, DOM, initial=initial)
+        assert before.value.num is TOP  # direct analysis loses a2
+
+        duplicated = duplicate_join_continuations(program.term)
+        after = analyze_direct(duplicated, DOM, initial=initial)
+        assert after.value.num == 3  # CPS-level precision, direct style
+
+    def test_duplicated_direct_matches_cps_result(self):
+        program = THEOREM_52_CONDITIONAL
+        initial = program.initial_for(LAT)
+        report = run_three_way(program)
+        duplicated = duplicate_join_continuations(program.term)
+        after = analyze_direct(duplicated, DOM, initial=initial)
+        assert after.value.num == report.syntactic.value.num == 3
+
+
+class TestPipeline:
+    def test_full_pipeline_folds_inline_example(self):
+        term = normalize(
+            parse(
+                """(let (f (lambda (x) (add1 x)))
+                     (let (u (f 1)) (let (v (f 2)) (+ u v))))"""
+            )
+        )
+        report = optimize(term, DOM)
+        assert report.analysis.value.num == 5
+        assert pretty_flat(report.term) in ("(let (t%1 5) t%1)", "5")
+
+    def test_pipeline_reaches_fixed_point(self):
+        term = normalize(parse("(let (a (+ 1 2)) a)"))
+        report = optimize(term, DOM, max_rounds=10)
+        assert report.rounds <= 3
+
+    def test_pipeline_rejects_unknown_pass(self):
+        term = normalize(parse("42"))
+        with pytest.raises(ValueError):
+            optimize(term, DOM, passes=("bogus",))
+
+    def test_pass_subset(self):
+        term = normalize(parse("(let (dead 1) (let (a (+ 2 3)) a))"))
+        report = optimize(term, DOM, passes=("dce",))
+        assert "dead" not in pretty_flat(report.term)
+        assert "(+ 2 3)" in pretty_flat(report.term)  # no folding ran
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), depth=st.integers(2, 4))
+    def test_pipeline_preserves_semantics(self, seed, depth):
+        term = normalize(random_closed_term(random.Random(seed), depth))
+        report = optimize(term, DOM, max_rounds=3)
+        validate_anf(report.term)
+        before = run_direct(term, fuel=500_000)
+        after = run_direct(report.term, fuel=500_000)
+        if isinstance(before.value, int):
+            assert after.value == before.value
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), depth=st.integers(2, 4))
+    def test_pipeline_never_loses_precision(self, seed, depth):
+        term = normalize(random_closed_term(random.Random(seed), depth))
+        report = optimize(term, DOM, max_rounds=3)
+        before = analyze_direct(term, DOM)
+        # final value of the optimized program is at least as precise
+        assert (
+            compare_answers(
+                report.analysis.answer,
+                before.answer,
+                before.lattice,
+                names=[],  # compare the answer values only
+            )
+            in (Precision.EQUAL, Precision.LEFT_MORE_PRECISE)
+        )

@@ -1,0 +1,245 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestRun:
+    def test_direct(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "-e", "(add1 41)")
+        assert code == 0
+        assert out.strip() == "42"
+
+    @pytest.mark.parametrize("interp", ["direct", "semantic", "syntactic"])
+    def test_all_interpreters_agree(self, capsys, interp):
+        code, out, _ = run_cli(
+            capsys, "run", "-e", "(* (+ 1 2) 4)", "--interpreter", interp
+        )
+        assert code == 0
+        assert out.strip() == "12"
+
+    def test_assume_provides_free_variables(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "-e", "(+ n 2)", "--assume", "n=40"
+        )
+        assert out.strip() == "42"
+
+    def test_missing_free_variable_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "run", "-e", "(+ n 2)")
+
+    def test_bad_assume_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "run", "-e", "(+ n 2)", "--assume", "n=abc")
+
+    def test_file_input(self, capsys, tmp_path):
+        path = tmp_path / "prog.anf"
+        path.write_text("(sub1 0)")
+        code, out, _ = run_cli(capsys, "run", str(path))
+        assert out.strip() == "-1"
+
+
+class TestAnalyze:
+    def test_three_way_summary(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "analyze",
+            "-e",
+            "(let (a1 (if0 x 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))",
+        )
+        assert code == 0
+        assert "right-more-precise" in out
+        assert "per-variable facts" in out
+
+    def test_domain_choice(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "analyze", "-e", "(+ 2 4)", "--domain", "parity"
+        )
+        assert "even" in out
+
+    def test_assume_constant(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "analyze", "-e", "(add1 n)", "--assume", "n=1"
+        )
+        assert "value=(2, {})" in out
+
+    def test_polyvariant_mode(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "analyze",
+            "--k",
+            "1",
+            "-e",
+            "(let (f (lambda (x) (add1 x))) (+ (f 1) (f 2)))",
+        )
+        assert "value: (5, {})" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        code, out, _ = run_cli(
+            capsys, "analyze", "--json", "-e", "(let (a (+ 1 2)) a)"
+        )
+        data = json.loads(out)
+        assert data["direct"]["store"]["a"]["num"] == "3"
+        assert data["verdicts"]["semantic_vs_direct"] == "equal"
+        assert set(data) == {
+            "direct",
+            "semantic_cps",
+            "syntactic_cps",
+            "verdicts",
+        }
+
+    def test_loop_mode(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "analyze",
+            "-e",
+            "(let (d (loop)) d)",
+            "--loop-mode",
+            "top",
+        )
+        assert code == 0
+
+
+class TestTransforms:
+    def test_anf(self, capsys):
+        code, out, _ = run_cli(capsys, "anf", "-e", "(f (g 1))")
+        assert out.strip() == "(let (t%1 (g 1)) (let (t (f t%1)) t))"
+
+    def test_cps(self, capsys):
+        code, out, _ = run_cli(capsys, "cps", "-e", "(f 1)")
+        assert out.strip() == "(f 1 (lambda (t) (k/halt t)))"
+
+    def test_optimize(self, capsys):
+        code, out, err = run_cli(
+            capsys,
+            "optimize",
+            "-e",
+            "(let (f (lambda (x) (add1 x))) (+ (f 1) (f 2)))",
+        )
+        assert "5" in out
+        assert "rounds" in err
+
+    def test_optimize_pass_subset(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "optimize",
+            "-e",
+            "(let (dead 1) 9)",
+            "--passes",
+            "dce",
+        )
+        assert out.strip() == "9"
+
+
+class TestGraph:
+    def test_call_graph(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "graph", "-e", "(let (f (lambda (x) x)) (f 1))"
+        )
+        assert out.startswith("digraph")
+        assert "λx" in out
+
+    def test_flow_graph(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "graph",
+            "--kind",
+            "flow",
+            "-e",
+            "(let (a 1) (let (b 2) b))",
+        )
+        assert '"a" -> "b"' in out
+
+
+class TestCompile:
+    def test_direct_backend(self, capsys):
+        code, out, err = run_cli(
+            capsys, "compile", "-e", "(let (f (lambda (x) (* x x))) (f 6))"
+        )
+        assert code == 0
+        assert "Close(param='x')" in out
+        assert "result: 36" in err
+
+    def test_cps_backend_is_stackless(self, capsys):
+        code, out, err = run_cli(
+            capsys,
+            "compile",
+            "--backend",
+            "cps",
+            "-e",
+            "(let (f (lambda (x) (* x x))) (f 6))",
+        )
+        assert "CallK" in out
+        assert "control-stack depth: 0" in err
+
+    def test_no_run(self, capsys):
+        code, out, err = run_cli(
+            capsys, "compile", "--no-run", "-e", "(add1 1)"
+        )
+        assert "result" not in err
+        assert "instructions" in err
+
+    def test_assume(self, capsys):
+        code, out, err = run_cli(
+            capsys, "compile", "-e", "(+ n 2)", "--assume", "n=40"
+        )
+        assert "result: 42" in err
+
+
+class TestDataflow:
+    WITNESS = "(let (a1 (if0 x 0 1)) (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))"
+
+    def test_both_solvers(self, capsys):
+        code, out, _ = run_cli(capsys, "dataflow", "-e", self.WITNESS)
+        assert "[MFP]" in out and "[MOP]" in out
+        # the split is visible in the output
+        assert "a2           ⊤" in out
+        assert "a2           3" in out
+
+    def test_single_solver(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dataflow", "--solver", "mfp", "-e", self.WITNESS
+        )
+        assert "[MFP]" in out and "[MOP]" not in out
+
+    def test_assume_constant(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "dataflow",
+            "-e",
+            "(let (r (if0 x 1 2)) r)",
+            "--assume",
+            "x=0",
+        )
+        assert "r            1" in out
+
+    def test_refine_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "dataflow",
+            "--solver",
+            "mfp",
+            "--refine",
+            "-e",
+            "(let (r (if0 x (+ x 5) 9)) r)",
+        )
+        assert code == 0
+
+
+class TestErrors:
+    def test_no_input(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "anf")
+
+    def test_unknown_command(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "frobnicate")

@@ -1,0 +1,26 @@
+"""Run the doctests embedded in the library's docstrings."""
+
+import doctest
+import importlib
+
+import pytest
+
+# fetched via importlib: several module names are shadowed by same-named
+# functions re-exported in their package __init__ (e.g. repro.lang.pretty)
+MODULE_NAMES = [
+    "repro.lang.parser",
+    "repro.lang.pretty",
+    "repro.lang.rename",
+    "repro.anf.normalize",
+    "repro.anf.splice",
+    "repro.domains.constprop",
+    "repro.analysis.direct",
+    "repro.cps.transform",
+]
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_doctests(name):
+    module = importlib.import_module(name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0

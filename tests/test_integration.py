@@ -1,0 +1,89 @@
+"""End-to-end integration tests across the whole pipeline.
+
+Each test drives several subsystems in sequence — parse → normalize →
+(transform) → interpret/analyze/compile/optimize — on the corpus, and
+checks the cross-subsystem invariants hold together, not just in each
+unit's own suite.
+"""
+
+import pytest
+
+from repro import run_three_way
+from repro.analysis import analyze_direct
+from repro.anf import validate_anf
+from repro.corpus import PROGRAMS
+from repro.cps import TOP_KVAR, cps_pretty, cps_transform, parse_cps, uncps
+from repro.domains import ConstPropDomain
+from repro.interp import run_direct
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.lang.syntax import free_variables
+from repro.machine import compile_cps, compile_direct, run_code
+from repro.opt import optimize
+
+DOM = ConstPropDomain()
+
+CLOSED_LIGHT = [
+    name
+    for name in sorted(PROGRAMS)
+    if not PROGRAMS[name].heavy and not free_variables(PROGRAMS[name].term)
+]
+
+
+class TestFullPipelinePerProgram:
+    @pytest.mark.parametrize("name", CLOSED_LIGHT)
+    def test_parse_print_round_trip(self, name):
+        term = PROGRAMS[name].term
+        assert parse(pretty(term)) == term
+
+    @pytest.mark.parametrize("name", CLOSED_LIGHT)
+    def test_cps_round_trips_three_ways(self, name):
+        term = PROGRAMS[name].term
+        cps_term = cps_transform(term)
+        # text round trip
+        assert parse_cps(cps_pretty(cps_term)) == cps_term
+        # inverse transformation round trip
+        assert uncps(cps_term) == term
+
+    @pytest.mark.parametrize("name", CLOSED_LIGHT)
+    def test_interpreters_machines_and_analyzers_cohere(self, name):
+        term = PROGRAMS[name].term
+        concrete = run_direct(term, fuel=2_000_000)
+        report = run_three_way(PROGRAMS[name])
+        # machine back ends agree with the interpreter
+        if isinstance(concrete.value, int):
+            direct_value, _ = run_code(compile_direct(term), fuel=10_000_000)
+            cps_value, _ = run_code(
+                compile_cps(report.cps_term),
+                halt_kvar=TOP_KVAR,
+                fuel=10_000_000,
+            )
+            assert direct_value == concrete.value
+            assert cps_value == concrete.value
+            # and every analyzer's answer describes the result
+            for result in (report.direct, report.semantic):
+                assert DOM.abstracts(result.value.num, concrete.value)
+            assert DOM.abstracts(report.syntactic.value.num, concrete.value)
+
+    @pytest.mark.parametrize("name", CLOSED_LIGHT)
+    def test_optimizer_preserves_concrete_semantics(self, name):
+        term = PROGRAMS[name].term
+        before = run_direct(term, fuel=2_000_000)
+        optimized = optimize(term, DOM, max_rounds=3)
+        validate_anf(optimized.term)
+        after = run_direct(optimized.term, fuel=2_000_000)
+        if isinstance(before.value, int):
+            assert after.value == before.value
+
+    @pytest.mark.parametrize("name", CLOSED_LIGHT)
+    def test_optimizer_never_grows_the_answer(self, name):
+        term = PROGRAMS[name].term
+        baseline = analyze_direct(term, DOM)
+        optimized = optimize(term, DOM, max_rounds=3)
+        lattice = baseline.lattice
+        # the optimized program's analyzed value is at least as precise
+        assert lattice.domain.leq(
+            optimized.analysis.value.num, baseline.value.num
+        ) or lattice.domain.leq(
+            baseline.value.num, optimized.analysis.value.num
+        )

@@ -1,0 +1,157 @@
+"""Cross-module property tests: invariants that tie the pipeline
+together, checked on randomly generated programs.
+
+Each property here involves at least two subsystems (parser ↔ printer,
+normalizer ↔ interpreter, transformer ↔ validator ↔ analyzer), so they
+live at the top level rather than in a per-package test module.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_direct, analyze_semantic_cps
+from repro.analysis.delta import delta_value
+from repro.anf import is_anf, normalize, validate_anf
+from repro.cps import (
+    TOP_KVAR,
+    cps_transform,
+    validate_cps,
+)
+from repro.domains import ConstPropDomain, Lattice
+from repro.gen import random_closed_term
+from repro.interp import run_direct
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty, pretty_flat
+from repro.lang.rename import uniquify
+from repro.lang.syntax import (
+    free_variables,
+    has_unique_binders,
+    term_size,
+)
+
+DOM = ConstPropDomain()
+LAT = Lattice(DOM)
+
+seeds = st.integers(0, 2**32 - 1)
+depths = st.integers(1, 5)
+
+
+def gen(seed: int, depth: int):
+    return random_closed_term(random.Random(seed), depth)
+
+
+class TestParserPrinterRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(seed=seeds, depth=depths)
+    def test_pretty_parse_identity(self, seed, depth):
+        term = gen(seed, depth)
+        assert parse(pretty(term)) == term
+        assert parse(pretty_flat(term)) == term
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds, depth=depths, width=st.integers(8, 120))
+    def test_round_trip_at_any_width(self, seed, depth, width):
+        term = gen(seed, depth)
+        assert parse(pretty(term, width=width)) == term
+
+
+class TestUniquify:
+    @settings(max_examples=80, deadline=None)
+    @given(seed=seeds, depth=depths)
+    def test_establishes_invariant_and_preserves_shape(self, seed, depth):
+        term = gen(seed, depth)
+        renamed = uniquify(term)
+        assert has_unique_binders(renamed)
+        assert term_size(renamed) == term_size(term)
+        assert free_variables(renamed) == free_variables(term)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds, depth=st.integers(1, 4))
+    def test_preserves_semantics(self, seed, depth):
+        term = gen(seed, depth)
+        before = run_direct(normalize(term), fuel=500_000)
+        after = run_direct(normalize(uniquify(term)), fuel=500_000)
+        if isinstance(before.value, int):
+            assert after.value == before.value
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds, depth=depths)
+    def test_idempotent_after_first_pass(self, seed, depth):
+        renamed = uniquify(gen(seed, depth))
+        assert uniquify(renamed) == renamed
+
+
+class TestNormalization:
+    @settings(max_examples=100, deadline=None)
+    @given(seed=seeds, depth=depths)
+    def test_produces_valid_anf(self, seed, depth):
+        term = normalize(gen(seed, depth))
+        assert is_anf(term)
+        validate_anf(term)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds, depth=depths)
+    def test_idempotent(self, seed, depth):
+        term = normalize(gen(seed, depth))
+        assert normalize(term) == term
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds, depth=depths)
+    def test_preserves_free_variables(self, seed, depth):
+        term = gen(seed, depth)
+        assert free_variables(normalize(term)) == free_variables(term)
+
+
+class TestTransformWellFormedness:
+    @settings(max_examples=100, deadline=None)
+    @given(seed=seeds, depth=depths)
+    def test_cps_image_validates(self, seed, depth):
+        term = normalize(gen(seed, depth))
+        validate_cps(cps_transform(term), frozenset((TOP_KVAR,)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds, depth=depths)
+    def test_transform_deterministic(self, seed, depth):
+        term = normalize(gen(seed, depth))
+        assert cps_transform(term) == cps_transform(term)
+
+
+class TestAnalysisInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds, depth=st.integers(1, 4))
+    def test_analysis_deterministic(self, seed, depth):
+        term = normalize(gen(seed, depth))
+        first = analyze_direct(term, DOM)
+        second = analyze_direct(term, DOM)
+        assert first.answer == second.answer
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds, depth=st.integers(1, 4))
+    def test_semantic_analysis_deterministic(self, seed, depth):
+        term = normalize(gen(seed, depth))
+        first = analyze_semantic_cps(term, DOM)
+        second = analyze_semantic_cps(term, DOM)
+        assert first.answer == second.answer
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=st.integers(0, 11), b=st.integers(0, 11))
+    def test_delta_value_is_monotone(self, a, b):
+        from repro.analysis.common import A_DEC, A_INC, AbsClo
+        from repro.domains.absval import AbsVal
+        from repro.domains.constprop import BOT, TOP
+        from repro.lang.ast import Var
+
+        clo = AbsClo("x", Var("x"))
+
+        def val(seed: int) -> AbsVal:
+            num = [BOT, 0, 1, TOP][seed % 4]
+            clos = [frozenset(), frozenset({A_INC}), frozenset({clo, A_DEC})][
+                (seed // 4) % 3
+            ]
+            return AbsVal(num, clos)
+
+        x, y = val(a), val(b)
+        if LAT.leq(x, y):
+            assert LAT.leq(delta_value(x), delta_value(y))

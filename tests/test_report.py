@@ -1,0 +1,78 @@
+"""Tests for the report generator (EXPERIMENTS.md regeneration)."""
+
+from repro.report import (
+    call_cost_table,
+    computability_note,
+    cost_table,
+    generate_report,
+    loop_table,
+    routes_table,
+    witness_table,
+)
+
+
+class TestWitnessTable:
+    def test_contains_all_four_witnesses(self):
+        table = witness_table()
+        for name in (
+            "theorem-5.1",
+            "shivers-p33",
+            "theorem-5.2-conditional",
+            "theorem-5.2-two-closures",
+        ):
+            assert name in table
+
+    def test_records_both_verdict_directions(self):
+        table = witness_table()
+        assert "left-more-precise" in table
+        assert "right-more-precise" in table
+
+    def test_paper_constants_present(self):
+        table = witness_table()
+        assert "`(1, {})`" in table  # direct a1 on T5.1
+        assert "`(3, {})`" in table  # cps a2 on T5.2 case 1
+        assert "`(5, {})`" in table  # cps a2 on T5.2 case 2
+
+
+class TestCostTables:
+    def test_conditional_series_shape(self):
+        table = cost_table(lengths=(2, 4))
+        assert "| 2 | 9 | 17 | 17 |" in table
+        assert "| 4 | 19 | 89 | 89 |" in table
+
+    def test_call_chain_superexponential(self):
+        table = call_cost_table(lengths=(3,))
+        assert "| 3 | 10 | 29 | 329 |" in table
+
+
+class TestLoopTables:
+    def test_instability_around_threshold(self):
+        table = loop_table(threshold=10, bounds=(9, 10))
+        assert "| 9 | `222` |" in table
+        assert "| 10 | `⊤` |" in table
+
+    def test_computability_note(self):
+        note = computability_note()
+        assert "raises NonComputableError" in note
+        assert "matches direct" in note
+
+
+class TestRoutesTable:
+    def test_duplication_matches_cps(self):
+        table = routes_table()
+        assert "duplication + direct | `(3, {})`" in table
+        assert "syntactic-CPS | `(3, {})`" in table
+
+
+class TestFullReport:
+    def test_all_sections_present(self):
+        report = generate_report(quick=True)
+        for heading in (
+            "Theorem 5.1 / 5.2 witnesses",
+            "conditional-chain cost",
+            "call-site-chain cost",
+            "loop unrolling",
+            "computability",
+            "routes on the conditional witness",
+        ):
+            assert heading in report

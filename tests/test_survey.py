@@ -1,0 +1,114 @@
+"""Tests for the population survey tooling."""
+
+import pytest
+
+from repro import Precision
+from repro.analysis import BudgetExceeded, analyze_syntactic_cps
+from repro.corpus import THEOREM_51_WITNESS, THEOREM_52_CONDITIONAL, call_site_chain
+from repro.cps import cps_transform
+from repro.domains import ConstPropDomain
+from repro.survey import (
+    SurveyResult,
+    survey_programs,
+    survey_random,
+    survey_random_open,
+)
+
+
+class TestBudget:
+    def test_budget_exceeded_raises(self):
+        program = call_site_chain(4)  # ~70k visits unbounded
+        from repro.analysis.delta import delta_store
+        from repro.domains import AbsStore, Lattice
+
+        lattice = Lattice(ConstPropDomain())
+        initial = dict(
+            delta_store(
+                AbsStore(lattice, program.initial_for(lattice))
+            ).items()
+        )
+        with pytest.raises(BudgetExceeded):
+            analyze_syntactic_cps(
+                cps_transform(program.term),
+                ConstPropDomain(),
+                initial=initial,
+                max_visits=1_000,
+            )
+
+    def test_budget_error_carries_limit(self):
+        error = BudgetExceeded(123)
+        assert error.budget == 123
+        assert "123" in str(error)
+
+    def test_survey_counts_blowups(self):
+        result = survey_programs(
+            [call_site_chain(4)], "blowup", budget=1_000
+        )
+        assert result.budget_exceeded == 1
+        assert result.count == 0
+
+
+class TestSurveyAggregation:
+    def test_witnesses_produce_both_directions(self):
+        result = survey_programs(
+            [THEOREM_51_WITNESS, THEOREM_52_CONDITIONAL], "witnesses"
+        )
+        assert result.count == 2
+        assert (
+            result.direct_vs_syntactic[Precision.LEFT_MORE_PRECISE.value]
+            == 1
+        )
+        assert (
+            result.direct_vs_syntactic[Precision.RIGHT_MORE_PRECISE.value]
+            == 1
+        )
+
+    def test_verdict_share(self):
+        result = survey_programs([THEOREM_51_WITNESS], "one")
+        share = result.verdict_share(
+            result.direct_vs_syntactic, Precision.LEFT_MORE_PRECISE
+        )
+        assert share == 1.0
+
+    def test_empty_share_is_zero(self):
+        empty = SurveyResult("nothing")
+        assert (
+            empty.verdict_share(
+                empty.direct_vs_syntactic, Precision.EQUAL
+            )
+            == 0.0
+        )
+
+    def test_summary_mentions_population(self):
+        result = survey_programs([THEOREM_51_WITNESS], "mypop")
+        assert "mypop" in result.summary()
+
+
+class TestPopulations:
+    def test_closed_random_programs_always_agree(self):
+        result = survey_random(count=30, depth=3)
+        assert result.count == 30
+        assert result.direct_vs_syntactic == {
+            Precision.EQUAL.value: 30
+        }
+
+    def test_open_random_programs_sometimes_differ(self):
+        # over a decent sample the duplication gain appears; this is
+        # the empirical face of Theorem 5.2 (seeded, so deterministic)
+        result = survey_random_open(count=200, depth=4)
+        assert result.count == 200
+        gains = result.direct_vs_syntactic[
+            Precision.RIGHT_MORE_PRECISE.value
+        ]
+        assert gains >= 1
+        # and Theorem 5.4/5.5 inequality directions hold population-wide
+        assert (
+            result.semantic_vs_direct[Precision.RIGHT_MORE_PRECISE.value]
+            == 0
+        )
+        assert (
+            result.semantic_vs_syntactic[
+                Precision.RIGHT_MORE_PRECISE.value
+            ]
+            == 0
+        )
