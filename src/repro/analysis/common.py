@@ -8,7 +8,7 @@ statistics, and configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Callable, Hashable
 
 from repro.cps.ast import CApp, CIf0, CLam, CLoop, CPrim, CTerm
 from repro.cps.validate import cps_subterms
@@ -16,6 +16,17 @@ from repro.domains.absval import AbsVal, Lattice
 from repro.domains.store import AbsStore
 from repro.lang.ast import Lam, Num, Prim, Term, Var
 from repro.lang.syntax import subterms
+from repro.obs.events import (
+    AnalyzerVisit,
+    BudgetAborted,
+    JoinPerformed,
+    LoopDetected,
+    StoreWidened,
+    TraceEvent,
+    term_label,
+)
+from repro.obs.metrics import Metrics
+from repro.obs.sinks import NULL_SINK, Sink
 
 
 class AnalysisError(Exception):
@@ -234,40 +245,131 @@ class AnalysisStats:
     ``visits`` counts analyzer rule applications (the work measure of
     the Section 6.2 cost experiments, independent of wall clock);
     ``loop_cuts`` counts Section 4.4 loop detections; ``max_depth``
-    tracks the deepest active derivation path.
+    tracks the deepest active derivation path; ``joins`` counts
+    abstract-answer merges (branch joins and multi-closure
+    applications — where the direct analyzer loses per-path precision
+    and the CPS analyzers pay for keeping it); ``widenings`` counts
+    store bindings that strictly grew past an existing non-bottom
+    value; ``max_store_size`` is the largest abstract store observed.
     """
 
     visits: int = 0
     loop_cuts: int = 0
     max_depth: int = 0
     returns_analyzed: int = 0
+    joins: int = 0
+    widenings: int = 0
+    max_store_size: int = 0
+
+    @property
+    def loop_detections(self) -> int:
+        """Alias of ``loop_cuts`` under the obs-schema name."""
+        return self.loop_cuts
 
     def as_dict(self) -> dict[str, int]:
-        """Plain-dict view for reports."""
+        """Plain-dict view for reports (old keys stay stable)."""
         return {
             "visits": self.visits,
             "loop_cuts": self.loop_cuts,
             "max_depth": self.max_depth,
             "returns_analyzed": self.returns_analyzed,
+            "joins": self.joins,
+            "widenings": self.widenings,
+            "loop_detections": self.loop_cuts,
+            "max_store_size": self.max_store_size,
         }
 
 
 class WorkBudgetMixin:
-    """Visit counting with an optional budget (raises `BudgetExceeded`).
+    """Visit counting, tracing, and an optional budget.
 
     Analyzers call :meth:`tick` once per rule application; when
     ``max_visits`` is set, exceeding it aborts the analysis — the
     Section 6.2 exponential blowup made observable and boundable.
+    The mixin also owns the analyzer half of `repro.obs`: a trace sink
+    (events are only constructed when the sink is enabled, so the
+    `NullSink` default costs one ``is None`` check per rule) and the
+    join/widening/store-size bookkeeping shared by all analyzers.
     """
 
     stats: AnalysisStats
     max_visits: int | None = None
+    lattice: Lattice
+    analyzer_name: str = "?"
+    trace: Sink = NULL_SINK
+    metrics: Metrics | None = None
+    _emit: Callable[[TraceEvent], None] | None = None
+    _depth: int = 0
 
-    def tick(self) -> None:
+    def init_obs(self, trace: Sink | None, metrics: Metrics | None) -> None:
+        """Attach a trace sink and metrics registry (constructor
+        helper; both default to disabled)."""
+        self.trace = trace if trace is not None else NULL_SINK
+        self._emit = self.trace.emit if self.trace.enabled else None
+        self.metrics = metrics
+
+    def tick(self, subject: object = None) -> None:
         """Count one rule application, enforcing the budget."""
         self.stats.visits += 1
+        emit = self._emit
+        if emit is not None:
+            emit(
+                AnalyzerVisit(
+                    self.analyzer_name,
+                    term_label(subject) if subject is not None else "",
+                    self._depth,
+                )
+            )
         if self.max_visits is not None and self.stats.visits > self.max_visits:
+            if emit is not None:
+                emit(
+                    BudgetAborted(
+                        self.analyzer_name, self.max_visits, self.stats.visits
+                    )
+                )
             raise BudgetExceeded(self.max_visits)
+
+    def count_join(self, site: str) -> None:
+        """Count one merge of two abstract answers."""
+        self.stats.joins += 1
+        if self._emit is not None:
+            self._emit(JoinPerformed(self.analyzer_name, site))
+
+    def count_loop_cut(self, subject: object = None) -> None:
+        """Count one Section 4.4 loop detection."""
+        self.stats.loop_cuts += 1
+        if self._emit is not None:
+            self._emit(
+                LoopDetected(
+                    self.analyzer_name,
+                    term_label(subject) if subject is not None else "",
+                )
+            )
+
+    def bind_join(self, store: AbsStore, name, value: AbsVal) -> AbsStore:
+        """``sigma[x := sigma(x) u u]`` with widening/store-size
+        bookkeeping: a binding that strictly grows past an existing
+        non-bottom value counts as a widening step."""
+        before = store.get(name)
+        after = store.joined_bind(name, value)
+        size = len(after)
+        if size > self.stats.max_store_size:
+            self.stats.max_store_size = size
+        if after is not store and not self.lattice.is_bottom(before):
+            self.stats.widenings += 1
+            if self._emit is not None:
+                self._emit(
+                    StoreWidened(self.analyzer_name, str(name), size)
+                )
+        return after
+
+    def finish_metrics(self) -> None:
+        """Fold the final stats into the metrics registry (if any)
+        under ``analysis.<analyzer_name>``."""
+        if self.metrics is not None:
+            self.metrics.merge_stats(
+                f"analysis.{self.analyzer_name}", self.stats.as_dict()
+            )
 
 
 #: How the CPS analyzers treat the Section 6.2 ``loop`` construct.

@@ -48,6 +48,8 @@ from repro.lang.ast import (
     Term,
     is_value,
 )
+from repro.obs.metrics import Metrics
+from repro.obs.sinks import Sink
 
 #: Recursion headroom for deeply nested abstract derivations.
 _RECURSION_LIMIT = 100_000
@@ -66,6 +68,8 @@ class DirectAnalyzer(WorkBudgetMixin):
         initial: Mapping[str, AbsVal] | None = None,
         check: bool = True,
         max_visits: int | None = None,
+        trace: Sink | None = None,
+        metrics: Metrics | None = None,
     ) -> None:
         """Prepare an analysis of ``term``.
 
@@ -78,6 +82,10 @@ class DirectAnalyzer(WorkBudgetMixin):
             check: validate that ``term`` is in the restricted subset.
             max_visits: optional work budget; exceeding it raises
                 `BudgetExceeded`.
+            trace: optional `repro.obs` sink receiving per-rule trace
+                events (default: disabled, zero overhead).
+            metrics: optional `repro.obs` metrics registry; the final
+                stats are folded in under ``analysis.direct``.
         """
         if check:
             validate_anf(term)
@@ -89,6 +97,7 @@ class DirectAnalyzer(WorkBudgetMixin):
         self.top_value = AbsVal(self.lattice.domain.top, cl_top)
         self.stats = AnalysisStats()
         self.max_visits = max_visits
+        self.init_obs(trace, metrics)
         self._active: set[tuple[int, AbsStore]] = set()
         self._depth = 0
 
@@ -106,6 +115,7 @@ class DirectAnalyzer(WorkBudgetMixin):
         finally:
             if _RECURSION_LIMIT > previous:
                 sys.setrecursionlimit(previous)
+            self.finish_metrics()
         return AnalysisResult(
             self.analyzer_name, answer, self.stats, self.lattice
         )
@@ -134,14 +144,14 @@ class DirectAnalyzer(WorkBudgetMixin):
         self.stats.max_depth = max(self.stats.max_depth, self._depth)
         try:
             while True:
-                self.tick()
+                self.tick(term)
                 if is_value(term):
                     # Value judgments have no recursive premises, so
                     # they never need loop detection.
                     return AAnswer(self.eval_value(term, store), store)
                 key = (id(term), store)
                 if key in self._active:
-                    self.stats.loop_cuts += 1
+                    self.count_loop_cut(term)
                     return AAnswer(self.top_value, store)
                 self._active.add(key)
                 registered.append(key)
@@ -169,7 +179,7 @@ class DirectAnalyzer(WorkBudgetMixin):
                     result = self.lattice.of_num(self.lattice.domain.iota)
                 else:
                     raise TypeError(f"invalid let right-hand side: {rhs!r}")
-                store = store.joined_bind(name, result)
+                store = self.bind_join(store, name, result)
                 term = body
         finally:
             self._depth -= 1
@@ -187,6 +197,7 @@ class DirectAnalyzer(WorkBudgetMixin):
         domain = lattice.domain
         value = lattice.bottom
         out_store = store
+        seen = 0
         for clo in fun.clos:
             if clo is A_INC:
                 branch_value = lattice.of_num(domain.add1(arg.num))
@@ -195,12 +206,15 @@ class DirectAnalyzer(WorkBudgetMixin):
                 branch_value = lattice.of_num(domain.sub1(arg.num))
                 branch_store = store
             elif isinstance(clo, AbsClo):
-                entry = store.joined_bind(clo.param, arg)
+                entry = self.bind_join(store, clo.param, arg)
                 answer = self.eval(clo.body, entry)
                 branch_value, branch_store = answer.value, answer.store
             else:
                 # CPS-only closures cannot appear in a direct analysis.
                 raise TypeError(f"unexpected abstract closure {clo!r}")
+            seen += 1
+            if seen > 1:
+                self.count_join("apply")
             value = lattice.join(value, branch_value)
             out_store = out_store.join(branch_store)
         return AAnswer(value, out_store)
@@ -226,6 +240,7 @@ class DirectAnalyzer(WorkBudgetMixin):
             return AAnswer(self.lattice.bottom, store)
         then_answer = self.eval(rhs.then, store)
         else_answer = self.eval(rhs.orelse, store)
+        self.count_join("if0")
         return AAnswer(
             self.lattice.join(then_answer.value, else_answer.value),
             then_answer.store.join(else_answer.store),
@@ -246,6 +261,10 @@ def analyze_direct(
     initial: Mapping[str, AbsVal] | None = None,
     check: bool = True,
     max_visits: int | None = None,
+    trace: Sink | None = None,
+    metrics: Metrics | None = None,
 ) -> AnalysisResult:
     """Run the direct data flow analysis (Figure 4) on ``term``."""
-    return DirectAnalyzer(term, domain, initial, check, max_visits).run()
+    return DirectAnalyzer(
+        term, domain, initial, check, max_visits, trace=trace, metrics=metrics
+    ).run()

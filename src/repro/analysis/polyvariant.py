@@ -68,6 +68,8 @@ from repro.lang.ast import (
     is_value,
 )
 from repro.lang.syntax import free_variables, subterms
+from repro.obs.metrics import Metrics
+from repro.obs.sinks import Sink
 
 _RECURSION_LIMIT = 100_000
 
@@ -131,6 +133,8 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
         initial: Mapping[str, AbsVal] | None = None,
         check: bool = True,
         max_visits: int | None = None,
+        trace: Sink | None = None,
+        metrics: Metrics | None = None,
     ) -> None:
         """Prepare a k-CFA analysis of ``term``.
 
@@ -168,6 +172,7 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
         self.top_value = AbsVal(self.lattice.domain.top, frozenset(cl_top))
         self.stats = AnalysisStats()
         self.max_visits = max_visits
+        self.init_obs(trace, metrics)
         self._active: set = set()
         self._depth = 0
 
@@ -190,6 +195,7 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
         finally:
             if _RECURSION_LIMIT > previous:
                 sys.setrecursionlimit(previous)
+            self.finish_metrics()
         return PolyvariantResult(self, value, store)
 
     # ------------------------------------------------------------------
@@ -255,7 +261,7 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
         env = dict(env)
         try:
             while True:
-                self.tick()
+                self.tick(term)
                 if is_value(term):
                     return self.eval_value(term, env, store), store
                 if not isinstance(term, Let):
@@ -264,7 +270,7 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
                     )
                 key = (id(term), frozenset(env.items()), ctx, store)
                 if key in self._active:
-                    self.stats.loop_cuts += 1
+                    self.count_loop_cut(term)
                     return self.top_value, store
                 self._active.add(key)
                 registered.append(key)
@@ -289,7 +295,7 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
                     result = self.lattice.of_num(self.lattice.domain.iota)
                 else:
                     raise TypeError(f"invalid let right-hand side: {rhs!r}")
-                store = store.joined_bind(CtxVar(name, ctx), result)  # type: ignore[arg-type]
+                store = self.bind_join(store, CtxVar(name, ctx), result)
                 env[name] = ctx
                 term = body
         finally:
@@ -311,6 +317,7 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
         domain = lattice.domain
         value = lattice.bottom
         out_store = store
+        seen = 0
         for clo in fun.clos:
             if clo is A_INC:
                 branch_value = lattice.of_num(domain.add1(arg.num))
@@ -320,8 +327,8 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
                 branch_store = store
             elif isinstance(clo, PolyClo):
                 callee_ctx = _truncate(ctx + (site,), self.k)
-                entry = store.joined_bind(
-                    CtxVar(clo.param, callee_ctx), arg  # type: ignore[arg-type]
+                entry = self.bind_join(
+                    store, CtxVar(clo.param, callee_ctx), arg
                 )
                 callee_env = dict(clo.env)
                 for free in free_variables(clo.body):
@@ -335,6 +342,9 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
                 )
             else:
                 raise TypeError(f"unexpected abstract closure {clo!r}")
+            seen += 1
+            if seen > 1:
+                self.count_join("apply")
             value = lattice.join(value, branch_value)
             out_store = out_store.join(branch_store)
         return value, out_store
@@ -358,6 +368,7 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
             return self.lattice.bottom, store
         then_value, then_store = self.eval(rhs.then, env, ctx, store)
         else_value, else_store = self.eval(rhs.orelse, env, ctx, store)
+        self.count_join("if0")
         return (
             self.lattice.join(then_value, else_value),
             then_store.join(else_store),
@@ -457,8 +468,11 @@ def analyze_polyvariant(
     initial: Mapping[str, AbsVal] | None = None,
     check: bool = True,
     max_visits: int | None = None,
+    trace: Sink | None = None,
+    metrics: Metrics | None = None,
 ) -> PolyvariantResult:
     """Run the k-CFA direct data flow analysis on ``term``."""
     return PolyvariantDirectAnalyzer(
-        term, domain, k, initial, check, max_visits
+        term, domain, k, initial, check, max_visits,
+        trace=trace, metrics=metrics,
     ).run()

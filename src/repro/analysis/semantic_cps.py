@@ -49,6 +49,8 @@ from repro.domains.constprop import ConstPropDomain
 from repro.domains.protocol import NumDomain
 from repro.domains.store import AbsStore
 from repro.lang.ast import App, If0, Let, Loop, PrimApp, Term, is_value
+from repro.obs.metrics import Metrics
+from repro.obs.sinks import Sink
 
 _RECURSION_LIMIT = 100_000
 
@@ -68,6 +70,8 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
         check: bool = True,
         cut_values: bool = False,
         max_visits: int | None = None,
+        trace: Sink | None = None,
+        metrics: Metrics | None = None,
     ) -> None:
         """Prepare an analysis of ``term``.
 
@@ -86,6 +90,9 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
                 lets cuts deliver (⊤, CL⊤) straight into join frames,
                 perturbing the Theorem 5.4 relationship on recursive
                 programs; see DESIGN.md §3.5.
+            trace: optional `repro.obs` sink receiving per-rule trace
+                events (default: disabled, zero overhead).
+            metrics: optional `repro.obs` metrics registry.
         """
         if check:
             validate_anf(term)
@@ -99,6 +106,7 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
         self.cut_values = cut_values
         self.stats = AnalysisStats()
         self.max_visits = max_visits
+        self.init_obs(trace, metrics)
         self._active: set[tuple[int, AbsStore]] = set()
         self._depth = 0
 
@@ -112,6 +120,7 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
         finally:
             if _RECURSION_LIMIT > previous:
                 sys.setrecursionlimit(previous)
+            self.finish_metrics()
         return AnalysisResult(
             self.analyzer_name, answer, self.stats, self.lattice
         )
@@ -135,7 +144,7 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
         self.stats.max_depth = max(self.stats.max_depth, self._depth)
         try:
             while True:
-                self.tick()
+                self.tick(term)
                 if is_value(term) and not self.cut_values:
                     # Value judgments are not registered: any infinite
                     # derivation passes through let-headed judgments
@@ -151,7 +160,7 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
                 key = (id(term), store)
                 if key in self._active:
                     # Section 4.4: return (⊤, CL⊤) *to the continuation*.
-                    self.stats.loop_cuts += 1
+                    self.count_loop_cut(term)
                     return self.ret(kont, self.top_value, store)
                 self._active.add(key)
                 registered.append(key)
@@ -165,8 +174,8 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
                     )
                 name, rhs, body = term.name, term.rhs, term.body
                 if is_value(rhs):
-                    store = store.joined_bind(
-                        name, self.eval_value(rhs, store)
+                    store = self.bind_join(
+                        store, name, self.eval_value(rhs, store)
                     )
                     term = body
                 elif isinstance(rhs, App):
@@ -184,7 +193,7 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
                     result = self.lattice.of_num(
                         self.lattice.domain.binop(rhs.op, nums[0], nums[1])
                     )
-                    store = store.joined_bind(name, result)
+                    store = self.bind_join(store, name, result)
                     term = body
                 elif isinstance(rhs, Loop):
                     return self._loop((AFrame(name, body),) + kont, store)
@@ -217,11 +226,15 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
                     kont, lattice.of_num(domain.sub1(arg.num)), store
                 )
             elif isinstance(clo, AbsClo):
-                entry = store.joined_bind(clo.param, arg)
+                entry = self.bind_join(store, clo.param, arg)
                 branch = self.eval(clo.body, kont, entry)
             else:
                 raise TypeError(f"unexpected abstract closure {clo!r}")
-            answer = branch if answer is None else self._join(answer, branch)
+            answer = (
+                branch
+                if answer is None
+                else self._join(answer, branch, "apply")
+            )
         if answer is None:
             return AAnswer(self.lattice.bottom, store)
         return answer
@@ -241,7 +254,7 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
         self.stats.returns_analyzed += 1
         frame, rest = kont[0], kont[1:]
         return self.eval(
-            frame.body, rest, store.joined_bind(frame.name, value)
+            frame.body, rest, self.bind_join(store, frame.name, value)
         )
 
     # ------------------------------------------------------------------
@@ -267,7 +280,7 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
             return AAnswer(self.lattice.bottom, store)
         then_answer = self.eval(rhs.then, inner, store)
         else_answer = self.eval(rhs.orelse, inner, store)
-        return self._join(then_answer, else_answer)
+        return self._join(then_answer, else_answer, "if0")
 
     def _loop(self, kont: AKont, store: AbsStore) -> AAnswer:
         """Section 6.2: ``loop`` passes every natural number to the
@@ -286,11 +299,16 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
         answer: AAnswer | None = None
         for i in range(self.unroll_bound + 1):
             branch = self.ret(kont, lattice.of_const(i), store)
-            answer = branch if answer is None else self._join(answer, branch)
+            answer = (
+                branch
+                if answer is None
+                else self._join(answer, branch, "loop")
+            )
         assert answer is not None
         return answer
 
-    def _join(self, a: AAnswer, b: AAnswer) -> AAnswer:
+    def _join(self, a: AAnswer, b: AAnswer, site: str = "join") -> AAnswer:
+        self.count_join(site)
         return AAnswer(
             self.lattice.join(a.value, b.value), a.store.join(b.store)
         )
@@ -304,9 +322,11 @@ def analyze_semantic_cps(
     unroll_bound: int = 32,
     check: bool = True,
     max_visits: int | None = None,
+    trace: Sink | None = None,
+    metrics: Metrics | None = None,
 ) -> AnalysisResult:
     """Run the semantic-CPS data flow analysis (Figure 5) on ``term``."""
     return SemanticCpsAnalyzer(
         term, domain, initial, loop_mode, unroll_bound, check,
-        max_visits=max_visits,
+        max_visits=max_visits, trace=trace, metrics=metrics,
     ).run()

@@ -59,6 +59,8 @@ from repro.domains.absval import AbsVal, Lattice
 from repro.domains.constprop import ConstPropDomain
 from repro.domains.protocol import NumDomain
 from repro.domains.store import AbsStore
+from repro.obs.metrics import Metrics
+from repro.obs.sinks import Sink
 
 _RECURSION_LIMIT = 100_000
 
@@ -78,6 +80,8 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
         unroll_bound: int = 32,
         check: bool = True,
         max_visits: int | None = None,
+        trace: Sink | None = None,
+        metrics: Metrics | None = None,
     ) -> None:
         """Prepare an analysis of the cps(A) program ``term``.
 
@@ -93,6 +97,9 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
                 'top', or 'unroll').
             unroll_bound: iterations joined in 'unroll' mode.
             check: validate the cps(A) grammar and scoping.
+            trace: optional `repro.obs` sink receiving per-rule trace
+                events (default: disabled, zero overhead).
+            metrics: optional `repro.obs` metrics registry.
         """
         if check:
             validate_cps(term, frozenset((top_kvar,)))
@@ -112,6 +119,7 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
         self.unroll_bound = unroll_bound
         self.stats = AnalysisStats()
         self.max_visits = max_visits
+        self.init_obs(trace, metrics)
         self._active: set[tuple[int, AbsStore]] = set()
         self._depth = 0
 
@@ -125,6 +133,7 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
         finally:
             if _RECURSION_LIMIT > previous:
                 sys.setrecursionlimit(previous)
+            self.finish_metrics()
         return AnalysisResult(
             self.analyzer_name, answer, self.stats, self.lattice
         )
@@ -162,11 +171,11 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
             while True:
                 key = (id(term), store)
                 if key in self._active:
-                    self.stats.loop_cuts += 1
+                    self.count_loop_cut(term)
                     return AAnswer(self.top_value, store)
                 self._active.add(key)
                 registered.append(key)
-                self.tick()
+                self.tick(term)
 
                 match term:
                     case KApp(kvar, value):
@@ -176,8 +185,8 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
                         result = self.eval_value(value, store)
                         return self.ret(kont_val, result, store)
                     case CLet(name, value, body):
-                        store = store.joined_bind(
-                            name, self.eval_value(value, store)
+                        store = self.bind_join(
+                            store, name, self.eval_value(value, store)
                         )
                         term = body
                     case CApp(fun, arg, klam):
@@ -198,7 +207,7 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
                         result = self.lattice.of_num(
                             self.lattice.domain.binop(op, nums[0], nums[1])
                         )
-                        store = store.joined_bind(name, result)
+                        store = self.bind_join(store, name, result)
                         term = body
                     case CLoop(klam):
                         kont_val = self.lattice.of_konts(
@@ -234,13 +243,19 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
                     kont_val, lattice.of_num(domain.sub1(arg.num)), store
                 )
             elif isinstance(clo, AbsCpsClo):
-                entry = store.joined_bind(clo.param, arg).joined_bind(
-                    clo.kparam, kont_val
+                entry = self.bind_join(
+                    self.bind_join(store, clo.param, arg),
+                    clo.kparam,
+                    kont_val,
                 )
                 branch = self.eval(clo.body, entry)
             else:
                 raise TypeError(f"unexpected abstract closure {clo!r}")
-            answer = branch if answer is None else self._join(answer, branch)
+            answer = (
+                branch
+                if answer is None
+                else self._join(answer, branch, "apply")
+            )
         if answer is None:
             return AAnswer(self.lattice.bottom, store)
         return answer
@@ -262,11 +277,15 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
                 branch = AAnswer(value, store)
             elif isinstance(kont, AbsCo):
                 branch = self.eval(
-                    kont.body, store.joined_bind(kont.param, value)
+                    kont.body, self.bind_join(store, kont.param, value)
                 )
             else:
                 raise TypeError(f"unexpected abstract continuation {kont!r}")
-            answer = branch if answer is None else self._join(answer, branch)
+            answer = (
+                branch
+                if answer is None
+                else self._join(answer, branch, "return")
+            )
         if answer is None:
             return AAnswer(self.lattice.bottom, store)
         return answer
@@ -293,8 +312,8 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
         nonzero_possible = domain.may_be_nonzero(test_v.num) or bool(
             test_v.clos
         )
-        bound = store.joined_bind(
-            kvar, self.lattice.of_konts(AbsCo(klam.param, klam.body))
+        bound = self.bind_join(
+            store, kvar, self.lattice.of_konts(AbsCo(klam.param, klam.body))
         )
         if zero_possible and not nonzero_possible:
             return self.eval(then, bound)
@@ -304,7 +323,7 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
             return AAnswer(self.lattice.bottom, store)
         then_answer = self.eval(then, bound)
         else_answer = self.eval(orelse, bound)
-        return self._join(then_answer, else_answer)
+        return self._join(then_answer, else_answer, "if0")
 
     def _loop(self, kont_val: AbsVal, store: AbsStore) -> AAnswer:
         """Section 6.2 ``loop``: same undecidability as the semantic
@@ -324,11 +343,16 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
         answer: AAnswer | None = None
         for i in range(self.unroll_bound + 1):
             branch = self.ret(kont_val, lattice.of_const(i), store)
-            answer = branch if answer is None else self._join(answer, branch)
+            answer = (
+                branch
+                if answer is None
+                else self._join(answer, branch, "loop")
+            )
         assert answer is not None
         return answer
 
-    def _join(self, a: AAnswer, b: AAnswer) -> AAnswer:
+    def _join(self, a: AAnswer, b: AAnswer, site: str = "join") -> AAnswer:
+        self.count_join(site)
         return AAnswer(
             self.lattice.join(a.value, b.value), a.store.join(b.store)
         )
@@ -343,9 +367,11 @@ def analyze_syntactic_cps(
     unroll_bound: int = 32,
     check: bool = True,
     max_visits: int | None = None,
+    trace: Sink | None = None,
+    metrics: Metrics | None = None,
 ) -> AnalysisResult:
     """Run the syntactic-CPS data flow analysis (Figure 6)."""
     return SyntacticCpsAnalyzer(
         term, domain, initial, top_kvar, loop_mode, unroll_bound, check,
-        max_visits=max_visits,
+        max_visits=max_visits, trace=trace, metrics=metrics,
     ).run()

@@ -15,6 +15,7 @@ store to the CPS side.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -39,6 +40,8 @@ from repro.domains.protocol import NumDomain
 from repro.domains.store import AbsStore
 from repro.lang.ast import Term, TERM_CLASSES
 from repro.lang.parser import parse
+from repro.obs.metrics import Metrics
+from repro.obs.sinks import NULL_SINK, Sink
 
 
 def prepare(program: "str | Term | CorpusProgram") -> Term:
@@ -96,6 +99,23 @@ class ThreeWayReport:
         ]
         return "\n".join(lines)
 
+    def work_summary(self) -> str:
+        """A per-analyzer table of the obs work counters — the paper's
+        direct-vs-CPS cost comparison (Section 6.2) on this program."""
+        header = (
+            f"{'analyzer':14} {'visits':>8} {'joins':>7} {'widenings':>10} "
+            f"{'loop_cuts':>10} {'returns':>8} {'max_store':>10}"
+        )
+        lines = [header]
+        for result in (self.direct, self.semantic, self.syntactic):
+            stats = result.stats
+            lines.append(
+                f"{result.analyzer:14} {stats.visits:>8} {stats.joins:>7} "
+                f"{stats.widenings:>10} {stats.loop_cuts:>10} "
+                f"{stats.returns_analyzed:>8} {stats.max_store_size:>10}"
+            )
+        return "\n".join(lines)
+
 
 def run_three_way(
     program: "str | Term | CorpusProgram",
@@ -104,6 +124,8 @@ def run_three_way(
     loop_mode: str = "reject",
     unroll_bound: int = 32,
     max_visits: int | None = None,
+    trace: Sink = NULL_SINK,
+    metrics: Metrics | None = None,
 ) -> ThreeWayReport:
     """Run all three analyzers on one program.
 
@@ -119,6 +141,11 @@ def run_three_way(
         max_visits: optional per-analyzer work budget (the CPS
             analyzers are worst-case exponential, Section 6.2);
             exceeding it raises `BudgetExceeded`.
+        trace: optional `repro.obs` sink shared by all three analyzers
+            (events carry the analyzer name; default: disabled).
+        metrics: optional `repro.obs` registry; each analyzer gets an
+            ``analyze.<name>`` timing span and folds its stats in
+            under ``analysis.<name>``.
 
     Returns:
         A `ThreeWayReport` with the three results and pairwise verdicts.
@@ -132,21 +159,36 @@ def run_three_way(
     cps_initial = dict(
         delta_store(AbsStore(lattice, initial)).items()
     )
-    direct = analyze_direct(term, domain, initial=initial, max_visits=max_visits)
-    semantic = analyze_semantic_cps(
-        term,
-        domain,
-        initial=initial,
-        loop_mode=loop_mode,
-        unroll_bound=unroll_bound,
-        max_visits=max_visits,
-    )
-    syntactic = analyze_syntactic_cps(
-        cps_term,
-        domain,
-        initial=cps_initial,
-        loop_mode=loop_mode,
-        unroll_bound=unroll_bound,
-        max_visits=max_visits,
-    )
+    span = metrics.span if metrics is not None else nullcontext
+    with span("analyze.direct"):
+        direct = analyze_direct(
+            term,
+            domain,
+            initial=initial,
+            max_visits=max_visits,
+            trace=trace,
+            metrics=metrics,
+        )
+    with span("analyze.semantic-cps"):
+        semantic = analyze_semantic_cps(
+            term,
+            domain,
+            initial=initial,
+            loop_mode=loop_mode,
+            unroll_bound=unroll_bound,
+            max_visits=max_visits,
+            trace=trace,
+            metrics=metrics,
+        )
+    with span("analyze.syntactic-cps"):
+        syntactic = analyze_syntactic_cps(
+            cps_term,
+            domain,
+            initial=cps_initial,
+            loop_mode=loop_mode,
+            unroll_bound=unroll_bound,
+            max_visits=max_visits,
+            trace=trace,
+            metrics=metrics,
+        )
     return ThreeWayReport(term, cps_term, direct, semantic, syntactic)

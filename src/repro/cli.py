@@ -5,10 +5,16 @@ Commands
 
 - ``run``      evaluate a program with one of the three interpreters
 - ``analyze``  run the three data flow analyzers and print the facts
+- ``trace``    emit a JSONL `repro.obs` trace of interpreter (and,
+  optionally, analyzer) transitions
 - ``anf``      print the A-normal form of a program
 - ``cps``      print the CPS transform of a program
 - ``optimize`` run the analysis-driven optimizer and print the result
 - ``graph``    print the call or flow graph as Graphviz DOT
+
+``run``, ``analyze``, and ``dataflow`` accept ``--stats`` to print the
+`repro.obs` work counters (visits, joins, widenings, loop cuts, span
+timings) after their normal output.
 
 Programs are read from a file argument, or from ``-e SOURCE`` for
 inline text.  Free variables can be given concrete values (``run``)
@@ -44,6 +50,7 @@ from repro.interp import run_direct, run_semantic_cps, run_syntactic_cps
 from repro.interp.values import Env, Store
 from repro.lang import parse, pretty
 from repro.lang.syntax import free_variables
+from repro.obs import NULL_SINK, JsonlSink, Metrics, RecordingSink
 from repro.opt import optimize
 
 DOMAINS = {
@@ -91,9 +98,7 @@ def _add_program_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    term = _load_term(args)
-    values = _parse_assumes(args.assume)
+def _concrete_bindings(term, values: dict[str, int]):
     env, store = Env(), Store()
     for name, value in values.items():
         loc = store.new(name)
@@ -102,17 +107,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
     missing = free_variables(term) - set(values)
     if missing:
         raise SystemExit(f"unbound free variables: {sorted(missing)}")
+    return env, store
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    term = _load_term(args)
+    values = _parse_assumes(args.assume)
+    env, store = _concrete_bindings(term, values)
+    sink = RecordingSink() if args.stats else NULL_SINK
     if args.interpreter == "direct":
-        answer = run_direct(term, env=env, store=store, fuel=args.fuel)
+        answer = run_direct(
+            term, env=env, store=store, fuel=args.fuel, trace=sink
+        )
     elif args.interpreter == "semantic":
-        answer = run_semantic_cps(term, env=env, store=store, fuel=args.fuel)
+        answer = run_semantic_cps(
+            term, env=env, store=store, fuel=args.fuel, trace=sink
+        )
     else:
-        answer = run_syntactic_cps(cps_transform(term), fuel=args.fuel)
         if values:
             raise SystemExit(
                 "--assume is not supported with the syntactic interpreter"
             )
+        answer = run_syntactic_cps(
+            cps_transform(term), fuel=args.fuel, trace=sink
+        )
     print(answer.value)
+    if args.stats:
+        steps = len(sink.by_kind("interp.step"))
+        print(
+            f"; steps: {steps}, fuel remaining: {args.fuel - steps}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -126,16 +151,28 @@ def _analysis_initial(term, lattice: Lattice, assumes: dict[str, int]):
     return initial
 
 
+def _print_metrics_snapshot(metrics: Metrics) -> None:
+    import json
+
+    print("\nmetrics snapshot:")
+    print(json.dumps(metrics.snapshot(), indent=2, ensure_ascii=False))
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     term = _load_term(args)
     domain = DOMAINS[args.domain]()
     lattice = Lattice(domain)
     initial = _analysis_initial(term, lattice, _parse_assumes(args.assume))
+    metrics = Metrics() if args.stats else None
     if args.json:
         import json
 
         report = run_three_way(
-            term, domain=domain, initial=initial, loop_mode=args.loop_mode
+            term,
+            domain=domain,
+            initial=initial,
+            loop_mode=args.loop_mode,
+            metrics=metrics,
         )
         payload = {
             "direct": report.direct.to_dict(),
@@ -147,17 +184,30 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 "semantic_vs_syntactic": report.semantic_vs_syntactic.value,
             },
         }
+        if metrics is not None:
+            payload["metrics"] = metrics.snapshot()
         print(json.dumps(payload, indent=2, ensure_ascii=False))
         return 0
     if args.k is not None:
-        result = analyze_polyvariant(term, domain, k=args.k, initial=initial)
+        result = analyze_polyvariant(
+            term, domain, k=args.k, initial=initial, metrics=metrics
+        )
         collapsed = result.collapse()
         print(f"value: {collapsed.value!r}")
         for name in sorted(collapsed.variables()):
             print(f"  {name:12} {collapsed.value_of(name)!r}")
+        if metrics is not None:
+            print("\nper-analyzer work:")
+            for key, value in sorted(result.stats.as_dict().items()):
+                print(f"  {key:18} {value}")
+            _print_metrics_snapshot(metrics)
         return 0
     report = run_three_way(
-        term, domain=domain, initial=initial, loop_mode=args.loop_mode
+        term,
+        domain=domain,
+        initial=initial,
+        loop_mode=args.loop_mode,
+        metrics=metrics,
     )
     print(report.summary())
     print("\nper-variable facts (direct analyzer):")
@@ -166,6 +216,80 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         constant = report.direct.constant_of(name)
         suffix = f"   == {constant}" if constant is not None else ""
         print(f"  {name:12} {value!r}{suffix}")
+    if metrics is not None:
+        print("\nper-analyzer work (Section 6.2 cost comparison):")
+        print(report.work_summary())
+        _print_metrics_snapshot(metrics)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.interp.errors import Diverged, FuelExhausted
+
+    term = _load_term(args)
+    values = _parse_assumes(args.assume)
+    _concrete_bindings(term, values)  # fail early on unbound variables
+    if args.interpreter == "syntactic" and values:
+        raise SystemExit(
+            "--assume is not supported with the syntactic interpreter"
+        )
+    wanted = (
+        ("direct", "semantic", "syntactic")
+        if args.interpreter == "all"
+        else (args.interpreter,)
+    )
+    try:
+        sink = JsonlSink(args.out) if args.out else JsonlSink(sys.stdout)
+    except OSError as exc:
+        raise SystemExit(f"cannot open trace output: {exc}")
+    notes: list[str] = []
+    try:
+        for which in wanted:
+            try:
+                if which == "direct":
+                    env, store = _concrete_bindings(term, values)
+                    run_direct(
+                        term, env=env, store=store,
+                        fuel=args.fuel, trace=sink,
+                    )
+                elif which == "semantic":
+                    env, store = _concrete_bindings(term, values)
+                    run_semantic_cps(
+                        term, env=env, store=store,
+                        fuel=args.fuel, trace=sink,
+                    )
+                elif values:
+                    notes.append(
+                        "syntactic interpreter skipped: --assume given"
+                    )
+                else:
+                    run_syntactic_cps(
+                        cps_transform(term), fuel=args.fuel, trace=sink
+                    )
+            except Diverged:
+                notes.append(f"{which} interpreter diverged (loop)")
+            except FuelExhausted:
+                notes.append(f"{which} interpreter ran out of fuel")
+        if args.analyzers:
+            domain = DOMAINS[args.domain]()
+            lattice = Lattice(domain)
+            initial = _analysis_initial(
+                term, lattice, _parse_assumes(args.assume)
+            )
+            run_three_way(
+                term,
+                domain=domain,
+                initial=initial,
+                loop_mode=args.loop_mode,
+                trace=sink,
+            )
+        emitted = sink.emitted
+    finally:
+        sink.close()
+    for note in notes:
+        print(f"; {note}", file=sys.stderr)
+    if args.out:
+        print(f"; {emitted} events -> {args.out}", file=sys.stderr)
     return 0
 
 
@@ -231,7 +355,47 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--fuel", type=int, default=1_000_000, help="step budget"
     )
+    run_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print step counts (repro.obs) to stderr",
+    )
     run_parser.set_defaults(handler=_cmd_run)
+
+    trace_parser = commands.add_parser(
+        "trace",
+        help="emit a JSONL repro.obs trace of interpreter transitions",
+    )
+    _add_program_arguments(trace_parser)
+    trace_parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="trace file (default: stdout)",
+    )
+    trace_parser.add_argument(
+        "--interpreter",
+        choices=("all", "direct", "semantic", "syntactic"),
+        default="all",
+        help="which Figure 1-3 interpreter(s) to trace",
+    )
+    trace_parser.add_argument(
+        "--analyzers",
+        action="store_true",
+        help="also trace the three Figure 4-6 analyzers",
+    )
+    trace_parser.add_argument(
+        "--domain", choices=sorted(DOMAINS), default="constprop"
+    )
+    trace_parser.add_argument(
+        "--loop-mode",
+        choices=("reject", "top", "unroll"),
+        default="top",
+        help="`loop` handling when tracing the CPS analyzers",
+    )
+    trace_parser.add_argument(
+        "--fuel", type=int, default=1_000_000, help="step budget"
+    )
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     analyze_parser = commands.add_parser(
         "analyze", help="run the data flow analyzers"
@@ -257,6 +421,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the three-way report as JSON",
+    )
+    analyze_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the repro.obs work counters and metrics snapshot",
     )
     analyze_parser.set_defaults(handler=_cmd_analyze)
 
@@ -345,6 +514,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="propagate test=0 along then-edges",
     )
+    dataflow_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the solvers' repro.obs metrics snapshot",
+    )
     dataflow_parser.set_defaults(handler=_cmd_dataflow)
     return parser
 
@@ -369,9 +543,10 @@ def _cmd_dataflow(args: argparse.Namespace) -> int:
         "mfp": solve_mfp,
         "mop": solve_mop,
     }
+    metrics = Metrics() if args.stats else None
     wanted = ("mfp", "mop") if args.solver == "both" else (args.solver,)
     for which in wanted:
-        solution = solvers[which](problem)
+        solution = solvers[which](problem, metrics=metrics)
         exit_facts = solution[problem.exit_point]
         print(f"[{which.upper()}] facts at exit:")
         if exit_facts is None:
@@ -379,6 +554,8 @@ def _cmd_dataflow(args: argparse.Namespace) -> int:
             continue
         for name in sorted(exit_facts):
             print(f"  {name:12} {exit_facts[name]!r}")
+    if metrics is not None:
+        _print_metrics_snapshot(metrics)
     return 0
 
 

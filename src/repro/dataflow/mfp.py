@@ -14,31 +14,68 @@ from collections import deque
 from typing import Hashable
 
 from repro.dataflow.framework import ENTRY, DataflowProblem, Facts
+from repro.obs.events import CacheHit, SolverIteration
+from repro.obs.metrics import Metrics
+from repro.obs.sinks import NULL_SINK, Sink
 
 
-def solve_mfp(problem: DataflowProblem) -> dict[str, Facts]:
+def solve_mfp(
+    problem: DataflowProblem,
+    trace: Sink = NULL_SINK,
+    metrics: Metrics | None = None,
+) -> dict[str, Facts]:
     """Solve a dataflow problem by worklist iteration.
+
+    Args:
+        problem: the dataflow problem to solve.
+        trace: optional `repro.obs` sink; one ``dataflow.iteration``
+            event per worklist pop, plus a ``cache.hit`` event for
+            every edge delivery that left the destination unchanged.
+        metrics: optional registry; records ``mfp.iterations``,
+            ``mfp.edges_delivered``, ``mfp.joins``, ``mfp.cache_hits``
+            counters and the ``mfp.worklist_depth`` high-water gauge.
 
     Returns:
         The post-state fact table at every program point (None for
         unreachable points).
     """
+    emit = trace.emit if trace.enabled else None
     facts: dict[str, Facts] = {point: None for point in problem.points}
     facts[ENTRY] = dict(problem.entry_facts)
     successors: dict[str, list] = {point: [] for point in problem.points}
     for edge in problem.edges:
         successors[edge.src].append(edge)
 
+    iterations = deliveries = joins = hits = max_pending = 0
     worklist: deque[str] = deque([ENTRY])
     while worklist:
+        if len(worklist) > max_pending:
+            max_pending = len(worklist)
         point = worklist.popleft()
+        iterations += 1
+        if emit is not None:
+            emit(SolverIteration("mfp", point, len(worklist)))
         current = facts[point]
         for edge in successors[point]:
             delivered = edge.transfer(current)
+            deliveries += 1
             joined = problem.join_facts(facts[edge.dst], delivered)
+            joins += 1
             if joined != facts[edge.dst]:
                 facts[edge.dst] = joined
                 worklist.append(edge.dst)
+            else:
+                # The stored facts already cover the delivery — the
+                # fixpoint cache absorbed this edge.
+                hits += 1
+                if emit is not None:
+                    emit(CacheHit("mfp", edge.dst))
+    if metrics is not None:
+        metrics.counter("mfp.iterations").inc(iterations)
+        metrics.counter("mfp.edges_delivered").inc(deliveries)
+        metrics.counter("mfp.joins").inc(joins)
+        metrics.counter("mfp.cache_hits").inc(hits)
+        metrics.gauge("mfp.worklist_depth").set_max(max_pending)
     return facts
 
 

@@ -16,6 +16,9 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.dataflow.framework import ENTRY, DataflowProblem, Facts
+from repro.obs.events import SolverIteration
+from repro.obs.metrics import Metrics
+from repro.obs.sinks import NULL_SINK, Sink
 
 
 class PathExplosion(Exception):
@@ -27,7 +30,10 @@ class PathExplosion(Exception):
 
 
 def solve_mop(
-    problem: DataflowProblem, max_paths: int = 100_000
+    problem: DataflowProblem,
+    max_paths: int = 100_000,
+    trace: Sink = NULL_SINK,
+    metrics: Metrics | None = None,
 ) -> dict[str, Facts]:
     """Solve a dataflow problem by explicit path enumeration.
 
@@ -35,10 +41,18 @@ def solve_mop(
         problem: the problem (its flow graph must be acyclic, which
             ANF graphs are).
         max_paths: explosion budget; `PathExplosion` beyond it.
+        trace: optional `repro.obs` sink; one ``dataflow.iteration``
+            event per path step.
+        metrics: optional registry; records ``mop.steps``,
+            ``mop.paths``, ``mop.joins``, ``mop.infeasible`` counters
+            and the ``mop.stack_depth`` high-water gauge — the
+            Section 6.2 duplication cost made directly comparable with
+            the MFP counters.
 
     Returns:
         The join-over-all-paths post-state at every program point.
     """
+    emit = trace.emit if trace.enabled else None
     facts: dict[str, Facts] = {point: None for point in problem.points}
     entry: Facts = dict(problem.entry_facts)
     facts[ENTRY] = dict(entry)
@@ -46,11 +60,16 @@ def solve_mop(
     for edge in problem.edges:
         successors[edge.src].append(edge)
 
-    paths_seen = 0
+    paths_seen = steps = joins = infeasible = max_stack = 0
     # depth-first enumeration of all paths, carrying the composed facts
     stack: list[tuple[str, Facts]] = [(ENTRY, entry)]
     while stack:
+        if len(stack) > max_stack:
+            max_stack = len(stack)
         point, carried = stack.pop()
+        steps += 1
+        if emit is not None:
+            emit(SolverIteration("mop", point, len(stack)))
         outgoing = successors[point]
         if not outgoing:
             paths_seen += 1
@@ -60,9 +79,17 @@ def solve_mop(
         for edge in outgoing:
             delivered = edge.transfer(carried)
             if delivered is None:
+                infeasible += 1
                 continue  # infeasible path
             facts[edge.dst] = problem.join_facts(facts[edge.dst], delivered)
+            joins += 1
             stack.append((edge.dst, delivered))
+    if metrics is not None:
+        metrics.counter("mop.steps").inc(steps)
+        metrics.counter("mop.paths").inc(paths_seen)
+        metrics.counter("mop.joins").inc(joins)
+        metrics.counter("mop.infeasible").inc(infeasible)
+        metrics.gauge("mop.stack_depth").set_max(max_stack)
     return facts
 
 

@@ -36,6 +36,8 @@ from repro.lang.ast import (
     Var,
     is_value,
 )
+from repro.obs.events import InterpStep, term_label
+from repro.obs.sinks import NULL_SINK, Sink
 
 #: Default step budget for evaluation.
 DEFAULT_FUEL = 100_000
@@ -49,13 +51,21 @@ OPERATIONS = {
 
 
 class Fuel:
-    """A mutable step budget shared across an evaluation."""
+    """A mutable step budget shared across an evaluation.
 
-    __slots__ = ("remaining", "budget")
+    The fuel meter is threaded through every interpreter transition
+    already, so it also carries the `repro.obs` trace sink: ``emit``
+    is the sink's bound method when tracing is on, None otherwise —
+    producers pay one attribute check per step on the disabled path.
+    """
 
-    def __init__(self, budget: int) -> None:
+    __slots__ = ("remaining", "budget", "trace", "emit")
+
+    def __init__(self, budget: int, trace: Sink = NULL_SINK) -> None:
         self.budget = budget
         self.remaining = budget
+        self.trace = trace
+        self.emit = trace.emit if trace.enabled else None
 
     def tick(self) -> None:
         """Consume one step, raising `FuelExhausted` at zero."""
@@ -104,6 +114,8 @@ def _branch_index(test: DirectValue) -> bool:
 def _eval(term: Term, env: Env, store: Store, fuel: Fuel) -> DirectValue:
     while True:
         fuel.tick()
+        if fuel.emit is not None:
+            fuel.emit(InterpStep("direct", term_label(term), fuel.remaining))
         if is_value(term):
             return evaluate_value(term, env, store)
         if not isinstance(term, Let):
@@ -143,6 +155,7 @@ def run_direct(
     store: Store | None = None,
     fuel: int = DEFAULT_FUEL,
     check: bool = True,
+    trace: Sink = NULL_SINK,
 ) -> Answer:
     """Evaluate an A-normal form ``term`` with the direct interpreter.
 
@@ -153,6 +166,9 @@ def run_direct(
             with free variables.
         fuel: step budget; `FuelExhausted` is raised when it runs out.
         check: validate that ``term`` is in the restricted subset.
+        trace: optional `repro.obs` sink receiving one
+            ``interp.step`` event per machine transition (default:
+            disabled, zero overhead).
 
     Returns:
         The final `Answer` (value and store).
@@ -170,7 +186,7 @@ def run_direct(
     if wanted > previous_limit:
         sys.setrecursionlimit(wanted)
     try:
-        value = _eval(term, env, store, Fuel(fuel))
+        value = _eval(term, env, store, Fuel(fuel, trace))
     except RecursionError:
         raise StackOverflow() from None
     finally:

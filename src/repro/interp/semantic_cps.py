@@ -26,6 +26,8 @@ from repro.interp.values import (
     expect_number,
 )
 from repro.lang.ast import App, If0, Let, Loop, PrimApp, Term, is_value
+from repro.obs.events import InterpStep, term_label
+from repro.obs.sinks import NULL_SINK, Sink
 
 
 def run_semantic_cps(
@@ -35,18 +37,20 @@ def run_semantic_cps(
     kont: Kont = (),
     fuel: int = DEFAULT_FUEL,
     check: bool = True,
+    trace: Sink = NULL_SINK,
 ) -> Answer:
     """Evaluate an A-normal form ``term`` with the semantic-CPS machine.
 
     By Lemma 3.1 the result coincides with
     :func:`repro.interp.direct.run_direct` (the test suite checks this
-    on the corpus and on random programs).
+    on the corpus and on random programs).  ``trace`` receives one
+    ``interp.step`` event per machine transition when enabled.
     """
     if check:
         validate_anf(term)
     env = env if env is not None else Env()
     store = store if store is not None else Store()
-    meter = Fuel(fuel)
+    meter = Fuel(fuel, trace)
     stack: list[Frame] = list(reversed(kont))  # top of stack = end of list
 
     def bind(target_env: Env, name: str, value: DirectValue) -> Env:
@@ -56,6 +60,10 @@ def run_semantic_cps(
 
     while True:
         meter.tick()
+        if meter.emit is not None:
+            meter.emit(
+                InterpStep("semantic-cps", term_label(term), meter.remaining)
+            )
         # --- C: evaluate the current term ------------------------------
         if is_value(term):
             value = evaluate_value(term, env, store)

@@ -31,6 +31,8 @@ from repro.cps.ast import (
 from repro.cps.transform import TOP_KVAR
 from repro.cps.validate import validate_cps
 from repro.interp.direct import DEFAULT_FUEL, OPERATIONS, Fuel
+from repro.obs.events import InterpStep, term_label
+from repro.obs.sinks import NULL_SINK, Sink
 from repro.interp.errors import Diverged, StuckError
 from repro.interp.values import (
     DECK,
@@ -70,11 +72,14 @@ def run_syntactic_cps(
     top_kvar: str = TOP_KVAR,
     fuel: int = DEFAULT_FUEL,
     check: bool = True,
+    trace: Sink = NULL_SINK,
 ) -> Answer:
     """Evaluate a cps(A) program with the interpreter of Figure 3.
 
     The top continuation variable ``top_kvar`` is bound to ``stop`` in
-    the initial environment and store, as in Lemma 3.3.
+    the initial environment and store, as in Lemma 3.3.  ``trace``
+    receives one ``interp.step`` event per machine transition when
+    enabled (``apply``/``return`` transitions are labelled by kind).
     """
     if check:
         validate_cps(term, frozenset((top_kvar,)))
@@ -84,7 +89,7 @@ def run_syntactic_cps(
         loc = store.new(top_kvar)
         store.bind(loc, STOP)
         env = env.bind(top_kvar, loc)
-    meter = Fuel(fuel)
+    meter = Fuel(fuel, trace)
 
     def bind(target_env: Env, name: str, value: CpsValue) -> Env:
         loc = store.new(name)
@@ -95,6 +100,11 @@ def run_syntactic_cps(
     while True:
         meter.tick()
         kind = state[0]
+        if meter.emit is not None:
+            label = term_label(state[1]) if kind == "eval" else kind
+            meter.emit(
+                InterpStep("syntactic-cps", label, meter.remaining)
+            )
         if kind == "eval":
             _, term, env = state
             match term:

@@ -1,0 +1,71 @@
+"""Structured observability for the reproduction (`repro.obs`).
+
+The paper's empirical question — does CPS make data flow analysis do
+*more work* than direct style (Sections 4-6, and the worst-case
+duplication of Section 6.2)? — deserves more than a single ``visits``
+counter.  This subsystem provides:
+
+- an event model (:mod:`repro.obs.events`): typed `TraceEvent` records
+  for interpreter transitions, analyzer rule applications, joins,
+  store widenings, loop detections, budget aborts, cache hits, and
+  solver iterations;
+- pluggable sinks (:mod:`repro.obs.sinks`): `NullSink` (the
+  zero-overhead default — producers skip event construction entirely
+  when the sink is disabled), `JsonlSink` (one JSON object per line),
+  and `RecordingSink` (in-memory, for tests and ad-hoc inspection);
+- a metrics registry (:mod:`repro.obs.metrics`): counters, gauges,
+  histograms, and `span()` timing contexts built on
+  ``time.perf_counter``, with a ``snapshot()`` → dict API.
+
+Every interpreter (:mod:`repro.interp`), analyzer
+(:mod:`repro.analysis`), and classical solver (:mod:`repro.dataflow`)
+accepts a ``trace`` sink (and, where natural, a `Metrics` registry);
+the CLI exposes them as ``python -m repro trace`` and ``--stats``.
+
+The cardinal rule: with the default `NullSink`, behaviour and results
+are identical to an uninstrumented run — the disabled path constructs
+no event objects (the test suite pins this).
+"""
+
+from repro.obs.events import (
+    AnalyzerVisit,
+    BudgetAborted,
+    CacheHit,
+    InterpStep,
+    JoinPerformed,
+    LoopDetected,
+    SolverIteration,
+    StoreWidened,
+    TraceEvent,
+    term_label,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
+from repro.obs.sinks import (
+    NULL_SINK,
+    JsonlSink,
+    NullSink,
+    RecordingSink,
+    Sink,
+)
+
+__all__ = [
+    "TraceEvent",
+    "InterpStep",
+    "AnalyzerVisit",
+    "JoinPerformed",
+    "StoreWidened",
+    "LoopDetected",
+    "BudgetAborted",
+    "CacheHit",
+    "SolverIteration",
+    "term_label",
+    "Sink",
+    "NullSink",
+    "NULL_SINK",
+    "JsonlSink",
+    "RecordingSink",
+    "Metrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+]

@@ -1,0 +1,144 @@
+"""Typed trace events.
+
+Every observable transition in the system is one frozen dataclass with
+a class-level ``kind`` tag (dotted, ``component.action``).  Events are
+plain data: producers construct them only when their sink is enabled,
+sinks decide what to do with them, and ``as_dict()`` gives the stable
+JSON-serializable schema documented in docs/OBSERVABILITY.md.
+
+The schema is append-only by convention: later PRs may add event types
+or optional fields, but existing field names and ``kind`` tags stay
+stable so stored JSONL traces remain comparable across versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar
+
+
+def term_label(term: Any) -> str:
+    """A compact, deterministic label for an AST node.
+
+    ``Let``-like nodes (anything with a string ``name`` attribute)
+    are labelled ``Kind:name`` so traces show *which* binding or
+    variable each transition touches without serializing whole terms.
+    """
+    kind = type(term).__name__
+    name = getattr(term, "name", None)
+    if isinstance(name, str):
+        return f"{kind}:{name}"
+    return kind
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """Base class for all trace events."""
+
+    kind: ClassVar[str] = "event"
+
+    def as_dict(self) -> dict[str, Any]:
+        """The stable wire schema: ``{"event": kind, **fields}``."""
+        view: dict[str, Any] = {"event": self.kind}
+        for field in fields(self):
+            view[field.name] = getattr(self, field.name)
+        return view
+
+
+@dataclass(frozen=True, slots=True)
+class InterpStep(TraceEvent):
+    """One transition of a concrete interpreter (Figures 1-3).
+
+    ``fuel`` is the step budget *remaining after* this transition, so
+    the event stream doubles as a work measure: the number of events
+    equals the fuel consumed.
+    """
+
+    kind: ClassVar[str] = "interp.step"
+
+    interpreter: str
+    label: str
+    fuel: int
+
+
+@dataclass(frozen=True, slots=True)
+class AnalyzerVisit(TraceEvent):
+    """One analyzer rule application (the ``visits`` work measure of
+    the Section 6.2 cost experiments)."""
+
+    kind: ClassVar[str] = "analysis.visit"
+
+    analyzer: str
+    label: str
+    depth: int
+
+
+@dataclass(frozen=True, slots=True)
+class JoinPerformed(TraceEvent):
+    """Two abstract answers were merged (a conditional's branches, or
+    the per-closure answers of an abstract application)."""
+
+    kind: ClassVar[str] = "analysis.join"
+
+    analyzer: str
+    site: str
+
+
+@dataclass(frozen=True, slots=True)
+class StoreWidened(TraceEvent):
+    """A store binding strictly grew past an existing non-bottom value
+    (the finite-height analogue of a widening step)."""
+
+    kind: ClassVar[str] = "analysis.widening"
+
+    analyzer: str
+    variable: str
+    store_size: int
+
+
+@dataclass(frozen=True, slots=True)
+class LoopDetected(TraceEvent):
+    """A Section 4.4 loop cut: a ``(term, store)`` judgment reappeared
+    on the active derivation path and the least precise value was
+    returned."""
+
+    kind: ClassVar[str] = "analysis.loop"
+
+    analyzer: str
+    label: str
+
+
+@dataclass(frozen=True, slots=True)
+class BudgetAborted(TraceEvent):
+    """The analysis exceeded its work budget and is about to raise
+    `repro.analysis.BudgetExceeded`."""
+
+    kind: ClassVar[str] = "analysis.budget_abort"
+
+    analyzer: str
+    budget: int
+    visits: int
+
+
+@dataclass(frozen=True, slots=True)
+class CacheHit(TraceEvent):
+    """A component short-circuited because a stored result already
+    covered the incoming work (e.g. an MFP edge delivery that left the
+    destination facts unchanged)."""
+
+    kind: ClassVar[str] = "cache.hit"
+
+    component: str
+    key: str
+
+
+@dataclass(frozen=True, slots=True)
+class SolverIteration(TraceEvent):
+    """One worklist pop (MFP) or path step (MOP) of the classical
+    solvers in :mod:`repro.dataflow`."""
+
+    kind: ClassVar[str] = "dataflow.iteration"
+
+    solver: str
+    point: str
+    pending: int

@@ -1,0 +1,165 @@
+"""A lightweight metrics registry.
+
+Counters (monotone), gauges (last-write-wins, with a high-water mark),
+and histograms (count/total/min/max), plus ``span()`` timing contexts
+built on ``time.perf_counter``.  ``snapshot()`` returns a plain nested
+dict, stable enough to print, JSON-encode, or assert on in tests.
+
+Instruments are created lazily on first use and identified by dotted
+names (``"analyze.direct.seconds"``); re-requesting a name returns the
+same instrument, so independent call sites accumulate into one series.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value with a high-water mark."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+        self.max_value: float = 0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def set_max(self, value: float) -> None:
+        """Record ``value`` only if it exceeds the high-water mark."""
+        if value > self.max_value:
+            self.value = value
+            self.max_value = value
+
+
+class Histogram:
+    """Summary statistics of an observed series."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total: float = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float | None:
+        """The arithmetic mean, or None before any observation."""
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+
+class Metrics:
+    """The registry: named counters, gauges, histograms, and spans."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a block with ``time.perf_counter``.
+
+        The duration lands in the histogram ``{name}.seconds`` and the
+        counter ``{name}.calls``; exceptions propagate but the span is
+        still recorded (aborted work is work too).
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.histogram(f"{name}.seconds").observe(elapsed)
+            self.counter(f"{name}.calls").inc()
+
+    def merge_stats(self, prefix: str, stats: dict[str, int]) -> None:
+        """Fold a plain stats dict (e.g. ``AnalysisStats.as_dict()``)
+        into counters/gauges under ``prefix``."""
+        for key, value in stats.items():
+            if key.startswith("max_"):
+                self.gauge(f"{prefix}.{key}").set_max(value)
+            else:
+                self.counter(f"{prefix}.{key}").inc(value)
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable view of every instrument."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {"value": gauge.value, "max": gauge.max_value}
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": hist.count,
+                    "total": hist.total,
+                    "mean": hist.mean,
+                    "min": hist.min,
+                    "max": hist.max,
+                }
+                for name, hist in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,146 @@
+"""Trace sinks: where events go.
+
+The `Sink` protocol is intentionally tiny — a boolean ``enabled`` and
+an ``emit`` method.  Producers are expected to hoist the check::
+
+    emit = sink.emit if sink.enabled else None
+    ...
+    if emit is not None:
+        emit(InterpStep(...))
+
+so the disabled path (the `NullSink` default) constructs no event
+objects at all; the test suite asserts that analyzer results are
+identical with tracing off.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _Counter
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Protocol, runtime_checkable
+
+from repro.obs.events import TraceEvent
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Anything that can receive trace events."""
+
+    enabled: bool
+
+    def emit(self, event: TraceEvent) -> None:
+        """Record one event."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release resources (no-op for most sinks)."""
+        ...
+
+
+class NullSink:
+    """The zero-overhead default: drops everything.
+
+    ``enabled`` is False, so well-behaved producers never even build
+    the event objects.  ``emit`` still exists (and does nothing) for
+    callers that don't hoist the check.
+    """
+
+    enabled = False
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared disabled sink; producers default to this.
+NULL_SINK = NullSink()
+
+
+class RecordingSink:
+    """An in-memory sink for tests and ad-hoc inspection."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def by_kind(self, kind: str) -> list[TraceEvent]:
+        """Events whose ``kind`` tag equals ``kind``."""
+        return [event for event in self.events if event.kind == kind]
+
+    def counts(self) -> dict[str, int]:
+        """Event counts per kind."""
+        return dict(_Counter(event.kind for event in self.events))
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+
+class JsonlSink:
+    """Writes one JSON object per event to a file or stream.
+
+    Each line is the event's ``as_dict()`` plus a monotonically
+    increasing ``seq`` number, so interleaved producers stay ordered
+    and golden traces can be diffed line by line.
+    """
+
+    enabled = True
+
+    def __init__(self, target: "str | Path | IO[str]") -> None:
+        if isinstance(target, (str, Path)):
+            self._handle: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self._seq = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        record = event.as_dict()
+        record["seq"] = self._seq
+        self._seq += 1
+        self._handle.write(json.dumps(record, ensure_ascii=False))
+        self._handle.write("\n")
+
+    @property
+    def emitted(self) -> int:
+        """How many events have been written."""
+        return self._seq
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+        else:
+            self._handle.flush()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_jsonl(path: "str | Path") -> Iterable[dict]:
+    """Parse a JSONL trace file back into dicts (schema helper for
+    tests and tooling)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -125,6 +125,35 @@ def routes_table() -> str:
     return out.getvalue()
 
 
+def work_table() -> str:
+    """Per-analyzer `repro.obs` work counters on the witness programs.
+
+    The Section 6.2 comparison beyond raw visits: joins, widenings and
+    store growth show *where* the CPS analyzers spend their extra work
+    (per-path duplication shows up as returns analyzed, not joins).
+    """
+    out = StringIO()
+    out.write(
+        "| program | analyzer | visits | joins | widenings "
+        "| returns | max store |\n"
+    )
+    out.write("|---|---|---|---|---|---|---|\n")
+    for program in (
+        THEOREM_51_WITNESS,
+        THEOREM_52_CONDITIONAL,
+        SHIVERS_EXAMPLE,
+    ):
+        report = run_three_way(program)
+        for result in (report.direct, report.semantic, report.syntactic):
+            stats = result.stats
+            out.write(
+                f"| {program.name} | {result.analyzer} "
+                f"| {stats.visits} | {stats.joins} | {stats.widenings} "
+                f"| {stats.returns_analyzed} | {stats.max_store_size} |\n"
+            )
+    return out.getvalue()
+
+
 def computability_note(threshold: int = 10) -> str:
     """Confirm the reject/top behaviour of the CPS analyzers."""
     program = loop_feeding_conditional(threshold)
@@ -164,6 +193,7 @@ def generate_report(quick: bool = False) -> str:
             call_cost_table(call_lengths),
         ),
         ("Section 6.2: loop unrolling (threshold 10)", loop_table()),
+        ("Section 6.2: per-analyzer work counters", work_table()),
         ("Section 6.2: computability", computability_note()),
         ("Section 6.3: routes on the conditional witness", routes_table()),
     ]

@@ -83,13 +83,23 @@ class TestStats:
     def test_as_dict_keys(self):
         stats = direct("(let (a 1) a)").stats
         data = stats.as_dict()
-        assert set(data) == {
+        # the original schema stays stable for report.py ...
+        assert {
             "visits",
             "loop_cuts",
             "max_depth",
             "returns_analyzed",
-        }
+        } <= set(data)
+        # ... plus the obs counters
+        assert {
+            "joins",
+            "widenings",
+            "loop_detections",
+            "max_store_size",
+        } <= set(data)
         assert data["visits"] >= 2
+        assert data["loop_detections"] == data["loop_cuts"]
+        assert data["max_store_size"] >= 1
 
     def test_returns_counted_by_cps_analyzers(self):
         term = normalize(parse("(let (f (lambda (x) x)) (f 1))"))

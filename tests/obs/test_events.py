@@ -1,0 +1,76 @@
+"""Event schema tests: kind tags, ``as_dict()`` shape, labels."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.lang.parser import parse
+from repro.obs.events import (
+    AnalyzerVisit,
+    BudgetAborted,
+    CacheHit,
+    InterpStep,
+    JoinPerformed,
+    LoopDetected,
+    SolverIteration,
+    StoreWidened,
+    term_label,
+)
+
+ALL_EVENTS = [
+    (InterpStep("direct", "Let:x", 99), "interp.step"),
+    (AnalyzerVisit("direct", "Let:x", 2), "analysis.visit"),
+    (JoinPerformed("direct", "if0"), "analysis.join"),
+    (StoreWidened("semantic-cps", "x", 3), "analysis.widening"),
+    (LoopDetected("syntactic-cps", "CApp"), "analysis.loop"),
+    (BudgetAborted("direct", 100, 101), "analysis.budget_abort"),
+    (CacheHit("mfp", "a1"), "cache.hit"),
+    (SolverIteration("mop", "entry", 4), "dataflow.iteration"),
+]
+
+
+class TestSchema:
+    @pytest.mark.parametrize(
+        "event,kind", ALL_EVENTS, ids=[k for _, k in ALL_EVENTS]
+    )
+    def test_kind_tag(self, event, kind):
+        assert event.kind == kind
+        assert event.as_dict()["event"] == kind
+
+    @pytest.mark.parametrize(
+        "event,kind", ALL_EVENTS, ids=[k for _, k in ALL_EVENTS]
+    )
+    def test_as_dict_is_json_serializable(self, event, kind):
+        view = event.as_dict()
+        assert json.loads(json.dumps(view)) == view
+
+    def test_as_dict_includes_every_field(self):
+        event = InterpStep("direct", "Num", 7)
+        assert event.as_dict() == {
+            "event": "interp.step",
+            "interpreter": "direct",
+            "label": "Num",
+            "fuel": 7,
+        }
+
+    def test_events_are_frozen(self):
+        event = CacheHit("mfp", "a1")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.key = "other"
+
+
+class TestTermLabel:
+    def test_named_node(self):
+        term = parse("(let (x 1) x)")
+        assert term_label(term) == "Let:x"
+
+    def test_unnamed_node(self):
+        term = parse("42")
+        assert term_label(term) == "Num"
+
+    def test_non_string_name_attribute_ignored(self):
+        class Odd:
+            name = 7
+
+        assert term_label(Odd()) == "Odd"

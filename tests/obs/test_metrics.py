@@ -1,0 +1,102 @@
+"""Metrics registry: counters, gauges, histograms, spans, snapshots."""
+
+import pytest
+
+from repro.obs.metrics import Metrics
+
+
+class TestCounter:
+    def test_accumulates(self):
+        metrics = Metrics()
+        metrics.counter("visits").inc()
+        metrics.counter("visits").inc(4)
+        assert metrics.counter("visits").value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Metrics().counter("visits").inc(-1)
+
+    def test_same_name_same_instrument(self):
+        metrics = Metrics()
+        assert metrics.counter("a") is metrics.counter("a")
+
+
+class TestGauge:
+    def test_set_tracks_high_water(self):
+        gauge = Metrics().gauge("depth")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.max_value == 5
+
+    def test_set_max_only_grows(self):
+        gauge = Metrics().gauge("depth")
+        gauge.set_max(5)
+        gauge.set_max(3)
+        assert gauge.value == 5
+        assert gauge.max_value == 5
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        hist = Metrics().histogram("seconds")
+        assert hist.mean is None
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+        assert hist.mean == 2.0
+
+
+class TestSpan:
+    def test_records_duration_and_calls(self):
+        metrics = Metrics()
+        with metrics.span("work"):
+            pass
+        assert metrics.counter("work.calls").value == 1
+        hist = metrics.histogram("work.seconds")
+        assert hist.count == 1
+        assert hist.min >= 0
+
+    def test_records_even_on_exception(self):
+        metrics = Metrics()
+        with pytest.raises(RuntimeError):
+            with metrics.span("work"):
+                raise RuntimeError("boom")
+        assert metrics.counter("work.calls").value == 1
+
+
+class TestMergeStats:
+    def test_counters_accumulate_and_max_keys_become_gauges(self):
+        metrics = Metrics()
+        metrics.merge_stats("analysis.direct", {"visits": 3, "max_depth": 2})
+        metrics.merge_stats("analysis.direct", {"visits": 4, "max_depth": 1})
+        assert metrics.counter("analysis.direct.visits").value == 7
+        assert metrics.gauge("analysis.direct.max_depth").max_value == 2
+
+
+class TestSnapshot:
+    def test_nested_json_friendly_shape(self):
+        metrics = Metrics()
+        metrics.counter("c").inc(2)
+        metrics.gauge("g").set(3)
+        metrics.histogram("h").observe(1.5)
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": {"value": 3, "max": 3}}
+        assert snap["histograms"]["h"] == {
+            "count": 1,
+            "total": 1.5,
+            "mean": 1.5,
+            "min": 1.5,
+            "max": 1.5,
+        }
+
+    def test_empty_registry(self):
+        assert Metrics().snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

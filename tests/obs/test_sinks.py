@@ -1,0 +1,94 @@
+"""Sink behaviour: the protocol, recording, and JSONL round-trips."""
+
+import io
+import json
+
+from repro.obs.events import CacheHit, InterpStep
+from repro.obs.sinks import (
+    NULL_SINK,
+    JsonlSink,
+    NullSink,
+    RecordingSink,
+    Sink,
+    read_jsonl,
+)
+
+
+class TestProtocol:
+    def test_all_sinks_satisfy_protocol(self):
+        assert isinstance(NullSink(), Sink)
+        assert isinstance(RecordingSink(), Sink)
+        assert isinstance(JsonlSink(io.StringIO()), Sink)
+
+    def test_null_sink_is_disabled(self):
+        assert NULL_SINK.enabled is False
+        # emit exists and drops silently for callers that don't hoist
+        NULL_SINK.emit(CacheHit("mfp", "a1"))
+        NULL_SINK.close()
+
+
+class TestRecordingSink:
+    def test_records_in_order(self):
+        sink = RecordingSink()
+        first = InterpStep("direct", "Num", 9)
+        second = CacheHit("mfp", "a1")
+        sink.emit(first)
+        sink.emit(second)
+        assert sink.events == [first, second]
+        assert list(sink) == [first, second]
+        assert len(sink) == 2
+
+    def test_by_kind_and_counts(self):
+        sink = RecordingSink()
+        sink.emit(InterpStep("direct", "Num", 9))
+        sink.emit(InterpStep("direct", "Var:x", 8))
+        sink.emit(CacheHit("mfp", "a1"))
+        assert len(sink.by_kind("interp.step")) == 2
+        assert sink.counts() == {"interp.step": 2, "cache.hit": 1}
+
+    def test_clear(self):
+        sink = RecordingSink()
+        sink.emit(CacheHit("mfp", "a1"))
+        sink.clear()
+        assert len(sink) == 0
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_line_with_seq(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        sink.emit(InterpStep("direct", "Num", 9))
+        sink.emit(CacheHit("mfp", "a1"))
+        sink.close()
+        lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert [line["seq"] for line in lines] == [0, 1]
+        assert lines[0]["event"] == "interp.step"
+        assert lines[1] == {
+            "event": "cache.hit",
+            "component": "mfp",
+            "key": "a1",
+            "seq": 1,
+        }
+        assert sink.emitted == 2
+
+    def test_path_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(InterpStep("direct", "Let:x", 5))
+        records = list(read_jsonl(path))
+        assert records == [
+            {
+                "event": "interp.step",
+                "interpreter": "direct",
+                "label": "Let:x",
+                "fuel": 5,
+                "seq": 0,
+            }
+        ]
+
+    def test_stream_is_not_closed_by_sink(self):
+        buffer = io.StringIO()
+        with JsonlSink(buffer) as sink:
+            sink.emit(CacheHit("mfp", "a1"))
+        # close() on a borrowed handle only flushes
+        assert not buffer.closed

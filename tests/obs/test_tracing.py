@@ -1,0 +1,175 @@
+"""End-to-end tracing: interpreters, analyzers, and solvers.
+
+Three ISSUE-mandated properties live here:
+
+* the golden JSONL trace of the ``factorial`` corpus program under the
+  direct interpreter (schema stability across PRs),
+* the analyzer ``analysis.visit`` event count equals ``stats.visits``
+  (the Section 6.2 work measure and the trace agree),
+* the disabled path is truly disabled: with the default `NullSink` no
+  event is ever constructed and results are identical to tracing on.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.direct import analyze_direct
+from repro.api import run_three_way
+from repro.corpus import corpus_program
+from repro.cps import cps_transform
+from repro.dataflow.framework import build_problem
+from repro.dataflow.mfp import solve_mfp
+from repro.dataflow.mop import solve_mop
+from repro.domains import ConstPropDomain
+from repro.interp.direct import run_direct
+from repro.interp.semantic_cps import run_semantic_cps
+from repro.interp.syntactic_cps import run_syntactic_cps
+from repro.anf import normalize
+from repro.lang.parser import parse
+from repro.obs import JsonlSink, RecordingSink
+from repro.obs.sinks import read_jsonl
+
+from pathlib import Path
+
+GOLDEN = Path(__file__).parent / "golden" / "factorial_direct.jsonl"
+DOM = ConstPropDomain()
+
+
+class ExplodingSink:
+    """A disabled sink that fails loudly if any producer ignores
+    ``enabled`` and emits anyway."""
+
+    enabled = False
+
+    def emit(self, event):
+        raise AssertionError(f"event constructed on disabled path: {event!r}")
+
+    def close(self):
+        pass
+
+
+class TestGoldenTrace:
+    def test_factorial_direct_matches_golden(self, tmp_path):
+        program = corpus_program("factorial")
+        out = tmp_path / "trace.jsonl"
+        with JsonlSink(out) as sink:
+            answer = run_direct(program.term, trace=sink)
+        assert answer.value == 720
+        fresh = list(read_jsonl(out))
+        golden = list(read_jsonl(GOLDEN))
+        assert fresh == golden
+
+    def test_golden_is_valid_jsonl(self):
+        with open(GOLDEN, encoding="utf-8") as handle:
+            for index, line in enumerate(handle):
+                record = json.loads(line)
+                assert record["event"] == "interp.step"
+                assert record["interpreter"] == "direct"
+                assert record["seq"] == index
+
+
+class TestInterpreterTracing:
+    SOURCE = "(let (f (lambda (x) (add1 x))) (f 2))"
+
+    def test_direct_step_events_carry_fuel(self):
+        sink = RecordingSink()
+        run_direct(normalize(parse(self.SOURCE)), fuel=100, trace=sink)
+        steps = sink.by_kind("interp.step")
+        assert steps and steps == sink.events
+        assert all(event.interpreter == "direct" for event in steps)
+        fuels = [event.fuel for event in steps]
+        assert fuels == sorted(fuels, reverse=True)
+        assert fuels[0] == 99  # remaining after the first tick
+
+    def test_event_count_equals_fuel_consumed(self):
+        budget = 100
+        sink = RecordingSink()
+        run_direct(normalize(parse(self.SOURCE)), fuel=budget, trace=sink)
+        remaining = sink.events[-1].fuel
+        assert len(sink) == budget - remaining
+
+    def test_semantic_cps_traces(self):
+        sink = RecordingSink()
+        run_semantic_cps(normalize(parse(self.SOURCE)), trace=sink)
+        assert sink.counts() == {"interp.step": len(sink)}
+        assert {e.interpreter for e in sink} == {"semantic-cps"}
+
+    def test_syntactic_cps_traces(self):
+        sink = RecordingSink()
+        run_syntactic_cps(cps_transform(normalize(parse(self.SOURCE))), trace=sink)
+        assert {e.interpreter for e in sink} == {"syntactic-cps"}
+        labels = {e.label for e in sink}
+        assert "apply" in labels and "return" in labels
+
+
+class TestAnalyzerTracing:
+    SOURCE = "(let (a1 (if0 x 0 1)) (let (a2 (if0 x 10 20)) (+ a1 a2)))"
+
+    def test_visit_events_match_stats_for_all_three(self):
+        sink = RecordingSink()
+        report = run_three_way(self.SOURCE, trace=sink)
+        visits = sink.by_kind("analysis.visit")
+        for result in (report.direct, report.semantic, report.syntactic):
+            per_analyzer = [
+                e for e in visits if e.analyzer == result.analyzer
+            ]
+            assert len(per_analyzer) == result.stats.visits
+
+    def test_join_events_match_stats(self):
+        sink = RecordingSink()
+        report = run_three_way(self.SOURCE, trace=sink)
+        joins = sink.by_kind("analysis.join")
+        for result in (report.direct, report.semantic, report.syntactic):
+            count = sum(1 for e in joins if e.analyzer == result.analyzer)
+            assert count == result.stats.joins
+
+    def test_loop_events_emitted_on_recursion(self):
+        program = corpus_program("factorial")
+        sink = RecordingSink()
+        result = analyze_direct(program.term, DOM, trace=sink)
+        loops = sink.by_kind("analysis.loop")
+        assert len(loops) == result.stats.loop_cuts > 0
+
+
+class TestDisabledPath:
+    SOURCE = "(let (a1 (if0 x 0 1)) a1)"
+
+    def test_no_events_constructed_when_disabled(self):
+        # ExplodingSink.emit raises, so this passes only if every
+        # producer hoists the `enabled` check before building events.
+        sink = ExplodingSink()
+        run_three_way(self.SOURCE, trace=sink)
+        run_direct(normalize(parse("(add1 1)")), trace=sink)
+        run_semantic_cps(normalize(parse("(add1 1)")), trace=sink)
+        run_syntactic_cps(cps_transform(normalize(parse("(add1 1)"))), trace=sink)
+        problem = build_problem(normalize(parse("(let (a 1) a)")), DOM)
+        solve_mfp(problem, trace=sink)
+        solve_mop(problem, trace=sink)
+
+    def test_results_identical_with_and_without_tracing(self):
+        traced = run_three_way(self.SOURCE, trace=RecordingSink())
+        plain = run_three_way(self.SOURCE)
+        for a, b in (
+            (traced.direct, plain.direct),
+            (traced.semantic, plain.semantic),
+            (traced.syntactic, plain.syntactic),
+        ):
+            assert a.value == b.value
+            assert dict(a.store.items()) == dict(b.store.items())
+            assert a.stats.as_dict() == b.stats.as_dict()
+
+
+class TestSolverTracing:
+    SOURCE = "(let (a (if0 x 1 2)) (let (b (+ a 1)) b))"
+
+    @pytest.mark.parametrize(
+        "solve,solver", [(solve_mfp, "mfp"), (solve_mop, "mop")]
+    )
+    def test_iteration_events(self, solve, solver):
+        problem = build_problem(normalize(parse(self.SOURCE)), DOM)
+        sink = RecordingSink()
+        solve(problem, trace=sink)
+        iterations = sink.by_kind("dataflow.iteration")
+        assert iterations
+        assert {e.solver for e in iterations} == {solver}

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -243,3 +245,82 @@ class TestErrors:
     def test_unknown_command(self, capsys):
         with pytest.raises(SystemExit):
             run_cli(capsys, "frobnicate")
+
+
+class TestTrace:
+    def test_stdout_jsonl(self, capsys):
+        code, out, _ = run_cli(capsys, "trace", "-e", "(add1 1)")
+        assert code == 0
+        records = [json.loads(line) for line in out.splitlines()]
+        assert records
+        assert all(r["event"] == "interp.step" for r in records)
+        interpreters = {r["interpreter"] for r in records}
+        assert interpreters == {"direct", "semantic-cps", "syntactic-cps"}
+
+    def test_out_file(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code, _, err = run_cli(
+            capsys, "trace", "-e", "(add1 1)", "--out", str(path)
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records
+        assert f"{len(records)} events" in err
+
+    def test_single_interpreter(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "trace", "-e", "(add1 1)", "--interpreter", "direct"
+        )
+        records = [json.loads(line) for line in out.splitlines()]
+        assert {r["interpreter"] for r in records} == {"direct"}
+
+    def test_analyzers_flag_adds_analysis_events(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "trace", "-e", "(add1 1)", "--analyzers"
+        )
+        kinds = {json.loads(line)["event"] for line in out.splitlines()}
+        assert "interp.step" in kinds
+        assert "analysis.visit" in kinds
+
+    def test_unbound_free_variable_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "trace", "-e", "(+ n 2)")
+
+
+class TestStatsFlags:
+    def test_run_stats(self, capsys):
+        code, out, err = run_cli(
+            capsys, "run", "-e", "(add1 41)", "--stats"
+        )
+        assert out.strip() == "42"
+        assert "steps:" in err and "fuel remaining:" in err
+
+    def test_analyze_stats_table_and_snapshot(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "analyze", "-e", "(let (a1 (if0 x 0 1)) a1)", "--stats"
+        )
+        assert "per-analyzer work" in out
+        assert "visits" in out and "joins" in out and "widenings" in out
+        assert "analysis.direct.visits" in out
+
+    def test_analyze_stats_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "analyze",
+            "-e",
+            "(let (a1 (if0 x 0 1)) a1)",
+            "--stats",
+            "--json",
+        )
+        payload = json.loads(out)
+        assert "metrics" in payload
+        assert payload["metrics"]["counters"]["analysis.direct.visits"] > 0
+
+    def test_dataflow_stats(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dataflow", "-e", "(let (a 1) a)", "--stats"
+        )
+        assert "mfp.iterations" in out
+        assert "mop.paths" in out
