@@ -1,0 +1,95 @@
+"""Experiment perf-ablation: the `repro.perf` cache stack.
+
+Not a paper artifact — an engineering regression guard.  Three rungs
+of the cache ladder (everything off; interning + join memo; full eval
+memo) are timed on the Section 6.2 blowup workloads, with the
+cached-vs-uncached answer equality asserted inside every benchmarked
+callable so a timing row is only reported for a *correct* run.
+
+The headline: on ``top_conditional_chain`` the eval memo turns the
+2^k duplicated-path walk into an O(k) one, so the ``cache_full`` row
+must beat ``cache_off`` by orders of magnitude.  The JSON regression
+artifact (thresholds, survey timings) is produced by ``python -m
+repro bench``; this file hooks the same workloads into the
+pytest-benchmark harness.
+"""
+
+import pytest
+
+from repro.analysis.semantic_cps import SemanticCpsAnalyzer
+from repro.corpus import (
+    corpus_program,
+    top_conditional_chain,
+)
+from repro.dataflow import build_problem, solve_mfp
+from repro.domains import ConstPropDomain, Lattice
+
+DOM = ConstPropDomain()
+LAT = Lattice(DOM)
+
+CONFIGS = {
+    "cache_off": False,
+    "cache_default": None,  # interning + join memo only
+    "cache_full": True,  # + the eval memo
+}
+
+
+def _run_semantic(program, cache, expected):
+    analyzer = SemanticCpsAnalyzer(
+        program.term,
+        initial=program.initial_for(LAT),
+        loop_mode="top",
+        cache=cache,
+    )
+    result = analyzer.run()
+    if expected is not None:
+        assert result.answer == expected.answer
+    return result
+
+
+@pytest.mark.experiment("perf-ablation")
+@pytest.mark.parametrize("config", CONFIGS)
+def test_eval_memo_on_blowup_family(benchmark, config):
+    # k=10: ~2^10 duplicated paths uncached, ~linear with the memo.
+    program = top_conditional_chain(10)
+    expected = _run_semantic(program, False, None)
+
+    result = benchmark(
+        lambda: _run_semantic(program, CONFIGS[config], expected)
+    )
+    if config == "cache_full":
+        assert result.stats.visits < 100
+
+
+@pytest.mark.experiment("perf-ablation")
+@pytest.mark.parametrize("config", CONFIGS)
+@pytest.mark.parametrize("name", ["factorial", "church-pairs"])
+def test_cache_stack_on_corpus(benchmark, config, name):
+    program = corpus_program(name)
+    expected = _run_semantic(program, False, None)
+
+    benchmark(lambda: _run_semantic(program, CONFIGS[config], expected))
+
+
+@pytest.mark.experiment("perf-ablation")
+@pytest.mark.parametrize("cache", [False, True], ids=["off", "memo"])
+def test_mfp_join_memo(benchmark, cache):
+    from repro.anf import normalize
+    from repro.lang.parser import parse
+
+    term = normalize(
+        parse(
+            "(let (a1 (if0 x 0 1))"
+            " (let (a2 (if0 a1 (+ a1 3) (+ a1 2))) a2))"
+        ),
+        ensure_unique=False,
+    )
+    problem = build_problem(term, DOM, entry_facts={"x": DOM.top})
+    expected = solve_mfp(problem)
+
+    def run():
+        solution = solve_mfp(problem, cache=cache)
+        assert solution == expected
+        return solution
+
+    benchmark(run)

@@ -7,6 +7,7 @@ statistics, and configuration.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
@@ -19,6 +20,7 @@ from repro.lang.syntax import subterms
 from repro.obs.events import (
     AnalyzerVisit,
     BudgetAborted,
+    CacheHit,
     JoinPerformed,
     LoopDetected,
     StoreWidened,
@@ -27,6 +29,7 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import Metrics
 from repro.obs.sinks import NULL_SINK, Sink
+from repro.perf import Interner, PerfConfig, PerfStats
 
 
 class AnalysisError(Exception):
@@ -280,8 +283,18 @@ class AnalysisStats:
         }
 
 
+#: Sentinel "no active taint" for the eval memo (any real registration
+#: sequence number compares below it).
+_NO_TAINT = sys.maxsize
+
+#: Summaries whose footprint outgrows this are not worth storing: the
+#: per-probe disjointness check and the retained key references would
+#: cost more than re-deriving the answer.
+_FOOTPRINT_LIMIT = 50_000
+
+
 class WorkBudgetMixin:
-    """Visit counting, tracing, and an optional budget.
+    """Visit counting, tracing, caching, and an optional budget.
 
     Analyzers call :meth:`tick` once per rule application; when
     ``max_visits`` is set, exceeding it aborts the analysis — the
@@ -290,6 +303,30 @@ class WorkBudgetMixin:
     (events are only constructed when the sink is enabled, so the
     `NullSink` default costs one ``is None`` check per rule) and the
     join/widening/store-size bookkeeping shared by all analyzers.
+
+    The `repro.perf` half lives here too.  Interning
+    (:meth:`intern_store`, :meth:`join_stores`) is semantically
+    invisible.  The eval memo is subtler, because a judgment's answer
+    is *not* a function of the judgment alone: a Section 4.4 loop cut
+    makes it depend on which ancestors are on the active path.  Two
+    mechanisms keep cached answers bit-identical to uncached ones:
+
+    - **taint** (write side): every active-path registration gets a
+      monotone sequence number; a loop cut taints the memo with the
+      still-active owner's number.  A frame's summary is stored only
+      when no judgment registered *before* the frame started was cut
+      on during it (:meth:`memo_complete`) — i.e. the answer was
+      derived without consulting the frame's context.  Cuts on the
+      frame's own judgments are deterministic and harmless, and
+      discharge the taint when the frame exits.
+    - **footprint** (read side): each summary records the judgments
+      its sub-derivation registered.  A probe rejects the summary if
+      any of them is currently active (:meth:`memo_probe`), because a
+      fresh evaluation here *would* cut where the recorded one did
+      not.
+
+    Together: a hit reproduces exactly what re-evaluation would have
+    produced, so only visit counts (and wall time) change.
     """
 
     stats: AnalysisStats
@@ -300,6 +337,17 @@ class WorkBudgetMixin:
     metrics: Metrics | None = None
     _emit: Callable[[TraceEvent], None] | None = None
     _depth: int = 0
+    # perf defaults, for mixin users that never call init_perf
+    perf_config: PerfConfig = PerfConfig.resolve(False)
+    perf: PerfStats | None = None
+    _interner: Interner | None = None
+    _memo: "dict | None" = None
+    _memo_seq: int = 0
+    _memo_taint: int = _NO_TAINT
+    #: Class-level fallback is never mutated: init_perf installs a
+    #: per-instance stack, and without one the footprint adds are
+    #: skipped entirely.
+    _fp_stack: "list[set]" = []
 
     def init_obs(self, trace: Sink | None, metrics: Metrics | None) -> None:
         """Attach a trace sink and metrics registry (constructor
@@ -307,6 +355,118 @@ class WorkBudgetMixin:
         self.trace = trace if trace is not None else NULL_SINK
         self._emit = self.trace.emit if self.trace.enabled else None
         self.metrics = metrics
+
+    def init_perf(self, cache: "PerfConfig | bool | None") -> None:
+        """Attach the `repro.perf` caches (constructor helper).
+
+        ``cache`` follows ``PerfConfig.resolve``: ``None`` interns
+        only, ``True`` also memoizes eval, ``False`` disables
+        everything.
+        """
+        config = PerfConfig.resolve(cache)
+        self.perf_config = config
+        self.perf = PerfStats()
+        self._interner = Interner(self.perf) if config.intern else None
+        self._memo = {} if config.memo else None
+        self._fp_stack: list[set] = []
+        self._memo_seq = 0
+        self._memo_taint = _NO_TAINT
+
+    # -- interning ------------------------------------------------------
+
+    def intern_store(self, store: AbsStore) -> AbsStore:
+        """Canonicalize a store (identity when interning is off)."""
+        interner = self._interner
+        return store if interner is None else interner.store(store)
+
+    def join_stores(self, a: AbsStore, b: AbsStore) -> AbsStore:
+        """``a.join(b)`` through the interner's join memo when on."""
+        interner = self._interner
+        if interner is not None and self.perf_config.join_memo:
+            return interner.join_stores(a, b)
+        return a.join(b)
+
+    # -- eval memo ------------------------------------------------------
+
+    def register_judgment(self, key, registered: list) -> None:
+        """Put a judgment on the active path, stamped with the memo's
+        taint sequence number, and into the current frame footprint."""
+        seq = self._memo_seq
+        self._memo_seq = seq + 1
+        self._active[key] = seq
+        registered.append(key)
+        if self._fp_stack:
+            self._fp_stack[-1].add(key)
+
+    def unregister_judgments(self, registered: list) -> None:
+        """Remove a frame's judgments from the active path."""
+        active = self._active
+        for key in registered:
+            del active[key]
+
+    def note_loop_cut(self, owner_seq: int, subject: object = None) -> None:
+        """Count a Section 4.4 cut and taint every memo frame opened
+        after the still-active owner judgment was registered."""
+        if owner_seq < self._memo_taint:
+            self._memo_taint = owner_seq
+        self.count_loop_cut(subject)
+
+    def memo_frame(self) -> tuple[int, set]:
+        """Open a memo frame: its start sequence number and footprint."""
+        footprint: set = set()
+        self._fp_stack.append(footprint)
+        return self._memo_seq, footprint
+
+    def memo_frame_end(self, footprint: set) -> None:
+        """Close a memo frame, folding its footprint into the parent's."""
+        self._fp_stack.pop()
+        if self._fp_stack:
+            self._fp_stack[-1].update(footprint)
+
+    def memo_probe(self, memo_key, active_key, subject):
+        """A stored summary for this judgment, or None.
+
+        Rejects summaries whose recorded sub-derivation overlaps the
+        currently active path (a fresh evaluation would cut there).
+        Only called with the memo enabled.
+        """
+        entry = self._memo.get(memo_key)
+        perf = self.perf
+        if entry is None:
+            perf.eval_cache_misses += 1
+            return None
+        answer, footprint = entry
+        active = self._active
+        if len(footprint) < len(active):
+            clash = any(key in active for key in footprint)
+        else:
+            clash = any(key in footprint for key in active)
+        if clash:
+            perf.eval_cache_rejects += 1
+            return None
+        perf.eval_cache_hits += 1
+        frame_fp = self._fp_stack[-1]
+        frame_fp.add(active_key)
+        frame_fp.update(footprint)
+        if self._emit is not None:
+            self._emit(
+                CacheHit(
+                    f"analysis.{self.analyzer_name}", term_label(subject)
+                )
+            )
+        return answer
+
+    def memo_complete(
+        self, memo_key, start_seq: int, footprint: set, answer, cacheable=True
+    ):
+        """Finish a memo frame: discharge taints owned by this frame's
+        own judgments, and store the summary when it never consulted
+        the frame's context (see the class docstring)."""
+        if self._memo_taint >= start_seq:
+            self._memo_taint = _NO_TAINT
+            if cacheable and len(footprint) <= _FOOTPRINT_LIMIT:
+                self._memo[memo_key] = (answer, frozenset(footprint))
+        return answer
 
     def tick(self, subject: object = None) -> None:
         """Count one rule application, enforcing the budget."""
@@ -351,7 +511,13 @@ class WorkBudgetMixin:
         bookkeeping: a binding that strictly grows past an existing
         non-bottom value counts as a widening step."""
         before = store.get(name)
-        after = store.joined_bind(name, value)
+        interner = self._interner
+        if interner is None:
+            after = store.joined_bind(name, value)
+        else:
+            after = store.joined_bind(name, value, intern=interner.value)
+            if after is not store:
+                after = interner.store(after)
         size = len(after)
         if size > self.stats.max_store_size:
             self.stats.max_store_size = size
@@ -365,11 +531,16 @@ class WorkBudgetMixin:
 
     def finish_metrics(self) -> None:
         """Fold the final stats into the metrics registry (if any)
-        under ``analysis.<analyzer_name>``."""
+        under ``analysis.<analyzer_name>``, plus the `repro.perf`
+        cache counters under ``perf.<analyzer_name>``."""
         if self.metrics is not None:
             self.metrics.merge_stats(
                 f"analysis.{self.analyzer_name}", self.stats.as_dict()
             )
+            if self.perf is not None:
+                self.metrics.merge_stats(
+                    f"perf.{self.analyzer_name}", self.perf.as_dict()
+                )
 
 
 #: How the CPS analyzers treat the Section 6.2 ``loop`` construct.

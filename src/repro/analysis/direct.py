@@ -70,6 +70,7 @@ class DirectAnalyzer(WorkBudgetMixin):
         max_visits: int | None = None,
         trace: Sink | None = None,
         metrics: Metrics | None = None,
+        cache: "bool | None" = None,
     ) -> None:
         """Prepare an analysis of ``term``.
 
@@ -86,19 +87,23 @@ class DirectAnalyzer(WorkBudgetMixin):
                 events (default: disabled, zero overhead).
             metrics: optional `repro.obs` metrics registry; the final
                 stats are folded in under ``analysis.direct``.
+            cache: `repro.perf` configuration (a `PerfConfig`, or
+                ``None``/``True``/``False``); results are identical
+                either way, only visit counts and wall time change.
         """
         if check:
             validate_anf(term)
         self.term = term
         self.lattice = Lattice(domain if domain is not None else ConstPropDomain())
-        self.initial_store = AbsStore(self.lattice, initial)
-        cl_top = closures_of_term(term) | closures_of_store(self.initial_store)
-        #: The least precise value: ``(⊤, CL⊤)`` (Section 4.4).
-        self.top_value = AbsVal(self.lattice.domain.top, cl_top)
         self.stats = AnalysisStats()
         self.max_visits = max_visits
         self.init_obs(trace, metrics)
-        self._active: set[tuple[int, AbsStore]] = set()
+        self.init_perf(cache)
+        self.initial_store = self.intern_store(AbsStore(self.lattice, initial))
+        cl_top = closures_of_term(term) | closures_of_store(self.initial_store)
+        #: The least precise value: ``(⊤, CL⊤)`` (Section 4.4).
+        self.top_value = AbsVal(self.lattice.domain.top, cl_top)
+        self._active: dict[tuple[int, AbsStore], int] = {}
         self._depth = 0
 
     # ------------------------------------------------------------------
@@ -135,11 +140,35 @@ class DirectAnalyzer(WorkBudgetMixin):
     def eval(self, term: Term, store: AbsStore) -> AAnswer:
         """``Me``: analyze ``term`` in ``store``.
 
+        With memoization off this is exactly `_eval`; with it on, the
+        frame around `_eval` tracks the taint / footprint bookkeeping
+        that keeps cached answers bit-identical to uncached ones (see
+        `WorkBudgetMixin`).
+        """
+        if self._memo is None:
+            return self._eval(term, store)
+        start_seq, footprint = self.memo_frame()
+        try:
+            answer = self._eval(term, store)
+        finally:
+            self.memo_frame_end(footprint)
+        return self.memo_complete(
+            (id(term), store),
+            start_seq,
+            footprint,
+            answer,
+            cacheable=not is_value(term),
+        )
+
+    def _eval(self, term: Term, store: AbsStore) -> AAnswer:
+        """The Figure 4 ``Me`` clauses proper.
+
         Walks the let-spine iteratively; every intermediate judgment
         ``(M, sigma)`` is registered on the active path so the
         Section 4.4 loop detection fires exactly as in the paper.
         """
         registered: list[tuple[int, AbsStore]] = []
+        memo = self._memo
         self._depth += 1
         self.stats.max_depth = max(self.stats.max_depth, self._depth)
         try:
@@ -150,11 +179,15 @@ class DirectAnalyzer(WorkBudgetMixin):
                     # they never need loop detection.
                     return AAnswer(self.eval_value(term, store), store)
                 key = (id(term), store)
-                if key in self._active:
-                    self.count_loop_cut(term)
+                owner = self._active.get(key)
+                if owner is not None:
+                    self.note_loop_cut(owner, term)
                     return AAnswer(self.top_value, store)
-                self._active.add(key)
-                registered.append(key)
+                if memo is not None:
+                    hit = self.memo_probe(key, key, term)
+                    if hit is not None:
+                        return hit
+                self.register_judgment(key, registered)
                 if not isinstance(term, Let):
                     raise TypeError(
                         f"term is not in the restricted subset: {term!r}"
@@ -183,8 +216,7 @@ class DirectAnalyzer(WorkBudgetMixin):
                 term = body
         finally:
             self._depth -= 1
-            for key in registered:
-                self._active.discard(key)
+            self.unregister_judgments(registered)
 
     # ------------------------------------------------------------------
     # app_e: abstract application (Figure 4)
@@ -216,7 +248,7 @@ class DirectAnalyzer(WorkBudgetMixin):
             if seen > 1:
                 self.count_join("apply")
             value = lattice.join(value, branch_value)
-            out_store = out_store.join(branch_store)
+            out_store = self.join_stores(out_store, branch_store)
         return AAnswer(value, out_store)
 
     # ------------------------------------------------------------------
@@ -243,7 +275,7 @@ class DirectAnalyzer(WorkBudgetMixin):
         self.count_join("if0")
         return AAnswer(
             self.lattice.join(then_answer.value, else_answer.value),
-            then_answer.store.join(else_answer.store),
+            self.join_stores(then_answer.store, else_answer.store),
         )
 
     def _primop(self, rhs: PrimApp, store: AbsStore) -> AbsVal:
@@ -263,8 +295,16 @@ def analyze_direct(
     max_visits: int | None = None,
     trace: Sink | None = None,
     metrics: Metrics | None = None,
+    cache: "bool | None" = None,
 ) -> AnalysisResult:
     """Run the direct data flow analysis (Figure 4) on ``term``."""
     return DirectAnalyzer(
-        term, domain, initial, check, max_visits, trace=trace, metrics=metrics
+        term,
+        domain,
+        initial,
+        check,
+        max_visits,
+        trace=trace,
+        metrics=metrics,
+        cache=cache,
     ).run()

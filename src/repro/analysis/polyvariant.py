@@ -135,6 +135,7 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
         max_visits: int | None = None,
         trace: Sink | None = None,
         metrics: Metrics | None = None,
+        cache: "bool | None" = None,
     ) -> None:
         """Prepare a k-CFA analysis of ``term``.
 
@@ -148,6 +149,9 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
                 abstract domain (closures are converted to polyvariant
                 closures with the fallback environment).
             check: validate that ``term`` is in the restricted subset.
+            cache: `repro.perf` configuration (a `PerfConfig`, or
+                ``None``/``True``/``False``); results are identical
+                either way, only visit counts and wall time change.
         """
         if check:
             validate_anf(term)
@@ -156,11 +160,17 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
         self.term = term
         self.k = k
         self.lattice = Lattice(domain if domain is not None else ConstPropDomain())
+        self.stats = AnalysisStats()
+        self.max_visits = max_visits
+        self.init_obs(trace, metrics)
+        self.init_perf(cache)
         table: dict[Hashable, AbsVal] = {}
         initial = dict(initial) if initial else {}
         for name, value in initial.items():
             table[CtxVar(name, TOP_CONTEXT)] = _polyvariant_value(value)
-        self.initial_store = AbsStore(self.lattice, table)  # type: ignore[arg-type]
+        self.initial_store = self.intern_store(
+            AbsStore(self.lattice, table)  # type: ignore[arg-type]
+        )
         cl_top: set[Hashable] = set()
         for sub in subterms(term):
             if isinstance(sub, Lam):
@@ -170,10 +180,7 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
         for value in table.values():
             cl_top |= value.clos
         self.top_value = AbsVal(self.lattice.domain.top, frozenset(cl_top))
-        self.stats = AnalysisStats()
-        self.max_visits = max_visits
-        self.init_obs(trace, metrics)
-        self._active: set = set()
+        self._active: dict = {}
         self._depth = 0
 
     # ------------------------------------------------------------------
@@ -254,8 +261,38 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
         store: AbsStore,
     ) -> tuple[AbsVal, AbsStore]:
         """Analyze ``term`` under binding environment ``env`` in
-        context ``ctx``."""
+        context ``ctx``.
+
+        With memoization off this is exactly `_eval`; with it on, the
+        frame around `_eval` tracks the taint / footprint bookkeeping
+        that keeps cached answers bit-identical to uncached ones (see
+        `WorkBudgetMixin`)."""
+        if self._memo is None:
+            return self._eval(term, env, ctx, store)
+        memo_key = (id(term), frozenset(env.items()), ctx, store)
+        start_seq, footprint = self.memo_frame()
+        try:
+            answer = self._eval(term, env, ctx, store)
+        finally:
+            self.memo_frame_end(footprint)
+        return self.memo_complete(
+            memo_key,
+            start_seq,
+            footprint,
+            answer,
+            cacheable=not is_value(term),
+        )
+
+    def _eval(
+        self,
+        term: Term,
+        env: Mapping[str, Context],
+        ctx: Context,
+        store: AbsStore,
+    ) -> tuple[AbsVal, AbsStore]:
+        """The polyvariant Figure 4 clauses proper."""
         registered: list = []
+        memo = self._memo
         self._depth += 1
         self.stats.max_depth = max(self.stats.max_depth, self._depth)
         env = dict(env)
@@ -269,11 +306,15 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
                         f"term is not in the restricted subset: {term!r}"
                     )
                 key = (id(term), frozenset(env.items()), ctx, store)
-                if key in self._active:
-                    self.count_loop_cut(term)
+                owner = self._active.get(key)
+                if owner is not None:
+                    self.note_loop_cut(owner, term)
                     return self.top_value, store
-                self._active.add(key)
-                registered.append(key)
+                if memo is not None:
+                    hit = self.memo_probe(key, key, term)
+                    if hit is not None:
+                        return hit
+                self.register_judgment(key, registered)
 
                 name, rhs, body = term.name, term.rhs, term.body
                 if is_value(rhs):
@@ -300,8 +341,7 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
                 term = body
         finally:
             self._depth -= 1
-            for key in registered:
-                self._active.discard(key)
+            self.unregister_judgments(registered)
 
     def apply(
         self,
@@ -346,7 +386,7 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
             if seen > 1:
                 self.count_join("apply")
             value = lattice.join(value, branch_value)
-            out_store = out_store.join(branch_store)
+            out_store = self.join_stores(out_store, branch_store)
         return value, out_store
 
     def _branch(
@@ -371,7 +411,7 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
         self.count_join("if0")
         return (
             self.lattice.join(then_value, else_value),
-            then_store.join(else_store),
+            self.join_stores(then_store, else_store),
         )
 
 
@@ -470,9 +510,10 @@ def analyze_polyvariant(
     max_visits: int | None = None,
     trace: Sink | None = None,
     metrics: Metrics | None = None,
+    cache: "bool | None" = None,
 ) -> PolyvariantResult:
     """Run the k-CFA direct data flow analysis on ``term``."""
     return PolyvariantDirectAnalyzer(
         term, domain, k, initial, check, max_visits,
-        trace=trace, metrics=metrics,
+        trace=trace, metrics=metrics, cache=cache,
     ).run()

@@ -72,6 +72,7 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
         max_visits: int | None = None,
         trace: Sink | None = None,
         metrics: Metrics | None = None,
+        cache: "bool | None" = None,
     ) -> None:
         """Prepare an analysis of ``term``.
 
@@ -93,21 +94,25 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
             trace: optional `repro.obs` sink receiving per-rule trace
                 events (default: disabled, zero overhead).
             metrics: optional `repro.obs` metrics registry.
+            cache: `repro.perf` configuration (a `PerfConfig`, or
+                ``None``/``True``/``False``); results are identical
+                either way, only visit counts and wall time change.
         """
         if check:
             validate_anf(term)
         self.term = term
         self.lattice = Lattice(domain if domain is not None else ConstPropDomain())
-        self.initial_store = AbsStore(self.lattice, initial)
-        cl_top = closures_of_term(term) | closures_of_store(self.initial_store)
-        self.top_value = AbsVal(self.lattice.domain.top, cl_top)
         self.loop_mode = check_loop_mode(loop_mode)
         self.unroll_bound = unroll_bound
         self.cut_values = cut_values
         self.stats = AnalysisStats()
         self.max_visits = max_visits
         self.init_obs(trace, metrics)
-        self._active: set[tuple[int, AbsStore]] = set()
+        self.init_perf(cache)
+        self.initial_store = self.intern_store(AbsStore(self.lattice, initial))
+        cl_top = closures_of_term(term) | closures_of_store(self.initial_store)
+        self.top_value = AbsVal(self.lattice.domain.top, cl_top)
+        self._active: dict[tuple[int, AbsStore], int] = {}
         self._depth = 0
 
     def run(self, kont: AKont = ()) -> AnalysisResult:
@@ -138,8 +143,33 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
     # ------------------------------------------------------------------
 
     def eval(self, term: Term, kont: AKont, store: AbsStore) -> AAnswer:
-        """``Ce``: analyze ``term`` with continuation ``kont``."""
+        """``Ce``: analyze ``term`` with continuation ``kont``.
+
+        With memoization off this is exactly `_eval`; with it on, the
+        frame around `_eval` tracks the taint / footprint bookkeeping
+        that keeps cached answers bit-identical to uncached ones (see
+        `WorkBudgetMixin`).  Memo keys include the continuation: an
+        answer here is the value delivered through every frame below.
+        """
+        if self._memo is None:
+            return self._eval(term, kont, store)
+        start_seq, footprint = self.memo_frame()
+        try:
+            answer = self._eval(term, kont, store)
+        finally:
+            self.memo_frame_end(footprint)
+        return self.memo_complete(
+            (id(term), kont, store),
+            start_seq,
+            footprint,
+            answer,
+            cacheable=not is_value(term),
+        )
+
+    def _eval(self, term: Term, kont: AKont, store: AbsStore) -> AAnswer:
+        """The Figure 5 ``Ce`` clauses proper."""
         registered: list[tuple[int, AbsStore]] = []
+        memo = self._memo
         self._depth += 1
         self.stats.max_depth = max(self.stats.max_depth, self._depth)
         try:
@@ -158,12 +188,16 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
                         kont, self.eval_value(term, store), store
                     )
                 key = (id(term), store)
-                if key in self._active:
+                owner = self._active.get(key)
+                if owner is not None:
                     # Section 4.4: return (⊤, CL⊤) *to the continuation*.
-                    self.count_loop_cut(term)
+                    self.note_loop_cut(owner, term)
                     return self.ret(kont, self.top_value, store)
-                self._active.add(key)
-                registered.append(key)
+                if memo is not None and not is_value(term):
+                    hit = self.memo_probe((id(term), kont, store), key, term)
+                    if hit is not None:
+                        return hit
+                self.register_judgment(key, registered)
                 if is_value(term):
                     return self.ret(
                         kont, self.eval_value(term, store), store
@@ -201,8 +235,7 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
                     raise TypeError(f"invalid let right-hand side: {rhs!r}")
         finally:
             self._depth -= 1
-            for key in registered:
-                self._active.discard(key)
+            self.unregister_judgments(registered)
 
     # ------------------------------------------------------------------
     # appk_e: abstract application with explicit continuation
@@ -310,7 +343,8 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
     def _join(self, a: AAnswer, b: AAnswer, site: str = "join") -> AAnswer:
         self.count_join(site)
         return AAnswer(
-            self.lattice.join(a.value, b.value), a.store.join(b.store)
+            self.lattice.join(a.value, b.value),
+            self.join_stores(a.store, b.store),
         )
 
 
@@ -324,9 +358,10 @@ def analyze_semantic_cps(
     max_visits: int | None = None,
     trace: Sink | None = None,
     metrics: Metrics | None = None,
+    cache: "bool | None" = None,
 ) -> AnalysisResult:
     """Run the semantic-CPS data flow analysis (Figure 5) on ``term``."""
     return SemanticCpsAnalyzer(
         term, domain, initial, loop_mode, unroll_bound, check,
-        max_visits=max_visits, trace=trace, metrics=metrics,
+        max_visits=max_visits, trace=trace, metrics=metrics, cache=cache,
     ).run()

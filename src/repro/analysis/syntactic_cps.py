@@ -82,6 +82,7 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
         max_visits: int | None = None,
         trace: Sink | None = None,
         metrics: Metrics | None = None,
+        cache: "bool | None" = None,
     ) -> None:
         """Prepare an analysis of the cps(A) program ``term``.
 
@@ -100,27 +101,31 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
             trace: optional `repro.obs` sink receiving per-rule trace
                 events (default: disabled, zero overhead).
             metrics: optional `repro.obs` metrics registry.
+            cache: `repro.perf` configuration (a `PerfConfig`, or
+                ``None``/``True``/``False``); results are identical
+                either way, only visit counts and wall time change.
         """
         if check:
             validate_cps(term, frozenset((top_kvar,)))
         self.term = term
         self.lattice = Lattice(domain if domain is not None else ConstPropDomain())
+        self.loop_mode = check_loop_mode(loop_mode)
+        self.unroll_bound = unroll_bound
+        self.stats = AnalysisStats()
+        self.max_visits = max_visits
+        self.init_obs(trace, metrics)
+        self.init_perf(cache)
         table = dict(initial) if initial else {}
         if top_kvar not in table:
             table[top_kvar] = self.lattice.of_konts(A_STOP)
-        self.initial_store = AbsStore(self.lattice, table)
+        self.initial_store = self.intern_store(AbsStore(self.lattice, table))
         cl_top = cps_closures_of_term(term) | closures_of_store(
             self.initial_store
         )
         k_top = konts_of_term(term) | konts_of_store(self.initial_store)
         #: The least precise value ``(⊤, CL⊤, K⊤)`` (Section 4.4).
         self.top_value = AbsVal(self.lattice.domain.top, cl_top, k_top)
-        self.loop_mode = check_loop_mode(loop_mode)
-        self.unroll_bound = unroll_bound
-        self.stats = AnalysisStats()
-        self.max_visits = max_visits
-        self.init_obs(trace, metrics)
-        self._active: set[tuple[int, AbsStore]] = set()
+        self._active: dict[tuple[int, AbsStore], int] = {}
         self._depth = 0
 
     def run(self) -> AnalysisResult:
@@ -163,18 +168,43 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
     # ------------------------------------------------------------------
 
     def eval(self, term: CTerm, store: AbsStore) -> AAnswer:
-        """``Ms``: analyze the serious term ``term`` in ``store``."""
+        """``Ms``: analyze the serious term ``term`` in ``store``.
+
+        With memoization off this is exactly `_eval`; with it on, the
+        frame around `_eval` tracks the taint / footprint bookkeeping
+        that keeps cached answers bit-identical to uncached ones (see
+        `WorkBudgetMixin`).  Every cps(A) term is serious, so every
+        frame answer is cacheable.
+        """
+        if self._memo is None:
+            return self._eval(term, store)
+        start_seq, footprint = self.memo_frame()
+        try:
+            answer = self._eval(term, store)
+        finally:
+            self.memo_frame_end(footprint)
+        return self.memo_complete(
+            (id(term), store), start_seq, footprint, answer
+        )
+
+    def _eval(self, term: CTerm, store: AbsStore) -> AAnswer:
+        """The Figure 6 ``Ms`` clauses proper."""
         registered: list[tuple[int, AbsStore]] = []
+        memo = self._memo
         self._depth += 1
         self.stats.max_depth = max(self.stats.max_depth, self._depth)
         try:
             while True:
                 key = (id(term), store)
-                if key in self._active:
-                    self.count_loop_cut(term)
+                owner = self._active.get(key)
+                if owner is not None:
+                    self.note_loop_cut(owner, term)
                     return AAnswer(self.top_value, store)
-                self._active.add(key)
-                registered.append(key)
+                if memo is not None:
+                    hit = self.memo_probe(key, key, term)
+                    if hit is not None:
+                        return hit
+                self.register_judgment(key, registered)
                 self.tick(term)
 
                 match term:
@@ -218,8 +248,7 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
                         raise TypeError(f"not a cps(A) term: {term!r}")
         finally:
             self._depth -= 1
-            for key in registered:
-                self._active.discard(key)
+            self.unregister_judgments(registered)
 
     # ------------------------------------------------------------------
     # app_s: abstract application
@@ -354,7 +383,8 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
     def _join(self, a: AAnswer, b: AAnswer, site: str = "join") -> AAnswer:
         self.count_join(site)
         return AAnswer(
-            self.lattice.join(a.value, b.value), a.store.join(b.store)
+            self.lattice.join(a.value, b.value),
+            self.join_stores(a.store, b.store),
         )
 
 
@@ -369,9 +399,10 @@ def analyze_syntactic_cps(
     max_visits: int | None = None,
     trace: Sink | None = None,
     metrics: Metrics | None = None,
+    cache: "bool | None" = None,
 ) -> AnalysisResult:
     """Run the syntactic-CPS data flow analysis (Figure 6)."""
     return SyntacticCpsAnalyzer(
         term, domain, initial, top_kvar, loop_mode, unroll_bound, check,
-        max_visits=max_visits, trace=trace, metrics=metrics,
+        max_visits=max_visits, trace=trace, metrics=metrics, cache=cache,
     ).run()

@@ -126,6 +126,7 @@ def run_three_way(
     max_visits: int | None = None,
     trace: Sink = NULL_SINK,
     metrics: Metrics | None = None,
+    cache: "bool | None" = None,
 ) -> ThreeWayReport:
     """Run all three analyzers on one program.
 
@@ -146,6 +147,9 @@ def run_three_way(
         metrics: optional `repro.obs` registry; each analyzer gets an
             ``analyze.<name>`` timing span and folds its stats in
             under ``analysis.<name>``.
+        cache: `repro.perf` configuration shared by all three analyzers
+            (a `PerfConfig`, or ``None``/``True``/``False``); results
+            are identical either way.
 
     Returns:
         A `ThreeWayReport` with the three results and pairwise verdicts.
@@ -168,6 +172,7 @@ def run_three_way(
             max_visits=max_visits,
             trace=trace,
             metrics=metrics,
+            cache=cache,
         )
     with span("analyze.semantic-cps"):
         semantic = analyze_semantic_cps(
@@ -179,6 +184,7 @@ def run_three_way(
             max_visits=max_visits,
             trace=trace,
             metrics=metrics,
+            cache=cache,
         )
     with span("analyze.syntactic-cps"):
         syntactic = analyze_syntactic_cps(
@@ -190,5 +196,6 @@ def run_three_way(
             max_visits=max_visits,
             trace=trace,
             metrics=metrics,
+            cache=cache,
         )
     return ThreeWayReport(term, cps_term, direct, semantic, syntactic)

@@ -11,10 +11,15 @@ Commands
 - ``cps``      print the CPS transform of a program
 - ``optimize`` run the analysis-driven optimizer and print the result
 - ``graph``    print the call or flow graph as Graphviz DOT
+- ``bench``    run the `repro.perf` regression benchmark and write
+  ``BENCH_perf.json``
 
 ``run``, ``analyze``, and ``dataflow`` accept ``--stats`` to print the
 `repro.obs` work counters (visits, joins, widenings, loop cuts, span
-timings) after their normal output.
+timings) after their normal output.  ``analyze`` and ``dataflow``
+accept ``--cache`` to enable the `repro.perf` caches (results are
+identical; visit counts drop).  ``survey`` and ``report`` accept
+``--jobs N`` to fan work out over worker processes.
 
 Programs are read from a file argument, or from ``-e SOURCE`` for
 inline text.  Free variables can be given concrete values (``run``)
@@ -164,6 +169,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     lattice = Lattice(domain)
     initial = _analysis_initial(term, lattice, _parse_assumes(args.assume))
     metrics = Metrics() if args.stats else None
+    cache = True if args.cache else None
     if args.json:
         import json
 
@@ -173,6 +179,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             initial=initial,
             loop_mode=args.loop_mode,
             metrics=metrics,
+            cache=cache,
         )
         payload = {
             "direct": report.direct.to_dict(),
@@ -190,7 +197,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return 0
     if args.k is not None:
         result = analyze_polyvariant(
-            term, domain, k=args.k, initial=initial, metrics=metrics
+            term, domain, k=args.k, initial=initial, metrics=metrics,
+            cache=cache,
         )
         collapsed = result.collapse()
         print(f"value: {collapsed.value!r}")
@@ -208,6 +216,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         initial=initial,
         loop_mode=args.loop_mode,
         metrics=metrics,
+        cache=cache,
     )
     print(report.summary())
     print("\nper-variable facts (direct analyzer):")
@@ -427,6 +436,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the repro.obs work counters and metrics snapshot",
     )
+    analyze_parser.add_argument(
+        "--cache",
+        action="store_true",
+        help=(
+            "enable the repro.perf eval cache (identical results, "
+            "fewer visits)"
+        ),
+    )
     analyze_parser.set_defaults(handler=_cmd_analyze)
 
     anf_parser = commands.add_parser("anf", help="print the A-normal form")
@@ -463,6 +480,13 @@ def build_parser() -> argparse.ArgumentParser:
         "report",
         help="regenerate the EXPERIMENTS.md measured tables",
     )
+    report_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render report sections across N worker processes",
+    )
     report_parser.set_defaults(handler=_cmd_report)
 
     survey_parser = commands.add_parser(
@@ -478,7 +502,34 @@ def build_parser() -> argparse.ArgumentParser:
     survey_parser.add_argument(
         "--domain", choices=sorted(DOMAINS), default="constprop"
     )
+    survey_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "survey programs across N worker processes (0 = one per "
+            "CPU; parallel path requires the default domain)"
+        ),
+    )
     survey_parser.set_defaults(handler=_cmd_survey)
+
+    bench_parser = commands.add_parser(
+        "bench",
+        help="run the repro.perf regression benchmark",
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload sweep (CI smoke)",
+    )
+    bench_parser.add_argument(
+        "--out",
+        default="BENCH_perf.json",
+        metavar="FILE",
+        help="output JSON path (default: BENCH_perf.json)",
+    )
+    bench_parser.set_defaults(handler=_cmd_bench)
 
     compile_parser = commands.add_parser(
         "compile",
@@ -519,6 +570,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the solvers' repro.obs metrics snapshot",
     )
+    dataflow_parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="memoize MFP fact joins (repro.perf; identical solution)",
+    )
     dataflow_parser.set_defaults(handler=_cmd_dataflow)
     return parser
 
@@ -546,7 +602,10 @@ def _cmd_dataflow(args: argparse.Namespace) -> int:
     metrics = Metrics() if args.stats else None
     wanted = ("mfp", "mop") if args.solver == "both" else (args.solver,)
     for which in wanted:
-        solution = solvers[which](problem, metrics=metrics)
+        if which == "mfp" and args.cache:
+            solution = solvers[which](problem, metrics=metrics, cache=True)
+        else:
+            solution = solvers[which](problem, metrics=metrics)
         exit_facts = solution[problem.exit_point]
         print(f"[{which.upper()}] facts at exit:")
         if exit_facts is None:
@@ -618,13 +677,21 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         survey_random_open,
     )
 
-    domain = DOMAINS[args.domain]()
-    print(survey_corpus(domain).summary())
-    print()
-    print(survey_random(args.count, args.depth, domain=domain).summary())
+    # None selects the default constant-propagation domain, which is
+    # what the parallel (--jobs) worker path requires.
+    domain = None if args.domain == "constprop" else DOMAINS[args.domain]()
+    print(survey_corpus(domain, jobs=args.jobs).summary())
     print()
     print(
-        survey_random_open(args.count, args.depth, domain=domain).summary()
+        survey_random(
+            args.count, args.depth, domain=domain, jobs=args.jobs
+        ).summary()
+    )
+    print()
+    print(
+        survey_random_open(
+            args.count, args.depth, domain=domain, jobs=args.jobs
+        ).summary()
     )
     return 0
 
@@ -632,7 +699,20 @@ def _cmd_survey(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.report import generate_report
 
-    print(generate_report())
+    print(generate_report(jobs=args.jobs))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import run_bench, summarize
+
+    try:
+        payload = run_bench(quick=args.quick, out=args.out)
+    except ValueError as exc:
+        print(f"bench FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(summarize(payload))
+    print(f"; wrote {args.out}", file=sys.stderr)
     return 0
 
 

@@ -12,6 +12,7 @@ from repro.corpus.programs import (
     call_site_chain,
     corpus_program,
     loop_feeding_conditional,
+    top_conditional_chain,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "call_site_chain",
     "corpus_program",
     "loop_feeding_conditional",
+    "top_conditional_chain",
 ]

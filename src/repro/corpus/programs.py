@@ -276,6 +276,38 @@ def conditional_chain(k: int) -> CorpusProgram:
     )
 
 
+def top_conditional_chain(k: int) -> CorpusProgram:
+    """A chain of ``k`` unknown conditionals whose branches *agree*.
+
+    Both arms of every conditional return a value computed once from
+    the same unknown ``y`` (``p = (+ y 1)`` vs ``q = (+ y 2)``, both ⊤
+    under constant propagation), so the two duplicated continuations
+    see identical stores.  The CPS analyzers still walk all 2^k paths
+    — the duplication is syntactic — but the `repro.perf` eval cache
+    collapses the redundant re-analyses to O(k): the memoization
+    showcase workload.
+    """
+    if k < 1:
+        raise ValueError("chain length must be >= 1")
+    lines = ["(let (p (+ y 1))", "(let (q (+ y 2))"]
+    for i in range(1, k + 1):
+        lines.append(f"(let (a{i} (if0 x{i} p q))")
+    body = f"a{k}" + ")" * (k + 2)
+    source = "\n".join(lines) + "\n" + body
+    return CorpusProgram(
+        name=f"top-conditional-chain-{k}",
+        description=f"{k} unknown conditionals with store-identical arms",
+        term=_anf(source),
+        initial=lambda lat: {
+            "y": lat.of_num(lat.domain.top),
+            **{
+                f"x{i}": lat.of_num(lat.domain.top)
+                for i in range(1, k + 1)
+            },
+        },
+    )
+
+
 def call_site_chain(k: int) -> CorpusProgram:
     """A chain of ``k`` calls to a two-closure variable.
 

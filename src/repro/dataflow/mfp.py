@@ -17,12 +17,14 @@ from repro.dataflow.framework import ENTRY, DataflowProblem, Facts
 from repro.obs.events import CacheHit, SolverIteration
 from repro.obs.metrics import Metrics
 from repro.obs.sinks import NULL_SINK, Sink
+from repro.perf import JoinMemo
 
 
 def solve_mfp(
     problem: DataflowProblem,
     trace: Sink = NULL_SINK,
     metrics: Metrics | None = None,
+    cache: bool = False,
 ) -> dict[str, Facts]:
     """Solve a dataflow problem by worklist iteration.
 
@@ -34,12 +36,24 @@ def solve_mfp(
         metrics: optional registry; records ``mfp.iterations``,
             ``mfp.edges_delivered``, ``mfp.joins``, ``mfp.cache_hits``
             counters and the ``mfp.worklist_depth`` high-water gauge.
+        cache: memoize ``problem.join_facts`` on canonicalized fact
+            tables (`repro.perf.JoinMemo`) — the solution is identical,
+            repeated joins of the same pair are absorbed; adds
+            ``perf.mfp.join_memo_hits`` / ``_misses`` metrics.
 
     Returns:
         The post-state fact table at every program point (None for
         unreachable points).
     """
     emit = trace.emit if trace.enabled else None
+    join_facts = problem.join_facts
+    join_memo: JoinMemo | None = None
+    if cache:
+        join_memo = JoinMemo(
+            join_facts,
+            canon_key=lambda facts: tuple(sorted(facts.items())),
+        )
+        join_facts = join_memo
     facts: dict[str, Facts] = {point: None for point in problem.points}
     facts[ENTRY] = dict(problem.entry_facts)
     successors: dict[str, list] = {point: [] for point in problem.points}
@@ -59,7 +73,7 @@ def solve_mfp(
         for edge in successors[point]:
             delivered = edge.transfer(current)
             deliveries += 1
-            joined = problem.join_facts(facts[edge.dst], delivered)
+            joined = join_facts(facts[edge.dst], delivered)
             joins += 1
             if joined != facts[edge.dst]:
                 facts[edge.dst] = joined
@@ -76,6 +90,11 @@ def solve_mfp(
         metrics.counter("mfp.joins").inc(joins)
         metrics.counter("mfp.cache_hits").inc(hits)
         metrics.gauge("mfp.worklist_depth").set_max(max_pending)
+        if join_memo is not None:
+            metrics.counter("perf.mfp.join_memo_hits").inc(join_memo.hits)
+            metrics.counter("perf.mfp.join_memo_misses").inc(
+                join_memo.misses
+            )
     return facts
 
 

@@ -12,7 +12,7 @@ never bound ``x`` equals one that bound it to bottom.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.domains.absval import AbsVal, Lattice
 
@@ -67,19 +67,34 @@ class AbsStore:
     # Lattice structure
     # ------------------------------------------------------------------
 
-    def joined_bind(self, name: str, value: AbsVal) -> "AbsStore":
-        """The paper's ``sigma[x := sigma(x) u u]`` update."""
-        joined = self._lattice.join(self.get(name), value)
-        if joined == self.get(name) and name in self._table:
+    def joined_bind(
+        self,
+        name: str,
+        value: AbsVal,
+        intern: Callable[[AbsVal], AbsVal] | None = None,
+    ) -> "AbsStore":
+        """The paper's ``sigma[x := sigma(x) u u]`` update.
+
+        ``intern`` optionally canonicalizes the joined value before it
+        enters the table (see `repro.perf.Interner`), so equal stores
+        built along different paths share value objects.
+        """
+        current = self.get(name)
+        joined = self._lattice.join(current, value)
+        if name in self._table and joined == current:
             return self
+        if intern is not None:
+            joined = intern(joined)
         table = dict(self._table)
         table[name] = joined
         return AbsStore(self._lattice, table)
 
     def join(self, other: "AbsStore") -> "AbsStore":
         """Pointwise least upper bound of two stores."""
-        if self is other:
+        if self is other or not other._table:
             return self
+        if not self._table:
+            return other
         table = dict(self._table)
         for name, value in other._table.items():
             existing = table.get(name)
@@ -90,6 +105,8 @@ class AbsStore:
 
     def leq(self, other: "AbsStore") -> bool:
         """Pointwise order: every entry at least as precise in ``other``."""
+        if self is other:
+            return True
         for name, value in self._table.items():
             if not self._lattice.leq(value, other.get(name)):
                 return False
@@ -98,7 +115,9 @@ class AbsStore:
     def restrict(self, names: Iterable[str]) -> "AbsStore":
         """The store restricted to ``names`` (used by comparisons that
         must ignore continuation-variable entries)."""
-        wanted = set(names)
+        wanted = (
+            names if isinstance(names, (set, frozenset)) else set(names)
+        )
         return AbsStore(
             self._lattice,
             {n: v for n, v in self._table.items() if n in wanted},
@@ -109,6 +128,8 @@ class AbsStore:
     # ------------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, AbsStore):
             return NotImplemented
         return self._table == other._table

@@ -1,0 +1,44 @@
+"""`repro.perf`: the performance layer.
+
+Three independent mechanisms, combinable per analyzer run via the
+``cache`` argument (``PerfConfig.resolve`` semantics):
+
+- **interning / hash-consing** (`Interner`): structurally equal
+  abstract stores and values become pointer-equal, with a join memo
+  on interned pairs — semantically invisible, on by default;
+- **eval memoization** (wired into the analyzers through
+  `repro.analysis.common.WorkBudgetMixin`): complete, context-free
+  sub-derivation summaries are reused, collapsing the Section 6.2
+  duplication families from exponential to linear visits while
+  keeping results bit-identical — off by default (it changes visit
+  counts);
+- **parallel batch running** (`parallel_map`): a multiprocessing map
+  used by the survey and report fan-outs (``--jobs N``).
+
+`repro.perf.bench` (imported lazily by the CLI, since it depends on
+the analyzers) times corpus and blowup-family workloads with the
+caches on and off and writes ``BENCH_perf.json``.
+"""
+
+from repro.perf.batch import effective_jobs, parallel_map
+from repro.perf.intern import (
+    DEFAULT_CONFIG,
+    FULL_CONFIG,
+    OFF_CONFIG,
+    Interner,
+    JoinMemo,
+    PerfConfig,
+    PerfStats,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "FULL_CONFIG",
+    "OFF_CONFIG",
+    "Interner",
+    "JoinMemo",
+    "PerfConfig",
+    "PerfStats",
+    "effective_jobs",
+    "parallel_map",
+]

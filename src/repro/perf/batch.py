@@ -1,0 +1,60 @@
+"""A multiprocessing-backed, order-preserving parallel map.
+
+`repro.survey` and `repro.report` fan their per-program /
+per-section work out through :func:`parallel_map`; the ``--jobs N``
+CLI flag reaches it unchanged.  Results come back in input order, so
+a parallel run folds to exactly the same aggregate as a serial one
+(the batch tests enforce this).
+
+Workers are separate processes, so ``fn`` and every item must be
+picklable — module-level functions over plain records (program
+*names*, random *seeds*), never closures or `CorpusProgram` objects
+(whose ``initial`` builders are lambdas).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+_In = TypeVar("_In")
+_Out = TypeVar("_Out")
+
+
+def effective_jobs(jobs: int | None, item_count: int | None = None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``1`` mean serial, ``0``
+    means one worker per CPU, and the count never exceeds the number
+    of items."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if item_count is not None:
+        jobs = min(jobs, max(item_count, 1))
+    return jobs
+
+
+def parallel_map(
+    fn: Callable[[_In], _Out],
+    items: Iterable[_In],
+    jobs: int | None = None,
+    chunksize: int | None = None,
+) -> list[_Out]:
+    """Map ``fn`` over ``items``, optionally across processes.
+
+    Serial (and pool-free) when ``jobs`` resolves to 1, so the default
+    path has zero multiprocessing overhead.
+    """
+    work: Sequence[_In] = list(items)
+    jobs = effective_jobs(jobs, len(work))
+    if jobs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    if chunksize is None:
+        # A few chunks per worker balances load without drowning in IPC.
+        chunksize = max(1, len(work) // (jobs * 4))
+    with multiprocessing.Pool(processes=jobs) as pool:
+        return pool.map(fn, work, chunksize)

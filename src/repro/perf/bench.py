@@ -1,0 +1,290 @@
+"""The `repro.perf` regression benchmark (``python -m repro bench``).
+
+Times representative workloads with the caches off and on, checks the
+cached answers are identical to the uncached ones, and writes the
+result as ``BENCH_perf.json`` (schema ``repro.perf.bench/1``).  The
+CI smoke job runs ``--quick`` and fails on a malformed payload or on
+any cached/uncached divergence.
+
+Workloads:
+
+- every non-heavy corpus program (semantic-CPS analyzer — the one the
+  eval cache targets);
+- the Section 6.2 blowup families (``conditional-chain``,
+  ``call-site-chain``, and ``top-conditional-chain``, whose 2^k
+  duplicated paths carry identical stores so the eval cache collapses
+  them to O(k) — the headline speedup);
+- the polyvariant analyzer on the recursive corpus programs;
+- the survey runner at ``--jobs 1`` vs ``--jobs 4`` (honest numbers:
+  on a single-CPU box the parallel run is expected to *lose* to the
+  serial one on process overhead).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable
+
+SCHEMA = "repro.perf.bench/1"
+
+#: Fields every workload entry must carry (validation contract).
+_RUN_FIELDS = ("wall_s", "visits")
+_CACHED_FIELDS = _RUN_FIELDS + (
+    "eval_cache_hits",
+    "eval_cache_rejects",
+    "eval_cache_hit_rate",
+    "intern_store_hits",
+    "join_memo_hits",
+    "bytes_saved",
+)
+
+
+def _timed(make: Callable[[], Any]) -> tuple[Any, Any, float]:
+    """Build an analyzer, run it, return (analyzer, result, seconds)."""
+    analyzer = make()
+    start = time.perf_counter()
+    result = analyzer.run()
+    return analyzer, result, time.perf_counter() - start
+
+
+def _answer_of(result: Any) -> Any:
+    """A comparable answer from either result flavor."""
+    if hasattr(result, "answer"):
+        return result.answer
+    # PolyvariantResult: compare the collapsed monovariant view.
+    return (result.value, result.collapse().answer)
+
+
+def _workload(name: str, analyzer_name: str, make: Callable[[bool], Any]) -> dict:
+    """Run one workload with the caches off then fully on."""
+    an_off, res_off, wall_off = _timed(lambda: make(False))
+    an_on, res_on, wall_on = _timed(lambda: make(True))
+    perf = an_on.perf
+    return {
+        "name": name,
+        "analyzer": analyzer_name,
+        "uncached": {
+            "wall_s": wall_off,
+            "visits": an_off.stats.visits,
+        },
+        "cached": {
+            "wall_s": wall_on,
+            "visits": an_on.stats.visits,
+            "eval_cache_hits": perf.eval_cache_hits,
+            "eval_cache_rejects": perf.eval_cache_rejects,
+            "eval_cache_hit_rate": perf.eval_cache_hit_rate,
+            "intern_store_hits": perf.intern_store_hits,
+            "join_memo_hits": perf.join_memo_hits,
+            "bytes_saved": perf.bytes_saved,
+        },
+        "speedup": wall_off / wall_on if wall_on > 0 else 0.0,
+        "answers_equal": _answer_of(res_off) == _answer_of(res_on),
+    }
+
+
+def _corpus_workloads(quick: bool) -> list[dict]:
+    from repro.analysis.semantic_cps import SemanticCpsAnalyzer
+    from repro.corpus import PROGRAMS
+    from repro.domains.absval import Lattice
+    from repro.domains.constprop import ConstPropDomain
+
+    lattice = Lattice(ConstPropDomain())
+    names = list(PROGRAMS)
+    if quick:
+        names = [n for n in names if n in ("factorial", "even-odd", "church-pairs")]
+    entries = []
+    for name in names:
+        program = PROGRAMS[name]
+        if program.heavy:
+            continue
+        initial = program.initial_for(lattice)
+        entries.append(
+            _workload(
+                f"corpus/{name}",
+                "semantic-cps",
+                lambda cache, t=program.term, i=initial: SemanticCpsAnalyzer(
+                    t, initial=i, loop_mode="top", cache=cache
+                ),
+            )
+        )
+    return entries
+
+
+def _family_workloads(quick: bool) -> list[dict]:
+    from repro.analysis.semantic_cps import SemanticCpsAnalyzer
+    from repro.corpus import (
+        call_site_chain,
+        conditional_chain,
+        top_conditional_chain,
+    )
+    from repro.domains.absval import Lattice
+    from repro.domains.constprop import ConstPropDomain
+
+    lattice = Lattice(ConstPropDomain())
+    families = [
+        (conditional_chain, 8 if quick else 12),
+        (call_site_chain, 6 if quick else 8),
+        (top_conditional_chain, 12 if quick else 16),
+    ]
+    entries = []
+    for family, k in families:
+        program = family(k)
+        initial = program.initial_for(lattice)
+        entries.append(
+            _workload(
+                f"family/{program.name}",
+                "semantic-cps",
+                lambda cache, t=program.term, i=initial: SemanticCpsAnalyzer(
+                    t, initial=i, cache=cache
+                ),
+            )
+        )
+    return entries
+
+
+def _polyvariant_workloads(quick: bool) -> list[dict]:
+    from repro.analysis.polyvariant import PolyvariantDirectAnalyzer
+    from repro.corpus import PROGRAMS
+    from repro.domains.absval import Lattice
+    from repro.domains.constprop import ConstPropDomain
+
+    lattice = Lattice(ConstPropDomain())
+    names = ("factorial",) if quick else ("factorial", "even-odd", "mini-evaluator")
+    entries = []
+    for name in names:
+        program = PROGRAMS[name]
+        initial = program.initial_for(lattice)
+        entries.append(
+            _workload(
+                f"polyvariant/{name}",
+                "direct-kcfa",
+                lambda cache, t=program.term, i=initial: PolyvariantDirectAnalyzer(
+                    t, initial=i, cache=cache
+                ),
+            )
+        )
+    return entries
+
+
+def _survey_section(quick: bool) -> dict:
+    from repro.survey import survey_random_open
+
+    count = 20 if quick else 200
+    depth = 3
+    timings: dict[str, float] = {}
+    results = {}
+    for jobs in (1, 4):
+        start = time.perf_counter()
+        results[jobs] = survey_random_open(count=count, depth=depth, jobs=jobs)
+        timings[str(jobs)] = time.perf_counter() - start
+    serial, parallel = results[1], results[4]
+    matches = (
+        serial.count == parallel.count
+        and serial.budget_exceeded == parallel.budget_exceeded
+        and serial.direct_vs_syntactic == parallel.direct_vs_syntactic
+        and serial.semantic_vs_direct == parallel.semantic_vs_direct
+        and serial.semantic_vs_syntactic == parallel.semantic_vs_syntactic
+        and serial.direct_visits == parallel.direct_visits
+        and serial.semantic_visits == parallel.semantic_visits
+        and serial.syntactic_visits == parallel.syntactic_visits
+    )
+    return {
+        "population": "random-open",
+        "count": count,
+        "depth": depth,
+        "wall_s_by_jobs": timings,
+        "matches": matches,
+    }
+
+
+def run_bench(quick: bool = False, out: str | None = None) -> dict:
+    """Run the benchmark; optionally write the JSON payload to ``out``."""
+    payload = {
+        "schema": SCHEMA,
+        "quick": quick,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "workloads": (
+            _corpus_workloads(quick)
+            + _family_workloads(quick)
+            + _polyvariant_workloads(quick)
+        ),
+        "survey": _survey_section(quick),
+    }
+    validate_bench(payload)
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return payload
+
+
+def validate_bench(payload: Any) -> None:
+    """Raise ``ValueError`` if ``payload`` is not a well-formed bench
+    result or if any workload's cached answer diverged."""
+    if not isinstance(payload, dict):
+        raise ValueError("bench payload must be a JSON object")
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"bench schema must be {SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    workloads = payload.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        raise ValueError("bench payload must carry a non-empty workload list")
+    for entry in workloads:
+        for field in ("name", "analyzer", "uncached", "cached", "speedup", "answers_equal"):
+            if field not in entry:
+                raise ValueError(f"workload missing field {field!r}: {entry!r}")
+        for field in _RUN_FIELDS:
+            if field not in entry["uncached"]:
+                raise ValueError(
+                    f"workload {entry['name']!r} uncached run missing {field!r}"
+                )
+        for field in _CACHED_FIELDS:
+            if field not in entry["cached"]:
+                raise ValueError(
+                    f"workload {entry['name']!r} cached run missing {field!r}"
+                )
+        if entry["answers_equal"] is not True:
+            raise ValueError(
+                f"workload {entry['name']!r}: cached answer diverged from uncached"
+            )
+    survey = payload.get("survey")
+    if not isinstance(survey, dict) or "wall_s_by_jobs" not in survey:
+        raise ValueError("bench payload must carry a survey section")
+    if survey.get("matches") is not True:
+        raise ValueError("survey parallel aggregate diverged from serial")
+
+
+def validate_bench_file(path: str) -> dict:
+    """Load ``path`` and validate it; returns the payload."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    validate_bench(payload)
+    return payload
+
+
+def summarize(payload: dict) -> str:
+    """A short human-readable table of the bench payload."""
+    lines = [
+        f"{'workload':38} {'uncached':>10} {'cached':>10} {'speedup':>8} {'hit rate':>9}"
+    ]
+    for entry in payload["workloads"]:
+        cached = entry["cached"]
+        lines.append(
+            f"{entry['name']:38} "
+            f"{entry['uncached']['wall_s']:>9.4f}s "
+            f"{cached['wall_s']:>9.4f}s "
+            f"{entry['speedup']:>7.1f}x "
+            f"{cached['eval_cache_hit_rate']:>8.1%}"
+        )
+    survey = payload["survey"]
+    per_jobs = ", ".join(
+        f"jobs={jobs}: {wall:.2f}s"
+        for jobs, wall in survey["wall_s_by_jobs"].items()
+    )
+    lines.append(
+        f"survey {survey['population']} x{survey['count']}: {per_jobs} "
+        f"(aggregates match: {survey['matches']})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,241 @@
+"""Hash-consing and join memoization for abstract stores and values.
+
+The analyzers' hot loop hashes and compares `AbsStore` objects
+constantly: loop detection keys on ``(term, store)``, and the CPS
+analyzers re-join the same pair of stores once per duplicated path
+(Section 6.2).  Interning makes structurally equal stores *pointer*
+equal, so dict lookups in the active set and the eval memo hit the
+``x is y`` fast path of ``PyObject_RichCompareBool``, the cached
+``_hash`` is computed once per distinct store, and a join of two
+interned stores can be memoized by object identity.
+
+Everything here is semantics-free: interning only collapses equal
+objects, and the join memo only caches a deterministic function, so
+analyzer results and statistics are bit-identical with it on or off
+(the equivalence tests in ``tests/perf`` enforce this).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from repro.domains.absval import AbsVal
+from repro.domains.store import AbsStore
+
+
+@dataclass(frozen=True)
+class PerfConfig:
+    """Which `repro.perf` caches an analyzer runs with.
+
+    ``intern`` and ``join_memo`` are invisible to results *and*
+    statistics, so they default on.  The eval ``memo`` skips whole
+    sub-derivations — results stay bit-identical but visit counts
+    drop, so it defaults off and is opted into per run (``cache=True``
+    or an explicit `PerfConfig`).
+    """
+
+    intern: bool = True
+    join_memo: bool = True
+    memo: bool = False
+
+    @staticmethod
+    def resolve(cache: "PerfConfig | bool | None") -> "PerfConfig":
+        """Normalize the analyzers' ``cache`` argument.
+
+        ``None`` means the default (interning only), ``True`` enables
+        every cache, ``False`` disables them all, and a `PerfConfig`
+        passes through.
+        """
+        if cache is None:
+            return DEFAULT_CONFIG
+        if cache is True:
+            return FULL_CONFIG
+        if cache is False:
+            return OFF_CONFIG
+        if isinstance(cache, PerfConfig):
+            return cache
+        raise TypeError(
+            f"cache must be a PerfConfig, bool, or None, got {cache!r}"
+        )
+
+
+DEFAULT_CONFIG = PerfConfig()
+FULL_CONFIG = PerfConfig(intern=True, join_memo=True, memo=True)
+OFF_CONFIG = PerfConfig(intern=False, join_memo=False, memo=False)
+
+
+@dataclass(slots=True)
+class PerfStats:
+    """Counters for the `repro.perf` caches of one analyzer run.
+
+    ``bytes_saved`` is an estimate: the shallow size of each duplicate
+    store/value released by interning (``sys.getsizeof`` of the object
+    and its table), not a full deep measurement.
+    """
+
+    intern_store_hits: int = 0
+    intern_store_misses: int = 0
+    intern_value_hits: int = 0
+    intern_value_misses: int = 0
+    join_memo_hits: int = 0
+    join_memo_misses: int = 0
+    eval_cache_hits: int = 0
+    eval_cache_misses: int = 0
+    eval_cache_rejects: int = 0
+    bytes_saved: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view, merged into metrics under ``perf.<name>``."""
+        return {
+            "intern_store_hits": self.intern_store_hits,
+            "intern_store_misses": self.intern_store_misses,
+            "intern_value_hits": self.intern_value_hits,
+            "intern_value_misses": self.intern_value_misses,
+            "join_memo_hits": self.join_memo_hits,
+            "join_memo_misses": self.join_memo_misses,
+            "eval_cache_hits": self.eval_cache_hits,
+            "eval_cache_misses": self.eval_cache_misses,
+            "eval_cache_rejects": self.eval_cache_rejects,
+            "bytes_saved": self.bytes_saved,
+        }
+
+    @property
+    def eval_cache_hit_rate(self) -> float:
+        """Hits over probes of the eval memo (0.0 when never probed)."""
+        probes = (
+            self.eval_cache_hits
+            + self.eval_cache_misses
+            + self.eval_cache_rejects
+        )
+        return self.eval_cache_hits / probes if probes else 0.0
+
+    @property
+    def join_memo_hit_rate(self) -> float:
+        """Hits over lookups of the store-join memo."""
+        lookups = self.join_memo_hits + self.join_memo_misses
+        return self.join_memo_hits / lookups if lookups else 0.0
+
+
+def _store_bytes(store: AbsStore) -> int:
+    """Shallow size estimate of one duplicate store."""
+    return sys.getsizeof(store) + sys.getsizeof(store._table)
+
+
+class Interner:
+    """Per-analyzer intern tables for stores and values.
+
+    The tables hold strong references to every canonical object, which
+    makes ``id()`` stable for the analyzer's lifetime — the join memo
+    exploits that by keying on ``(id(a), id(b))`` of *canonical*
+    operands (unordered, since the pointwise store join is
+    commutative).
+    """
+
+    __slots__ = ("stats", "_stores", "_values", "_join_memo")
+
+    def __init__(self, stats: PerfStats | None = None) -> None:
+        self.stats = stats if stats is not None else PerfStats()
+        self._stores: dict[AbsStore, AbsStore] = {}
+        self._values: dict[AbsVal, AbsVal] = {}
+        self._join_memo: dict[tuple[int, int], AbsStore] = {}
+
+    def __len__(self) -> int:
+        return len(self._stores)
+
+    def store(self, store: AbsStore) -> AbsStore:
+        """The canonical representative of ``store``."""
+        canon = self._stores.get(store)
+        if canon is None:
+            self._stores[store] = store
+            self.stats.intern_store_misses += 1
+            return store
+        if canon is not store:
+            self.stats.bytes_saved += _store_bytes(store)
+        self.stats.intern_store_hits += 1
+        return canon
+
+    def value(self, value: AbsVal) -> AbsVal:
+        """The canonical representative of ``value``."""
+        canon = self._values.get(value)
+        if canon is None:
+            self._values[value] = value
+            self.stats.intern_value_misses += 1
+            return value
+        if canon is not value:
+            self.stats.bytes_saved += sys.getsizeof(value)
+        self.stats.intern_value_hits += 1
+        return canon
+
+    def join_stores(self, a: AbsStore, b: AbsStore) -> AbsStore:
+        """``a.join(b)``, memoized on the canonical pair."""
+        if a is b:
+            return a
+        a = self.store(a)
+        b = self.store(b)
+        if a is b:
+            return a
+        ia, ib = id(a), id(b)
+        key = (ia, ib) if ia < ib else (ib, ia)
+        cached = self._join_memo.get(key)
+        if cached is not None:
+            self.stats.join_memo_hits += 1
+            return cached
+        joined = self.store(a.join(b))
+        self._join_memo[key] = joined
+        self.stats.join_memo_misses += 1
+        return joined
+
+
+class JoinMemo:
+    """A generic memo for a commutative, deterministic binary join.
+
+    Used by `repro.dataflow.mfp.solve_mfp` to canonicalize fact tables
+    and absorb repeated edge joins; the analyzers use the specialized
+    `Interner.join_stores` instead.  ``canon_key`` maps an operand to
+    a hashable canonicalization key (identity when omitted); ``None``
+    operands pass through untouched (the solver's "unreachable" fact).
+    """
+
+    __slots__ = ("_join", "_canon_key", "_canon", "_memo", "hits", "misses")
+
+    def __init__(
+        self,
+        join: Callable,
+        canon_key: Callable[[object], Hashable] | None = None,
+    ) -> None:
+        self._join = join
+        self._canon_key = canon_key
+        self._canon: dict = {}
+        self._memo: dict[tuple[int, int], object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def canonical(self, operand):
+        """The canonical representative of ``operand``."""
+        if operand is None:
+            return None
+        key = self._canon_key(operand) if self._canon_key else operand
+        found = self._canon.get(key)
+        if found is None:
+            self._canon[key] = operand
+            return operand
+        return found
+
+    def __call__(self, a, b):
+        a = self.canonical(a)
+        b = self.canonical(b)
+        if a is b and a is not None:
+            # Joins are idempotent.
+            return a
+        ia, ib = id(a), id(b)
+        key = (ia, ib) if ia < ib else (ib, ia)
+        found = self._memo.get(key)
+        if found is not None:
+            self.hits += 1
+            return found
+        joined = self.canonical(self._join(a, b))
+        self._memo[key] = joined
+        self.misses += 1
+        return joined

@@ -28,6 +28,7 @@ from repro.corpus import (
 )
 from repro.domains import ConstPropDomain, Lattice
 from repro.opt import duplicate_join_continuations
+from repro.perf import parallel_map
 
 DOM = ConstPropDomain()
 LAT = Lattice(DOM)
@@ -173,32 +174,57 @@ def computability_note(threshold: int = 10) -> str:
     )
 
 
-def generate_report(quick: bool = False) -> str:
+#: The report's sections — (key, title); keys dispatch in
+#: `_render_section`, a module-level function so `parallel_map` can
+#: ship section rendering to worker processes.
+_SECTIONS: tuple[tuple[str, str], ...] = (
+    ("witnesses", "Theorem 5.1 / 5.2 witnesses"),
+    ("cost", "Section 6.2: conditional-chain cost (rule visits)"),
+    ("call-cost", "Section 6.2: call-site-chain cost (rule visits)"),
+    ("loop", "Section 6.2: loop unrolling (threshold 10)"),
+    ("work", "Section 6.2: per-analyzer work counters"),
+    ("computability", "Section 6.2: computability"),
+    ("routes", "Section 6.3: routes on the conditional witness"),
+)
+
+
+def _render_section(args: tuple[str, bool]) -> str:
+    """Render one report section body (picklable worker)."""
+    key, quick = args
+    if key == "witnesses":
+        return witness_table()
+    if key == "cost":
+        return cost_table((2, 4) if quick else (2, 4, 6, 8, 10, 12))
+    if key == "call-cost":
+        return call_cost_table((1, 2, 3) if quick else (1, 2, 3, 4))
+    if key == "loop":
+        return loop_table()
+    if key == "work":
+        return work_table()
+    if key == "computability":
+        return computability_note()
+    if key == "routes":
+        return routes_table()
+    raise KeyError(f"unknown report section {key!r}")
+
+
+def generate_report(quick: bool = False, jobs: int | None = None) -> str:
     """The full Markdown report.
 
     Args:
         quick: shrink the cost sweeps (used by the test suite; the CLI
             always produces the full series).
+        jobs: render the sections in parallel worker processes
+            (`repro.perf.parallel_map`); the assembled report is
+            byte-identical to a serial run.
     """
-    chain_lengths = (2, 4) if quick else (2, 4, 6, 8, 10, 12)
-    call_lengths = (1, 2, 3) if quick else (1, 2, 3, 4)
-    sections = [
-        ("Theorem 5.1 / 5.2 witnesses", witness_table()),
-        (
-            "Section 6.2: conditional-chain cost (rule visits)",
-            cost_table(chain_lengths),
-        ),
-        (
-            "Section 6.2: call-site-chain cost (rule visits)",
-            call_cost_table(call_lengths),
-        ),
-        ("Section 6.2: loop unrolling (threshold 10)", loop_table()),
-        ("Section 6.2: per-analyzer work counters", work_table()),
-        ("Section 6.2: computability", computability_note()),
-        ("Section 6.3: routes on the conditional witness", routes_table()),
-    ]
+    bodies = parallel_map(
+        _render_section,
+        [(key, quick) for key, _ in _SECTIONS],
+        jobs=jobs,
+    )
     out = StringIO()
     out.write("# Measured results (regenerated)\n")
-    for title, body in sections:
+    for (_, title), body in zip(_SECTIONS, bodies):
         out.write(f"\n## {title}\n\n{body}")
     return out.getvalue()

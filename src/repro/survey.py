@@ -6,7 +6,12 @@ quantifies the phenomenon over program populations: it runs the
 three-way analysis over the corpus and over seeded random programs and
 tabulates the Section 5 verdicts, plus the relative analyzer costs.
 
-``python -m repro survey --count 200`` prints the tabulation.
+``python -m repro survey --count 200`` prints the tabulation;
+``--jobs N`` fans the per-program work out over N worker processes
+(`repro.perf.parallel_map`).  Each program's outcome travels back as a
+picklable `SurveyRow` and rows are folded in input order, so a
+parallel survey aggregates to exactly the same `SurveyResult` as a
+serial one.
 """
 
 from __future__ import annotations
@@ -25,12 +30,40 @@ from repro.domains.absval import Lattice
 from repro.domains.constprop import ConstPropDomain
 from repro.gen import random_open_term, random_program
 from repro.lang.syntax import free_variables, term_size
+from repro.perf import effective_jobs, parallel_map
 
 #: Default per-program analyzer work budget.  The syntactic-CPS
 #: analyzer is worst-case super-exponential (Section 6.2 + false
 #: returns); programs that blow past the budget are counted rather
 #: than analyzed to completion.
 DEFAULT_BUDGET = 200_000
+
+
+@dataclass(frozen=True)
+class SurveyRow:
+    """One program's survey outcome, reduced to picklable plain data
+    so it can cross a worker-process boundary."""
+
+    direct_vs_syntactic: str
+    semantic_vs_direct: str
+    semantic_vs_syntactic: str
+    direct_visits: int
+    semantic_visits: int
+    syntactic_visits: int
+    size: int
+
+    @staticmethod
+    def from_report(report) -> "SurveyRow":
+        """Reduce a `ThreeWayReport` to its survey-relevant facts."""
+        return SurveyRow(
+            direct_vs_syntactic=report.direct_vs_syntactic.value,
+            semantic_vs_direct=report.semantic_vs_direct.value,
+            semantic_vs_syntactic=report.semantic_vs_syntactic.value,
+            direct_visits=report.direct.stats.visits,
+            semantic_visits=report.semantic.stats.visits,
+            syntactic_visits=report.syntactic.stats.visits,
+            size=term_size(report.term),
+        )
 
 
 @dataclass
@@ -50,14 +83,22 @@ class SurveyResult:
 
     def record(self, report) -> None:
         """Fold one three-way report into the aggregate."""
+        self.record_row(SurveyRow.from_report(report))
+
+    def record_row(self, row: "SurveyRow | None") -> None:
+        """Fold one `SurveyRow` (None means the program blew the work
+        budget) into the aggregate."""
+        if row is None:
+            self.budget_exceeded += 1
+            return
         self.count += 1
-        self.direct_vs_syntactic[report.direct_vs_syntactic.value] += 1
-        self.semantic_vs_direct[report.semantic_vs_direct.value] += 1
-        self.semantic_vs_syntactic[report.semantic_vs_syntactic.value] += 1
-        self.direct_visits += report.direct.stats.visits
-        self.semantic_visits += report.semantic.stats.visits
-        self.syntactic_visits += report.syntactic.stats.visits
-        self.total_size += term_size(report.term)
+        self.direct_vs_syntactic[row.direct_vs_syntactic] += 1
+        self.semantic_vs_direct[row.semantic_vs_direct] += 1
+        self.semantic_vs_syntactic[row.semantic_vs_syntactic] += 1
+        self.direct_visits += row.direct_visits
+        self.semantic_visits += row.semantic_visits
+        self.syntactic_visits += row.syntactic_visits
+        self.total_size += row.size
 
     def verdict_share(self, counter: Counter, verdict: Precision) -> float:
         """Fraction of the population with the given verdict."""
@@ -89,29 +130,104 @@ class SurveyResult:
         return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# Per-program workers (module-level, so multiprocessing can pickle
+# them; they receive program *names* and random *seeds*, never terms
+# or `CorpusProgram` records, whose initial-store builders are
+# lambdas).
+# ----------------------------------------------------------------------
+
+
+def _survey_corpus_worker(args: tuple) -> "SurveyRow | None":
+    name, budget = args
+    try:
+        return SurveyRow.from_report(
+            run_three_way(PROGRAMS[name], max_visits=budget)
+        )
+    except BudgetExceeded:
+        return None
+
+
+def _survey_random_worker(args: tuple) -> "SurveyRow | None":
+    seed, depth, budget = args
+    term = normalize(random_program(seed, depth))
+    try:
+        return SurveyRow.from_report(run_three_way(term, max_visits=budget))
+    except BudgetExceeded:
+        return None
+
+
+def _survey_random_open_worker(args: tuple) -> "SurveyRow | None":
+    import random as _random
+
+    seed, depth, inputs, budget = args
+    domain = ConstPropDomain()
+    lattice = Lattice(domain)
+    term = normalize(random_open_term(_random.Random(seed), depth, inputs))
+    initial = {
+        name: lattice.of_num(domain.top) for name in free_variables(term)
+    }
+    try:
+        return SurveyRow.from_report(
+            run_three_way(
+                term, domain=domain, initial=initial, max_visits=budget
+            )
+        )
+    except BudgetExceeded:
+        return None
+
+
+def _fold(population: str, rows: Iterable["SurveyRow | None"]) -> SurveyResult:
+    result = SurveyResult(population)
+    for row in rows:
+        result.record_row(row)
+    return result
+
+
 def survey_programs(
     programs: Iterable[CorpusProgram],
     population: str,
     domain: NumDomain | None = None,
     budget: int = DEFAULT_BUDGET,
+    jobs: int | None = None,
 ) -> SurveyResult:
-    """Survey an iterable of corpus programs."""
-    result = SurveyResult(population)
-    for program in programs:
+    """Survey an iterable of corpus programs.
+
+    ``jobs`` fans the programs out over worker processes; the parallel
+    path requires the default domain and registry programs (anything
+    else falls back to the serial loop, since program records carry
+    unpicklable builders).
+    """
+    programs = list(programs)
+    registry = all(PROGRAMS.get(p.name) is p for p in programs)
+    if effective_jobs(jobs, len(programs)) > 1 and domain is None and registry:
+        rows = parallel_map(
+            _survey_corpus_worker,
+            [(p.name, budget) for p in programs],
+            jobs=jobs,
+        )
+        return _fold(population, rows)
+
+    def row_of(program: CorpusProgram) -> "SurveyRow | None":
         try:
-            result.record(
+            return SurveyRow.from_report(
                 run_three_way(program, domain=domain, max_visits=budget)
             )
         except BudgetExceeded:
-            result.budget_exceeded += 1
-    return result
+            return None
+
+    return _fold(population, (row_of(p) for p in programs))
 
 
 def survey_corpus(
-    domain: NumDomain | None = None, budget: int = DEFAULT_BUDGET
+    domain: NumDomain | None = None,
+    budget: int = DEFAULT_BUDGET,
+    jobs: int | None = None,
 ) -> SurveyResult:
     """Survey the built-in corpus."""
-    return survey_programs(PROGRAMS.values(), "corpus", domain, budget)
+    return survey_programs(
+        PROGRAMS.values(), "corpus", domain, budget, jobs=jobs
+    )
 
 
 def survey_random(
@@ -120,6 +236,7 @@ def survey_random(
     seed_base: int = 0,
     domain: NumDomain | None = None,
     budget: int = DEFAULT_BUDGET,
+    jobs: int | None = None,
 ) -> SurveyResult:
     """Survey ``count`` seeded random closed programs.
 
@@ -128,16 +245,26 @@ def survey_random(
     baseline population.  See :func:`survey_random_open` for the
     population where the paper's phenomena occur.
     """
-    result = SurveyResult(f"random-closed(depth={depth})")
-    for seed in range(seed_base, seed_base + count):
+    population = f"random-closed(depth={depth})"
+    seeds = range(seed_base, seed_base + count)
+    if effective_jobs(jobs, count) > 1 and domain is None:
+        rows = parallel_map(
+            _survey_random_worker,
+            [(seed, depth, budget) for seed in seeds],
+            jobs=jobs,
+        )
+        return _fold(population, rows)
+
+    def row_of(seed: int) -> "SurveyRow | None":
         term = normalize(random_program(seed, depth))
         try:
-            result.record(
+            return SurveyRow.from_report(
                 run_three_way(term, domain=domain, max_visits=budget)
             )
         except BudgetExceeded:
-            result.budget_exceeded += 1
-    return result
+            return None
+
+    return _fold(population, (row_of(seed) for seed in seeds))
 
 
 def survey_random_open(
@@ -147,6 +274,7 @@ def survey_random_open(
     domain: NumDomain | None = None,
     budget: int = DEFAULT_BUDGET,
     inputs: tuple[str, ...] = ("in0", "in1"),
+    jobs: int | None = None,
 ) -> SurveyResult:
     """Survey random programs with unknown numeric inputs.
 
@@ -156,10 +284,20 @@ def survey_random_open(
     """
     import random as _random
 
+    population = f"random-open(depth={depth})"
+    seeds = range(seed_base, seed_base + count)
+    if effective_jobs(jobs, count) > 1 and domain is None:
+        rows = parallel_map(
+            _survey_random_open_worker,
+            [(seed, depth, inputs, budget) for seed in seeds],
+            jobs=jobs,
+        )
+        return _fold(population, rows)
+
     domain = domain if domain is not None else ConstPropDomain()
     lattice = Lattice(domain)
-    result = SurveyResult(f"random-open(depth={depth})")
-    for seed in range(seed_base, seed_base + count):
+
+    def row_of(seed: int) -> "SurveyRow | None":
         term = normalize(
             random_open_term(_random.Random(seed), depth, inputs)
         )
@@ -168,11 +306,12 @@ def survey_random_open(
             for name in free_variables(term)
         }
         try:
-            result.record(
+            return SurveyRow.from_report(
                 run_three_way(
                     term, domain=domain, initial=initial, max_visits=budget
                 )
             )
         except BudgetExceeded:
-            result.budget_exceeded += 1
-    return result
+            return None
+
+    return _fold(population, (row_of(seed) for seed in seeds))

@@ -1,0 +1,65 @@
+"""Tests for `repro.perf.batch`: the parallel map primitive.
+
+`parallel_map` must be a drop-in for the serial ``[fn(x) for x in
+items]`` — same results, same order — whatever ``jobs`` says.
+"""
+
+import os
+
+import pytest
+
+from repro.perf import effective_jobs, parallel_map
+
+
+def _double(n: int) -> int:
+    """Module-level so multiprocessing can pickle it."""
+    return 2 * n
+
+
+def _classify(n: int) -> "int | None":
+    return None if n % 3 == 0 else n
+
+
+class TestEffectiveJobs:
+    def test_none_means_serial(self):
+        assert effective_jobs(None, 10) == 1
+
+    def test_zero_means_cpu_count(self):
+        assert effective_jobs(0, 1_000) == (os.cpu_count() or 1)
+
+    def test_clamped_to_item_count(self):
+        assert effective_jobs(8, 3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            effective_jobs(-1, 10)
+
+    def test_one_item_is_serial(self):
+        assert effective_jobs(8, 1) == 1
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_double, [1, 2, 3], jobs=None) == [2, 4, 6]
+        assert parallel_map(_double, [1, 2, 3], jobs=1) == [2, 4, 6]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(50))
+        serial = parallel_map(_double, items, jobs=1)
+        parallel = parallel_map(_double, items, jobs=2)
+        assert parallel == serial == [2 * n for n in items]
+
+    def test_order_is_preserved(self):
+        items = list(range(40, 0, -1))
+        assert parallel_map(_double, items, jobs=3) == [
+            2 * n for n in items
+        ]
+
+    def test_none_results_survive_the_boundary(self):
+        items = list(range(12))
+        assert parallel_map(_classify, items, jobs=2) == [
+            _classify(n) for n in items
+        ]
+
+    def test_empty_input(self):
+        assert parallel_map(_double, [], jobs=4) == []

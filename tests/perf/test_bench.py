@@ -1,0 +1,131 @@
+"""Tests for the `repro.perf.bench` regression-benchmark schema.
+
+The CI smoke job trusts `validate_bench` to fail loudly on a
+malformed payload or a cached/uncached divergence — so the validator
+itself gets tested against hand-broken payloads, and one real
+``--quick``-sized workload goes through `run_bench` end to end.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    SCHEMA,
+    _workload,
+    summarize,
+    validate_bench,
+    validate_bench_file,
+)
+
+
+def make_payload() -> dict:
+    """A minimal well-formed bench payload (one real tiny workload)."""
+    from repro.analysis.semantic_cps import SemanticCpsAnalyzer
+    from repro.corpus import PROGRAMS
+    from repro.domains import ConstPropDomain, Lattice
+
+    program = PROGRAMS["constants"]
+    initial = program.initial_for(Lattice(ConstPropDomain()))
+    entry = _workload(
+        "corpus/constants",
+        "semantic-cps",
+        lambda cache: SemanticCpsAnalyzer(
+            program.term, initial=initial, cache=cache
+        ),
+    )
+    return {
+        "schema": SCHEMA,
+        "quick": True,
+        "generated_at": "2026-01-01T00:00:00Z",
+        "workloads": [entry],
+        "survey": {
+            "population": "random-open",
+            "count": 1,
+            "depth": 3,
+            "wall_s_by_jobs": {"1": 0.01, "4": 0.02},
+            "matches": True,
+        },
+    }
+
+
+class TestValidate:
+    def test_well_formed_passes(self):
+        validate_bench(make_payload())
+
+    def test_payload_must_be_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_bench([1, 2, 3])
+
+    def test_wrong_schema_rejected(self):
+        payload = make_payload()
+        payload["schema"] = "repro.perf.bench/0"
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench(payload)
+
+    def test_empty_workloads_rejected(self):
+        payload = make_payload()
+        payload["workloads"] = []
+        with pytest.raises(ValueError, match="workload list"):
+            validate_bench(payload)
+
+    def test_missing_cached_field_rejected(self):
+        payload = make_payload()
+        del payload["workloads"][0]["cached"]["eval_cache_hits"]
+        with pytest.raises(ValueError, match="eval_cache_hits"):
+            validate_bench(payload)
+
+    def test_divergence_rejected(self):
+        payload = make_payload()
+        payload["workloads"][0]["answers_equal"] = False
+        with pytest.raises(ValueError, match="diverged"):
+            validate_bench(payload)
+
+    def test_missing_survey_rejected(self):
+        payload = make_payload()
+        del payload["survey"]
+        with pytest.raises(ValueError, match="survey"):
+            validate_bench(payload)
+
+    def test_survey_mismatch_rejected(self):
+        payload = make_payload()
+        payload["survey"]["matches"] = False
+        with pytest.raises(ValueError, match="survey"):
+            validate_bench(payload)
+
+
+class TestRoundTrip:
+    def test_payload_is_json_round_trippable(self, tmp_path):
+        payload = make_payload()
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(payload))
+        loaded = validate_bench_file(str(path))
+        assert loaded == json.loads(json.dumps(payload))
+
+    def test_validate_file_rejects_broken_file(self, tmp_path):
+        payload = make_payload()
+        payload["workloads"][0]["answers_equal"] = False
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            validate_bench_file(str(path))
+
+    def test_summarize_mentions_every_workload(self):
+        payload = make_payload()
+        text = summarize(payload)
+        assert "corpus/constants" in text
+        assert "survey" in text
+
+    def test_workload_answers_equal(self):
+        # The real cached-vs-uncached comparison inside _workload.
+        entry = make_payload()["workloads"][0]
+        assert entry["answers_equal"] is True
+        assert entry["uncached"]["visits"] >= entry["cached"]["visits"]
+
+    def test_copy_is_safe(self):
+        # validate_bench must not mutate its argument.
+        payload = make_payload()
+        snapshot = copy.deepcopy(payload)
+        validate_bench(payload)
+        assert payload == snapshot
