@@ -13,6 +13,13 @@ Commands
 - ``graph``    print the call or flow graph as Graphviz DOT
 - ``bench``    run the `repro.perf` regression benchmark and write
   ``BENCH_perf.json``
+- ``corpus``   list the corpus program names and families
+- ``serve``    start the `repro.serve` HTTP/JSON analysis service
+- ``request``  query a running service (retrying client)
+
+Interpreter and analyzer failures exit with the structured
+`repro.serve` codes (``fuel_exhausted`` = 3, ``diverged`` = 4,
+``stuck`` = 5, ...); see ``--help`` for the full table.
 
 ``run``, ``analyze``, and ``dataflow`` accept ``--stats`` to print the
 `repro.obs` work counters (visits, joins, widenings, loop cuts, span
@@ -343,6 +350,8 @@ def _cmd_graph(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.serve.codes import exit_codes_help
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -350,6 +359,8 @@ def build_parser() -> argparse.ArgumentParser:
             "CPS transformation, and data flow analyzers for the "
             "language A."
         ),
+        epilog=exit_codes_help(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -576,6 +587,127 @@ def build_parser() -> argparse.ArgumentParser:
         help="memoize MFP fact joins (repro.perf; identical solution)",
     )
     dataflow_parser.set_defaults(handler=_cmd_dataflow)
+
+    corpus_parser = commands.add_parser(
+        "corpus",
+        help="list corpus program names and parametric families",
+    )
+    corpus_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the listing as JSON (the GET /v1/corpus body)",
+    )
+    corpus_parser.set_defaults(handler=_cmd_corpus)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="start the repro.serve HTTP/JSON analysis service",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8184, help="0 picks an ephemeral port"
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=4, help="worker pool size"
+    )
+    serve_parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="pending-request bound; a full queue answers `overloaded`",
+    )
+    serve_parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        help="cross-request LRU result cache entries (0 disables)",
+    )
+    serve_parser.add_argument(
+        "--max-visits",
+        type=int,
+        default=250_000,
+        help="per-request analyzer work budget (and request cap)",
+    )
+    serve_parser.add_argument(
+        "--fuel",
+        type=int,
+        default=1_000_000,
+        help="per-request interpreter step budget (and request cap)",
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request wall-clock budget in seconds",
+    )
+    serve_parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="JSONL repro.obs trace sink (flushed on drain)",
+    )
+    serve_parser.add_argument(
+        "--debug-hooks",
+        action="store_true",
+        help="honor the debug_sleep_ms request field (tests/smoke only)",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log requests to stderr"
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    request_parser = commands.add_parser(
+        "request",
+        help="query a running repro serve instance",
+    )
+    request_parser.add_argument(
+        "endpoint",
+        choices=("analyze", "run", "compare", "corpus", "health", "metrics"),
+    )
+    _add_program_arguments(request_parser)
+    request_parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8184",
+        help="service base URL",
+    )
+    request_parser.add_argument(
+        "--corpus",
+        metavar="NAME",
+        help="analyze a corpus program instead of FILE/-e",
+    )
+    request_parser.add_argument(
+        "--analyzer",
+        choices=("direct", "semantic-cps", "syntactic-cps", "polyvariant"),
+        default=None,
+    )
+    request_parser.add_argument(
+        "--interpreter",
+        choices=("direct", "semantic", "syntactic"),
+        default=None,
+    )
+    request_parser.add_argument(
+        "--domain", choices=sorted(DOMAINS), default=None
+    )
+    request_parser.add_argument(
+        "--loop-mode", choices=("reject", "top", "unroll"), default=None
+    )
+    request_parser.add_argument("--k", type=int, default=None)
+    request_parser.add_argument("--max-visits", type=int, default=None)
+    request_parser.add_argument("--fuel", type=int, default=None)
+    request_parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the repro.perf eval cache server-side",
+    )
+    request_parser.add_argument(
+        "--retries",
+        type=int,
+        default=5,
+        help="extra attempts on overloaded/timeout/connection errors",
+    )
+    request_parser.add_argument(
+        "--timeout", type=float, default=60.0, help="HTTP timeout seconds"
+    )
+    request_parser.set_defaults(handler=_cmd_request)
     return parser
 
 
@@ -716,10 +848,130 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.corpus.programs import corpus_listing
+
+    listing = corpus_listing()
+    if args.json:
+        import json
+
+        print(json.dumps(listing, indent=2, ensure_ascii=False))
+        return 0
+    print("corpus programs (valid `corpus`/`--corpus` values):")
+    for entry in listing["programs"]:
+        marker = "  [heavy]" if entry["heavy"] else ""
+        print(f"  {entry['name']:26} {entry['description']}{marker}")
+    print("\nparametric families (repro.corpus generators):")
+    for entry in listing["families"]:
+        print(f"  {entry['name']:26} {entry['description']}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import NULL_SINK as null_sink
+    from repro.serve.jobs import ServiceDefaults
+    from repro.serve.server import AnalysisService
+
+    try:
+        trace = JsonlSink(args.trace) if args.trace else null_sink
+    except OSError as exc:
+        raise SystemExit(f"cannot open trace output: {exc}")
+    service = AnalysisService(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_size=args.cache_size,
+        defaults=ServiceDefaults(
+            max_visits=args.max_visits,
+            fuel=args.fuel,
+            timeout_seconds=args.timeout,
+            debug_hooks=args.debug_hooks,
+        ),
+        trace=trace,
+        verbose=args.verbose,
+    )
+    print(f"listening on {service.url}", file=sys.stderr, flush=True)
+    code = service.run_until_signal()
+    print("drained; bye", file=sys.stderr, flush=True)
+    return code
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import RetryPolicy, ServiceClient, ServiceError
+
+    client = ServiceClient(
+        args.url,
+        policy=RetryPolicy(retries=args.retries),
+        request_timeout=args.timeout,
+    )
+    payload: dict = {}
+    if args.corpus is not None:
+        payload["corpus"] = args.corpus
+    elif args.expr is not None:
+        payload["program"] = args.expr
+    elif args.file is not None:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            payload["program"] = handle.read()
+    if args.assume:
+        payload["assume"] = _parse_assumes(args.assume)
+    for name, value in (
+        ("analyzer", args.analyzer),
+        ("interpreter", args.interpreter),
+        ("domain", args.domain),
+        ("loop_mode", args.loop_mode),
+        ("k", args.k),
+        ("max_visits", args.max_visits),
+        ("fuel", args.fuel),
+    ):
+        if value is not None:
+            payload[name] = value
+    if args.cache:
+        payload["cache"] = True
+    try:
+        if args.endpoint == "health":
+            body = client.healthz()
+        elif args.endpoint == "metrics":
+            body = client.metricsz()
+        elif args.endpoint == "corpus":
+            body = client.corpus()
+        else:
+            if "program" not in payload and "corpus" not in payload:
+                raise SystemExit(
+                    "provide a FILE, -e SOURCE, or --corpus NAME"
+                )
+            body = client.request(f"/v1/{args.endpoint}", payload)
+    except ServiceError as exc:
+        print(f"repro request: {exc.code}: {exc}", file=sys.stderr)
+        return exc.exit_code
+    print(json.dumps(body, indent=2, ensure_ascii=False))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.analysis.common import AnalysisError
+    from repro.interp.errors import InterpError
+    from repro.lang.errors import LangError
+
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (AnalysisError, InterpError, LangError) as exc:
+        from repro.serve.codes import exit_code_for
+
+        code, message = exit_code_for(exc)
+        print(f"repro: {message}", file=sys.stderr)
+        return code
+    except BrokenPipeError:
+        # stdout's reader went away (e.g. `repro corpus | head`);
+        # hand the fd a sink so interpreter shutdown can't re-raise
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -3,6 +3,7 @@ sample programs used by tests, examples and benchmarks."""
 
 from repro.corpus.programs import (
     CorpusProgram,
+    FAMILIES,
     PROGRAMS,
     SHIVERS_EXAMPLE,
     THEOREM_51_WITNESS,
@@ -10,6 +11,7 @@ from repro.corpus.programs import (
     THEOREM_52_TWO_CLOSURES,
     conditional_chain,
     call_site_chain,
+    corpus_listing,
     corpus_program,
     loop_feeding_conditional,
     top_conditional_chain,
@@ -17,6 +19,7 @@ from repro.corpus.programs import (
 
 __all__ = [
     "CorpusProgram",
+    "FAMILIES",
     "PROGRAMS",
     "SHIVERS_EXAMPLE",
     "THEOREM_51_WITNESS",
@@ -24,6 +27,7 @@ __all__ = [
     "THEOREM_52_TWO_CLOSURES",
     "conditional_chain",
     "call_site_chain",
+    "corpus_listing",
     "corpus_program",
     "loop_feeding_conditional",
     "top_conditional_chain",

@@ -349,3 +349,51 @@ def loop_feeding_conditional(threshold: int) -> CorpusProgram:
         term=_anf(source),
         initial=lambda lat: {},
     )
+
+
+# ----------------------------------------------------------------------
+# Discovery: the listing served by `python -m repro corpus` and the
+# service's GET /v1/corpus, so clients can find valid program names
+# without reading source.
+# ----------------------------------------------------------------------
+
+#: The parametric families, by name template.  Instantiations like
+#: ``conditional-chain-8`` are built on demand by the generators; the
+#: fixed-name corpus (`PROGRAMS`) is what the service accepts.
+FAMILIES: dict[str, tuple] = {
+    "conditional-chain-K": (
+        conditional_chain,
+        "K independent unknown conditionals (2^K-path CPS blowup)",
+    ),
+    "top-conditional-chain-K": (
+        top_conditional_chain,
+        "K unknown conditionals with store-identical arms (memo showcase)",
+    ),
+    "call-site-chain-K": (
+        call_site_chain,
+        "K calls of a two-closure function (2^K duplicated continuations)",
+    ),
+    "loop-threshold-T": (
+        loop_feeding_conditional,
+        "loop feeding a conditional with threshold T (Section 6.2)",
+    ),
+}
+
+
+def corpus_listing() -> dict:
+    """A JSON-ready index of the corpus: fixed witness programs plus
+    the parametric family templates."""
+    return {
+        "programs": [
+            {
+                "name": program.name,
+                "description": program.description,
+                "heavy": program.heavy,
+            }
+            for program in sorted(PROGRAMS.values(), key=lambda p: p.name)
+        ],
+        "families": [
+            {"name": name, "description": description}
+            for name, (_, description) in sorted(FAMILIES.items())
+        ],
+    }

@@ -1,0 +1,48 @@
+"""`repro.serve`: the analysis-as-a-service layer.
+
+A stdlib-only HTTP/JSON server that keeps the paper's interpreters and
+analyzers warm in one long-lived process:
+
+- :mod:`repro.serve.codes` — the structured error vocabulary shared by
+  the service's JSON payloads and the CLI's exit codes;
+- :mod:`repro.serve.jobs` — request validation and in-process
+  execution (the same code path the server workers run);
+- :mod:`repro.serve.cache` — the cross-request LRU result cache;
+- :mod:`repro.serve.pool` — the bounded request queue + worker pool;
+- :mod:`repro.serve.server` — ``POST /v1/analyze``, ``POST /v1/run``,
+  ``POST /v1/compare``, ``GET /healthz``, ``GET /metricsz``;
+- :mod:`repro.serve.client` — a retrying client with exponential
+  backoff + jitter on ``overloaded`` and connection errors;
+- :mod:`repro.serve.smoke` — the end-to-end smoke harness CI runs.
+
+See ``docs/SERVICE.md`` for the wire protocol.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import RetryPolicy, ServiceClient, ServiceError
+from repro.serve.codes import (
+    CODES,
+    ErrorCode,
+    ServeError,
+    classify_exception,
+    exit_code_for,
+)
+from repro.serve.jobs import cache_key, execute_request
+from repro.serve.pool import WorkerPool
+from repro.serve.server import AnalysisService
+
+__all__ = [
+    "AnalysisService",
+    "CODES",
+    "ErrorCode",
+    "ResultCache",
+    "RetryPolicy",
+    "ServeError",
+    "ServiceClient",
+    "ServiceError",
+    "WorkerPool",
+    "cache_key",
+    "classify_exception",
+    "execute_request",
+    "exit_code_for",
+]

@@ -1,0 +1,179 @@
+"""A retrying service client (stdlib ``urllib`` only).
+
+Retries are driven by the structured error codes: ``overloaded`` (the
+server's backpressure signal), ``timeout``, and transport-level
+connection failures are retryable; semantic failures
+(``parse_error``, ``fuel_exhausted``, ...) are not — retrying a
+program that diverges will not make it converge.
+
+Backoff is exponential with full jitter::
+
+    delay(n) = min(max_delay, base * factor**n) * (0.5 + rng.random()/2)
+
+``rng`` and ``sleep`` are injectable so tests pin the exact schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.serve.codes import CODES, ServeError
+
+
+class ServiceError(Exception):
+    """A request that conclusively failed (after retries, if any).
+
+    Carries the structured ``code`` from the server's error payload
+    (or ``unreachable`` for transport failures), the HTTP status, and
+    how many attempts were made.
+    """
+
+    def __init__(
+        self, code: str, message: str, status: int | None = None,
+        attempts: int = 1,
+    ) -> None:
+        self.code = code
+        self.status = status
+        self.attempts = attempts
+        super().__init__(message)
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI exit code for this failure (shared vocabulary)."""
+        record = CODES.get(self.code)
+        return record.exit_code if record is not None else 1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try: ``retries`` extra attempts after the first."""
+
+    retries: int = 5
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    rng: random.Random = field(default_factory=random.Random)
+    sleep: Callable[[float], None] = time.sleep
+
+    def delay(self, attempt: int) -> float:
+        """The jittered backoff before retry number ``attempt`` (0-based)."""
+        ceiling = min(self.max_delay, self.base_delay * self.factor**attempt)
+        return ceiling * (0.5 + self.rng.random() / 2)
+
+
+#: Codes worth retrying; everything else fails fast.
+RETRYABLE_CODES = frozenset(
+    code.name for code in CODES.values() if code.retryable
+)
+
+
+class ServiceClient:
+    """A client for one service base URL."""
+
+    def __init__(
+        self,
+        base_url: str,
+        policy: RetryPolicy | None = None,
+        request_timeout: float = 60.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.policy = policy or RetryPolicy()
+        self.request_timeout = request_timeout
+        #: total retries performed over this client's lifetime
+        #: (observable by tests and the smoke harness)
+        self.retries_performed = 0
+
+    # -- transport -----------------------------------------------------
+
+    def _attempt(self, path: str, payload: dict | None) -> tuple[int, dict]:
+        url = f"{self.base_url}{path}"
+        data = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        request = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST" if payload is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.request_timeout
+            ) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read())
+            except Exception:
+                body = {
+                    "ok": False,
+                    "error": {"code": "internal", "message": str(exc)},
+                }
+            return exc.code, body
+        except (urllib.error.URLError, ConnectionError, OSError) as exc:
+            raise ServiceError(
+                "unreachable", f"cannot reach {url}: {exc}"
+            ) from exc
+
+    def request(self, path: str, payload: dict | None = None) -> dict:
+        """One logical request with retries; returns the decoded JSON
+        body of the successful response, or raises `ServiceError`."""
+        attempts = self.policy.retries + 1
+        last: ServiceError | None = None
+        for attempt in range(attempts):
+            try:
+                status, body = self._attempt(path, payload)
+            except ServiceError as exc:
+                last = exc
+            else:
+                if status < 400:
+                    return body
+                error = body.get("error") or {}
+                code = error.get("code", "internal")
+                last = ServiceError(
+                    code,
+                    error.get("message", f"HTTP {status}"),
+                    status=status,
+                    attempts=attempt + 1,
+                )
+                if code not in RETRYABLE_CODES:
+                    raise last
+            if attempt + 1 < attempts:
+                self.retries_performed += 1
+                self.policy.sleep(self.policy.delay(attempt))
+        last.attempts = attempts
+        raise last
+
+    # -- endpoint helpers ----------------------------------------------
+
+    def analyze(self, **payload) -> dict:
+        """``POST /v1/analyze``."""
+        return self.request("/v1/analyze", payload)
+
+    def run(self, **payload) -> dict:
+        """``POST /v1/run``."""
+        return self.request("/v1/run", payload)
+
+    def compare(self, **payload) -> dict:
+        """``POST /v1/compare``."""
+        return self.request("/v1/compare", payload)
+
+    def corpus(self) -> dict:
+        """``GET /v1/corpus``."""
+        return self.request("/v1/corpus")
+
+    def healthz(self) -> dict:
+        """``GET /healthz``."""
+        return self.request("/healthz")
+
+    def metricsz(self) -> dict:
+        """``GET /metricsz``."""
+        return self.request("/metricsz")

@@ -1,0 +1,127 @@
+"""The structured error vocabulary of the service *and* the CLI.
+
+One table maps every failure mode to a stable string code, an HTTP
+status for the service's JSON error payloads, and a nonzero process
+exit code for the CLI — so ``python -m repro run`` exiting 4 and a
+``{"error": {"code": "diverged"}}`` response body mean the same thing.
+
+The codes (and exit codes) are part of the public interface; tests and
+``docs/SERVICE.md`` pin them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.common import BudgetExceeded, NonComputableError
+from repro.interp.errors import (
+    Diverged,
+    FuelExhausted,
+    StackOverflow,
+    StuckError,
+)
+from repro.lang.errors import LangError
+
+
+@dataclass(frozen=True)
+class ErrorCode:
+    """One structured failure mode.
+
+    Attributes:
+        name: the stable string code used in JSON payloads.
+        http_status: the status the service responds with.
+        exit_code: the CLI process exit code.
+        retryable: True when a client may retry the identical request
+            and plausibly succeed (used by the retrying client).
+    """
+
+    name: str
+    http_status: int
+    exit_code: int
+    retryable: bool = False
+
+
+#: The full vocabulary.  Exit code 1 stays reserved for unclassified
+#: failures and 2 for usage/parse errors (argparse convention).
+CODES: dict[str, ErrorCode] = {
+    code.name: code
+    for code in (
+        ErrorCode("parse_error", 400, 2),
+        ErrorCode("fuel_exhausted", 422, 3),
+        ErrorCode("diverged", 422, 4),
+        ErrorCode("stuck", 422, 5),
+        ErrorCode("budget_exceeded", 422, 6),
+        ErrorCode("non_computable", 422, 7),
+        ErrorCode("timeout", 504, 8, retryable=True),
+        ErrorCode("overloaded", 503, 9, retryable=True),
+        ErrorCode("unreachable", 502, 10, retryable=True),
+        ErrorCode("bad_request", 400, 11),
+        ErrorCode("not_found", 404, 12),
+        ErrorCode("internal", 500, 13),
+    )
+}
+
+
+class ServeError(Exception):
+    """A failure already classified to a structured code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        self.code = code
+        super().__init__(message)
+
+    @property
+    def error_code(self) -> ErrorCode:
+        """The full `ErrorCode` record."""
+        return CODES[self.code]
+
+    def payload(self) -> dict:
+        """The JSON error body the service sends."""
+        return {
+            "ok": False,
+            "error": {"code": self.code, "message": str(self)},
+        }
+
+
+def classify_exception(exc: BaseException) -> ServeError:
+    """Map a repro exception to its structured code.
+
+    `ServeError` passes through; interpreter/analyzer/language errors
+    get their dedicated codes; anything else is ``internal``.
+    """
+    if isinstance(exc, ServeError):
+        return exc
+    if isinstance(exc, FuelExhausted):
+        return ServeError("fuel_exhausted", str(exc))
+    if isinstance(exc, Diverged):
+        return ServeError("diverged", str(exc))
+    if isinstance(exc, (StuckError, StackOverflow)):
+        return ServeError("stuck", str(exc))
+    if isinstance(exc, BudgetExceeded):
+        return ServeError("budget_exceeded", str(exc))
+    if isinstance(exc, NonComputableError):
+        return ServeError("non_computable", str(exc))
+    if isinstance(exc, LangError):
+        return ServeError("parse_error", str(exc))
+    if isinstance(exc, (KeyError, TypeError, ValueError)):
+        return ServeError("bad_request", str(exc))
+    return ServeError("internal", f"{type(exc).__name__}: {exc}")
+
+
+def exit_code_for(exc: BaseException) -> tuple[int, str]:
+    """The CLI exit code and message for an exception.
+
+    Returns ``(exit_code, "code: message")``; the CLI prints the
+    message to stderr and returns the code.
+    """
+    error = classify_exception(exc)
+    return error.error_code.exit_code, f"{error.code}: {error}"
+
+
+def exit_codes_help() -> str:
+    """The ``--help`` epilog documenting the exit codes."""
+    lines = ["exit codes (shared with the repro.serve JSON error codes):"]
+    for code in sorted(CODES.values(), key=lambda c: c.exit_code):
+        lines.append(f"  {code.exit_code:>2}  {code.name}")
+    return "\n".join(lines)

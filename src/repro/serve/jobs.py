@@ -1,0 +1,491 @@
+"""Request validation and execution for the service endpoints.
+
+A request is validated and resolved against the server defaults into a
+`PreparedRequest` whose ``spec`` is fully canonical: the program is
+re-printed from its normalized term (so whitespace/comment variants of
+the same program collide), options carry their resolved values, and
+the sha256 of the sorted-JSON spec is the cross-request cache key.
+
+Execution then runs the exact in-process API (`repro.analysis`,
+`repro.interp`, `repro.api.run_three_way`) — the service's responses
+are byte-identical to what a local caller gets, which the differential
+tests pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis import (
+    analyze_direct,
+    analyze_polyvariant,
+    analyze_semantic_cps,
+    analyze_syntactic_cps,
+)
+from repro.analysis.delta import delta_store
+from repro.anf import normalize
+from repro.api import run_three_way
+from repro.corpus.programs import PROGRAMS, CorpusProgram
+from repro.cps import cps_transform
+from repro.domains import (
+    ConstPropDomain,
+    IntervalDomain,
+    Lattice,
+    ParityDomain,
+    SignDomain,
+    UnitDomain,
+)
+from repro.domains.store import AbsStore
+from repro.interp import run_direct, run_semantic_cps, run_syntactic_cps
+from repro.interp.values import Env, Store
+from repro.lang.ast import Term
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty_flat
+from repro.lang.syntax import free_variables
+from repro.obs.metrics import Metrics
+from repro.obs.sinks import NULL_SINK, Sink
+from repro.serve.codes import ServeError, classify_exception
+
+DOMAINS = {
+    "constprop": ConstPropDomain,
+    "unit": UnitDomain,
+    "parity": ParityDomain,
+    "sign": SignDomain,
+    "interval": IntervalDomain,
+}
+
+ANALYZERS = ("direct", "semantic-cps", "syntactic-cps", "polyvariant")
+INTERPRETERS = ("direct", "semantic", "syntactic")
+LOOP_MODES = ("reject", "top", "unroll")
+
+_COMMON_FIELDS = {"program", "corpus", "domain", "assume", "debug_sleep_ms"}
+_FIELDS_BY_KIND = {
+    "analyze": _COMMON_FIELDS
+    | {"analyzer", "k", "loop_mode", "unroll_bound", "max_visits", "cache"},
+    "run": _COMMON_FIELDS | {"interpreter", "fuel"},
+    "compare": _COMMON_FIELDS
+    | {"loop_mode", "unroll_bound", "max_visits", "cache"},
+}
+
+
+@dataclass(frozen=True)
+class ServiceDefaults:
+    """Server-side budgets applied when a request leaves them out.
+
+    ``max_visits`` bounds each analyzer run (the CPS analyzers are
+    worst-case exponential, Section 6.2); ``fuel`` bounds interpreter
+    steps; ``timeout_seconds`` is the per-request wall-clock budget.
+    ``debug_hooks`` gates the ``debug_sleep_ms`` request field used by
+    the smoke tests to hold a worker busy.
+    """
+
+    max_visits: int = 250_000
+    fuel: int = 1_000_000
+    timeout_seconds: float = 30.0
+    debug_hooks: bool = False
+
+
+class Deadline:
+    """A cooperative wall-clock budget.
+
+    Checked between execution stages (the analyzers themselves are
+    bounded by ``max_visits``/``fuel``); expiry raises the structured
+    ``timeout`` error.
+    """
+
+    def __init__(self, seconds: float | None, clock=time.monotonic) -> None:
+        self._clock = clock
+        self.expires_at = None if seconds is None else clock() + seconds
+
+    def remaining(self) -> float | None:
+        """Seconds left, or None for an unbounded deadline."""
+        if self.expires_at is None:
+            return None
+        return self.expires_at - self._clock()
+
+    def check(self) -> None:
+        """Raise ``timeout`` if the budget is spent."""
+        remaining = self.remaining()
+        if remaining is not None and remaining <= 0:
+            raise ServeError(
+                "timeout", "request exceeded its wall-clock budget"
+            )
+
+
+@dataclass(frozen=True)
+class PreparedRequest:
+    """A validated request, resolved against the server defaults."""
+
+    kind: str
+    term: Term
+    corpus: CorpusProgram | None
+    spec: dict
+    debug_sleep_ms: int = 0
+    key: str | None = field(default=None)
+
+    @property
+    def cacheable(self) -> bool:
+        """Debug-hook requests never hit or fill the cache."""
+        return self.key is not None
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ServeError("bad_request", message)
+
+
+def _validate_fields(kind: str, payload: dict) -> None:
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    unknown = set(payload) - _FIELDS_BY_KIND[kind]
+    _require(
+        not unknown,
+        f"unknown field(s) for {kind!r}: {sorted(unknown)}",
+    )
+
+
+def _resolve_term(payload: dict) -> tuple[Term, CorpusProgram | None]:
+    source = payload.get("program")
+    corpus_name = payload.get("corpus")
+    _require(
+        (source is None) != (corpus_name is None),
+        "provide exactly one of 'program' (source text) or 'corpus' (name)",
+    )
+    if corpus_name is not None:
+        _require(isinstance(corpus_name, str), "'corpus' must be a string")
+        program = PROGRAMS.get(corpus_name)
+        if program is None:
+            raise ServeError(
+                "not_found",
+                f"unknown corpus program {corpus_name!r}; "
+                f"see GET /v1/corpus or `python -m repro corpus`",
+            )
+        return program.term, program
+    _require(isinstance(source, str), "'program' must be source text")
+    return normalize(parse(source)), None
+
+
+def _resolve_assume(payload: dict) -> dict[str, int]:
+    assume = payload.get("assume") or {}
+    _require(
+        isinstance(assume, dict)
+        and all(
+            isinstance(name, str)
+            and isinstance(value, int)
+            and not isinstance(value, bool)
+            for name, value in assume.items()
+        ),
+        "'assume' must map variable names to integers",
+    )
+    return dict(assume)
+
+
+def _resolve_enum(payload: dict, name: str, allowed, default):
+    value = payload.get(name, default)
+    _require(
+        value in allowed,
+        f"{name!r} must be one of {sorted(allowed)}, got {value!r}",
+    )
+    return value
+
+
+def _resolve_int(payload: dict, name: str, default, minimum=1, cap=None):
+    value = payload.get(name, default)
+    if value is None:
+        return None
+    _require(
+        isinstance(value, int) and not isinstance(value, bool),
+        f"{name!r} must be an integer",
+    )
+    _require(value >= minimum, f"{name!r} must be >= {minimum}")
+    if cap is not None and value > cap:
+        value = cap
+    return value
+
+
+def prepare_request(
+    kind: str,
+    payload: dict,
+    defaults: ServiceDefaults | None = None,
+) -> PreparedRequest:
+    """Validate ``payload`` for endpoint ``kind`` and canonicalize it.
+
+    Raises `ServeError` (``bad_request``/``not_found``/``parse_error``)
+    on invalid input.
+    """
+    defaults = defaults or ServiceDefaults()
+    _require(kind in _FIELDS_BY_KIND, f"unknown request kind {kind!r}")
+    _validate_fields(kind, payload)
+    try:
+        term, corpus = _resolve_term(payload)
+    except ServeError:
+        raise
+    except Exception as exc:  # ParseError and friends
+        raise classify_exception(exc) from exc
+    spec: dict = {
+        "kind": kind,
+        "term": pretty_flat(term),
+        "corpus": corpus.name if corpus is not None else None,
+        "domain": _resolve_enum(
+            payload, "domain", tuple(DOMAINS), "constprop"
+        ),
+        "assume": dict(sorted(_resolve_assume(payload).items())),
+    }
+    if kind in ("analyze", "compare"):
+        spec["loop_mode"] = _resolve_enum(
+            payload, "loop_mode", LOOP_MODES, "reject"
+        )
+        spec["unroll_bound"] = _resolve_int(payload, "unroll_bound", 32)
+        spec["max_visits"] = _resolve_int(
+            payload, "max_visits", defaults.max_visits,
+            cap=defaults.max_visits,
+        )
+        cache = payload.get("cache", False)
+        _require(isinstance(cache, bool), "'cache' must be a boolean")
+        spec["cache"] = cache
+    if kind == "analyze":
+        spec["analyzer"] = _resolve_enum(
+            payload, "analyzer", ANALYZERS, "direct"
+        )
+        spec["k"] = _resolve_int(payload, "k", 1, minimum=0)
+        _require(
+            "k" not in payload or spec["analyzer"] == "polyvariant",
+            "'k' only applies to the polyvariant analyzer",
+        )
+    if kind == "run":
+        spec["interpreter"] = _resolve_enum(
+            payload, "interpreter", INTERPRETERS, "direct"
+        )
+        spec["fuel"] = _resolve_int(
+            payload, "fuel", defaults.fuel, cap=defaults.fuel
+        )
+        _require(
+            spec["interpreter"] != "syntactic" or not spec["assume"],
+            "'assume' is not supported with the syntactic interpreter",
+        )
+    sleep_ms = _resolve_int(payload, "debug_sleep_ms", 0, minimum=0)
+    _require(
+        sleep_ms == 0 or defaults.debug_hooks,
+        "'debug_sleep_ms' requires a server started with --debug-hooks",
+    )
+    key = None
+    if sleep_ms == 0:
+        digest = hashlib.sha256(
+            json.dumps(spec, sort_keys=True).encode("utf-8")
+        )
+        key = digest.hexdigest()
+    return PreparedRequest(
+        kind=kind,
+        term=term,
+        corpus=corpus,
+        spec=spec,
+        debug_sleep_ms=sleep_ms,
+        key=key,
+    )
+
+
+def cache_key(kind: str, payload: dict,
+              defaults: ServiceDefaults | None = None) -> str | None:
+    """The canonical cache key for a request (None = uncacheable)."""
+    return prepare_request(kind, payload, defaults).key
+
+
+def _analysis_initial(prep: PreparedRequest, lattice: Lattice) -> dict:
+    """The initial abstract store: corpus assumptions, overridden by
+    request constants, topped up with ⊤ for uncovered free variables
+    (the CLI's convention)."""
+    initial = (
+        dict(prep.corpus.initial_for(lattice))
+        if prep.corpus is not None
+        else {}
+    )
+    assume = prep.spec["assume"]
+    for name in sorted(free_variables(prep.term)):
+        if name in assume:
+            initial[name] = lattice.of_const(assume[name])
+        elif name not in initial:
+            initial[name] = lattice.of_num(lattice.domain.top)
+    return initial
+
+
+def _debug_sleep(prep: PreparedRequest, deadline: Deadline) -> None:
+    remaining_ms = prep.debug_sleep_ms
+    while remaining_ms > 0:
+        deadline.check()
+        slice_ms = min(remaining_ms, 20)
+        time.sleep(slice_ms / 1000.0)
+        remaining_ms -= slice_ms
+
+
+def _execute_analyze(
+    prep: PreparedRequest,
+    deadline: Deadline,
+    trace: Sink,
+    metrics: Metrics | None,
+) -> dict:
+    spec = prep.spec
+    domain = DOMAINS[spec["domain"]]()
+    initial = _analysis_initial(prep, Lattice(domain))
+    analyzer = spec["analyzer"]
+    common = dict(
+        initial=initial,
+        max_visits=spec["max_visits"],
+        trace=trace,
+        metrics=metrics,
+        cache=True if spec["cache"] else None,
+    )
+    deadline.check()
+    if analyzer == "direct":
+        result = analyze_direct(prep.term, domain, **common)
+    elif analyzer == "semantic-cps":
+        result = analyze_semantic_cps(
+            prep.term,
+            domain,
+            loop_mode=spec["loop_mode"],
+            unroll_bound=spec["unroll_bound"],
+            **common,
+        )
+    elif analyzer == "syntactic-cps":
+        lattice = Lattice(domain)
+        cps_initial = dict(
+            delta_store(AbsStore(lattice, initial)).items()
+        )
+        common["initial"] = cps_initial
+        result = analyze_syntactic_cps(
+            cps_transform(prep.term),
+            domain,
+            loop_mode=spec["loop_mode"],
+            unroll_bound=spec["unroll_bound"],
+            **common,
+        )
+    else:
+        result = analyze_polyvariant(
+            prep.term, domain, k=spec["k"], **common
+        ).collapse()
+    return {
+        "ok": True,
+        "kind": "analyze",
+        "analyzer": analyzer,
+        "program": spec["term"],
+        "result": result.to_dict(),
+    }
+
+
+def _execute_run(
+    prep: PreparedRequest, deadline: Deadline, trace: Sink
+) -> dict:
+    spec = prep.spec
+    env, store = Env(), Store()
+    for name, value in sorted(spec["assume"].items()):
+        loc = store.new(name)
+        store.bind(loc, value)
+        env = env.bind(name, loc)
+    missing = free_variables(prep.term) - set(spec["assume"])
+    _require(
+        not missing,
+        f"unbound free variables: {sorted(missing)} (use 'assume')",
+    )
+    deadline.check()
+    interpreter = spec["interpreter"]
+    if interpreter == "direct":
+        answer = run_direct(
+            prep.term, env=env, store=store, fuel=spec["fuel"], trace=trace
+        )
+    elif interpreter == "semantic":
+        answer = run_semantic_cps(
+            prep.term, env=env, store=store, fuel=spec["fuel"], trace=trace
+        )
+    else:
+        answer = run_syntactic_cps(
+            cps_transform(prep.term), fuel=spec["fuel"], trace=trace
+        )
+    value = answer.value
+    if not isinstance(value, int) or isinstance(value, bool):
+        value = repr(value)
+    return {
+        "ok": True,
+        "kind": "run",
+        "interpreter": interpreter,
+        "program": spec["term"],
+        "value": value,
+    }
+
+
+def _execute_compare(
+    prep: PreparedRequest,
+    deadline: Deadline,
+    trace: Sink,
+    metrics: Metrics | None,
+) -> dict:
+    spec = prep.spec
+    domain = DOMAINS[spec["domain"]]()
+    initial = _analysis_initial(prep, Lattice(domain))
+    deadline.check()
+    report = run_three_way(
+        prep.term,
+        domain=domain,
+        initial=initial,
+        loop_mode=spec["loop_mode"],
+        unroll_bound=spec["unroll_bound"],
+        max_visits=spec["max_visits"],
+        trace=trace,
+        metrics=metrics,
+        cache=True if spec["cache"] else None,
+    )
+    deadline.check()
+    return {
+        "ok": True,
+        "kind": "compare",
+        "program": spec["term"],
+        "direct": report.direct.to_dict(),
+        "semantic_cps": report.semantic.to_dict(),
+        "syntactic_cps": report.syntactic.to_dict(),
+        "verdicts": {
+            "direct_vs_syntactic": report.direct_vs_syntactic.value,
+            "semantic_vs_direct": report.semantic_vs_direct.value,
+            "semantic_vs_syntactic": report.semantic_vs_syntactic.value,
+        },
+    }
+
+
+def execute_prepared(
+    prep: PreparedRequest,
+    deadline: Deadline | None = None,
+    trace: Sink = NULL_SINK,
+    metrics: Metrics | None = None,
+) -> dict:
+    """Run a prepared request and return the JSON-ready response body.
+
+    Failures surface as `ServeError` with their structured code.
+    """
+    deadline = deadline or Deadline(None)
+    try:
+        if prep.debug_sleep_ms:
+            _debug_sleep(prep, deadline)
+        if prep.kind == "analyze":
+            return _execute_analyze(prep, deadline, trace, metrics)
+        if prep.kind == "run":
+            return _execute_run(prep, deadline, trace)
+        return _execute_compare(prep, deadline, trace, metrics)
+    except ServeError:
+        raise
+    except Exception as exc:
+        raise classify_exception(exc) from exc
+
+
+def execute_request(
+    kind: str,
+    payload: dict,
+    defaults: ServiceDefaults | None = None,
+    deadline: Deadline | None = None,
+    trace: Sink = NULL_SINK,
+    metrics: Metrics | None = None,
+) -> dict:
+    """Validate and run one request end to end (the in-process
+    equivalent of POSTing to ``/v1/<kind>``)."""
+    prep = prepare_request(kind, payload, defaults)
+    return execute_prepared(
+        prep, deadline=deadline, trace=trace, metrics=metrics
+    )

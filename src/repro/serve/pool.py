@@ -1,0 +1,187 @@
+"""The bounded request queue and worker pool.
+
+Handler threads `submit` jobs; a fixed set of worker threads executes
+them.  A full queue rejects immediately with the structured
+``overloaded`` code — that is the server's backpressure signal, and the
+retrying client's cue to back off.  `drain` implements graceful
+shutdown: stop accepting, finish everything already queued or running,
+then join the workers.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from typing import Callable
+
+from repro.obs.metrics import Metrics
+from repro.serve.codes import ServeError, classify_exception
+from repro.serve.jobs import Deadline
+
+
+class Job:
+    """One queued request: a thunk plus its completion state."""
+
+    def __init__(
+        self,
+        fn: Callable[["Job"], tuple[int, str]],
+        deadline: Deadline,
+    ) -> None:
+        self.fn = fn
+        self.deadline = deadline
+        self.enqueued_at = time.monotonic()
+        self.done = threading.Event()
+        self.status: int | None = None
+        self.body: str | None = None
+        self._abandoned = threading.Event()
+
+    def abandon(self) -> None:
+        """Mark the job as no longer awaited (its handler timed out);
+        a worker that has not started it yet will skip it."""
+        self._abandoned.set()
+
+    @property
+    def abandoned(self) -> bool:
+        return self._abandoned.is_set()
+
+    def finish(self, status: int, body: str) -> None:
+        self.status = status
+        self.body = body
+        self.done.set()
+
+
+class WorkerPool:
+    """``workers`` threads draining a queue of at most ``queue_size``
+    pending jobs (in-flight jobs don't count against the bound)."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue_size: int = 64,
+        metrics: Metrics | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if queue_size < 1:
+            raise ValueError("queue size must be >= 1")
+        self.metrics = metrics
+        self.workers = workers
+        self._queue: "queue.Queue[Job]" = queue.Queue(maxsize=queue_size)
+        self._closed = threading.Event()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, job: Job) -> Job:
+        """Enqueue ``job``; raises ``overloaded`` when draining or
+        when the queue is full."""
+        if self._closed.is_set():
+            raise ServeError("overloaded", "server is draining")
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            self._count("serve.rejected.overloaded")
+            raise ServeError(
+                "overloaded",
+                f"request queue is full ({self._queue.maxsize} pending)",
+            ) from None
+        self._gauge_depth()
+        return job
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting for a worker (excludes in-flight)."""
+        return self._queue.qsize()
+
+    @property
+    def inflight(self) -> int:
+        """Jobs currently being executed by a worker."""
+        with self._inflight_lock:
+            return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        return self._closed.is_set()
+
+    # -- worker side ---------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                job = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._closed.is_set():
+                    return
+                continue
+            self._gauge_depth()
+            try:
+                self._run_job(job)
+            finally:
+                self._queue.task_done()
+
+    def _run_job(self, job: Job) -> None:
+        if job.abandoned:
+            self._count("serve.jobs.abandoned")
+            return
+        if self.metrics is not None:
+            self.metrics.histogram("serve.queue.wait.seconds").observe(
+                time.monotonic() - job.enqueued_at
+            )
+        with self._inflight_lock:
+            self._inflight += 1
+        started = time.monotonic()
+        try:
+            status, body = job.fn(job)
+        except BaseException as exc:  # the pool must never lose a job
+            error = classify_exception(exc)
+            status = error.error_code.http_status
+            body = json.dumps(error.payload(), ensure_ascii=False)
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+        if self.metrics is not None:
+            self.metrics.histogram("serve.request.seconds").observe(
+                time.monotonic() - started
+            )
+        self._count("serve.jobs.executed")
+        job.finish(status, body)
+
+    # -- shutdown ------------------------------------------------------
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful shutdown: refuse new work, finish the backlog,
+        join the workers.  Returns True when everything finished
+        within ``timeout``."""
+        self._closed.set()
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            thread.join(timeout=remaining)
+        return all(not thread.is_alive() for thread in self._threads)
+
+    # -- instrumentation ----------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def _gauge_depth(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("serve.queue.depth").set(
+                self._queue.qsize()
+            )

@@ -1,0 +1,326 @@
+"""The HTTP/JSON front end.
+
+``ThreadingHTTPServer`` accepts connections; handler threads validate
+the request, probe the cross-request result cache, and enqueue a job
+on the bounded worker pool, waiting on its completion event.  The
+routes:
+
+- ``POST /v1/analyze`` — one analyzer on one program;
+- ``POST /v1/run``     — one concrete interpreter;
+- ``POST /v1/compare`` — the three-way `repro.api.run_three_way` report;
+- ``GET  /v1/corpus``  — valid ``corpus`` program names;
+- ``GET  /healthz``    — liveness + queue depth + drain state;
+- ``GET  /metricsz``   — the `repro.obs` Metrics snapshot, cache and
+  queue statistics.
+
+Graceful drain (SIGTERM/SIGINT via `run_until_signal`, or `drain()`
+programmatically): stop accepting new work (``overloaded``), finish
+everything queued and in flight, flush the JSONL trace sink, exit 0.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.corpus.programs import corpus_listing
+from repro.obs.metrics import Metrics
+from repro.obs.sinks import NULL_SINK, Sink
+from repro.serve.cache import ResultCache
+from repro.serve.codes import ServeError, classify_exception
+from repro.serve.jobs import (
+    Deadline,
+    ServiceDefaults,
+    execute_prepared,
+    prepare_request,
+)
+from repro.serve.pool import Job, WorkerPool
+
+_POST_ROUTES = {
+    "/v1/analyze": "analyze",
+    "/v1/run": "run",
+    "/v1/compare": "compare",
+}
+
+#: Handler-side grace on top of the job deadline, so the worker's own
+#: timeout classification wins when the budget expires mid-execution.
+_WAIT_GRACE_SECONDS = 2.0
+
+
+class _LockedSink:
+    """Serializes a shared trace sink across worker threads."""
+
+    def __init__(self, sink: Sink) -> None:
+        self._sink = sink
+        self._lock = threading.Lock()
+        self.enabled = sink.enabled
+
+    def emit(self, event) -> None:
+        with self._lock:
+            self._sink.emit(event)
+
+    def close(self) -> None:
+        with self._lock:
+            self._sink.close()
+
+
+def _dumps(payload: dict) -> str:
+    return json.dumps(payload, ensure_ascii=False)
+
+
+class _DrainableHTTPServer(ThreadingHTTPServer):
+    """`ThreadingHTTPServer` whose ``server_close`` joins handler
+    threads, so drain really waits for in-flight responses to be
+    written before the process exits."""
+
+    daemon_threads = False
+    block_on_close = True
+
+
+class AnalysisService:
+    """One service instance: cache + pool + HTTP server.
+
+    ``port=0`` binds an ephemeral port; read the resolved one from
+    ``.port`` after construction.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8184,
+        workers: int = 4,
+        queue_size: int = 64,
+        cache_size: int = 256,
+        defaults: ServiceDefaults | None = None,
+        trace: Sink = NULL_SINK,
+        metrics: Metrics | None = None,
+        verbose: bool = False,
+    ) -> None:
+        self.defaults = defaults or ServiceDefaults()
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.trace = _LockedSink(trace)
+        self.cache = ResultCache(
+            cache_size, metrics=self.metrics, trace=self.trace
+        )
+        self.pool = WorkerPool(
+            workers=workers, queue_size=queue_size, metrics=self.metrics
+        )
+        self.verbose = verbose
+        self.started_at = time.monotonic()
+        self._drained = threading.Event()
+        service = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # one response per connection: no lingering keep-alive
+            # threads to wait out during drain
+            protocol_version = "HTTP/1.0"
+            # bound rfile reads so a silent client cannot block drain
+            timeout = 30
+
+            def log_message(self, fmt, *args):  # pragma: no cover
+                if service.verbose:
+                    sys.stderr.write(
+                        "%s - %s\n" % (self.address_string(), fmt % args)
+                    )
+
+            def do_GET(self) -> None:
+                service._count("serve.requests.total")
+                if self.path == "/healthz":
+                    self._reply(200, _dumps(service.health()))
+                elif self.path == "/metricsz":
+                    self._reply(200, _dumps(service.metricsz()))
+                elif self.path == "/v1/corpus":
+                    self._reply(200, _dumps(corpus_listing()))
+                else:
+                    error = ServeError(
+                        "not_found", f"no such endpoint: GET {self.path}"
+                    )
+                    service._count("serve.responses.error.not_found")
+                    self._reply(
+                        error.error_code.http_status,
+                        _dumps(error.payload()),
+                    )
+
+            def do_POST(self) -> None:
+                service._count("serve.requests.total")
+                kind = _POST_ROUTES.get(self.path)
+                if kind is None:
+                    status, body = service._error_response(
+                        ServeError(
+                            "not_found",
+                            f"no such endpoint: POST {self.path}",
+                        )
+                    )
+                else:
+                    try:
+                        length = int(self.headers.get("Content-Length", 0))
+                        payload = json.loads(
+                            self.rfile.read(length).decode("utf-8")
+                            if length
+                            else "{}"
+                        )
+                    except (ValueError, UnicodeDecodeError) as exc:
+                        status, body = service._error_response(
+                            ServeError(
+                                "bad_request",
+                                f"request body is not valid JSON: {exc}",
+                            )
+                        )
+                    else:
+                        status, body = service.process(kind, payload)
+                self._reply(status, body)
+
+            def _reply(self, status: int, body: str) -> None:
+                data = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header(
+                    "Content-Type", "application/json; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+        self.httpd = _DrainableHTTPServer((host, port), Handler)
+        self.host, self.port = self.httpd.server_address[:2]
+        self._serve_thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+
+    # -- request processing -------------------------------------------
+
+    def process(self, kind: str, payload: dict) -> tuple[int, str]:
+        """Run one POST body through cache → queue → worker; returns
+        ``(http_status, response_body)``."""
+        try:
+            prep = prepare_request(kind, payload, self.defaults)
+        except ServeError as error:
+            return self._error_response(error)
+        except Exception as exc:  # defensive: validation must not 500
+            return self._error_response(classify_exception(exc))
+        if prep.cacheable:
+            cached = self.cache.get(prep.key)
+            if cached is not None:
+                self._count("serve.responses.ok")
+                return 200, cached
+        deadline = Deadline(self.defaults.timeout_seconds)
+
+        def run(job: Job) -> tuple[int, str]:
+            job.deadline.check()
+            response = execute_prepared(
+                prep,
+                deadline=job.deadline,
+                trace=self.trace,
+                metrics=self.metrics,
+            )
+            body = _dumps(response)
+            if prep.cacheable:
+                self.cache.put(prep.key, body)
+            return 200, body
+
+        job = Job(run, deadline)
+        try:
+            self.pool.submit(job)
+        except ServeError as error:
+            return self._error_response(error)
+        remaining = deadline.remaining()
+        finished = job.done.wait(
+            timeout=None
+            if remaining is None
+            else remaining + _WAIT_GRACE_SECONDS
+        )
+        if not finished:
+            job.abandon()
+            return self._error_response(
+                ServeError(
+                    "timeout", "request exceeded its wall-clock budget"
+                )
+            )
+        if job.status == 200:
+            self._count("serve.responses.ok")
+        else:
+            try:
+                code = json.loads(job.body)["error"]["code"]
+            except Exception:
+                code = "internal"
+            self._count(f"serve.responses.error.{code}")
+        return job.status, job.body
+
+    def _error_response(self, error: ServeError) -> tuple[int, str]:
+        self._count(f"serve.responses.error.{error.code}")
+        return error.error_code.http_status, _dumps(error.payload())
+
+    # -- introspection -------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``/healthz`` body."""
+        return {
+            "status": "draining" if self.pool.draining else "ok",
+            "queue_depth": self.pool.queue_depth,
+            "inflight": self.pool.inflight,
+            "workers": self.pool.workers,
+            "uptime_seconds": round(
+                time.monotonic() - self.started_at, 3
+            ),
+        }
+
+    def metricsz(self) -> dict:
+        """The ``/metricsz`` body."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "cache": self.cache.snapshot(),
+            "queue": {
+                "depth": self.pool.queue_depth,
+                "inflight": self.pool.inflight,
+                "draining": self.pool.draining,
+            },
+        }
+
+    def _count(self, name: str) -> None:
+        self.metrics.counter(name).inc()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful shutdown: finish in-flight work, stop the HTTP
+        loop, flush the trace sink.  Idempotent."""
+        if self._drained.is_set():
+            return True
+        clean = self.pool.drain(timeout=timeout)
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.trace.close()
+        self._drained.set()
+        return clean
+
+    def run_until_signal(self) -> int:
+        """Block until SIGTERM/SIGINT, then drain; the CLI's serve
+        loop.  Returns the process exit code (0 on a clean drain)."""
+        stop = threading.Event()
+
+        def request_stop(signum, frame):  # pragma: no cover - signal
+            stop.set()
+
+        previous = {
+            signum: signal.signal(signum, request_stop)
+            for signum in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            # Poll so the main thread keeps servicing signal handlers.
+            while not stop.wait(0.2):
+                pass
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        clean = self.drain()
+        return 0 if clean else 1

@@ -1,0 +1,106 @@
+"""The cross-request LRU cache and canonical request keys."""
+
+from repro.obs import Metrics, RecordingSink
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import cache_key
+
+
+class TestLru:
+    def test_hit_after_put(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", "body-a")
+        assert cache.get("a") == "body-a"
+        assert cache.hits == 1
+
+    def test_miss(self):
+        cache = ResultCache(capacity=2)
+        assert cache.get("a") is None
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.0
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        assert cache.get("a") == "1"  # refresh a
+        cache.put("c", "3")  # evicts b, the least recently used
+        assert cache.get("b") is None
+        assert cache.get("a") == "1"
+        assert cache.get("c") == "3"
+        assert cache.evictions == 1
+
+    def test_zero_capacity_never_stores(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", "1")
+        assert cache.get("a") is None
+
+    def test_metrics_and_trace_on_hit(self):
+        metrics, sink = Metrics(), RecordingSink()
+        cache = ResultCache(capacity=4, metrics=metrics, trace=sink)
+        cache.put("a", "1")
+        cache.get("a")
+        counters = metrics.snapshot()["counters"]
+        assert counters["serve.cache.hits"] == 1
+        events = sink.by_kind("cache.hit")
+        assert len(events) == 1
+        assert events[0].component == "serve.cache"
+
+    def test_snapshot(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", "1")
+        cache.get("a")
+        cache.get("b")
+        snap = cache.snapshot()
+        assert snap["size"] == 1
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["hit_rate"] == 0.5
+
+
+class TestCanonicalKeys:
+    def test_whitespace_variants_share_a_key(self):
+        assert cache_key(
+            "analyze", {"program": "(let (a (+ 1 2)) a)"}
+        ) == cache_key(
+            "analyze", {"program": "(let  (a (+ 1    2))\n a)"}
+        )
+
+    def test_kind_distinguishes(self):
+        payload = {"program": "(add1 1)"}
+        assert cache_key("analyze", dict(payload)) != cache_key(
+            "compare", dict(payload)
+        )
+
+    def test_options_distinguish(self):
+        base = {"program": "(add1 1)"}
+        assert cache_key("analyze", dict(base)) != cache_key(
+            "analyze", {**base, "analyzer": "semantic-cps"}
+        )
+        assert cache_key("analyze", dict(base)) != cache_key(
+            "analyze", {**base, "domain": "parity"}
+        )
+
+    def test_defaults_are_explicit(self):
+        base = {"program": "(add1 1)"}
+        assert cache_key("analyze", dict(base)) == cache_key(
+            "analyze", {**base, "analyzer": "direct", "domain": "constprop"}
+        )
+
+    def test_assume_order_is_canonical(self):
+        assert cache_key(
+            "analyze", {"program": "(+ x y)", "assume": {"x": 1, "y": 2}}
+        ) == cache_key(
+            "analyze", {"program": "(+ x y)", "assume": {"y": 2, "x": 1}}
+        )
+
+    def test_corpus_and_source_do_not_collide(self):
+        from repro.corpus.programs import PROGRAMS
+        from repro.lang.pretty import pretty_flat
+
+        name = "theorem-5.1"
+        source = pretty_flat(PROGRAMS[name].term)
+        # same term text, but the corpus entry carries closure
+        # assumptions the source request lacks
+        assert cache_key("analyze", {"corpus": name}) != cache_key(
+            "analyze", {"program": source}
+        )

@@ -1,0 +1,126 @@
+"""The retrying client: backoff schedule, retryability, give-up."""
+
+import json
+import random
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.serve.client import RetryPolicy, ServiceClient, ServiceError
+
+
+def _fake_server(script):
+    """A tiny HTTP server answering POSTs from a list of
+    ``(status, body_dict)`` entries (the last entry repeats)."""
+    served = []
+
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, *args):
+            pass
+
+        def do_POST(self):
+            index = min(len(served), len(script) - 1)
+            status, body = script[index]
+            served.append(status)
+            data = json.dumps(body).encode()
+            self.send_response(status)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    threading.Thread(target=httpd.serve_forever, daemon=True).start()
+    return httpd, f"http://127.0.0.1:{httpd.server_address[1]}", served
+
+
+OVERLOADED = {
+    "ok": False,
+    "error": {"code": "overloaded", "message": "queue full"},
+}
+OK = {"ok": True, "value": 42}
+
+
+class TestRetries:
+    def test_recovers_from_overloaded_burst(self):
+        httpd, url, served = _fake_server(
+            [(503, OVERLOADED), (503, OVERLOADED), (200, OK)]
+        )
+        try:
+            sleeps = []
+            client = ServiceClient(
+                url,
+                policy=RetryPolicy(
+                    retries=5,
+                    rng=random.Random(7),
+                    sleep=sleeps.append,
+                ),
+            )
+            assert client.request("/v1/run", {}) == OK
+            assert served == [503, 503, 200]
+            assert client.retries_performed == 2
+            assert len(sleeps) == 2
+        finally:
+            httpd.shutdown()
+
+    def test_gives_up_after_budget(self):
+        httpd, url, served = _fake_server([(503, OVERLOADED)])
+        try:
+            client = ServiceClient(
+                url,
+                policy=RetryPolicy(retries=2, sleep=lambda _: None),
+            )
+            with pytest.raises(ServiceError) as info:
+                client.request("/v1/run", {})
+            assert info.value.code == "overloaded"
+            assert info.value.attempts == 3
+            assert info.value.exit_code == 9
+            assert served == [503, 503, 503]
+        finally:
+            httpd.shutdown()
+
+    def test_semantic_errors_fail_fast(self):
+        body = {
+            "ok": False,
+            "error": {"code": "parse_error", "message": "bad"},
+        }
+        httpd, url, served = _fake_server([(400, body)])
+        try:
+            client = ServiceClient(
+                url, policy=RetryPolicy(retries=5, sleep=lambda _: None)
+            )
+            with pytest.raises(ServiceError) as info:
+                client.request("/v1/analyze", {})
+            assert info.value.code == "parse_error"
+            assert served == [400]  # no retries
+        finally:
+            httpd.shutdown()
+
+    def test_connection_refused_is_unreachable(self):
+        client = ServiceClient(
+            "http://127.0.0.1:1",  # reserved port: nothing listens
+            policy=RetryPolicy(retries=1, sleep=lambda _: None),
+        )
+        with pytest.raises(ServiceError) as info:
+            client.healthz()
+        assert info.value.code == "unreachable"
+
+
+class TestBackoffSchedule:
+    def test_exponential_with_jitter_bounds(self):
+        policy = RetryPolicy(
+            retries=6,
+            base_delay=0.1,
+            factor=2.0,
+            max_delay=1.0,
+            rng=random.Random(0),
+        )
+        delays = [policy.delay(attempt) for attempt in range(6)]
+        ceilings = [0.1, 0.2, 0.4, 0.8, 1.0, 1.0]
+        for delay, ceiling in zip(delays, ceilings):
+            assert ceiling / 2 <= delay <= ceiling
+
+    def test_jitter_is_seeded(self):
+        a = RetryPolicy(rng=random.Random(3)).delay(0)
+        b = RetryPolicy(rng=random.Random(3)).delay(0)
+        assert a == b

@@ -1,0 +1,90 @@
+"""The structured error vocabulary shared by service and CLI."""
+
+import pytest
+
+from repro.analysis.common import BudgetExceeded, NonComputableError
+from repro.interp.errors import (
+    Diverged,
+    FuelExhausted,
+    StackOverflow,
+    StuckError,
+)
+from repro.lang.errors import ParseError
+from repro.serve.codes import (
+    CODES,
+    ServeError,
+    classify_exception,
+    exit_code_for,
+    exit_codes_help,
+)
+
+
+class TestVocabulary:
+    def test_exit_codes_are_distinct_and_nonzero(self):
+        exit_codes = [code.exit_code for code in CODES.values()]
+        assert len(set(exit_codes)) == len(exit_codes)
+        assert all(code > 0 for code in exit_codes)
+
+    def test_issue_mandated_codes_exist(self):
+        for name in (
+            "fuel_exhausted",
+            "timeout",
+            "parse_error",
+            "overloaded",
+        ):
+            assert name in CODES
+
+    def test_http_statuses_are_errors(self):
+        assert all(
+            400 <= code.http_status < 600 for code in CODES.values()
+        )
+
+    def test_backpressure_codes_are_retryable(self):
+        assert CODES["overloaded"].retryable
+        assert CODES["timeout"].retryable
+        assert not CODES["diverged"].retryable
+        assert not CODES["parse_error"].retryable
+
+    def test_help_lists_every_code(self):
+        text = exit_codes_help()
+        for name in CODES:
+            assert name in text
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "exc,code",
+        [
+            (FuelExhausted(10), "fuel_exhausted"),
+            (Diverged(), "diverged"),
+            (StuckError("no rule"), "stuck"),
+            (StackOverflow(), "stuck"),
+            (BudgetExceeded(100), "budget_exceeded"),
+            (NonComputableError("loop"), "non_computable"),
+            (ParseError("bad"), "parse_error"),
+            (KeyError("x"), "bad_request"),
+            (RuntimeError("boom"), "internal"),
+        ],
+    )
+    def test_exception_mapping(self, exc, code):
+        assert classify_exception(exc).code == code
+
+    def test_serve_error_passes_through(self):
+        original = ServeError("overloaded", "full")
+        assert classify_exception(original) is original
+
+    def test_exit_code_for_pairs_code_and_message(self):
+        code, message = exit_code_for(Diverged())
+        assert code == CODES["diverged"].exit_code
+        assert message.startswith("diverged:")
+
+    def test_payload_shape(self):
+        payload = ServeError("timeout", "too slow").payload()
+        assert payload == {
+            "ok": False,
+            "error": {"code": "timeout", "message": "too slow"},
+        }
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            ServeError("no-such-code", "nope")

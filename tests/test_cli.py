@@ -247,6 +247,105 @@ class TestErrors:
             run_cli(capsys, "frobnicate")
 
 
+class TestCorpusCommand:
+    def test_lists_programs_and_families(self, capsys):
+        code, out, _ = run_cli(capsys, "corpus")
+        assert code == 0
+        assert "theorem-5.1" in out
+        assert "conditional-chain-K" in out
+        assert "[heavy]" in out  # ackermann is flagged
+
+    def test_json_listing(self, capsys):
+        code, out, _ = run_cli(capsys, "corpus", "--json")
+        listing = json.loads(out)
+        names = {entry["name"] for entry in listing["programs"]}
+        assert "shivers-p33" in names
+        assert all("description" in entry for entry in listing["families"])
+
+
+class TestExitCodes:
+    """Interpreter/analyzer failures map to the structured
+    `repro.serve` exit codes instead of tracebacks."""
+
+    def test_diverged_exits_4(self, capsys):
+        code, _, err = run_cli(capsys, "run", "-e", "(let (d (loop)) d)")
+        assert code == 4
+        assert "diverged" in err
+
+    def test_fuel_exhausted_exits_3(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "run",
+            "-e",
+            "(let (f (lambda (s) (s s))) (f f))",
+            "--fuel",
+            "50",
+        )
+        assert code == 3
+        assert "fuel_exhausted" in err
+
+    def test_stuck_exits_5(self, capsys):
+        code, _, err = run_cli(capsys, "run", "-e", "(1 2)")
+        assert code == 5
+        assert "stuck" in err
+
+    def test_parse_error_exits_2(self, capsys):
+        code, _, err = run_cli(capsys, "anf", "-e", "(((")
+        assert code == 2
+        assert "parse_error" in err
+
+    def test_non_computable_exits_7(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "analyze",
+            "-e",
+            "(let (d (loop)) d)",
+            "--loop-mode",
+            "reject",
+        )
+        assert code == 7
+        assert "non_computable" in err
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "--help")
+        out = capsys.readouterr().out
+        assert "exit codes" in out
+        assert "fuel_exhausted" in out
+        assert "diverged" in out
+
+    def test_success_still_exits_0(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "-e", "(add1 1)")
+        assert code == 0
+
+
+class TestServeCommands:
+    def test_serve_and_request_help_exist(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "serve", "--help")
+        out = capsys.readouterr().out
+        assert "--queue-size" in out
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "request", "--help")
+        out = capsys.readouterr().out
+        assert "--retries" in out
+
+    def test_request_unreachable_exit_code(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "request",
+            "health",
+            "--url",
+            "http://127.0.0.1:1",
+            "--retries",
+            "0",
+            "--timeout",
+            "2",
+        )
+        assert code == 10
+        assert "unreachable" in err
+
+
 class TestTrace:
     def test_stdout_jsonl(self, capsys):
         code, out, _ = run_cli(capsys, "trace", "-e", "(add1 1)")
