@@ -1,4 +1,16 @@
-"""Membership checks for the restricted (A-normal form) subset."""
+"""Membership checks for the restricted (A-normal form) subset.
+
+Two layers:
+
+- :func:`anf_violations` walks a whole term and returns every
+  structural problem as a recoverable `repro.lang.errors.Violation`
+  (stable rule keys ``not-in-anf``, ``non-unique-binders``,
+  ``binder-shadows-free``), each pointing at the offending binder
+  where there is one.  The `repro.lint` syntactic passes consume this.
+- :func:`validate_anf` keeps the historical raising API as a thin
+  wrapper: it raises a `SyntaxValidationError` carrying the first
+  violation's rule and subject.
+"""
 
 from __future__ import annotations
 
@@ -14,8 +26,13 @@ from repro.lang.ast import (
     Term,
     Var,
 )
-from repro.lang.errors import SyntaxValidationError
-from repro.lang.syntax import has_unique_binders
+from repro.lang.errors import SyntaxValidationError, Violation
+from repro.lang.syntax import binders, free_variables, has_unique_binders
+
+#: Rule keys produced by :func:`anf_violations`.
+RULE_NOT_IN_ANF = "not-in-anf"
+RULE_NON_UNIQUE_BINDERS = "non-unique-binders"
+RULE_BINDER_SHADOWS_FREE = "binder-shadows-free"
 
 
 def is_anf_value(value: Term) -> bool:
@@ -59,14 +76,139 @@ def is_anf(term: Term) -> bool:
     return is_anf_value(term)
 
 
+def anf_violations(term: Term) -> list[Violation]:
+    """Every structural problem keeping ``term`` out of the restricted
+    subset, as recoverable records (empty when the term is valid).
+
+    Grammar violations point at the innermost enclosing ``let`` binder;
+    binder-uniqueness and shadowing violations point at the offending
+    name.  Order: grammar problems first (pre-order), then duplicated
+    binders, then binders shadowing free variables.
+    """
+    out: list[Violation] = []
+    _collect_term(term, out, tail_role="program tail")
+    names = binders(term)
+    seen: set[str] = set()
+    reported: set[str] = set()
+    for name in names:
+        if name in seen and name not in reported:
+            reported.add(name)
+            out.append(
+                Violation(
+                    RULE_NON_UNIQUE_BINDERS,
+                    f"binder {name!r} is bound more than once",
+                    name,
+                )
+            )
+        seen.add(name)
+    for name in sorted(set(names) & free_variables(term)):
+        out.append(
+            Violation(
+                RULE_BINDER_SHADOWS_FREE,
+                f"binder {name!r} shadows a free variable of the program",
+                name,
+            )
+        )
+    return out
+
+
+def _collect_term(term: Term, out: list[Violation], tail_role: str) -> None:
+    """Walk a term position of the restricted grammar, collecting
+    ``not-in-anf`` violations."""
+    while isinstance(term, Let):
+        _collect_rhs(term.name, term.rhs, out)
+        term = term.body
+    if is_anf_value(term):
+        if isinstance(term, Lam):
+            _collect_term(term.body, out, "lambda body tail")
+        return
+    out.append(
+        Violation(
+            RULE_NOT_IN_ANF,
+            f"{tail_role} must be a value of the restricted subset, "
+            f"got {type(term).__name__}",
+        )
+    )
+
+
+def _collect_value(value: Term, role: str, subject: str | None,
+                   out: list[Violation]) -> None:
+    if is_anf_value(value):
+        if isinstance(value, Lam):
+            _collect_term(value.body, out, "lambda body tail")
+        return
+    out.append(
+        Violation(
+            RULE_NOT_IN_ANF,
+            f"{role} must be a value, got {type(value).__name__}",
+            subject,
+        )
+    )
+
+
+def _collect_rhs(name: str, rhs: Term, out: list[Violation]) -> None:
+    """Check one let right-hand side, recursing where the grammar
+    allows nested term positions."""
+    if isinstance(rhs, Loop):
+        return
+    if is_anf_value(rhs):
+        if isinstance(rhs, Lam):
+            _collect_term(rhs.body, out, "lambda body tail")
+        return
+    match rhs:
+        case App(fun, arg):
+            _collect_value(
+                fun, f"operator of the call bound to {name!r}", name, out
+            )
+            _collect_value(
+                arg, f"operand of the call bound to {name!r}", name, out
+            )
+        case PrimApp(op, args):
+            for index, part in enumerate(args, start=1):
+                _collect_value(
+                    part,
+                    f"argument {index} of ({op} ...) bound to {name!r}",
+                    name,
+                    out,
+                )
+        case If0(test, then, orelse):
+            _collect_value(
+                test, f"test of the conditional bound to {name!r}", name, out
+            )
+            _collect_term(then, out, "conditional branch tail")
+            _collect_term(orelse, out, "conditional branch tail")
+        case Let():
+            out.append(
+                Violation(
+                    RULE_NOT_IN_ANF,
+                    f"let expression in the right-hand side of {name!r} "
+                    f"is not sequenced (A-normalization re-orders it)",
+                    name,
+                )
+            )
+            _collect_term(rhs, out, "nested let tail")
+        case _:
+            out.append(
+                Violation(
+                    RULE_NOT_IN_ANF,
+                    f"right-hand side of {name!r} is not in the restricted "
+                    f"subset: {type(rhs).__name__}",
+                    name,
+                )
+            )
+
+
 def validate_anf(term: Term) -> None:
     """Raise `SyntaxValidationError` unless ``term`` is a well-formed
-    program of the restricted subset with unique binders."""
-    if not is_anf(term):
-        raise SyntaxValidationError(
-            "term is not in A-normal form (restricted subset)"
-        )
-    if not has_unique_binders(term):
-        raise SyntaxValidationError(
-            "A-normal form requires all bound variables to be unique"
-        )
+    program of the restricted subset with unique binders.
+
+    Thin wrapper over :func:`anf_violations` kept for the historical
+    raising API; the exception carries the first violation's rule key
+    and subject.  The fast path (valid term) avoids building the
+    violation list.
+    """
+    if is_anf(term) and has_unique_binders(term):
+        return
+    violations = anf_violations(term)
+    if violations:  # pragma: no branch - the checks above mismatch only
+        raise SyntaxValidationError.from_violation(violations[0])

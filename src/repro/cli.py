@@ -10,6 +10,8 @@ Commands
 - ``anf``      print the A-normal form of a program
 - ``cps``      print the CPS transform of a program
 - ``optimize`` run the analysis-driven optimizer and print the result
+- ``lint``     run the `repro.lint` diagnostics engine (syntactic
+  rules plus analyzer-powered semantic rules)
 - ``graph``    print the call or flow graph as Graphviz DOT
 - ``bench``    run the `repro.perf` regression benchmark and write
   ``BENCH_perf.json``
@@ -333,6 +335,72 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.corpus.programs import PROGRAMS, corpus_program
+    from repro.lint import has_errors, render_json, render_text, run_lints
+    from repro.serve.codes import CODES
+
+    domain = DOMAINS[args.domain]()
+    lattice = Lattice(domain)
+    jobs: list[tuple] = []
+    if args.all:
+        for program in PROGRAMS.values():
+            jobs.append((program, None, None))
+    elif args.corpus is not None:
+        try:
+            jobs.append((corpus_program(args.corpus), None, None))
+        except KeyError:
+            raise SystemExit(f"unknown corpus program {args.corpus!r}")
+    else:
+        if args.expr is not None:
+            source, name = args.expr, "<expr>"
+        elif args.file is not None:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            name = args.file
+        else:
+            raise SystemExit(
+                "provide a FILE, -e SOURCE, --corpus NAME, or --all"
+            )
+        assumes = _parse_assumes(args.assume)
+        initial = {
+            key: lattice.of_const(value) for key, value in assumes.items()
+        }
+        jobs.append((source, name, initial))
+    reports = [
+        run_lints(
+            program,
+            analyzer=args.analyzer,
+            domain=domain,
+            initial=initial,
+            loop_mode=args.loop_mode,
+            max_visits=args.max_visits,
+            semantic=not args.syntactic_only,
+            fix=args.fix,
+            program_name=name,
+        )
+        for program, name, initial in jobs
+    ]
+    if args.format == "json":
+        if args.all:
+            print(
+                json.dumps(
+                    [report.as_dict() for report in reports],
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(render_json(reports[0]), end="")
+    else:
+        print("\n\n".join(render_text(report) for report in reports))
+    if any(has_errors(report) for report in reports):
+        return CODES["lint_error"].exit_code
+    return 0
+
+
 def _cmd_graph(args: argparse.Namespace) -> int:
     term = _load_term(args)
     domain = ConstPropDomain()
@@ -478,6 +546,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     optimize_parser.set_defaults(handler=_cmd_optimize)
 
+    lint_parser = commands.add_parser(
+        "lint",
+        help="run the repro.lint diagnostics engine",
+        description=(
+            "Lint a program: syntactic rules (S1xx) always run; "
+            "semantic rules (L0xx) are proved by the chosen analyzer, "
+            "so the findings themselves measure analyzer precision. "
+            "Exits with the `lint_error` code when any error-severity "
+            "diagnostic fires."
+        ),
+    )
+    _add_program_arguments(lint_parser)
+    lint_parser.add_argument(
+        "--corpus",
+        metavar="NAME",
+        help="lint a corpus program instead of FILE/-e",
+    )
+    lint_parser.add_argument(
+        "--all",
+        action="store_true",
+        help="lint every corpus program",
+    )
+    lint_parser.add_argument(
+        "--analyzer",
+        choices=("direct", "semantic-cps", "syntactic-cps"),
+        default="direct",
+        help="which Figure 4-6 analyzer powers the semantic rules",
+    )
+    lint_parser.add_argument(
+        "--domain", choices=sorted(DOMAINS), default="constprop"
+    )
+    lint_parser.add_argument(
+        "--loop-mode",
+        choices=("reject", "top", "unroll"),
+        default="top",
+        help="`loop` handling for the CPS analyzers (lint default: top)",
+    )
+    lint_parser.add_argument(
+        "--max-visits",
+        type=int,
+        default=250_000,
+        metavar="N",
+        help=(
+            "analyzer work budget; exceeding it degrades to "
+            "syntactic-only findings instead of failing"
+        ),
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic rendering",
+    )
+    lint_parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply every fix-it and include the fixed program",
+    )
+    lint_parser.add_argument(
+        "--syntactic-only",
+        action="store_true",
+        help="skip the analyzer and the semantic rules",
+    )
+    lint_parser.set_defaults(handler=_cmd_lint)
+
     graph_parser = commands.add_parser(
         "graph", help="print call/flow graphs as DOT"
     )
@@ -497,6 +630,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="render report sections across N worker processes",
+    )
+    report_parser.add_argument(
+        "--section",
+        default=None,
+        metavar="NAME",
+        help="render only the named section (e.g. witnesses, lint)",
     )
     report_parser.set_defaults(handler=_cmd_report)
 
@@ -661,7 +800,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     request_parser.add_argument(
         "endpoint",
-        choices=("analyze", "run", "compare", "corpus", "health", "metrics"),
+        choices=(
+            "analyze", "run", "compare", "lint", "corpus", "health",
+            "metrics",
+        ),
     )
     _add_program_arguments(request_parser)
     request_parser.add_argument(
@@ -829,9 +971,14 @@ def _cmd_survey(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.report import generate_report
+    from repro.report import generate_report, section_keys
 
-    print(generate_report(jobs=args.jobs))
+    if args.section is not None and args.section not in section_keys():
+        raise SystemExit(
+            f"unknown report section {args.section!r}; "
+            f"choose from {', '.join(section_keys())}"
+        )
+    print(generate_report(jobs=args.jobs, section=args.section))
     return 0
 
 

@@ -4,6 +4,15 @@ Checks grammar membership, the KVars/Vars disjointness convention, and
 scoping of continuation variables (each ``(k W)`` return must refer to
 a continuation variable in scope: a `CLam` k-parameter, a `CIf0` join
 binding, or the program's top continuation).
+
+Two layers, mirroring :mod:`repro.anf.validate`:
+
+- :func:`cps_violations` collects every problem as a recoverable
+  `repro.lang.errors.Violation` (rule keys ``kvar-namespace``,
+  ``unbound-continuation``, ``not-in-cps``) for the `repro.lint`
+  syntactic passes.
+- :func:`validate_cps` keeps the historical raising API as a thin
+  wrapper raising a `SyntaxValidationError` for the first violation.
 """
 
 from __future__ import annotations
@@ -26,7 +35,12 @@ from repro.cps.ast import (
     KLam,
     CTERM_CLASSES,
 )
-from repro.lang.errors import SyntaxValidationError
+from repro.lang.errors import SyntaxValidationError, Violation
+
+#: Rule keys produced by :func:`cps_violations`.
+RULE_KVAR_NAMESPACE = "kvar-namespace"
+RULE_UNBOUND_CONTINUATION = "unbound-continuation"
+RULE_NOT_IN_CPS = "not-in-cps"
 
 
 def is_cps_term(term: object) -> bool:
@@ -63,67 +77,121 @@ def cps_subterms(term: CTerm) -> Iterator[CTerm | CValue | KLam]:
                 pass
 
 
-def validate_cps(term: CTerm, top_kvars: frozenset[str] = frozenset()) -> None:
-    """Raise `SyntaxValidationError` unless ``term`` is well-formed.
+def cps_violations(
+    term: CTerm, top_kvars: frozenset[str] = frozenset()
+) -> list[Violation]:
+    """Every structural problem keeping ``term`` out of the cps(A)
+    image, as recoverable records (empty when the term is valid).
 
     Args:
         term: the cps(A) program to check.
         top_kvars: continuation variables assumed bound by the initial
             environment (usually ``{TOP_KVAR}``).
     """
-    _check(term, top_kvars, set())
+    out: list[Violation] = []
+    _check(term, top_kvars, set(), out)
+    return out
 
 
-def _check_value(value: CValue, kvars: frozenset[str], xvars: set[str]) -> None:
+def validate_cps(term: CTerm, top_kvars: frozenset[str] = frozenset()) -> None:
+    """Raise `SyntaxValidationError` unless ``term`` is well-formed.
+
+    Thin wrapper over :func:`cps_violations`; the exception carries the
+    first violation's rule key and subject.
+
+    Args:
+        term: the cps(A) program to check.
+        top_kvars: continuation variables assumed bound by the initial
+            environment (usually ``{TOP_KVAR}``).
+    """
+    violations = cps_violations(term, top_kvars)
+    if violations:
+        raise SyntaxValidationError.from_violation(violations[0])
+
+
+def _check_value(
+    value: CValue,
+    kvars: frozenset[str],
+    xvars: set[str],
+    out: list[Violation],
+) -> None:
     match value:
         case CNum() | CPrim():
             return
         case CVar(name):
             if name.startswith("k/"):
-                raise SyntaxValidationError(
-                    f"source variable {name!r} uses the continuation namespace"
+                out.append(
+                    Violation(
+                        RULE_KVAR_NAMESPACE,
+                        f"source variable {name!r} uses the continuation "
+                        f"namespace",
+                        name,
+                    )
                 )
             return
         case CLam(param, kparam, body):
             if not kparam.startswith("k/"):
-                raise SyntaxValidationError(
-                    f"continuation parameter {kparam!r} must use the k/ namespace"
+                out.append(
+                    Violation(
+                        RULE_KVAR_NAMESPACE,
+                        f"continuation parameter {kparam!r} must use the "
+                        f"k/ namespace",
+                        kparam,
+                    )
                 )
-            _check(body, frozenset((kparam,)), xvars | {param})
+            _check(body, frozenset((kparam,)), xvars | {param}, out)
             return
-    raise SyntaxValidationError(f"not a cps(A) value: {value!r}")
+    out.append(
+        Violation(RULE_NOT_IN_CPS, f"not a cps(A) value: {value!r}")
+    )
 
 
-def _check(term: CTerm, kvars: frozenset[str], xvars: set[str]) -> None:
+def _check(
+    term: CTerm,
+    kvars: frozenset[str],
+    xvars: set[str],
+    out: list[Violation],
+) -> None:
     match term:
         case KApp(kvar, value):
             if kvar not in kvars:
-                raise SyntaxValidationError(
-                    f"return to unbound continuation variable {kvar!r}"
+                out.append(
+                    Violation(
+                        RULE_UNBOUND_CONTINUATION,
+                        f"return to unbound continuation variable {kvar!r}",
+                        kvar,
+                    )
                 )
-            _check_value(value, kvars, xvars)
+            _check_value(value, kvars, xvars, out)
         case CLet(name, value, body):
-            _check_value(value, kvars, xvars)
-            _check(body, kvars, xvars | {name})
+            _check_value(value, kvars, xvars, out)
+            _check(body, kvars, xvars | {name}, out)
         case CApp(fun, arg, kont):
-            _check_value(fun, kvars, xvars)
-            _check_value(arg, kvars, xvars)
-            _check(kont.body, kvars, xvars | {kont.param})
+            _check_value(fun, kvars, xvars, out)
+            _check_value(arg, kvars, xvars, out)
+            _check(kont.body, kvars, xvars | {kont.param}, out)
         case CIf0(kvar, kont, test, then, orelse):
             if not kvar.startswith("k/"):
-                raise SyntaxValidationError(
-                    f"join continuation {kvar!r} must use the k/ namespace"
+                out.append(
+                    Violation(
+                        RULE_KVAR_NAMESPACE,
+                        f"join continuation {kvar!r} must use the "
+                        f"k/ namespace",
+                        kvar,
+                    )
                 )
-            _check_value(test, kvars, xvars)
-            _check(kont.body, kvars, xvars | {kont.param})
+            _check_value(test, kvars, xvars, out)
+            _check(kont.body, kvars, xvars | {kont.param}, out)
             inner = kvars | {kvar}
-            _check(then, inner, xvars)
-            _check(orelse, inner, xvars)
+            _check(then, inner, xvars, out)
+            _check(orelse, inner, xvars, out)
         case CPrimLet(name, _, args, body):
             for arg in args:
-                _check_value(arg, kvars, xvars)
-            _check(body, kvars, xvars | {name})
+                _check_value(arg, kvars, xvars, out)
+            _check(body, kvars, xvars | {name}, out)
         case CLoop(kont):
-            _check(kont.body, kvars, xvars | {kont.param})
+            _check(kont.body, kvars, xvars | {kont.param}, out)
         case _:
-            raise SyntaxValidationError(f"not a cps(A) term: {term!r}")
+            out.append(
+                Violation(RULE_NOT_IN_CPS, f"not a cps(A) term: {term!r}")
+            )

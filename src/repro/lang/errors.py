@@ -1,6 +1,36 @@
-"""Exception hierarchy for the source language A."""
+"""Exception hierarchy for the source language A.
+
+Structural validators (:mod:`repro.anf.validate`,
+:mod:`repro.cps.validate`) report problems as `Violation` records — a
+stable rule key, a message, and the binder/variable the problem is
+about — which the `repro.lint` passes turn into recoverable
+diagnostics with source spans.  The raising APIs stay: they throw a
+`SyntaxValidationError` carrying the first violation's rule and
+subject, so existing callers keep their exception semantics while the
+error is no longer a bare string.
+"""
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One recoverable structural problem found by a validator.
+
+    Attributes:
+        rule: a stable validator rule key (e.g. ``"non-unique-binders"``,
+            ``"not-in-cps"``); the lint layer maps these to `S1xx`
+            diagnostic codes.
+        message: human-readable description.
+        subject: the binder or variable name the problem concerns, when
+            there is one — the lint layer resolves it to a source span.
+    """
+
+    rule: str
+    message: str
+    subject: str | None = None
 
 
 class LangError(Exception):
@@ -29,7 +59,31 @@ class SyntaxValidationError(LangError):
 
     Used by the ANF validator, the cps(A) validator, and the
     unique-binder checks that the abstract interpreters require.
+
+    Attributes:
+        rule: the validator rule key that failed (empty for legacy
+            call sites that raise with a bare message).
+        subject: the offending binder/variable name, if known.
     """
+
+    def __init__(
+        self,
+        message: str,
+        rule: str = "",
+        subject: str | None = None,
+    ) -> None:
+        self.rule = rule
+        self.subject = subject
+        super().__init__(message)
+
+    @classmethod
+    def from_violation(cls, violation: Violation) -> "SyntaxValidationError":
+        """Wrap the first violation of a validator run."""
+        return cls(
+            violation.message,
+            rule=violation.rule,
+            subject=violation.subject,
+        )
 
 
 class ScopeError(LangError):

@@ -1,0 +1,182 @@
+"""The diagnostic vocabulary of the lint engine.
+
+A `Diagnostic` is one finding: a stable rule code (``S1xx`` for
+syntactic rules that hold regardless of analysis, ``L0xx`` for
+semantic rules proved by a chosen analyzer), a severity, a message,
+the binder/variable it is about, an optional source span recovered
+from the concrete syntax, and an optional fix-it describing the safe
+transformation that discharges it.  A `LintReport` bundles the
+findings of one :func:`repro.lint.run_lints` run together with the
+run's configuration and outcome flags.
+
+Rule catalog (docs/LINT.md has the long-form version):
+
+====== ======== ===========================================
+code   severity meaning
+====== ======== ===========================================
+S100   error    binder bound more than once
+S101   error    binder shadows a free variable
+S102   warning  free variable without an initial assumption
+S103   error    term is not in the restricted (ANF) subset
+S104   error    CPS image fails the cps(A) checker
+S105   warning  unused pure ``let`` binding
+L001   warning  conditional branch unreachable under analysis
+L002   warning  binding dead under the abstract store
+L003   info     binding constant-foldable under analysis
+L004   info     loop cut by the Section 4.4 guard
+====== ======== ===========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Severity names, most severe first.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+def severity_rank(severity: str) -> int:
+    """Sort key: most severe first, unknown severities last."""
+    return _SEVERITY_RANK.get(severity, len(_SEVERITY_RANK))
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """A 1-based source position recovered from the parser's datums."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True, slots=True)
+class FixIt:
+    """A safe transformation that discharges a diagnostic.
+
+    ``action`` names the repo transformation the fix delegates to
+    (e.g. ``"anf.normalize"``, ``"opt.deadcode"``); ``description``
+    says what applying it does to this program.
+    """
+
+    action: str
+    description: str
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One lint finding."""
+
+    code: str
+    rule: str
+    severity: str
+    message: str
+    subject: str | None = None
+    span: Span | None = None
+    #: Analyzer whose facts proved this (semantic rules only).
+    analyzer: str | None = None
+    fixit: FixIt | None = None
+
+    @property
+    def semantic(self) -> bool:
+        """True for analyzer-dependent (``L0xx``) findings."""
+        return self.code.startswith("L")
+
+    def sort_key(self) -> tuple:
+        return (
+            severity_rank(self.severity),
+            self.code,
+            (self.span.line, self.span.column) if self.span else (0, 0),
+            self.subject or "",
+            self.message,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """The stable JSON schema (``None`` fields omitted)."""
+        view: dict[str, Any] = {
+            "code": self.code,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.subject is not None:
+            view["subject"] = self.subject
+        if self.span is not None:
+            view["span"] = {"line": self.span.line, "column": self.span.column}
+        if self.analyzer is not None:
+            view["analyzer"] = self.analyzer
+        if self.fixit is not None:
+            view["fixit"] = {
+                "action": self.fixit.action,
+                "description": self.fixit.description,
+            }
+        return view
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one :func:`repro.lint.run_lints` run.
+
+    Attributes:
+        program: a display name for the linted program.
+        analyzer: the analyzer the semantic passes consumed.
+        diagnostics: findings, sorted most severe first.
+        normalized: True when the semantic passes ran on the
+            A-normalized image of the input rather than the input
+            itself (the input was outside the restricted subset).
+        analysis_error: the serve-code name of the analysis failure
+            that made the semantic passes unavailable (e.g.
+            ``"budget_exceeded"``), or None when they ran.
+        fixed_source: when fixing was requested, the pretty-printed
+            program with all fix-its applied.
+    """
+
+    program: str
+    analyzer: str
+    diagnostics: tuple[Diagnostic, ...] = ()
+    normalized: bool = False
+    analysis_error: str | None = None
+    fixed_source: str | None = None
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == ERROR)
+
+    @property
+    def semantic_codes(self) -> tuple[str, ...]:
+        """Sorted distinct ``L0xx`` codes that fired."""
+        return tuple(
+            sorted({d.code for d in self.diagnostics if d.semantic})
+        )
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def counts(self) -> dict[str, int]:
+        """Finding counts per severity (only severities that occur)."""
+        out: dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            out[diagnostic.severity] = out.get(diagnostic.severity, 0) + 1
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        """The stable JSON schema used by the CLI, the service, and the
+        golden snapshots."""
+        view: dict[str, Any] = {
+            "program": self.program,
+            "analyzer": self.analyzer,
+            "normalized": self.normalized,
+            "counts": self.counts(),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+        if self.analysis_error is not None:
+            view["analysis_error"] = self.analysis_error
+        if self.fixed_source is not None:
+            view["fixed_source"] = self.fixed_source
+        return view

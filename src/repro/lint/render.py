@@ -1,0 +1,61 @@
+"""Renderers for lint reports.
+
+Two stable formats:
+
+- ``text``: one ``program:line:col: severity[CODE]: message`` line per
+  finding (the familiar compiler-diagnostic shape), a fix-it hint
+  where one exists, and a one-line summary.
+- ``json``: ``json.dumps`` of `LintReport.as_dict()` with sorted keys
+  and a trailing newline — byte-stable, which is what the golden
+  snapshots and the CI ``lint-smoke`` job diff against.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.diagnostic import Diagnostic, LintReport
+
+
+def render_diagnostic(report: LintReport, diagnostic: Diagnostic) -> str:
+    """One text line for one finding."""
+    location = report.program
+    if diagnostic.span is not None:
+        location = f"{location}:{diagnostic.span}"
+    line = (
+        f"{location}: {diagnostic.severity}[{diagnostic.code}]: "
+        f"{diagnostic.message}"
+    )
+    if diagnostic.fixit is not None:
+        line += f" (fix: {diagnostic.fixit.action})"
+    return line
+
+
+def render_text(report: LintReport) -> str:
+    """The full text rendering of one report."""
+    lines = [
+        render_diagnostic(report, diagnostic)
+        for diagnostic in report.diagnostics
+    ]
+    counts = report.counts()
+    tally = (
+        ", ".join(
+            f"{counts[severity]} {severity}(s)"
+            for severity in ("error", "warning", "info")
+            if severity in counts
+        )
+        or "clean"
+    )
+    summary = f"{report.program}: {tally} [analyzer={report.analyzer}]"
+    if report.analysis_error is not None:
+        summary += f" (semantic passes unavailable: {report.analysis_error})"
+    lines.append(summary)
+    if report.fixed_source is not None:
+        lines.append("fixed program:")
+        lines.append(report.fixed_source)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The byte-stable JSON rendering of one report."""
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,157 @@
+"""Semantic lint passes (``L0xx``) — the analyzer-powered family.
+
+Each pass consumes an `AnalysisResult` from one of the paper's three
+analyzers, so whether a given lint fires is itself a precision
+observation: the same program can yield different findings under the
+direct (Fig. 4), semantic-CPS (Fig. 5), and syntactic-CPS (Fig. 6)
+analyzers (the report's lint-yield scoreboard tabulates exactly this).
+
+Every finding is validated by the corresponding safe transformation
+*by construction*, because the passes reuse the very predicates
+`repro.opt.constfold` fires on:
+
+- L001 fires iff :func:`repro.opt.constfold.branch_decision` decides
+  the branch — the fold then collapses it.
+- L003 fires iff ``constant_of`` and
+  :func:`repro.opt.constfold.foldable_rhs` both hold — the fold then
+  rewrites the binding to the literal.
+- L002 is defined extensionally: a binding the
+  ``constant_fold``-then-``eliminate_dead_code`` pipeline removes that
+  plain ``eliminate_dead_code`` (no analysis facts) cannot.
+- L004 reports Section 4.4 loop cuts observed while the analysis ran
+  (via `repro.obs` `LoopDetected` events); it flags where the
+  abstract interpreter gave up precision, so concrete fuel budgets
+  deserve suspicion there.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.analysis.result import AnalysisResult
+from repro.lang.ast import If0, Term
+from repro.lang.syntax import binders
+from repro.lint.diagnostic import Diagnostic, FixIt, INFO, Span, WARNING
+from repro.lint.syntactic import iter_let_bindings
+from repro.obs.events import TraceEvent
+from repro.opt.constfold import branch_decision, constant_fold, foldable_rhs
+from repro.opt.deadcode import eliminate_dead_code
+
+_CONSTFOLD_FIX = FixIt(
+    "opt.constfold",
+    "fold the binding to the proven literal / collapse the decided branch",
+)
+_PIPELINE_FIX = FixIt(
+    "opt.constfold+opt.deadcode",
+    "fold with the analysis facts, then remove the dead binding",
+)
+
+
+def semantic_lints(
+    term: Term,
+    result: AnalysisResult,
+    spans: Mapping[str, Span] | None = None,
+    loop_events: Iterable[TraceEvent] = (),
+) -> list[Diagnostic]:
+    """Run every ``L0xx`` pass over ``term`` under ``result``.
+
+    Args:
+        term: a program of the restricted subset with unique binders
+            (the canonical form the analyzers consumed).
+        result: the analysis whose facts power the passes.
+        spans: binder name -> source span.
+        loop_events: `LoopDetected` trace events recorded while
+            ``result`` was computed.
+    """
+    spans = spans or {}
+    analyzer = result.analyzer
+    out: list[Diagnostic] = []
+
+    for name, rhs, _body in iter_let_bindings(term):
+        if isinstance(rhs, If0):
+            decision = branch_decision(rhs, result)
+            if decision is not None:
+                dead = "else" if decision == "then" else "then"
+                proven = "zero" if decision == "then" else "nonzero"
+                out.append(
+                    Diagnostic(
+                        code="L001",
+                        rule="unreachable-branch",
+                        severity=WARNING,
+                        message=(
+                            f"the {dead} branch of the conditional bound "
+                            f"to {name!r} is unreachable: {analyzer} "
+                            f"proves the test {proven}"
+                        ),
+                        subject=name,
+                        span=spans.get(name),
+                        analyzer=analyzer,
+                        fixit=_CONSTFOLD_FIX,
+                    )
+                )
+        constant = result.constant_of(name)
+        if constant is not None and foldable_rhs(rhs, result):
+            out.append(
+                Diagnostic(
+                    code="L003",
+                    rule="constant-foldable",
+                    severity=INFO,
+                    message=(
+                        f"binding {name!r} always evaluates to "
+                        f"{constant} under {analyzer}"
+                    ),
+                    subject=name,
+                    span=spans.get(name),
+                    analyzer=analyzer,
+                    fixit=_CONSTFOLD_FIX,
+                )
+            )
+
+    for name in sorted(_semantically_dead(term, result)):
+        out.append(
+            Diagnostic(
+                code="L002",
+                rule="dead-binding",
+                severity=WARNING,
+                message=(
+                    f"binding {name!r} is dead under the {analyzer} "
+                    f"abstract store (folding its uses makes it "
+                    f"removable)"
+                ),
+                subject=name,
+                span=spans.get(name),
+                analyzer=analyzer,
+                fixit=_PIPELINE_FIX,
+            )
+        )
+
+    seen: set[str] = set()
+    for event in loop_events:
+        label = getattr(event, "label", "")
+        if label in seen:
+            continue
+        seen.add(label)
+        out.append(
+            Diagnostic(
+                code="L004",
+                rule="fuel-suspect-loop",
+                severity=INFO,
+                message=(
+                    f"{analyzer} cut a loop at {label} (Section 4.4 "
+                    f"guard): concrete runs may exhaust fuel here"
+                ),
+                subject=label,
+                analyzer=analyzer,
+            )
+        )
+
+    return out
+
+
+def _semantically_dead(term: Term, result: AnalysisResult) -> set[str]:
+    """Binders removable only *with* the analysis facts: gone after
+    ``eliminate_dead_code(constant_fold(term, result))`` yet surviving
+    plain ``eliminate_dead_code(term)``."""
+    with_facts = set(binders(eliminate_dead_code(constant_fold(term, result))))
+    without_facts = set(binders(eliminate_dead_code(term)))
+    return (set(binders(term)) & without_facts) - with_facts

@@ -1,0 +1,59 @@
+"""Recovering source spans for diagnostics.
+
+AST terms are position-free (they compare structurally, which the
+analyzers rely on), so spans are recovered from the concrete syntax
+instead: :func:`binder_spans` re-reads the source with the parser's
+datum reader and maps every ``let``-bound and ``lambda``-bound name to
+the position of its *first* binding occurrence.  Diagnostics about
+programs built programmatically (no source text) simply carry no span.
+
+Because `repro.anf.normalize` preserves user-chosen names when they
+are already unique, spans survive A-normalization for exactly the
+binders a user wrote; machine-introduced binders (``t0`` …) get no
+span, which is the honest answer.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import ParseError
+from repro.lang.parser import Atom, Datum, SList, read
+from repro.lint.diagnostic import Span
+
+
+def binder_spans(source: str) -> dict[str, Span]:
+    """Map each binder name of ``source`` to the span of its first
+    binding occurrence (empty on unreadable input)."""
+    try:
+        datum = read(source)
+    except ParseError:
+        return {}
+    spans: dict[str, Span] = {}
+    _walk(datum, spans)
+    return spans
+
+
+def _note(name_datum: Datum, spans: dict[str, Span]) -> None:
+    if isinstance(name_datum, Atom) and name_datum.text not in spans:
+        spans[name_datum.text] = Span(name_datum.line, name_datum.column)
+
+
+def _walk(datum: Datum, spans: dict[str, Span]) -> None:
+    if not isinstance(datum, SList) or not datum.items:
+        return
+    head = datum.items[0]
+    if isinstance(head, Atom) and len(datum.items) == 3:
+        binding = datum.items[1]
+        if (
+            head.text == "let"
+            and isinstance(binding, SList)
+            and len(binding.items) == 2
+        ):
+            _note(binding.items[0], spans)
+        if (
+            head.text == "lambda"
+            and isinstance(binding, SList)
+            and len(binding.items) == 1
+        ):
+            _note(binding.items[0], spans)
+    for item in datum.items:
+        _walk(item, spans)

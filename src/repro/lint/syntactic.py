@@ -1,0 +1,171 @@
+"""Syntactic lint passes (``S1xx``).
+
+These hold regardless of any analysis: they wrap the structural
+validators of :mod:`repro.anf.validate` and :mod:`repro.cps.validate`
+as recoverable diagnostics, and add the purely syntactic free-variable
+and unused-binding checks.  Fix-its delegate to the existing repo
+transformations — `repro.lang.rename.uniquify` /
+`repro.anf.normalize` for structural errors,
+`repro.opt.deadcode.eliminate_dead_code` for unused bindings — so a
+fixed program is by construction a program the rest of the stack
+accepts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.anf.validate import (
+    RULE_BINDER_SHADOWS_FREE,
+    RULE_NON_UNIQUE_BINDERS,
+    RULE_NOT_IN_ANF,
+    anf_violations,
+)
+from repro.cps.transform import TOP_KVAR, cps_transform
+from repro.cps.validate import cps_violations
+from repro.lang.ast import App, If0, Lam, Let, PrimApp, Term
+from repro.lang.syntax import free_variables
+from repro.lint.diagnostic import (
+    Diagnostic,
+    ERROR,
+    FixIt,
+    Span,
+    WARNING,
+)
+from repro.opt.deadcode import is_pure
+
+#: Validator rule key -> (diagnostic code, severity).
+_ANF_RULE_CODES = {
+    RULE_NON_UNIQUE_BINDERS: ("S100", ERROR),
+    RULE_BINDER_SHADOWS_FREE: ("S101", ERROR),
+    RULE_NOT_IN_ANF: ("S103", ERROR),
+}
+
+_RENAME_FIX = FixIt(
+    "lang.rename.uniquify",
+    "alpha-rename binders to fresh names (free variables are reserved)",
+)
+_NORMALIZE_FIX = FixIt(
+    "anf.normalize",
+    "A-normalize the program into the restricted subset",
+)
+_DEADCODE_FIX = FixIt(
+    "opt.deadcode",
+    "remove the unused pure binding",
+)
+
+_ANF_RULE_FIXES = {
+    RULE_NON_UNIQUE_BINDERS: _RENAME_FIX,
+    RULE_BINDER_SHADOWS_FREE: _RENAME_FIX,
+    RULE_NOT_IN_ANF: _NORMALIZE_FIX,
+}
+
+
+def iter_let_bindings(term: Term) -> Iterator[tuple[str, Term, Term]]:
+    """Yield ``(name, rhs, body)`` for every ``let`` anywhere in
+    ``term``, in deterministic pre-order (rhs before body)."""
+    match term:
+        case Let(name, rhs, body):
+            yield name, rhs, body
+            yield from iter_let_bindings(rhs)
+            yield from iter_let_bindings(body)
+        case Lam(_, body):
+            yield from iter_let_bindings(body)
+        case If0(test, then, orelse):
+            yield from iter_let_bindings(test)
+            yield from iter_let_bindings(then)
+            yield from iter_let_bindings(orelse)
+        case App(fun, arg):
+            yield from iter_let_bindings(fun)
+            yield from iter_let_bindings(arg)
+        case PrimApp(_, args):
+            for arg in args:
+                yield from iter_let_bindings(arg)
+        case _:
+            pass
+
+
+def syntactic_lints(
+    term: Term,
+    assumed: Iterable[str] = (),
+    spans: Mapping[str, Span] | None = None,
+) -> list[Diagnostic]:
+    """Run every ``S1xx`` pass over ``term``.
+
+    Args:
+        term: the program as written (not normalized).
+        assumed: free-variable names covered by initial-store
+            assumptions; these do not fire S102.
+        spans: binder name -> source span, from
+            :func:`repro.lint.spans.binder_spans`.
+    """
+    spans = spans or {}
+    out: list[Diagnostic] = []
+
+    structural = anf_violations(term)
+    for violation in structural:
+        code, severity = _ANF_RULE_CODES[violation.rule]
+        out.append(
+            Diagnostic(
+                code=code,
+                rule=violation.rule,
+                severity=severity,
+                message=violation.message,
+                subject=violation.subject,
+                span=spans.get(violation.subject or ""),
+                fixit=_ANF_RULE_FIXES[violation.rule],
+            )
+        )
+
+    for name in sorted(free_variables(term) - frozenset(assumed)):
+        out.append(
+            Diagnostic(
+                code="S102",
+                rule="free-variable",
+                severity=WARNING,
+                message=(
+                    f"free variable {name!r} has no initial-store "
+                    f"assumption; analyses treat it as bottom"
+                ),
+                subject=name,
+                span=spans.get(name),
+            )
+        )
+
+    blocking = {RULE_NON_UNIQUE_BINDERS, RULE_NOT_IN_ANF}
+    if not any(v.rule in blocking for v in structural):
+        for violation in cps_violations(
+            cps_transform(term, check=False), frozenset({TOP_KVAR})
+        ):
+            out.append(
+                Diagnostic(
+                    code="S104",
+                    rule=violation.rule,
+                    severity=ERROR,
+                    message=(
+                        f"CPS image fails the cps(A) checker: "
+                        f"{violation.message}"
+                    ),
+                    subject=violation.subject,
+                    span=spans.get(violation.subject or ""),
+                )
+            )
+
+    for name, rhs, body in iter_let_bindings(term):
+        if name not in free_variables(body) and is_pure(rhs):
+            out.append(
+                Diagnostic(
+                    code="S105",
+                    rule="unused-let-binding",
+                    severity=WARNING,
+                    message=(
+                        f"binding {name!r} is never used and its "
+                        f"right-hand side is pure"
+                    ),
+                    subject=name,
+                    span=spans.get(name),
+                    fixit=_DEADCODE_FIX,
+                )
+            )
+
+    return out

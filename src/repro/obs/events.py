@@ -133,6 +133,23 @@ class CacheHit(TraceEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class LintFired(TraceEvent):
+    """One diagnostic produced by a `repro.lint` pass.
+
+    ``analyzer`` is empty for syntactic (``S1xx``) diagnostics, which
+    hold regardless of analysis; semantic (``L0xx``) diagnostics carry
+    the analyzer whose facts proved them.
+    """
+
+    kind: ClassVar[str] = "lint.fired"
+
+    code: str
+    severity: str
+    subject: str
+    analyzer: str
+
+
+@dataclass(frozen=True, slots=True)
 class SolverIteration(TraceEvent):
     """One worklist pop (MFP) or path step (MOP) of the classical
     solvers in :mod:`repro.dataflow`."""

@@ -1,12 +1,21 @@
 """Constant folding and static branch collapsing.
 
-Driven by a direct analysis (Figure 4): a binding whose abstract value
-is a single integer constant is rewritten to bind the literal, and a
-conditional whose test is statically decided collapses to the taken
-branch.  Folding is restricted to right-hand sides that provably
-terminate (values, operator applications, applications of the
-``add1``/``sub1`` primitives): folding a diverging computation into a
-literal would change the program's behaviour.
+Driven by an analysis result (any of the three analyzers): a binding
+whose abstract value is a single integer constant is rewritten to bind
+the literal, and a conditional whose test is statically decided
+collapses to the taken branch.  Folding is restricted to right-hand
+sides that provably terminate: folding a diverging computation into a
+literal would change the program's behaviour.  Termination is
+established either syntactically — `repro.opt.deadcode.is_pure`, sound
+because the only effect in this language is divergence — or, for
+applications, abstractly, when the operator can only be the ``add1``
+or ``sub1`` primitive.
+
+The two predicates deciding what fires, :func:`foldable_rhs` and
+:func:`branch_decision`, are public: the `repro.lint` semantic passes
+use exactly these to flag constant-foldable sites and unreachable
+branches, which keeps every lint validated by this transformation by
+construction.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from repro.analysis.result import AnalysisResult
 from repro.anf.splice import bind_anf
 from repro.domains.absval import AbsVal
 from repro.domains.protocol import NumDomain
+from repro.opt.deadcode import is_pure
 from repro.lang.ast import (
     App,
     If0,
@@ -55,11 +65,13 @@ def constant_fold(
     return _fold(term, result)
 
 
-def _terminating_rhs(rhs: Term, result: AnalysisResult) -> bool:
-    """Right-hand sides that cannot diverge or get stuck-free-fold."""
+def foldable_rhs(rhs: Term, result: AnalysisResult) -> bool:
+    """True when a constant-valued binding of ``rhs`` may be rewritten
+    to the literal: the right-hand side provably terminates and is not
+    already a value (nothing to gain)."""
     if is_value(rhs):
-        return False  # already minimal; nothing to gain
-    if isinstance(rhs, PrimApp):
+        return False
+    if is_pure(rhs):
         return True
     if isinstance(rhs, App):
         # only primitive procedures terminate unconditionally
@@ -70,12 +82,27 @@ def _terminating_rhs(rhs: Term, result: AnalysisResult) -> bool:
     return False
 
 
+def branch_decision(rhs: If0, result: AnalysisResult) -> str | None:
+    """Which arm a conditional provably takes under ``result``:
+    ``"then"`` when the test must be zero, ``"else"`` when it cannot
+    be, ``None`` when the analysis leaves it undecided."""
+    domain = result.lattice.domain
+    test = abstract_value(result.lattice, rhs.test, result.answer.store)
+    zero = domain.may_be_zero(test.num)
+    nonzero = domain.may_be_nonzero(test.num) or bool(test.clos)
+    if zero and not nonzero:
+        return "then"
+    if nonzero and not zero:
+        return "else"
+    return None
+
+
 def _fold(term: Term, result: AnalysisResult) -> Term:
     match term:
         case Let(name, rhs, body):
             folded_body = _fold(body, result)
             constant = result.constant_of(name)
-            if constant is not None and _terminating_rhs(rhs, result):
+            if constant is not None and foldable_rhs(rhs, result):
                 return Let(name, Num(constant), folded_body)
             if isinstance(rhs, If0):
                 return _fold_branch(name, rhs, folded_body, result)
@@ -98,14 +125,11 @@ def _fold_branch(
 ) -> Term:
     """Collapse a statically decided conditional to the taken branch,
     splicing it into the binding of the conditional's result."""
-    domain = result.lattice.domain
-    test = abstract_value(result.lattice, rhs.test, result.answer.store)
-    zero = domain.may_be_zero(test.num)
-    nonzero = domain.may_be_nonzero(test.num) or bool(test.clos)
     then_branch = _fold(rhs.then, result)
     else_branch = _fold(rhs.orelse, result)
-    if zero and not nonzero:
-        return bind_anf(then_branch, name, body)
-    if nonzero and not zero:
-        return bind_anf(else_branch, name, body)
+    match branch_decision(rhs, result):
+        case "then":
+            return bind_anf(then_branch, name, body)
+        case "else":
+            return bind_anf(else_branch, name, body)
     return Let(name, If0(rhs.test, then_branch, else_branch), body)

@@ -155,6 +155,38 @@ def work_table() -> str:
     return out.getvalue()
 
 
+def lint_scoreboard(quick: bool = False) -> str:
+    """The per-corpus lint-yield scoreboard: which semantic (``L0xx``)
+    lints each analyzer proves on each corpus program.
+
+    This is the paper's precision question phrased as tool output — a
+    cell differing across the columns of one row is a program where
+    analyzer choice changes what a linter can report.  ``budget!``
+    marks analyzer runs that exceeded the work budget (semantic rules
+    unavailable); ``clean`` marks runs with no semantic findings.
+    """
+    from repro.corpus.programs import PROGRAMS
+    from repro.lint import LINT_ANALYZERS, run_lints
+
+    out = StringIO()
+    out.write("| program | direct | semantic-cps | syntactic-cps |\n")
+    out.write("|---|---|---|---|\n")
+    for program in PROGRAMS.values():
+        if quick and program.heavy:
+            continue
+        cells = []
+        for analyzer in LINT_ANALYZERS:
+            report = run_lints(
+                program, analyzer=analyzer, max_visits=60_000
+            )
+            if report.analysis_error is not None:
+                cells.append(f"budget! ({report.analysis_error})")
+            else:
+                cells.append(", ".join(report.semantic_codes) or "clean")
+        out.write(f"| {program.name} | " + " | ".join(cells) + " |\n")
+    return out.getvalue()
+
+
 def computability_note(threshold: int = 10) -> str:
     """Confirm the reject/top behaviour of the CPS analyzers."""
     program = loop_feeding_conditional(threshold)
@@ -185,6 +217,7 @@ _SECTIONS: tuple[tuple[str, str], ...] = (
     ("work", "Section 6.2: per-analyzer work counters"),
     ("computability", "Section 6.2: computability"),
     ("routes", "Section 6.3: routes on the conditional witness"),
+    ("lint", "Lint yield: semantic findings per analyzer (repro.lint)"),
 )
 
 
@@ -205,10 +238,21 @@ def _render_section(args: tuple[str, bool]) -> str:
         return computability_note()
     if key == "routes":
         return routes_table()
+    if key == "lint":
+        return lint_scoreboard(quick=quick)
     raise KeyError(f"unknown report section {key!r}")
 
 
-def generate_report(quick: bool = False, jobs: int | None = None) -> str:
+def section_keys() -> tuple[str, ...]:
+    """The valid ``section`` arguments of :func:`generate_report`."""
+    return tuple(key for key, _ in _SECTIONS)
+
+
+def generate_report(
+    quick: bool = False,
+    jobs: int | None = None,
+    section: str | None = None,
+) -> str:
     """The full Markdown report.
 
     Args:
@@ -217,14 +261,24 @@ def generate_report(quick: bool = False, jobs: int | None = None) -> str:
         jobs: render the sections in parallel worker processes
             (`repro.perf.parallel_map`); the assembled report is
             byte-identical to a serial run.
+        section: render only the named section (see
+            :func:`section_keys`), without the report header.
     """
+    sections = _SECTIONS
+    if section is not None:
+        sections = tuple(
+            entry for entry in _SECTIONS if entry[0] == section
+        )
+        if not sections:
+            raise KeyError(f"unknown report section {section!r}")
     bodies = parallel_map(
         _render_section,
-        [(key, quick) for key, _ in _SECTIONS],
+        [(key, quick) for key, _ in sections],
         jobs=jobs,
     )
     out = StringIO()
-    out.write("# Measured results (regenerated)\n")
-    for (_, title), body in zip(_SECTIONS, bodies):
+    if section is None:
+        out.write("# Measured results (regenerated)\n")
+    for (_, title), body in zip(sections, bodies):
         out.write(f"\n## {title}\n\n{body}")
     return out.getvalue()

@@ -166,6 +166,10 @@ class ServiceClient:
         """``POST /v1/compare``."""
         return self.request("/v1/compare", payload)
 
+    def lint(self, **payload) -> dict:
+        """``POST /v1/lint``."""
+        return self.request("/v1/lint", payload)
+
     def corpus(self) -> dict:
         """``GET /v1/corpus``."""
         return self.request("/v1/corpus")

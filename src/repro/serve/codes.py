@@ -58,6 +58,11 @@ CODES: dict[str, ErrorCode] = {
         ErrorCode("bad_request", 400, 11),
         ErrorCode("not_found", 404, 12),
         ErrorCode("internal", 500, 13),
+        # `repro lint` found error-severity diagnostics.  Not an HTTP
+        # failure mode (the service returns the report with 200); the
+        # 422 here is the documented status for hypothetical strict
+        # modes and keeps the table total.
+        ErrorCode("lint_error", 422, 14),
     )
 }
 

@@ -45,6 +45,7 @@ from repro.lang.ast import Term
 from repro.lang.parser import parse
 from repro.lang.pretty import pretty_flat
 from repro.lang.syntax import free_variables
+from repro.lint import LINT_ANALYZERS, run_lints
 from repro.obs.metrics import Metrics
 from repro.obs.sinks import NULL_SINK, Sink
 from repro.serve.codes import ServeError, classify_exception
@@ -68,6 +69,15 @@ _FIELDS_BY_KIND = {
     "run": _COMMON_FIELDS | {"interpreter", "fuel"},
     "compare": _COMMON_FIELDS
     | {"loop_mode", "unroll_bound", "max_visits", "cache"},
+    "lint": _COMMON_FIELDS
+    | {
+        "analyzer",
+        "loop_mode",
+        "unroll_bound",
+        "max_visits",
+        "fix",
+        "syntactic_only",
+    },
 }
 
 
@@ -233,15 +243,17 @@ def prepare_request(
         ),
         "assume": dict(sorted(_resolve_assume(payload).items())),
     }
-    if kind in ("analyze", "compare"):
+    if kind in ("analyze", "compare", "lint"):
         spec["loop_mode"] = _resolve_enum(
-            payload, "loop_mode", LOOP_MODES, "reject"
+            payload, "loop_mode", LOOP_MODES,
+            "top" if kind == "lint" else "reject",
         )
         spec["unroll_bound"] = _resolve_int(payload, "unroll_bound", 32)
         spec["max_visits"] = _resolve_int(
             payload, "max_visits", defaults.max_visits,
             cap=defaults.max_visits,
         )
+    if kind in ("analyze", "compare"):
         cache = payload.get("cache", False)
         _require(isinstance(cache, bool), "'cache' must be a boolean")
         spec["cache"] = cache
@@ -254,6 +266,18 @@ def prepare_request(
             "k" not in payload or spec["analyzer"] == "polyvariant",
             "'k' only applies to the polyvariant analyzer",
         )
+    if kind == "lint":
+        spec["analyzer"] = _resolve_enum(
+            payload, "analyzer", LINT_ANALYZERS, "direct"
+        )
+        for flag in ("fix", "syntactic_only"):
+            value = payload.get(flag, False)
+            _require(isinstance(value, bool), f"{flag!r} must be a boolean")
+            spec[flag] = value
+        # Lint findings depend on the program *as written* (spans,
+        # structural rules), so the raw source joins the canonical
+        # term in the spec and hence in the cache key.
+        spec["source"] = payload.get("program")
     if kind == "run":
         spec["interpreter"] = _resolve_enum(
             payload, "interpreter", INTERPRETERS, "direct"
@@ -373,6 +397,48 @@ def _execute_analyze(
     }
 
 
+def _execute_lint(
+    prep: PreparedRequest,
+    deadline: Deadline,
+    trace: Sink,
+    metrics: Metrics | None,
+) -> dict:
+    spec = prep.spec
+    domain = DOMAINS[spec["domain"]]()
+    lattice = Lattice(domain)
+    # Unlike the analyze endpoint, uncovered free variables are NOT
+    # topped up with ⊤ — S102 exists to report exactly those.
+    initial = (
+        dict(prep.corpus.initial_for(lattice))
+        if prep.corpus is not None
+        else {}
+    )
+    for name, value in spec["assume"].items():
+        initial[name] = lattice.of_const(value)
+    deadline.check()
+    program = prep.corpus if prep.corpus is not None else spec["source"]
+    report = run_lints(
+        program,
+        analyzer=spec["analyzer"],
+        domain=domain,
+        initial=initial,
+        loop_mode=spec["loop_mode"],
+        unroll_bound=spec["unroll_bound"],
+        max_visits=spec["max_visits"],
+        semantic=not spec["syntactic_only"],
+        fix=spec["fix"],
+        trace=trace,
+        metrics=metrics,
+    )
+    return {
+        "ok": True,
+        "kind": "lint",
+        "analyzer": spec["analyzer"],
+        "program": spec["term"],
+        "report": report.as_dict(),
+    }
+
+
 def _execute_run(
     prep: PreparedRequest, deadline: Deadline, trace: Sink
 ) -> dict:
@@ -466,6 +532,8 @@ def execute_prepared(
             _debug_sleep(prep, deadline)
         if prep.kind == "analyze":
             return _execute_analyze(prep, deadline, trace, metrics)
+        if prep.kind == "lint":
+            return _execute_lint(prep, deadline, trace, metrics)
         if prep.kind == "run":
             return _execute_run(prep, deadline, trace)
         return _execute_compare(prep, deadline, trace, metrics)

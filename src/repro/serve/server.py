@@ -8,6 +8,7 @@ routes:
 - ``POST /v1/analyze`` — one analyzer on one program;
 - ``POST /v1/run``     — one concrete interpreter;
 - ``POST /v1/compare`` — the three-way `repro.api.run_three_way` report;
+- ``POST /v1/lint``    — the `repro.lint` diagnostics report;
 - ``GET  /v1/corpus``  — valid ``corpus`` program names;
 - ``GET  /healthz``    — liveness + queue depth + drain state;
 - ``GET  /metricsz``   — the `repro.obs` Metrics snapshot, cache and
@@ -44,6 +45,7 @@ _POST_ROUTES = {
     "/v1/analyze": "analyze",
     "/v1/run": "run",
     "/v1/compare": "compare",
+    "/v1/lint": "lint",
 }
 
 #: Handler-side grace on top of the job deadline, so the worker's own

@@ -1,0 +1,127 @@
+"""The diagnostic vocabulary and the renderers."""
+
+import json
+
+from repro.lint.diagnostic import (
+    Diagnostic,
+    ERROR,
+    FixIt,
+    INFO,
+    LintReport,
+    Span,
+    WARNING,
+    severity_rank,
+)
+from repro.lint.render import render_diagnostic, render_json, render_text
+
+
+def _diag(**overrides):
+    base = dict(
+        code="S105",
+        rule="unused-let-binding",
+        severity=WARNING,
+        message="binding 'x' is never used",
+        subject="x",
+    )
+    base.update(overrides)
+    return Diagnostic(**base)
+
+
+class TestDiagnostic:
+    def test_severity_order(self):
+        assert severity_rank(ERROR) < severity_rank(WARNING) < severity_rank(INFO)
+
+    def test_semantic_flag_follows_code_family(self):
+        assert _diag(code="L001").semantic
+        assert not _diag(code="S100").semantic
+
+    def test_as_dict_omits_absent_fields(self):
+        view = _diag().as_dict()
+        assert "span" not in view and "analyzer" not in view
+        assert "fixit" not in view
+        assert view["code"] == "S105"
+
+    def test_as_dict_carries_span_and_fixit(self):
+        view = _diag(
+            span=Span(3, 7),
+            fixit=FixIt("opt.deadcode", "remove it"),
+            analyzer="direct",
+        ).as_dict()
+        assert view["span"] == {"line": 3, "column": 7}
+        assert view["fixit"]["action"] == "opt.deadcode"
+        assert view["analyzer"] == "direct"
+
+    def test_sort_key_orders_most_severe_first(self):
+        diagnostics = sorted(
+            [
+                _diag(code="L003", severity=INFO),
+                _diag(code="S103", severity=ERROR),
+                _diag(code="L001", severity=WARNING),
+            ],
+            key=Diagnostic.sort_key,
+        )
+        assert [d.severity for d in diagnostics] == [ERROR, WARNING, INFO]
+
+
+class TestLintReport:
+    def _report(self):
+        return LintReport(
+            program="p",
+            analyzer="direct",
+            diagnostics=(
+                _diag(code="S103", severity=ERROR),
+                _diag(code="L001", severity=WARNING, analyzer="direct"),
+                _diag(code="L003", severity=INFO, analyzer="direct"),
+            ),
+        )
+
+    def test_counts_and_errors(self):
+        report = self._report()
+        assert report.counts() == {"error": 1, "warning": 1, "info": 1}
+        assert [d.code for d in report.errors] == ["S103"]
+
+    def test_semantic_codes_sorted_distinct(self):
+        assert self._report().semantic_codes == ("L001", "L003")
+
+    def test_by_code(self):
+        assert len(self._report().by_code("L001")) == 1
+
+    def test_as_dict_shape(self):
+        view = self._report().as_dict()
+        assert view["program"] == "p"
+        assert len(view["diagnostics"]) == 3
+        assert "analysis_error" not in view
+        assert "fixed_source" not in view
+
+
+class TestRenderers:
+    def test_text_line_carries_span_code_and_fix(self):
+        report = LintReport(program="demo", analyzer="direct")
+        line = render_diagnostic(
+            report,
+            _diag(span=Span(2, 5), fixit=FixIt("opt.deadcode", "drop")),
+        )
+        assert line.startswith("demo:2:5: warning[S105]:")
+        assert line.endswith("(fix: opt.deadcode)")
+
+    def test_text_summary_clean(self):
+        text = render_text(LintReport(program="demo", analyzer="direct"))
+        assert "demo: clean [analyzer=direct]" in text
+
+    def test_text_summary_notes_analysis_error(self):
+        text = render_text(
+            LintReport(
+                program="demo",
+                analyzer="syntactic-cps",
+                analysis_error="budget_exceeded",
+            )
+        )
+        assert "semantic passes unavailable: budget_exceeded" in text
+
+    def test_json_round_trips_and_ends_with_newline(self):
+        report = LintReport(
+            program="demo", analyzer="direct", diagnostics=(_diag(),)
+        )
+        blob = render_json(report)
+        assert blob.endswith("\n")
+        assert json.loads(blob) == report.as_dict()

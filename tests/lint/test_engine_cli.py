@@ -1,0 +1,144 @@
+"""The run_lints driver and the `repro lint` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.corpus.programs import PROGRAMS
+from repro.lang.errors import ParseError
+from repro.lint import has_errors, run_lints
+from repro.obs import Metrics, RecordingSink
+from repro.serve.codes import CODES
+
+
+class TestEngine:
+    def test_source_input_gets_spans(self):
+        report = run_lints("(let (dead 1) 2)", semantic=False)
+        fired = report.by_code("S105")
+        assert fired[0].span is not None
+
+    def test_normalized_flag(self):
+        assert run_lints("(add1 1)").normalized
+        assert not run_lints("(let (x (add1 1)) x)").normalized
+
+    def test_parse_error_propagates(self):
+        with pytest.raises(ParseError):
+            run_lints("(((")
+
+    def test_unknown_analyzer_rejected(self):
+        with pytest.raises(ValueError):
+            run_lints("(let (x 1) x)", analyzer="magic")
+
+    def test_budget_degrades_to_syntactic_findings(self):
+        report = run_lints(
+            PROGRAMS["ackermann"],
+            analyzer="syntactic-cps",
+            max_visits=2_000,
+        )
+        assert report.analysis_error == "budget_exceeded"
+        assert report.semantic_codes == ()
+        assert not has_errors(report)
+
+    def test_fix_applies_all_fixits(self):
+        report = run_lints(
+            "(let (dead (+ 1 2)) (if0 0 (add1 4) 9))", fix=True
+        )
+        assert report.fixed_source is not None
+        assert "dead" not in report.fixed_source
+        assert "if0" not in report.fixed_source
+
+    def test_metrics_counters(self):
+        metrics = Metrics()
+        report = run_lints(
+            "(let (dead 1) 2)", semantic=False, metrics=metrics
+        )
+        snapshot = metrics.snapshot()["counters"]
+        assert snapshot["lint.runs"] == 1
+        assert snapshot["lint.fired"] == len(report.diagnostics)
+        assert snapshot["lint.fired.S105"] == 1
+
+    def test_trace_carries_analysis_and_lint_events(self):
+        sink = RecordingSink()
+        run_lints(PROGRAMS["constants"], trace=sink)
+        kinds = sink.counts()
+        assert kinds.get("analysis.visit", 0) > 0
+        assert kinds.get("lint.fired", 0) > 0
+
+    def test_corpus_initial_suppresses_s102(self):
+        # theorem-5.1 has free `f`, covered by its bundled assumptions
+        report = run_lints(PROGRAMS["theorem-5.1"])
+        assert not report.by_code("S102")
+
+
+class TestCli:
+    def test_lint_clean_exits_zero(self, capsys):
+        assert main(["lint", "-e", "(let (x (f 1)) x)"]) == 0
+        assert "S102" in capsys.readouterr().out
+
+    def test_lint_error_exit_code(self, capsys):
+        code = main(["lint", "-e", "((f 1) (g 2))"])
+        assert code == CODES["lint_error"].exit_code == 14
+        assert "S103" in capsys.readouterr().out
+
+    def test_parse_error_exit_code(self, capsys):
+        assert main(["lint", "-e", "((("]) == CODES["parse_error"].exit_code
+
+    def test_json_format_parses(self, capsys):
+        assert main(
+            ["lint", "--corpus", "constants", "--format", "json"]
+        ) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["program"] == "constants"
+        assert body["analyzer"] == "direct"
+        assert isinstance(body["diagnostics"], list)
+
+    def test_all_json_is_an_array_over_the_corpus(self, capsys):
+        assert main(
+            [
+                "lint", "--all", "--format", "json",
+                "--syntactic-only",
+            ]
+        ) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert {entry["program"] for entry in body} == set(PROGRAMS)
+
+    def test_analyzer_choice_changes_findings(self, capsys):
+        main(
+            [
+                "lint", "--corpus", "theorem-5.2-conditional",
+                "--analyzer", "semantic-cps", "--format", "json",
+            ]
+        )
+        semantic = json.loads(capsys.readouterr().out)
+        main(
+            [
+                "lint", "--corpus", "theorem-5.2-conditional",
+                "--analyzer", "direct", "--format", "json",
+            ]
+        )
+        direct = json.loads(capsys.readouterr().out)
+        sem_codes = {d["code"] for d in semantic["diagnostics"]}
+        dir_codes = {d["code"] for d in direct["diagnostics"]}
+        assert "L003" in sem_codes and "L003" not in dir_codes
+
+    def test_fix_prints_fixed_program(self, capsys):
+        assert main(["lint", "-e", "(let (dead 1) 2)", "--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "fixed program:" in out
+
+    def test_unknown_corpus_is_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "--corpus", "no-such-program"])
+
+    def test_assume_feeds_analyzer_and_suppresses_s102(self, capsys):
+        assert main(
+            [
+                "lint", "-e", "(let (a (add1 n)) a)",
+                "--assume", "n=4", "--format", "json",
+            ]
+        ) == 0
+        body = json.loads(capsys.readouterr().out)
+        codes = [d["code"] for d in body["diagnostics"]]
+        assert "S102" not in codes
+        assert "L003" in codes  # a = 5 proven from the assumption

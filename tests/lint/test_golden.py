@@ -1,0 +1,67 @@
+"""Golden lint snapshots for every corpus program (ISSUE 4 satellite).
+
+One JSON file per program under ``tests/lint/golden/`` holds the full
+`LintReport` dicts of all three analyzers (``max_visits=60_000``,
+``loop_mode="top"``).  The test fails on any drift — diagnostics,
+messages, spans, or the JSON renderer itself (the stored bytes are the
+renderer's own output, so a formatting change is also drift).
+
+Regenerate intentionally with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/lint/test_golden.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.corpus.programs import PROGRAMS
+from repro.lint import LINT_ANALYZERS, run_lints
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+MAX_VISITS = 60_000
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+
+
+def _snapshot(name):
+    return {
+        analyzer: run_lints(
+            PROGRAMS[name], analyzer=analyzer, max_visits=MAX_VISITS
+        ).as_dict()
+        for analyzer in LINT_ANALYZERS
+    }
+
+
+def _render(snapshot):
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_lint_report_matches_golden(name):
+    path = GOLDEN_DIR / f"{name}.json"
+    snapshot = _snapshot(name)
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(_render(snapshot))
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden snapshot {path}; regenerate with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
+    stored = path.read_text()
+    assert json.loads(stored) == snapshot, (
+        f"{name}: lint output drifted from the golden snapshot; if the "
+        "change is intentional, regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    # Renderer drift: the stored bytes are exactly what the current
+    # serializer emits for the same payload.
+    assert stored == _render(snapshot)
+
+
+def test_no_orphan_golden_files():
+    if REGEN:
+        pytest.skip("regenerating")
+    stored = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+    assert stored == set(PROGRAMS)

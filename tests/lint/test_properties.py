@@ -1,0 +1,66 @@
+"""Property tests over seeded random programs (ISSUE 4 satellite).
+
+Two invariants tie the validators to the transformations they guard:
+
+- `anf.normalize` output is always lint-clean for the ANF rules
+  (S100/S103 can never fire on a normalized program);
+- `cps.transform` images always pass the cps(A) checker, i.e. S104 is
+  unreachable from well-formed input.
+"""
+
+import random
+
+import pytest
+
+from repro.anf import normalize
+from repro.anf.validate import anf_violations
+from repro.cps.transform import TOP_KVAR, cps_transform
+from repro.cps.validate import cps_violations
+from repro.gen.random_terms import random_open_term, random_program
+from repro.lint import syntactic_lints
+
+SEEDS = range(60)
+FREE_INPUTS = ("in0", "in1")
+
+
+def _open_term(seed, max_depth=5):
+    return random_open_term(
+        random.Random(seed), max_depth=max_depth, free_numeric=FREE_INPUTS
+    )
+
+
+class TestNormalizeImagesAreLintClean:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_closed_programs(self, seed):
+        term = normalize(random_program(seed, max_depth=5))
+        assert anf_violations(term) == []
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_open_programs(self, seed):
+        normalized = normalize(_open_term(seed))
+        structural = [
+            d
+            for d in syntactic_lints(normalized, assumed=FREE_INPUTS)
+            if d.code in ("S100", "S103")
+        ]
+        assert structural == []
+
+
+class TestCpsImagesPassTheChecker:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_closed_programs(self, seed):
+        term = normalize(random_program(seed, max_depth=5))
+        image = cps_transform(term)
+        assert cps_violations(image, frozenset({TOP_KVAR})) == []
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_open_programs(self, seed):
+        image = cps_transform(normalize(_open_term(seed)))
+        assert cps_violations(image, frozenset({TOP_KVAR})) == []
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_s104_never_fires_via_the_lint_pass(self, seed):
+        term = normalize(random_program(seed, max_depth=4))
+        assert not [
+            d for d in syntactic_lints(term) if d.code == "S104"
+        ]

@@ -1,0 +1,80 @@
+"""Semantic passes: lint yield as an analyzer-precision observation.
+
+The headline assertion is the paper's Theorem 5.2 rephrased as tool
+output: on the conditional witness the CPS analyzers prove constants
+the direct analysis cannot, so L002/L003 fire under them and stay
+silent under `direct`.
+"""
+
+from repro.corpus.programs import PROGRAMS
+from repro.lint import run_lints
+
+
+def _codes(program_name, analyzer, **kwargs):
+    report = run_lints(
+        PROGRAMS[program_name], analyzer=analyzer, **kwargs
+    )
+    assert report.analysis_error is None
+    return report
+
+
+class TestAnalyzerDependence:
+    def test_theorem_52_conditional_direct_is_blind(self):
+        report = _codes("theorem-5.2-conditional", "direct")
+        assert report.semantic_codes == ()
+
+    def test_theorem_52_conditional_cps_analyzers_fire(self):
+        for analyzer in ("semantic-cps", "syntactic-cps"):
+            report = _codes("theorem-5.2-conditional", analyzer)
+            assert report.semantic_codes == ("L002", "L003")
+            # a2 = (if0 a1 2 3) folds because the CPS analysis proves
+            # a1 = 1, the paper's Theorem 5.2 example
+            assert "a2" in {
+                d.subject for d in report.by_code("L003")
+            }
+
+    def test_higher_order_syntactic_cps_loses_findings(self):
+        # the reverse direction (Theorem 5.1 flavour): false returns
+        # make the syntactic-CPS analyzer *miss* lints direct proves
+        assert _codes("higher-order", "direct").semantic_codes == (
+            "L002",
+            "L003",
+        )
+        assert _codes("higher-order", "syntactic-cps").semantic_codes == ()
+
+
+class TestIndividualRules:
+    def test_l001_unreachable_branch_on_branchy(self):
+        report = _codes("branchy", "direct")
+        fired = report.by_code("L001")
+        assert fired and all(d.severity == "warning" for d in fired)
+        assert all(d.analyzer == "direct" for d in fired)
+
+    def test_l002_requires_analysis_facts(self):
+        # `constants` bindings are chained: plain deadcode removes
+        # nothing, folding first makes the chain removable
+        report = _codes("constants", "direct")
+        assert report.by_code("L002")
+
+    def test_l003_reports_the_proven_literal(self):
+        report = _codes("constants", "direct")
+        messages = [d.message for d in report.by_code("L003")]
+        assert any("always evaluates to" in m for m in messages)
+
+    def test_l004_fires_on_loop_cut_programs(self):
+        report = _codes("factorial", "direct")
+        fired = report.by_code("L004")
+        assert fired and all(d.severity == "info" for d in fired)
+
+    def test_l004_labels_are_deduplicated(self):
+        report = _codes("factorial", "direct")
+        subjects = [d.subject for d in report.by_code("L004")]
+        assert len(subjects) == len(set(subjects))
+
+    def test_semantic_diagnostics_carry_analyzer(self):
+        report = _codes("constants", "semantic-cps")
+        assert all(
+            d.analyzer == "semantic-cps"
+            for d in report.diagnostics
+            if d.semantic
+        )

@@ -1,0 +1,154 @@
+"""Syntactic passes and the violation-collecting validator refactor."""
+
+import pytest
+
+from repro.anf.validate import anf_violations, validate_anf
+from repro.cps.transform import TOP_KVAR, cps_transform
+from repro.cps.validate import cps_violations, validate_cps
+from repro.cps.ast import CVar, KApp
+from repro.lang.ast import App, If0, Lam, Let, Loop, Num, Var
+from repro.lang.errors import SyntaxValidationError
+from repro.lang.parser import parse
+from repro.lint.diagnostic import ERROR, WARNING
+from repro.lint.spans import binder_spans
+from repro.lint.syntactic import iter_let_bindings, syntactic_lints
+
+
+class TestAnfViolations:
+    def test_valid_program_is_clean(self):
+        term = parse("(let (x 1) x)")
+        assert anf_violations(term) == []
+
+    def test_non_unique_binders_reported_once_per_name(self):
+        term = Let("x", Num(1), Let("x", Num(2), Var("x")))
+        rules = [v.rule for v in anf_violations(term)]
+        assert rules.count("non-unique-binders") == 1
+
+    def test_not_in_anf_points_at_binder(self):
+        term = Let("y", App(App(Var("f"), Num(1)), Num(2)), Var("y"))
+        violations = anf_violations(term)
+        assert any(
+            v.rule == "not-in-anf" and v.subject == "y" for v in violations
+        )
+
+    def test_shadowing_free_variable_reported(self):
+        # `g` is used free in the rhs, then rebound below.
+        term = Let("a", App(Var("g"), Num(1)), Let("g", Num(2), Var("a")))
+        violations = anf_violations(term)
+        assert any(
+            v.rule == "binder-shadows-free" and v.subject == "g"
+            for v in violations
+        )
+
+    def test_validate_anf_raises_with_rule_and_subject(self):
+        term = Let("y", If0(App(Var("f"), Num(1)), Num(1), Num(2)), Var("y"))
+        with pytest.raises(SyntaxValidationError) as excinfo:
+            validate_anf(term)
+        assert excinfo.value.rule == "not-in-anf"
+        assert excinfo.value.subject == "y"
+
+    def test_validate_anf_accepts_valid(self):
+        validate_anf(parse("(let (x (+ 1 2)) x)"))
+
+
+class TestCpsViolations:
+    def test_image_of_transform_is_clean(self):
+        image = cps_transform(parse("(let (x (f 1)) x)"))
+        assert cps_violations(image, frozenset({TOP_KVAR})) == []
+
+    def test_unbound_continuation_collected(self):
+        violations = cps_violations(KApp("k/nope", CVar("x")))
+        assert [v.rule for v in violations] == ["unbound-continuation"]
+        assert violations[0].subject == "k/nope"
+
+    def test_kvar_namespace_violation_collected(self):
+        violations = cps_violations(
+            KApp(TOP_KVAR, CVar("k/evil")), frozenset({TOP_KVAR})
+        )
+        assert [v.rule for v in violations] == ["kvar-namespace"]
+
+    def test_validate_cps_raises_first_violation(self):
+        with pytest.raises(SyntaxValidationError) as excinfo:
+            validate_cps(KApp("k/nope", CVar("x")))
+        assert excinfo.value.rule == "unbound-continuation"
+
+
+class TestIterLetBindings:
+    def test_preorder_covers_nested_positions(self):
+        term = parse(
+            "(let (f (lambda (x) (let (a 1) a)))"
+            " (let (t (if0 0 (let (b 2) b) 3)) t))"
+        )
+        names = [name for name, _, _ in iter_let_bindings(term)]
+        assert names == ["f", "a", "t", "b"]
+
+
+class TestSyntacticLints:
+    def test_clean_program(self):
+        term = parse("(let (x (+ 1 2)) x)")
+        assert syntactic_lints(term) == []
+
+    def test_s100_s101_s103_codes_and_severity(self):
+        term = Let(
+            "x", App(App(Var("x"), Num(1)), Num(2)), Let("x", Num(1), Var("x"))
+        )
+        found = {d.code for d in syntactic_lints(term)}
+        assert {"S100", "S103"} <= found
+        assert all(
+            d.severity == ERROR
+            for d in syntactic_lints(term)
+            if d.code in ("S100", "S101", "S103")
+        )
+
+    def test_s102_respects_assumed_names(self):
+        term = parse("(let (a (f 1)) a)")
+        assert [d.code for d in syntactic_lints(term)] == ["S102"]
+        assert syntactic_lints(term, assumed={"f"}) == []
+
+    def test_s105_requires_purity(self):
+        pure = parse("(let (dead (+ 1 2)) 7)")
+        fired = [d for d in syntactic_lints(pure) if d.code == "S105"]
+        assert len(fired) == 1 and fired[0].severity == WARNING
+        # an application may diverge: removing it would change behaviour
+        impure = parse("(let (f (lambda (x) x)) (let (dead (f 1)) 7))")
+        assert not [
+            d for d in syntactic_lints(impure) if d.code == "S105"
+        ]
+
+    def test_s104_checker_runs_on_clean_programs(self):
+        # the cps(A) image of a well-formed program always passes, so
+        # S104's only observable behaviour here is silence
+        term = parse("(let (t (if0 0 1 2)) t)")
+        assert not [
+            d for d in syntactic_lints(term) if d.code == "S104"
+        ]
+
+    def test_spans_attached_from_source(self):
+        source = "(let (dead 1)\n  (let (used 2) used))"
+        term = parse(source)
+        spans = binder_spans(source)
+        fired = [
+            d for d in syntactic_lints(term, spans=spans)
+            if d.code == "S105"
+        ]
+        assert fired[0].span is not None
+        assert (fired[0].span.line, fired[0].span.column) == (1, 7)
+
+    def test_fixits_delegate_to_repo_passes(self):
+        term = Let("x", Num(1), Let("x", Num(2), Var("x")))
+        actions = {
+            d.code: d.fixit.action
+            for d in syntactic_lints(term)
+            if d.fixit is not None
+        }
+        assert actions["S100"] == "lang.rename.uniquify"
+
+
+class TestBinderSpans:
+    def test_let_and_lambda_binders(self):
+        spans = binder_spans("(let (f (lambda (x) x)) (f 1))")
+        assert set(spans) == {"f", "x"}
+        assert spans["f"].line == 1
+
+    def test_unreadable_source_is_empty(self):
+        assert binder_spans("(((") == {}

@@ -31,6 +31,7 @@ class TestVocabulary:
             "timeout",
             "parse_error",
             "overloaded",
+            "lint_error",
         ):
             assert name in CODES
 

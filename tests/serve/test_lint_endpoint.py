@@ -1,0 +1,106 @@
+"""POST /v1/lint: validation, parity with run_lints, live server."""
+
+import pytest
+
+from repro.corpus.programs import PROGRAMS
+from repro.lint import run_lints
+from repro.serve.client import RetryPolicy, ServiceClient
+from repro.serve.codes import ServeError
+from repro.serve.jobs import ServiceDefaults, execute_request
+from repro.serve.server import AnalysisService
+
+
+class TestValidation:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ServeError) as info:
+            execute_request(
+                "lint", {"program": "(add1 1)", "frobnicate": True}
+            )
+        assert info.value.code == "bad_request"
+
+    def test_unknown_analyzer_rejected(self):
+        with pytest.raises(ServeError) as info:
+            execute_request(
+                "lint", {"program": "(add1 1)", "analyzer": "magic"}
+            )
+        assert info.value.code == "bad_request"
+
+    def test_parse_error_classified(self):
+        with pytest.raises(ServeError) as info:
+            execute_request("lint", {"program": "((("})
+        assert info.value.code == "parse_error"
+
+
+class TestInProcess:
+    def test_report_matches_run_lints(self):
+        body = execute_request(
+            "lint",
+            {"corpus": "theorem-5.2-conditional", "analyzer": "syntactic-cps"},
+        )
+        assert body["ok"] and body["kind"] == "lint"
+        expected = run_lints(
+            PROGRAMS["theorem-5.2-conditional"], analyzer="syntactic-cps"
+        )
+        assert body["report"] == expected.as_dict()
+
+    def test_raw_source_keeps_syntactic_findings(self):
+        # the lint kind must see the program *as written*: free
+        # variables are not topped up with ⊤ (unlike /v1/analyze), so
+        # S102 still fires through the service
+        body = execute_request("lint", {"program": "(let (x (f 1)) x)"})
+        codes = [d["code"] for d in body["report"]["diagnostics"]]
+        assert "S102" in codes
+
+    def test_fix_flag_round_trips(self):
+        body = execute_request(
+            "lint", {"program": "(let (dead 1) 2)", "fix": True}
+        )
+        assert "dead" not in body["report"]["fixed_source"]
+
+    def test_syntactic_only_skips_analysis(self):
+        body = execute_request(
+            "lint", {"corpus": "constants", "syntactic_only": True}
+        )
+        codes = {d["code"] for d in body["report"]["diagnostics"]}
+        assert not any(code.startswith("L") for code in codes)
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = AnalysisService(
+        port=0,
+        workers=2,
+        queue_size=8,
+        defaults=ServiceDefaults(debug_hooks=True),
+    )
+    yield svc
+    svc.drain(timeout=10)
+
+
+@pytest.fixture()
+def client(service):
+    return ServiceClient(
+        service.url, policy=RetryPolicy(retries=3, base_delay=0.02)
+    )
+
+
+class TestLiveServer:
+    def test_lint_route(self, client):
+        body = client.lint(corpus="constants", analyzer="direct")
+        assert body["ok"] and body["kind"] == "lint"
+        assert body["analyzer"] == "direct"
+        codes = {d["code"] for d in body["report"]["diagnostics"]}
+        assert {"L002", "L003"} <= codes
+
+    def test_analyzer_choice_changes_findings_over_http(self, client):
+        direct = client.lint(
+            corpus="theorem-5.2-conditional", analyzer="direct"
+        )
+        cps = client.lint(
+            corpus="theorem-5.2-conditional", analyzer="semantic-cps"
+        )
+        direct_codes = {
+            d["code"] for d in direct["report"]["diagnostics"]
+        }
+        cps_codes = {d["code"] for d in cps["report"]["diagnostics"]}
+        assert "L003" in cps_codes - direct_codes
