@@ -41,6 +41,14 @@ from repro.analysis.common import (
 from repro.analysis.compare import Precision, compare_answers, compare_direct_to_cps
 from repro.analysis.delta import delta_answer, delta_store, delta_value
 from repro.analysis.direct import DirectAnalyzer, analyze_direct
+from repro.analysis.engine import (
+    ENGINES,
+    DirectPlanAnalyzer,
+    PolyvariantPlanAnalyzer,
+    SemanticCpsPlanAnalyzer,
+    SyntacticCpsPlanAnalyzer,
+    check_engine,
+)
 from repro.analysis.polyvariant import (
     PolyvariantDirectAnalyzer,
     PolyvariantResult,
@@ -84,4 +92,10 @@ __all__ = [
     "SyntacticCpsAnalyzer",
     "analyze_syntactic_cps",
     "AnalysisResult",
+    "ENGINES",
+    "check_engine",
+    "DirectPlanAnalyzer",
+    "SemanticCpsPlanAnalyzer",
+    "SyntacticCpsPlanAnalyzer",
+    "PolyvariantPlanAnalyzer",
 ]

@@ -8,8 +8,9 @@ statistics, and configuration.
 from __future__ import annotations
 
 import sys
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Hashable
+from typing import Callable, Hashable, Iterator
 
 from repro.cps.ast import CApp, CIf0, CLam, CLoop, CPrim, CTerm
 from repro.cps.validate import cps_subterms
@@ -34,6 +35,28 @@ from repro.perf import Interner, PerfConfig, PerfStats
 
 class AnalysisError(Exception):
     """Base class for analyzer errors."""
+
+
+#: Default recursion headroom for deeply nested abstract derivations.
+RECURSION_LIMIT = 100_000
+
+
+@contextmanager
+def recursion_headroom(limit: int = RECURSION_LIMIT) -> Iterator[None]:
+    """Temporarily raise the interpreter recursion limit to ``limit``.
+
+    The abstract derivations recurse once per judgment, so deep
+    let-spines and long continuation chains need far more headroom
+    than the interpreter default.  Never *lowers* an already higher
+    limit, and restores the previous one on exit."""
+    previous = sys.getrecursionlimit()
+    if limit > previous:
+        sys.setrecursionlimit(limit)
+    try:
+        yield
+    finally:
+        if limit > previous:
+            sys.setrecursionlimit(previous)
 
 
 class BudgetExceeded(AnalysisError):

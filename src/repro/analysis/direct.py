@@ -19,7 +19,6 @@ false returns (Theorem 5.1).
 
 from __future__ import annotations
 
-import sys
 from typing import Hashable, Mapping
 
 from repro.analysis.common import (
@@ -32,6 +31,7 @@ from repro.analysis.common import (
     abstract_value,
     closures_of_store,
     closures_of_term,
+    recursion_headroom,
 )
 from repro.analysis.result import AnalysisResult
 from repro.anf.validate import validate_anf
@@ -50,9 +50,6 @@ from repro.lang.ast import (
 )
 from repro.obs.metrics import Metrics
 from repro.obs.sinks import Sink
-
-#: Recursion headroom for deeply nested abstract derivations.
-_RECURSION_LIMIT = 100_000
 
 
 class DirectAnalyzer(WorkBudgetMixin):
@@ -112,14 +109,10 @@ class DirectAnalyzer(WorkBudgetMixin):
 
     def run(self) -> AnalysisResult:
         """Analyze the program and return the result."""
-        previous = sys.getrecursionlimit()
-        if _RECURSION_LIMIT > previous:
-            sys.setrecursionlimit(_RECURSION_LIMIT)
         try:
-            answer = self.eval(self.term, self.initial_store)
+            with recursion_headroom():
+                answer = self.eval(self.term, self.initial_store)
         finally:
-            if _RECURSION_LIMIT > previous:
-                sys.setrecursionlimit(previous)
             self.finish_metrics()
         return AnalysisResult(
             self.analyzer_name, answer, self.stats, self.lattice
@@ -296,8 +289,29 @@ def analyze_direct(
     trace: Sink | None = None,
     metrics: Metrics | None = None,
     cache: "bool | None" = None,
+    engine: str = "tree",
 ) -> AnalysisResult:
-    """Run the direct data flow analysis (Figure 4) on ``term``."""
+    """Run the direct data flow analysis (Figure 4) on ``term``.
+
+    ``engine`` selects the implementation: ``"tree"`` (default)
+    interprets the AST, ``"plan"`` runs the compiled instruction
+    arrays of :mod:`repro.machine.absplan` — same judgments, same
+    answer, same statistics (differentially tested).
+    """
+    if engine != "tree":
+        from repro.analysis.engine import DirectPlanAnalyzer, check_engine
+
+        check_engine(engine)
+        return DirectPlanAnalyzer(
+            term,
+            domain,
+            initial,
+            check,
+            max_visits,
+            trace=trace,
+            metrics=metrics,
+            cache=cache,
+        ).run()
     return DirectAnalyzer(
         term,
         domain,

@@ -1,0 +1,1303 @@
+"""Compiled (plan) engines for the four analyzers.
+
+Each engine here replays its tree analyzer's derivation exactly —
+same rule order, same judgment keys (pc ↔ ``id(term)``, slot-store ↔
+name-store), same loop cuts, joins, widenings and visit counts — but
+over the flat instruction arrays of :mod:`repro.machine.absplan` and
+the tuple-backed `SlotStore`:
+
+- no ``isinstance`` dispatch per visit: one integer opcode switch;
+- no name hashing in the store: integer slots into a tuple;
+- no per-visit ``AbsVal`` construction for literals: a constant pool
+  materialized once per run;
+- Section 4.4 loop detection keys on ``(pc, store)`` with slot-store
+  equality, which is the same relation as ``(id(term), sigma)`` on the
+  name-keyed store.
+
+Select an engine with ``engine="plan"`` on the ``analyze_*`` entry
+points (``"tree"``, the default, is the reference implementation; the
+differential suite in ``tests/analysis/test_engine_differential.py``
+pins bit-identical answers and statistics between the two).
+
+The polyvariant engine keeps the `AbsStore` keyed by ``(variable,
+context)`` pairs — its location space is not dense — but still gains
+the flat dispatch, precomputed free-variable sets, and interned
+constants.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.analysis.common import (
+    A_DEC,
+    A_INC,
+    A_STOP,
+    AAnswer,
+    AbsClo,
+    AnalysisStats,
+    NonComputableError,
+    WorkBudgetMixin,
+    check_loop_mode,
+    closures_of_store,
+    konts_of_store,
+    recursion_headroom,
+)
+from repro.analysis.polyvariant import (
+    TOP_CONTEXT,
+    Context,
+    CtxVar,
+    PolyClo,
+    PolyvariantResult,
+    _polyvariant_value,
+    _truncate,
+)
+from repro.analysis.result import AnalysisResult
+from repro.anf.validate import validate_anf
+from repro.cps.transform import TOP_KVAR
+from repro.cps.validate import validate_cps
+from repro.cps.ast import CTerm
+from repro.domains.absval import AbsVal, Lattice
+from repro.domains.constprop import ConstPropDomain
+from repro.domains.protocol import NumDomain
+from repro.domains.store import AbsStore, SlotStore
+from repro.lang.ast import Term
+from repro.machine.absplan import (
+    OP_APP,
+    OP_BIND,
+    OP_IF,
+    OP_LOOP,
+    OP_PRIM,
+    OP_TAIL,
+    COP_BIND,
+    COP_CAPP,
+    COP_CIF,
+    COP_CLOOP,
+    COP_KRET,
+    COP_PRIM,
+    PLAN_CACHE,
+    PlanCache,
+    compile_anf_plan,
+    compile_cps_plan,
+    extend_anf_plan,
+    extend_cps_plan,
+)
+from repro.obs.events import StoreWidened
+from repro.obs.metrics import Metrics
+from repro.obs.sinks import Sink
+
+#: The available analysis engines.  ``"tree"`` interprets the AST (the
+#: reference semantics, Figures 4-6 verbatim); ``"plan"`` runs the
+#: compiled instruction arrays of `repro.machine.absplan`.
+ENGINES = ("tree", "plan")
+
+
+def check_engine(engine: str) -> str:
+    """Validate an engine name."""
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    return engine
+
+
+# ----------------------------------------------------------------------
+# Constant-pool materialization (descriptors → lattice values)
+# ----------------------------------------------------------------------
+
+
+def _materialize_anf(consts, lattice: Lattice) -> tuple:
+    from repro.analysis.common import A_DEC, A_INC, AbsClo
+
+    out = []
+    for desc in consts:
+        kind = desc[0]
+        if kind == "num":
+            out.append(lattice.of_const(desc[1]))
+        elif kind == "prim":
+            out.append(
+                lattice.of_clos(A_INC if desc[1] == "add1" else A_DEC)
+            )
+        else:  # "clo"
+            lam = desc[1]
+            out.append(lattice.of_clos(AbsClo(lam.param, lam.body)))
+    return tuple(out)
+
+
+def _materialize_cps(consts, lattice: Lattice) -> tuple:
+    from repro.analysis.common import A_DECK, A_INCK, AbsCo, AbsCpsClo
+
+    out = []
+    for desc in consts:
+        kind = desc[0]
+        if kind == "num":
+            out.append(lattice.of_const(desc[1]))
+        elif kind == "cps_prim":
+            out.append(
+                lattice.of_clos(A_INCK if desc[1] == "add1k" else A_DECK)
+            )
+        elif kind == "cps_clo":
+            lam = desc[1]
+            out.append(
+                lattice.of_clos(AbsCpsClo(lam.param, lam.kparam, lam.body))
+            )
+        else:  # "konts"
+            klam = desc[1]
+            out.append(lattice.of_konts(AbsCo(klam.param, klam.body)))
+    return tuple(out)
+
+
+def _materialize_poly(consts, lattice: Lattice) -> tuple:
+    """Polyvariant pool: numerals and primitives are plain values;
+    lambdas stay descriptors ``(param, body, needed)`` because their
+    captured environment is only known at closure-creation time."""
+    from repro.lang.syntax import free_variables
+
+    out = []
+    for desc in consts:
+        kind = desc[0]
+        if kind == "num":
+            out.append(lattice.of_const(desc[1]))
+        elif kind == "prim":
+            out.append(
+                lattice.of_clos(A_INC if desc[1] == "add1" else A_DEC)
+            )
+        else:  # "clo"
+            lam = desc[1]
+            needed = tuple(sorted(free_variables(lam.body) - {lam.param}))
+            out.append((lam.param, lam.body, needed))
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# Shared slot-store plumbing
+# ----------------------------------------------------------------------
+
+
+class _SlotEngine(WorkBudgetMixin):
+    """Mixin for engines whose store is a `SlotStore`."""
+
+    _slot_names: tuple[str, ...]
+    _cvals: tuple
+
+    def _ref(self, ref: int, store: SlotStore) -> AbsVal:
+        """Resolve a value reference: slot read or constant."""
+        if ref >= 0:
+            return store.vals[ref]
+        return self._cvals[-1 - ref]
+
+    def bind_slot(
+        self, store: SlotStore, slot: int, value: AbsVal
+    ) -> SlotStore:
+        """`WorkBudgetMixin.bind_join` specialized to slots, keeping
+        the widening/store-size bookkeeping and trace labels of the
+        tree analyzers."""
+        before = store.vals[slot]
+        interner = self._interner
+        if interner is None:
+            after = store.joined_bind(slot, value)
+        else:
+            after = store.joined_bind(slot, value, intern=interner.value)
+            if after is not store:
+                after = interner.store(after)
+        size = after.size
+        if size > self.stats.max_store_size:
+            self.stats.max_store_size = size
+        if after is not store and not self.lattice.is_bottom(before):
+            self.stats.widenings += 1
+            if self._emit is not None:
+                self._emit(
+                    StoreWidened(
+                        self.analyzer_name, self._slot_names[slot], size
+                    )
+                )
+        return after
+
+    def _slot_map(
+        self, slot_names, slot_of, initial_abs: AbsStore
+    ) -> tuple[tuple[str, ...], dict[str, int]]:
+        """Extend the compiled slot map with initial-store names the
+        program itself never mentions."""
+        missing = [
+            name for name, _ in initial_abs.items() if name not in slot_of
+        ]
+        if missing:
+            slot_of = dict(slot_of)
+            names = list(slot_names)
+            for name in missing:
+                slot_of[name] = len(names)
+                names.append(name)
+            slot_names = tuple(names)
+        return tuple(slot_names), slot_of
+
+    def _initial_slot_store(
+        self, initial_abs: AbsStore, slot_names, slot_of
+    ) -> SlotStore:
+        lattice = self.lattice
+        vals = [lattice.bottom] * len(slot_names)
+        size = 0
+        for name, value in initial_abs.items():
+            vals[slot_of[name]] = value
+            size += 1
+        return SlotStore(lattice, tuple(vals), size)
+
+    def _answer_out(self, answer: AAnswer) -> AAnswer:
+        """Convert a slot-store answer back to the name-keyed form the
+        rest of the repo (results, reports, serve) consumes."""
+        return AAnswer(
+            answer.value, answer.store.to_abs_store(self._slot_names)
+        )
+
+
+# ----------------------------------------------------------------------
+# Direct engine (Figure 4 over plans)
+# ----------------------------------------------------------------------
+
+
+class DirectPlanAnalyzer(_SlotEngine):
+    """The Figure 4 judgments, replayed over a compiled `AnfPlan`."""
+
+    analyzer_name = "direct"
+
+    def __init__(
+        self,
+        term: Term,
+        domain: NumDomain | None = None,
+        initial: Mapping[str, AbsVal] | None = None,
+        check: bool = True,
+        max_visits: int | None = None,
+        trace: Sink | None = None,
+        metrics: Metrics | None = None,
+        cache: "bool | None" = None,
+        plan_cache: PlanCache | None = PLAN_CACHE,
+    ) -> None:
+        if check:
+            validate_anf(term)
+        self.term = term
+        self.lattice = Lattice(domain if domain is not None else ConstPropDomain())
+        self.stats = AnalysisStats()
+        self.max_visits = max_visits
+        self.init_obs(trace, metrics)
+        self.init_perf(cache)
+        plan = (
+            plan_cache.anf_plan(term)
+            if plan_cache is not None
+            else compile_anf_plan(term)
+        )
+        initial_abs = AbsStore(self.lattice, initial)
+        ext_closures = [
+            clo
+            for clo in closures_of_store(initial_abs)
+            if isinstance(clo, AbsClo) and clo not in plan.entries
+        ]
+        src = extend_anf_plan(plan, ext_closures) if ext_closures else plan
+        self._code = src.code
+        self._terms = src.terms
+        self._entries = src.entries
+        self._entry_pc = plan.entry_pc
+        self._slot_names, slot_of = self._slot_map(
+            src.slot_names, src.slot_of, initial_abs
+        )
+        self._cvals = _materialize_anf(src.consts, self.lattice)
+        self._entry_cache: dict[int, tuple] = {}
+        self.initial_store = self.intern_store(
+            self._initial_slot_store(initial_abs, self._slot_names, slot_of)
+        )
+        cl_top = plan.cl_top | closures_of_store(initial_abs)
+        self.top_value = AbsVal(self.lattice.domain.top, cl_top)
+        self._active: dict = {}
+        self._depth = 0
+
+    def run(self) -> AnalysisResult:
+        """Analyze the program and return the result."""
+        try:
+            with recursion_headroom():
+                answer = self.eval(self._entry_pc, self.initial_store)
+        finally:
+            self.finish_metrics()
+        return AnalysisResult(
+            self.analyzer_name,
+            self._answer_out(answer),
+            self.stats,
+            self.lattice,
+        )
+
+    def _entry_of(self, clo) -> tuple[int, int]:
+        cache = self._entry_cache
+        hit = cache.get(id(clo))
+        if hit is not None and hit[0] is clo:
+            return hit[1]
+        entry = self._entries.get(clo)
+        if entry is None:
+            raise TypeError(f"unexpected abstract closure {clo!r}")
+        cache[id(clo)] = (clo, entry)
+        return entry
+
+    def eval(self, pc: int, store: SlotStore) -> AAnswer:
+        if self._memo is None:
+            return self._eval(pc, store)
+        start_seq, footprint = self.memo_frame()
+        try:
+            answer = self._eval(pc, store)
+        finally:
+            self.memo_frame_end(footprint)
+        return self.memo_complete(
+            (pc, store),
+            start_seq,
+            footprint,
+            answer,
+            cacheable=self._code[pc][0] != OP_TAIL,
+        )
+
+    def _eval(self, pc: int, store: SlotStore) -> AAnswer:
+        registered: list = []
+        memo = self._memo
+        code = self._code
+        terms = self._terms
+        cvals = self._cvals
+        active = self._active
+        tick = self.tick
+        bind_slot = self.bind_slot
+        self._depth += 1
+        if self._depth > self.stats.max_depth:
+            self.stats.max_depth = self._depth
+        try:
+            while True:
+                instr = code[pc]
+                op = instr[0]
+                tick(terms[pc])
+                if op == OP_TAIL:
+                    ref = instr[1]
+                    return AAnswer(
+                        store.vals[ref] if ref >= 0 else cvals[-1 - ref],
+                        store,
+                    )
+                key = (pc, store)
+                owner = active.get(key)
+                if owner is not None:
+                    self.note_loop_cut(owner, terms[pc])
+                    return AAnswer(self.top_value, store)
+                if memo is not None:
+                    hit = self.memo_probe(key, key, terms[pc])
+                    if hit is not None:
+                        return hit
+                self.register_judgment(key, registered)
+                if op == OP_BIND:
+                    ref = instr[2]
+                    result = (
+                        store.vals[ref] if ref >= 0 else cvals[-1 - ref]
+                    )
+                    next_pc = instr[3]
+                elif op == OP_APP:
+                    ref = instr[2]
+                    fun = store.vals[ref] if ref >= 0 else cvals[-1 - ref]
+                    ref = instr[3]
+                    arg = store.vals[ref] if ref >= 0 else cvals[-1 - ref]
+                    answer = self.apply(fun, arg, store)
+                    result, store = answer.value, answer.store
+                    next_pc = instr[4]
+                elif op == OP_IF:
+                    answer = self._branch(instr, store)
+                    result, store = answer.value, answer.store
+                    next_pc = instr[5]
+                elif op == OP_PRIM:
+                    lattice = self.lattice
+                    result = lattice.of_num(
+                        lattice.domain.binop(
+                            instr[2],
+                            self._ref(instr[3], store).num,
+                            self._ref(instr[4], store).num,
+                        )
+                    )
+                    next_pc = instr[5]
+                else:  # OP_LOOP
+                    result = self.lattice.of_num(self.lattice.domain.iota)
+                    next_pc = instr[2]
+                store = bind_slot(store, instr[1], result)
+                pc = next_pc
+        finally:
+            self._depth -= 1
+            self.unregister_judgments(registered)
+
+    def apply(self, fun: AbsVal, arg: AbsVal, store: SlotStore) -> AAnswer:
+        lattice = self.lattice
+        domain = lattice.domain
+        value = lattice.bottom
+        out_store = store
+        seen = 0
+        for clo in fun.clos:
+            if clo is A_INC:
+                branch_value = lattice.of_num(domain.add1(arg.num))
+                branch_store = store
+            elif clo is A_DEC:
+                branch_value = lattice.of_num(domain.sub1(arg.num))
+                branch_store = store
+            else:
+                param_slot, body_pc = self._entry_of(clo)
+                entry = self.bind_slot(store, param_slot, arg)
+                answer = self.eval(body_pc, entry)
+                branch_value, branch_store = answer.value, answer.store
+            seen += 1
+            if seen > 1:
+                self.count_join("apply")
+            value = lattice.join(value, branch_value)
+            out_store = self.join_stores(out_store, branch_store)
+        return AAnswer(value, out_store)
+
+    def _branch(self, instr, store: SlotStore) -> AAnswer:
+        test = self._ref(instr[2], store)
+        domain = self.lattice.domain
+        zero_possible = domain.may_be_zero(test.num)
+        nonzero_possible = domain.may_be_nonzero(test.num) or bool(test.clos)
+        if zero_possible and not nonzero_possible:
+            return self.eval(instr[3], store)
+        if nonzero_possible and not zero_possible:
+            return self.eval(instr[4], store)
+        if not zero_possible and not nonzero_possible:
+            return AAnswer(self.lattice.bottom, store)
+        then_answer = self.eval(instr[3], store)
+        else_answer = self.eval(instr[4], store)
+        self.count_join("if0")
+        return AAnswer(
+            self.lattice.join(then_answer.value, else_answer.value),
+            self.join_stores(then_answer.store, else_answer.store),
+        )
+
+
+# ----------------------------------------------------------------------
+# Semantic-CPS engine (Figure 5 over plans)
+# ----------------------------------------------------------------------
+
+
+class SemanticCpsPlanAnalyzer(_SlotEngine):
+    """The Figure 5 judgments over a compiled `AnfPlan`.
+
+    Continuations are tuples of ``(dst_slot, next_pc)`` frames — the
+    compiled image of the tree analyzer's ``AFrame`` stacks.
+    """
+
+    analyzer_name = "semantic-cps"
+
+    def __init__(
+        self,
+        term: Term,
+        domain: NumDomain | None = None,
+        initial: Mapping[str, AbsVal] | None = None,
+        loop_mode: str = "reject",
+        unroll_bound: int = 32,
+        check: bool = True,
+        max_visits: int | None = None,
+        trace: Sink | None = None,
+        metrics: Metrics | None = None,
+        cache: "bool | None" = None,
+        plan_cache: PlanCache | None = PLAN_CACHE,
+    ) -> None:
+        if check:
+            validate_anf(term)
+        self.term = term
+        self.lattice = Lattice(domain if domain is not None else ConstPropDomain())
+        self.loop_mode = check_loop_mode(loop_mode)
+        self.unroll_bound = unroll_bound
+        self.stats = AnalysisStats()
+        self.max_visits = max_visits
+        self.init_obs(trace, metrics)
+        self.init_perf(cache)
+        plan = (
+            plan_cache.anf_plan(term)
+            if plan_cache is not None
+            else compile_anf_plan(term)
+        )
+        initial_abs = AbsStore(self.lattice, initial)
+        ext_closures = [
+            clo
+            for clo in closures_of_store(initial_abs)
+            if isinstance(clo, AbsClo) and clo not in plan.entries
+        ]
+        src = extend_anf_plan(plan, ext_closures) if ext_closures else plan
+        self._code = src.code
+        self._terms = src.terms
+        self._entries = src.entries
+        self._entry_pc = plan.entry_pc
+        self._slot_names, slot_of = self._slot_map(
+            src.slot_names, src.slot_of, initial_abs
+        )
+        self._cvals = _materialize_anf(src.consts, self.lattice)
+        self._entry_cache: dict[int, tuple] = {}
+        self.initial_store = self.intern_store(
+            self._initial_slot_store(initial_abs, self._slot_names, slot_of)
+        )
+        cl_top = plan.cl_top | closures_of_store(initial_abs)
+        self.top_value = AbsVal(self.lattice.domain.top, cl_top)
+        self._active: dict = {}
+        self._depth = 0
+
+    def run(self) -> AnalysisResult:
+        """Analyze the program (under the empty continuation)."""
+        try:
+            with recursion_headroom():
+                answer = self.eval(self._entry_pc, (), self.initial_store)
+        finally:
+            self.finish_metrics()
+        return AnalysisResult(
+            self.analyzer_name,
+            self._answer_out(answer),
+            self.stats,
+            self.lattice,
+        )
+
+    def _entry_of(self, clo) -> tuple[int, int]:
+        cache = self._entry_cache
+        hit = cache.get(id(clo))
+        if hit is not None and hit[0] is clo:
+            return hit[1]
+        entry = self._entries.get(clo)
+        if entry is None:
+            raise TypeError(f"unexpected abstract closure {clo!r}")
+        cache[id(clo)] = (clo, entry)
+        return entry
+
+    def eval(self, pc: int, kont: tuple, store: SlotStore) -> AAnswer:
+        if self._memo is None:
+            return self._eval(pc, kont, store)
+        start_seq, footprint = self.memo_frame()
+        try:
+            answer = self._eval(pc, kont, store)
+        finally:
+            self.memo_frame_end(footprint)
+        return self.memo_complete(
+            (pc, kont, store),
+            start_seq,
+            footprint,
+            answer,
+            cacheable=self._code[pc][0] != OP_TAIL,
+        )
+
+    def _eval(self, pc: int, kont: tuple, store: SlotStore) -> AAnswer:
+        registered: list = []
+        memo = self._memo
+        code = self._code
+        terms = self._terms
+        cvals = self._cvals
+        active = self._active
+        tick = self.tick
+        self._depth += 1
+        if self._depth > self.stats.max_depth:
+            self.stats.max_depth = self._depth
+        try:
+            while True:
+                instr = code[pc]
+                op = instr[0]
+                tick(terms[pc])
+                if op == OP_TAIL:
+                    ref = instr[1]
+                    return self.ret(
+                        kont,
+                        store.vals[ref] if ref >= 0 else cvals[-1 - ref],
+                        store,
+                    )
+                key = (pc, store)
+                owner = active.get(key)
+                if owner is not None:
+                    # Section 4.4: return (⊤, CL⊤) *to the continuation*.
+                    self.note_loop_cut(owner, terms[pc])
+                    return self.ret(kont, self.top_value, store)
+                if memo is not None:
+                    hit = self.memo_probe((pc, kont, store), key, terms[pc])
+                    if hit is not None:
+                        return hit
+                self.register_judgment(key, registered)
+                if op == OP_BIND:
+                    ref = instr[2]
+                    store = self.bind_slot(
+                        store,
+                        instr[1],
+                        store.vals[ref] if ref >= 0 else cvals[-1 - ref],
+                    )
+                    pc = instr[3]
+                elif op == OP_APP:
+                    fun = self._ref(instr[2], store)
+                    arg = self._ref(instr[3], store)
+                    return self.apply(
+                        fun, arg, ((instr[1], instr[4]),) + kont, store
+                    )
+                elif op == OP_IF:
+                    return self._branch(instr, kont, store)
+                elif op == OP_PRIM:
+                    lattice = self.lattice
+                    result = lattice.of_num(
+                        lattice.domain.binop(
+                            instr[2],
+                            self._ref(instr[3], store).num,
+                            self._ref(instr[4], store).num,
+                        )
+                    )
+                    store = self.bind_slot(store, instr[1], result)
+                    pc = instr[5]
+                else:  # OP_LOOP
+                    return self._loop(((instr[1], instr[2]),) + kont, store)
+        finally:
+            self._depth -= 1
+            self.unregister_judgments(registered)
+
+    def apply(
+        self, fun: AbsVal, arg: AbsVal, kont: tuple, store: SlotStore
+    ) -> AAnswer:
+        lattice = self.lattice
+        domain = lattice.domain
+        answer: AAnswer | None = None
+        for clo in fun.clos:
+            if clo is A_INC:
+                branch = self.ret(
+                    kont, lattice.of_num(domain.add1(arg.num)), store
+                )
+            elif clo is A_DEC:
+                branch = self.ret(
+                    kont, lattice.of_num(domain.sub1(arg.num)), store
+                )
+            else:
+                param_slot, body_pc = self._entry_of(clo)
+                entry = self.bind_slot(store, param_slot, arg)
+                branch = self.eval(body_pc, kont, entry)
+            answer = (
+                branch
+                if answer is None
+                else self._join(answer, branch, "apply")
+            )
+        if answer is None:
+            return AAnswer(self.lattice.bottom, store)
+        return answer
+
+    def ret(self, kont: tuple, value: AbsVal, store: SlotStore) -> AAnswer:
+        if not kont:
+            return AAnswer(value, store)
+        self.stats.returns_analyzed += 1
+        frame = kont[0]
+        return self.eval(
+            frame[1], kont[1:], self.bind_slot(store, frame[0], value)
+        )
+
+    def _branch(self, instr, kont: tuple, store: SlotStore) -> AAnswer:
+        test = self._ref(instr[2], store)
+        domain = self.lattice.domain
+        zero_possible = domain.may_be_zero(test.num)
+        nonzero_possible = domain.may_be_nonzero(test.num) or bool(test.clos)
+        inner = ((instr[1], instr[5]),) + kont
+        if zero_possible and not nonzero_possible:
+            return self.eval(instr[3], inner, store)
+        if nonzero_possible and not zero_possible:
+            return self.eval(instr[4], inner, store)
+        if not zero_possible and not nonzero_possible:
+            return AAnswer(self.lattice.bottom, store)
+        then_answer = self.eval(instr[3], inner, store)
+        else_answer = self.eval(instr[4], inner, store)
+        return self._join(then_answer, else_answer, "if0")
+
+    def _loop(self, kont: tuple, store: SlotStore) -> AAnswer:
+        lattice = self.lattice
+        domain = lattice.domain
+        if self.loop_mode == "reject":
+            raise NonComputableError(
+                "semantic-CPS analysis of `loop` requires the join of "
+                "appre(kont, (i, {})) over all naturals i, which is "
+                "undecidable (paper Section 6.2); re-run with "
+                "loop_mode='top' or loop_mode='unroll'"
+            )
+        if self.loop_mode == "top":
+            return self.ret(kont, lattice.of_num(domain.iota), store)
+        answer: AAnswer | None = None
+        for i in range(self.unroll_bound + 1):
+            branch = self.ret(kont, lattice.of_const(i), store)
+            answer = (
+                branch
+                if answer is None
+                else self._join(answer, branch, "loop")
+            )
+        assert answer is not None
+        return answer
+
+    def _join(self, a: AAnswer, b: AAnswer, site: str = "join") -> AAnswer:
+        self.count_join(site)
+        return AAnswer(
+            self.lattice.join(a.value, b.value),
+            self.join_stores(a.store, b.store),
+        )
+
+
+# ----------------------------------------------------------------------
+# Syntactic-CPS engine (Figure 6 over plans)
+# ----------------------------------------------------------------------
+
+
+class SyntacticCpsPlanAnalyzer(_SlotEngine):
+    """The Figure 6 judgments over a compiled `CpsPlan`."""
+
+    analyzer_name = "syntactic-cps"
+
+    def __init__(
+        self,
+        term: CTerm,
+        domain: NumDomain | None = None,
+        initial: Mapping[str, AbsVal] | None = None,
+        top_kvar: str = TOP_KVAR,
+        loop_mode: str = "reject",
+        unroll_bound: int = 32,
+        check: bool = True,
+        max_visits: int | None = None,
+        trace: Sink | None = None,
+        metrics: Metrics | None = None,
+        cache: "bool | None" = None,
+        plan_cache: PlanCache | None = PLAN_CACHE,
+    ) -> None:
+        from repro.analysis.common import AbsCo, AbsCpsClo
+
+        if check:
+            validate_cps(term, frozenset((top_kvar,)))
+        self.term = term
+        self.lattice = Lattice(domain if domain is not None else ConstPropDomain())
+        self.loop_mode = check_loop_mode(loop_mode)
+        self.unroll_bound = unroll_bound
+        self.stats = AnalysisStats()
+        self.max_visits = max_visits
+        self.init_obs(trace, metrics)
+        self.init_perf(cache)
+        plan = (
+            plan_cache.cps_plan(term)
+            if plan_cache is not None
+            else compile_cps_plan(term)
+        )
+        table = dict(initial) if initial else {}
+        if top_kvar not in table:
+            table[top_kvar] = self.lattice.of_konts(A_STOP)
+        initial_abs = AbsStore(self.lattice, table)
+        store_clos = closures_of_store(initial_abs)
+        store_konts = konts_of_store(initial_abs)
+        ext_closures = [
+            clo
+            for clo in store_clos
+            if isinstance(clo, AbsCpsClo) and clo not in plan.cps_entries
+        ]
+        ext_konts = [
+            kont
+            for kont in store_konts
+            if isinstance(kont, AbsCo) and kont not in plan.kont_entries
+        ]
+        src = (
+            extend_cps_plan(plan, ext_closures, ext_konts)
+            if ext_closures or ext_konts
+            else plan
+        )
+        self._code = src.code
+        self._terms = src.terms
+        self._cps_entries = src.cps_entries
+        self._kont_entries = src.kont_entries
+        self._entry_pc = plan.entry_pc
+        self._slot_names, slot_of = self._slot_map(
+            src.slot_names, src.slot_of, initial_abs
+        )
+        self._cvals = _materialize_cps(src.consts, self.lattice)
+        self._entry_cache: dict[int, tuple] = {}
+        self._kont_cache: dict[int, tuple] = {}
+        self.initial_store = self.intern_store(
+            self._initial_slot_store(initial_abs, self._slot_names, slot_of)
+        )
+        cl_top = plan.cl_top | store_clos
+        k_top = plan.k_top | store_konts
+        self.top_value = AbsVal(self.lattice.domain.top, cl_top, k_top)
+        self._active: dict = {}
+        self._depth = 0
+
+    def run(self) -> AnalysisResult:
+        """Analyze the program and return the result."""
+        try:
+            with recursion_headroom():
+                answer = self.eval(self._entry_pc, self.initial_store)
+        finally:
+            self.finish_metrics()
+        return AnalysisResult(
+            self.analyzer_name,
+            self._answer_out(answer),
+            self.stats,
+            self.lattice,
+        )
+
+    def _entry_of(self, clo) -> tuple[int, int, int]:
+        cache = self._entry_cache
+        hit = cache.get(id(clo))
+        if hit is not None and hit[0] is clo:
+            return hit[1]
+        entry = self._cps_entries.get(clo)
+        if entry is None:
+            raise TypeError(f"unexpected abstract closure {clo!r}")
+        cache[id(clo)] = (clo, entry)
+        return entry
+
+    def _kont_entry_of(self, kont) -> tuple[int, int]:
+        cache = self._kont_cache
+        hit = cache.get(id(kont))
+        if hit is not None and hit[0] is kont:
+            return hit[1]
+        entry = self._kont_entries.get(kont)
+        if entry is None:
+            raise TypeError(f"unexpected abstract continuation {kont!r}")
+        cache[id(kont)] = (kont, entry)
+        return entry
+
+    def eval(self, pc: int, store: SlotStore) -> AAnswer:
+        if self._memo is None:
+            return self._eval(pc, store)
+        start_seq, footprint = self.memo_frame()
+        try:
+            answer = self._eval(pc, store)
+        finally:
+            self.memo_frame_end(footprint)
+        return self.memo_complete(
+            (pc, store), start_seq, footprint, answer
+        )
+
+    def _eval(self, pc: int, store: SlotStore) -> AAnswer:
+        registered: list = []
+        memo = self._memo
+        code = self._code
+        terms = self._terms
+        self._depth += 1
+        if self._depth > self.stats.max_depth:
+            self.stats.max_depth = self._depth
+        try:
+            while True:
+                key = (pc, store)
+                owner = self._active.get(key)
+                if owner is not None:
+                    self.note_loop_cut(owner, terms[pc])
+                    return AAnswer(self.top_value, store)
+                if memo is not None:
+                    hit = self.memo_probe(key, key, terms[pc])
+                    if hit is not None:
+                        return hit
+                self.register_judgment(key, registered)
+                self.tick(terms[pc])
+
+                instr = code[pc]
+                op = instr[0]
+                if op == COP_KRET:
+                    kont_val = store.vals[instr[1]]
+                    result = self._ref(instr[2], store)
+                    return self.ret(kont_val, result, store)
+                if op == COP_BIND:
+                    store = self.bind_slot(
+                        store, instr[1], self._ref(instr[2], store)
+                    )
+                    pc = instr[3]
+                elif op == COP_CAPP:
+                    fun_v = self._ref(instr[1], store)
+                    arg_v = self._ref(instr[2], store)
+                    return self.apply(
+                        fun_v, arg_v, self._cvals[instr[3]], store
+                    )
+                elif op == COP_CIF:
+                    return self._branch(instr, store)
+                elif op == COP_PRIM:
+                    lattice = self.lattice
+                    result = lattice.of_num(
+                        lattice.domain.binop(
+                            instr[2],
+                            self._ref(instr[3], store).num,
+                            self._ref(instr[4], store).num,
+                        )
+                    )
+                    store = self.bind_slot(store, instr[1], result)
+                    pc = instr[5]
+                else:  # COP_CLOOP
+                    return self._loop(self._cvals[instr[1]], store)
+        finally:
+            self._depth -= 1
+            self.unregister_judgments(registered)
+
+    def apply(
+        self, fun: AbsVal, arg: AbsVal, kont_val: AbsVal, store: SlotStore
+    ) -> AAnswer:
+        from repro.analysis.common import A_DECK, A_INCK
+
+        lattice = self.lattice
+        domain = lattice.domain
+        answer: AAnswer | None = None
+        for clo in fun.clos:
+            if clo is A_INCK:
+                branch = self.ret(
+                    kont_val, lattice.of_num(domain.add1(arg.num)), store
+                )
+            elif clo is A_DECK:
+                branch = self.ret(
+                    kont_val, lattice.of_num(domain.sub1(arg.num)), store
+                )
+            else:
+                param_slot, kparam_slot, body_pc = self._entry_of(clo)
+                entry = self.bind_slot(
+                    self.bind_slot(store, param_slot, arg),
+                    kparam_slot,
+                    kont_val,
+                )
+                branch = self.eval(body_pc, entry)
+            answer = (
+                branch
+                if answer is None
+                else self._join(answer, branch, "apply")
+            )
+        if answer is None:
+            return AAnswer(self.lattice.bottom, store)
+        return answer
+
+    def ret(
+        self, kont_val: AbsVal, value: AbsVal, store: SlotStore
+    ) -> AAnswer:
+        answer: AAnswer | None = None
+        for kont in kont_val.konts:
+            self.stats.returns_analyzed += 1
+            if kont is A_STOP:
+                branch = AAnswer(value, store)
+            else:
+                param_slot, body_pc = self._kont_entry_of(kont)
+                branch = self.eval(
+                    body_pc, self.bind_slot(store, param_slot, value)
+                )
+            answer = (
+                branch
+                if answer is None
+                else self._join(answer, branch, "return")
+            )
+        if answer is None:
+            return AAnswer(self.lattice.bottom, store)
+        return answer
+
+    def _branch(self, instr, store: SlotStore) -> AAnswer:
+        test_v = self._ref(instr[3], store)
+        domain = self.lattice.domain
+        zero_possible = domain.may_be_zero(test_v.num)
+        nonzero_possible = domain.may_be_nonzero(test_v.num) or bool(
+            test_v.clos
+        )
+        bound = self.bind_slot(store, instr[1], self._cvals[instr[2]])
+        if zero_possible and not nonzero_possible:
+            return self.eval(instr[4], bound)
+        if nonzero_possible and not zero_possible:
+            return self.eval(instr[5], bound)
+        if not zero_possible and not nonzero_possible:
+            return AAnswer(self.lattice.bottom, store)
+        then_answer = self.eval(instr[4], bound)
+        else_answer = self.eval(instr[5], bound)
+        return self._join(then_answer, else_answer, "if0")
+
+    def _loop(self, kont_val: AbsVal, store: SlotStore) -> AAnswer:
+        lattice = self.lattice
+        domain = lattice.domain
+        if self.loop_mode == "reject":
+            raise NonComputableError(
+                "syntactic-CPS analysis of `loop` requires the join of "
+                "the continuation applied to every natural, which is "
+                "undecidable (paper Section 6.2); re-run with "
+                "loop_mode='top' or loop_mode='unroll'"
+            )
+        if self.loop_mode == "top":
+            return self.ret(kont_val, lattice.of_num(domain.iota), store)
+        answer: AAnswer | None = None
+        for i in range(self.unroll_bound + 1):
+            branch = self.ret(kont_val, lattice.of_const(i), store)
+            answer = (
+                branch
+                if answer is None
+                else self._join(answer, branch, "loop")
+            )
+        assert answer is not None
+        return answer
+
+    def _join(self, a: AAnswer, b: AAnswer, site: str = "join") -> AAnswer:
+        self.count_join(site)
+        return AAnswer(
+            self.lattice.join(a.value, b.value),
+            self.join_stores(a.store, b.store),
+        )
+
+
+# ----------------------------------------------------------------------
+# Polyvariant engine (k-CFA over plans)
+# ----------------------------------------------------------------------
+
+
+class PolyvariantPlanAnalyzer(WorkBudgetMixin):
+    """The k-CFA judgments over a compiled `AnfPlan`.
+
+    The store stays the `(variable, context)`-keyed `AbsStore` (the
+    location space is not dense), but dispatch runs over the flat
+    instruction array with precomputed free-variable captures.
+    """
+
+    analyzer_name = "direct-kcfa"
+
+    def __init__(
+        self,
+        term: Term,
+        domain: NumDomain | None = None,
+        k: int = 1,
+        initial: Mapping[str, AbsVal] | None = None,
+        check: bool = True,
+        max_visits: int | None = None,
+        trace: Sink | None = None,
+        metrics: Metrics | None = None,
+        cache: "bool | None" = None,
+        plan_cache: PlanCache | None = PLAN_CACHE,
+    ) -> None:
+        if check:
+            validate_anf(term)
+        if k < 0:
+            raise ValueError("context length k must be >= 0")
+        self.term = term
+        self.k = k
+        self.lattice = Lattice(domain if domain is not None else ConstPropDomain())
+        self.stats = AnalysisStats()
+        self.max_visits = max_visits
+        self.init_obs(trace, metrics)
+        self.init_perf(cache)
+        plan = (
+            plan_cache.anf_plan(term)
+            if plan_cache is not None
+            else compile_anf_plan(term)
+        )
+        table: dict[Hashable, AbsVal] = {}
+        initial = dict(initial) if initial else {}
+        for name, value in initial.items():
+            table[CtxVar(name, TOP_CONTEXT)] = _polyvariant_value(value)
+        self.initial_store = self.intern_store(
+            AbsStore(self.lattice, table)  # type: ignore[arg-type]
+        )
+        ext_closures = [
+            AbsClo(clo.param, clo.body)
+            for value in table.values()
+            for clo in value.clos
+            if isinstance(clo, PolyClo)
+            and AbsClo(clo.param, clo.body) not in plan.entries
+        ]
+        src = extend_anf_plan(plan, ext_closures) if ext_closures else plan
+        self._code = src.code
+        self._terms = src.terms
+        self._entry_pc = plan.entry_pc
+        self._slot_names = src.slot_names
+        self._free_names = plan.free_names
+        self._cvals = _materialize_poly(src.consts, self.lattice)
+        self._body_pc = {
+            (clo.param, clo.body): entry[1]
+            for clo, entry in src.entries.items()
+        }
+        self._entry_cache: dict[int, tuple] = {}
+        cl_top: set[Hashable] = set()
+        for clo in plan.cl_top:
+            cl_top.add(
+                PolyClo(clo.param, clo.body)
+                if isinstance(clo, AbsClo)
+                else clo
+            )
+        for value in table.values():
+            cl_top |= value.clos
+        self.top_value = AbsVal(self.lattice.domain.top, frozenset(cl_top))
+        self._active: dict = {}
+        self._depth = 0
+
+    def run(self) -> PolyvariantResult:
+        """Analyze the program and return the polyvariant result."""
+        try:
+            with recursion_headroom():
+                env: dict[str, Context] = {
+                    name: TOP_CONTEXT for name in self._free_names
+                }
+                value, store = self.eval(
+                    self._entry_pc, env, TOP_CONTEXT, self.initial_store
+                )
+        finally:
+            self.finish_metrics()
+        return PolyvariantResult(self, value, store)
+
+    def _lookup(
+        self, name: str, ctx: Context | None, store: AbsStore
+    ) -> AbsVal:
+        if ctx is not None:
+            return store.get(CtxVar(name, ctx))  # type: ignore[arg-type]
+        value = self.lattice.bottom
+        for key, entry in store.items():
+            if isinstance(key, CtxVar) and key.name == name:
+                value = self.lattice.join(value, entry)
+        return value
+
+    def _value_ref(
+        self, ref: int, env: Mapping[str, Context], store: AbsStore
+    ) -> AbsVal:
+        if ref >= 0:
+            name = self._slot_names[ref]
+            return self._lookup(name, env.get(name), store)
+        desc = self._cvals[-1 - ref]
+        if type(desc) is AbsVal:
+            return desc
+        param, body, needed = desc
+        captured = tuple((n, env[n]) for n in needed if n in env)
+        return self.lattice.of_clos(PolyClo(param, body, captured))
+
+    def _entry_of(self, clo: PolyClo) -> int:
+        cache = self._entry_cache
+        hit = cache.get(id(clo))
+        if hit is not None and hit[0] is clo:
+            return hit[1]
+        body_pc = self._body_pc.get((clo.param, clo.body))
+        if body_pc is None:
+            raise TypeError(f"unexpected abstract closure {clo!r}")
+        cache[id(clo)] = (clo, body_pc)
+        return body_pc
+
+    def eval(
+        self,
+        pc: int,
+        env: Mapping[str, Context],
+        ctx: Context,
+        store: AbsStore,
+    ) -> tuple[AbsVal, AbsStore]:
+        if self._memo is None:
+            return self._eval(pc, env, ctx, store)
+        memo_key = (pc, frozenset(env.items()), ctx, store)
+        start_seq, footprint = self.memo_frame()
+        try:
+            answer = self._eval(pc, env, ctx, store)
+        finally:
+            self.memo_frame_end(footprint)
+        return self.memo_complete(
+            memo_key,
+            start_seq,
+            footprint,
+            answer,
+            cacheable=self._code[pc][0] != OP_TAIL,
+        )
+
+    def _eval(
+        self,
+        pc: int,
+        env: Mapping[str, Context],
+        ctx: Context,
+        store: AbsStore,
+    ) -> tuple[AbsVal, AbsStore]:
+        registered: list = []
+        memo = self._memo
+        code = self._code
+        terms = self._terms
+        slot_names = self._slot_names
+        self._depth += 1
+        if self._depth > self.stats.max_depth:
+            self.stats.max_depth = self._depth
+        env = dict(env)
+        try:
+            while True:
+                instr = code[pc]
+                op = instr[0]
+                self.tick(terms[pc])
+                if op == OP_TAIL:
+                    return self._value_ref(instr[1], env, store), store
+                key = (pc, frozenset(env.items()), ctx, store)
+                owner = self._active.get(key)
+                if owner is not None:
+                    self.note_loop_cut(owner, terms[pc])
+                    return self.top_value, store
+                if memo is not None:
+                    hit = self.memo_probe(key, key, terms[pc])
+                    if hit is not None:
+                        return hit
+                self.register_judgment(key, registered)
+                if op == OP_BIND:
+                    result = self._value_ref(instr[2], env, store)
+                    next_pc = instr[3]
+                elif op == OP_APP:
+                    fun = self._value_ref(instr[2], env, store)
+                    arg = self._value_ref(instr[3], env, store)
+                    result, store = self.apply(
+                        slot_names[instr[1]], fun, arg, ctx, store
+                    )
+                    next_pc = instr[4]
+                elif op == OP_IF:
+                    result, store = self._branch(instr, env, ctx, store)
+                    next_pc = instr[5]
+                elif op == OP_PRIM:
+                    lattice = self.lattice
+                    result = lattice.of_num(
+                        lattice.domain.binop(
+                            instr[2],
+                            self._value_ref(instr[3], env, store).num,
+                            self._value_ref(instr[4], env, store).num,
+                        )
+                    )
+                    next_pc = instr[5]
+                else:  # OP_LOOP
+                    result = self.lattice.of_num(self.lattice.domain.iota)
+                    next_pc = instr[2]
+                name = slot_names[instr[1]]
+                store = self.bind_join(store, CtxVar(name, ctx), result)
+                env[name] = ctx
+                pc = next_pc
+        finally:
+            self._depth -= 1
+            self.unregister_judgments(registered)
+
+    def apply(
+        self,
+        site: str,
+        fun: AbsVal,
+        arg: AbsVal,
+        ctx: Context,
+        store: AbsStore,
+    ) -> tuple[AbsVal, AbsStore]:
+        lattice = self.lattice
+        domain = lattice.domain
+        value = lattice.bottom
+        out_store = store
+        seen = 0
+        for clo in fun.clos:
+            if clo is A_INC:
+                branch_value = lattice.of_num(domain.add1(arg.num))
+                branch_store = store
+            elif clo is A_DEC:
+                branch_value = lattice.of_num(domain.sub1(arg.num))
+                branch_store = store
+            elif isinstance(clo, PolyClo):
+                body_pc = self._entry_of(clo)
+                callee_ctx = _truncate(ctx + (site,), self.k)
+                entry = self.bind_join(
+                    store, CtxVar(clo.param, callee_ctx), arg
+                )
+                callee_env = dict(clo.env)
+                callee_env[clo.param] = callee_ctx
+                branch_value, branch_store = self.eval(
+                    body_pc, callee_env, callee_ctx, entry
+                )
+            else:
+                raise TypeError(f"unexpected abstract closure {clo!r}")
+            seen += 1
+            if seen > 1:
+                self.count_join("apply")
+            value = lattice.join(value, branch_value)
+            out_store = self.join_stores(out_store, branch_store)
+        return value, out_store
+
+    def _branch(
+        self,
+        instr,
+        env: Mapping[str, Context],
+        ctx: Context,
+        store: AbsStore,
+    ) -> tuple[AbsVal, AbsStore]:
+        test = self._value_ref(instr[2], env, store)
+        domain = self.lattice.domain
+        zero = domain.may_be_zero(test.num)
+        nonzero = domain.may_be_nonzero(test.num) or bool(test.clos)
+        if zero and not nonzero:
+            return self.eval(instr[3], env, ctx, store)
+        if nonzero and not zero:
+            return self.eval(instr[4], env, ctx, store)
+        if not zero and not nonzero:
+            return self.lattice.bottom, store
+        then_value, then_store = self.eval(instr[3], env, ctx, store)
+        else_value, else_store = self.eval(instr[4], env, ctx, store)
+        self.count_join("if0")
+        return (
+            self.lattice.join(then_value, else_value),
+            self.join_stores(then_store, else_store),
+        )

@@ -37,7 +37,6 @@ Design notes
 
 from __future__ import annotations
 
-import sys
 from dataclasses import dataclass
 from typing import Hashable, Mapping
 
@@ -47,6 +46,7 @@ from repro.analysis.common import (
     AbsClo,
     AnalysisStats,
     WorkBudgetMixin,
+    recursion_headroom,
 )
 from repro.analysis.result import AnalysisResult
 from repro.anf.validate import validate_anf
@@ -70,8 +70,6 @@ from repro.lang.ast import (
 from repro.lang.syntax import free_variables, subterms
 from repro.obs.metrics import Metrics
 from repro.obs.sinks import Sink
-
-_RECURSION_LIMIT = 100_000
 
 #: A call-string context: the labels of the last k call sites.
 Context = tuple[str, ...]
@@ -189,19 +187,15 @@ class PolyvariantDirectAnalyzer(WorkBudgetMixin):
 
     def run(self) -> "PolyvariantResult":
         """Analyze the program and return the polyvariant result."""
-        previous = sys.getrecursionlimit()
-        if _RECURSION_LIMIT > previous:
-            sys.setrecursionlimit(_RECURSION_LIMIT)
         try:
-            env: dict[str, Context] = {
-                name: TOP_CONTEXT for name in free_variables(self.term)
-            }
-            value, store = self.eval(
-                self.term, env, TOP_CONTEXT, self.initial_store
-            )
+            with recursion_headroom():
+                env: dict[str, Context] = {
+                    name: TOP_CONTEXT for name in free_variables(self.term)
+                }
+                value, store = self.eval(
+                    self.term, env, TOP_CONTEXT, self.initial_store
+                )
         finally:
-            if _RECURSION_LIMIT > previous:
-                sys.setrecursionlimit(previous)
             self.finish_metrics()
         return PolyvariantResult(self, value, store)
 
@@ -511,8 +505,24 @@ def analyze_polyvariant(
     trace: Sink | None = None,
     metrics: Metrics | None = None,
     cache: "bool | None" = None,
+    engine: str = "tree",
 ) -> PolyvariantResult:
-    """Run the k-CFA direct data flow analysis on ``term``."""
+    """Run the k-CFA direct data flow analysis on ``term``.
+
+    ``engine="plan"`` runs the compiled-plan implementation (same
+    judgments and statistics; see :mod:`repro.analysis.engine`).
+    """
+    if engine != "tree":
+        from repro.analysis.engine import (
+            PolyvariantPlanAnalyzer,
+            check_engine,
+        )
+
+        check_engine(engine)
+        return PolyvariantPlanAnalyzer(
+            term, domain, k, initial, check, max_visits,
+            trace=trace, metrics=metrics, cache=cache,
+        ).run()
     return PolyvariantDirectAnalyzer(
         term, domain, k, initial, check, max_visits,
         trace=trace, metrics=metrics, cache=cache,

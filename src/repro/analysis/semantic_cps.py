@@ -24,7 +24,6 @@ finite prefix (demonstrative, unsound in general).
 
 from __future__ import annotations
 
-import sys
 from typing import Mapping
 
 from repro.analysis.common import (
@@ -41,6 +40,7 @@ from repro.analysis.common import (
     check_loop_mode,
     closures_of_store,
     closures_of_term,
+    recursion_headroom,
 )
 from repro.analysis.result import AnalysisResult
 from repro.anf.validate import validate_anf
@@ -51,8 +51,6 @@ from repro.domains.store import AbsStore
 from repro.lang.ast import App, If0, Let, Loop, PrimApp, Term, is_value
 from repro.obs.metrics import Metrics
 from repro.obs.sinks import Sink
-
-_RECURSION_LIMIT = 100_000
 
 
 class SemanticCpsAnalyzer(WorkBudgetMixin):
@@ -117,14 +115,10 @@ class SemanticCpsAnalyzer(WorkBudgetMixin):
 
     def run(self, kont: AKont = ()) -> AnalysisResult:
         """Analyze the program under continuation ``kont`` (default nil)."""
-        previous = sys.getrecursionlimit()
-        if _RECURSION_LIMIT > previous:
-            sys.setrecursionlimit(_RECURSION_LIMIT)
         try:
-            answer = self.eval(self.term, kont, self.initial_store)
+            with recursion_headroom():
+                answer = self.eval(self.term, kont, self.initial_store)
         finally:
-            if _RECURSION_LIMIT > previous:
-                sys.setrecursionlimit(previous)
             self.finish_metrics()
         return AnalysisResult(
             self.analyzer_name, answer, self.stats, self.lattice
@@ -359,8 +353,24 @@ def analyze_semantic_cps(
     trace: Sink | None = None,
     metrics: Metrics | None = None,
     cache: "bool | None" = None,
+    engine: str = "tree",
 ) -> AnalysisResult:
-    """Run the semantic-CPS data flow analysis (Figure 5) on ``term``."""
+    """Run the semantic-CPS data flow analysis (Figure 5) on ``term``.
+
+    ``engine="plan"`` runs the compiled-plan implementation (same
+    judgments and statistics; see :mod:`repro.analysis.engine`).
+    """
+    if engine != "tree":
+        from repro.analysis.engine import (
+            SemanticCpsPlanAnalyzer,
+            check_engine,
+        )
+
+        check_engine(engine)
+        return SemanticCpsPlanAnalyzer(
+            term, domain, initial, loop_mode, unroll_bound, check,
+            max_visits=max_visits, trace=trace, metrics=metrics, cache=cache,
+        ).run()
     return SemanticCpsAnalyzer(
         term, domain, initial, loop_mode, unroll_bound, check,
         max_visits=max_visits, trace=trace, metrics=metrics, cache=cache,

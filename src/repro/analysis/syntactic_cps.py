@@ -19,7 +19,6 @@ Theorem 5.5 bounds it from above by the semantic-CPS analysis.
 
 from __future__ import annotations
 
-import sys
 from typing import Mapping
 
 from repro.analysis.common import (
@@ -37,6 +36,7 @@ from repro.analysis.common import (
     cps_closures_of_term,
     konts_of_store,
     konts_of_term,
+    recursion_headroom,
 )
 from repro.analysis.result import AnalysisResult
 from repro.cps.ast import (
@@ -61,8 +61,6 @@ from repro.domains.protocol import NumDomain
 from repro.domains.store import AbsStore
 from repro.obs.metrics import Metrics
 from repro.obs.sinks import Sink
-
-_RECURSION_LIMIT = 100_000
 
 
 class SyntacticCpsAnalyzer(WorkBudgetMixin):
@@ -130,14 +128,10 @@ class SyntacticCpsAnalyzer(WorkBudgetMixin):
 
     def run(self) -> AnalysisResult:
         """Analyze the program and return the result."""
-        previous = sys.getrecursionlimit()
-        if _RECURSION_LIMIT > previous:
-            sys.setrecursionlimit(_RECURSION_LIMIT)
         try:
-            answer = self.eval(self.term, self.initial_store)
+            with recursion_headroom():
+                answer = self.eval(self.term, self.initial_store)
         finally:
-            if _RECURSION_LIMIT > previous:
-                sys.setrecursionlimit(previous)
             self.finish_metrics()
         return AnalysisResult(
             self.analyzer_name, answer, self.stats, self.lattice
@@ -400,8 +394,24 @@ def analyze_syntactic_cps(
     trace: Sink | None = None,
     metrics: Metrics | None = None,
     cache: "bool | None" = None,
+    engine: str = "tree",
 ) -> AnalysisResult:
-    """Run the syntactic-CPS data flow analysis (Figure 6)."""
+    """Run the syntactic-CPS data flow analysis (Figure 6).
+
+    ``engine="plan"`` runs the compiled-plan implementation (same
+    judgments and statistics; see :mod:`repro.analysis.engine`).
+    """
+    if engine != "tree":
+        from repro.analysis.engine import (
+            SyntacticCpsPlanAnalyzer,
+            check_engine,
+        )
+
+        check_engine(engine)
+        return SyntacticCpsPlanAnalyzer(
+            term, domain, initial, top_kvar, loop_mode, unroll_bound, check,
+            max_visits=max_visits, trace=trace, metrics=metrics, cache=cache,
+        ).run()
     return SyntacticCpsAnalyzer(
         term, domain, initial, top_kvar, loop_mode, unroll_bound, check,
         max_visits=max_visits, trace=trace, metrics=metrics, cache=cache,

@@ -127,6 +127,7 @@ def run_three_way(
     trace: Sink = NULL_SINK,
     metrics: Metrics | None = None,
     cache: "bool | None" = None,
+    engine: str = "tree",
 ) -> ThreeWayReport:
     """Run all three analyzers on one program.
 
@@ -150,6 +151,10 @@ def run_three_way(
         cache: `repro.perf` configuration shared by all three analyzers
             (a `PerfConfig`, or ``None``/``True``/``False``); results
             are identical either way.
+        engine: ``"tree"`` (default) interprets the AST; ``"plan"``
+            runs the compiled-plan engines of
+            :mod:`repro.analysis.engine` — same answers, same
+            statistics (differentially tested).
 
     Returns:
         A `ThreeWayReport` with the three results and pairwise verdicts.
@@ -173,6 +178,7 @@ def run_three_way(
             trace=trace,
             metrics=metrics,
             cache=cache,
+            engine=engine,
         )
     with span("analyze.semantic-cps"):
         semantic = analyze_semantic_cps(
@@ -185,6 +191,7 @@ def run_three_way(
             trace=trace,
             metrics=metrics,
             cache=cache,
+            engine=engine,
         )
     with span("analyze.syntactic-cps"):
         syntactic = analyze_syntactic_cps(
@@ -197,5 +204,6 @@ def run_three_way(
             trace=trace,
             metrics=metrics,
             cache=cache,
+            engine=engine,
         )
     return ThreeWayReport(term, cps_term, direct, semantic, syntactic)

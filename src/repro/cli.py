@@ -189,6 +189,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             loop_mode=args.loop_mode,
             metrics=metrics,
             cache=cache,
+            engine=args.engine,
         )
         payload = {
             "direct": report.direct.to_dict(),
@@ -207,7 +208,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.k is not None:
         result = analyze_polyvariant(
             term, domain, k=args.k, initial=initial, metrics=metrics,
-            cache=cache,
+            cache=cache, engine=args.engine,
         )
         collapsed = result.collapse()
         print(f"value: {collapsed.value!r}")
@@ -226,6 +227,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         loop_mode=args.loop_mode,
         metrics=metrics,
         cache=cache,
+        engine=args.engine,
     )
     print(report.summary())
     print("\nper-variable facts (direct analyzer):")
@@ -380,6 +382,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             semantic=not args.syntactic_only,
             fix=args.fix,
             program_name=name,
+            engine=args.engine,
         )
         for program, name, initial in jobs
     ]
@@ -523,6 +526,15 @@ def build_parser() -> argparse.ArgumentParser:
             "fewer visits)"
         ),
     )
+    analyze_parser.add_argument(
+        "--engine",
+        choices=("tree", "plan"),
+        default="tree",
+        help=(
+            "tree-walking analyzers (default) or the compiled-plan "
+            "engines (identical answers and statistics)"
+        ),
+    )
     analyze_parser.set_defaults(handler=_cmd_analyze)
 
     anf_parser = commands.add_parser("anf", help="print the A-normal form")
@@ -609,6 +621,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the analyzer and the semantic rules",
     )
+    lint_parser.add_argument(
+        "--engine",
+        choices=("tree", "plan"),
+        default="tree",
+        help="analyzer engine powering the semantic rules",
+    )
     lint_parser.set_defaults(handler=_cmd_lint)
 
     graph_parser = commands.add_parser(
@@ -662,6 +680,12 @@ def build_parser() -> argparse.ArgumentParser:
             "CPU; parallel path requires the default domain)"
         ),
     )
+    survey_parser.add_argument(
+        "--engine",
+        choices=("tree", "plan"),
+        default="tree",
+        help="analyzer engine used for every surveyed program",
+    )
     survey_parser.set_defaults(handler=_cmd_survey)
 
     bench_parser = commands.add_parser(
@@ -678,6 +702,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_perf.json",
         metavar="FILE",
         help="output JSON path (default: BENCH_perf.json)",
+    )
+    bench_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=5,
+        metavar="N",
+        help="time each workload N times and report the minimum",
+    )
+    bench_parser.add_argument(
+        "--engine",
+        choices=("tree", "plan"),
+        default="tree",
+        help="engine for the cache-comparison workloads (the "
+        "plan-vs-tree section always measures both)",
     )
     bench_parser.set_defaults(handler=_cmd_bench)
 
@@ -836,6 +874,9 @@ def build_parser() -> argparse.ArgumentParser:
     request_parser.add_argument("--max-visits", type=int, default=None)
     request_parser.add_argument("--fuel", type=int, default=None)
     request_parser.add_argument(
+        "--engine", choices=("tree", "plan"), default=None
+    )
+    request_parser.add_argument(
         "--cache",
         action="store_true",
         help="enable the repro.perf eval cache server-side",
@@ -954,17 +995,19 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     # None selects the default constant-propagation domain, which is
     # what the parallel (--jobs) worker path requires.
     domain = None if args.domain == "constprop" else DOMAINS[args.domain]()
-    print(survey_corpus(domain, jobs=args.jobs).summary())
+    print(survey_corpus(domain, jobs=args.jobs, engine=args.engine).summary())
     print()
     print(
         survey_random(
-            args.count, args.depth, domain=domain, jobs=args.jobs
+            args.count, args.depth, domain=domain, jobs=args.jobs,
+            engine=args.engine,
         ).summary()
     )
     print()
     print(
         survey_random_open(
-            args.count, args.depth, domain=domain, jobs=args.jobs
+            args.count, args.depth, domain=domain, jobs=args.jobs,
+            engine=args.engine,
         ).summary()
     )
     return 0
@@ -986,7 +1029,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import run_bench, summarize
 
     try:
-        payload = run_bench(quick=args.quick, out=args.out)
+        payload = run_bench(
+            quick=args.quick,
+            out=args.out,
+            repeat=args.repeat,
+            engine=args.engine,
+        )
     except ValueError as exc:
         print(f"bench FAILED: {exc}", file=sys.stderr)
         return 1
@@ -1072,6 +1120,7 @@ def _cmd_request(args: argparse.Namespace) -> int:
         ("k", args.k),
         ("max_visits", args.max_visits),
         ("fuel", args.fuel),
+        ("engine", args.engine),
     ):
         if value is not None:
             payload[name] = value

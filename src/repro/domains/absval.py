@@ -18,7 +18,7 @@ analysis layer supplies ``(cle x, M)`` records, ``inc``/``dec`` tags,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Hashable
 
 from repro.domains.protocol import NumDomain
@@ -33,6 +33,20 @@ class AbsVal:
     num: Hashable
     clos: frozenset = EMPTY
     konts: frozenset = EMPTY
+    #: Lazily cached hash.  Abstract values are hashed constantly —
+    #: every store hash folds in its entries — and the componentwise
+    #: hash walks two frozensets, so caching it is a large win for
+    #: both store flavors (name-keyed and slot-addressed).
+    _hash: "int | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((self.num, self.clos, self.konts))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = [repr(self.num)]

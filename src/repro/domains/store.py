@@ -144,3 +144,120 @@ class AbsStore:
             f"{name} -> {value!r}" for name, value in sorted(self._table.items())
         )
         return f"AbsStore({inner})"
+
+
+class SlotStore:
+    """A slot-addressed abstract store for the compiled (plan) engine.
+
+    Same lattice semantics as `AbsStore`, but variables have been
+    resolved to dense integer slots at plan-compile time (the
+    unique-binder invariant makes the mapping total), so the table is a
+    flat tuple indexed by slot: O(1) reads, O(n) copy-on-write updates
+    with no hashing of names, and equality/hashing over a tuple of
+    interned values.  Unbound slots hold bottom; ``size`` counts the
+    non-bottom entries so `__len__` agrees with the equivalent
+    `AbsStore`.
+
+    The identity contract mirrors `AbsStore` exactly — `joined_bind`
+    returns ``self`` iff the variable was already bound (non-bottom)
+    and the join did not change it — because the analyzers' widening
+    statistics are keyed on that identity.
+    """
+
+    __slots__ = ("_lattice", "vals", "size", "_hash")
+
+    def __init__(
+        self, lattice: Lattice, vals: tuple[AbsVal, ...], size: int
+    ) -> None:
+        self._lattice = lattice
+        self.vals = vals
+        self.size = size
+        self._hash: int | None = None
+
+    @classmethod
+    def empty(cls, lattice: Lattice, slots: int) -> "SlotStore":
+        """An all-bottom store with ``slots`` locations."""
+        return cls(lattice, (lattice.bottom,) * slots, 0)
+
+    @property
+    def lattice(self) -> Lattice:
+        """The lattice this store's values belong to."""
+        return self._lattice
+
+    def get(self, slot: int) -> AbsVal:
+        """The value at ``slot``; bottom when never bound."""
+        return self.vals[slot]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def joined_bind(
+        self,
+        slot: int,
+        value: AbsVal,
+        intern: Callable[[AbsVal], AbsVal] | None = None,
+    ) -> "SlotStore":
+        """The paper's ``sigma[x := sigma(x) u u]`` update, by slot."""
+        lattice = self._lattice
+        current = self.vals[slot]
+        joined = lattice.join(current, value)
+        current_bottom = lattice.is_bottom(current)
+        if not current_bottom and joined == current:
+            return self
+        if intern is not None:
+            joined = intern(joined)
+        vals = list(self.vals)
+        vals[slot] = joined
+        size = self.size
+        if current_bottom and not lattice.is_bottom(joined):
+            size += 1
+        return SlotStore(lattice, tuple(vals), size)
+
+    def join(self, other: "SlotStore") -> "SlotStore":
+        """Pointwise least upper bound of two stores."""
+        if self is other or other.size == 0:
+            return self
+        if self.size == 0:
+            return other
+        lattice = self._lattice
+        join = lattice.join
+        vals = tuple(
+            a if a is b else join(a, b)
+            for a, b in zip(self.vals, other.vals)
+        )
+        is_bottom = lattice.is_bottom
+        size = sum(1 for v in vals if not is_bottom(v))
+        return SlotStore(lattice, vals, size)
+
+    def to_abs_store(self, slot_names: tuple[str, ...]) -> AbsStore:
+        """The equivalent name-keyed `AbsStore` (for results and the
+        differential suite)."""
+        lattice = self._lattice
+        return AbsStore(
+            lattice,
+            {
+                slot_names[i]: v
+                for i, v in enumerate(self.vals)
+                if not lattice.is_bottom(v)
+            },
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, SlotStore):
+            return NotImplemented
+        return self.vals == other.vals
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self.vals)
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"{i} -> {v!r}"
+            for i, v in enumerate(self.vals)
+            if not self._lattice.is_bottom(v)
+        )
+        return f"SlotStore({inner})"

@@ -63,6 +63,7 @@ def run_analysis(
     max_visits: int | None = None,
     trace: Sink = NULL_SINK,
     metrics: Metrics | None = None,
+    engine: str = "tree",
 ) -> AnalysisResult:
     """Run one named analyzer on a canonical term.
 
@@ -78,6 +79,7 @@ def run_analysis(
             max_visits=max_visits,
             trace=trace,
             metrics=metrics,
+            engine=engine,
         )
     if analyzer == "semantic-cps":
         return analyze_semantic_cps(
@@ -89,6 +91,7 @@ def run_analysis(
             max_visits=max_visits,
             trace=trace,
             metrics=metrics,
+            engine=engine,
         )
     if analyzer == "syntactic-cps":
         lattice = Lattice(domain if domain is not None else ConstPropDomain())
@@ -104,6 +107,7 @@ def run_analysis(
             max_visits=max_visits,
             trace=trace,
             metrics=metrics,
+            engine=engine,
         )
     raise ValueError(
         f"unknown analyzer {analyzer!r}; expected one of {LINT_ANALYZERS}"
@@ -132,6 +136,7 @@ def run_lints(
     trace: Sink = NULL_SINK,
     metrics: Metrics | None = None,
     program_name: str | None = None,
+    engine: str = "tree",
 ) -> LintReport:
     """Lint one program with both pass families.
 
@@ -209,6 +214,7 @@ def run_lints(
                 max_visits=max_visits,
                 trace=recorder,
                 metrics=metrics,
+                engine=engine,
             )
         except AnalysisError as exc:
             analysis_error = _analysis_error_code(exc)

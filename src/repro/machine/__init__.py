@@ -20,6 +20,16 @@ program to CPS is to obscure the fact that there is only one control
 stack" — the stack does not disappear, it moves into the store.
 """
 
+from repro.machine.absplan import (
+    AnfPlan,
+    CpsPlan,
+    PLAN_CACHE,
+    PlanCache,
+    compile_anf_plan,
+    compile_cps_plan,
+    extend_anf_plan,
+    extend_cps_plan,
+)
 from repro.machine.code import (
     Bind,
     Branch,
@@ -67,4 +77,12 @@ __all__ = [
     "compile_cps",
     "run_code",
     "MachineStats",
+    "AnfPlan",
+    "CpsPlan",
+    "PlanCache",
+    "PLAN_CACHE",
+    "compile_anf_plan",
+    "compile_cps_plan",
+    "extend_anf_plan",
+    "extend_cps_plan",
 ]

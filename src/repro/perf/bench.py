@@ -2,9 +2,15 @@
 
 Times representative workloads with the caches off and on, checks the
 cached answers are identical to the uncached ones, and writes the
-result as ``BENCH_perf.json`` (schema ``repro.perf.bench/1``).  The
+result as ``BENCH_perf.json`` (schema ``repro.perf.bench/2``).  The
 CI smoke job runs ``--quick`` and fails on a malformed payload or on
 any cached/uncached divergence.
+
+Timing discipline: every workload is repeated ``repeat`` times (a
+fresh analyzer per repetition, only ``.run()`` inside the timed
+region) and the **minimum** wall time is reported — the minimum is
+the least-noise estimator on a busy machine, since scheduling and
+allocator interference only ever add time.
 
 Workloads:
 
@@ -15,6 +21,10 @@ Workloads:
   duplicated paths carry identical stores so the eval cache collapses
   them to O(k) — the headline speedup);
 - the polyvariant analyzer on the recursive corpus programs;
+- the ``engine`` section: compiled-plan vs tree-walking analyzers
+  (`repro.analysis.engine`) on the large workloads, with the one-time
+  plan compile cost reported separately from the per-run time (the
+  compile is amortized across runs by the plan cache);
 - the survey runner at ``--jobs 1`` vs ``--jobs 4`` (honest numbers:
   on a single-CPU box the parallel run is expected to *lose* to the
   serial one on process overhead).
@@ -26,7 +36,7 @@ import json
 import time
 from typing import Any, Callable
 
-SCHEMA = "repro.perf.bench/1"
+SCHEMA = "repro.perf.bench/2"
 
 #: Fields every workload entry must carry (validation contract).
 _RUN_FIELDS = ("wall_s", "visits")
@@ -38,14 +48,36 @@ _CACHED_FIELDS = _RUN_FIELDS + (
     "join_memo_hits",
     "bytes_saved",
 )
+_ENGINE_TREE_FIELDS = ("wall_s", "visits")
+_ENGINE_PLAN_FIELDS = ("compile_s", "run_s", "visits")
 
 
-def _timed(make: Callable[[], Any]) -> tuple[Any, Any, float]:
-    """Build an analyzer, run it, return (analyzer, result, seconds)."""
-    analyzer = make()
-    start = time.perf_counter()
-    result = analyzer.run()
-    return analyzer, result, time.perf_counter() - start
+def _timed(
+    make: Callable[[], Any], repeat: int
+) -> tuple[Any, Any, float]:
+    """Build a fresh analyzer per repetition, time only ``.run()``,
+    and return ``(analyzer, result, min_seconds)``."""
+    best: tuple[Any, Any, float] | None = None
+    for _ in range(max(1, repeat)):
+        analyzer = make()
+        start = time.perf_counter()
+        result = analyzer.run()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[2]:
+            best = (analyzer, result, elapsed)
+    return best
+
+
+def _min_seconds(thunk: Callable[[], Any], repeat: int) -> float:
+    """Minimum wall time of ``thunk`` over ``repeat`` repetitions."""
+    best: float | None = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        thunk()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
 
 
 def _answer_of(result: Any) -> Any:
@@ -56,10 +88,15 @@ def _answer_of(result: Any) -> Any:
     return (result.value, result.collapse().answer)
 
 
-def _workload(name: str, analyzer_name: str, make: Callable[[bool], Any]) -> dict:
+def _workload(
+    name: str,
+    analyzer_name: str,
+    make: Callable[[bool], Any],
+    repeat: int,
+) -> dict:
     """Run one workload with the caches off then fully on."""
-    an_off, res_off, wall_off = _timed(lambda: make(False))
-    an_on, res_on, wall_on = _timed(lambda: make(True))
+    an_off, res_off, wall_off = _timed(lambda: make(False), repeat)
+    an_on, res_on, wall_on = _timed(lambda: make(True), repeat)
     perf = an_on.perf
     return {
         "name": name,
@@ -83,12 +120,22 @@ def _workload(name: str, analyzer_name: str, make: Callable[[bool], Any]) -> dic
     }
 
 
-def _corpus_workloads(quick: bool) -> list[dict]:
+def _semantic_class(engine: str):
+    if engine == "plan":
+        from repro.analysis.engine import SemanticCpsPlanAnalyzer
+
+        return SemanticCpsPlanAnalyzer
     from repro.analysis.semantic_cps import SemanticCpsAnalyzer
+
+    return SemanticCpsAnalyzer
+
+
+def _corpus_workloads(quick: bool, repeat: int, engine: str) -> list[dict]:
     from repro.corpus import PROGRAMS
     from repro.domains.absval import Lattice
     from repro.domains.constprop import ConstPropDomain
 
+    cls = _semantic_class(engine)
     lattice = Lattice(ConstPropDomain())
     names = list(PROGRAMS)
     if quick:
@@ -103,16 +150,16 @@ def _corpus_workloads(quick: bool) -> list[dict]:
             _workload(
                 f"corpus/{name}",
                 "semantic-cps",
-                lambda cache, t=program.term, i=initial: SemanticCpsAnalyzer(
+                lambda cache, t=program.term, i=initial: cls(
                     t, initial=i, loop_mode="top", cache=cache
                 ),
+                repeat,
             )
         )
     return entries
 
 
-def _family_workloads(quick: bool) -> list[dict]:
-    from repro.analysis.semantic_cps import SemanticCpsAnalyzer
+def _family_workloads(quick: bool, repeat: int, engine: str) -> list[dict]:
     from repro.corpus import (
         call_site_chain,
         conditional_chain,
@@ -121,6 +168,7 @@ def _family_workloads(quick: bool) -> list[dict]:
     from repro.domains.absval import Lattice
     from repro.domains.constprop import ConstPropDomain
 
+    cls = _semantic_class(engine)
     lattice = Lattice(ConstPropDomain())
     families = [
         (conditional_chain, 8 if quick else 12),
@@ -135,19 +183,24 @@ def _family_workloads(quick: bool) -> list[dict]:
             _workload(
                 f"family/{program.name}",
                 "semantic-cps",
-                lambda cache, t=program.term, i=initial: SemanticCpsAnalyzer(
+                lambda cache, t=program.term, i=initial: cls(
                     t, initial=i, cache=cache
                 ),
+                repeat,
             )
         )
     return entries
 
 
-def _polyvariant_workloads(quick: bool) -> list[dict]:
-    from repro.analysis.polyvariant import PolyvariantDirectAnalyzer
+def _polyvariant_workloads(quick: bool, repeat: int, engine: str) -> list[dict]:
     from repro.corpus import PROGRAMS
     from repro.domains.absval import Lattice
     from repro.domains.constprop import ConstPropDomain
+
+    if engine == "plan":
+        from repro.analysis.engine import PolyvariantPlanAnalyzer as cls
+    else:
+        from repro.analysis.polyvariant import PolyvariantDirectAnalyzer as cls
 
     lattice = Lattice(ConstPropDomain())
     names = ("factorial",) if quick else ("factorial", "even-odd", "mini-evaluator")
@@ -159,15 +212,145 @@ def _polyvariant_workloads(quick: bool) -> list[dict]:
             _workload(
                 f"polyvariant/{name}",
                 "direct-kcfa",
-                lambda cache, t=program.term, i=initial: PolyvariantDirectAnalyzer(
+                lambda cache, t=program.term, i=initial: cls(
                     t, initial=i, cache=cache
                 ),
+                repeat,
             )
         )
     return entries
 
 
-def _survey_section(quick: bool) -> dict:
+def _engine_row(
+    name: str,
+    analyzer_name: str,
+    mk_tree: Callable[[], Any],
+    mk_plan: Callable[[], Any],
+    compile_plan: Callable[[], Any],
+    repeat: int,
+) -> dict:
+    """One plan-vs-tree comparison: tree wall time vs plan run time,
+    with the one-time (cache-amortized) plan compile cost reported
+    separately."""
+    tree_an, tree_res, tree_wall = _timed(mk_tree, repeat)
+    compile_s = _min_seconds(compile_plan, repeat)
+    plan_an, plan_res, plan_run = _timed(mk_plan, repeat)
+    return {
+        "name": name,
+        "analyzer": analyzer_name,
+        "tree": {"wall_s": tree_wall, "visits": tree_an.stats.visits},
+        "plan": {
+            "compile_s": compile_s,
+            "run_s": plan_run,
+            "visits": plan_an.stats.visits,
+        },
+        "speedup": tree_wall / plan_run if plan_run > 0 else 0.0,
+        "answers_equal": _answer_of(tree_res) == _answer_of(plan_res),
+    }
+
+
+def _engine_workloads(quick: bool, repeat: int) -> list[dict]:
+    from repro.analysis.delta import delta_store
+    from repro.analysis.direct import DirectAnalyzer
+    from repro.analysis.engine import (
+        DirectPlanAnalyzer,
+        PolyvariantPlanAnalyzer,
+        SemanticCpsPlanAnalyzer,
+        SyntacticCpsPlanAnalyzer,
+    )
+    from repro.analysis.polyvariant import PolyvariantDirectAnalyzer
+    from repro.analysis.semantic_cps import SemanticCpsAnalyzer
+    from repro.analysis.syntactic_cps import SyntacticCpsAnalyzer
+    from repro.corpus import PROGRAMS, top_conditional_chain
+    from repro.cps import cps_transform
+    from repro.domains.absval import Lattice
+    from repro.domains.constprop import ConstPropDomain
+    from repro.domains.store import AbsStore
+    from repro.machine.absplan import compile_anf_plan, compile_cps_plan
+
+    lattice = Lattice(ConstPropDomain())
+    rows = []
+
+    # The two large ("ackermann-class") headline workloads first: the
+    # exponential top-conditional family and the heavy recursive
+    # corpus program, both under the semantic-CPS analyzer.
+    tcc = top_conditional_chain(12 if quick else 16)
+    tcc_init = tcc.initial_for(lattice)
+    rows.append(
+        _engine_row(
+            f"engine/{tcc.name}",
+            "semantic-cps",
+            lambda: SemanticCpsAnalyzer(tcc.term, initial=tcc_init),
+            lambda: SemanticCpsPlanAnalyzer(tcc.term, initial=tcc_init),
+            lambda: compile_anf_plan(tcc.term),
+            repeat,
+        )
+    )
+    ack = PROGRAMS["ackermann"]
+    ack_init = ack.initial_for(lattice)
+    rows.append(
+        _engine_row(
+            "engine/ackermann",
+            "semantic-cps",
+            lambda: SemanticCpsAnalyzer(
+                ack.term, initial=ack_init, loop_mode="top"
+            ),
+            lambda: SemanticCpsPlanAnalyzer(
+                ack.term, initial=ack_init, loop_mode="top"
+            ),
+            lambda: compile_anf_plan(ack.term),
+            repeat,
+        )
+    )
+    # Coverage rows: the remaining engines on small workloads.
+    rows.append(
+        _engine_row(
+            "engine/ackermann",
+            "direct",
+            lambda: DirectAnalyzer(ack.term, initial=ack_init),
+            lambda: DirectPlanAnalyzer(ack.term, initial=ack_init),
+            lambda: compile_anf_plan(ack.term),
+            repeat,
+        )
+    )
+    fact = PROGRAMS["factorial"]
+    fact_init = fact.initial_for(lattice)
+    fact_cps = cps_transform(fact.term)
+    fact_cps_init = dict(
+        delta_store(AbsStore(lattice, fact_init)).items()
+    )
+    rows.append(
+        _engine_row(
+            "engine/factorial",
+            "syntactic-cps",
+            lambda: SyntacticCpsAnalyzer(
+                fact_cps, initial=fact_cps_init, loop_mode="top"
+            ),
+            lambda: SyntacticCpsPlanAnalyzer(
+                fact_cps, initial=fact_cps_init, loop_mode="top"
+            ),
+            lambda: compile_cps_plan(fact_cps),
+            repeat,
+        )
+    )
+    rows.append(
+        _engine_row(
+            "engine/factorial",
+            "direct-kcfa",
+            lambda: PolyvariantDirectAnalyzer(
+                fact.term, k=1, initial=fact_init
+            ),
+            lambda: PolyvariantPlanAnalyzer(
+                fact.term, k=1, initial=fact_init
+            ),
+            lambda: compile_anf_plan(fact.term),
+            repeat,
+        )
+    )
+    return rows
+
+
+def _survey_section(quick: bool, engine: str) -> dict:
     from repro.survey import survey_random_open
 
     count = 20 if quick else 200
@@ -176,7 +359,9 @@ def _survey_section(quick: bool) -> dict:
     results = {}
     for jobs in (1, 4):
         start = time.perf_counter()
-        results[jobs] = survey_random_open(count=count, depth=depth, jobs=jobs)
+        results[jobs] = survey_random_open(
+            count=count, depth=depth, jobs=jobs, engine=engine
+        )
         timings[str(jobs)] = time.perf_counter() - start
     serial, parallel = results[1], results[4]
     matches = (
@@ -198,18 +383,34 @@ def _survey_section(quick: bool) -> dict:
     }
 
 
-def run_bench(quick: bool = False, out: str | None = None) -> dict:
-    """Run the benchmark; optionally write the JSON payload to ``out``."""
+def run_bench(
+    quick: bool = False,
+    out: str | None = None,
+    repeat: int = 5,
+    engine: str = "tree",
+) -> dict:
+    """Run the benchmark; optionally write the JSON payload to ``out``.
+
+    ``repeat`` is the min-of-N repetition count; ``engine`` selects
+    the analyzer engine for the cache-comparison workloads (the
+    ``engine`` section always measures both engines).
+    """
+    from repro.analysis.engine import check_engine
+
+    check_engine(engine)
     payload = {
         "schema": SCHEMA,
         "quick": quick,
+        "repeat": max(1, repeat),
+        "engine_mode": engine,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "workloads": (
-            _corpus_workloads(quick)
-            + _family_workloads(quick)
-            + _polyvariant_workloads(quick)
+            _corpus_workloads(quick, repeat, engine)
+            + _family_workloads(quick, repeat, engine)
+            + _polyvariant_workloads(quick, repeat, engine)
         ),
-        "survey": _survey_section(quick),
+        "engine": _engine_workloads(quick, repeat),
+        "survey": _survey_section(quick, engine),
     }
     validate_bench(payload)
     if out is not None:
@@ -221,7 +422,8 @@ def run_bench(quick: bool = False, out: str | None = None) -> dict:
 
 def validate_bench(payload: Any) -> None:
     """Raise ``ValueError`` if ``payload`` is not a well-formed bench
-    result or if any workload's cached answer diverged."""
+    result or if any workload's cached (or compiled-plan) answer
+    diverged from the reference run."""
     if not isinstance(payload, dict):
         raise ValueError("bench payload must be a JSON object")
     if payload.get("schema") != SCHEMA:
@@ -248,6 +450,27 @@ def validate_bench(payload: Any) -> None:
         if entry["answers_equal"] is not True:
             raise ValueError(
                 f"workload {entry['name']!r}: cached answer diverged from uncached"
+            )
+    engine_rows = payload.get("engine")
+    if not isinstance(engine_rows, list) or not engine_rows:
+        raise ValueError("bench payload must carry a non-empty engine section")
+    for entry in engine_rows:
+        for field in ("name", "analyzer", "tree", "plan", "speedup", "answers_equal"):
+            if field not in entry:
+                raise ValueError(f"engine row missing field {field!r}: {entry!r}")
+        for field in _ENGINE_TREE_FIELDS:
+            if field not in entry["tree"]:
+                raise ValueError(
+                    f"engine row {entry['name']!r} tree run missing {field!r}"
+                )
+        for field in _ENGINE_PLAN_FIELDS:
+            if field not in entry["plan"]:
+                raise ValueError(
+                    f"engine row {entry['name']!r} plan run missing {field!r}"
+                )
+        if entry["answers_equal"] is not True:
+            raise ValueError(
+                f"engine row {entry['name']!r}: plan answer diverged from tree"
             )
     survey = payload.get("survey")
     if not isinstance(survey, dict) or "wall_s_by_jobs" not in survey:
@@ -277,6 +500,19 @@ def summarize(payload: dict) -> str:
             f"{cached['wall_s']:>9.4f}s "
             f"{entry['speedup']:>7.1f}x "
             f"{cached['eval_cache_hit_rate']:>8.1%}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'plan vs tree':38} {'tree':>10} {'compile':>10} {'run':>10} {'speedup':>8}"
+    )
+    for entry in payload["engine"]:
+        plan = entry["plan"]
+        lines.append(
+            f"{entry['name'] + ' [' + entry['analyzer'] + ']':38} "
+            f"{entry['tree']['wall_s']:>9.4f}s "
+            f"{plan['compile_s']:>9.4f}s "
+            f"{plan['run_s']:>9.4f}s "
+            f"{entry['speedup']:>7.1f}x"
         )
     survey = payload["survey"]
     per_jobs = ", ".join(

@@ -120,7 +120,11 @@ class PerfStats:
 
 def _store_bytes(store: AbsStore) -> int:
     """Shallow size estimate of one duplicate store."""
-    return sys.getsizeof(store) + sys.getsizeof(store._table)
+    table = getattr(store, "_table", None)
+    if table is None:
+        # Slot-addressed stores keep their entries in a flat tuple.
+        table = store.vals
+    return sys.getsizeof(store) + sys.getsizeof(table)
 
 
 class Interner:

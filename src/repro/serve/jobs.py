@@ -61,14 +61,23 @@ DOMAINS = {
 ANALYZERS = ("direct", "semantic-cps", "syntactic-cps", "polyvariant")
 INTERPRETERS = ("direct", "semantic", "syntactic")
 LOOP_MODES = ("reject", "top", "unroll")
+ENGINES = ("tree", "plan")
 
 _COMMON_FIELDS = {"program", "corpus", "domain", "assume", "debug_sleep_ms"}
 _FIELDS_BY_KIND = {
     "analyze": _COMMON_FIELDS
-    | {"analyzer", "k", "loop_mode", "unroll_bound", "max_visits", "cache"},
+    | {
+        "analyzer",
+        "k",
+        "loop_mode",
+        "unroll_bound",
+        "max_visits",
+        "cache",
+        "engine",
+    },
     "run": _COMMON_FIELDS | {"interpreter", "fuel"},
     "compare": _COMMON_FIELDS
-    | {"loop_mode", "unroll_bound", "max_visits", "cache"},
+    | {"loop_mode", "unroll_bound", "max_visits", "cache", "engine"},
     "lint": _COMMON_FIELDS
     | {
         "analyzer",
@@ -257,6 +266,10 @@ def prepare_request(
         cache = payload.get("cache", False)
         _require(isinstance(cache, bool), "'cache' must be a boolean")
         spec["cache"] = cache
+        # The engine is semantically invisible (differentially tested)
+        # but still part of the cache key, so a differential client can
+        # force both implementations to actually run.
+        spec["engine"] = _resolve_enum(payload, "engine", ENGINES, "tree")
     if kind == "analyze":
         spec["analyzer"] = _resolve_enum(
             payload, "analyzer", ANALYZERS, "direct"
@@ -359,6 +372,7 @@ def _execute_analyze(
         trace=trace,
         metrics=metrics,
         cache=True if spec["cache"] else None,
+        engine=spec["engine"],
     )
     deadline.check()
     if analyzer == "direct":
@@ -499,6 +513,7 @@ def _execute_compare(
         trace=trace,
         metrics=metrics,
         cache=True if spec["cache"] else None,
+        engine=spec["engine"],
     )
     deadline.check()
     return {

@@ -274,9 +274,12 @@ class AnalysisService:
 
     def metricsz(self) -> dict:
         """The ``/metricsz`` body."""
+        from repro.machine.absplan import PLAN_CACHE
+
         return {
             "metrics": self.metrics.snapshot(),
             "cache": self.cache.snapshot(),
+            "plan_cache": PLAN_CACHE.snapshot(),
             "queue": {
                 "depth": self.pool.queue_depth,
                 "inflight": self.pool.inflight,

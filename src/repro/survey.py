@@ -139,20 +139,22 @@ class SurveyResult:
 
 
 def _survey_corpus_worker(args: tuple) -> "SurveyRow | None":
-    name, budget = args
+    name, budget, engine = args
     try:
         return SurveyRow.from_report(
-            run_three_way(PROGRAMS[name], max_visits=budget)
+            run_three_way(PROGRAMS[name], max_visits=budget, engine=engine)
         )
     except BudgetExceeded:
         return None
 
 
 def _survey_random_worker(args: tuple) -> "SurveyRow | None":
-    seed, depth, budget = args
+    seed, depth, budget, engine = args
     term = normalize(random_program(seed, depth))
     try:
-        return SurveyRow.from_report(run_three_way(term, max_visits=budget))
+        return SurveyRow.from_report(
+            run_three_way(term, max_visits=budget, engine=engine)
+        )
     except BudgetExceeded:
         return None
 
@@ -160,7 +162,7 @@ def _survey_random_worker(args: tuple) -> "SurveyRow | None":
 def _survey_random_open_worker(args: tuple) -> "SurveyRow | None":
     import random as _random
 
-    seed, depth, inputs, budget = args
+    seed, depth, inputs, budget, engine = args
     domain = ConstPropDomain()
     lattice = Lattice(domain)
     term = normalize(random_open_term(_random.Random(seed), depth, inputs))
@@ -170,7 +172,11 @@ def _survey_random_open_worker(args: tuple) -> "SurveyRow | None":
     try:
         return SurveyRow.from_report(
             run_three_way(
-                term, domain=domain, initial=initial, max_visits=budget
+                term,
+                domain=domain,
+                initial=initial,
+                max_visits=budget,
+                engine=engine,
             )
         )
     except BudgetExceeded:
@@ -190,6 +196,7 @@ def survey_programs(
     domain: NumDomain | None = None,
     budget: int = DEFAULT_BUDGET,
     jobs: int | None = None,
+    engine: str = "tree",
 ) -> SurveyResult:
     """Survey an iterable of corpus programs.
 
@@ -203,7 +210,7 @@ def survey_programs(
     if effective_jobs(jobs, len(programs)) > 1 and domain is None and registry:
         rows = parallel_map(
             _survey_corpus_worker,
-            [(p.name, budget) for p in programs],
+            [(p.name, budget, engine) for p in programs],
             jobs=jobs,
         )
         return _fold(population, rows)
@@ -211,7 +218,9 @@ def survey_programs(
     def row_of(program: CorpusProgram) -> "SurveyRow | None":
         try:
             return SurveyRow.from_report(
-                run_three_way(program, domain=domain, max_visits=budget)
+                run_three_way(
+                    program, domain=domain, max_visits=budget, engine=engine
+                )
             )
         except BudgetExceeded:
             return None
@@ -223,10 +232,11 @@ def survey_corpus(
     domain: NumDomain | None = None,
     budget: int = DEFAULT_BUDGET,
     jobs: int | None = None,
+    engine: str = "tree",
 ) -> SurveyResult:
     """Survey the built-in corpus."""
     return survey_programs(
-        PROGRAMS.values(), "corpus", domain, budget, jobs=jobs
+        PROGRAMS.values(), "corpus", domain, budget, jobs=jobs, engine=engine
     )
 
 
@@ -237,6 +247,7 @@ def survey_random(
     domain: NumDomain | None = None,
     budget: int = DEFAULT_BUDGET,
     jobs: int | None = None,
+    engine: str = "tree",
 ) -> SurveyResult:
     """Survey ``count`` seeded random closed programs.
 
@@ -250,7 +261,7 @@ def survey_random(
     if effective_jobs(jobs, count) > 1 and domain is None:
         rows = parallel_map(
             _survey_random_worker,
-            [(seed, depth, budget) for seed in seeds],
+            [(seed, depth, budget, engine) for seed in seeds],
             jobs=jobs,
         )
         return _fold(population, rows)
@@ -259,7 +270,9 @@ def survey_random(
         term = normalize(random_program(seed, depth))
         try:
             return SurveyRow.from_report(
-                run_three_way(term, domain=domain, max_visits=budget)
+                run_three_way(
+                    term, domain=domain, max_visits=budget, engine=engine
+                )
             )
         except BudgetExceeded:
             return None
@@ -275,6 +288,7 @@ def survey_random_open(
     budget: int = DEFAULT_BUDGET,
     inputs: tuple[str, ...] = ("in0", "in1"),
     jobs: int | None = None,
+    engine: str = "tree",
 ) -> SurveyResult:
     """Survey random programs with unknown numeric inputs.
 
@@ -289,7 +303,7 @@ def survey_random_open(
     if effective_jobs(jobs, count) > 1 and domain is None:
         rows = parallel_map(
             _survey_random_open_worker,
-            [(seed, depth, inputs, budget) for seed in seeds],
+            [(seed, depth, inputs, budget, engine) for seed in seeds],
             jobs=jobs,
         )
         return _fold(population, rows)
@@ -308,7 +322,11 @@ def survey_random_open(
         try:
             return SurveyRow.from_report(
                 run_three_way(
-                    term, domain=domain, initial=initial, max_visits=budget
+                    term,
+                    domain=domain,
+                    initial=initial,
+                    max_visits=budget,
+                    engine=engine,
                 )
             )
         except BudgetExceeded:

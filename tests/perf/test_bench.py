@@ -13,6 +13,7 @@ import pytest
 
 from repro.perf.bench import (
     SCHEMA,
+    _engine_row,
     _workload,
     summarize,
     validate_bench,
@@ -22,9 +23,11 @@ from repro.perf.bench import (
 
 def make_payload() -> dict:
     """A minimal well-formed bench payload (one real tiny workload)."""
+    from repro.analysis.engine import SemanticCpsPlanAnalyzer
     from repro.analysis.semantic_cps import SemanticCpsAnalyzer
     from repro.corpus import PROGRAMS
     from repro.domains import ConstPropDomain, Lattice
+    from repro.machine.absplan import compile_anf_plan
 
     program = PROGRAMS["constants"]
     initial = program.initial_for(Lattice(ConstPropDomain()))
@@ -34,12 +37,24 @@ def make_payload() -> dict:
         lambda cache: SemanticCpsAnalyzer(
             program.term, initial=initial, cache=cache
         ),
+        repeat=2,
+    )
+    engine_entry = _engine_row(
+        "engine/constants",
+        "semantic-cps",
+        lambda: SemanticCpsAnalyzer(program.term, initial=initial),
+        lambda: SemanticCpsPlanAnalyzer(program.term, initial=initial),
+        lambda: compile_anf_plan(program.term),
+        repeat=2,
     )
     return {
         "schema": SCHEMA,
         "quick": True,
+        "repeat": 2,
+        "engine_mode": "tree",
         "generated_at": "2026-01-01T00:00:00Z",
         "workloads": [entry],
+        "engine": [engine_entry],
         "survey": {
             "population": "random-open",
             "count": 1,
@@ -94,6 +109,24 @@ class TestValidate:
         with pytest.raises(ValueError, match="survey"):
             validate_bench(payload)
 
+    def test_missing_engine_section_rejected(self):
+        payload = make_payload()
+        del payload["engine"]
+        with pytest.raises(ValueError, match="engine section"):
+            validate_bench(payload)
+
+    def test_engine_divergence_rejected(self):
+        payload = make_payload()
+        payload["engine"][0]["answers_equal"] = False
+        with pytest.raises(ValueError, match="plan answer diverged"):
+            validate_bench(payload)
+
+    def test_engine_missing_plan_field_rejected(self):
+        payload = make_payload()
+        del payload["engine"][0]["plan"]["compile_s"]
+        with pytest.raises(ValueError, match="compile_s"):
+            validate_bench(payload)
+
 
 class TestRoundTrip:
     def test_payload_is_json_round_trippable(self, tmp_path):
@@ -115,6 +148,7 @@ class TestRoundTrip:
         payload = make_payload()
         text = summarize(payload)
         assert "corpus/constants" in text
+        assert "engine/constants" in text
         assert "survey" in text
 
     def test_workload_answers_equal(self):
