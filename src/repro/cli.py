@@ -717,6 +717,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine for the cache-comparison workloads (the "
         "plan-vs-tree section always measures both)",
     )
+    bench_parser.add_argument(
+        "--timestamp",
+        default=None,
+        metavar="ISO8601",
+        help="generated_at stamp recorded in the payload "
+        "(default: current UTC time)",
+    )
     bench_parser.set_defaults(handler=_cmd_bench)
 
     compile_parser = commands.add_parser(
@@ -823,6 +830,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL repro.obs trace sink (flushed on drain)",
     )
     serve_parser.add_argument(
+        "--access-log",
+        metavar="FILE",
+        help="JSONL access log: one record per POST (flushed on drain)",
+    )
+    serve_parser.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="capture full span traces for requests at least this "
+        "slow (0 captures every request)",
+    )
+    serve_parser.add_argument(
         "--debug-hooks",
         action="store_true",
         help="honor the debug_sleep_ms request field (tests/smoke only)",
@@ -890,7 +910,91 @@ def build_parser() -> argparse.ArgumentParser:
     request_parser.add_argument(
         "--timeout", type=float, default=60.0, help="HTTP timeout seconds"
     )
+    request_parser.add_argument(
+        "--server-timing",
+        action="store_true",
+        help="ask the server to embed its stage breakdown "
+        "(queue wait, plan compile, analyze, serialize) in the body",
+    )
     request_parser.set_defaults(handler=_cmd_request)
+
+    loadgen_parser = commands.add_parser(
+        "loadgen",
+        help="drive a repro serve instance and write BENCH_serve.json",
+    )
+    loadgen_parser.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running server (default: spawn a private "
+        "one on an ephemeral port and tear it down afterwards)",
+    )
+    loadgen_parser.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed: workers fire back-to-back (saturation); open: "
+        "fixed arrival rate, latency charged from scheduled arrival",
+    )
+    loadgen_parser.add_argument(
+        "--mix",
+        choices=("corpus", "unique"),
+        default="corpus",
+        help="corpus: cache-friendly route mix; unique: every request "
+        "misses the result cache",
+    )
+    loadgen_parser.add_argument(
+        "--replay",
+        metavar="LOG",
+        help="replay the request payloads of a JSONL access log "
+        "instead of a synthetic mix",
+    )
+    loadgen_parser.add_argument(
+        "--concurrency", type=int, default=4, help="worker threads"
+    )
+    loadgen_parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="closed loop: stop after N requests",
+    )
+    loadgen_parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this long (closed default: 10s)",
+    )
+    loadgen_parser.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        help="open loop: arrivals per second",
+    )
+    loadgen_parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker pool size for a spawned server",
+    )
+    loadgen_parser.add_argument(
+        "--out",
+        default="BENCH_serve.json",
+        metavar="FILE",
+        help="output JSON path (default: BENCH_serve.json)",
+    )
+    loadgen_parser.add_argument(
+        "--timestamp",
+        default=None,
+        metavar="ISO8601",
+        help="generated_at stamp recorded in the payload",
+    )
+    loadgen_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small closed-loop run (CI smoke)",
+    )
+    loadgen_parser.set_defaults(handler=_cmd_loadgen)
     return parser
 
 
@@ -1034,6 +1138,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             out=args.out,
             repeat=args.repeat,
             engine=args.engine,
+            generated_at=args.timestamp,
         )
     except ValueError as exc:
         print(f"bench FAILED: {exc}", file=sys.stderr)
@@ -1071,21 +1176,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace = JsonlSink(args.trace) if args.trace else null_sink
     except OSError as exc:
         raise SystemExit(f"cannot open trace output: {exc}")
-    service = AnalysisService(
-        host=args.host,
-        port=args.port,
-        workers=args.workers,
-        queue_size=args.queue_size,
-        cache_size=args.cache_size,
-        defaults=ServiceDefaults(
-            max_visits=args.max_visits,
-            fuel=args.fuel,
-            timeout_seconds=args.timeout,
-            debug_hooks=args.debug_hooks,
-        ),
-        trace=trace,
-        verbose=args.verbose,
-    )
+    try:
+        service = AnalysisService(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            cache_size=args.cache_size,
+            defaults=ServiceDefaults(
+                max_visits=args.max_visits,
+                fuel=args.fuel,
+                timeout_seconds=args.timeout,
+                debug_hooks=args.debug_hooks,
+            ),
+            trace=trace,
+            verbose=args.verbose,
+            access_log=args.access_log,
+            slow_threshold_s=args.slow_threshold,
+        )
+    except OSError as exc:
+        raise SystemExit(f"cannot start service: {exc}")
     print(f"listening on {service.url}", file=sys.stderr, flush=True)
     code = service.run_until_signal()
     print("drained; bye", file=sys.stderr, flush=True)
@@ -1126,6 +1236,8 @@ def _cmd_request(args: argparse.Namespace) -> int:
             payload[name] = value
     if args.cache:
         payload["cache"] = True
+    if args.server_timing:
+        payload["server_timing"] = True
     try:
         if args.endpoint == "health":
             body = client.healthz()
@@ -1143,6 +1255,32 @@ def _cmd_request(args: argparse.Namespace) -> int:
         print(f"repro request: {exc.code}: {exc}", file=sys.stderr)
         return exc.exit_code
     print(json.dumps(body, indent=2, ensure_ascii=False))
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import run_loadgen, summarize
+
+    try:
+        payload = run_loadgen(
+            args.url,
+            mode=args.mode,
+            mix=args.mix,
+            replay=args.replay,
+            concurrency=args.concurrency,
+            total=args.requests,
+            duration_s=args.duration,
+            rate=args.rate,
+            workers=args.workers,
+            out=args.out,
+            generated_at=args.timestamp,
+            quick=args.quick,
+        )
+    except (ValueError, RuntimeError, OSError) as exc:
+        print(f"loadgen FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(summarize(payload))
+    print(f"wrote {args.out}", file=sys.stderr)
     return 0
 
 

@@ -713,7 +713,12 @@ class PlanCache:
                 self.hits += 1
                 return plan
             self.misses += 1
-        plan = compile_fn(key[1])
+        # A trace-context span (no-op outside an active request trace)
+        # so `server_timing` can attribute the one-time compile cost.
+        from repro.obs.trace import span as trace_span
+
+        with trace_span("plan.compile", kind=key[0]):
+            plan = compile_fn(key[1])
         with self._lock:
             existing = self._plans.get(key)
             if existing is not None:

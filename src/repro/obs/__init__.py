@@ -14,8 +14,16 @@ counter.  This subsystem provides:
   when the sink is disabled), `JsonlSink` (one JSON object per line),
   and `RecordingSink` (in-memory, for tests and ad-hoc inspection);
 - a metrics registry (:mod:`repro.obs.metrics`): counters, gauges,
-  histograms, and `span()` timing contexts built on
-  ``time.perf_counter``, with a ``snapshot()`` → dict API.
+  log-bucketed histograms with ``quantile(q)`` tail estimates, and
+  `span()` timing contexts built on ``time.perf_counter``, with a
+  ``snapshot()`` → dict API and Prometheus text exposition
+  (``to_prometheus()``); every instrument is lock-guarded for the
+  serve layer's handler threads;
+- request-scoped span tracing (:mod:`repro.obs.trace`): a
+  `contextvars`-based trace context (W3C-style ``trace_id`` /
+  ``span_id`` / parent), a ``span()`` API that is a shared no-op when
+  no trace is active, ``activate()`` for carrying a context across
+  thread boundaries, and ``traceparent`` header parsing/formatting.
 
 Every interpreter (:mod:`repro.interp`), analyzer
 (:mod:`repro.analysis`), and classical solver (:mod:`repro.dataflow`)
@@ -47,6 +55,20 @@ from repro.obs.sinks import (
     RecordingSink,
     Sink,
 )
+from repro.obs.trace import (
+    NOOP_SPAN,
+    RequestTrace,
+    SpanRecord,
+    TraceContext,
+    activate,
+    begin_trace,
+    current,
+    current_trace_id,
+    format_traceparent,
+    parse_traceparent,
+    record_span,
+    span,
+)
 
 __all__ = [
     "TraceEvent",
@@ -68,4 +90,16 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "NOOP_SPAN",
+    "RequestTrace",
+    "SpanRecord",
+    "TraceContext",
+    "activate",
+    "begin_trace",
+    "current",
+    "current_trace_id",
+    "format_traceparent",
+    "parse_traceparent",
+    "record_span",
+    "span",
 ]

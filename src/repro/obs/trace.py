@@ -1,0 +1,307 @@
+"""Request-scoped span tracing (`repro.obs` v2).
+
+A *trace* is one logical request; a *span* is one timed region inside
+it (queue wait, plan compile, analyzer run, serialization).  The
+current trace context travels in a `contextvars.ContextVar`, so
+nested ``span()`` calls build a parent/child tree without threading
+any handle through signatures — and `activate()` carries the context
+across explicit thread boundaries (the serve worker pool).
+
+Identifiers follow the W3C ``traceparent`` shape: a 32-hex trace id
+and 16-hex span ids, accepted and emitted as
+``00-<trace_id>-<span_id>-01`` by the HTTP layer
+(`parse_traceparent` / `format_traceparent`).
+
+The cardinal `repro.obs` rule carries over: with no active trace —
+the library default — ``span()`` returns one shared no-op object and
+allocates nothing, so instrumented hot paths cost nothing when nobody
+is collecting (test-enforced next to the `NullSink` overhead test).
+
+Typical service-side use::
+
+    ctx = begin_trace(request_headers.get("traceparent"))
+    with activate(ctx):
+        with span("request", route="/v1/analyze") as root:
+            ...
+            with span("analyze", analyzer="direct"):
+                ...
+    ctx.trace.spans()   # -> [SpanRecord, ...], all sharing ctx.trace_id
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex (128-bit) trace id."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex (64-bit) span id."""
+    return os.urandom(8).hex()
+
+
+def parse_traceparent(header: str | None) -> tuple[str, str] | None:
+    """Extract ``(trace_id, span_id)`` from a ``traceparent`` header.
+
+    Accepts the W3C version-00 shape ``00-<32hex>-<16hex>-<2hex>``;
+    anything malformed (including all-zero ids) returns None and the
+    caller starts a fresh trace.
+    """
+    if not header:
+        return None
+    parts = header.strip().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, _flags = parts
+    if version != "00":
+        return None
+    if len(trace_id) != 32 or len(span_id) != 16:
+        return None
+    try:
+        int(trace_id, 16)
+        int(span_id, 16)
+    except ValueError:
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return trace_id, span_id
+
+
+def format_traceparent(trace_id: str, span_id: str) -> str:
+    """The ``traceparent`` header value for a trace/span pair."""
+    return f"00-{trace_id}-{span_id}-01"
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: identity, timing, and free-form attributes.
+
+    ``start`` is wall-clock epoch seconds (for logs); ``duration_s``
+    comes from ``time.perf_counter`` (for arithmetic).
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start: float
+    duration_s: float
+    attrs: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """The JSONL wire shape (attrs nested to avoid collisions)."""
+        record = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration_s": self.duration_s,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+
+class RequestTrace:
+    """The span collector for one trace.  Thread-safe: handler and
+    worker threads append concurrently."""
+
+    __slots__ = ("trace_id", "_spans", "_lock")
+
+    def __init__(self, trace_id: str | None = None) -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self._spans: list[SpanRecord] = []
+        self._lock = threading.Lock()
+
+    def add(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._spans.append(record)
+
+    def spans(self) -> list[SpanRecord]:
+        """A snapshot of the spans recorded so far."""
+        with self._lock:
+            return list(self._spans)
+
+    def as_dicts(self) -> list[dict]:
+        """JSON-ready span records (the slow-request log shape)."""
+        return [record.as_dict() for record in self.spans()]
+
+    def duration_of(self, name: str) -> float | None:
+        """Total seconds spent in spans called ``name`` (None if the
+        span never fired — distinct from a measured 0.0)."""
+        matched = [s.duration_s for s in self.spans() if s.name == name]
+        if not matched:
+            return None
+        return sum(matched)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """An activatable position inside a trace: the collector plus the
+    span id that new child spans attach under (None at the root of a
+    locally started trace)."""
+
+    trace: RequestTrace
+    span_id: str | None = None
+
+    @property
+    def trace_id(self) -> str:
+        return self.trace.trace_id
+
+
+_ACTIVE: ContextVar[TraceContext | None] = ContextVar(
+    "repro_obs_trace", default=None
+)
+
+
+def current() -> TraceContext | None:
+    """The active trace context, or None (tracing disabled)."""
+    return _ACTIVE.get()
+
+
+def current_trace_id() -> str | None:
+    """The active trace id, or None."""
+    ctx = _ACTIVE.get()
+    return ctx.trace_id if ctx is not None else None
+
+
+def begin_trace(traceparent: str | None = None) -> TraceContext:
+    """A new trace context, continuing the caller's trace when a valid
+    ``traceparent`` header is given (their span becomes our parent)."""
+    parsed = parse_traceparent(traceparent)
+    if parsed is None:
+        return TraceContext(RequestTrace())
+    trace_id, parent_span_id = parsed
+    return TraceContext(RequestTrace(trace_id), parent_span_id)
+
+
+@contextmanager
+def activate(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Make ``ctx`` the active context for the block.
+
+    This is the thread-boundary hand-off: capture ``current()`` on the
+    submitting thread, pass it with the job, and ``activate`` it on
+    the worker thread so spans land in the same `RequestTrace`.
+    """
+    token = _ACTIVE.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _ACTIVE.reset(token)
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned when no trace is active.
+
+    Stateless, so one instance serves every disabled call site — the
+    disabled path allocates nothing (the span analogue of `NullSink`).
+    """
+
+    __slots__ = ()
+
+    span_id = None
+    trace_id = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """A live span: times the block, records a `SpanRecord` on exit,
+    and makes itself the parent of spans opened inside the block."""
+
+    __slots__ = (
+        "_ctx", "_token", "_start", "name", "attrs",
+        "span_id", "parent_id", "start",
+    )
+
+    def __init__(self, ctx: TraceContext, name: str, attrs: dict) -> None:
+        self._ctx = ctx
+        self.name = name
+        self.attrs = attrs
+        self.span_id = new_span_id()
+        self.parent_id = ctx.span_id
+
+    @property
+    def trace_id(self) -> str:
+        return self._ctx.trace_id
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (e.g. cache status)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._token = _ACTIVE.set(
+            TraceContext(self._ctx.trace, self.span_id)
+        )
+        self.start = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        duration = time.perf_counter() - self._start
+        _ACTIVE.reset(self._token)
+        self._ctx.trace.add(
+            SpanRecord(
+                name=self.name,
+                trace_id=self._ctx.trace_id,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                start=self.start,
+                duration_s=duration,
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+def span(name: str, **attrs):
+    """A timed span under the active trace (or the shared no-op).
+
+    Exceptions propagate but the span is still recorded — aborted work
+    is work too, and a slow-request capture of a failing request is
+    exactly when the timing matters.
+    """
+    ctx = _ACTIVE.get()
+    if ctx is None:
+        return NOOP_SPAN
+    return Span(ctx, name, attrs)
+
+
+def record_span(name: str, duration_s: float, **attrs) -> SpanRecord | None:
+    """Record an already-measured duration as a span (e.g. queue wait,
+    whose start and end happen on different threads).  No-op without
+    an active trace."""
+    ctx = _ACTIVE.get()
+    if ctx is None:
+        return None
+    record = SpanRecord(
+        name=name,
+        trace_id=ctx.trace_id,
+        span_id=new_span_id(),
+        parent_id=ctx.span_id,
+        start=time.time() - duration_s,
+        duration_s=duration_s,
+        attrs=attrs,
+    )
+    ctx.trace.add(record)
+    return record

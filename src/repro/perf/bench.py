@@ -33,10 +33,11 @@ Workloads:
 from __future__ import annotations
 
 import json
+import platform
 import time
 from typing import Any, Callable
 
-SCHEMA = "repro.perf.bench/2"
+SCHEMA = "repro.perf.bench/3"
 
 #: Fields every workload entry must carry (validation contract).
 _RUN_FIELDS = ("wall_s", "visits")
@@ -388,12 +389,15 @@ def run_bench(
     out: str | None = None,
     repeat: int = 5,
     engine: str = "tree",
+    generated_at: str | None = None,
 ) -> dict:
     """Run the benchmark; optionally write the JSON payload to ``out``.
 
     ``repeat`` is the min-of-N repetition count; ``engine`` selects
     the analyzer engine for the cache-comparison workloads (the
     ``engine`` section always measures both engines).
+    ``generated_at`` lets the caller (the CLI, CI) stamp the run; the
+    current UTC time is used when omitted.
     """
     from repro.analysis.engine import check_engine
 
@@ -403,7 +407,12 @@ def run_bench(
         "quick": quick,
         "repeat": max(1, repeat),
         "engine_mode": engine,
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "generated_at": generated_at
+        or time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
         "workloads": (
             _corpus_workloads(quick, repeat, engine)
             + _family_workloads(quick, repeat, engine)
@@ -430,6 +439,12 @@ def validate_bench(payload: Any) -> None:
         raise ValueError(
             f"bench schema must be {SCHEMA!r}, got {payload.get('schema')!r}"
         )
+    meta = payload.get("meta")
+    if not isinstance(meta, dict):
+        raise ValueError("bench payload must carry a meta section")
+    for field in ("python", "platform"):
+        if not isinstance(meta.get(field), str):
+            raise ValueError(f"bench meta missing {field!r}")
     workloads = payload.get("workloads")
     if not isinstance(workloads, list) or not workloads:
         raise ValueError("bench payload must carry a non-empty workload list")

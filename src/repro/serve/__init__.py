@@ -13,11 +13,17 @@ analyzers warm in one long-lived process:
   ``POST /v1/compare``, ``GET /healthz``, ``GET /metricsz``;
 - :mod:`repro.serve.client` — a retrying client with exponential
   backoff + jitter on ``overloaded`` and connection errors;
+- :mod:`repro.serve.accesslog` — the JSONL access log (one record per
+  request, trace-id linked, slow requests carry their full spans);
+- :mod:`repro.serve.loadgen` — the closed/open-loop load generator
+  behind ``repro loadgen`` and ``BENCH_serve.json``;
 - :mod:`repro.serve.smoke` — the end-to-end smoke harness CI runs.
 
-See ``docs/SERVICE.md`` for the wire protocol.
+See ``docs/SERVICE.md`` for the wire protocol and
+``docs/OBSERVABILITY.md`` for tracing, the access log, and loadgen.
 """
 
+from repro.serve.accesslog import AccessLog, read_access_log
 from repro.serve.cache import ResultCache
 from repro.serve.client import RetryPolicy, ServiceClient, ServiceError
 from repro.serve.codes import (
@@ -28,10 +34,12 @@ from repro.serve.codes import (
     exit_code_for,
 )
 from repro.serve.jobs import cache_key, execute_request
+from repro.serve.loadgen import run_loadgen, validate_loadgen
 from repro.serve.pool import WorkerPool
 from repro.serve.server import AnalysisService
 
 __all__ = [
+    "AccessLog",
     "AnalysisService",
     "CODES",
     "ErrorCode",
@@ -45,4 +53,7 @@ __all__ = [
     "classify_exception",
     "execute_request",
     "exit_code_for",
+    "read_access_log",
+    "run_loadgen",
+    "validate_loadgen",
 ]

@@ -1,0 +1,167 @@
+"""The JSONL access log: one record per analysis request.
+
+Every ``POST /v1/*`` request that reaches the service's processing
+pipeline produces exactly one line (schema `ACCESS_SCHEMA`,
+``repro.serve.access/1``)::
+
+    {"schema": "repro.serve.access/1", "ts": "2026-08-08T12:00:00Z",
+     "trace_id": "…32hex…", "route": "/v1/analyze", "kind": "analyze",
+     "status": 200, "ok": true, "error": null, "cache": "miss",
+     "analyzer": "direct", "engine": "tree", "domain": "constprop",
+     "corpus": "factorial", "queue_wait_s": 0.0003, "exec_s": 0.0121,
+     "total_s": 0.0134, "request": {…replayable payload…},
+     "spans": [...]}
+
+- ``trace_id`` ties the record to every span the request produced
+  (`repro.obs.trace`); the JSONL trace sink, ``server_timing`` response
+  sections, and this log all agree on it.
+- ``cache`` is ``"hit"`` (served from the cross-request result cache),
+  ``"miss"`` (executed), or ``"bypass"`` (uncacheable request).
+- ``request`` is a replayable request body (`PreparedRequest.
+  replay_payload`), which is what ``repro loadgen --replay`` feeds
+  back; it is null for requests that failed validation.
+- ``spans`` (the *full-trace capture*) appears only when ``total_s``
+  meets the server's slow-request threshold; a threshold of 0 captures
+  every request, None disables capture.
+- ``queue_wait_s``/``exec_s`` are null when the stage never ran (e.g.
+  a cache hit never touches the worker pool).
+
+The writer is lock-guarded (handler threads log concurrently) and
+line-buffered so a crash loses at most the in-flight record.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import IO, Iterable
+
+ACCESS_SCHEMA = "repro.serve.access/1"
+
+#: Keys present in every record (the stable wire contract).
+RECORD_FIELDS = (
+    "schema", "ts", "trace_id", "route", "kind", "status", "ok",
+    "error", "cache", "analyzer", "engine", "domain", "corpus",
+    "queue_wait_s", "exec_s", "total_s", "request",
+)
+
+
+def _utc_now() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+class AccessLog:
+    """A thread-safe JSONL writer of access records.
+
+    ``slow_threshold_s`` gates the full-trace capture: requests whose
+    ``total_s`` is at or above it carry their complete span list (0.0
+    captures everything; None never captures).
+    """
+
+    def __init__(
+        self,
+        target: "str | Path | IO[str]",
+        slow_threshold_s: float | None = 1.0,
+    ) -> None:
+        if isinstance(target, (str, Path)):
+            self._handle: IO[str] = open(
+                target, "w", encoding="utf-8", buffering=1
+            )
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self.slow_threshold_s = slow_threshold_s
+        self.records_written = 0
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        *,
+        trace_id: str | None,
+        route: str,
+        kind: str | None,
+        status: int,
+        error: str | None,
+        cache: str,
+        total_s: float,
+        analyzer: str | None = None,
+        engine: str | None = None,
+        domain: str | None = None,
+        corpus: str | None = None,
+        queue_wait_s: float | None = None,
+        exec_s: float | None = None,
+        request: dict | None = None,
+        spans: list[dict] | None = None,
+    ) -> dict:
+        """Write one record; returns the dict that was written."""
+        entry: dict = {
+            "schema": ACCESS_SCHEMA,
+            "ts": _utc_now(),
+            "trace_id": trace_id,
+            "route": route,
+            "kind": kind,
+            "status": status,
+            "ok": status < 400,
+            "error": error,
+            "cache": cache,
+            "analyzer": analyzer,
+            "engine": engine,
+            "domain": domain,
+            "corpus": corpus,
+            "queue_wait_s": queue_wait_s,
+            "exec_s": exec_s,
+            "total_s": total_s,
+            "request": request,
+        }
+        slow = (
+            self.slow_threshold_s is not None
+            and total_s >= self.slow_threshold_s
+        )
+        if slow and spans is not None:
+            entry["spans"] = spans
+        line = json.dumps(entry, ensure_ascii=False)
+        with self._lock:
+            self._handle.write(line)
+            self._handle.write("\n")
+            self.records_written += 1
+        return entry
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_handle:
+                self._handle.close()
+            else:
+                self._handle.flush()
+
+
+def read_access_log(path: "str | Path") -> Iterable[dict]:
+    """Parse an access log back into record dicts."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def validate_record(record: dict) -> None:
+    """Raise ``ValueError`` on a malformed access record."""
+    if record.get("schema") != ACCESS_SCHEMA:
+        raise ValueError(
+            f"access record schema must be {ACCESS_SCHEMA!r}, "
+            f"got {record.get('schema')!r}"
+        )
+    missing = [field for field in RECORD_FIELDS if field not in record]
+    if missing:
+        raise ValueError(f"access record missing fields: {missing}")
+    spans = record.get("spans")
+    if spans is not None:
+        for span in spans:
+            if span.get("trace_id") != record["trace_id"]:
+                raise ValueError(
+                    "captured span trace_id "
+                    f"{span.get('trace_id')!r} does not match record "
+                    f"trace_id {record['trace_id']!r}"
+                )

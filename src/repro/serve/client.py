@@ -23,6 +23,7 @@ import urllib.request
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs import trace as obs_trace
 from repro.serve.codes import CODES, ServeError
 
 
@@ -98,10 +99,17 @@ class ServiceClient:
             if payload is not None
             else None
         )
+        headers = {"Content-Type": "application/json"}
+        ctx = obs_trace.current()
+        if ctx is not None:
+            # continue the caller's trace server-side
+            headers["traceparent"] = obs_trace.format_traceparent(
+                ctx.trace_id, ctx.span_id or obs_trace.new_span_id()
+            )
         request = urllib.request.Request(
             url,
             data=data,
-            headers={"Content-Type": "application/json"},
+            headers=headers,
             method="POST" if payload is not None else "GET",
         )
         try:

@@ -63,7 +63,10 @@ INTERPRETERS = ("direct", "semantic", "syntactic")
 LOOP_MODES = ("reject", "top", "unroll")
 ENGINES = ("tree", "plan")
 
-_COMMON_FIELDS = {"program", "corpus", "domain", "assume", "debug_sleep_ms"}
+_COMMON_FIELDS = {
+    "program", "corpus", "domain", "assume", "debug_sleep_ms",
+    "server_timing",
+}
 _FIELDS_BY_KIND = {
     "analyze": _COMMON_FIELDS
     | {
@@ -144,11 +147,56 @@ class PreparedRequest:
     spec: dict
     debug_sleep_ms: int = 0
     key: str | None = field(default=None)
+    #: Transport-level option: when True the response body gains a
+    #: per-request ``server_timing`` breakdown and ``trace_id``.  Not
+    #: part of ``spec`` (and hence the cache key): the cached body is
+    #: the timing-free payload and the breakdown is spliced in per
+    #: request, so timing requests share cache entries with plain ones.
+    server_timing: bool = False
 
     @property
     def cacheable(self) -> bool:
         """Debug-hook requests never hit or fill the cache."""
         return self.key is not None
+
+    def replay_payload(self) -> dict:
+        """A request body that reproduces this request exactly.
+
+        Round-trips through `prepare_request` to the same cache key;
+        this is what the access log stores and what ``repro loadgen
+        --replay`` feeds back at a live server.
+        """
+        spec = self.spec
+        payload: dict = {"domain": spec["domain"]}
+        if spec["corpus"] is not None:
+            payload["corpus"] = spec["corpus"]
+        elif self.kind == "lint" and spec.get("source") is not None:
+            # lint findings depend on the program as written, so the
+            # raw source (not the canonical term) must replay.
+            payload["program"] = spec["source"]
+        else:
+            payload["program"] = spec["term"]
+        if spec["assume"]:
+            payload["assume"] = dict(spec["assume"])
+        if self.kind in ("analyze", "compare", "lint"):
+            payload["loop_mode"] = spec["loop_mode"]
+            payload["unroll_bound"] = spec["unroll_bound"]
+            payload["max_visits"] = spec["max_visits"]
+        if self.kind in ("analyze", "compare"):
+            payload["cache"] = spec["cache"]
+            payload["engine"] = spec["engine"]
+        if self.kind == "analyze":
+            payload["analyzer"] = spec["analyzer"]
+            if spec["analyzer"] == "polyvariant":
+                payload["k"] = spec["k"]
+        if self.kind == "lint":
+            payload["analyzer"] = spec["analyzer"]
+            payload["fix"] = spec["fix"]
+            payload["syntactic_only"] = spec["syntactic_only"]
+        if self.kind == "run":
+            payload["interpreter"] = spec["interpreter"]
+            payload["fuel"] = spec["fuel"]
+        return payload
 
 
 def _require(condition: bool, message: str) -> None:
@@ -307,6 +355,10 @@ def prepare_request(
         sleep_ms == 0 or defaults.debug_hooks,
         "'debug_sleep_ms' requires a server started with --debug-hooks",
     )
+    server_timing = payload.get("server_timing", False)
+    _require(
+        isinstance(server_timing, bool), "'server_timing' must be a boolean"
+    )
     key = None
     if sleep_ms == 0:
         digest = hashlib.sha256(
@@ -320,6 +372,7 @@ def prepare_request(
         spec=spec,
         debug_sleep_ms=sleep_ms,
         key=key,
+        server_timing=server_timing,
     )
 
 
@@ -541,21 +594,32 @@ def execute_prepared(
 
     Failures surface as `ServeError` with their structured code.
     """
+    from repro.obs import trace as obs_trace
+
     deadline = deadline or Deadline(None)
-    try:
-        if prep.debug_sleep_ms:
-            _debug_sleep(prep, deadline)
-        if prep.kind == "analyze":
-            return _execute_analyze(prep, deadline, trace, metrics)
-        if prep.kind == "lint":
-            return _execute_lint(prep, deadline, trace, metrics)
-        if prep.kind == "run":
-            return _execute_run(prep, deadline, trace)
-        return _execute_compare(prep, deadline, trace, metrics)
-    except ServeError:
-        raise
-    except Exception as exc:
-        raise classify_exception(exc) from exc
+    # A no-op outside an active request trace; under one, this is the
+    # `analyze` stage of the server_timing breakdown, with the
+    # plan-compile span (if the plan engine compiles) nested below.
+    attrs = {
+        name: prep.spec[name]
+        for name in ("analyzer", "engine")
+        if prep.spec.get(name) is not None
+    }
+    with obs_trace.span("execute", kind=prep.kind, **attrs):
+        try:
+            if prep.debug_sleep_ms:
+                _debug_sleep(prep, deadline)
+            if prep.kind == "analyze":
+                return _execute_analyze(prep, deadline, trace, metrics)
+            if prep.kind == "lint":
+                return _execute_lint(prep, deadline, trace, metrics)
+            if prep.kind == "run":
+                return _execute_run(prep, deadline, trace)
+            return _execute_compare(prep, deadline, trace, metrics)
+        except ServeError:
+            raise
+        except Exception as exc:
+            raise classify_exception(exc) from exc
 
 
 def execute_request(

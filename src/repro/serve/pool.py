@@ -16,21 +16,29 @@ import threading
 import time
 from typing import Callable
 
+from repro.obs import trace as obs_trace
 from repro.obs.metrics import Metrics
 from repro.serve.codes import ServeError, classify_exception
 from repro.serve.jobs import Deadline
 
 
 class Job:
-    """One queued request: a thunk plus its completion state."""
+    """One queued request: a thunk plus its completion state.
+
+    ``trace_ctx`` is the submitting thread's `repro.obs.trace` context;
+    the worker activates it before running ``fn``, so every span the
+    job produces lands in the request's trace despite the thread hop.
+    """
 
     def __init__(
         self,
         fn: Callable[["Job"], tuple[int, str]],
         deadline: Deadline,
+        trace_ctx: "obs_trace.TraceContext | None" = None,
     ) -> None:
         self.fn = fn
         self.deadline = deadline
+        self.trace_ctx = trace_ctx
         self.enqueued_at = time.monotonic()
         self.done = threading.Event()
         self.status: int | None = None
@@ -136,15 +144,21 @@ class WorkerPool:
         if job.abandoned:
             self._count("serve.jobs.abandoned")
             return
+        wait = time.monotonic() - job.enqueued_at
         if self.metrics is not None:
             self.metrics.histogram("serve.queue.wait.seconds").observe(
-                time.monotonic() - job.enqueued_at
+                wait
             )
         with self._inflight_lock:
             self._inflight += 1
         started = time.monotonic()
         try:
-            status, body = job.fn(job)
+            if job.trace_ctx is not None:
+                with obs_trace.activate(job.trace_ctx):
+                    obs_trace.record_span("queue.wait", wait)
+                    status, body = job.fn(job)
+            else:
+                status, body = job.fn(job)
         except BaseException as exc:  # the pool must never lose a job
             error = classify_exception(exc)
             status = error.error_code.http_status

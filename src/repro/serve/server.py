@@ -10,27 +10,45 @@ routes:
 - ``POST /v1/compare`` — the three-way `repro.api.run_three_way` report;
 - ``POST /v1/lint``    — the `repro.lint` diagnostics report;
 - ``GET  /v1/corpus``  — valid ``corpus`` program names;
-- ``GET  /healthz``    — liveness + queue depth + drain state;
-- ``GET  /metricsz``   — the `repro.obs` Metrics snapshot, cache and
-  queue statistics.
+- ``GET  /healthz``    — liveness, version, pid, uptime, queue depth,
+  drain state;
+- ``GET  /metricsz``   — the `repro.obs` Metrics snapshot (with
+  p50/p90/p99 histogram quantiles), cache and queue statistics; with
+  ``?format=prom``, the same registry in Prometheus text exposition.
+
+Every POST carries a request-scoped trace (`repro.obs.trace`): the
+handler begins a trace from the incoming ``traceparent`` header (or
+mints a fresh one), the worker pool carries the context across the
+thread hop, and the response echoes the trace via a ``traceparent``
+header.  With ``"server_timing": true`` in the request body, the
+response embeds a stage breakdown (queue wait, plan compile, analyze,
+serialize).  When an access log is configured, each POST writes one
+JSONL record tied to the same trace id.
 
 Graceful drain (SIGTERM/SIGINT via `run_until_signal`, or `drain()`
 programmatically): stop accepting new work (``overloaded``), finish
-everything queued and in flight, flush the JSONL trace sink, exit 0.
+everything queued and in flight, flush the JSONL trace sink and the
+access log, exit 0.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import signal
 import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
 
+from repro import __version__
 from repro.corpus.programs import corpus_listing
+from repro.obs import trace as obs_trace
 from repro.obs.metrics import Metrics
 from repro.obs.sinks import NULL_SINK, Sink
+from repro.serve.accesslog import AccessLog
 from repro.serve.cache import ResultCache
 from repro.serve.codes import ServeError, classify_exception
 from repro.serve.jobs import (
@@ -74,6 +92,15 @@ def _dumps(payload: dict) -> str:
     return json.dumps(payload, ensure_ascii=False)
 
 
+def _error_code_of(body: str | None) -> str:
+    """The structured error code inside an error body (``internal``
+    when the body is not the expected shape)."""
+    try:
+        return json.loads(body)["error"]["code"]
+    except Exception:
+        return "internal"
+
+
 class _DrainableHTTPServer(ThreadingHTTPServer):
     """`ThreadingHTTPServer` whose ``server_close`` joins handler
     threads, so drain really waits for in-flight responses to be
@@ -101,10 +128,17 @@ class AnalysisService:
         trace: Sink = NULL_SINK,
         metrics: Metrics | None = None,
         verbose: bool = False,
+        access_log: "str | Path | AccessLog | None" = None,
+        slow_threshold_s: float | None = 1.0,
     ) -> None:
         self.defaults = defaults or ServiceDefaults()
         self.metrics = metrics if metrics is not None else Metrics()
         self.trace = _LockedSink(trace)
+        if isinstance(access_log, (str, Path)):
+            access_log = AccessLog(
+                access_log, slow_threshold_s=slow_threshold_s
+            )
+        self.access_log = access_log
         self.cache = ResultCache(
             cache_size, metrics=self.metrics, trace=self.trace
         )
@@ -131,11 +165,23 @@ class AnalysisService:
 
             def do_GET(self) -> None:
                 service._count("serve.requests.total")
-                if self.path == "/healthz":
+                parts = urlsplit(self.path)
+                if parts.path == "/healthz":
                     self._reply(200, _dumps(service.health()))
-                elif self.path == "/metricsz":
-                    self._reply(200, _dumps(service.metricsz()))
-                elif self.path == "/v1/corpus":
+                elif parts.path == "/metricsz":
+                    query = parse_qs(parts.query)
+                    if query.get("format", [""])[-1] == "prom":
+                        self._reply(
+                            200,
+                            service.metrics_prometheus(),
+                            content_type=(
+                                "text/plain; version=0.0.4; "
+                                "charset=utf-8"
+                            ),
+                        )
+                    else:
+                        self._reply(200, _dumps(service.metricsz()))
+                elif parts.path == "/v1/corpus":
                     self._reply(200, _dumps(corpus_listing()))
                 else:
                     error = ServeError(
@@ -149,40 +195,73 @@ class AnalysisService:
 
             def do_POST(self) -> None:
                 service._count("serve.requests.total")
+                ctx = obs_trace.begin_trace(
+                    self.headers.get("traceparent")
+                )
+                root_span_id = None
                 kind = _POST_ROUTES.get(self.path)
-                if kind is None:
-                    status, body = service._error_response(
-                        ServeError(
-                            "not_found",
-                            f"no such endpoint: POST {self.path}",
-                        )
-                    )
-                else:
-                    try:
-                        length = int(self.headers.get("Content-Length", 0))
-                        payload = json.loads(
-                            self.rfile.read(length).decode("utf-8")
-                            if length
-                            else "{}"
-                        )
-                    except (ValueError, UnicodeDecodeError) as exc:
+                with obs_trace.activate(ctx):
+                    if kind is None:
                         status, body = service._error_response(
                             ServeError(
-                                "bad_request",
-                                f"request body is not valid JSON: {exc}",
+                                "not_found",
+                                f"no such endpoint: POST {self.path}",
                             )
                         )
                     else:
-                        status, body = service.process(kind, payload)
-                self._reply(status, body)
+                        try:
+                            length = int(
+                                self.headers.get("Content-Length", 0)
+                            )
+                            payload = json.loads(
+                                self.rfile.read(length).decode("utf-8")
+                                if length
+                                else "{}"
+                            )
+                        except (ValueError, UnicodeDecodeError) as exc:
+                            status, body = service._error_response(
+                                ServeError(
+                                    "bad_request",
+                                    "request body is not valid JSON: "
+                                    f"{exc}",
+                                )
+                            )
+                        else:
+                            with obs_trace.span(
+                                "request", route=self.path
+                            ) as root:
+                                root_span_id = root.span_id
+                                status, body = service.process(
+                                    kind, payload
+                                )
+                self._reply(
+                    status,
+                    body,
+                    extra_headers=(
+                        (
+                            "traceparent",
+                            obs_trace.format_traceparent(
+                                ctx.trace_id,
+                                root_span_id
+                                or obs_trace.new_span_id(),
+                            ),
+                        ),
+                    ),
+                )
 
-            def _reply(self, status: int, body: str) -> None:
+            def _reply(
+                self,
+                status: int,
+                body: str,
+                content_type: str = "application/json; charset=utf-8",
+                extra_headers: tuple = (),
+            ) -> None:
                 data = body.encode("utf-8")
                 self.send_response(status)
-                self.send_header(
-                    "Content-Type", "application/json; charset=utf-8"
-                )
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(data)))
+                for name, value in extra_headers:
+                    self.send_header(name, value)
                 self.end_headers()
                 self.wfile.write(data)
 
@@ -200,17 +279,46 @@ class AnalysisService:
     def process(self, kind: str, payload: dict) -> tuple[int, str]:
         """Run one POST body through cache → queue → worker; returns
         ``(http_status, response_body)``."""
+        ctx = obs_trace.current()
+        if ctx is None:
+            # In-process callers (tests, smoke) skip the HTTP handler;
+            # give them a trace anyway so logs and timings still work.
+            ctx = obs_trace.begin_trace()
+        with obs_trace.activate(ctx):
+            started = time.perf_counter()
+            status, body, prep, cache_status = self._process_traced(
+                kind, payload
+            )
+            total_s = time.perf_counter() - started
+            if prep is not None and prep.server_timing and status == 200:
+                body = self._splice_server_timing(
+                    body, ctx, cache_status, total_s
+                )
+            self._log_access(
+                kind, status, body, prep, cache_status, total_s, ctx
+            )
+        return status, body
+
+    def _process_traced(
+        self, kind: str, payload: dict
+    ) -> "tuple[int, str, object, str]":
+        """The cache → queue → worker pipeline, returning
+        ``(status, body, prepared_request_or_None, cache_status)``."""
         try:
             prep = prepare_request(kind, payload, self.defaults)
         except ServeError as error:
-            return self._error_response(error)
+            status, body = self._error_response(error)
+            return status, body, None, "bypass"
         except Exception as exc:  # defensive: validation must not 500
-            return self._error_response(classify_exception(exc))
+            status, body = self._error_response(classify_exception(exc))
+            return status, body, None, "bypass"
+        cache_status = "miss" if prep.cacheable else "bypass"
         if prep.cacheable:
-            cached = self.cache.get(prep.key)
+            with obs_trace.span("cache.lookup", kind=prep.kind):
+                cached = self.cache.get(prep.key)
             if cached is not None:
                 self._count("serve.responses.ok")
-                return 200, cached
+                return 200, cached, prep, "hit"
         deadline = Deadline(self.defaults.timeout_seconds)
 
         def run(job: Job) -> tuple[int, str]:
@@ -221,16 +329,18 @@ class AnalysisService:
                 trace=self.trace,
                 metrics=self.metrics,
             )
-            body = _dumps(response)
+            with obs_trace.span("serialize"):
+                body = _dumps(response)
             if prep.cacheable:
                 self.cache.put(prep.key, body)
             return 200, body
 
-        job = Job(run, deadline)
+        job = Job(run, deadline, trace_ctx=obs_trace.current())
         try:
             self.pool.submit(job)
         except ServeError as error:
-            return self._error_response(error)
+            status, body = self._error_response(error)
+            return status, body, prep, cache_status
         remaining = deadline.remaining()
         finished = job.done.wait(
             timeout=None
@@ -239,20 +349,95 @@ class AnalysisService:
         )
         if not finished:
             job.abandon()
-            return self._error_response(
+            status, body = self._error_response(
                 ServeError(
                     "timeout", "request exceeded its wall-clock budget"
                 )
             )
+            return status, body, prep, cache_status
         if job.status == 200:
             self._count("serve.responses.ok")
         else:
-            try:
-                code = json.loads(job.body)["error"]["code"]
-            except Exception:
-                code = "internal"
-            self._count(f"serve.responses.error.{code}")
-        return job.status, job.body
+            self._count(
+                f"serve.responses.error.{_error_code_of(job.body)}"
+            )
+        return job.status, job.body, prep, cache_status
+
+    def _splice_server_timing(
+        self,
+        body: str,
+        ctx: "obs_trace.TraceContext",
+        cache_status: str,
+        total_s: float,
+    ) -> str:
+        """Embed the stage breakdown into a success body.
+
+        Cached bodies are stored *without* timings (they are
+        per-request, the result is not), so the splice happens after
+        the cache — hit and miss responses share one entry and the
+        no-timing response stays byte-identical to the in-process API.
+        """
+        trace = ctx.trace
+        timing = {
+            "trace_id": ctx.trace_id,
+            "cache": cache_status,
+            "total_s": round(total_s, 6),
+        }
+        for field, span_name in (
+            ("queue_wait_s", "queue.wait"),
+            ("plan_compile_s", "plan.compile"),
+            ("analyze_s", "execute"),
+            ("serialize_s", "serialize"),
+        ):
+            duration = trace.duration_of(span_name)
+            timing[field] = (
+                None if duration is None else round(duration, 6)
+            )
+        try:
+            payload = json.loads(body)
+            payload["server_timing"] = timing
+            return _dumps(payload)
+        except (ValueError, TypeError):  # body must never be lost
+            return body
+
+    def _log_access(
+        self,
+        kind: str,
+        status: int,
+        body: str,
+        prep,
+        cache_status: str,
+        total_s: float,
+        ctx: "obs_trace.TraceContext",
+    ) -> None:
+        if self.access_log is None:
+            return
+        trace = ctx.trace
+        spec = prep.spec if prep is not None else {}
+        try:
+            self.access_log.record(
+                trace_id=ctx.trace_id,
+                route=f"/v1/{kind}",
+                kind=kind,
+                status=status,
+                error=None
+                if status < 400
+                else _error_code_of(body),
+                cache=cache_status,
+                analyzer=spec.get("analyzer"),
+                engine=spec.get("engine"),
+                domain=spec.get("domain"),
+                corpus=spec.get("corpus"),
+                queue_wait_s=trace.duration_of("queue.wait"),
+                exec_s=trace.duration_of("execute"),
+                total_s=round(total_s, 6),
+                request=prep.replay_payload()
+                if prep is not None
+                else None,
+                spans=trace.as_dicts(),
+            )
+        except Exception:  # logging must never fail a request
+            self._count("serve.access_log.errors")
 
     def _error_response(self, error: ServeError) -> tuple[int, str]:
         self._count(f"serve.responses.error.{error.code}")
@@ -262,22 +447,25 @@ class AnalysisService:
 
     def health(self) -> dict:
         """The ``/healthz`` body."""
+        uptime = round(time.monotonic() - self.started_at, 3)
         return {
             "status": "draining" if self.pool.draining else "ok",
+            "version": __version__,
+            "pid": os.getpid(),
             "queue_depth": self.pool.queue_depth,
             "inflight": self.pool.inflight,
             "workers": self.pool.workers,
-            "uptime_seconds": round(
-                time.monotonic() - self.started_at, 3
-            ),
+            "uptime_s": uptime,
+            # pre-v2 spelling, kept for old scrapers
+            "uptime_seconds": uptime,
         }
 
     def metricsz(self) -> dict:
-        """The ``/metricsz`` body."""
+        """The ``/metricsz`` JSON body (histograms carry p50/p90/p99)."""
         from repro.machine.absplan import PLAN_CACHE
 
         return {
-            "metrics": self.metrics.snapshot(),
+            "metrics": self.metrics.snapshot(quantiles=True),
             "cache": self.cache.snapshot(),
             "plan_cache": PLAN_CACHE.snapshot(),
             "queue": {
@@ -286,6 +474,19 @@ class AnalysisService:
                 "draining": self.pool.draining,
             },
         }
+
+    def metrics_prometheus(self) -> str:
+        """The ``/metricsz?format=prom`` text body.  Queue state is
+        folded into gauges at scrape time so the exposition is
+        self-contained."""
+        self.metrics.gauge("serve.queue.depth").set(
+            self.pool.queue_depth
+        )
+        self.metrics.gauge("serve.inflight").set(self.pool.inflight)
+        self.metrics.gauge("serve.uptime.seconds").set(
+            round(time.monotonic() - self.started_at, 3)
+        )
+        return self.metrics.to_prometheus()
 
     def _count(self, name: str) -> None:
         self.metrics.counter(name).inc()
@@ -305,6 +506,8 @@ class AnalysisService:
         self.httpd.shutdown()
         self.httpd.server_close()
         self.trace.close()
+        if self.access_log is not None:
+            self.access_log.close()
         self._drained.set()
         return clean
 

@@ -1,8 +1,10 @@
 """Metrics registry: counters, gauges, histograms, spans, snapshots."""
 
+import threading
+
 import pytest
 
-from repro.obs.metrics import Metrics
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, Metrics
 
 
 class TestCounter:
@@ -48,6 +50,149 @@ class TestHistogram:
         assert hist.min == 1.0
         assert hist.max == 3.0
         assert hist.mean == 2.0
+
+
+class TestHistogramBuckets:
+    def test_default_bounds_are_geometric(self):
+        assert DEFAULT_BUCKETS[0] == 1e-6
+        assert len(DEFAULT_BUCKETS) == 28
+        for narrow, wide in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:]):
+            assert wide == narrow * 2.0
+
+    def test_observations_land_in_log_buckets(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.buckets == [1, 1, 1, 1]
+
+    def test_cumulative_buckets_end_at_total_count(self):
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        for value in (0.5, 1.5, 99.0):
+            hist.observe(value)
+        assert hist.cumulative_buckets() == [
+            (1.0, 1), (2.0, 2), (float("inf"), 3),
+        ]
+
+
+class TestQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        assert Metrics().histogram("h").quantile(0.5) is None
+
+    def test_quantile_bounds_are_validated(self):
+        with pytest.raises(ValueError):
+            Metrics().histogram("h").quantile(1.5)
+
+    def test_extremes_are_exact(self):
+        hist = Metrics().histogram("h")
+        for value in (0.001, 0.002, 0.004, 0.25):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 0.001
+        assert hist.quantile(1.0) == 0.25
+
+    def test_quantiles_are_monotone(self):
+        hist = Metrics().histogram("h")
+        for index in range(1, 101):
+            hist.observe(index / 1000.0)  # 1ms .. 100ms
+        p50 = hist.quantile(0.50)
+        p90 = hist.quantile(0.90)
+        p99 = hist.quantile(0.99)
+        assert p50 <= p90 <= p99 <= hist.max
+
+    def test_quantile_error_bounded_by_bucket_width(self):
+        # ×2 geometric buckets: the interpolated estimate can be off
+        # by at most one bucket, i.e. a factor of 2.
+        hist = Metrics().histogram("h")
+        for index in range(1, 101):
+            hist.observe(index / 1000.0)
+        true_p50 = 0.050
+        estimate = hist.quantile(0.50)
+        assert true_p50 / 2 <= estimate <= true_p50 * 2
+
+    def test_single_observation_pins_every_quantile(self):
+        hist = Metrics().histogram("h")
+        hist.observe(0.125)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 0.125
+
+
+class TestThreadSafety:
+    def test_concurrent_instrument_creation_and_updates(self):
+        metrics = Metrics()
+
+        def hammer(seed: int) -> None:
+            for index in range(500):
+                metrics.counter("shared").inc()
+                metrics.histogram("lat").observe(index / 1000.0)
+                metrics.gauge(f"g{seed}").set(index)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,))
+            for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.counter("shared").value == 8 * 500
+        hist = metrics.histogram("lat")
+        assert hist.count == 8 * 500
+        assert sum(hist.buckets) == hist.count
+
+    def test_same_name_race_returns_one_instrument(self):
+        metrics = Metrics()
+        seen = []
+
+        def create() -> None:
+            seen.append(metrics.counter("raced"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(instrument is seen[0] for instrument in seen)
+
+
+class TestPrometheus:
+    def test_counters_gauges_histograms_rendered(self):
+        metrics = Metrics()
+        metrics.counter("serve.requests.total").inc(7)
+        metrics.gauge("serve.queue.depth").set(3)
+        metrics.histogram("serve.request.seconds").observe(0.5)
+        text = metrics.to_prometheus()
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 7" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "repro_serve_queue_depth 3" in text
+        assert "repro_serve_queue_depth_max 3" in text
+        assert "# TYPE repro_serve_request_seconds histogram" in text
+        assert 'repro_serve_request_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_serve_request_seconds_sum 0.5" in text
+        assert "repro_serve_request_seconds_count 1" in text
+
+    def test_bucket_series_is_cumulative(self):
+        metrics = Metrics()
+        hist = metrics.histogram("lat")
+        for value in (1e-6, 1.0, 1000.0):  # first, middle, overflow
+            hist.observe(value)
+        lines = [
+            line
+            for line in metrics.to_prometheus().splitlines()
+            if line.startswith("repro_lat_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+        assert lines[-1].startswith('repro_lat_bucket{le="+Inf"}')
+
+    def test_names_are_sanitized(self):
+        metrics = Metrics()
+        metrics.counter("serve.responses.error.not_found").inc()
+        text = metrics.to_prometheus()
+        assert "repro_serve_responses_error_not_found 1" in text
+
+    def test_ends_with_newline(self):
+        assert Metrics().to_prometheus().endswith("\n")
 
 
 class TestSpan:
@@ -100,3 +245,15 @@ class TestSnapshot:
             "gauges": {},
             "histograms": {},
         }
+
+    def test_quantiles_opt_in(self):
+        metrics = Metrics()
+        hist = metrics.histogram("h")
+        for value in (0.001, 0.002, 0.004):
+            hist.observe(value)
+        plain = metrics.snapshot()["histograms"]["h"]
+        assert set(plain) == {"count", "total", "mean", "min", "max"}
+        rich = metrics.snapshot(quantiles=True)["histograms"]["h"]
+        for key in ("p50", "p90", "p99"):
+            assert isinstance(rich[key], float)
+        assert rich["p50"] <= rich["p90"] <= rich["p99"]

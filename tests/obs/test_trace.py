@@ -1,0 +1,223 @@
+"""Tests for `repro.obs.trace` — request-scoped span tracing."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NOOP_SPAN,
+    RequestTrace,
+    TraceContext,
+    activate,
+    begin_trace,
+    current,
+    current_trace_id,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    record_span,
+    span,
+)
+
+
+class TestIdentifiers:
+    def test_trace_id_is_32_hex(self):
+        tid = new_trace_id()
+        assert len(tid) == 32
+        int(tid, 16)
+
+    def test_span_id_is_16_hex(self):
+        sid = new_span_id()
+        assert len(sid) == 16
+        int(sid, 16)
+
+    def test_ids_are_unique(self):
+        assert new_trace_id() != new_trace_id()
+        assert new_span_id() != new_span_id()
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        tid, sid = new_trace_id(), new_span_id()
+        header = format_traceparent(tid, sid)
+        assert parse_traceparent(header) == (tid, sid)
+
+    def test_header_shape(self):
+        header = format_traceparent("ab" * 16, "cd" * 8)
+        assert header == f"00-{'ab' * 16}-{'cd' * 8}-01"
+
+    @pytest.mark.parametrize("bad", [
+        None,
+        "",
+        "garbage",
+        "00-short-abcd-01",
+        "01-" + "ab" * 16 + "-" + "cd" * 8 + "-01",   # unknown version
+        "00-" + "zz" * 16 + "-" + "cd" * 8 + "-01",   # not hex
+        "00-" + "00" * 16 + "-" + "cd" * 8 + "-01",   # all-zero trace
+        "00-" + "ab" * 16 + "-" + "00" * 8 + "-01",   # all-zero span
+    ])
+    def test_malformed_headers_rejected(self, bad):
+        assert parse_traceparent(bad) is None
+
+    def test_begin_trace_continues_valid_header(self):
+        header = format_traceparent("ab" * 16, "cd" * 8)
+        ctx = begin_trace(header)
+        assert ctx.trace_id == "ab" * 16
+        assert ctx.span_id == "cd" * 8
+
+    def test_begin_trace_starts_fresh_on_garbage(self):
+        ctx = begin_trace("not-a-header")
+        assert len(ctx.trace_id) == 32
+        assert ctx.span_id is None
+
+
+class TestDisabledPath:
+    def test_no_context_by_default(self):
+        assert current() is None
+        assert current_trace_id() is None
+
+    def test_span_is_shared_noop_without_a_trace(self):
+        # The NullSink rule applied to spans: the disabled path
+        # allocates nothing — every call returns one shared object.
+        assert span("anything") is NOOP_SPAN
+        assert span("something-else", attr=1) is span("third")
+
+    def test_noop_span_is_inert(self):
+        with span("disabled") as live:
+            live.annotate(extra=True)
+        assert live is NOOP_SPAN
+
+    def test_record_span_is_none_without_a_trace(self):
+        assert record_span("queue.wait", 0.5) is None
+
+
+class TestSpans:
+    def test_span_records_into_the_trace(self):
+        ctx = begin_trace()
+        with activate(ctx):
+            with span("work", kind="analyze"):
+                pass
+        records = ctx.trace.spans()
+        assert [r.name for r in records] == ["work"]
+        assert records[0].trace_id == ctx.trace_id
+        assert records[0].attrs == {"kind": "analyze"}
+        assert records[0].duration_s >= 0.0
+
+    def test_nested_spans_form_a_parent_chain(self):
+        ctx = begin_trace()
+        with activate(ctx):
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+        by_name = {r.name: r for r in ctx.trace.spans()}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_continued_trace_parents_under_remote_span(self):
+        header = format_traceparent("ab" * 16, "cd" * 8)
+        ctx = begin_trace(header)
+        with activate(ctx):
+            with span("local"):
+                pass
+        (record,) = ctx.trace.spans()
+        assert record.parent_id == "cd" * 8
+
+    def test_span_recorded_even_when_body_raises(self):
+        ctx = begin_trace()
+        with activate(ctx):
+            with pytest.raises(RuntimeError):
+                with span("failing"):
+                    raise RuntimeError("boom")
+        assert [r.name for r in ctx.trace.spans()] == ["failing"]
+
+    def test_annotate_attaches_mid_span_attrs(self):
+        ctx = begin_trace()
+        with activate(ctx):
+            with span("work") as live:
+                live.annotate(cache="hit")
+        (record,) = ctx.trace.spans()
+        assert record.attrs == {"cache": "hit"}
+
+    def test_record_span_uses_given_duration(self):
+        ctx = begin_trace()
+        with activate(ctx):
+            record = record_span("queue.wait", 1.25)
+        assert record.duration_s == 1.25
+        assert ctx.trace.duration_of("queue.wait") == 1.25
+
+    def test_activation_restores_previous_context(self):
+        ctx = begin_trace()
+        with activate(ctx):
+            assert current() is ctx
+        assert current() is None
+
+    def test_as_dict_nests_attrs(self):
+        ctx = begin_trace()
+        with activate(ctx):
+            with span("work", analyzer="direct"):
+                pass
+        (record,) = ctx.trace.as_dicts()
+        assert record["name"] == "work"
+        assert record["attrs"] == {"analyzer": "direct"}
+        assert record["trace_id"] == ctx.trace_id
+
+    def test_duration_of_sums_and_distinguishes_absent(self):
+        trace = RequestTrace()
+        ctx = TraceContext(trace)
+        with activate(ctx):
+            record_span("step", 0.25)
+            record_span("step", 0.5)
+        assert trace.duration_of("step") == 0.75
+        assert trace.duration_of("never-happened") is None
+
+
+class TestThreadHandOff:
+    def test_activate_carries_trace_across_threads(self):
+        # The worker-pool hand-off: capture on one thread, activate on
+        # another, and every span lands in the same collector.
+        ctx = begin_trace()
+        seen = {}
+
+        def worker(handed: TraceContext) -> None:
+            with activate(handed):
+                seen["trace_id"] = current_trace_id()
+                with span("on-worker"):
+                    pass
+
+        with activate(ctx):
+            handed = current()
+        thread = threading.Thread(target=worker, args=(handed,))
+        thread.start()
+        thread.join()
+        assert seen["trace_id"] == ctx.trace_id
+        assert [r.name for r in ctx.trace.spans()] == ["on-worker"]
+
+    def test_new_thread_has_no_inherited_context(self):
+        ctx = begin_trace()
+        seen = {}
+
+        def worker() -> None:
+            seen["ctx"] = current()
+
+        with activate(ctx):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["ctx"] is None
+
+    def test_concurrent_adds_are_thread_safe(self):
+        trace = RequestTrace()
+        ctx = TraceContext(trace)
+
+        def hammer() -> None:
+            with activate(ctx):
+                for _ in range(200):
+                    record_span("tick", 0.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(trace.spans()) == 800

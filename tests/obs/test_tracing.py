@@ -147,6 +147,37 @@ class TestDisabledPath:
         solve_mfp(problem, trace=sink)
         solve_mop(problem, trace=sink)
 
+    def test_span_api_is_noop_when_no_trace_is_active(self):
+        # The span analogue of the NullSink rule: with no active
+        # request trace, span() hands back one shared inert object —
+        # no allocation, no recording, however hot the call site.
+        from repro.obs.trace import NOOP_SPAN, current, span
+
+        assert current() is None
+        assert span("plan.compile") is NOOP_SPAN
+        assert span("execute", analyzer="direct") is span("serialize")
+        with span("anything") as live:
+            pass
+        assert live is NOOP_SPAN
+
+    def test_analysis_results_identical_under_span_tracing(self):
+        # Activating a request trace must not perturb analysis
+        # results, only record timings around them.
+        from repro.obs.trace import activate, begin_trace
+
+        plain = run_three_way(self.SOURCE)
+        ctx = begin_trace()
+        with activate(ctx):
+            traced = run_three_way(self.SOURCE)
+        for a, b in (
+            (traced.direct, plain.direct),
+            (traced.semantic, plain.semantic),
+            (traced.syntactic, plain.syntactic),
+        ):
+            assert a.value == b.value
+            assert dict(a.store.items()) == dict(b.store.items())
+            assert a.stats.as_dict() == b.stats.as_dict()
+
     def test_results_identical_with_and_without_tracing(self):
         traced = run_three_way(self.SOURCE, trace=RecordingSink())
         plain = run_three_way(self.SOURCE)

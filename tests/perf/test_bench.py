@@ -53,6 +53,7 @@ def make_payload() -> dict:
         "repeat": 2,
         "engine_mode": "tree",
         "generated_at": "2026-01-01T00:00:00Z",
+        "meta": {"python": "3.11.0", "platform": "test"},
         "workloads": [entry],
         "engine": [engine_entry],
         "survey": {
@@ -72,6 +73,21 @@ class TestValidate:
     def test_payload_must_be_object(self):
         with pytest.raises(ValueError, match="JSON object"):
             validate_bench([1, 2, 3])
+
+    def test_missing_meta_rejected(self):
+        payload = make_payload()
+        del payload["meta"]
+        with pytest.raises(ValueError, match="meta"):
+            validate_bench(payload)
+
+    def test_meta_needs_python_and_platform(self):
+        payload = make_payload()
+        del payload["meta"]["python"]
+        with pytest.raises(ValueError, match="python"):
+            validate_bench(payload)
+
+    def test_generated_at_is_caller_stamped(self):
+        assert make_payload()["generated_at"] == "2026-01-01T00:00:00Z"
 
     def test_wrong_schema_rejected(self):
         payload = make_payload()
