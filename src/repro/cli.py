@@ -724,6 +724,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="generated_at stamp recorded in the payload "
         "(default: current UTC time)",
     )
+    bench_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker count for the parallel-survey section "
+        "(persistent pool; speedup only asserted with enough CPUs)",
+    )
     bench_parser.set_defaults(handler=_cmd_bench)
 
     compile_parser = commands.add_parser(
@@ -793,6 +801,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--workers", type=int, default=4, help="worker pool size"
+    )
+    serve_parser.add_argument(
+        "--worker-model",
+        choices=("thread", "process"),
+        default="thread",
+        help="thread: in-process worker pool; process: --workers "
+        "analysis shard processes with consistent-hash routing",
     )
     serve_parser.add_argument(
         "--queue-size",
@@ -978,6 +993,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool size for a spawned server",
     )
     loadgen_parser.add_argument(
+        "--server-args",
+        default=None,
+        metavar="STRING",
+        help="extra `repro serve` flags for a spawned server, e.g. "
+        '"--worker-model process" (shlex-split; ignored with --url)',
+    )
+    loadgen_parser.add_argument(
         "--out",
         default="BENCH_serve.json",
         metavar="FILE",
@@ -1139,6 +1161,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             repeat=args.repeat,
             engine=args.engine,
             generated_at=args.timestamp,
+            jobs=args.jobs,
         )
     except ValueError as exc:
         print(f"bench FAILED: {exc}", file=sys.stderr)
@@ -1181,6 +1204,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             workers=args.workers,
+            worker_model=args.worker_model,
             queue_size=args.queue_size,
             cache_size=args.cache_size,
             defaults=ServiceDefaults(
@@ -1259,6 +1283,8 @@ def _cmd_request(args: argparse.Namespace) -> int:
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import shlex
+
     from repro.serve.loadgen import run_loadgen, summarize
 
     try:
@@ -1272,6 +1298,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             duration_s=args.duration,
             rate=args.rate,
             workers=args.workers,
+            server_args=(
+                shlex.split(args.server_args) if args.server_args else None
+            ),
             out=args.out,
             generated_at=args.timestamp,
             quick=args.quick,

@@ -12,8 +12,11 @@ Three independent mechanisms, combinable per analyzer run via the
   duplication families from exponential to linear visits while
   keeping results bit-identical — off by default (it changes visit
   counts);
-- **parallel batch running** (`parallel_map`): a multiprocessing map
-  used by the survey and report fan-outs (``--jobs N``).
+- **parallel batch running** (`parallel_map` over
+  `repro.perf.pool.PersistentPool`): an order-preserving map across
+  long-lived, warm-once worker processes, used by the survey and
+  report fan-outs (``--jobs N``) and, via `repro.serve.shard`, by the
+  multi-process service.
 
 `repro.perf.bench` (imported lazily by the CLI, since it depends on
 the analyzers) times corpus and blowup-family workloads with the
@@ -30,6 +33,13 @@ from repro.perf.intern import (
     PerfConfig,
     PerfStats,
 )
+from repro.perf.pool import (
+    PersistentPool,
+    WorkerCrashed,
+    get_pool,
+    shutdown_pools,
+    warm_analysis_caches,
+)
 
 __all__ = [
     "DEFAULT_CONFIG",
@@ -39,6 +49,11 @@ __all__ = [
     "JoinMemo",
     "PerfConfig",
     "PerfStats",
+    "PersistentPool",
+    "WorkerCrashed",
     "effective_jobs",
+    "get_pool",
     "parallel_map",
+    "shutdown_pools",
+    "warm_analysis_caches",
 ]

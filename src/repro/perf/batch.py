@@ -1,10 +1,16 @@
-"""A multiprocessing-backed, order-preserving parallel map.
+"""An order-preserving parallel map over the persistent worker pool.
 
 `repro.survey` and `repro.report` fan their per-program /
 per-section work out through :func:`parallel_map`; the ``--jobs N``
 CLI flag reaches it unchanged.  Results come back in input order, so
 a parallel run folds to exactly the same aggregate as a serial one
 (the batch tests enforce this).
+
+The processes behind it are `repro.perf.pool.PersistentPool` workers:
+created once per run, warmed once (plans precompiled, corpus parsed,
+analyzer stack imported), and reused across every subsequent
+`parallel_map` call — process creation and warm-up are paid once, not
+once per batch.
 
 Workers are separate processes, so ``fn`` and every item must be
 picklable — module-level functions over plain records (program
@@ -14,7 +20,6 @@ picklable — module-level functions over plain records (program
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -53,8 +58,6 @@ def parallel_map(
     jobs = effective_jobs(jobs, len(work))
     if jobs <= 1 or len(work) <= 1:
         return [fn(item) for item in work]
-    if chunksize is None:
-        # A few chunks per worker balances load without drowning in IPC.
-        chunksize = max(1, len(work) // (jobs * 4))
-    with multiprocessing.Pool(processes=jobs) as pool:
-        return pool.map(fn, work, chunksize)
+    from repro.perf.pool import get_pool
+
+    return get_pool(jobs).map(fn, work, chunksize=chunksize)

@@ -178,6 +178,13 @@ class ServiceClient:
         """``POST /v1/lint``."""
         return self.request("/v1/lint", payload)
 
+    def batch(self, requests: list[dict]) -> dict:
+        """``POST /v1/batch``: ``requests`` is a list of
+        ``{"kind": "analyze"|"run"|"compare"|"lint", "body": {...}}``
+        items; results come back in the same order, each with its own
+        ``status`` and decoded ``body``."""
+        return self.request("/v1/batch", {"requests": requests})
+
     def corpus(self) -> dict:
         """``GET /v1/corpus``."""
         return self.request("/v1/corpus")

@@ -63,6 +63,10 @@ CODES: dict[str, ErrorCode] = {
         # 422 here is the documented status for hypothetical strict
         # modes and keeps the table total.
         ErrorCode("lint_error", 422, 14),
+        # An analysis worker process died mid-request (multi-process
+        # serve).  The shard is respawned immediately, so an identical
+        # retry lands on a fresh worker — hence retryable.
+        ErrorCode("worker_crashed", 503, 15, retryable=True),
     )
 }
 

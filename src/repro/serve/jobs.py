@@ -382,6 +382,42 @@ def cache_key(kind: str, payload: dict,
     return prepare_request(kind, payload, defaults).key
 
 
+def splice_server_timing(
+    body: str, ctx, cache_status: str, total_s: float
+) -> str:
+    """Embed the per-request stage breakdown into a success body.
+
+    Cached bodies are stored *without* timings (they are per-request,
+    the result is not), so the splice happens after the cache — hit
+    and miss responses share one entry and the no-timing response
+    stays byte-identical to the in-process API.  Shared by the
+    thread-mode server and the multi-process shards, so both spell
+    ``server_timing`` identically.
+    """
+    trace = ctx.trace
+    timing = {
+        "trace_id": ctx.trace_id,
+        "cache": cache_status,
+        "total_s": round(total_s, 6),
+    }
+    for field_name, span_name in (
+        ("queue_wait_s", "queue.wait"),
+        ("plan_compile_s", "plan.compile"),
+        ("analyze_s", "execute"),
+        ("serialize_s", "serialize"),
+    ):
+        duration = trace.duration_of(span_name)
+        timing[field_name] = (
+            None if duration is None else round(duration, 6)
+        )
+    try:
+        payload = json.loads(body)
+        payload["server_timing"] = timing
+        return json.dumps(payload, ensure_ascii=False)
+    except (ValueError, TypeError):  # body must never be lost
+        return body
+
+
 def _analysis_initial(prep: PreparedRequest, lattice: Lattice) -> dict:
     """The initial abstract store: corpus assumptions, overridden by
     request constants, topped up with ⊤ for uncovered free variables

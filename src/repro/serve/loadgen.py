@@ -2,8 +2,11 @@
 
 Throughput and tail latency are tracked numbers, not anecdotes: a run
 writes ``BENCH_serve.json`` (schema `LOADGEN_SCHEMA`,
-``repro.serve.loadgen/1``) with req/s, error rates, and exact
-p50/p95/p99/max latencies, overall and per route.
+``repro.serve.loadgen/2``) with req/s, error rates, exact
+p50/p95/p99/max latencies, overall and per route, and — so two
+payloads are comparable — a ``meta.server`` block recording exactly
+what was measured: whether the server was spawned, its worker count,
+and any extra ``--server-args`` (e.g. ``--worker-model process``).
 
 Two driving disciplines (stdlib threads + `ServiceClient` only):
 
@@ -53,7 +56,7 @@ from pathlib import Path
 from repro.serve.accesslog import read_access_log, validate_record
 from repro.serve.client import RetryPolicy, ServiceClient, ServiceError
 
-LOADGEN_SCHEMA = "repro.serve.loadgen/1"
+LOADGEN_SCHEMA = "repro.serve.loadgen/2"
 
 #: Percentiles reported in every latency block.
 QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
@@ -360,8 +363,15 @@ def build_payload(
     rate: float | None = None,
     generated_at: str | None = None,
     access_log_summary: dict | None = None,
+    server: dict | None = None,
 ) -> dict:
-    """The ``BENCH_serve.json`` document for one run."""
+    """The ``BENCH_serve.json`` document for one run.
+
+    ``server`` describes what was measured (spawned or external,
+    worker count, extra serve flags); ``{"spawned": False}`` when the
+    run targeted a caller-provided URL whose configuration the
+    harness cannot see.
+    """
     payload = {
         "schema": LOADGEN_SCHEMA,
         "generated_at": generated_at,
@@ -373,6 +383,7 @@ def build_payload(
             "concurrency": concurrency,
             "rate_rps": rate,
             "client_retries": outcome.retries,
+            "server": server or {"spawned": False},
         },
         "wall_s": round(outcome.wall_s, 6),
         **_result_block(outcome.results, outcome.wall_s),
@@ -422,6 +433,13 @@ def validate_loadgen(payload: dict) -> None:
     for key in ("python", "platform", "mode", "mix", "concurrency"):
         if key not in meta:
             raise ValueError(f"meta missing {key!r}")
+    server = meta.get("server")
+    if not isinstance(server, dict) or "spawned" not in server:
+        raise ValueError("meta.server must describe the measured server")
+    if server["spawned"]:
+        for key in ("workers", "args"):
+            if key not in server:
+                raise ValueError(f"meta.server missing {key!r}")
 
 
 def validate_loadgen_file(path: "str | Path") -> dict:
@@ -441,10 +459,16 @@ def spawn_server(
     access_log_path: "str | Path",
     workers: int = 4,
     boot_timeout_s: float = 30.0,
+    server_args: "list[str] | None" = None,
 ) -> "tuple[subprocess.Popen, str]":
     """Boot ``python -m repro serve`` on an ephemeral port with an
     access log capturing every request's spans; returns
-    ``(process, base_url)``."""
+    ``(process, base_url)``.
+
+    ``server_args`` are extra ``repro serve`` flags appended verbatim
+    (after the harness's own), e.g. ``["--worker-model", "process"]``
+    to measure the sharded multi-process server.
+    """
     src_root = str(Path(__file__).resolve().parents[2])
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
@@ -457,6 +481,7 @@ def spawn_server(
             "--workers", str(workers),
             "--access-log", str(access_log_path),
             "--slow-threshold", "0",
+            *(server_args or ()),
         ],
         stderr=subprocess.PIPE,
         text=True,
@@ -528,6 +553,7 @@ def run_loadgen(
     duration_s: float | None = None,
     rate: float = 50.0,
     workers: int = 4,
+    server_args: "list[str] | None" = None,
     out: "str | Path | None" = "BENCH_serve.json",
     generated_at: str | None = None,
     quick: bool = False,
@@ -538,7 +564,9 @@ def run_loadgen(
     """One complete loadgen run; returns (and optionally writes) the
     validated ``BENCH_serve.json`` payload.
 
-    With no ``url``, spawns a private server (and tears it down).
+    With no ``url``, spawns a private server (and tears it down);
+    ``server_args`` are extra ``repro serve`` flags for it, e.g.
+    ``["--worker-model", "process"]`` — ignored with a ``url``.
     ``quick`` pins a small closed-loop run for CI smoke.
     """
     if quick:
@@ -561,6 +589,7 @@ def run_loadgen(
         mix_name = mix
     process = None
     own_log = None
+    server_meta: dict = {"spawned": False}
     try:
         if url is None:
             if access_log_path is None:
@@ -569,8 +598,15 @@ def run_loadgen(
                 )
                 access_log_path = own_log
             process, url = spawn_server(
-                access_log_path, workers=workers
+                access_log_path,
+                workers=workers,
+                server_args=server_args,
             )
+            server_meta = {
+                "spawned": True,
+                "workers": workers,
+                "args": list(server_args or ()),
+            }
         if mode == "closed":
             outcome = run_closed_loop(
                 url, requests,
@@ -611,6 +647,7 @@ def run_loadgen(
         rate=rate if mode == "open" else None,
         generated_at=generated_at,
         access_log_summary=access_summary,
+        server=server_meta,
     )
     validate_loadgen(payload)
     if out is not None:
@@ -623,9 +660,18 @@ def run_loadgen(
 def summarize(payload: dict) -> str:
     """A one-paragraph human summary of a loadgen payload."""
     latency = payload.get("latency_s", {})
+    server = payload["meta"].get("server") or {}
+    server_part = (
+        "server spawned workers={} {}".format(
+            server.get("workers"), " ".join(server.get("args") or ())
+        ).rstrip()
+        if server.get("spawned")
+        else "server external"
+    )
     parts = [
         f"{payload['meta']['mode']} loop",
         f"mix={payload['meta']['mix']}",
+        server_part,
         f"{payload['requests']} requests in {payload['wall_s']:.2f}s",
         f"{payload['throughput_rps']:.1f} req/s",
         f"errors={payload['errors']}",

@@ -9,12 +9,24 @@ routes:
 - ``POST /v1/run``     — one concrete interpreter;
 - ``POST /v1/compare`` — the three-way `repro.api.run_three_way` report;
 - ``POST /v1/lint``    — the `repro.lint` diagnostics report;
+- ``POST /v1/batch``   — many of the above through one dispatch, in
+  order, each with its own status;
 - ``GET  /v1/corpus``  — valid ``corpus`` program names;
 - ``GET  /healthz``    — liveness, version, pid, uptime, queue depth,
-  drain state;
+  drain state (plus per-shard pids in process mode);
 - ``GET  /metricsz``   — the `repro.obs` Metrics snapshot (with
   p50/p90/p99 histogram quantiles), cache and queue statistics; with
   ``?format=prom``, the same registry in Prometheus text exposition.
+
+Two worker models execute the analysis:
+
+- ``worker_model="thread"`` (default): handler threads enqueue jobs on
+  the bounded in-process `WorkerPool`;
+- ``worker_model="process"``: requests are consistent-hash sharded on
+  their cache key across N warm-forked analysis processes
+  (`repro.serve.shard.ShardedExecutor`), so CPU-bound analysis scales
+  past the GIL and each shard's response LRU + plan cache stays hot.
+  Responses are byte-identical to thread mode (test-enforced).
 
 Every POST carries a request-scoped trace (`repro.obs.trace`): the
 handler begins a trace from the incoming ``traceparent`` header (or
@@ -56,8 +68,10 @@ from repro.serve.jobs import (
     ServiceDefaults,
     execute_prepared,
     prepare_request,
+    splice_server_timing,
 )
 from repro.serve.pool import Job, WorkerPool
+from repro.serve.shard import ShardedExecutor
 
 _POST_ROUTES = {
     "/v1/analyze": "analyze",
@@ -65,6 +79,9 @@ _POST_ROUTES = {
     "/v1/compare": "compare",
     "/v1/lint": "lint",
 }
+
+#: Upper bound on ``POST /v1/batch`` fan-out per request.
+MAX_BATCH_REQUESTS = 64
 
 #: Handler-side grace on top of the job deadline, so the worker's own
 #: timeout classification wins when the budget expires mid-execution.
@@ -130,7 +147,13 @@ class AnalysisService:
         verbose: bool = False,
         access_log: "str | Path | AccessLog | None" = None,
         slow_threshold_s: float | None = 1.0,
+        worker_model: str = "thread",
     ) -> None:
+        if worker_model not in ("thread", "process"):
+            raise ValueError(
+                "worker_model must be 'thread' or 'process', "
+                f"got {worker_model!r}"
+            )
         self.defaults = defaults or ServiceDefaults()
         self.metrics = metrics if metrics is not None else Metrics()
         self.trace = _LockedSink(trace)
@@ -139,12 +162,30 @@ class AnalysisService:
                 access_log, slow_threshold_s=slow_threshold_s
             )
         self.access_log = access_log
-        self.cache = ResultCache(
-            cache_size, metrics=self.metrics, trace=self.trace
-        )
-        self.pool = WorkerPool(
-            workers=workers, queue_size=queue_size, metrics=self.metrics
-        )
+        self.worker_model = worker_model
+        if worker_model == "process":
+            # Shard processes must fork before this process grows
+            # threads (the HTTP serve loop, handler threads): forking
+            # a threaded parent risks inheriting held locks.
+            self.sharded: ShardedExecutor | None = ShardedExecutor(
+                shards=workers,
+                queue_size=queue_size,
+                cache_size=cache_size,
+                defaults=self.defaults,
+                metrics=self.metrics,
+            )
+            self.cache = None
+            self.pool = None
+        else:
+            self.sharded = None
+            self.cache = ResultCache(
+                cache_size, metrics=self.metrics, trace=self.trace
+            )
+            self.pool = WorkerPool(
+                workers=workers,
+                queue_size=queue_size,
+                metrics=self.metrics,
+            )
         self.verbose = verbose
         self.started_at = time.monotonic()
         self._drained = threading.Event()
@@ -201,7 +242,7 @@ class AnalysisService:
                 root_span_id = None
                 kind = _POST_ROUTES.get(self.path)
                 with obs_trace.activate(ctx):
-                    if kind is None:
+                    if kind is None and self.path != "/v1/batch":
                         status, body = service._error_response(
                             ServeError(
                                 "not_found",
@@ -231,9 +272,14 @@ class AnalysisService:
                                 "request", route=self.path
                             ) as root:
                                 root_span_id = root.span_id
-                                status, body = service.process(
-                                    kind, payload
-                                )
+                                if kind is None:
+                                    status, body = (
+                                        service.process_batch(payload)
+                                    )
+                                else:
+                                    status, body = service.process(
+                                        kind, payload
+                                    )
                 self._reply(
                     status,
                     body,
@@ -277,7 +323,8 @@ class AnalysisService:
     # -- request processing -------------------------------------------
 
     def process(self, kind: str, payload: dict) -> tuple[int, str]:
-        """Run one POST body through cache → queue → worker; returns
+        """Run one POST body through cache → queue → worker (thread
+        mode) or through its shard process (process mode); returns
         ``(http_status, response_body)``."""
         ctx = obs_trace.current()
         if ctx is None:
@@ -286,18 +333,161 @@ class AnalysisService:
             ctx = obs_trace.begin_trace()
         with obs_trace.activate(ctx):
             started = time.perf_counter()
-            status, body, prep, cache_status = self._process_traced(
-                kind, payload
-            )
+            if self.sharded is not None:
+                status, body, prep, cache_status, remote = (
+                    self._process_sharded(kind, payload, ctx)
+                )
+            else:
+                status, body, prep, cache_status = self._process_traced(
+                    kind, payload
+                )
+                remote = None
             total_s = time.perf_counter() - started
-            if prep is not None and prep.server_timing and status == 200:
+            if (
+                remote is None
+                and prep is not None
+                and prep.server_timing
+                and status == 200
+            ):
+                # Process mode splices shard-side (where the spans
+                # live); thread mode splices here.
                 body = self._splice_server_timing(
                     body, ctx, cache_status, total_s
                 )
             self._log_access(
-                kind, status, body, prep, cache_status, total_s, ctx
+                kind, status, body, prep, cache_status, total_s, ctx,
+                remote=remote,
             )
         return status, body
+
+    def process_batch(self, payload: dict) -> tuple[int, str]:
+        """``POST /v1/batch``: many request bodies through one
+        dispatch.  Items run concurrently — across the shard processes
+        in process mode, across the worker pool in thread mode — and
+        come back in input order, each with its own status and body
+        (one bad item does not fail its neighbours)."""
+        self._count("serve.requests.batch")
+        if not isinstance(payload, dict):
+            return self._error_response(
+                ServeError("bad_request", "batch body must be an object")
+            )
+        items = payload.get("requests")
+        if not isinstance(items, list) or not items:
+            return self._error_response(
+                ServeError(
+                    "bad_request",
+                    "batch body needs a non-empty 'requests' array",
+                )
+            )
+        if len(items) > MAX_BATCH_REQUESTS:
+            return self._error_response(
+                ServeError(
+                    "bad_request",
+                    f"batch is limited to {MAX_BATCH_REQUESTS} "
+                    f"requests, got {len(items)}",
+                )
+            )
+        for position, item in enumerate(items):
+            if (
+                not isinstance(item, dict)
+                or item.get("kind") not in _POST_ROUTES.values()
+                or not isinstance(item.get("body"), dict)
+            ):
+                return self._error_response(
+                    ServeError(
+                        "bad_request",
+                        f"batch item {position} must be "
+                        "{'kind': analyze|run|compare|lint, "
+                        "'body': {...}}",
+                    )
+                )
+        results: list = [None] * len(items)
+
+        def run_item(position: int, item: dict) -> None:
+            status, body = self.process(item["kind"], item["body"])
+            try:
+                decoded = json.loads(body)
+            except ValueError:
+                decoded = {"ok": False, "raw": body}
+            results[position] = {"status": status, "body": decoded}
+
+        threads = [
+            threading.Thread(
+                target=run_item,
+                args=(position, item),
+                name=f"repro-serve-batch-{position}",
+            )
+            for position, item in enumerate(items)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return 200, _dumps({
+            "ok": True,
+            "kind": "batch",
+            "count": len(items),
+            "results": results,
+        })
+
+    def _process_sharded(
+        self, kind: str, payload: dict, ctx
+    ) -> "tuple[int, str, object, str, dict | None]":
+        """The process-mode pipeline: validate here (errors answered
+        without a process hop), route by cache key, wait for the
+        shard's reply.  Returns ``(status, body, prep, cache_status,
+        shard_meta_or_None)``."""
+        try:
+            prep = prepare_request(kind, payload, self.defaults)
+        except ServeError as error:
+            status, body = self._error_response(error)
+            return status, body, None, "bypass", None
+        except Exception as exc:  # defensive: validation must not 500
+            status, body = self._error_response(classify_exception(exc))
+            return status, body, None, "bypass", None
+        cache_status = "miss" if prep.cacheable else "bypass"
+        deadline = Deadline(self.defaults.timeout_seconds)
+        traceparent = obs_trace.format_traceparent(
+            ctx.trace_id, ctx.span_id or obs_trace.new_span_id()
+        )
+        try:
+            waiter = self.sharded.submit(
+                prep.key, kind, payload, traceparent,
+                deadline.expires_at,
+            )
+        except ServeError as error:
+            status, body = self._error_response(error)
+            return status, body, prep, cache_status, None
+        remaining = deadline.remaining()
+        finished = waiter.done.wait(
+            timeout=None
+            if remaining is None
+            else remaining + _WAIT_GRACE_SECONDS
+        )
+        if not finished:
+            status, body = self._error_response(
+                ServeError(
+                    "timeout", "request exceeded its wall-clock budget"
+                )
+            )
+            return status, body, prep, cache_status, None
+        meta = waiter.meta or {}
+        cache_status = meta.get("cache", cache_status)
+        if waiter.status == 200:
+            self._count("serve.responses.ok")
+        else:
+            self._count(
+                f"serve.responses.error.{_error_code_of(waiter.body)}"
+            )
+        if self.metrics is not None and meta.get("total_s") is not None:
+            self.metrics.histogram("serve.request.seconds").observe(
+                meta["total_s"]
+            )
+            if meta.get("queue_wait_s") is not None:
+                self.metrics.histogram(
+                    "serve.queue.wait.seconds"
+                ).observe(meta["queue_wait_s"])
+        return waiter.status, waiter.body, prep, cache_status, meta
 
     def _process_traced(
         self, kind: str, payload: dict
@@ -370,35 +560,9 @@ class AnalysisService:
         cache_status: str,
         total_s: float,
     ) -> str:
-        """Embed the stage breakdown into a success body.
-
-        Cached bodies are stored *without* timings (they are
-        per-request, the result is not), so the splice happens after
-        the cache — hit and miss responses share one entry and the
-        no-timing response stays byte-identical to the in-process API.
-        """
-        trace = ctx.trace
-        timing = {
-            "trace_id": ctx.trace_id,
-            "cache": cache_status,
-            "total_s": round(total_s, 6),
-        }
-        for field, span_name in (
-            ("queue_wait_s", "queue.wait"),
-            ("plan_compile_s", "plan.compile"),
-            ("analyze_s", "execute"),
-            ("serialize_s", "serialize"),
-        ):
-            duration = trace.duration_of(span_name)
-            timing[field] = (
-                None if duration is None else round(duration, 6)
-            )
-        try:
-            payload = json.loads(body)
-            payload["server_timing"] = timing
-            return _dumps(payload)
-        except (ValueError, TypeError):  # body must never be lost
-            return body
+        """Thread-mode splice (shared helper in `repro.serve.jobs`;
+        the shards run the same function on their side)."""
+        return splice_server_timing(body, ctx, cache_status, total_s)
 
     def _log_access(
         self,
@@ -409,11 +573,23 @@ class AnalysisService:
         cache_status: str,
         total_s: float,
         ctx: "obs_trace.TraceContext",
+        remote: dict | None = None,
     ) -> None:
+        """One access-log record per request.  In process mode the
+        spans and stage timings come from the shard's reply metadata
+        (``remote``); in thread mode from this process's trace."""
         if self.access_log is None:
             return
         trace = ctx.trace
         spec = prep.spec if prep is not None else {}
+        if remote is not None:
+            queue_wait_s = remote.get("queue_wait_s")
+            exec_s = remote.get("exec_s")
+            spans = remote.get("spans") or []
+        else:
+            queue_wait_s = trace.duration_of("queue.wait")
+            exec_s = trace.duration_of("execute")
+            spans = trace.as_dicts()
         try:
             self.access_log.record(
                 trace_id=ctx.trace_id,
@@ -428,13 +604,13 @@ class AnalysisService:
                 engine=spec.get("engine"),
                 domain=spec.get("domain"),
                 corpus=spec.get("corpus"),
-                queue_wait_s=trace.duration_of("queue.wait"),
-                exec_s=trace.duration_of("execute"),
+                queue_wait_s=queue_wait_s,
+                exec_s=exec_s,
                 total_s=round(total_s, 6),
                 request=prep.replay_payload()
                 if prep is not None
                 else None,
-                spans=trace.as_dicts(),
+                spans=spans,
             )
         except Exception:  # logging must never fail a request
             self._count("serve.access_log.errors")
@@ -446,12 +622,30 @@ class AnalysisService:
     # -- introspection -------------------------------------------------
 
     def health(self) -> dict:
-        """The ``/healthz`` body."""
+        """The ``/healthz`` body.  Process mode adds per-shard worker
+        pids, queue depths, and liveness."""
         uptime = round(time.monotonic() - self.started_at, 3)
+        if self.sharded is not None:
+            depth = self.sharded.queue_depth
+            body = {
+                "status": "draining" if self.sharded.draining else "ok",
+                "version": __version__,
+                "pid": os.getpid(),
+                "worker_model": "process",
+                "queue_depth": depth,
+                "inflight": depth,
+                "workers": self.sharded.shards,
+                "shard_respawns": self.sharded.respawns,
+                "shards": self.sharded.describe(),
+                "uptime_s": uptime,
+                "uptime_seconds": uptime,
+            }
+            return body
         return {
             "status": "draining" if self.pool.draining else "ok",
             "version": __version__,
             "pid": os.getpid(),
+            "worker_model": "thread",
             "queue_depth": self.pool.queue_depth,
             "inflight": self.pool.inflight,
             "workers": self.pool.workers,
@@ -461,11 +655,38 @@ class AnalysisService:
         }
 
     def metricsz(self) -> dict:
-        """The ``/metricsz`` JSON body (histograms carry p50/p90/p99)."""
+        """The ``/metricsz`` JSON body (histograms carry p50/p90/p99).
+
+        Process mode aggregates the shard-local result caches into the
+        top-level ``cache`` block (so dashboards keep one hit-rate)
+        and reports each shard's cache and plan cache under
+        ``shards``."""
         from repro.machine.absplan import PLAN_CACHE
 
+        if self.sharded is not None:
+            shards = self.sharded.stats()
+            cache = {"hits": 0, "misses": 0, "evictions": 0, "size": 0,
+                     "capacity": 0}
+            for shard in shards:
+                for field, value in (shard.get("cache") or {}).items():
+                    if field in cache:
+                        cache[field] += value
+            return {
+                "metrics": self.metrics.snapshot(quantiles=True),
+                "worker_model": "process",
+                "cache": cache,
+                "plan_cache": PLAN_CACHE.snapshot(),
+                "shards": shards,
+                "queue": {
+                    "depth": self.sharded.queue_depth,
+                    "inflight": self.sharded.queue_depth,
+                    "draining": self.sharded.draining,
+                    "respawns": self.sharded.respawns,
+                },
+            }
         return {
             "metrics": self.metrics.snapshot(quantiles=True),
+            "worker_model": "thread",
             "cache": self.cache.snapshot(),
             "plan_cache": PLAN_CACHE.snapshot(),
             "queue": {
@@ -479,10 +700,14 @@ class AnalysisService:
         """The ``/metricsz?format=prom`` text body.  Queue state is
         folded into gauges at scrape time so the exposition is
         self-contained."""
-        self.metrics.gauge("serve.queue.depth").set(
-            self.pool.queue_depth
-        )
-        self.metrics.gauge("serve.inflight").set(self.pool.inflight)
+        if self.sharded is not None:
+            depth = self.sharded.queue_depth
+            inflight = depth
+        else:
+            depth = self.pool.queue_depth
+            inflight = self.pool.inflight
+        self.metrics.gauge("serve.queue.depth").set(depth)
+        self.metrics.gauge("serve.inflight").set(inflight)
         self.metrics.gauge("serve.uptime.seconds").set(
             round(time.monotonic() - self.started_at, 3)
         )
@@ -502,7 +727,10 @@ class AnalysisService:
         loop, flush the trace sink.  Idempotent."""
         if self._drained.is_set():
             return True
-        clean = self.pool.drain(timeout=timeout)
+        if self.sharded is not None:
+            clean = self.sharded.drain(timeout=timeout)
+        else:
+            clean = self.pool.drain(timeout=timeout)
         self.httpd.shutdown()
         self.httpd.server_close()
         self.trace.close()

@@ -56,12 +56,24 @@ def make_payload() -> dict:
         "meta": {"python": "3.11.0", "platform": "test"},
         "workloads": [entry],
         "engine": [engine_entry],
-        "survey": {
-            "population": "random-open",
-            "count": 1,
-            "depth": 3,
-            "wall_s_by_jobs": {"1": 0.01, "4": 0.02},
-            "matches": True,
+        "parallel": {
+            "jobs": 4,
+            "cpus": 4,
+            "required_speedup": 2.0,
+            "enforced": True,
+            "pool": {"jobs": 4, "respawns": 0},
+            "populations": [
+                {
+                    "population": "random-open",
+                    "count": 1,
+                    "depth": 3,
+                    "serial_s": 1.0,
+                    "parallel_s": 0.4,
+                    "speedup": 2.5,
+                    "noise_exempt": False,
+                    "matches": True,
+                }
+            ],
         },
     }
 
@@ -113,16 +125,51 @@ class TestValidate:
         with pytest.raises(ValueError, match="diverged"):
             validate_bench(payload)
 
-    def test_missing_survey_rejected(self):
+    def test_missing_parallel_rejected(self):
         payload = make_payload()
-        del payload["survey"]
-        with pytest.raises(ValueError, match="survey"):
+        del payload["parallel"]
+        with pytest.raises(ValueError, match="parallel"):
             validate_bench(payload)
 
-    def test_survey_mismatch_rejected(self):
+    def test_parallel_mismatch_rejected(self):
+        # Identity is enforced even where the speedup floor is not.
         payload = make_payload()
-        payload["survey"]["matches"] = False
-        with pytest.raises(ValueError, match="survey"):
+        payload["parallel"]["enforced"] = False
+        payload["parallel"]["populations"][0]["matches"] = False
+        with pytest.raises(ValueError, match="diverged from serial"):
+            validate_bench(payload)
+
+    def test_parallel_slow_speedup_rejected_when_enforced(self):
+        payload = make_payload()
+        payload["parallel"]["populations"][0]["speedup"] = 1.0
+        with pytest.raises(ValueError, match="below the"):
+            validate_bench(payload)
+
+    def test_parallel_slow_speedup_tolerated_on_one_cpu(self):
+        # The honest gate: a 1-CPU box cannot deliver 2x, so the
+        # payload records enforced=False and the validator lets a
+        # sub-floor ratio through (identity still required).
+        payload = make_payload()
+        payload["parallel"]["cpus"] = 1
+        payload["parallel"]["enforced"] = False
+        payload["parallel"]["populations"][0]["speedup"] = 0.9
+        validate_bench(payload)
+
+    def test_parallel_noise_exempt_skips_speedup_gate(self):
+        payload = make_payload()
+        entry = payload["parallel"]["populations"][0]
+        entry["serial_s"] = 0.004
+        entry["parallel_s"] = 0.009
+        entry["speedup"] = 0.44
+        entry["noise_exempt"] = True
+        validate_bench(payload)
+
+    def test_workloads_carry_noise_exempt_flag(self):
+        payload = make_payload()
+        assert isinstance(payload["workloads"][0]["noise_exempt"], bool)
+        assert isinstance(payload["engine"][0]["noise_exempt"], bool)
+        del payload["workloads"][0]["noise_exempt"]
+        with pytest.raises(ValueError, match="noise_exempt"):
             validate_bench(payload)
 
     def test_missing_engine_section_rejected(self):
@@ -165,7 +212,7 @@ class TestRoundTrip:
         text = summarize(payload)
         assert "corpus/constants" in text
         assert "engine/constants" in text
-        assert "survey" in text
+        assert "parallel random-open" in text
 
     def test_workload_answers_equal(self):
         # The real cached-vs-uncached comparison inside _workload.

@@ -1,0 +1,203 @@
+"""The persistent warm-once worker pool (`repro.perf.pool`).
+
+The contract under test: `PersistentPool.map` is a drop-in for
+``[fn(x) for x in items]`` — same order, same values, ``None``
+included — and stays that way when workers are killed mid-batch
+(respawn + chunk redispatch), fail with exceptions, or are handed an
+unpicklable function.  Shutdown must drain cleanly and be idempotent.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.perf.batch import parallel_map
+from repro.perf.pool import (
+    MAX_CHUNK_RETRIES,
+    PersistentPool,
+    WorkerCrashed,
+    get_pool,
+    shutdown_pools,
+    warm_analysis_caches,
+)
+
+
+# -- module-level worker functions (must be picklable) -----------------
+
+
+def square(x):
+    return x * x
+
+
+def none_for_odd(x):
+    return None if x % 2 else x
+
+
+def crash_once(args):
+    """Kill the executing worker (SIGKILL, mid-chunk) the first time
+    this marker file is claimed; compute normally afterwards."""
+    x, marker = args
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.close(fd)
+    except FileExistsError:
+        return x * 10
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def crash_always(x):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def raise_value_error(x):
+    raise ValueError(f"bad item {x}")
+
+
+def slow_identity(x):
+    time.sleep(0.05)
+    return x
+
+
+@pytest.fixture()
+def pool():
+    p = PersistentPool(2)
+    yield p
+    p.shutdown(timeout=10)
+
+
+class TestMapSemantics:
+    def test_map_matches_serial_comprehension(self, pool):
+        items = list(range(37))
+        assert pool.map(square, items) == [square(x) for x in items]
+
+    def test_none_results_survive(self, pool):
+        # `None` is a real row (survey uses it for budget-exceeded
+        # programs); the pool must not drop or reorder it.
+        items = list(range(11))
+        assert pool.map(none_for_odd, items) == [
+            none_for_odd(x) for x in items
+        ]
+
+    def test_order_preserved_across_chunks(self, pool):
+        # chunksize=1 maximizes interleaving between the two workers;
+        # the reassembled result must still be in input order.
+        items = list(range(24))
+        assert pool.map(square, items, chunksize=1) == [
+            x * x for x in items
+        ]
+
+    def test_empty_input(self, pool):
+        assert pool.map(square, []) == []
+
+    def test_workers_persist_across_maps(self, pool):
+        before = set(pool.worker_pids)
+        for _ in range(3):
+            pool.map(square, list(range(8)))
+        assert set(pool.worker_pids) == before
+        assert pool.maps_completed == 3
+        assert pool.respawns == 0
+
+    def test_unpicklable_fn_fails_fast(self, pool):
+        with pytest.raises(Exception):
+            pool.map(lambda x: x, [1, 2, 3])
+        # the pool survives the failed map
+        assert pool.map(square, [2]) == [4]
+
+    def test_worker_exception_propagates(self, pool):
+        with pytest.raises(ValueError, match="bad item"):
+            pool.map(raise_value_error, list(range(4)))
+        assert pool.map(square, [3]) == [9]
+
+
+class TestCrashRecovery:
+    def test_sigkill_mid_batch_heals_and_completes(self, pool, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        items = [(x, marker) for x in range(12)]
+        result = pool.map(crash_once, items, chunksize=1)
+        # every row present, in order, despite one worker dying
+        assert result == [x * 10 for x in range(12)]
+        assert pool.respawns >= 1
+        # the healed pool is fully alive and keeps working
+        assert pool.snapshot()["alive"] == 2
+        assert pool.map(square, [5]) == [25]
+
+    def test_deterministic_crasher_raises_worker_crashed(self, pool):
+        # a chunk that kills every worker it touches must surface
+        # WorkerCrashed after the redispatch budget, not loop forever
+        with pytest.raises(WorkerCrashed):
+            pool.map(crash_always, [1], chunksize=1)
+        assert pool.respawns >= MAX_CHUNK_RETRIES
+        # healing refilled the pool
+        assert pool.map(square, [6]) == [36]
+
+
+class TestShutdown:
+    def test_clean_shutdown_is_clean_and_idempotent(self):
+        pool = PersistentPool(2)
+        pool.map(square, list(range(4)))
+        pids = list(pool.worker_pids)
+        assert pool.shutdown(timeout=10) is True
+        for pid in pids:
+            # SIGTERM-free drain: workers exited on the sentinel
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+        assert pool.shutdown(timeout=10) is True
+
+    def test_map_after_shutdown_raises(self):
+        pool = PersistentPool(1)
+        pool.shutdown(timeout=10)
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.map(square, [1])
+
+    def test_get_pool_reuses_then_recreates(self):
+        a = get_pool(2)
+        assert get_pool(2) is a
+        a.shutdown(timeout=10)
+        b = get_pool(2)
+        assert b is not a
+        assert b.map(square, [7]) == [49]
+        shutdown_pools()
+
+
+class TestWarmup:
+    def test_warm_is_idempotent_and_precompiles_plans(self):
+        first = warm_analysis_caches()
+        assert first["plans"] > 0
+        assert first["pid"] == os.getpid()
+        assert warm_analysis_caches() is first
+
+    def test_fork_pool_reports_parent_warm_stats(self):
+        pool = PersistentPool(1)
+        try:
+            if pool.start_method != "fork":
+                pytest.skip("fork start method unavailable")
+            snapshot = pool.snapshot()
+            assert snapshot["warm"]["plans"] > 0
+            assert snapshot["start_method"] == "fork"
+        finally:
+            pool.shutdown(timeout=10)
+
+
+class TestParallelMapIntegration:
+    def test_parallel_map_rides_the_persistent_pool(self):
+        items = list(range(20))
+        try:
+            assert parallel_map(square, items, jobs=2) == [
+                x * x for x in items
+            ]
+            # a second call reuses the same workers
+            pool = get_pool(2)
+            before = set(pool.worker_pids)
+            parallel_map(square, items, jobs=2)
+            assert set(get_pool(2).worker_pids) == before
+        finally:
+            shutdown_pools()
+
+    def test_jobs_one_never_touches_the_pool(self):
+        shutdown_pools()
+        from repro.perf import pool as pool_module
+
+        assert parallel_map(square, [1, 2, 3], jobs=1) == [1, 4, 9]
+        assert not pool_module._POOLS

@@ -204,6 +204,11 @@ class TestPayload:
         (lambda p: p["latency_s"].update(p50=9e9), "monotone"),
         (lambda p: p["meta"].pop("python"), "python"),
         (lambda p: p.pop("latency_s"), "latency_s"),
+        (lambda p: p["meta"].pop("server"), "server"),
+        (
+            lambda p: p["meta"].update(server={"spawned": True}),
+            "workers",
+        ),
     ])
     def test_validator_rejects_broken_payloads(self, mutate, match):
         payload = build_payload(
@@ -220,6 +225,13 @@ class TestPayload:
             concurrency=1,
         )
         validate_loadgen(payload)
+
+    def test_server_meta_defaults_to_external(self):
+        payload = build_payload(
+            make_outcome(), mode="closed", mix_name="corpus",
+            concurrency=2,
+        )
+        assert payload["meta"]["server"] == {"spawned": False}
 
 
 class TestRunLoadgen:
@@ -240,6 +252,7 @@ class TestRunLoadgen:
         assert payload["errors"] == 0
         assert payload["generated_at"] == "2026-08-08T00:00:00Z"
         assert "access_log" not in payload  # no spawned server
+        assert payload["meta"]["server"] == {"spawned": False}
 
     def test_unknown_mix_rejected(self, service):
         with pytest.raises(ValueError, match="unknown mix"):
@@ -301,3 +314,29 @@ class TestSpawnedServer:
         record = json.loads(lines[0])
         assert record["trace_id"]
         assert record["spans"]
+        assert payload["meta"]["server"] == {
+            "spawned": True, "workers": 4, "args": [],
+        }
+
+    def test_server_args_reach_the_spawned_server(self, tmp_path):
+        # --server-args passthrough: the spawned server really runs
+        # the sharded process model, and the payload records exactly
+        # what was measured.
+        out = tmp_path / "BENCH_serve.json"
+        access = tmp_path / "access.jsonl"
+        payload = run_loadgen(
+            None,
+            quick=True,
+            total=8,
+            out=out,
+            access_log_path=access,
+            workers=2,
+            server_args=["--worker-model", "process"],
+        )
+        validate_loadgen_file(out)
+        assert payload["errors"] == 0
+        assert payload["meta"]["server"] == {
+            "spawned": True,
+            "workers": 2,
+            "args": ["--worker-model", "process"],
+        }
