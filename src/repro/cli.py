@@ -863,6 +863,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="honor the debug_sleep_ms request field (tests/smoke only)",
     )
     serve_parser.add_argument(
+        "--incr-store",
+        metavar="FILE",
+        help="persistent repro.incr summary/response store (sqlite); "
+        "shared safely between shard processes and server restarts",
+    )
+    serve_parser.add_argument(
         "--verbose", action="store_true", help="log requests to stderr"
     )
     serve_parser.set_defaults(handler=_cmd_serve)
@@ -1017,6 +1023,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="small closed-loop run (CI smoke)",
     )
     loadgen_parser.set_defaults(handler=_cmd_loadgen)
+
+    cachectl_parser = commands.add_parser(
+        "cachectl",
+        help="inspect and manage the persistent repro.incr store",
+    )
+    cachectl_parser.add_argument(
+        "action",
+        choices=("stats", "gc", "warm", "path"),
+        help="stats: counters and bytes; gc: LRU-evict to --max-bytes; "
+        "warm: pre-analyze corpus programs into the store; "
+        "path: print the resolved store path",
+    )
+    cachectl_parser.add_argument(
+        "--store",
+        metavar="FILE",
+        help="store path (default: $REPRO_INCR_STORE or "
+        "~/.cache/repro/incr.sqlite)",
+    )
+    cachectl_parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="gc: payload-byte budget to evict down to (0 clears all)",
+    )
+    cachectl_parser.add_argument(
+        "--corpus",
+        action="append",
+        metavar="NAME",
+        help="warm: corpus program(s) to analyze (repeatable; "
+        "default: every non-heavy program)",
+    )
+    cachectl_parser.add_argument(
+        "--analyzer",
+        action="append",
+        choices=("direct", "semantic-cps", "syntactic-cps", "polyvariant"),
+        metavar="NAME",
+        help="warm: analyzer(s) to run (repeatable; default: direct "
+        "and semantic-cps)",
+    )
+    cachectl_parser.add_argument(
+        "--domain",
+        default="constprop",
+        choices=("constprop", "unit", "parity", "sign", "interval"),
+        help="warm: abstract domain (default constprop)",
+    )
+    cachectl_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    cachectl_parser.set_defaults(handler=_cmd_cachectl)
     return parser
 
 
@@ -1171,6 +1226,97 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cachectl(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import os
+
+    from repro.incr.driver import default_store_path, run_analysis
+    from repro.incr.store import IncrStore, describe, render_stats
+
+    path = args.store or default_store_path()
+    if args.action == "path":
+        print(path)
+        return 0
+    if args.action == "stats":
+        summary = describe(path)
+        if args.json:
+            print(json_mod.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_stats(summary))
+        return 0
+    if args.action == "gc":
+        if args.max_bytes is None:
+            raise SystemExit("cachectl gc requires --max-bytes")
+        with IncrStore(path) as store:
+            report = store.gc(args.max_bytes)
+        if args.json:
+            print(json_mod.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(
+                f"evicted {report['evicted']} entries; "
+                f"{report['bytes']} payload bytes remain "
+                f"(generation {report['generation']})"
+            )
+        return 0
+    # warm: analyze corpus programs straight into the store
+    from repro.corpus.programs import PROGRAMS
+    from repro.domains import Lattice
+    from repro.serve.jobs import DOMAINS
+
+    domain_cls = DOMAINS[args.domain]
+    names = args.corpus or sorted(
+        name for name, prog in PROGRAMS.items() if not prog.heavy
+    )
+    analyzers = args.analyzer or ["direct", "semantic-cps"]
+    unknown = [name for name in names if name not in PROGRAMS]
+    if unknown:
+        raise SystemExit(f"unknown corpus program(s): {unknown}")
+    warmed = []
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with IncrStore(path) as store:
+        for name in names:
+            program = PROGRAMS[name]
+            for analyzer in analyzers:
+                domain = domain_cls()
+                initial = program.initial_for(Lattice(domain))
+                before = store.stats.puts
+                run_analysis(
+                    analyzer,
+                    program.term,
+                    domain=domain,
+                    initial=initial,
+                    store=store,
+                    loop_mode="top",
+                )
+                warmed.append(
+                    {
+                        "corpus": name,
+                        "analyzer": analyzer,
+                        "written": store.stats.puts - before,
+                    }
+                )
+        summary = store.summary()
+    if args.json:
+        print(
+            json_mod.dumps(
+                {"warmed": warmed, "store": summary},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for row in warmed:
+            print(
+                f"  {row['corpus']:26} {row['analyzer']:14} "
+                f"+{row['written']} summaries"
+            )
+        print(
+            f"store {summary['path']}: {summary['entries']} entries, "
+            f"{summary['bytes']} bytes"
+        )
+    return 0
+
+
 def _cmd_corpus(args: argparse.Namespace) -> int:
     from repro.corpus.programs import corpus_listing
 
@@ -1217,6 +1363,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             verbose=args.verbose,
             access_log=args.access_log,
             slow_threshold_s=args.slow_threshold,
+            incr_store=args.incr_store,
         )
     except OSError as exc:
         raise SystemExit(f"cannot start service: {exc}")

@@ -9,6 +9,7 @@ from repro.corpus.programs import (
     THEOREM_51_WITNESS,
     THEOREM_52_CONDITIONAL,
     THEOREM_52_TWO_CLOSURES,
+    ackermann_open,
     conditional_chain,
     call_site_chain,
     corpus_listing,
@@ -25,6 +26,7 @@ __all__ = [
     "THEOREM_51_WITNESS",
     "THEOREM_52_CONDITIONAL",
     "THEOREM_52_TWO_CLOSURES",
+    "ackermann_open",
     "conditional_chain",
     "call_site_chain",
     "corpus_listing",

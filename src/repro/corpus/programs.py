@@ -276,7 +276,7 @@ def conditional_chain(k: int) -> CorpusProgram:
     )
 
 
-def top_conditional_chain(k: int) -> CorpusProgram:
+def top_conditional_chain(k: int, p_addend: int = 1) -> CorpusProgram:
     """A chain of ``k`` unknown conditionals whose branches *agree*.
 
     Both arms of every conditional return a value computed once from
@@ -286,10 +286,14 @@ def top_conditional_chain(k: int) -> CorpusProgram:
     — the duplication is syntactic — but the `repro.perf` eval cache
     collapses the redundant re-analyses to O(k): the memoization
     showcase workload.
+
+    ``p_addend`` varies the constant in the ``p`` binding — an
+    abstract-value-neutral one-sub-term edit (``p`` is ⊤ either way),
+    which is exactly what the `repro.incr` incremental bench needs.
     """
     if k < 1:
         raise ValueError("chain length must be >= 1")
-    lines = ["(let (p (+ y 1))", "(let (q (+ y 2))"]
+    lines = [f"(let (p (+ y {p_addend}))", "(let (q (+ y 2))"]
     for i in range(1, k + 1):
         lines.append(f"(let (a{i} (if0 x{i} p q))")
     body = f"a{k}" + ")" * (k + 2)
@@ -328,6 +332,38 @@ def call_site_chain(k: int) -> CorpusProgram:
         initial=lambda lat: {
             "f": lat.of_clos(AbsClo("p0", Num(0)), AbsClo("p1", Num(1)))
         },
+    )
+
+
+def ackermann_open(addend: int = 1) -> CorpusProgram:
+    """Ackermann applied to an *unknown* second argument.
+
+    The argument is ``u = (+ y addend)`` with ``y`` bound to ⊤, so
+    ``u`` is ⊤ for every ``addend``: changing the constant edits the
+    program without changing any abstract value at the call site.
+    That makes this the incremental-analysis showcase — the
+    `repro.incr` store replays the whole recursive derivation after
+    the edit, where the closed ``ackermann`` program (whose concrete
+    argument flows into every judgment's entry store) cannot reuse
+    anything.
+    """
+    source = f"""(let (ack (lambda (self)
+                       (lambda (m)
+                         (lambda (n)
+                           (if0 m
+                             (add1 n)
+                             (if0 n
+                               (((self self) (- m 1)) 1)
+                               (((self self) (- m 1))
+                                (((self self) m) (- n 1)))))))))
+             (let (u (+ y {addend}))
+               (((ack ack) 2) u)))"""
+    return CorpusProgram(
+        name=f"ackermann-open-{addend}",
+        description=f"Ackermann A(2, y+{addend}) on an unknown y",
+        term=_anf(source),
+        initial=lambda lat: {"y": lat.of_num(lat.domain.top)},
+        heavy=True,
     )
 
 
@@ -376,6 +412,10 @@ FAMILIES: dict[str, tuple] = {
     "loop-threshold-T": (
         loop_feeding_conditional,
         "loop feeding a conditional with threshold T (Section 6.2)",
+    ),
+    "ackermann-open-D": (
+        ackermann_open,
+        "Ackermann A(2, y+D) on an unknown y (incremental showcase)",
     ),
 }
 

@@ -1,0 +1,143 @@
+"""The summary recorder: the bridge between an analyzer's in-memory
+eval memo and the persistent store.
+
+`WorkBudgetMixin` exposes two hook points when a recorder is attached
+(see ``attach_recorder`` there):
+
+- on a memo **miss**, the recorder is consulted: it looks the
+  judgment up in its preloaded working set, decodes the summary
+  against the probe-time objects, checks the footprint digests
+  against the active path, and — on success — returns an entry that
+  is indistinguishable from one the in-memory memo would have stored;
+- on a memo **store** (a frame that passed PR 2's taint check), the
+  recorder encodes the entry and buffers it for a single batched
+  write at the end of the run.
+
+The recorder preloads every persisted row whose subject digest occurs
+in the current program (one indexed query per run), so probe misses
+against the persistent layer are plain dict misses — no per-judgment
+sqlite round-trips on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.incr.codec import JudgmentCodec, NodeTable, Unencodable
+from repro.incr.hash import TermHasher
+from repro.incr.store import KIND_SUB, IncrStore
+
+
+class SummaryRecorder:
+    """Per-run persistence session for one analyzer instance."""
+
+    def __init__(
+        self,
+        analyzer: Any,
+        store: IncrStore,
+        *,
+        program: Any,
+        initial_store: Any,
+        hasher: TermHasher | None = None,
+        readonly: bool = False,
+    ) -> None:
+        table = NodeTable(hasher)
+        table.add_root(program)
+        table.add_store_roots(initial_store)
+        self.table = table
+        self.codec = JudgmentCodec(analyzer, table)
+        self.store = store
+        self.cfg = self.codec.config_hex()
+        self.readonly = readonly
+        self._pending: dict[tuple[str, str], str] = {}
+        self._served: set[tuple[str, str]] = set()
+        self._decoded_bad: set[tuple[str, str]] = set()
+        subjects = sorted(
+            {table.hasher.hex(info[2]) for info in table.by_id.values()}
+        )
+        self._working_set = store.load(self.cfg, KIND_SUB, subjects)
+
+    # -- mixin hooks -----------------------------------------------------
+
+    def lookup(self, memo_key: tuple, active: dict) -> tuple | None:
+        """A decoded memo entry ``(answer, fp_keys, fp_marks)`` for a
+        judgment the in-memory memo missed, or None."""
+        jk = self.codec.judgment_key(memo_key)
+        if jk is None:
+            return None
+        if jk in self._decoded_bad:
+            return None
+        payload = self._pending.get(jk)
+        if payload is None:
+            payload = self._working_set.get(jk)
+        if payload is None:
+            self.store.stats.misses += 1
+            return None
+        try:
+            answer, marks = self.codec.decode_entry(payload, memo_key)
+        except (Unencodable, KeyError, ValueError):
+            self._decoded_bad.add(jk)
+            self.store.stats.errors += 1
+            return None
+        # Footprint-vs-active check: if any judgment the recorded
+        # derivation consulted is on the active path *now*, a fresh
+        # evaluation here would cut where the recorded one did not —
+        # reject (PR 2's read-side guard, at digest granularity).
+        if marks and self.clashes(marks, active):
+            self.store.stats.stale_rejections += 1
+            return None
+        self.store.stats.hits += 1
+        self._served.add(jk)
+        return answer, frozenset(), marks
+
+    def clashes(self, marks: frozenset, active: dict) -> bool:
+        digest_of = self.table.digest_of_id
+        for key in active:
+            digest = digest_of(key[0])
+            if digest is None or digest in marks:
+                return True
+        return False
+
+    def record(
+        self, memo_key: tuple, answer: Any, fp_keys: frozenset, fp_marks: frozenset
+    ) -> None:
+        """Buffer a just-stored memo entry for persistence."""
+        if self.readonly:
+            return
+        jk = self.codec.judgment_key(memo_key)
+        if jk is None or jk in self._working_set or jk in self._pending:
+            return
+        marks = self.codec.footprint_marks(fp_keys, fp_marks)
+        if marks is None:
+            return
+        try:
+            payload = self.codec.encode_entry(memo_key, answer, marks)
+        except (Unencodable, KeyError, ValueError):
+            return
+        self._pending[jk] = payload
+
+    def mark_digest(self, node_id: int) -> str | None:
+        """Hex digest of an active-path subject (footprint folding)."""
+        return self.table.digest_of_id(node_id)
+
+    # -- session end -----------------------------------------------------
+
+    def flush(self) -> int:
+        """Write buffered summaries and usage refreshes; returns the
+        number of new rows written."""
+        rows = [
+            (self.cfg, KIND_SUB, subject, judgment, payload)
+            for (subject, judgment), payload in self._pending.items()
+        ]
+        self.store.put_many(rows)
+        written = len(rows)
+        self._pending.clear()
+        if self._served:
+            self.store.touch_used(
+                [
+                    (self.cfg, KIND_SUB, subject, judgment)
+                    for subject, judgment in self._served
+                ]
+            )
+            self._served.clear()
+        return written

@@ -101,3 +101,37 @@ class ResultCache:
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
         }
+
+
+class PersistentResponseTier:
+    """Serialized response bodies persisted under the `repro.incr`
+    store, below the in-memory `ResultCache`.
+
+    A second server process (or the same one after a restart) pointed
+    at the same store file serves these as fast-path hits without
+    touching the analyzers.  Keys are the canonical request digests,
+    config-scoped by the repro version (a release may change response
+    bodies, so old rows must miss, not collide).  `lru_key` folds the
+    store's generation counter into the in-memory cache key: a gc (or
+    any schema reset) bumps the generation and orphans every LRU entry
+    that was filled from — or alongside — the evicted rows.
+    """
+
+    def __init__(self, store) -> None:
+        from repro import __version__
+
+        self.store = store
+        self.cfg = f"resp/{__version__}"
+
+    def lru_key(self, key: str) -> str:
+        return f"{key}:g{self.store.generation(refresh=True)}"
+
+    def get(self, key: str) -> "str | None":
+        from repro.incr.store import KIND_RESPONSE
+
+        return self.store.get(self.cfg, KIND_RESPONSE, key, "-")
+
+    def put(self, key: str, body: str) -> None:
+        from repro.incr.store import KIND_RESPONSE
+
+        self.store.put(self.cfg, KIND_RESPONSE, key, "-", body)

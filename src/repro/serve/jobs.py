@@ -39,6 +39,7 @@ from repro.domains import (
     UnitDomain,
 )
 from repro.domains.store import AbsStore
+from repro.incr.hash import term_hash
 from repro.interp import run_direct, run_semantic_cps, run_syntactic_cps
 from repro.interp.values import Env, Store
 from repro.lang.ast import Term
@@ -77,6 +78,7 @@ _FIELDS_BY_KIND = {
         "max_visits",
         "cache",
         "engine",
+        "term_hash",
     },
     "run": _COMMON_FIELDS | {"interpreter", "fuel"},
     "compare": _COMMON_FIELDS
@@ -153,6 +155,12 @@ class PreparedRequest:
     #: the timing-free payload and the breakdown is spliced in per
     #: request, so timing requests share cache entries with plain ones.
     server_timing: bool = False
+    #: ``If-None-Match``-style conditional analysis: when the client's
+    #: ``term_hash`` matches the canonical program's alpha-invariant
+    #: hash, execution short-circuits to ``{"not_modified": true}``.
+    #: Such requests never hit or fill the response cache (their body
+    #: differs from the full response under the same spec key).
+    not_modified: bool = False
 
     @property
     def cacheable(self) -> bool:
@@ -359,8 +367,17 @@ def prepare_request(
     _require(
         isinstance(server_timing, bool), "'server_timing' must be a boolean"
     )
+    not_modified = False
+    if kind == "analyze":
+        client_hash = payload.get("term_hash")
+        _require(
+            client_hash is None or isinstance(client_hash, str),
+            "'term_hash' must be a string",
+        )
+        if client_hash is not None:
+            not_modified = client_hash == term_hash(term)
     key = None
-    if sleep_ms == 0:
+    if sleep_ms == 0 and not not_modified:
         digest = hashlib.sha256(
             json.dumps(spec, sort_keys=True).encode("utf-8")
         )
@@ -373,6 +390,7 @@ def prepare_request(
         debug_sleep_ms=sleep_ms,
         key=key,
         server_timing=server_timing,
+        not_modified=not_modified,
     )
 
 
@@ -450,8 +468,18 @@ def _execute_analyze(
     deadline: Deadline,
     trace: Sink,
     metrics: Metrics | None,
+    incr_store=None,
 ) -> dict:
     spec = prep.spec
+    program_hash = term_hash(prep.term)
+    if prep.not_modified:
+        return {
+            "ok": True,
+            "kind": "analyze",
+            "analyzer": spec["analyzer"],
+            "not_modified": True,
+            "term_hash": program_hash,
+        }
     domain = DOMAINS[spec["domain"]]()
     initial = _analysis_initial(prep, Lattice(domain))
     analyzer = spec["analyzer"]
@@ -464,6 +492,41 @@ def _execute_analyze(
         engine=spec["engine"],
     )
     deadline.check()
+    if (
+        incr_store is not None
+        and spec["engine"] == "tree"
+        and spec["cache"]
+    ):
+        # Persist (and reuse) sub-term summaries through the store.
+        # Results are bit-identical to the plain paths below — the
+        # serve differential tests pin it — so the response body does
+        # not depend on whether persistence was on.
+        from repro.incr.driver import run_analysis
+
+        result, _ = run_analysis(
+            analyzer,
+            prep.term,
+            domain=domain,
+            initial=initial,
+            store=incr_store,
+            k=spec["k"],
+            loop_mode=spec["loop_mode"],
+            unroll_bound=spec["unroll_bound"],
+            max_visits=spec["max_visits"],
+            trace=trace,
+            metrics=metrics,
+            cache=True,
+        )
+        if analyzer == "polyvariant":
+            result = result.collapse()
+        return {
+            "ok": True,
+            "kind": "analyze",
+            "analyzer": analyzer,
+            "program": spec["term"],
+            "term_hash": program_hash,
+            "result": result.to_dict(),
+        }
     if analyzer == "direct":
         result = analyze_direct(prep.term, domain, **common)
     elif analyzer == "semantic-cps":
@@ -496,6 +559,7 @@ def _execute_analyze(
         "kind": "analyze",
         "analyzer": analyzer,
         "program": spec["term"],
+        "term_hash": program_hash,
         "result": result.to_dict(),
     }
 
@@ -625,6 +689,7 @@ def execute_prepared(
     deadline: Deadline | None = None,
     trace: Sink = NULL_SINK,
     metrics: Metrics | None = None,
+    incr_store=None,
 ) -> dict:
     """Run a prepared request and return the JSON-ready response body.
 
@@ -646,7 +711,9 @@ def execute_prepared(
             if prep.debug_sleep_ms:
                 _debug_sleep(prep, deadline)
             if prep.kind == "analyze":
-                return _execute_analyze(prep, deadline, trace, metrics)
+                return _execute_analyze(
+                    prep, deadline, trace, metrics, incr_store
+                )
             if prep.kind == "lint":
                 return _execute_lint(prep, deadline, trace, metrics)
             if prep.kind == "run":
@@ -665,10 +732,12 @@ def execute_request(
     deadline: Deadline | None = None,
     trace: Sink = NULL_SINK,
     metrics: Metrics | None = None,
+    incr_store=None,
 ) -> dict:
     """Validate and run one request end to end (the in-process
     equivalent of POSTing to ``/v1/<kind>``)."""
     prep = prepare_request(kind, payload, defaults)
     return execute_prepared(
-        prep, deadline=deadline, trace=trace, metrics=metrics
+        prep, deadline=deadline, trace=trace, metrics=metrics,
+        incr_store=incr_store,
     )

@@ -57,11 +57,12 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro import __version__
 from repro.corpus.programs import corpus_listing
+from repro.incr.store import open_store
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import Metrics
 from repro.obs.sinks import NULL_SINK, Sink
 from repro.serve.accesslog import AccessLog
-from repro.serve.cache import ResultCache
+from repro.serve.cache import PersistentResponseTier, ResultCache
 from repro.serve.codes import ServeError, classify_exception
 from repro.serve.jobs import (
     Deadline,
@@ -148,6 +149,7 @@ class AnalysisService:
         access_log: "str | Path | AccessLog | None" = None,
         slow_threshold_s: float | None = 1.0,
         worker_model: str = "thread",
+        incr_store: "str | None" = None,
     ) -> None:
         if worker_model not in ("thread", "process"):
             raise ValueError(
@@ -163,6 +165,16 @@ class AnalysisService:
             )
         self.access_log = access_log
         self.worker_model = worker_model
+        # The dispatcher keeps its own connection for introspection
+        # (`/healthz`, `/metricsz`) in both modes; thread mode also
+        # executes through it.  Shards open their own after forking.
+        self.incr_store_path = incr_store
+        self.incr_store = open_store(incr_store)
+        self._response_tier = (
+            PersistentResponseTier(self.incr_store)
+            if self.incr_store is not None
+            else None
+        )
         if worker_model == "process":
             # Shard processes must fork before this process grows
             # threads (the HTTP serve loop, handler threads): forking
@@ -173,6 +185,7 @@ class AnalysisService:
                 cache_size=cache_size,
                 defaults=self.defaults,
                 metrics=self.metrics,
+                incr_store=incr_store,
             )
             self.cache = None
             self.pool = None
@@ -503,9 +516,19 @@ class AnalysisService:
             status, body = self._error_response(classify_exception(exc))
             return status, body, None, "bypass"
         cache_status = "miss" if prep.cacheable else "bypass"
+        tier = self._response_tier
+        lru_key = prep.key
+        if prep.cacheable and tier is not None:
+            # Folding the store generation into the in-memory key
+            # invalidates LRU entries when a gc rewrites the store.
+            lru_key = tier.lru_key(prep.key)
         if prep.cacheable:
             with obs_trace.span("cache.lookup", kind=prep.kind):
-                cached = self.cache.get(prep.key)
+                cached = self.cache.get(lru_key)
+                if cached is None and tier is not None:
+                    cached = tier.get(prep.key)
+                    if cached is not None:
+                        self.cache.put(lru_key, cached)
             if cached is not None:
                 self._count("serve.responses.ok")
                 return 200, cached, prep, "hit"
@@ -518,11 +541,14 @@ class AnalysisService:
                 deadline=job.deadline,
                 trace=self.trace,
                 metrics=self.metrics,
+                incr_store=self.incr_store,
             )
             with obs_trace.span("serialize"):
                 body = _dumps(response)
             if prep.cacheable:
-                self.cache.put(prep.key, body)
+                self.cache.put(lru_key, body)
+                if tier is not None:
+                    tier.put(prep.key, body)
             return 200, body
 
         job = Job(run, deadline, trace_ctx=obs_trace.current())
@@ -640,8 +666,13 @@ class AnalysisService:
                 "uptime_s": uptime,
                 "uptime_seconds": uptime,
             }
+            body["incr_store"] = (
+                self._incr_store_health()
+                if self.incr_store is not None
+                else None
+            )
             return body
-        return {
+        body = {
             "status": "draining" if self.pool.draining else "ok",
             "version": __version__,
             "pid": os.getpid(),
@@ -653,6 +684,42 @@ class AnalysisService:
             # pre-v2 spelling, kept for old scrapers
             "uptime_seconds": uptime,
         }
+        body["incr_store"] = (
+            self._incr_store_health()
+            if self.incr_store is not None
+            else None
+        )
+        return body
+
+    def _incr_store_health(self) -> dict:
+        """The dispatcher-side view of the shared store file for
+        ``/healthz`` (cheap: one connection, no shard round-trips)."""
+        summary = self.incr_store.summary()
+        return {
+            "path": summary["path"],
+            "bytes": summary["bytes"],
+            "entries": summary["entries"],
+            "generation": summary["generation"],
+        }
+
+    def _incr_store_block(self, shards: "list[dict] | None" = None) -> dict:
+        """The ``/metricsz`` ``incr_store`` block: the shared file's
+        summary plus runtime counters — this process's own in thread
+        mode, aggregated over the shard replies in process mode."""
+        block = self.incr_store.summary()
+        if shards is not None:
+            # Runtime counters live in the shard processes; the
+            # dispatcher's own connection only reads.  Sum them so the
+            # top-level block keeps one hit-rate, like ``cache``.
+            totals = dict.fromkeys(
+                ("hits", "misses", "stale_rejections", "puts", "errors"), 0
+            )
+            for shard in shards:
+                stats = shard.get("incr_store") or {}
+                for name in totals:
+                    totals[name] += int(stats.get(name, 0))
+            block.update(totals)
+        return block
 
     def metricsz(self) -> dict:
         """The ``/metricsz`` JSON body (histograms carry p50/p90/p99).
@@ -671,7 +738,7 @@ class AnalysisService:
                 for field, value in (shard.get("cache") or {}).items():
                     if field in cache:
                         cache[field] += value
-            return {
+            body = {
                 "metrics": self.metrics.snapshot(quantiles=True),
                 "worker_model": "process",
                 "cache": cache,
@@ -684,7 +751,13 @@ class AnalysisService:
                     "respawns": self.sharded.respawns,
                 },
             }
-        return {
+            body["incr_store"] = (
+                self._incr_store_block(shards)
+                if self.incr_store is not None
+                else None
+            )
+            return body
+        body = {
             "metrics": self.metrics.snapshot(quantiles=True),
             "worker_model": "thread",
             "cache": self.cache.snapshot(),
@@ -695,6 +768,12 @@ class AnalysisService:
                 "draining": self.pool.draining,
             },
         }
+        body["incr_store"] = (
+            self._incr_store_block()
+            if self.incr_store is not None
+            else None
+        )
+        return body
 
     def metrics_prometheus(self) -> str:
         """The ``/metricsz?format=prom`` text body.  Queue state is
@@ -711,6 +790,17 @@ class AnalysisService:
         self.metrics.gauge("serve.uptime.seconds").set(
             round(time.monotonic() - self.started_at, 3)
         )
+        if self.incr_store is not None:
+            block = self._incr_store_block(
+                self.sharded.stats() if self.sharded is not None else None
+            )
+            for name in (
+                "bytes", "entries", "generation", "gc_runs",
+                "hits", "misses", "stale_rejections", "puts", "errors",
+            ):
+                self.metrics.gauge(f"serve.incr_store.{name}").set(
+                    block.get(name, 0)
+                )
         return self.metrics.to_prometheus()
 
     def _count(self, name: str) -> None:
@@ -736,6 +826,8 @@ class AnalysisService:
         self.trace.close()
         if self.access_log is not None:
             self.access_log.close()
+        if self.incr_store is not None:
+            self.incr_store.close()
         self._drained.set()
         return clean
 

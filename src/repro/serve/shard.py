@@ -48,8 +48,9 @@ import time
 
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import Metrics
+from repro.incr.store import open_store
 from repro.perf.pool import warm_analysis_caches
-from repro.serve.cache import ResultCache
+from repro.serve.cache import PersistentResponseTier, ResultCache
 from repro.serve.codes import ServeError, classify_exception
 from repro.serve.jobs import (
     Deadline,
@@ -85,6 +86,7 @@ def _shard_request(
     defaults: ServiceDefaults,
     cache: ResultCache,
     metrics: Metrics,
+    incr_store=None,
 ) -> tuple[int, str, dict]:
     """One request through the shard-local prepare → cache → execute →
     serialize pipeline; returns ``(status, body, meta)``."""
@@ -108,10 +110,24 @@ def _shard_request(
             body = _dumps(error.payload())
         else:
             cache_status = "miss" if prep.cacheable else "bypass"
+            tier = (
+                PersistentResponseTier(incr_store)
+                if incr_store is not None
+                else None
+            )
+            lru_key = prep.key
+            if prep.cacheable and tier is not None:
+                # A gc bumps the store generation; folding it into the
+                # LRU key orphans entries filled before the sweep.
+                lru_key = tier.lru_key(prep.key)
             cached = None
             if prep.cacheable:
                 with obs_trace.span("cache.lookup", kind=prep.kind):
-                    cached = cache.get(prep.key)
+                    cached = cache.get(lru_key)
+                    if cached is None and tier is not None:
+                        cached = tier.get(prep.key)
+                        if cached is not None:
+                            cache.put(lru_key, cached)
             if cached is not None:
                 status, body, cache_status = 200, cached, "hit"
             else:
@@ -124,12 +140,15 @@ def _shard_request(
                 try:
                     deadline.check()
                     response = execute_prepared(
-                        prep, deadline=deadline, metrics=metrics
+                        prep, deadline=deadline, metrics=metrics,
+                        incr_store=incr_store,
                     )
                     with obs_trace.span("serialize"):
                         body = _dumps(response)
                     if prep.cacheable:
-                        cache.put(prep.key, body)
+                        cache.put(lru_key, body)
+                        if tier is not None:
+                            tier.put(prep.key, body)
                     status = 200
                 except BaseException as exc:
                     error = classify_exception(exc)
@@ -155,6 +174,7 @@ def _shard_main(
     index: int,
     defaults: ServiceDefaults,
     cache_size: int,
+    incr_store_path: "str | None" = None,
 ) -> None:
     """The shard process: warm once, then serve requests off the pipe
     until the sentinel (or a dead dispatcher) says stop."""
@@ -167,6 +187,10 @@ def _shard_main(
     warm_analysis_caches()
     metrics = Metrics()
     cache = ResultCache(cache_size, metrics=metrics)
+    # Opened after the fork: sqlite connections must not cross it.
+    # WAL + busy timeout keep concurrent shard writers safe on the
+    # one shared file.
+    incr_store = open_store(incr_store_path)
     processed = 0
     while True:
         try:
@@ -188,13 +212,18 @@ def _shard_main(
                     "processed": processed,
                     "cache": cache.snapshot(),
                     "plan_cache": PLAN_CACHE.snapshot(),
+                    "incr_store": (
+                        None
+                        if incr_store is None
+                        else incr_store.summary()
+                    ),
                 },
             )
         else:
             _, req_id, kind, payload, traceparent, t_enq, t_dead = message
             status, body, meta = _shard_request(
                 kind, payload, traceparent, t_enq, t_dead,
-                defaults, cache, metrics,
+                defaults, cache, metrics, incr_store,
             )
             processed += 1
             reply = ("res", req_id, status, body, meta)
@@ -202,6 +231,8 @@ def _shard_main(
             conn.send(reply)
         except (BrokenPipeError, OSError):
             break
+    if incr_store is not None:
+        incr_store.close()
     conn.close()
 
 
@@ -270,6 +301,7 @@ class ShardedExecutor:
         defaults: ServiceDefaults | None = None,
         metrics: Metrics | None = None,
         start_method: str | None = None,
+        incr_store: "str | None" = None,
     ) -> None:
         if shards < 1:
             raise ValueError("need at least one shard")
@@ -279,6 +311,7 @@ class ShardedExecutor:
         self.metrics = metrics
         self.queue_size = queue_size
         self.cache_size = cache_size
+        self.incr_store_path = incr_store
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -305,7 +338,8 @@ class ShardedExecutor:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_shard_main,
-            args=(child_conn, index, self.defaults, self.cache_size),
+            args=(child_conn, index, self.defaults, self.cache_size,
+                  self.incr_store_path),
             name=f"repro-serve-shard-{index}",
             daemon=True,
         )

@@ -1,0 +1,107 @@
+"""Tests for the ``repro cachectl`` store-administration command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.incr.driver import STORE_ENV
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return str(tmp_path / "incr.sqlite")
+
+
+class TestPath:
+    def test_explicit_store(self, capsys, store):
+        code, out, _ = run_cli(capsys, "cachectl", "path", "--store", store)
+        assert code == 0
+        assert out.strip() == store
+
+    def test_env_override(self, capsys, store, monkeypatch):
+        monkeypatch.setenv(STORE_ENV, store)
+        code, out, _ = run_cli(capsys, "cachectl", "path")
+        assert code == 0
+        assert out.strip() == store
+
+
+class TestWarmStatsGc:
+    def test_full_cycle(self, capsys, store):
+        code, out, _ = run_cli(
+            capsys,
+            "cachectl", "warm", "--store", store,
+            "--corpus", "factorial", "--analyzer", "semantic-cps",
+        )
+        assert code == 0
+        assert "factorial" in out
+
+        code, out, _ = run_cli(
+            capsys, "cachectl", "stats", "--store", store, "--json"
+        )
+        assert code == 0
+        stats = json.loads(out)
+        assert stats["entries"] > 0
+        entries = stats["entries"]
+
+        code, out, _ = run_cli(
+            capsys,
+            "cachectl", "gc", "--store", store, "--max-bytes", "0",
+            "--json",
+        )
+        assert code == 0
+        report = json.loads(out)
+        assert report["evicted"] == entries
+        assert report["bytes"] == 0
+
+        code, out, _ = run_cli(
+            capsys, "cachectl", "stats", "--store", store, "--json"
+        )
+        assert json.loads(out)["entries"] == 0
+
+    def test_stats_human_readable(self, capsys, store):
+        run_cli(capsys, "cachectl", "warm", "--store", store,
+                "--corpus", "constants")
+        code, out, _ = run_cli(capsys, "cachectl", "stats", "--store", store)
+        assert code == 0
+        assert "schema" in out and "entries" in out
+
+    def test_gc_requires_max_bytes(self, capsys, store):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "cachectl", "gc", "--store", store)
+
+    def test_warm_rejects_unknown_corpus(self, capsys, store):
+        with pytest.raises(SystemExit):
+            run_cli(
+                capsys,
+                "cachectl", "warm", "--store", store,
+                "--corpus", "no-such-program",
+            )
+
+    def test_warmed_store_serves_later_sessions(self, capsys, store):
+        # The whole point of warm: a later analysis session over the
+        # same program starts from the persisted summaries.
+        from repro.corpus import PROGRAMS
+        from repro.domains import ConstPropDomain, Lattice
+        from repro.incr import IncrStore, run_analysis
+
+        run_cli(capsys, "cachectl", "warm", "--store", store,
+                "--corpus", "factorial", "--analyzer", "semantic-cps")
+        program = PROGRAMS["factorial"]
+        initial = program.initial_for(Lattice(ConstPropDomain()))
+        with IncrStore(store) as handle:
+            result, _ = run_analysis(
+                "semantic-cps",
+                program.term,
+                initial=initial,
+                store=handle,
+                loop_mode="top",
+            )
+            assert handle.stats.hits > 0
+        assert result.stats.visits == 1

@@ -1,0 +1,190 @@
+"""The differential suite: incremental re-analysis must be
+bit-identical to from-scratch analysis.
+
+`analyze_incremental` may only change *work* (visits, wall clock,
+store counters) — never the answer.  These tests compare the
+incremental result against a plain `run_analysis` of the same edited
+term across the corpus, the four analyzers, the abstract domains, the
+plan engine, and 300 seeded random edit-pairs.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import BudgetExceeded
+from repro.anf import normalize
+from repro.domains import (
+    ConstPropDomain,
+    IntervalDomain,
+    Lattice,
+    ParityDomain,
+    SignDomain,
+)
+from repro.gen.random_terms import random_program
+from repro.incr import (
+    ANALYZERS,
+    IncrStore,
+    analyze_incremental,
+    run_analysis,
+)
+from repro.incr.hash import iter_nodes, replace_at
+from repro.lang.ast import Num
+
+
+def results_identical(a, b) -> bool:
+    """Bit-identity of two analysis results (answer + store; the
+    polyvariant result compares its per-context store map)."""
+    if hasattr(a, "answer"):
+        return a.answer == b.answer
+    return a.value == b.value and a._store == b._store
+
+
+def num_edit(term, rng=None, bump=1):
+    """An edited copy of ``term``: one numeral changed."""
+    paths = [
+        path
+        for path, node in iter_nodes(term)
+        if isinstance(node, Num)
+    ]
+    if not paths:
+        return None
+    path = paths[0] if rng is None else rng.choice(paths)
+    old = None
+    for p, node in iter_nodes(term):
+        if p == path:
+            old = node
+            break
+    return replace_at(term, path, Num(old.value + bump))
+
+
+def check_incremental(old, new, analyzer, **options):
+    report = analyze_incremental(old, new, analyzer=analyzer, **options)
+    scratch, _ = run_analysis(analyzer, new, **options)
+    assert results_identical(report.result, scratch), (
+        f"{analyzer}: incremental diverged from from-scratch"
+    )
+    return report
+
+
+class TestCorpus:
+    @pytest.mark.parametrize("analyzer", ANALYZERS)
+    @pytest.mark.parametrize(
+        "name", ["constants", "branchy", "factorial", "even-odd", "church"]
+    )
+    def test_corpus_edit_identity(self, name, analyzer):
+        from repro.corpus import PROGRAMS
+
+        program = PROGRAMS[name]
+        lattice = Lattice(ConstPropDomain())
+        initial = program.initial_for(lattice)
+        edited = num_edit(program.term)
+        if edited is None:
+            pytest.skip("no numeral to edit")
+        check_incremental(
+            program.term, edited, analyzer, initial=initial
+        )
+
+    def test_reuse_actually_happens(self):
+        # The flagship workload: an abstract-value-neutral edit on the
+        # open Ackermann replays the recursive derivation.
+        from repro.corpus import ackermann_open
+
+        old = ackermann_open(1)
+        new = ackermann_open(2)
+        lattice = Lattice(ConstPropDomain())
+        report = check_incremental(
+            old.term,
+            new.term,
+            "semantic-cps",
+            initial=old.initial_for(lattice),
+            loop_mode="top",
+        )
+        assert report.reused > 0
+        assert len(report.dirty_paths) == 1
+
+
+class TestDomains:
+    @pytest.mark.parametrize(
+        "domain_cls",
+        [ConstPropDomain, SignDomain, ParityDomain, IntervalDomain],
+    )
+    def test_domain_identity(self, domain_cls):
+        from repro.corpus import PROGRAMS
+
+        program = PROGRAMS["factorial"]
+        domain = domain_cls()
+        initial = program.initial_for(Lattice(domain))
+        edited = num_edit(program.term)
+        check_incremental(
+            program.term,
+            edited,
+            "semantic-cps",
+            domain=domain,
+            initial=initial,
+        )
+
+
+class TestEngines:
+    def test_plan_engine_falls_back(self):
+        # The plan engine has no persistence: run_analysis returns no
+        # recorder, analyze_incremental still agrees with scratch.
+        from repro.corpus import PROGRAMS
+
+        program = PROGRAMS["factorial"]
+        initial = program.initial_for(Lattice(ConstPropDomain()))
+        _, recorder = run_analysis(
+            "direct",
+            program.term,
+            initial=initial,
+            store=IncrStore(":memory:"),
+            engine="plan",
+        )
+        assert recorder is None
+        edited = num_edit(program.term)
+        check_incremental(
+            program.term, edited, "direct", initial=initial, engine="plan"
+        )
+
+    def test_uncached_run_skips_persistence(self):
+        from repro.corpus import PROGRAMS
+
+        program = PROGRAMS["constants"]
+        initial = program.initial_for(Lattice(ConstPropDomain()))
+        with IncrStore(":memory:") as store:
+            _, recorder = run_analysis(
+                "direct",
+                program.term,
+                initial=initial,
+                store=store,
+                cache=False,
+            )
+            assert recorder is None
+            assert store.summary()["entries"] == 0
+
+
+class TestSeededRandomEdits:
+    # 300 seeded edit-pairs on small random closed programs, rotating
+    # through the four analyzers.  Bit-identity must hold on every
+    # pair; seeds whose programs blow the visit budget are skipped
+    # (both sides would, identically).
+    PAIRS = 300
+
+    def test_random_edit_pairs(self):
+        checked = 0
+        for seed in range(self.PAIRS):
+            rng = random.Random(seed)
+            term = normalize(random_program(seed, max_depth=3))
+            edited = num_edit(term, rng=rng, bump=rng.randint(1, 9))
+            if edited is None:
+                continue
+            analyzer = ANALYZERS[seed % len(ANALYZERS)]
+            try:
+                check_incremental(
+                    term, edited, analyzer, max_visits=20_000
+                )
+            except BudgetExceeded:
+                continue
+            checked += 1
+        # The generator must not starve the suite of usable pairs.
+        assert checked >= self.PAIRS // 2
