@@ -10,7 +10,9 @@ The package implements, from scratch:
   (:mod:`repro.cps`);
 - the three abstract collecting interpreters of Figures 4-6 over
   pluggable finite-height number domains (:mod:`repro.analysis`,
-  :mod:`repro.domains`);
+  :mod:`repro.domains`), plus the pushdown (CFA2-style) summary
+  analyzer that eliminates Theorem 5.1's false returns without a CPS
+  transform (:mod:`repro.analysis.pushdown`);
 - the Section 5 comparison machinery (``δ``/``δe``, precision
   verdicts), control-flow graph construction (:mod:`repro.cfg`), and
   analysis-driven optimizations including the paper's proposed
@@ -18,21 +20,29 @@ The package implements, from scratch:
 
 Quick start::
 
-    from repro import run_three_way
+    from repro import run_comparison
     from repro.corpus import THEOREM_51_WITNESS
 
-    report = run_three_way(THEOREM_51_WITNESS)
+    report = run_comparison(THEOREM_51_WITNESS)
     print(report.summary())
 """
 
-from repro.api import ThreeWayReport, prepare, run_three_way
+from repro.api import (
+    ComparisonReport,
+    ThreeWayReport,
+    prepare,
+    run_comparison,
+    run_three_way,
+)
 from repro.analysis.compare import Precision
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ComparisonReport",
     "ThreeWayReport",
     "prepare",
+    "run_comparison",
     "run_three_way",
     "Precision",
     "__version__",

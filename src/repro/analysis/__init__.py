@@ -7,10 +7,16 @@ formal-relationship tooling (Section 5).
   collecting interpreter ``Ce`` (Figure 5);
 - :mod:`repro.analysis.syntactic_cps` — the syntactic-CPS abstract
   collecting interpreter ``Ms`` (Figure 6);
+- :mod:`repro.analysis.pushdown` — the pushdown (CFA2-style) summary
+  analyzer that matches calls with returns, eliminating Theorem 5.1's
+  false returns without a CPS transform;
 - :mod:`repro.analysis.delta` — the abstract ``δe`` map between the
   direct and CPS abstract domains;
 - :mod:`repro.analysis.compare` — precision comparisons (Theorems
-  5.1, 5.2, 5.4, 5.5).
+  5.1, 5.2, 5.4, 5.5);
+- :mod:`repro.analysis.registry` — the canonical analyzer-name
+  vocabulary shared by the CLI, the serve layer, the survey, and the
+  lint engine.
 
 All analyzers are parametric in the number domain (see
 :mod:`repro.domains`) and detect loops exactly as Section 4.4
@@ -33,12 +39,18 @@ from repro.analysis.common import (
     AnalysisError,
     AnalysisStats,
     BudgetExceeded,
+    EngineUnsupported,
     NonComputableError,
     closures_of_term,
     cps_closures_of_term,
     konts_of_term,
 )
-from repro.analysis.compare import Precision, compare_answers, compare_direct_to_cps
+from repro.analysis.compare import (
+    Precision,
+    compare_answers,
+    compare_direct_to_cps,
+    compare_pushdown_to_direct,
+)
 from repro.analysis.delta import delta_answer, delta_store, delta_value
 from repro.analysis.direct import DirectAnalyzer, analyze_direct
 from repro.analysis.engine import (
@@ -53,6 +65,17 @@ from repro.analysis.polyvariant import (
     PolyvariantDirectAnalyzer,
     PolyvariantResult,
     analyze_polyvariant,
+)
+from repro.analysis.pushdown import PushdownAnalyzer, analyze_pushdown
+from repro.analysis.registry import (
+    ALIASES,
+    ANALYZERS,
+    COMPARISON_ANALYZERS,
+    INTERPRETERS,
+    LINT_ANALYZERS,
+    PLAN_ANALYZERS,
+    analyzer_choices,
+    canonical_analyzer,
 )
 from repro.analysis.result import AnalysisResult
 from repro.analysis.semantic_cps import SemanticCpsAnalyzer, analyze_semantic_cps
@@ -72,6 +95,7 @@ __all__ = [
     "AnalysisError",
     "AnalysisStats",
     "BudgetExceeded",
+    "EngineUnsupported",
     "NonComputableError",
     "closures_of_term",
     "cps_closures_of_term",
@@ -79,11 +103,22 @@ __all__ = [
     "Precision",
     "compare_answers",
     "compare_direct_to_cps",
+    "compare_pushdown_to_direct",
     "delta_answer",
     "delta_store",
     "delta_value",
     "DirectAnalyzer",
     "analyze_direct",
+    "PushdownAnalyzer",
+    "analyze_pushdown",
+    "ANALYZERS",
+    "ALIASES",
+    "COMPARISON_ANALYZERS",
+    "INTERPRETERS",
+    "LINT_ANALYZERS",
+    "PLAN_ANALYZERS",
+    "analyzer_choices",
+    "canonical_analyzer",
     "PolyvariantDirectAnalyzer",
     "PolyvariantResult",
     "analyze_polyvariant",

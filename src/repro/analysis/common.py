@@ -82,6 +82,26 @@ class NonComputableError(AnalysisError):
     """
 
 
+class EngineUnsupported(AnalysisError):
+    """The requested execution engine has no implementation for this
+    analyzer.
+
+    The pushdown analyzer is tree-only: its summary tables are keyed
+    by abstract closures and stores, not by compiled instruction
+    offsets, so there is no ``engine="plan"`` variant.  The serve
+    layer maps this to the ``engine_unsupported`` enum error rather
+    than a crash.
+    """
+
+    def __init__(self, analyzer: str, engine: str) -> None:
+        self.analyzer = analyzer
+        self.engine = engine
+        super().__init__(
+            f"the {analyzer} analyzer has no {engine!r} engine"
+            " implementation (tree only)"
+        )
+
+
 # ----------------------------------------------------------------------
 # Abstract closures and continuations
 # ----------------------------------------------------------------------

@@ -112,6 +112,25 @@ def compare_semantic_to_direct(
     )
 
 
+def compare_pushdown_to_direct(
+    pushdown: AnalysisResult, direct: AnalysisResult
+) -> Precision:
+    """Compare a pushdown analysis against a direct analysis of the
+    same source program.
+
+    Both answers live in the same abstract domain over the same
+    variable space, so the comparison is direct.  The pushdown
+    analyzer's call/return matching makes it at least as precise on
+    every program — never ``RIGHT_MORE_PRECISE`` — and strictly more
+    precise wherever the direct analysis suffers a false return
+    through its merged store locations or a Section 4.4 ``(⊤, CL⊤)``
+    cut (differentially enforced by the pushdown test suite).
+    """
+    return compare_answers(
+        pushdown.answer, direct.answer, direct.lattice
+    )
+
+
 def compare_semantic_to_syntactic(
     semantic: AnalysisResult, syntactic: AnalysisResult
 ) -> Precision:

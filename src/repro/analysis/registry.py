@@ -1,0 +1,101 @@
+"""The canonical analyzer-name registry.
+
+One vocabulary for every layer that names an analyzer — CLI argument
+choices, serve enum validation (and hence cache keys), the survey, the
+lint engine, and the incremental driver.  Canonical spellings are the
+serve layer's: ``direct``, ``semantic-cps``, ``syntactic-cps``,
+``polyvariant``, and ``pushdown``.  The historical short spellings
+``semantic``/``syntactic`` (the interpreter-flag vocabulary the CLI
+used before the registry existed) are accepted everywhere as aliases
+and *fold to the canonical name* before a request spec is hashed, so
+``{"analyzer": "semantic"}`` and ``{"analyzer": "semantic-cps"}``
+share one serve cache entry.
+"""
+
+from __future__ import annotations
+
+#: Every analyzer, canonically spelled.  ``pushdown`` is the
+#: CFA2-style summary analyzer (no plan-engine implementation);
+#: ``polyvariant`` is the k-CFA ablation.
+ANALYZERS: tuple[str, ...] = (
+    "direct",
+    "semantic-cps",
+    "syntactic-cps",
+    "polyvariant",
+    "pushdown",
+)
+
+#: The analyzers `repro.api.run_comparison` runs side by side (all
+#: monovariant analyzers of the source program or its CPS image; the
+#: polyvariant analyzer is excluded because its results are keyed by
+#: call-string contexts and need collapsing before comparison).
+COMPARISON_ANALYZERS: tuple[str, ...] = (
+    "direct",
+    "semantic-cps",
+    "syntactic-cps",
+    "pushdown",
+)
+
+#: The analyzers that can power the semantic lint rules (and hence the
+#: precision scoreboard's columns).
+LINT_ANALYZERS: tuple[str, ...] = (
+    "direct",
+    "semantic-cps",
+    "syntactic-cps",
+    "pushdown",
+)
+
+#: Analyzers with a compiled-plan (``engine="plan"``) implementation.
+#: The pushdown analyzer is tree-only: asking for its plan engine
+#: raises `repro.analysis.common.EngineUnsupported` (the serve layer's
+#: ``engine_unsupported`` error), never a crash.
+PLAN_ANALYZERS: tuple[str, ...] = (
+    "direct",
+    "semantic-cps",
+    "syntactic-cps",
+    "polyvariant",
+)
+
+#: The three concrete interpreters (paper Figures 1-3), canonically
+#: spelled like their abstract counterparts.
+INTERPRETERS: tuple[str, ...] = (
+    "direct",
+    "semantic-cps",
+    "syntactic-cps",
+)
+
+#: Old spellings, still accepted everywhere an analyzer or interpreter
+#: is named.
+ALIASES: dict[str, str] = {
+    "semantic": "semantic-cps",
+    "syntactic": "syntactic-cps",
+}
+
+
+def canonical_analyzer(
+    name: str, allowed: tuple[str, ...] = ANALYZERS
+) -> str:
+    """Resolve ``name`` (canonical or alias) to its canonical spelling.
+
+    Raises ``ValueError`` when the resolved name is not in
+    ``allowed`` — the caller's vocabulary subset (e.g. only the lint
+    analyzers).
+    """
+    resolved = ALIASES.get(name, name)
+    if resolved not in allowed:
+        raise ValueError(
+            f"unknown analyzer {name!r}; expected one of {allowed} "
+            f"(aliases: {sorted(ALIASES)})"
+        )
+    return resolved
+
+
+def analyzer_choices(allowed: tuple[str, ...] = ANALYZERS) -> tuple[str, ...]:
+    """The argparse ``choices`` tuple for ``allowed``: canonical names
+    first, then the aliases that resolve into the set."""
+    aliases = tuple(
+        alias
+        for alias, target in sorted(ALIASES.items())
+        if target in allowed
+    )
+    return tuple(allowed) + aliases

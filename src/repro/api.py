@@ -1,32 +1,40 @@
-"""High-level facade: run the paper's three analyzers side by side.
+"""High-level facade: run the paper's analyzers side by side.
 
 This is the entry point most downstream users want::
 
     from repro import api
-    report = api.run_three_way("(let (a1 (f 1)) (let (a2 (f 2)) a2))",
-                               initial={"f": ...})
+    report = api.run_comparison("(let (a1 (f 1)) (let (a2 (f 2)) a2))",
+                                initial={"f": ...})
     report.direct.constant_of("a1")      # 1
     report.direct_vs_syntactic           # Precision.LEFT_MORE_PRECISE
+    report.pushdown_vs_direct            # Precision.LEFT_MORE_PRECISE
 
 Accepts raw source text, arbitrary A terms (normalized on the fly), or
 `CorpusProgram` records, and handles the δe transport of the initial
-store to the CPS side.
+store to the CPS side.  `run_comparison` is N-way over the canonical
+comparison analyzers (`repro.analysis.registry.COMPARISON_ANALYZERS`);
+`run_three_way` survives as a thin deprecated alias running exactly
+the paper's classic three.
 """
 
 from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterable, Mapping
 
+from repro.analysis.common import EngineUnsupported
 from repro.analysis.compare import (
     Precision,
     compare_direct_to_cps,
+    compare_pushdown_to_direct,
     compare_semantic_to_direct,
     compare_semantic_to_syntactic,
 )
 from repro.analysis.delta import delta_store
 from repro.analysis.direct import analyze_direct
+from repro.analysis.pushdown import analyze_pushdown
+from repro.analysis.registry import COMPARISON_ANALYZERS, canonical_analyzer
 from repro.analysis.result import AnalysisResult
 from repro.analysis.semantic_cps import analyze_semantic_cps
 from repro.analysis.syntactic_cps import analyze_syntactic_cps
@@ -42,6 +50,13 @@ from repro.lang.ast import Term, TERM_CLASSES
 from repro.lang.parser import parse
 from repro.obs.metrics import Metrics
 from repro.obs.sinks import NULL_SINK, Sink
+
+#: The classic paper trio (the `run_three_way` vocabulary).
+THREE_WAY_ANALYZERS: tuple[str, ...] = (
+    "direct",
+    "semantic-cps",
+    "syntactic-cps",
+)
 
 
 def prepare(program: "str | Term | CorpusProgram") -> Term:
@@ -59,44 +74,113 @@ def prepare(program: "str | Term | CorpusProgram") -> Term:
 
 
 @dataclass(frozen=True)
-class ThreeWayReport:
-    """Results of the three analyses of one program, plus the Section 5
-    pairwise verdicts."""
+class ComparisonReport:
+    """Results of the comparison analyzers on one program, plus the
+    Section 5 pairwise verdicts.
+
+    An analyzer that was not requested leaves its field ``None``;
+    verdict properties involving it raise ``ValueError``.  The classic
+    three are always present under `run_three_way`, and `run_comparison`
+    adds the pushdown analyzer by default (tree engine).
+    """
 
     term: Term
     cps_term: CTerm
-    direct: AnalysisResult
-    semantic: AnalysisResult
-    syntactic: AnalysisResult
+    direct: AnalysisResult | None
+    semantic: AnalysisResult | None
+    syntactic: AnalysisResult | None
+    pushdown: AnalysisResult | None = None
+
+    def _require(self, name: str) -> AnalysisResult:
+        result = getattr(self, name)
+        if result is None:
+            raise ValueError(
+                f"the {name} analyzer was not part of this comparison"
+            )
+        return result
+
+    @property
+    def results(self) -> tuple[AnalysisResult, ...]:
+        """The results that were actually computed, in canonical order."""
+        return tuple(
+            result
+            for result in (
+                self.direct,
+                self.semantic,
+                self.syntactic,
+                self.pushdown,
+            )
+            if result is not None
+        )
 
     @property
     def direct_vs_syntactic(self) -> Precision:
         """The Theorem 5.1/5.2 comparison (incomparable in general)."""
-        return compare_direct_to_cps(self.direct, self.syntactic)
+        return compare_direct_to_cps(
+            self._require("direct"), self._require("syntactic")
+        )
 
     @property
     def semantic_vs_direct(self) -> Precision:
         """The Theorem 5.4 comparison (semantic is never worse)."""
-        return compare_semantic_to_direct(self.semantic, self.direct)
+        return compare_semantic_to_direct(
+            self._require("semantic"), self._require("direct")
+        )
 
     @property
     def semantic_vs_syntactic(self) -> Precision:
         """The Theorem 5.5 comparison (semantic is never worse)."""
-        return compare_semantic_to_syntactic(self.semantic, self.syntactic)
+        return compare_semantic_to_syntactic(
+            self._require("semantic"), self._require("syntactic")
+        )
+
+    @property
+    def pushdown_vs_direct(self) -> Precision:
+        """The pushdown-vs-direct comparison (pushdown is never worse:
+        call/return matching only removes false returns)."""
+        return compare_pushdown_to_direct(
+            self._require("pushdown"), self._require("direct")
+        )
 
     def summary(self) -> str:
         """A human-readable multi-line summary."""
-        lines = [
-            f"direct       : value={self.direct.value!r} "
-            f"visits={self.direct.stats.visits}",
-            f"semantic-CPS : value={self.semantic.value!r} "
-            f"visits={self.semantic.stats.visits}",
-            f"syntactic-CPS: value={self.syntactic.value!r} "
-            f"visits={self.syntactic.stats.visits}",
-            f"direct vs syntactic-CPS : {self.direct_vs_syntactic.value}",
-            f"semantic vs direct      : {self.semantic_vs_direct.value}",
-            f"semantic vs syntactic   : {self.semantic_vs_syntactic.value}",
-        ]
+        lines = []
+        if self.direct is not None:
+            lines.append(
+                f"direct       : value={self.direct.value!r} "
+                f"visits={self.direct.stats.visits}"
+            )
+        if self.semantic is not None:
+            lines.append(
+                f"semantic-CPS : value={self.semantic.value!r} "
+                f"visits={self.semantic.stats.visits}"
+            )
+        if self.syntactic is not None:
+            lines.append(
+                f"syntactic-CPS: value={self.syntactic.value!r} "
+                f"visits={self.syntactic.stats.visits}"
+            )
+        if self.pushdown is not None:
+            lines.append(
+                f"pushdown     : value={self.pushdown.value!r} "
+                f"visits={self.pushdown.stats.visits}"
+            )
+        if self.direct is not None and self.syntactic is not None:
+            lines.append(
+                f"direct vs syntactic-CPS : {self.direct_vs_syntactic.value}"
+            )
+        if self.semantic is not None and self.direct is not None:
+            lines.append(
+                f"semantic vs direct      : {self.semantic_vs_direct.value}"
+            )
+        if self.semantic is not None and self.syntactic is not None:
+            lines.append(
+                f"semantic vs syntactic   : {self.semantic_vs_syntactic.value}"
+            )
+        if self.pushdown is not None and self.direct is not None:
+            lines.append(
+                f"pushdown vs direct      : {self.pushdown_vs_direct.value}"
+            )
         return "\n".join(lines)
 
     def work_summary(self) -> str:
@@ -107,7 +191,7 @@ class ThreeWayReport:
             f"{'loop_cuts':>10} {'returns':>8} {'max_store':>10}"
         )
         lines = [header]
-        for result in (self.direct, self.semantic, self.syntactic):
+        for result in self.results:
             stats = result.stats
             lines.append(
                 f"{result.analyzer:14} {stats.visits:>8} {stats.joins:>7} "
@@ -115,6 +199,141 @@ class ThreeWayReport:
                 f"{stats.returns_analyzed:>8} {stats.max_store_size:>10}"
             )
         return "\n".join(lines)
+
+
+#: Deprecated name: the report type predates the pushdown analyzer.
+ThreeWayReport = ComparisonReport
+
+
+def run_comparison(
+    program: "str | Term | CorpusProgram",
+    domain: NumDomain | None = None,
+    initial: Mapping[str, AbsVal] | None = None,
+    analyzers: Iterable[str] | None = None,
+    loop_mode: str = "reject",
+    unroll_bound: int = 32,
+    max_visits: int | None = None,
+    trace: Sink = NULL_SINK,
+    metrics: Metrics | None = None,
+    cache: "bool | None" = None,
+    engine: str = "tree",
+) -> ComparisonReport:
+    """Run the comparison analyzers on one program.
+
+    Args:
+        program: source text, an A term, or a corpus entry (whose
+            bundled initial assumptions are used unless ``initial``
+            overrides them).
+        domain: the abstract number domain (default: constant
+            propagation).
+        initial: free-variable assumptions, in the *direct* abstract
+            domain; the syntactic-CPS analyzer receives their δe image.
+        analyzers: which analyzers to run (canonical names or aliases
+            from `repro.analysis.registry`).  Default: all comparison
+            analyzers the engine supports — the classic three plus
+            pushdown on the tree engine; the classic three on the plan
+            engine (the pushdown analyzer is tree-only, and asking for
+            it explicitly with ``engine="plan"`` raises
+            `EngineUnsupported`).
+        loop_mode, unroll_bound: `loop` handling for the CPS analyzers.
+        max_visits: optional per-analyzer work budget (the CPS
+            analyzers are worst-case exponential, Section 6.2);
+            exceeding it raises `BudgetExceeded`.
+        trace: optional `repro.obs` sink shared by all analyzers
+            (events carry the analyzer name; default: disabled).
+        metrics: optional `repro.obs` registry; each analyzer gets an
+            ``analyze.<name>`` timing span and folds its stats in
+            under ``analysis.<name>``.
+        cache: `repro.perf` configuration shared by all analyzers
+            (a `PerfConfig`, or ``None``/``True``/``False``); results
+            are identical either way.
+        engine: ``"tree"`` (default) interprets the AST; ``"plan"``
+            runs the compiled-plan engines of
+            :mod:`repro.analysis.engine` — same answers, same
+            statistics (differentially tested).
+
+    Returns:
+        A `ComparisonReport` with the results and pairwise verdicts.
+    """
+    if analyzers is None:
+        selected = (
+            COMPARISON_ANALYZERS
+            if engine == "tree"
+            else THREE_WAY_ANALYZERS
+        )
+    else:
+        selected = tuple(
+            canonical_analyzer(name, COMPARISON_ANALYZERS)
+            for name in analyzers
+        )
+        if "pushdown" in selected and engine != "tree":
+            raise EngineUnsupported("pushdown", engine)
+    domain = domain if domain is not None else ConstPropDomain()
+    lattice = Lattice(domain)
+    if initial is None and isinstance(program, CorpusProgram):
+        initial = program.initial_for(lattice)
+    term = prepare(program)
+    cps_term = cps_transform(term)
+    cps_initial = dict(
+        delta_store(AbsStore(lattice, initial)).items()
+    )
+    span = metrics.span if metrics is not None else nullcontext
+    direct = semantic = syntactic = pushdown = None
+    if "direct" in selected:
+        with span("analyze.direct"):
+            direct = analyze_direct(
+                term,
+                domain,
+                initial=initial,
+                max_visits=max_visits,
+                trace=trace,
+                metrics=metrics,
+                cache=cache,
+                engine=engine,
+            )
+    if "semantic-cps" in selected:
+        with span("analyze.semantic-cps"):
+            semantic = analyze_semantic_cps(
+                term,
+                domain,
+                initial=initial,
+                loop_mode=loop_mode,
+                unroll_bound=unroll_bound,
+                max_visits=max_visits,
+                trace=trace,
+                metrics=metrics,
+                cache=cache,
+                engine=engine,
+            )
+    if "syntactic-cps" in selected:
+        with span("analyze.syntactic-cps"):
+            syntactic = analyze_syntactic_cps(
+                cps_term,
+                domain,
+                initial=cps_initial,
+                loop_mode=loop_mode,
+                unroll_bound=unroll_bound,
+                max_visits=max_visits,
+                trace=trace,
+                metrics=metrics,
+                cache=cache,
+                engine=engine,
+            )
+    if "pushdown" in selected:
+        with span("analyze.pushdown"):
+            pushdown = analyze_pushdown(
+                term,
+                domain,
+                initial=initial,
+                max_visits=max_visits,
+                trace=trace,
+                metrics=metrics,
+                cache=cache,
+                engine=engine,
+            )
+    return ComparisonReport(
+        term, cps_term, direct, semantic, syntactic, pushdown
+    )
 
 
 def run_three_way(
@@ -128,82 +347,19 @@ def run_three_way(
     metrics: Metrics | None = None,
     cache: "bool | None" = None,
     engine: str = "tree",
-) -> ThreeWayReport:
-    """Run all three analyzers on one program.
-
-    Args:
-        program: source text, an A term, or a corpus entry (whose
-            bundled initial assumptions are used unless ``initial``
-            overrides them).
-        domain: the abstract number domain (default: constant
-            propagation).
-        initial: free-variable assumptions, in the *direct* abstract
-            domain; the syntactic-CPS analyzer receives their δe image.
-        loop_mode, unroll_bound: `loop` handling for the CPS analyzers.
-        max_visits: optional per-analyzer work budget (the CPS
-            analyzers are worst-case exponential, Section 6.2);
-            exceeding it raises `BudgetExceeded`.
-        trace: optional `repro.obs` sink shared by all three analyzers
-            (events carry the analyzer name; default: disabled).
-        metrics: optional `repro.obs` registry; each analyzer gets an
-            ``analyze.<name>`` timing span and folds its stats in
-            under ``analysis.<name>``.
-        cache: `repro.perf` configuration shared by all three analyzers
-            (a `PerfConfig`, or ``None``/``True``/``False``); results
-            are identical either way.
-        engine: ``"tree"`` (default) interprets the AST; ``"plan"``
-            runs the compiled-plan engines of
-            :mod:`repro.analysis.engine` — same answers, same
-            statistics (differentially tested).
-
-    Returns:
-        A `ThreeWayReport` with the three results and pairwise verdicts.
-    """
-    domain = domain if domain is not None else ConstPropDomain()
-    lattice = Lattice(domain)
-    if initial is None and isinstance(program, CorpusProgram):
-        initial = program.initial_for(lattice)
-    term = prepare(program)
-    cps_term = cps_transform(term)
-    cps_initial = dict(
-        delta_store(AbsStore(lattice, initial)).items()
+) -> ComparisonReport:
+    """Deprecated alias of `run_comparison` restricted to the paper's
+    classic three analyzers (direct, semantic-CPS, syntactic-CPS)."""
+    return run_comparison(
+        program,
+        domain,
+        initial,
+        analyzers=THREE_WAY_ANALYZERS,
+        loop_mode=loop_mode,
+        unroll_bound=unroll_bound,
+        max_visits=max_visits,
+        trace=trace,
+        metrics=metrics,
+        cache=cache,
+        engine=engine,
     )
-    span = metrics.span if metrics is not None else nullcontext
-    with span("analyze.direct"):
-        direct = analyze_direct(
-            term,
-            domain,
-            initial=initial,
-            max_visits=max_visits,
-            trace=trace,
-            metrics=metrics,
-            cache=cache,
-            engine=engine,
-        )
-    with span("analyze.semantic-cps"):
-        semantic = analyze_semantic_cps(
-            term,
-            domain,
-            initial=initial,
-            loop_mode=loop_mode,
-            unroll_bound=unroll_bound,
-            max_visits=max_visits,
-            trace=trace,
-            metrics=metrics,
-            cache=cache,
-            engine=engine,
-        )
-    with span("analyze.syntactic-cps"):
-        syntactic = analyze_syntactic_cps(
-            cps_term,
-            domain,
-            initial=cps_initial,
-            loop_mode=loop_mode,
-            unroll_bound=unroll_bound,
-            max_visits=max_visits,
-            trace=trace,
-            metrics=metrics,
-            cache=cache,
-            engine=engine,
-        )
-    return ThreeWayReport(term, cps_term, direct, semantic, syntactic)

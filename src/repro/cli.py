@@ -4,7 +4,8 @@ Commands
 --------
 
 - ``run``      evaluate a program with one of the three interpreters
-- ``analyze``  run the three data flow analyzers and print the facts
+- ``analyze``  run the comparison data flow analyzers (or one named
+  ``--analyzer``, pushdown included) and print the facts
 - ``trace``    emit a JSONL `repro.obs` trace of interpreter (and,
   optionally, analyzer) transitions
 - ``anf``      print the A-normal form of a program
@@ -44,7 +45,14 @@ from typing import Sequence
 
 from repro.analysis import analyze_polyvariant
 from repro.anf import normalize
-from repro.api import run_three_way
+from repro.analysis.registry import (
+    ANALYZERS,
+    INTERPRETERS,
+    LINT_ANALYZERS,
+    analyzer_choices,
+    canonical_analyzer,
+)
+from repro.api import run_comparison
 from repro.cfg import (
     build_call_graph,
     build_flow_graph,
@@ -129,11 +137,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     values = _parse_assumes(args.assume)
     env, store = _concrete_bindings(term, values)
     sink = RecordingSink() if args.stats else NULL_SINK
-    if args.interpreter == "direct":
+    interpreter = canonical_analyzer(args.interpreter, INTERPRETERS)
+    if interpreter == "direct":
         answer = run_direct(
             term, env=env, store=store, fuel=args.fuel, trace=sink
         )
-    elif args.interpreter == "semantic":
+    elif interpreter == "semantic-cps":
         answer = run_semantic_cps(
             term, env=env, store=store, fuel=args.fuel, trace=sink
         )
@@ -179,10 +188,48 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     initial = _analysis_initial(term, lattice, _parse_assumes(args.assume))
     metrics = Metrics() if args.stats else None
     cache = True if args.cache else None
+    if args.analyzer is not None:
+        # Single-analyzer mode: run exactly one named analyzer (any of
+        # the registry's five, aliases included) instead of the N-way
+        # comparison.  The pushdown analyzer is tree-only; asking for
+        # its plan engine exits with the engine_unsupported code.
+        from repro.incr.driver import run_analysis
+
+        analyzer = canonical_analyzer(args.analyzer, ANALYZERS)
+        result, _ = run_analysis(
+            analyzer,
+            term,
+            domain=domain,
+            initial=initial,
+            k=args.k if args.k is not None else 1,
+            loop_mode=args.loop_mode,
+            metrics=metrics,
+            cache=cache,
+            engine=args.engine,
+        )
+        if analyzer == "polyvariant":
+            result = result.collapse()
+        if args.json:
+            import json
+
+            payload = {"analyzer": analyzer, "result": result.to_dict()}
+            if metrics is not None:
+                payload["metrics"] = metrics.snapshot()
+            print(json.dumps(payload, indent=2, ensure_ascii=False))
+            return 0
+        print(f"value: {result.value!r}")
+        for name in sorted(result.variables()):
+            print(f"  {name:12} {result.value_of(name)!r}")
+        if metrics is not None:
+            print("\nper-analyzer work:")
+            for key, value in sorted(result.stats.as_dict().items()):
+                print(f"  {key:18} {value}")
+            _print_metrics_snapshot(metrics)
+        return 0
     if args.json:
         import json
 
-        report = run_three_way(
+        report = run_comparison(
             term,
             domain=domain,
             initial=initial,
@@ -201,6 +248,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 "semantic_vs_syntactic": report.semantic_vs_syntactic.value,
             },
         }
+        if report.pushdown is not None:
+            payload["pushdown"] = report.pushdown.to_dict()
+            payload["verdicts"]["pushdown_vs_direct"] = (
+                report.pushdown_vs_direct.value
+            )
         if metrics is not None:
             payload["metrics"] = metrics.snapshot()
         print(json.dumps(payload, indent=2, ensure_ascii=False))
@@ -220,7 +272,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 print(f"  {key:18} {value}")
             _print_metrics_snapshot(metrics)
         return 0
-    report = run_three_way(
+    report = run_comparison(
         term,
         domain=domain,
         initial=initial,
@@ -249,15 +301,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     term = _load_term(args)
     values = _parse_assumes(args.assume)
     _concrete_bindings(term, values)  # fail early on unbound variables
-    if args.interpreter == "syntactic" and values:
+    interpreter = (
+        "all"
+        if args.interpreter == "all"
+        else canonical_analyzer(args.interpreter, INTERPRETERS)
+    )
+    if interpreter == "syntactic-cps" and values:
         raise SystemExit(
             "--assume is not supported with the syntactic interpreter"
         )
-    wanted = (
-        ("direct", "semantic", "syntactic")
-        if args.interpreter == "all"
-        else (args.interpreter,)
-    )
+    wanted = INTERPRETERS if interpreter == "all" else (interpreter,)
     try:
         sink = JsonlSink(args.out) if args.out else JsonlSink(sys.stdout)
     except OSError as exc:
@@ -272,7 +325,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                         term, env=env, store=store,
                         fuel=args.fuel, trace=sink,
                     )
-                elif which == "semantic":
+                elif which == "semantic-cps":
                     env, store = _concrete_bindings(term, values)
                     run_semantic_cps(
                         term, env=env, store=store,
@@ -296,7 +349,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             initial = _analysis_initial(
                 term, lattice, _parse_assumes(args.assume)
             )
-            run_three_way(
+            run_comparison(
                 term,
                 domain=domain,
                 initial=initial,
@@ -439,7 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_program_arguments(run_parser)
     run_parser.add_argument(
         "--interpreter",
-        choices=("direct", "semantic", "syntactic"),
+        choices=analyzer_choices(INTERPRETERS),
         default="direct",
         help="which Figure 1-3 interpreter to use",
     )
@@ -465,14 +518,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_parser.add_argument(
         "--interpreter",
-        choices=("all", "direct", "semantic", "syntactic"),
+        choices=("all",) + analyzer_choices(INTERPRETERS),
         default="all",
         help="which Figure 1-3 interpreter(s) to trace",
     )
     trace_parser.add_argument(
         "--analyzers",
         action="store_true",
-        help="also trace the three Figure 4-6 analyzers",
+        help="also trace the comparison analyzers (Figures 4-6 plus "
+        "the pushdown analyzer)",
     )
     trace_parser.add_argument(
         "--domain", choices=sorted(DOMAINS), default="constprop"
@@ -502,6 +556,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="`loop` handling for the CPS analyzers",
     )
     analyze_parser.add_argument(
+        "--analyzer",
+        choices=analyzer_choices(ANALYZERS),
+        default=None,
+        metavar="NAME",
+        help="run exactly one named analyzer instead of the N-way "
+        "comparison (pushdown included; aliases accepted)",
+    )
+    analyze_parser.add_argument(
         "--k",
         type=int,
         default=None,
@@ -511,7 +573,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_parser.add_argument(
         "--json",
         action="store_true",
-        help="emit the three-way report as JSON",
+        help="emit the comparison report as JSON",
     )
     analyze_parser.add_argument(
         "--stats",
@@ -582,9 +644,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.add_argument(
         "--analyzer",
-        choices=("direct", "semantic-cps", "syntactic-cps"),
+        choices=analyzer_choices(LINT_ANALYZERS),
         default="direct",
-        help="which Figure 4-6 analyzer powers the semantic rules",
+        help="which analyzer powers the semantic rules (Figure 4-6 "
+        "analyzers or pushdown; aliases accepted)",
     )
     lint_parser.add_argument(
         "--domain", choices=sorted(DOMAINS), default="constprop"
@@ -897,12 +960,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     request_parser.add_argument(
         "--analyzer",
-        choices=("direct", "semantic-cps", "syntactic-cps", "polyvariant"),
+        choices=analyzer_choices(ANALYZERS),
         default=None,
     )
     request_parser.add_argument(
         "--interpreter",
-        choices=("direct", "semantic", "syntactic"),
+        choices=analyzer_choices(INTERPRETERS),
         default=None,
     )
     request_parser.add_argument(
@@ -1057,10 +1120,11 @@ def build_parser() -> argparse.ArgumentParser:
     cachectl_parser.add_argument(
         "--analyzer",
         action="append",
-        choices=("direct", "semantic-cps", "syntactic-cps", "polyvariant"),
+        choices=analyzer_choices(ANALYZERS),
         metavar="NAME",
         help="warm: analyzer(s) to run (repeatable; default: direct "
-        "and semantic-cps)",
+        "and semantic-cps; pushdown runs but persists nothing — its "
+        "memo is call-keyed, not sub-term-keyed)",
     )
     cachectl_parser.add_argument(
         "--domain",

@@ -15,6 +15,7 @@ from repro.corpus.programs import (
     corpus_listing,
     corpus_program,
     loop_feeding_conditional,
+    loop_threshold_open,
     top_conditional_chain,
 )
 
@@ -32,5 +33,6 @@ __all__ = [
     "corpus_listing",
     "corpus_program",
     "loop_feeding_conditional",
+    "loop_threshold_open",
     "top_conditional_chain",
 ]

@@ -387,6 +387,32 @@ def loop_feeding_conditional(threshold: int) -> CorpusProgram:
     )
 
 
+def loop_threshold_open(threshold: int = 10, addend: int = 1) -> CorpusProgram:
+    """The `loop_feeding_conditional` workload with an edit knob.
+
+    Like `ackermann_open`, ``addend`` is an abstract-value-neutral
+    constant: the loop result feeds ``(+ i addend)`` with ``i`` already
+    ⊤ (or cut, per analyzer loop mode), so ``u`` is the same abstract
+    value for every ``addend`` — changing the constant is a
+    one-sub-term edit that leaves every analyzer's answer intact.
+    That makes the family the seed for the `repro.incr` edit-pair
+    differential tests over the Section 6.2 computability workload.
+    """
+    source = f"""(let (i (loop))
+                   (let (u (+ i {addend}))
+                     (let (r (if0 (- u {threshold}) 111 222))
+                       r)))"""
+    return CorpusProgram(
+        name=f"loop-threshold-open-{threshold}-{addend}",
+        description=(
+            f"loop feeding (+ i {addend}) into a threshold-{threshold} "
+            "conditional (incremental edit knob)"
+        ),
+        term=_anf(source),
+        initial=lambda lat: {},
+    )
+
+
 # ----------------------------------------------------------------------
 # Discovery: the listing served by `python -m repro corpus` and the
 # service's GET /v1/corpus, so clients can find valid program names
@@ -412,6 +438,11 @@ FAMILIES: dict[str, tuple] = {
     "loop-threshold-T": (
         loop_feeding_conditional,
         "loop feeding a conditional with threshold T (Section 6.2)",
+    ),
+    "loop-threshold-open-T-D": (
+        loop_threshold_open,
+        "loop feeding (+ i D) into a threshold-T conditional "
+        "(incremental edit knob)",
     ),
     "ackermann-open-D": (
         ackermann_open,

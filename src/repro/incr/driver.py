@@ -7,7 +7,9 @@ reports which sub-trees were dirty and how much of the old derivation
 was stitched back in.  The result is **bit-identical** to a
 from-scratch analysis of the new term — reuse changes only the work
 counters, never the answer — which the differential suite enforces
-across the corpus, the four analyzers, the domains, and both engines.
+across the corpus, the five analyzers, the domains, and both engines
+(the pushdown analyzer participates tree-only and without
+persistence; see `run_analysis`).
 
 `run_analysis` is the shared single-run entry: the serve layer, the
 bench harness, and ``repro cachectl warm`` all use it to run one
@@ -22,14 +24,17 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.analysis.registry import ANALYZERS, canonical_analyzer
 from repro.incr.hash import Path as TreePath
 from repro.incr.hash import TermHasher, merkle_diff, term_hash
 from repro.incr.recorder import SummaryRecorder
 from repro.incr.store import IncrStore
 
 #: Analyzer names accepted by `run_analysis` / `analyze_incremental`
-#: (the serve layer's spelling).
-ANALYZERS = ("direct", "semantic-cps", "syntactic-cps", "polyvariant")
+#: — the canonical registry vocabulary (aliases fold).  The pushdown
+#: analyzer runs but does not persist: its memo is the per-call
+#: summary table (keyed by closure × argument × entry store), not the
+#: per-sub-term judgment memo the `SummaryRecorder` snapshots.
 
 #: Environment override for the default store location.
 STORE_ENV = "REPRO_INCR_STORE"
@@ -84,10 +89,7 @@ def run_analysis(
     exactly as the serve layer does, so persisted judgments key on the
     CPS tree the analyzer actually walks.
     """
-    if analyzer not in ANALYZERS:
-        raise ValueError(
-            f"unknown analyzer {analyzer!r}; expected one of {ANALYZERS}"
-        )
+    analyzer = canonical_analyzer(analyzer, ANALYZERS)
     from repro.obs.sinks import NULL_SINK
 
     common = dict(
@@ -106,10 +108,15 @@ def run_analysis(
         from repro.analysis import (
             analyze_direct,
             analyze_polyvariant,
+            analyze_pushdown,
             analyze_semantic_cps,
             analyze_syntactic_cps,
         )
 
+        if analyzer == "pushdown":
+            # Tree-only: raises `EngineUnsupported` with the requested
+            # engine named, exactly like the direct API.
+            return analyze_pushdown(term, engine=engine, **common), None
         if analyzer == "direct":
             return analyze_direct(term, engine=engine, **common), None
         if analyzer == "semantic-cps":
@@ -158,6 +165,12 @@ def run_analysis(
         instance = SyntacticCpsAnalyzer(
             subject, loop_mode=loop_mode, unroll_bound=unroll_bound, **common
         )
+    elif analyzer == "pushdown":
+        from repro.analysis.pushdown import PushdownAnalyzer
+
+        instance = PushdownAnalyzer(term, **common)
+        subject = term
+        persist = False  # summaries are call-keyed, not sub-term-keyed
     else:
         from repro.analysis.polyvariant import PolyvariantDirectAnalyzer
 

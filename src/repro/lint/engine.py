@@ -19,9 +19,19 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from repro.analysis.common import AnalysisError, BudgetExceeded, NonComputableError
+from repro.analysis.common import (
+    AnalysisError,
+    BudgetExceeded,
+    EngineUnsupported,
+    NonComputableError,
+)
 from repro.analysis.delta import delta_store
 from repro.analysis.direct import analyze_direct
+from repro.analysis.pushdown import analyze_pushdown
+from repro.analysis.registry import (
+    LINT_ANALYZERS,
+    canonical_analyzer,
+)
 from repro.analysis.result import AnalysisResult
 from repro.analysis.semantic_cps import analyze_semantic_cps
 from repro.analysis.syntactic_cps import analyze_syntactic_cps
@@ -46,8 +56,10 @@ from repro.obs.sinks import NULL_SINK, RecordingSink, Sink
 from repro.opt.constfold import constant_fold
 from repro.opt.deadcode import eliminate_dead_code
 
-#: Analyzer names accepted by :func:`run_lints` / the CLI / the service.
-LINT_ANALYZERS = ("direct", "semantic-cps", "syntactic-cps")
+#: Analyzer names accepted by :func:`run_lints` / the CLI / the
+#: service — re-exported from the canonical registry
+#: (`repro.analysis.registry.LINT_ANALYZERS`); old spellings are
+#: folded through `canonical_analyzer`.
 
 #: Structural rules whose fix is re-normalization.
 _STRUCTURAL_CODES = frozenset({"S100", "S101", "S103"})
@@ -67,10 +79,13 @@ def run_analysis(
 ) -> AnalysisResult:
     """Run one named analyzer on a canonical term.
 
-    Mirrors the per-analyzer dispatch of `repro.api.run_three_way`,
+    Mirrors the per-analyzer dispatch of `repro.api.run_comparison`,
     including the δe transport of the initial store for the
-    syntactic-CPS analyzer.
+    syntactic-CPS analyzer.  Accepts canonical names and the registry
+    aliases; the pushdown analyzer is tree-only and raises
+    `EngineUnsupported` under ``engine="plan"``.
     """
+    analyzer = canonical_analyzer(analyzer, LINT_ANALYZERS)
     if analyzer == "direct":
         return analyze_direct(
             term,
@@ -109,8 +124,15 @@ def run_analysis(
             metrics=metrics,
             engine=engine,
         )
-    raise ValueError(
-        f"unknown analyzer {analyzer!r}; expected one of {LINT_ANALYZERS}"
+    assert analyzer == "pushdown", analyzer
+    return analyze_pushdown(
+        term,
+        domain,
+        initial=initial,
+        max_visits=max_visits,
+        trace=trace,
+        metrics=metrics,
+        engine=engine,
     )
 
 
@@ -120,6 +142,8 @@ def _analysis_error_code(exc: AnalysisError) -> str:
         return "budget_exceeded"
     if isinstance(exc, NonComputableError):
         return "non_computable"
+    if isinstance(exc, EngineUnsupported):
+        return "engine_unsupported"
     return "internal"
 
 
@@ -150,7 +174,7 @@ def run_lints(
         initial: free-variable assumptions in the direct domain; their
             names also suppress S102.
         loop_mode, unroll_bound, max_visits: analyzer configuration
-            (see `repro.api.run_three_way`); note the lint-specific
+            (see `repro.api.run_comparison`); note the lint-specific
             ``loop_mode`` default of ``"top"``.
         semantic: set False to run only the syntactic family.
         fix: apply every fix-it and carry the pretty-printed result in
@@ -165,10 +189,7 @@ def run_lints(
     Returns:
         A `LintReport`; diagnostics are sorted most severe first.
     """
-    if analyzer not in LINT_ANALYZERS:
-        raise ValueError(
-            f"unknown analyzer {analyzer!r}; expected one of {LINT_ANALYZERS}"
-        )
+    analyzer = canonical_analyzer(analyzer, LINT_ANALYZERS)
     source: str | None = None
     name = program_name
     if isinstance(program, CorpusProgram):

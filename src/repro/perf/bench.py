@@ -2,7 +2,7 @@
 
 Times representative workloads with the caches off and on, checks the
 cached answers are identical to the uncached ones, and writes the
-result as ``BENCH_perf.json`` (schema ``repro.perf.bench/5``).  The
+result as ``BENCH_perf.json`` (schema ``repro.perf.bench/6``).  The
 CI smoke job runs ``--quick`` and fails on a malformed payload or on
 any cached/uncached divergence.
 
@@ -30,6 +30,12 @@ Workloads:
   pool (`repro.perf.pool`), with bit-identical aggregates enforced
   always and the speedup floor enforced only on machines with enough
   CPUs (``enforced``/``cpus`` make the gate honest on 1-CPU boxes);
+- the ``pushdown`` section: the summary-based pushdown analyzer vs
+  the direct analyzer on the corpus rows — per-row precision verdict
+  (the validator fails if the pushdown answer is ever *less* precise
+  than direct's), visits, and walls.  This is the Theorem 5.1 story
+  in benchmark form: exact call/return matching buys precision, the
+  row data shows what it costs in work;
 - the ``incremental`` section: cold (from-scratch) vs warm (unedited
   replay) vs warm-one-edit walls against the `repro.incr` persistent
   summary store, on the two large CPS workloads whose edits are
@@ -50,7 +56,7 @@ import platform
 import time
 from typing import Any, Callable
 
-SCHEMA = "repro.perf.bench/5"
+SCHEMA = "repro.perf.bench/6"
 
 #: Workloads faster than this (uncached) are too small to time: their
 #: speedup ratios are dominated by scheduler jitter, so they carry
@@ -377,6 +383,64 @@ def _engine_workloads(quick: bool, repeat: int) -> list[dict]:
     return rows
 
 
+def _pushdown_section(quick: bool, repeat: int) -> list[dict]:
+    """Pushdown-vs-direct on the corpus: per-row precision verdict
+    plus the work both analyzers spent earning it.  The validator
+    rejects any row whose verdict is ``right-more-precise`` — the
+    pushdown analyzer's whole claim is that exact call/return matching
+    never *loses* precision against the direct analyzer."""
+    from repro.analysis.compare import compare_pushdown_to_direct
+    from repro.analysis.direct import DirectAnalyzer
+    from repro.analysis.pushdown import PushdownAnalyzer
+    from repro.corpus import PROGRAMS
+    from repro.domains.absval import Lattice
+    from repro.domains.constprop import ConstPropDomain
+
+    lattice = Lattice(ConstPropDomain())
+    names = list(PROGRAMS)
+    if quick:
+        names = [
+            n
+            for n in names
+            if n in ("theorem-5.1", "factorial", "even-odd", "church-pairs")
+        ]
+    entries = []
+    for name in names:
+        program = PROGRAMS[name]
+        if program.heavy:
+            continue
+        initial = program.initial_for(lattice)
+        _, d_res, d_wall = _timed(
+            lambda t=program.term, i=initial: DirectAnalyzer(t, initial=i),
+            repeat,
+        )
+        _, p_res, p_wall = _timed(
+            lambda t=program.term, i=initial: PushdownAnalyzer(t, initial=i),
+            repeat,
+        )
+        verdict = compare_pushdown_to_direct(p_res, d_res)
+        entries.append(
+            {
+                "name": f"pushdown/{name}",
+                "verdict": verdict.value,
+                "direct": {"wall_s": d_wall, "visits": d_res.stats.visits},
+                "pushdown": {
+                    "wall_s": p_wall,
+                    "visits": p_res.stats.visits,
+                    "returns_analyzed": p_res.stats.returns_analyzed,
+                    "loop_cuts": p_res.stats.loop_cuts,
+                },
+                "work_ratio": (
+                    p_res.stats.visits / d_res.stats.visits
+                    if d_res.stats.visits
+                    else 0.0
+                ),
+                "noise_exempt": d_wall < NOISE_FLOOR_S,
+            }
+        )
+    return entries
+
+
 def _incremental_row(
     name: str,
     base: Any,
@@ -519,9 +583,11 @@ def _survey_results_match(serial: Any, parallel: Any) -> bool:
         and serial.direct_vs_syntactic == parallel.direct_vs_syntactic
         and serial.semantic_vs_direct == parallel.semantic_vs_direct
         and serial.semantic_vs_syntactic == parallel.semantic_vs_syntactic
+        and serial.pushdown_vs_direct == parallel.pushdown_vs_direct
         and serial.direct_visits == parallel.direct_visits
         and serial.semantic_visits == parallel.semantic_visits
         and serial.syntactic_visits == parallel.syntactic_visits
+        and serial.pushdown_visits == parallel.pushdown_visits
     )
 
 
@@ -631,6 +697,7 @@ def run_bench(
             + _polyvariant_workloads(quick, repeat, engine)
         ),
         "engine": _engine_workloads(quick, repeat),
+        "pushdown": _pushdown_section(quick, repeat),
         "parallel": _parallel_section(quick, engine, jobs),
         "incremental": _incremental_section(quick, repeat),
     }
@@ -705,6 +772,33 @@ def validate_bench(payload: Any) -> None:
         if entry["answers_equal"] is not True:
             raise ValueError(
                 f"engine row {entry['name']!r}: plan answer diverged from tree"
+            )
+    pushdown_rows = payload.get("pushdown")
+    if not isinstance(pushdown_rows, list) or not pushdown_rows:
+        raise ValueError(
+            "bench payload must carry a non-empty pushdown section"
+        )
+    for entry in pushdown_rows:
+        for field in (
+            "name", "verdict", "direct", "pushdown", "work_ratio",
+            "noise_exempt",
+        ):
+            if field not in entry:
+                raise ValueError(
+                    f"pushdown row missing field {field!r}: {entry!r}"
+                )
+        for run in ("direct", "pushdown"):
+            for field in _RUN_FIELDS:
+                if field not in entry[run]:
+                    raise ValueError(
+                        f"pushdown row {entry['name']!r} {run} run "
+                        f"missing {field!r}"
+                    )
+        # The precision gate: summaries may tie or win, never lose.
+        if entry["verdict"] not in ("equal", "left-more-precise"):
+            raise ValueError(
+                f"pushdown row {entry['name']!r}: pushdown answer is "
+                f"less precise than direct ({entry['verdict']!r})"
             )
     parallel = payload.get("parallel")
     if not isinstance(parallel, dict):
@@ -833,6 +927,19 @@ def summarize(payload: dict) -> str:
             f"{plan['compile_s']:>9.4f}s "
             f"{plan['run_s']:>9.4f}s "
             f"{entry['speedup']:>7.1f}x"
+        )
+    lines.append("")
+    lines.append(
+        f"{'pushdown vs direct':38} {'direct':>10} {'pushdown':>10} {'work':>7} verdict"
+    )
+    for entry in payload["pushdown"]:
+        name = entry["name"] + ("*" if entry.get("noise_exempt") else "")
+        lines.append(
+            f"{name:38} "
+            f"{entry['direct']['wall_s']:>9.4f}s "
+            f"{entry['pushdown']['wall_s']:>9.4f}s "
+            f"{entry['work_ratio']:>6.1f}x "
+            f"{entry['verdict']}"
         )
     lines.append("")
     lines.append(

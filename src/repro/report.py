@@ -16,7 +16,7 @@ from repro.analysis import (
     analyze_direct,
     analyze_semantic_cps,
 )
-from repro.api import run_three_way
+from repro.api import run_comparison
 from repro.corpus import (
     SHIVERS_EXAMPLE,
     THEOREM_51_WITNESS,
@@ -35,24 +35,31 @@ LAT = Lattice(DOM)
 
 
 def witness_table() -> str:
-    """Theorem 5.1/5.2 per-variable facts and verdicts."""
+    """Theorem 5.1/5.2 per-variable facts and verdicts, plus the
+    pushdown analyzer's answer (which eliminates the false returns the
+    direct column suffers on the Theorem 5.1 witnesses)."""
     out = StringIO()
-    out.write("| program | direct a1 | cps a1 | direct a2 | cps a2 | verdict |\n")
-    out.write("|---|---|---|---|---|---|\n")
+    out.write(
+        "| program | direct a1 | cps a1 | direct a2 | cps a2 "
+        "| verdict | pushdown a2 | pushdown vs direct |\n"
+    )
+    out.write("|---|---|---|---|---|---|---|---|\n")
     for program in (
         THEOREM_51_WITNESS,
         SHIVERS_EXAMPLE,
         THEOREM_52_CONDITIONAL,
         THEOREM_52_TWO_CLOSURES,
     ):
-        report = run_three_way(program)
+        report = run_comparison(program)
         out.write(
             f"| {program.name} "
             f"| `{report.direct.value_of('a1')!r}` "
             f"| `{report.syntactic.value_of('a1')!r}` "
             f"| `{report.direct.value_of('a2')!r}` "
             f"| `{report.syntactic.value_of('a2')!r}` "
-            f"| {report.direct_vs_syntactic.value} |\n"
+            f"| {report.direct_vs_syntactic.value} "
+            f"| `{report.pushdown.value_of('a2')!r}` "
+            f"| {report.pushdown_vs_direct.value} |\n"
         )
     return out.getvalue()
 
@@ -60,14 +67,15 @@ def witness_table() -> str:
 def cost_table(lengths: tuple[int, ...] = (2, 4, 6, 8, 10, 12)) -> str:
     """Section 6.2 conditional-chain visit counts."""
     out = StringIO()
-    out.write("| k | direct | semantic-CPS | syntactic-CPS |\n")
-    out.write("|---|---|---|---|\n")
+    out.write("| k | direct | semantic-CPS | syntactic-CPS | pushdown |\n")
+    out.write("|---|---|---|---|---|\n")
     for k in lengths:
-        report = run_three_way(conditional_chain(k))
+        report = run_comparison(conditional_chain(k))
         out.write(
             f"| {k} | {report.direct.stats.visits} "
             f"| {report.semantic.stats.visits} "
-            f"| {report.syntactic.stats.visits} |\n"
+            f"| {report.syntactic.stats.visits} "
+            f"| {report.pushdown.stats.visits} |\n"
         )
     return out.getvalue()
 
@@ -75,14 +83,15 @@ def cost_table(lengths: tuple[int, ...] = (2, 4, 6, 8, 10, 12)) -> str:
 def call_cost_table(lengths: tuple[int, ...] = (1, 2, 3, 4)) -> str:
     """Section 6.2 call-site-chain visit counts (false-return blowup)."""
     out = StringIO()
-    out.write("| k | direct | semantic-CPS | syntactic-CPS |\n")
-    out.write("|---|---|---|---|\n")
+    out.write("| k | direct | semantic-CPS | syntactic-CPS | pushdown |\n")
+    out.write("|---|---|---|---|---|\n")
     for k in lengths:
-        report = run_three_way(call_site_chain(k))
+        report = run_comparison(call_site_chain(k))
         out.write(
             f"| {k} | {report.direct.stats.visits} "
             f"| {report.semantic.stats.visits} "
-            f"| {report.syntactic.stats.visits} |\n"
+            f"| {report.syntactic.stats.visits} "
+            f"| {report.pushdown.stats.visits} |\n"
         )
     return out.getvalue()
 
@@ -106,7 +115,7 @@ def routes_table() -> str:
     """Section 6.3 route comparison on the conditional witness."""
     program = THEOREM_52_CONDITIONAL
     initial = program.initial_for(LAT)
-    report = run_three_way(program)
+    report = run_comparison(program)
     duplicated = duplicate_join_continuations(program.term)
     dup_result = analyze_direct(duplicated, DOM, initial=initial)
     out = StringIO()
@@ -144,8 +153,8 @@ def work_table() -> str:
         THEOREM_52_CONDITIONAL,
         SHIVERS_EXAMPLE,
     ):
-        report = run_three_way(program)
-        for result in (report.direct, report.semantic, report.syntactic):
+        report = run_comparison(program)
+        for result in report.results:
             stats = result.stats
             out.write(
                 f"| {program.name} | {result.analyzer} "
@@ -169,8 +178,8 @@ def lint_scoreboard(quick: bool = False) -> str:
     from repro.lint import LINT_ANALYZERS, run_lints
 
     out = StringIO()
-    out.write("| program | direct | semantic-cps | syntactic-cps |\n")
-    out.write("|---|---|---|---|\n")
+    out.write("| program | " + " | ".join(LINT_ANALYZERS) + " |\n")
+    out.write("|---" * (len(LINT_ANALYZERS) + 1) + "|\n")
     for program in PROGRAMS.values():
         if quick and program.heavy:
             continue

@@ -13,7 +13,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.common import BudgetExceeded, NonComputableError
+from repro.analysis.common import (
+    BudgetExceeded,
+    EngineUnsupported,
+    NonComputableError,
+)
 from repro.interp.errors import (
     Diverged,
     FuelExhausted,
@@ -67,6 +71,11 @@ CODES: dict[str, ErrorCode] = {
         # serve).  The shard is respawned immediately, so an identical
         # retry lands on a fresh worker — hence retryable.
         ErrorCode("worker_crashed", 503, 15, retryable=True),
+        # The requested (analyzer, engine) combination has no
+        # implementation — e.g. the pushdown analyzer under
+        # ``engine="plan"`` (it is tree-only).  A client mistake, not
+        # a server fault, and retrying identically cannot succeed.
+        ErrorCode("engine_unsupported", 400, 16),
     )
 }
 
@@ -111,6 +120,8 @@ def classify_exception(exc: BaseException) -> ServeError:
         return ServeError("budget_exceeded", str(exc))
     if isinstance(exc, NonComputableError):
         return ServeError("non_computable", str(exc))
+    if isinstance(exc, EngineUnsupported):
+        return ServeError("engine_unsupported", str(exc))
     if isinstance(exc, LangError):
         return ServeError("parse_error", str(exc))
     if isinstance(exc, (KeyError, TypeError, ValueError)):

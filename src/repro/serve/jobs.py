@@ -7,9 +7,15 @@ the same program collide), options carry their resolved values, and
 the sha256 of the sorted-JSON spec is the cross-request cache key.
 
 Execution then runs the exact in-process API (`repro.analysis`,
-`repro.interp`, `repro.api.run_three_way`) — the service's responses
+`repro.interp`, `repro.api.run_comparison`) — the service's responses
 are byte-identical to what a local caller gets, which the differential
 tests pin.
+
+Analyzer and interpreter names come from the canonical registry
+(`repro.analysis.registry`); the historical short spellings
+(``semantic``/``syntactic``) are folded to their canonical names
+*before* the spec is hashed, so alias requests share cache entries
+with canonically-spelled ones.
 """
 
 from __future__ import annotations
@@ -22,12 +28,18 @@ from dataclasses import dataclass, field
 from repro.analysis import (
     analyze_direct,
     analyze_polyvariant,
+    analyze_pushdown,
     analyze_semantic_cps,
     analyze_syntactic_cps,
 )
 from repro.analysis.delta import delta_store
+from repro.analysis.registry import (
+    ALIASES,
+    ANALYZERS,
+    INTERPRETERS,
+)
 from repro.anf import normalize
-from repro.api import run_three_way
+from repro.api import run_comparison
 from repro.corpus.programs import PROGRAMS, CorpusProgram
 from repro.cps import cps_transform
 from repro.domains import (
@@ -59,8 +71,6 @@ DOMAINS = {
     "interval": IntervalDomain,
 }
 
-ANALYZERS = ("direct", "semantic-cps", "syntactic-cps", "polyvariant")
-INTERPRETERS = ("direct", "semantic", "syntactic")
 LOOP_MODES = ("reject", "top", "unroll")
 ENGINES = ("tree", "plan")
 
@@ -266,6 +276,20 @@ def _resolve_enum(payload: dict, name: str, allowed, default):
     return value
 
 
+def _resolve_name(payload: dict, name: str, allowed, default):
+    """Like `_resolve_enum` but folds registry aliases first, so e.g.
+    ``"semantic"`` and ``"semantic-cps"`` canonicalize to one spec (and
+    hence one cache key)."""
+    value = payload.get(name, default)
+    value = ALIASES.get(value, value) if isinstance(value, str) else value
+    _require(
+        value in allowed,
+        f"{name!r} must be one of {sorted(allowed)} "
+        f"(aliases: {sorted(ALIASES)}), got {value!r}",
+    )
+    return value
+
+
 def _resolve_int(payload: dict, name: str, default, minimum=1, cap=None):
     value = payload.get(name, default)
     if value is None:
@@ -327,7 +351,7 @@ def prepare_request(
         # force both implementations to actually run.
         spec["engine"] = _resolve_enum(payload, "engine", ENGINES, "tree")
     if kind == "analyze":
-        spec["analyzer"] = _resolve_enum(
+        spec["analyzer"] = _resolve_name(
             payload, "analyzer", ANALYZERS, "direct"
         )
         spec["k"] = _resolve_int(payload, "k", 1, minimum=0)
@@ -336,7 +360,7 @@ def prepare_request(
             "'k' only applies to the polyvariant analyzer",
         )
     if kind == "lint":
-        spec["analyzer"] = _resolve_enum(
+        spec["analyzer"] = _resolve_name(
             payload, "analyzer", LINT_ANALYZERS, "direct"
         )
         for flag in ("fix", "syntactic_only"):
@@ -348,14 +372,14 @@ def prepare_request(
         # term in the spec and hence in the cache key.
         spec["source"] = payload.get("program")
     if kind == "run":
-        spec["interpreter"] = _resolve_enum(
+        spec["interpreter"] = _resolve_name(
             payload, "interpreter", INTERPRETERS, "direct"
         )
         spec["fuel"] = _resolve_int(
             payload, "fuel", defaults.fuel, cap=defaults.fuel
         )
         _require(
-            spec["interpreter"] != "syntactic" or not spec["assume"],
+            spec["interpreter"] != "syntactic-cps" or not spec["assume"],
             "'assume' is not supported with the syntactic interpreter",
         )
     sleep_ms = _resolve_int(payload, "debug_sleep_ms", 0, minimum=0)
@@ -550,6 +574,10 @@ def _execute_analyze(
             unroll_bound=spec["unroll_bound"],
             **common,
         )
+    elif analyzer == "pushdown":
+        # Tree-only; ``engine="plan"`` raises `EngineUnsupported`,
+        # which classifies to the ``engine_unsupported`` serve code.
+        result = analyze_pushdown(prep.term, domain, **common)
     else:
         result = analyze_polyvariant(
             prep.term, domain, k=spec["k"], **common
@@ -626,7 +654,7 @@ def _execute_run(
         answer = run_direct(
             prep.term, env=env, store=store, fuel=spec["fuel"], trace=trace
         )
-    elif interpreter == "semantic":
+    elif interpreter == "semantic-cps":
         answer = run_semantic_cps(
             prep.term, env=env, store=store, fuel=spec["fuel"], trace=trace
         )
@@ -656,7 +684,7 @@ def _execute_compare(
     domain = DOMAINS[spec["domain"]]()
     initial = _analysis_initial(prep, Lattice(domain))
     deadline.check()
-    report = run_three_way(
+    report = run_comparison(
         prep.term,
         domain=domain,
         initial=initial,
@@ -669,7 +697,7 @@ def _execute_compare(
         engine=spec["engine"],
     )
     deadline.check()
-    return {
+    body = {
         "ok": True,
         "kind": "compare",
         "program": spec["term"],
@@ -682,6 +710,16 @@ def _execute_compare(
             "semantic_vs_syntactic": report.semantic_vs_syntactic.value,
         },
     }
+    # The pushdown analyzer has no plan engine, so plan-engine
+    # comparisons stay three-way (their responses are unchanged and
+    # remain engine-differential with the tree engine's classic
+    # columns); tree comparisons gain the pushdown column.
+    if report.pushdown is not None:
+        body["pushdown"] = report.pushdown.to_dict()
+        body["verdicts"]["pushdown_vs_direct"] = (
+            report.pushdown_vs_direct.value
+        )
+    return body
 
 
 def execute_prepared(

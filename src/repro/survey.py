@@ -2,9 +2,12 @@
 
 The paper proves the direct and CPS analyses *can* differ in both
 directions and argues the differences matter in practice.  This module
-quantifies the phenomenon over program populations: it runs the
-three-way analysis over the corpus and over seeded random programs and
-tabulates the Section 5 verdicts, plus the relative analyzer costs.
+quantifies the phenomenon over program populations: it runs the N-way
+comparison (direct, both CPS analyzers, and the pushdown analyzer)
+over the corpus and over seeded random programs and tabulates the
+Section 5 verdicts — plus the pushdown-vs-direct verdict, which
+measures how often false returns actually bite — and the relative
+analyzer costs.
 
 ``python -m repro survey --count 200`` prints the tabulation;
 ``--jobs N`` fans the per-program work out over N worker processes
@@ -23,7 +26,7 @@ from typing import Iterable
 from repro.analysis.common import BudgetExceeded
 from repro.analysis.compare import Precision
 from repro.anf import normalize
-from repro.api import run_three_way
+from repro.api import run_comparison
 from repro.corpus import PROGRAMS, CorpusProgram
 from repro.domains.protocol import NumDomain
 from repro.domains.absval import Lattice
@@ -51,10 +54,15 @@ class SurveyRow:
     semantic_visits: int
     syntactic_visits: int
     size: int
+    #: Empty string when the comparison ran without the pushdown
+    #: analyzer (e.g. on the plan engine, which it does not support).
+    pushdown_vs_direct: str = ""
+    pushdown_visits: int = 0
 
     @staticmethod
     def from_report(report) -> "SurveyRow":
-        """Reduce a `ThreeWayReport` to its survey-relevant facts."""
+        """Reduce a `ComparisonReport` to its survey-relevant facts."""
+        has_pushdown = report.pushdown is not None
         return SurveyRow(
             direct_vs_syntactic=report.direct_vs_syntactic.value,
             semantic_vs_direct=report.semantic_vs_direct.value,
@@ -63,6 +71,12 @@ class SurveyRow:
             semantic_visits=report.semantic.stats.visits,
             syntactic_visits=report.syntactic.stats.visits,
             size=term_size(report.term),
+            pushdown_vs_direct=(
+                report.pushdown_vs_direct.value if has_pushdown else ""
+            ),
+            pushdown_visits=(
+                report.pushdown.stats.visits if has_pushdown else 0
+            ),
         )
 
 
@@ -75,14 +89,16 @@ class SurveyResult:
     direct_vs_syntactic: Counter = field(default_factory=Counter)
     semantic_vs_direct: Counter = field(default_factory=Counter)
     semantic_vs_syntactic: Counter = field(default_factory=Counter)
+    pushdown_vs_direct: Counter = field(default_factory=Counter)
     direct_visits: int = 0
     semantic_visits: int = 0
     syntactic_visits: int = 0
+    pushdown_visits: int = 0
     total_size: int = 0
     budget_exceeded: int = 0
 
     def record(self, report) -> None:
-        """Fold one three-way report into the aggregate."""
+        """Fold one comparison report into the aggregate."""
         self.record_row(SurveyRow.from_report(report))
 
     def record_row(self, row: "SurveyRow | None") -> None:
@@ -95,9 +111,12 @@ class SurveyResult:
         self.direct_vs_syntactic[row.direct_vs_syntactic] += 1
         self.semantic_vs_direct[row.semantic_vs_direct] += 1
         self.semantic_vs_syntactic[row.semantic_vs_syntactic] += 1
+        if row.pushdown_vs_direct:
+            self.pushdown_vs_direct[row.pushdown_vs_direct] += 1
         self.direct_visits += row.direct_visits
         self.semantic_visits += row.semantic_visits
         self.syntactic_visits += row.syntactic_visits
+        self.pushdown_visits += row.pushdown_visits
         self.total_size += row.size
 
     def verdict_share(self, counter: Counter, verdict: Precision) -> float:
@@ -116,12 +135,14 @@ class SurveyResult:
             f"  mean analyzer visits: direct "
             f"{self.direct_visits / max(self.count, 1):.1f}, semantic-CPS "
             f"{self.semantic_visits / max(self.count, 1):.1f}, syntactic-CPS "
-            f"{self.syntactic_visits / max(self.count, 1):.1f}",
+            f"{self.syntactic_visits / max(self.count, 1):.1f}, pushdown "
+            f"{self.pushdown_visits / max(self.count, 1):.1f}",
         ]
         for label, counter in (
             ("direct vs syntactic-CPS", self.direct_vs_syntactic),
             ("semantic vs direct", self.semantic_vs_direct),
             ("semantic vs syntactic", self.semantic_vs_syntactic),
+            ("pushdown vs direct", self.pushdown_vs_direct),
         ):
             shares = ", ".join(
                 f"{verdict}: {count}" for verdict, count in counter.most_common()
@@ -142,7 +163,7 @@ def _survey_corpus_worker(args: tuple) -> "SurveyRow | None":
     name, budget, engine = args
     try:
         return SurveyRow.from_report(
-            run_three_way(PROGRAMS[name], max_visits=budget, engine=engine)
+            run_comparison(PROGRAMS[name], max_visits=budget, engine=engine)
         )
     except BudgetExceeded:
         return None
@@ -153,7 +174,7 @@ def _survey_random_worker(args: tuple) -> "SurveyRow | None":
     term = normalize(random_program(seed, depth))
     try:
         return SurveyRow.from_report(
-            run_three_way(term, max_visits=budget, engine=engine)
+            run_comparison(term, max_visits=budget, engine=engine)
         )
     except BudgetExceeded:
         return None
@@ -171,7 +192,7 @@ def _survey_random_open_worker(args: tuple) -> "SurveyRow | None":
     }
     try:
         return SurveyRow.from_report(
-            run_three_way(
+            run_comparison(
                 term,
                 domain=domain,
                 initial=initial,
@@ -218,7 +239,7 @@ def survey_programs(
     def row_of(program: CorpusProgram) -> "SurveyRow | None":
         try:
             return SurveyRow.from_report(
-                run_three_way(
+                run_comparison(
                     program, domain=domain, max_visits=budget, engine=engine
                 )
             )
@@ -270,7 +291,7 @@ def survey_random(
         term = normalize(random_program(seed, depth))
         try:
             return SurveyRow.from_report(
-                run_three_way(
+                run_comparison(
                     term, domain=domain, max_visits=budget, engine=engine
                 )
             )
@@ -321,7 +342,7 @@ def survey_random_open(
         }
         try:
             return SurveyRow.from_report(
-                run_three_way(
+                run_comparison(
                     term,
                     domain=domain,
                     initial=initial,

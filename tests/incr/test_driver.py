@@ -163,6 +163,92 @@ class TestEngines:
             assert store.summary()["entries"] == 0
 
 
+class TestLoopThresholdFamily:
+    """The `loop-threshold-open-T-D` edit knob: a `loop` feeding a
+    threshold conditional, with both the addend and the threshold as
+    numerals an edit can move.  `loop` forces the Section 4.4 cut
+    machinery, so this family covers the incremental path the plain
+    numeral-edit corpus rows never reach."""
+
+    @pytest.mark.parametrize("analyzer", ANALYZERS)
+    def test_addend_edit_identity(self, analyzer):
+        from repro.corpus import loop_threshold_open
+
+        old = loop_threshold_open(10, 1)
+        new = loop_threshold_open(10, 2)
+        check_incremental(old.term, new.term, analyzer, loop_mode="top")
+
+    @pytest.mark.parametrize("analyzer", ANALYZERS)
+    def test_threshold_edit_identity(self, analyzer):
+        from repro.corpus import loop_threshold_open
+
+        old = loop_threshold_open(10, 1)
+        new = loop_threshold_open(25, 1)
+        check_incremental(old.term, new.term, analyzer, loop_mode="top")
+
+    @pytest.mark.parametrize(
+        "domain_cls",
+        [ConstPropDomain, SignDomain, ParityDomain, IntervalDomain],
+    )
+    def test_domain_identity(self, domain_cls):
+        from repro.corpus import loop_threshold_open
+
+        old = loop_threshold_open(10, 1)
+        new = loop_threshold_open(10, 3)
+        for analyzer in ("direct", "pushdown"):
+            check_incremental(
+                old.term,
+                new.term,
+                analyzer,
+                domain=domain_cls(),
+                loop_mode="top",
+            )
+
+    def test_plan_engine_identity(self):
+        from repro.corpus import loop_threshold_open
+
+        old = loop_threshold_open(10, 1)
+        new = loop_threshold_open(10, 2)
+        for analyzer in ("direct", "semantic-cps", "syntactic-cps"):
+            check_incremental(
+                old.term, new.term, analyzer, loop_mode="top", engine="plan"
+            )
+
+    def test_pushdown_plan_rejected(self):
+        from repro.analysis import EngineUnsupported
+        from repro.corpus import loop_threshold_open
+
+        old = loop_threshold_open(10, 1)
+        new = loop_threshold_open(10, 2)
+        with pytest.raises(EngineUnsupported):
+            analyze_incremental(
+                old.term,
+                new.term,
+                analyzer="pushdown",
+                loop_mode="top",
+                engine="plan",
+            )
+
+    def test_seeded_knob_pairs(self):
+        # 40 seeded (threshold, addend) edit-pairs, analyzers rotating:
+        # every knob move must stay bit-identical to scratch.
+        from repro.corpus import loop_threshold_open
+
+        for seed in range(40):
+            rng = random.Random(seed)
+            threshold = rng.randint(1, 40)
+            addend = rng.randint(1, 9)
+            old = loop_threshold_open(threshold, addend)
+            if rng.random() < 0.5:
+                new = loop_threshold_open(rng.randint(1, 40), addend)
+            else:
+                new = loop_threshold_open(threshold, rng.randint(1, 9))
+            analyzer = ANALYZERS[seed % len(ANALYZERS)]
+            check_incremental(
+                old.term, new.term, analyzer, loop_mode="top"
+            )
+
+
 class TestSeededRandomEdits:
     # 300 seeded edit-pairs on small random closed programs, rotating
     # through the four analyzers.  Bit-identity must hold on every

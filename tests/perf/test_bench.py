@@ -48,6 +48,19 @@ def make_payload() -> dict:
         lambda: compile_anf_plan(program.term),
         repeat=2,
     )
+    pushdown_entry = {
+        "name": "pushdown/constants",
+        "verdict": "equal",
+        "direct": {"wall_s": 0.001, "visits": 10},
+        "pushdown": {
+            "wall_s": 0.001,
+            "visits": 10,
+            "returns_analyzed": 0,
+            "loop_cuts": 0,
+        },
+        "work_ratio": 1.0,
+        "noise_exempt": False,
+    }
     tcc = top_conditional_chain(4)
     incr_entry = _incremental_row(
         f"incremental/{tcc.name}",
@@ -65,6 +78,7 @@ def make_payload() -> dict:
         "meta": {"python": "3.11.0", "platform": "test"},
         "workloads": [entry],
         "engine": [engine_entry],
+        "pushdown": [pushdown_entry],
         "parallel": {
             "jobs": 4,
             "cpus": 4,
@@ -200,6 +214,31 @@ class TestValidate:
         with pytest.raises(ValueError, match="compile_s"):
             validate_bench(payload)
 
+    def test_missing_pushdown_section_rejected(self):
+        payload = make_payload()
+        del payload["pushdown"]
+        with pytest.raises(ValueError, match="pushdown section"):
+            validate_bench(payload)
+
+    def test_pushdown_precision_loss_rejected(self):
+        # The whole-point gate: summaries may tie or win, never lose.
+        payload = make_payload()
+        payload["pushdown"][0]["verdict"] = "right-more-precise"
+        with pytest.raises(ValueError, match="less precise"):
+            validate_bench(payload)
+
+    def test_pushdown_incomparable_rejected(self):
+        payload = make_payload()
+        payload["pushdown"][0]["verdict"] = "incomparable"
+        with pytest.raises(ValueError, match="less precise"):
+            validate_bench(payload)
+
+    def test_pushdown_missing_run_field_rejected(self):
+        payload = make_payload()
+        del payload["pushdown"][0]["direct"]["visits"]
+        with pytest.raises(ValueError, match="visits"):
+            validate_bench(payload)
+
     def test_missing_incremental_section_rejected(self):
         payload = make_payload()
         del payload["incremental"]
@@ -263,6 +302,7 @@ class TestRoundTrip:
         text = summarize(payload)
         assert "corpus/constants" in text
         assert "engine/constants" in text
+        assert "pushdown/constants" in text
         assert "parallel random-open" in text
         assert "incremental/top-conditional-chain-4" in text
 

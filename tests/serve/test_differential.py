@@ -3,12 +3,12 @@
 Feeds `repro.gen.random_program` terms through a live service and
 checks the Lemma 3.1 agreement — the direct and semantic-CPS analyses
 of the same term coincide — and that every verdict matches the
-in-process `repro.api.run_three_way` on the same term.
+in-process `repro.api.run_comparison` on the same term.
 """
 
 import pytest
 
-from repro.api import run_three_way
+from repro.api import run_comparison
 from repro.gen import random_program
 from repro.lang.pretty import pretty_flat
 from repro.serve.client import RetryPolicy, ServiceClient
@@ -36,21 +36,29 @@ def test_served_compare_matches_in_process(seed, client):
     term = random_program(seed, max_depth=4)
     source = pretty_flat(term)
     served = client.compare(program=source, loop_mode="top")
-    report = run_three_way(source, loop_mode="top")
+    report = run_comparison(source, loop_mode="top")
     expected_verdicts = {
         "direct_vs_syntactic": report.direct_vs_syntactic.value,
         "semantic_vs_direct": report.semantic_vs_direct.value,
         "semantic_vs_syntactic": report.semantic_vs_syntactic.value,
+        "pushdown_vs_direct": report.pushdown_vs_direct.value,
     }
     assert served["verdicts"] == expected_verdicts
     assert served["direct"] == report.direct.to_dict()
     assert served["semantic_cps"] == report.semantic.to_dict()
     assert served["syntactic_cps"] == report.syntactic.to_dict()
+    assert served["pushdown"] == report.pushdown.to_dict()
     # The Lemma 3.1-style agreement, abstractly (Theorem 5.4): the
     # semantic-CPS analysis of the same term is never worse than the
     # direct one — and the service reports exactly what the local
-    # run_three_way proved.
+    # run_comparison proved.
     assert served["verdicts"]["semantic_vs_direct"] in (
+        "equal",
+        "left-more-precise",
+    )
+    # The tentpole claim at the transport layer: the pushdown analyzer
+    # is never *less* precise than the direct one.
+    assert served["verdicts"]["pushdown_vs_direct"] in (
         "equal",
         "left-more-precise",
     )

@@ -68,12 +68,15 @@ IDENTITY_REQUESTS = [
     ("analyze", {"corpus": "even-odd", "analyzer": "direct"}),
     ("analyze", {"corpus": "even-odd", "analyzer": "semantic-cps"}),
     ("analyze", {"corpus": "factorial", "analyzer": "polyvariant", "k": 1}),
+    ("analyze", {"corpus": "theorem-5.1", "analyzer": "pushdown"}),
     ("analyze", {"corpus": "higher-order", "engine": "plan"}),
     ("run", {"program": "(+ 1 2)"}),
     ("compare", {"corpus": "constants"}),
     ("lint", {"corpus": "branchy"}),
     # error paths must be identical too
     ("analyze", {"program": "(oops"}),
+    ("analyze", {"corpus": "constants", "analyzer": "pushdown",
+                 "engine": "plan"}),  # engine_unsupported
     ("analyze", {"corpus": "no-such-program"}),
     ("run", {}),
 ]

@@ -92,10 +92,12 @@ class TestAnalyze:
         data = json.loads(out)
         assert data["direct"]["store"]["a"]["num"] == "3"
         assert data["verdicts"]["semantic_vs_direct"] == "equal"
+        assert data["verdicts"]["pushdown_vs_direct"] == "equal"
         assert set(data) == {
             "direct",
             "semantic_cps",
             "syntactic_cps",
+            "pushdown",
             "verdicts",
         }
 
