@@ -16,7 +16,7 @@ precision; the benchmark compares what each route costs.
 
 import pytest
 
-from repro import run_three_way
+from repro import THREE_WAY_ANALYZERS, run_comparison
 from repro.analysis import analyze_direct, analyze_syntactic_cps
 from repro.analysis.delta import delta_store
 from repro.anf import normalize

@@ -8,7 +8,7 @@ and the overall verdict, and times the two analyses.
 
 import pytest
 
-from repro import Precision, run_three_way
+from repro import Precision, THREE_WAY_ANALYZERS, run_comparison
 from repro.analysis import analyze_direct, analyze_syntactic_cps
 from repro.analysis.compare import compare_direct_to_cps
 from repro.analysis.delta import delta_store
@@ -59,7 +59,7 @@ def test_syntactic_cps_side_of_witness(benchmark):
 )
 def test_verdict(benchmark, program):
     def run():
-        report = run_three_way(program)
+        report = run_comparison(program, analyzers=THREE_WAY_ANALYZERS)
         verdict = report.direct_vs_syntactic
         assert verdict is Precision.LEFT_MORE_PRECISE
         return verdict

@@ -8,7 +8,7 @@ combined incomparability statement of Theorems 5.1 + 5.2.
 
 import pytest
 
-from repro import Precision, run_three_way
+from repro import Precision, THREE_WAY_ANALYZERS, run_comparison
 from repro.corpus import (
     THEOREM_51_WITNESS,
     THEOREM_52_CONDITIONAL,
@@ -32,7 +32,7 @@ def test_duplication_witness(benchmark, program):
     expected = EXPECTED_CONSTANT[program.name]
 
     def run():
-        report = run_three_way(program)
+        report = run_comparison(program, analyzers=THREE_WAY_ANALYZERS)
         # paper rows: the direct analysis loses a2 entirely ...
         assert report.direct.num_of("a2") is TOP
         # ... while both CPS-style analyses prove the constant
@@ -52,8 +52,8 @@ def test_incomparability(benchmark):
     decrease static information."""
 
     def run():
-        gain = run_three_way(THEOREM_52_CONDITIONAL).direct_vs_syntactic
-        loss = run_three_way(THEOREM_51_WITNESS).direct_vs_syntactic
+        gain = run_comparison(THEOREM_52_CONDITIONAL, analyzers=THREE_WAY_ANALYZERS).direct_vs_syntactic
+        loss = run_comparison(THEOREM_51_WITNESS, analyzers=THREE_WAY_ANALYZERS).direct_vs_syntactic
         assert gain is Precision.RIGHT_MORE_PRECISE
         assert loss is Precision.LEFT_MORE_PRECISE
         return gain, loss

@@ -5,7 +5,7 @@ witness.
 
 import pytest
 
-from repro import Precision, run_three_way
+from repro import Precision, THREE_WAY_ANALYZERS, run_comparison
 from repro.analysis import analyze_semantic_cps, analyze_syntactic_cps
 from repro.analysis.compare import compare_semantic_to_syntactic
 from repro.analysis.delta import delta_store, delta_value
@@ -49,7 +49,7 @@ def test_value_inequality_over_corpus(benchmark):
 @pytest.mark.experiment("T5.5")
 def test_strict_gap_on_false_return_witness(benchmark):
     def run():
-        report = run_three_way(THEOREM_51_WITNESS)
+        report = run_comparison(THEOREM_51_WITNESS, analyzers=THREE_WAY_ANALYZERS)
         assert report.semantic.constant_of("a1") == 1
         verdict = report.semantic_vs_syntactic
         assert verdict is Precision.LEFT_MORE_PRECISE

@@ -17,7 +17,7 @@ Usage::
     python examples/constant_folding.py
 """
 
-from repro import run_three_way
+from repro import THREE_WAY_ANALYZERS, run_comparison
 from repro.analysis import analyze_direct
 from repro.anf import normalize
 from repro.corpus import THEOREM_52_CONDITIONAL
@@ -64,7 +64,7 @@ def section_63_demo() -> None:
 
     print("\n=== Section 6.3: recovering CPS precision in direct style ===")
     print(pretty(program.term))
-    cps_report = run_three_way(program)
+    cps_report = run_comparison(program, analyzers=THREE_WAY_ANALYZERS)
     plain = analyze_direct(program.term, DOMAIN, initial=initial)
     duplicated_term = duplicate_join_continuations(program.term)
     duplicated = analyze_direct(duplicated_term, DOMAIN, initial=initial)

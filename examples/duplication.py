@@ -14,7 +14,7 @@ Usage::
     python examples/duplication.py
 """
 
-from repro import Precision, run_three_way
+from repro import Precision, THREE_WAY_ANALYZERS, run_comparison
 from repro.corpus import (
     THEOREM_52_CONDITIONAL,
     THEOREM_52_TWO_CLOSURES,
@@ -26,7 +26,7 @@ from repro.lang import pretty
 def show(program) -> None:
     print(f"--- {program.name}: {program.description} ---")
     print(pretty(program.term))
-    report = run_three_way(program)
+    report = run_comparison(program, analyzers=THREE_WAY_ANALYZERS)
     print("\nWhat each analysis proves about a2:")
     print(f"  direct        : {report.direct.value_of('a2')!r}")
     print(f"  semantic-CPS  : {report.semantic.value_of('a2')!r}")
@@ -41,7 +41,7 @@ def cost_sweep() -> None:
     print(f"{'k':>3} {'direct':>10} {'semantic-CPS':>14} {'syntactic-CPS':>15}")
     previous = None
     for k in range(1, 11):
-        report = run_three_way(conditional_chain(k))
+        report = run_comparison(conditional_chain(k), analyzers=THREE_WAY_ANALYZERS)
         semantic = report.semantic.stats.visits
         ratio = f"  (x{semantic / previous:.2f})" if previous else ""
         previous = semantic

@@ -15,7 +15,7 @@ Usage::
     python examples/false_returns.py
 """
 
-from repro import Precision, run_three_way
+from repro import Precision, THREE_WAY_ANALYZERS, run_comparison
 from repro.corpus import SHIVERS_EXAMPLE, THEOREM_51_WITNESS
 from repro.cps import cps_pretty
 from repro.lang import pretty
@@ -24,7 +24,7 @@ from repro.lang import pretty
 def show(program) -> None:
     print(f"--- {program.name}: {program.description} ---")
     print(pretty(program.term))
-    report = run_three_way(program)
+    report = run_comparison(program, analyzers=THREE_WAY_ANALYZERS)
     print("\nCPS image:")
     print(cps_pretty(report.cps_term))
 

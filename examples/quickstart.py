@@ -7,7 +7,7 @@ Usage::
     python examples/quickstart.py
 """
 
-from repro import run_three_way
+from repro import THREE_WAY_ANALYZERS, run_comparison
 from repro.analysis import analyze_direct
 from repro.anf import normalize
 from repro.cfg import build_call_graph
@@ -28,7 +28,7 @@ def main() -> None:
     print("=== A-normal form ===")
     print(pretty(term))
 
-    report = run_three_way(term)
+    report = run_comparison(term, analyzers=THREE_WAY_ANALYZERS)
     print("\n=== CPS transform (Definition 3.2) ===")
     print(cps_pretty(report.cps_term))
 

@@ -28,6 +28,7 @@ Quick start::
 """
 
 from repro.api import (
+    THREE_WAY_ANALYZERS,
     ComparisonReport,
     ThreeWayReport,
     prepare,
@@ -44,6 +45,7 @@ __all__ = [
     "prepare",
     "run_comparison",
     "run_three_way",
+    "THREE_WAY_ANALYZERS",
     "Precision",
     "__version__",
 ]

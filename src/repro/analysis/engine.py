@@ -65,22 +65,32 @@ from repro.lang.ast import Term
 from repro.machine.absplan import (
     OP_APP,
     OP_BIND,
+    OP_BIND_C,
+    OP_BIND_S,
     OP_IF,
+    OP_IF_S,
     OP_LOOP,
     OP_PRIM,
     OP_TAIL,
     COP_BIND,
+    COP_BIND_C,
+    COP_BIND_S,
     COP_CAPP,
     COP_CIF,
+    COP_CIF_S,
     COP_CLOOP,
     COP_KRET,
     COP_PRIM,
     PLAN_CACHE,
+    PLAN_TIERS,
     PlanCache,
+    check_plan_tier,
     compile_anf_plan,
     compile_cps_plan,
     extend_anf_plan,
     extend_cps_plan,
+    optimize_anf_plan,
+    optimize_cps_plan,
 )
 from repro.obs.events import StoreWidened
 from repro.obs.metrics import Metrics
@@ -99,16 +109,35 @@ def check_engine(engine: str) -> str:
     return engine
 
 
+def _anf_plan_for(term: Term, plan_cache, plan_tier: str):
+    """The `AnfPlan` for ``term`` at ``plan_tier``, through the cache
+    (and its persistent tier) when one is given."""
+    check_plan_tier(plan_tier)
+    if plan_cache is not None:
+        return plan_cache.anf_plan(term, plan_tier)
+    plan = compile_anf_plan(term)
+    return optimize_anf_plan(plan) if plan_tier == "opt" else plan
+
+
+def _cps_plan_for(term: CTerm, plan_cache, plan_tier: str):
+    """The `CpsPlan` for ``term`` at ``plan_tier``."""
+    check_plan_tier(plan_tier)
+    if plan_cache is not None:
+        return plan_cache.cps_plan(term, plan_tier)
+    plan = compile_cps_plan(term)
+    return optimize_cps_plan(plan) if plan_tier == "opt" else plan
+
+
 # ----------------------------------------------------------------------
 # Constant-pool materialization (descriptors → lattice values)
 # ----------------------------------------------------------------------
 
 
-def _materialize_anf(consts, lattice: Lattice) -> tuple:
+def _materialize_anf(consts, lattice: Lattice, records=None) -> tuple:
     from repro.analysis.common import A_DEC, A_INC, AbsClo
 
     out = []
-    for desc in consts:
+    for index, desc in enumerate(consts):
         kind = desc[0]
         if kind == "num":
             out.append(lattice.of_const(desc[1]))
@@ -117,16 +146,23 @@ def _materialize_anf(consts, lattice: Lattice) -> tuple:
                 lattice.of_clos(A_INC if desc[1] == "add1" else A_DEC)
             )
         else:  # "clo"
-            lam = desc[1]
-            out.append(lattice.of_clos(AbsClo(lam.param, lam.body)))
+            # Optimized plans carry the interned closure record, so
+            # the runtime value shares identity with the entry-table
+            # key; extensions fall back to building it here.
+            record = records[index] if records is not None else None
+            if record is not None:
+                out.append(lattice.of_clos(record[0]))
+            else:
+                lam = desc[1]
+                out.append(lattice.of_clos(AbsClo(lam.param, lam.body)))
     return tuple(out)
 
 
-def _materialize_cps(consts, lattice: Lattice) -> tuple:
+def _materialize_cps(consts, lattice: Lattice, records=None) -> tuple:
     from repro.analysis.common import A_DECK, A_INCK, AbsCo, AbsCpsClo
 
     out = []
-    for desc in consts:
+    for index, desc in enumerate(consts):
         kind = desc[0]
         if kind == "num":
             out.append(lattice.of_const(desc[1]))
@@ -135,24 +171,35 @@ def _materialize_cps(consts, lattice: Lattice) -> tuple:
                 lattice.of_clos(A_INCK if desc[1] == "add1k" else A_DECK)
             )
         elif kind == "cps_clo":
-            lam = desc[1]
-            out.append(
-                lattice.of_clos(AbsCpsClo(lam.param, lam.kparam, lam.body))
-            )
+            record = records[index] if records is not None else None
+            if record is not None:
+                out.append(lattice.of_clos(record))
+            else:
+                lam = desc[1]
+                out.append(
+                    lattice.of_clos(
+                        AbsCpsClo(lam.param, lam.kparam, lam.body)
+                    )
+                )
         else:  # "konts"
-            klam = desc[1]
-            out.append(lattice.of_konts(AbsCo(klam.param, klam.body)))
+            record = records[index] if records is not None else None
+            if record is not None:
+                out.append(lattice.of_konts(record))
+            else:
+                klam = desc[1]
+                out.append(lattice.of_konts(AbsCo(klam.param, klam.body)))
     return tuple(out)
 
 
-def _materialize_poly(consts, lattice: Lattice) -> tuple:
+def _materialize_poly(consts, lattice: Lattice, records=None) -> tuple:
     """Polyvariant pool: numerals and primitives are plain values;
     lambdas stay descriptors ``(param, body, needed)`` because their
-    captured environment is only known at closure-creation time."""
+    captured environment is only known at closure-creation time.
+    Optimized plans precompute the ``needed`` capture lists."""
     from repro.lang.syntax import free_variables
 
     out = []
-    for desc in consts:
+    for index, desc in enumerate(consts):
         kind = desc[0]
         if kind == "num":
             out.append(lattice.of_const(desc[1]))
@@ -162,8 +209,14 @@ def _materialize_poly(consts, lattice: Lattice) -> tuple:
             )
         else:  # "clo"
             lam = desc[1]
-            needed = tuple(sorted(free_variables(lam.body) - {lam.param}))
-            out.append((lam.param, lam.body, needed))
+            record = records[index] if records is not None else None
+            if record is not None:
+                out.append((lam.param, lam.body, record[1]))
+            else:
+                needed = tuple(
+                    sorted(free_variables(lam.body) - {lam.param})
+                )
+                out.append((lam.param, lam.body, needed))
     return tuple(out)
 
 
@@ -268,6 +321,7 @@ class DirectPlanAnalyzer(_SlotEngine):
         metrics: Metrics | None = None,
         cache: "bool | None" = None,
         plan_cache: PlanCache | None = PLAN_CACHE,
+        plan_tier: str = "opt",
     ) -> None:
         if check:
             validate_anf(term)
@@ -277,11 +331,7 @@ class DirectPlanAnalyzer(_SlotEngine):
         self.max_visits = max_visits
         self.init_obs(trace, metrics)
         self.init_perf(cache)
-        plan = (
-            plan_cache.anf_plan(term)
-            if plan_cache is not None
-            else compile_anf_plan(term)
-        )
+        plan = _anf_plan_for(term, plan_cache, plan_tier)
         initial_abs = AbsStore(self.lattice, initial)
         ext_closures = [
             clo
@@ -296,7 +346,9 @@ class DirectPlanAnalyzer(_SlotEngine):
         self._slot_names, slot_of = self._slot_map(
             src.slot_names, src.slot_of, initial_abs
         )
-        self._cvals = _materialize_anf(src.consts, self.lattice)
+        self._cvals = _materialize_anf(
+            src.consts, self.lattice, getattr(src, "const_records", None)
+        )
         self._entry_cache: dict[int, tuple] = {}
         self.initial_store = self.intern_store(
             self._initial_slot_store(initial_abs, self._slot_names, slot_of)
@@ -380,7 +432,13 @@ class DirectPlanAnalyzer(_SlotEngine):
                     if hit is not None:
                         return hit
                 self.register_judgment(key, registered)
-                if op == OP_BIND:
+                if op == OP_BIND_S:
+                    result = store.vals[instr[2]]
+                    next_pc = instr[3]
+                elif op == OP_BIND_C:
+                    result = cvals[instr[2]]
+                    next_pc = instr[3]
+                elif op == OP_BIND:
                     ref = instr[2]
                     result = (
                         store.vals[ref] if ref >= 0 else cvals[-1 - ref]
@@ -394,8 +452,16 @@ class DirectPlanAnalyzer(_SlotEngine):
                     answer = self.apply(fun, arg, store)
                     result, store = answer.value, answer.store
                     next_pc = instr[4]
+                elif op == OP_IF_S:
+                    answer = self._branch(
+                        instr, store.vals[instr[2]], store
+                    )
+                    result, store = answer.value, answer.store
+                    next_pc = instr[5]
                 elif op == OP_IF:
-                    answer = self._branch(instr, store)
+                    answer = self._branch(
+                        instr, self._ref(instr[2], store), store
+                    )
                     result, store = answer.value, answer.store
                     next_pc = instr[5]
                 elif op == OP_PRIM:
@@ -442,8 +508,7 @@ class DirectPlanAnalyzer(_SlotEngine):
             out_store = self.join_stores(out_store, branch_store)
         return AAnswer(value, out_store)
 
-    def _branch(self, instr, store: SlotStore) -> AAnswer:
-        test = self._ref(instr[2], store)
+    def _branch(self, instr, test: AbsVal, store: SlotStore) -> AAnswer:
         domain = self.lattice.domain
         zero_possible = domain.may_be_zero(test.num)
         nonzero_possible = domain.may_be_nonzero(test.num) or bool(test.clos)
@@ -489,6 +554,7 @@ class SemanticCpsPlanAnalyzer(_SlotEngine):
         metrics: Metrics | None = None,
         cache: "bool | None" = None,
         plan_cache: PlanCache | None = PLAN_CACHE,
+        plan_tier: str = "opt",
     ) -> None:
         if check:
             validate_anf(term)
@@ -500,11 +566,7 @@ class SemanticCpsPlanAnalyzer(_SlotEngine):
         self.max_visits = max_visits
         self.init_obs(trace, metrics)
         self.init_perf(cache)
-        plan = (
-            plan_cache.anf_plan(term)
-            if plan_cache is not None
-            else compile_anf_plan(term)
-        )
+        plan = _anf_plan_for(term, plan_cache, plan_tier)
         initial_abs = AbsStore(self.lattice, initial)
         ext_closures = [
             clo
@@ -519,7 +581,9 @@ class SemanticCpsPlanAnalyzer(_SlotEngine):
         self._slot_names, slot_of = self._slot_map(
             src.slot_names, src.slot_of, initial_abs
         )
-        self._cvals = _materialize_anf(src.consts, self.lattice)
+        self._cvals = _materialize_anf(
+            src.consts, self.lattice, getattr(src, "const_records", None)
+        )
         self._entry_cache: dict[int, tuple] = {}
         self.initial_store = self.intern_store(
             self._initial_slot_store(initial_abs, self._slot_names, slot_of)
@@ -604,7 +668,15 @@ class SemanticCpsPlanAnalyzer(_SlotEngine):
                     if hit is not None:
                         return hit
                 self.register_judgment(key, registered)
-                if op == OP_BIND:
+                if op == OP_BIND_S:
+                    store = self.bind_slot(
+                        store, instr[1], store.vals[instr[2]]
+                    )
+                    pc = instr[3]
+                elif op == OP_BIND_C:
+                    store = self.bind_slot(store, instr[1], cvals[instr[2]])
+                    pc = instr[3]
+                elif op == OP_BIND:
                     ref = instr[2]
                     store = self.bind_slot(
                         store,
@@ -618,8 +690,14 @@ class SemanticCpsPlanAnalyzer(_SlotEngine):
                     return self.apply(
                         fun, arg, ((instr[1], instr[4]),) + kont, store
                     )
+                elif op == OP_IF_S:
+                    return self._branch(
+                        instr, store.vals[instr[2]], kont, store
+                    )
                 elif op == OP_IF:
-                    return self._branch(instr, kont, store)
+                    return self._branch(
+                        instr, self._ref(instr[2], store), kont, store
+                    )
                 elif op == OP_PRIM:
                     lattice = self.lattice
                     result = lattice.of_num(
@@ -674,8 +752,9 @@ class SemanticCpsPlanAnalyzer(_SlotEngine):
             frame[1], kont[1:], self.bind_slot(store, frame[0], value)
         )
 
-    def _branch(self, instr, kont: tuple, store: SlotStore) -> AAnswer:
-        test = self._ref(instr[2], store)
+    def _branch(
+        self, instr, test: AbsVal, kont: tuple, store: SlotStore
+    ) -> AAnswer:
         domain = self.lattice.domain
         zero_possible = domain.may_be_zero(test.num)
         nonzero_possible = domain.may_be_nonzero(test.num) or bool(test.clos)
@@ -745,6 +824,7 @@ class SyntacticCpsPlanAnalyzer(_SlotEngine):
         metrics: Metrics | None = None,
         cache: "bool | None" = None,
         plan_cache: PlanCache | None = PLAN_CACHE,
+        plan_tier: str = "opt",
     ) -> None:
         from repro.analysis.common import AbsCo, AbsCpsClo
 
@@ -758,11 +838,7 @@ class SyntacticCpsPlanAnalyzer(_SlotEngine):
         self.max_visits = max_visits
         self.init_obs(trace, metrics)
         self.init_perf(cache)
-        plan = (
-            plan_cache.cps_plan(term)
-            if plan_cache is not None
-            else compile_cps_plan(term)
-        )
+        plan = _cps_plan_for(term, plan_cache, plan_tier)
         table = dict(initial) if initial else {}
         if top_kvar not in table:
             table[top_kvar] = self.lattice.of_konts(A_STOP)
@@ -792,7 +868,9 @@ class SyntacticCpsPlanAnalyzer(_SlotEngine):
         self._slot_names, slot_of = self._slot_map(
             src.slot_names, src.slot_of, initial_abs
         )
-        self._cvals = _materialize_cps(src.consts, self.lattice)
+        self._cvals = _materialize_cps(
+            src.consts, self.lattice, getattr(src, "const_records", None)
+        )
         self._entry_cache: dict[int, tuple] = {}
         self._kont_cache: dict[int, tuple] = {}
         self.initial_store = self.intern_store(
@@ -880,7 +958,17 @@ class SyntacticCpsPlanAnalyzer(_SlotEngine):
                     kont_val = store.vals[instr[1]]
                     result = self._ref(instr[2], store)
                     return self.ret(kont_val, result, store)
-                if op == COP_BIND:
+                if op == COP_BIND_S:
+                    store = self.bind_slot(
+                        store, instr[1], store.vals[instr[2]]
+                    )
+                    pc = instr[3]
+                elif op == COP_BIND_C:
+                    store = self.bind_slot(
+                        store, instr[1], self._cvals[instr[2]]
+                    )
+                    pc = instr[3]
+                elif op == COP_BIND:
                     store = self.bind_slot(
                         store, instr[1], self._ref(instr[2], store)
                     )
@@ -891,8 +979,14 @@ class SyntacticCpsPlanAnalyzer(_SlotEngine):
                     return self.apply(
                         fun_v, arg_v, self._cvals[instr[3]], store
                     )
+                elif op == COP_CIF_S:
+                    return self._branch(
+                        instr, store.vals[instr[3]], store
+                    )
                 elif op == COP_CIF:
-                    return self._branch(instr, store)
+                    return self._branch(
+                        instr, self._ref(instr[3], store), store
+                    )
                 elif op == COP_PRIM:
                     lattice = self.lattice
                     result = lattice.of_num(
@@ -966,8 +1060,7 @@ class SyntacticCpsPlanAnalyzer(_SlotEngine):
             return AAnswer(self.lattice.bottom, store)
         return answer
 
-    def _branch(self, instr, store: SlotStore) -> AAnswer:
-        test_v = self._ref(instr[3], store)
+    def _branch(self, instr, test_v: AbsVal, store: SlotStore) -> AAnswer:
         domain = self.lattice.domain
         zero_possible = domain.may_be_zero(test_v.num)
         nonzero_possible = domain.may_be_nonzero(test_v.num) or bool(
@@ -1042,6 +1135,7 @@ class PolyvariantPlanAnalyzer(WorkBudgetMixin):
         metrics: Metrics | None = None,
         cache: "bool | None" = None,
         plan_cache: PlanCache | None = PLAN_CACHE,
+        plan_tier: str = "opt",
     ) -> None:
         if check:
             validate_anf(term)
@@ -1054,11 +1148,7 @@ class PolyvariantPlanAnalyzer(WorkBudgetMixin):
         self.max_visits = max_visits
         self.init_obs(trace, metrics)
         self.init_perf(cache)
-        plan = (
-            plan_cache.anf_plan(term)
-            if plan_cache is not None
-            else compile_anf_plan(term)
-        )
+        plan = _anf_plan_for(term, plan_cache, plan_tier)
         table: dict[Hashable, AbsVal] = {}
         initial = dict(initial) if initial else {}
         for name, value in initial.items():
@@ -1079,7 +1169,9 @@ class PolyvariantPlanAnalyzer(WorkBudgetMixin):
         self._entry_pc = plan.entry_pc
         self._slot_names = src.slot_names
         self._free_names = plan.free_names
-        self._cvals = _materialize_poly(src.consts, self.lattice)
+        self._cvals = _materialize_poly(
+            src.consts, self.lattice, getattr(src, "const_records", None)
+        )
         self._body_pc = {
             (clo.param, clo.body): entry[1]
             for clo, entry in src.entries.items()
@@ -1129,7 +1221,12 @@ class PolyvariantPlanAnalyzer(WorkBudgetMixin):
         if ref >= 0:
             name = self._slot_names[ref]
             return self._lookup(name, env.get(name), store)
-        desc = self._cvals[-1 - ref]
+        return self._const_value(-1 - ref, env)
+
+    def _const_value(
+        self, index: int, env: Mapping[str, Context]
+    ) -> AbsVal:
+        desc = self._cvals[index]
         if type(desc) is AbsVal:
             return desc
         param, body, needed = desc
@@ -1203,7 +1300,14 @@ class PolyvariantPlanAnalyzer(WorkBudgetMixin):
                     if hit is not None:
                         return hit
                 self.register_judgment(key, registered)
-                if op == OP_BIND:
+                if op == OP_BIND_S:
+                    name = slot_names[instr[2]]
+                    result = self._lookup(name, env.get(name), store)
+                    next_pc = instr[3]
+                elif op == OP_BIND_C:
+                    result = self._const_value(instr[2], env)
+                    next_pc = instr[3]
+                elif op == OP_BIND:
                     result = self._value_ref(instr[2], env, store)
                     next_pc = instr[3]
                 elif op == OP_APP:
@@ -1213,7 +1317,9 @@ class PolyvariantPlanAnalyzer(WorkBudgetMixin):
                         slot_names[instr[1]], fun, arg, ctx, store
                     )
                     next_pc = instr[4]
-                elif op == OP_IF:
+                elif op == OP_IF or op == OP_IF_S:
+                    # OP_IF_S's test operand is a plain slot, which is
+                    # exactly the non-negative value-reference case.
                     result, store = self._branch(instr, env, ctx, store)
                     next_pc = instr[5]
                 elif op == OP_PRIM:

@@ -217,6 +217,7 @@ def run_comparison(
     metrics: Metrics | None = None,
     cache: "bool | None" = None,
     engine: str = "tree",
+    plan_tier: str = "opt",
 ) -> ComparisonReport:
     """Run the comparison analyzers on one program.
 
@@ -251,6 +252,9 @@ def run_comparison(
             runs the compiled-plan engines of
             :mod:`repro.analysis.engine` — same answers, same
             statistics (differentially tested).
+        plan_tier: ``"opt"`` (default) runs peephole-optimized plans,
+            ``"base"`` the raw compiler output — bit-identical either
+            way; only meaningful with ``engine="plan"``.
 
     Returns:
         A `ComparisonReport` with the results and pairwise verdicts.
@@ -290,6 +294,7 @@ def run_comparison(
                 metrics=metrics,
                 cache=cache,
                 engine=engine,
+                plan_tier=plan_tier,
             )
     if "semantic-cps" in selected:
         with span("analyze.semantic-cps"):
@@ -304,6 +309,7 @@ def run_comparison(
                 metrics=metrics,
                 cache=cache,
                 engine=engine,
+                plan_tier=plan_tier,
             )
     if "syntactic-cps" in selected:
         with span("analyze.syntactic-cps"):
@@ -318,6 +324,7 @@ def run_comparison(
                 metrics=metrics,
                 cache=cache,
                 engine=engine,
+                plan_tier=plan_tier,
             )
     if "pushdown" in selected:
         with span("analyze.pushdown"):
@@ -349,7 +356,20 @@ def run_three_way(
     engine: str = "tree",
 ) -> ComparisonReport:
     """Deprecated alias of `run_comparison` restricted to the paper's
-    classic three analyzers (direct, semantic-CPS, syntactic-CPS)."""
+    classic three analyzers (direct, semantic-CPS, syntactic-CPS).
+
+    .. deprecated::
+        Call ``run_comparison(..., analyzers=THREE_WAY_ANALYZERS)``
+        instead; this alias will be removed in a future release.
+    """
+    import warnings
+
+    warnings.warn(
+        "run_three_way is deprecated; use"
+        " run_comparison(..., analyzers=THREE_WAY_ANALYZERS)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return run_comparison(
         program,
         domain,

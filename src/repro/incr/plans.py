@@ -1,0 +1,445 @@
+"""Persistent compiled-plan storage: the ``kind=plan`` entry class.
+
+The plan compiler (`repro.machine.absplan`) is a pure function of the
+program's literal structure, so its output can be cached *across
+processes* exactly like the summary rows of `repro.incr.driver`: keyed
+by the term's Merkle structure digest, stored in the same sqlite
+`IncrStore` (same WAL, gc and generation machinery), and reloaded by a
+freshly started serve worker instead of recompiled.
+
+Three pieces:
+
+- a **codec** (`encode_anf_plan` / `decode_anf_plan` and the cps(A)
+  twins): base plans serialize to JSON with every AST-node reference
+  replaced by the node's *structural preorder index* in the program —
+  decode resolves indices against the caller's own term, so a plan
+  saved by one process runs against the structurally-equal tree of
+  another with no pickling of AST objects;
+- a **tier** (`PlanPersistTier`): the disk layer `PlanCache` calls
+  between its in-memory LRU and the compiler — ``load`` → ``compile``
+  → ``save`` — with its own hit/miss/reject counters for
+  ``/metricsz`` and ``cachectl stats``;
+- a **key** (`plan_cfg`): the cfg string folds together the codec
+  schema, the instruction-set schema (`ENGINE_SCHEMA`) and the hash
+  schema, so any vocabulary change strands old rows unreachable (a
+  clean miss, then gc) rather than decoding garbage.
+
+Only *base* (unoptimized) plans are persisted: `optimize_anf_plan` is
+cheap, depends on the engine schema, and interns against the decoded
+entry tables, so the optimized tier is always derived in-process.
+
+Decoding is defensive end to end: any malformed payload, stale index
+or schema drift makes ``load`` return None and the caller falls
+through to the compiler — a corrupt row can cost a recompile, never a
+wrong answer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.analysis.common import (
+    A_DEC,
+    A_DECK,
+    A_INC,
+    A_INCK,
+    A_STOP,
+    AbsClo,
+    AbsCo,
+    AbsCpsClo,
+)
+from repro.incr.hash import HASH_SCHEMA, TermHasher, node_children
+from repro.incr.store import KIND_PLAN, IncrStore
+from repro.machine.absplan import ENGINE_SCHEMA, AnfPlan, CpsPlan
+
+#: Bump when the serialized layout below changes.
+PLAN_CODEC_SCHEMA = 1
+
+#: Abort encode/decode when the structural preorder walk exceeds this
+#: many visits (heavily shared trees unfold combinatorially; such
+#: programs simply stay compile-only).
+_WALK_LIMIT = 1_000_000
+
+#: Reset the tier's hasher once its pin cache grows past this many
+#: nodes (long-lived serve workers hash a stream of fresh terms).
+_HASHER_LIMIT = 500_000
+
+_TAGS = {tag.tag: tag for tag in (A_INC, A_DEC, A_INCK, A_DECK)}
+
+
+def plan_cfg() -> str:
+    """The store cfg string: one schema bump anywhere → clean miss."""
+    return f"plan/{PLAN_CODEC_SCHEMA}/{ENGINE_SCHEMA}/{HASH_SCHEMA}"
+
+
+# ----------------------------------------------------------------------
+# Structural preorder indexing
+# ----------------------------------------------------------------------
+#
+# A node is named by the index of its first occurrence in the
+# *structural* preorder walk (every path is visited, so the numbering
+# depends only on the tree's shape, never on object sharing — the
+# saving and loading processes may share sub-terms differently).
+
+
+def _index_of_nodes(root) -> "dict[int, int] | None":
+    """``id(node) -> first structural preorder index`` for every node
+    under ``root``, or None when the walk exceeds `_WALK_LIMIT`."""
+    index_of: dict[int, int] = {}
+    count = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if count >= _WALK_LIMIT:
+            return None
+        if id(node) not in index_of:
+            index_of[id(node)] = count
+        count += 1
+        stack.extend(reversed(node_children(node)))
+    return index_of
+
+
+def _nodes_at(root, wanted: set) -> "dict[int, object] | None":
+    """``index -> node`` for the requested structural preorder
+    indices, or None when an index is out of range (shape mismatch)."""
+    found: dict[int, object] = {}
+    count = 0
+    stack = [root]
+    while stack and len(found) < len(wanted):
+        node = stack.pop()
+        if count >= _WALK_LIMIT:
+            return None
+        if count in wanted:
+            found[count] = node
+        count += 1
+        stack.extend(reversed(node_children(node)))
+    if len(found) < len(wanted):
+        return None
+    return found
+
+
+# ----------------------------------------------------------------------
+# Codec
+# ----------------------------------------------------------------------
+
+
+def encode_anf_plan(plan: AnfPlan, root) -> "str | None":
+    """Serialize a *base* `AnfPlan` compiled from ``root``, or None
+    when the plan is not serializable (optimized, or the walk blew the
+    limit)."""
+    if plan.optimized:
+        return None
+    index_of = _index_of_nodes(root)
+    if index_of is None:
+        return None
+    try:
+        consts = []
+        for desc in plan.consts:
+            if desc[0] == "clo":
+                consts.append(["clo", index_of[id(desc[1])]])
+            else:
+                consts.append(list(desc))
+        payload = {
+            "schema": PLAN_CODEC_SCHEMA,
+            "engine": ENGINE_SCHEMA,
+            "kind": "anf",
+            "entry_pc": plan.entry_pc,
+            "code": [list(instr) for instr in plan.code],
+            "terms": [index_of[id(t)] for t in plan.terms],
+            "slot_names": list(plan.slot_names),
+            "consts": consts,
+            "entries": [
+                [clo.param, index_of[id(clo.body)], pslot, bpc]
+                for clo, (pslot, bpc) in plan.entries.items()
+            ],
+            "cl_top": [
+                ["tag", member.tag]
+                if not isinstance(member, AbsClo)
+                else ["clo", member.param, index_of[id(member.body)]]
+                for member in plan.cl_top
+            ],
+            "free_names": sorted(plan.free_names),
+        }
+    except KeyError:
+        # A plan node that is not a sub-term of ``root`` — only
+        # possible for extension arrays, which are never persisted.
+        return None
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def encode_cps_plan(plan: CpsPlan, root) -> "str | None":
+    """Serialize a *base* `CpsPlan` compiled from ``root``."""
+    if plan.optimized:
+        return None
+    index_of = _index_of_nodes(root)
+    if index_of is None:
+        return None
+    try:
+        consts = []
+        for desc in plan.consts:
+            if desc[0] in ("cps_clo", "konts"):
+                consts.append([desc[0], index_of[id(desc[1])]])
+            else:
+                consts.append(list(desc))
+        payload = {
+            "schema": PLAN_CODEC_SCHEMA,
+            "engine": ENGINE_SCHEMA,
+            "kind": "cps",
+            "entry_pc": plan.entry_pc,
+            "code": [list(instr) for instr in plan.code],
+            "terms": [index_of[id(t)] for t in plan.terms],
+            "slot_names": list(plan.slot_names),
+            "consts": consts,
+            "cps_entries": [
+                [clo.param, clo.kparam, index_of[id(clo.body)], ps, ks, bpc]
+                for clo, (ps, ks, bpc) in plan.cps_entries.items()
+            ],
+            "kont_entries": [
+                [co.param, index_of[id(co.body)], ps, bpc]
+                for co, (ps, bpc) in plan.kont_entries.items()
+            ],
+            "cl_top": [
+                ["tag", member.tag]
+                if not isinstance(member, AbsCpsClo)
+                else [
+                    "clo",
+                    member.param,
+                    member.kparam,
+                    index_of[id(member.body)],
+                ]
+                for member in plan.cl_top
+            ],
+            "k_top": [
+                ["stop"]
+                if member == A_STOP
+                else ["co", member.param, index_of[id(member.body)]]
+                for member in plan.k_top
+            ],
+        }
+    except KeyError:
+        return None
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def _wanted_indices(payload: dict) -> set:
+    wanted = set(payload["terms"])
+    for desc in payload["consts"]:
+        if desc[0] in ("clo", "cps_clo", "konts"):
+            wanted.add(desc[-1])
+    for row in payload.get("entries", ()):
+        wanted.add(row[1])
+    for row in payload.get("cps_entries", ()):
+        wanted.add(row[2])
+    for row in payload.get("kont_entries", ()):
+        wanted.add(row[1])
+    for member in payload["cl_top"]:
+        if member[0] == "clo":
+            wanted.add(member[-1])
+    for member in payload.get("k_top", ()):
+        if member[0] == "co":
+            wanted.add(member[-1])
+    return wanted
+
+
+def decode_anf_plan(payload_text: str, root) -> "AnfPlan | None":
+    """Rebuild an `AnfPlan` against the caller's ``root`` term, or
+    None on any mismatch (the caller recompiles)."""
+    try:
+        payload = json.loads(payload_text)
+        if (
+            payload.get("schema") != PLAN_CODEC_SCHEMA
+            or payload.get("engine") != ENGINE_SCHEMA
+            or payload.get("kind") != "anf"
+        ):
+            return None
+        nodes = _nodes_at(root, _wanted_indices(payload))
+        if nodes is None:
+            return None
+        consts = tuple(
+            ("clo", nodes[desc[1]]) if desc[0] == "clo" else tuple(desc)
+            for desc in payload["consts"]
+        )
+        entries = {
+            AbsClo(param, nodes[body]): (pslot, bpc)
+            for param, body, pslot, bpc in payload["entries"]
+        }
+        cl_top = frozenset(
+            _TAGS[member[1]]
+            if member[0] == "tag"
+            else AbsClo(member[1], nodes[member[2]])
+            for member in payload["cl_top"]
+        )
+        slot_names = tuple(payload["slot_names"])
+        return AnfPlan(
+            payload["entry_pc"],
+            tuple(tuple(instr) for instr in payload["code"]),
+            tuple(nodes[i] for i in payload["terms"]),
+            slot_names,
+            {name: i for i, name in enumerate(slot_names)},
+            consts,
+            entries,
+            cl_top,
+            frozenset(payload["free_names"]),
+        )
+    except Exception:
+        return None
+
+
+def decode_cps_plan(payload_text: str, root) -> "CpsPlan | None":
+    """Rebuild a `CpsPlan` against the caller's ``root`` term."""
+    try:
+        payload = json.loads(payload_text)
+        if (
+            payload.get("schema") != PLAN_CODEC_SCHEMA
+            or payload.get("engine") != ENGINE_SCHEMA
+            or payload.get("kind") != "cps"
+        ):
+            return None
+        nodes = _nodes_at(root, _wanted_indices(payload))
+        if nodes is None:
+            return None
+        consts = tuple(
+            (desc[0], nodes[desc[1]])
+            if desc[0] in ("cps_clo", "konts")
+            else tuple(desc)
+            for desc in payload["consts"]
+        )
+        cps_entries = {
+            AbsCpsClo(param, kparam, nodes[body]): (ps, ks, bpc)
+            for param, kparam, body, ps, ks, bpc in payload["cps_entries"]
+        }
+        kont_entries = {
+            AbsCo(param, nodes[body]): (ps, bpc)
+            for param, body, ps, bpc in payload["kont_entries"]
+        }
+        cl_top = frozenset(
+            _TAGS[member[1]]
+            if member[0] == "tag"
+            else AbsCpsClo(member[1], member[2], nodes[member[3]])
+            for member in payload["cl_top"]
+        )
+        k_top = frozenset(
+            A_STOP
+            if member[0] == "stop"
+            else AbsCo(member[1], nodes[member[2]])
+            for member in payload["k_top"]
+        )
+        slot_names = tuple(payload["slot_names"])
+        return CpsPlan(
+            payload["entry_pc"],
+            tuple(tuple(instr) for instr in payload["code"]),
+            tuple(nodes[i] for i in payload["terms"]),
+            slot_names,
+            {name: i for i, name in enumerate(slot_names)},
+            consts,
+            cps_entries,
+            kont_entries,
+            cl_top,
+            k_top,
+        )
+    except Exception:
+        return None
+
+
+# ----------------------------------------------------------------------
+# The persistent tier
+# ----------------------------------------------------------------------
+
+
+class PlanPersistTier:
+    """The disk layer between `PlanCache` and the compilers.
+
+    Wraps an `IncrStore` handle; thread-safe (the serve worker pool
+    shares one tier).  ``load``/``save`` take the *base* plan kind
+    (``"anf"`` / ``"cps"``) and the program root; the structure digest
+    of the root is the store subject.
+    """
+
+    def __init__(self, store: IncrStore) -> None:
+        self.store = store
+        self._lock = threading.Lock()
+        self._hasher = TermHasher()
+        self.loads = 0
+        self.misses = 0
+        self.saves = 0
+        self.rejects = 0
+
+    def _subject(self, term) -> str:
+        with self._lock:
+            # The hasher pins every node it has digested; a long-lived
+            # worker hashing a stream of fresh programs must shed it.
+            if len(self._hasher) > _HASHER_LIMIT:
+                self._hasher = TermHasher()
+            return self._hasher.hex(term)
+
+    def load(self, kind: str, term):
+        """The stored plan for ``term``, decoded against ``term``
+        itself, or None (miss, or undecodable row)."""
+        payload = self.store.get(
+            plan_cfg(), KIND_PLAN, self._subject(term), kind
+        )
+        if payload is None:
+            with self._lock:
+                self.misses += 1
+            return None
+        decode = decode_anf_plan if kind == "anf" else decode_cps_plan
+        plan = decode(payload, term)
+        with self._lock:
+            if plan is None:
+                # Undecodable against a digest-equal term: treat as a
+                # miss; the recompile's save overwrites the bad row.
+                self.rejects += 1
+                self.misses += 1
+            else:
+                self.loads += 1
+        return plan
+
+    def save(self, kind: str, term, plan) -> bool:
+        """Persist a freshly compiled base plan; False when the plan
+        is not serializable."""
+        encode = encode_anf_plan if kind == "anf" else encode_cps_plan
+        payload = encode(plan, term)
+        if payload is None:
+            with self._lock:
+                self.rejects += 1
+            return False
+        self.store.put(
+            plan_cfg(), KIND_PLAN, self._subject(term), kind, payload
+        )
+        with self._lock:
+            self.saves += 1
+        return True
+
+    def snapshot(self) -> dict:
+        """Counters for ``/metricsz`` / shard stats / tests."""
+        with self._lock:
+            return {
+                "cfg": plan_cfg(),
+                "loads": self.loads,
+                "misses": self.misses,
+                "saves": self.saves,
+                "rejects": self.rejects,
+            }
+
+
+def attach_plan_store(store: "IncrStore | None") -> "PlanPersistTier | None":
+    """Point the process-wide `PLAN_CACHE` at ``store`` (None
+    detaches), returning the attached tier."""
+    from repro.machine.absplan import PLAN_CACHE
+
+    tier = PlanPersistTier(store) if store is not None else None
+    PLAN_CACHE.attach_persist(tier)
+    return tier
+
+
+__all__ = [
+    "PLAN_CODEC_SCHEMA",
+    "plan_cfg",
+    "encode_anf_plan",
+    "encode_cps_plan",
+    "decode_anf_plan",
+    "decode_cps_plan",
+    "PlanPersistTier",
+    "attach_plan_store",
+]

@@ -88,6 +88,12 @@ def _reinit_locks_after_fork() -> None:
         from repro.machine.absplan import PLAN_CACHE
 
         PLAN_CACHE._lock = threading.Lock()
+        # An attached persistent plan tier wraps a sqlite connection,
+        # which must never be used across a fork.  The child detaches
+        # it (the in-memory plans themselves are inherited fine) and
+        # re-attaches its own store if it wants persistence — the
+        # serve shards do exactly that in `_shard_main`.
+        PLAN_CACHE._persist = None
     except Exception:
         pass
 
@@ -109,12 +115,16 @@ def warm_analysis_caches(include_heavy: bool = False) -> dict:
         # The imports are the dominant cost under spawn; under fork the
         # parent has usually paid them already and these are no-ops.
         import repro.analysis.engine  # noqa: F401  (plan analyzers)
-        import repro.api  # noqa: F401  (run_three_way)
+        import repro.api  # noqa: F401  (run_comparison)
         import repro.survey  # noqa: F401  (survey workers)
         from repro.corpus import PROGRAMS
         from repro.cps import cps_transform
         from repro.machine.absplan import PLAN_CACHE
 
+        # With a persistent tier attached (serve --incr-store, shard
+        # warm-fork, `cachectl warm --plans`), these warm compilations
+        # become disk loads after the first process: the `PLAN_CACHE`
+        # miss path tries the store before the compiler.
         plans = 0
         for program in PROGRAMS.values():
             if program.heavy and not include_heavy:
@@ -127,9 +137,12 @@ def warm_analysis_caches(include_heavy: bool = False) -> dict:
                 # Plans only cover the restricted subset; programs
                 # outside it simply stay on the tree engine.
                 continue
+        snapshot = PLAN_CACHE.snapshot()
         _WARM_STATS = {
             "plans": plans,
             "programs": len(PROGRAMS),
+            "plan_disk_loads": snapshot["disk_loads"],
+            "plan_compiles": snapshot["compiles"],
             "warm_s": round(time.perf_counter() - started, 6),
             "pid": os.getpid(),
         }

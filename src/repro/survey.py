@@ -160,21 +160,28 @@ class SurveyResult:
 
 
 def _survey_corpus_worker(args: tuple) -> "SurveyRow | None":
-    name, budget, engine = args
+    name, budget, engine, plan_tier = args
     try:
         return SurveyRow.from_report(
-            run_comparison(PROGRAMS[name], max_visits=budget, engine=engine)
+            run_comparison(
+                PROGRAMS[name],
+                max_visits=budget,
+                engine=engine,
+                plan_tier=plan_tier,
+            )
         )
     except BudgetExceeded:
         return None
 
 
 def _survey_random_worker(args: tuple) -> "SurveyRow | None":
-    seed, depth, budget, engine = args
+    seed, depth, budget, engine, plan_tier = args
     term = normalize(random_program(seed, depth))
     try:
         return SurveyRow.from_report(
-            run_comparison(term, max_visits=budget, engine=engine)
+            run_comparison(
+                term, max_visits=budget, engine=engine, plan_tier=plan_tier
+            )
         )
     except BudgetExceeded:
         return None
@@ -183,7 +190,7 @@ def _survey_random_worker(args: tuple) -> "SurveyRow | None":
 def _survey_random_open_worker(args: tuple) -> "SurveyRow | None":
     import random as _random
 
-    seed, depth, inputs, budget, engine = args
+    seed, depth, inputs, budget, engine, plan_tier = args
     domain = ConstPropDomain()
     lattice = Lattice(domain)
     term = normalize(random_open_term(_random.Random(seed), depth, inputs))
@@ -198,6 +205,7 @@ def _survey_random_open_worker(args: tuple) -> "SurveyRow | None":
                 initial=initial,
                 max_visits=budget,
                 engine=engine,
+                plan_tier=plan_tier,
             )
         )
     except BudgetExceeded:
@@ -218,6 +226,7 @@ def survey_programs(
     budget: int = DEFAULT_BUDGET,
     jobs: int | None = None,
     engine: str = "tree",
+    plan_tier: str = "opt",
 ) -> SurveyResult:
     """Survey an iterable of corpus programs.
 
@@ -231,7 +240,7 @@ def survey_programs(
     if effective_jobs(jobs, len(programs)) > 1 and domain is None and registry:
         rows = parallel_map(
             _survey_corpus_worker,
-            [(p.name, budget, engine) for p in programs],
+            [(p.name, budget, engine, plan_tier) for p in programs],
             jobs=jobs,
         )
         return _fold(population, rows)
@@ -240,7 +249,11 @@ def survey_programs(
         try:
             return SurveyRow.from_report(
                 run_comparison(
-                    program, domain=domain, max_visits=budget, engine=engine
+                    program,
+                    domain=domain,
+                    max_visits=budget,
+                    engine=engine,
+                    plan_tier=plan_tier,
                 )
             )
         except BudgetExceeded:
@@ -254,10 +267,17 @@ def survey_corpus(
     budget: int = DEFAULT_BUDGET,
     jobs: int | None = None,
     engine: str = "tree",
+    plan_tier: str = "opt",
 ) -> SurveyResult:
     """Survey the built-in corpus."""
     return survey_programs(
-        PROGRAMS.values(), "corpus", domain, budget, jobs=jobs, engine=engine
+        PROGRAMS.values(),
+        "corpus",
+        domain,
+        budget,
+        jobs=jobs,
+        engine=engine,
+        plan_tier=plan_tier,
     )
 
 
@@ -269,6 +289,7 @@ def survey_random(
     budget: int = DEFAULT_BUDGET,
     jobs: int | None = None,
     engine: str = "tree",
+    plan_tier: str = "opt",
 ) -> SurveyResult:
     """Survey ``count`` seeded random closed programs.
 
@@ -282,7 +303,7 @@ def survey_random(
     if effective_jobs(jobs, count) > 1 and domain is None:
         rows = parallel_map(
             _survey_random_worker,
-            [(seed, depth, budget, engine) for seed in seeds],
+            [(seed, depth, budget, engine, plan_tier) for seed in seeds],
             jobs=jobs,
         )
         return _fold(population, rows)
@@ -292,7 +313,11 @@ def survey_random(
         try:
             return SurveyRow.from_report(
                 run_comparison(
-                    term, domain=domain, max_visits=budget, engine=engine
+                    term,
+                    domain=domain,
+                    max_visits=budget,
+                    engine=engine,
+                    plan_tier=plan_tier,
                 )
             )
         except BudgetExceeded:
@@ -310,6 +335,7 @@ def survey_random_open(
     inputs: tuple[str, ...] = ("in0", "in1"),
     jobs: int | None = None,
     engine: str = "tree",
+    plan_tier: str = "opt",
 ) -> SurveyResult:
     """Survey random programs with unknown numeric inputs.
 
@@ -324,7 +350,10 @@ def survey_random_open(
     if effective_jobs(jobs, count) > 1 and domain is None:
         rows = parallel_map(
             _survey_random_open_worker,
-            [(seed, depth, inputs, budget, engine) for seed in seeds],
+            [
+                (seed, depth, inputs, budget, engine, plan_tier)
+                for seed in seeds
+            ],
             jobs=jobs,
         )
         return _fold(population, rows)
@@ -348,6 +377,7 @@ def survey_random_open(
                     initial=initial,
                     max_visits=budget,
                     engine=engine,
+                    plan_tier=plan_tier,
                 )
             )
         except BudgetExceeded:

@@ -11,7 +11,7 @@ the prefix grows.
 
 import pytest
 
-from repro import run_three_way
+from repro import THREE_WAY_ANALYZERS, run_comparison
 from repro.analysis import (
     NonComputableError,
     analyze_direct,
@@ -53,9 +53,9 @@ class TestCpsAnalyzersRefuse:
         with pytest.raises(NonComputableError):
             analyze_syntactic_cps(cps_transform(program.term), DOM)
 
-    def test_run_three_way_propagates(self):
+    def test_run_comparison_propagates(self):
         with pytest.raises(NonComputableError):
-            run_three_way(loop_feeding_conditional(3))
+            run_comparison(loop_feeding_conditional(3), analyzers=THREE_WAY_ANALYZERS)
 
 
 class TestTopModeMatchesDirect:

@@ -7,7 +7,7 @@ a1 = 1; the CPS analysis merges the two continuations that flow to the
 identity's continuation parameter and answers ⊤ for both a1 and a2.
 """
 
-from repro import Precision, run_three_way
+from repro import Precision, THREE_WAY_ANALYZERS, run_comparison
 from repro.analysis import AbsCo, analyze_direct, analyze_syntactic_cps
 from repro.analysis.compare import compare_direct_to_cps
 from repro.analysis.delta import delta_store
@@ -60,7 +60,7 @@ class TestPaperWitness:
         )
 
     def test_three_way_report_agrees(self):
-        report = run_three_way(THEOREM_51_WITNESS)
+        report = run_comparison(THEOREM_51_WITNESS, analyzers=THREE_WAY_ANALYZERS)
         assert report.direct_vs_syntactic is Precision.LEFT_MORE_PRECISE
 
 
@@ -69,32 +69,32 @@ class TestShiversExample:
     procedure is defined inside the program; same confusion."""
 
     def test_direct_proves_first_call_constant(self):
-        report = run_three_way(SHIVERS_EXAMPLE)
+        report = run_comparison(SHIVERS_EXAMPLE, analyzers=THREE_WAY_ANALYZERS)
         assert report.direct.constant_of("a1") == 1
 
     def test_cps_confuses_returns(self):
-        report = run_three_way(SHIVERS_EXAMPLE)
+        report = run_comparison(SHIVERS_EXAMPLE, analyzers=THREE_WAY_ANALYZERS)
         assert report.syntactic.num_of("a1") is TOP
 
     def test_verdict(self):
-        report = run_three_way(SHIVERS_EXAMPLE)
+        report = run_comparison(SHIVERS_EXAMPLE, analyzers=THREE_WAY_ANALYZERS)
         assert report.direct_vs_syntactic is Precision.LEFT_MORE_PRECISE
 
 
 class TestMechanism:
     def test_single_call_site_has_no_false_return(self):
         # with only one call site there is one continuation: no loss
-        report = run_three_way("(let (f (lambda (x) x)) (let (u (f 1)) u))")
+        report = run_comparison("(let (f (lambda (x) x)) (let (u (f 1)) u))", analyzers=THREE_WAY_ANALYZERS)
         assert report.syntactic.constant_of("u") == 1
         assert report.direct_vs_syntactic is Precision.EQUAL
 
     def test_distinct_callees_do_not_confuse(self):
         # two different identities: each k-param collects one
         # continuation, so precision is preserved
-        report = run_three_way(
+        report = run_comparison(
             """(let (f (lambda (x) x))
                  (let (g (lambda (y) y))
-                   (let (u (f 1)) (let (v (g 2)) v))))"""
+                   (let (u (f 1)) (let (v (g 2)) v))))""", analyzers=THREE_WAY_ANALYZERS
         )
         assert report.syntactic.constant_of("u") == 1
         assert report.syntactic.constant_of("v") == 2

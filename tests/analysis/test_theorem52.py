@@ -11,44 +11,44 @@ Two paper witnesses:
    closure and proves a2 = 5.
 """
 
-from repro import Precision, run_three_way
+from repro import Precision, THREE_WAY_ANALYZERS, run_comparison
 from repro.corpus import THEOREM_52_CONDITIONAL, THEOREM_52_TWO_CLOSURES
 from repro.domains.constprop import TOP
 
 
 class TestConditionalWitness:
     def test_direct_loses_a2(self):
-        report = run_three_way(THEOREM_52_CONDITIONAL)
+        report = run_comparison(THEOREM_52_CONDITIONAL, analyzers=THREE_WAY_ANALYZERS)
         assert report.direct.num_of("a1") is TOP
         assert report.direct.num_of("a2") is TOP
 
     def test_cps_proves_a2(self):
-        report = run_three_way(THEOREM_52_CONDITIONAL)
+        report = run_comparison(THEOREM_52_CONDITIONAL, analyzers=THREE_WAY_ANALYZERS)
         assert report.syntactic.constant_of("a2") == 3
 
     def test_verdict_cps_strictly_more_precise(self):
-        report = run_three_way(THEOREM_52_CONDITIONAL)
+        report = run_comparison(THEOREM_52_CONDITIONAL, analyzers=THREE_WAY_ANALYZERS)
         assert report.direct_vs_syntactic is Precision.RIGHT_MORE_PRECISE
 
     def test_semantic_cps_also_proves_a2(self):
         # the gain is duplication, not reification: the semantic-CPS
         # analyzer achieves it too
-        report = run_three_way(THEOREM_52_CONDITIONAL)
+        report = run_comparison(THEOREM_52_CONDITIONAL, analyzers=THREE_WAY_ANALYZERS)
         assert report.semantic.constant_of("a2") == 3
 
 
 class TestTwoClosuresWitness:
     def test_direct_loses_everything_after_the_join(self):
-        report = run_three_way(THEOREM_52_TWO_CLOSURES)
+        report = run_comparison(THEOREM_52_TWO_CLOSURES, analyzers=THREE_WAY_ANALYZERS)
         assert report.direct.num_of("a1") is TOP
         assert report.direct.num_of("a2") is TOP
 
     def test_cps_proves_a2(self):
-        report = run_three_way(THEOREM_52_TWO_CLOSURES)
+        report = run_comparison(THEOREM_52_TWO_CLOSURES, analyzers=THREE_WAY_ANALYZERS)
         assert report.syntactic.constant_of("a2") == 5
 
     def test_verdict(self):
-        report = run_three_way(THEOREM_52_TWO_CLOSURES)
+        report = run_comparison(THEOREM_52_TWO_CLOSURES, analyzers=THREE_WAY_ANALYZERS)
         assert report.direct_vs_syntactic is Precision.RIGHT_MORE_PRECISE
 
 
@@ -59,8 +59,8 @@ class TestIncomparability:
     def test_both_directions_occur(self):
         from repro.corpus import THEOREM_51_WITNESS
 
-        gain = run_three_way(THEOREM_52_CONDITIONAL).direct_vs_syntactic
-        loss = run_three_way(THEOREM_51_WITNESS).direct_vs_syntactic
+        gain = run_comparison(THEOREM_52_CONDITIONAL, analyzers=THREE_WAY_ANALYZERS).direct_vs_syntactic
+        loss = run_comparison(THEOREM_51_WITNESS, analyzers=THREE_WAY_ANALYZERS).direct_vs_syntactic
         assert gain is Precision.RIGHT_MORE_PRECISE
         assert loss is Precision.LEFT_MORE_PRECISE
 
@@ -78,7 +78,7 @@ class TestIncomparability:
         from repro.domains import ConstPropDomain, Lattice
 
         lat = Lattice(ConstPropDomain())
-        report = run_three_way(source, initial={"y": lat.of_num(TOP)})
+        report = run_comparison(source, initial={"y": lat.of_num(TOP)}, analyzers=THREE_WAY_ANALYZERS)
         # direct wins on u, CPS wins on b
         assert report.direct.constant_of("u") == 1
         assert report.syntactic.num_of("u") is TOP

@@ -25,7 +25,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import Precision, run_three_way
+from repro import Precision, THREE_WAY_ANALYZERS, run_comparison
 from repro.analysis import analyze_semantic_cps, analyze_syntactic_cps
 from repro.analysis.compare import (
     answer_leq,
@@ -105,7 +105,7 @@ class TestStrictGap:
         # on the Theorem 5.1 witness the semantic analyzer keeps the
         # single control stack and proves a1 = 1; the syntactic one
         # merges the continuations and cannot
-        report = run_three_way(THEOREM_51_WITNESS)
+        report = run_comparison(THEOREM_51_WITNESS, analyzers=THREE_WAY_ANALYZERS)
         assert report.semantic.constant_of("a1") == 1
         assert report.semantic_vs_syntactic is Precision.LEFT_MORE_PRECISE
 
@@ -114,7 +114,7 @@ class TestStrictGap:
         # the constant: the syntactic analyzer is not behind
         from repro.corpus import THEOREM_52_CONDITIONAL
 
-        report = run_three_way(THEOREM_52_CONDITIONAL)
+        report = run_comparison(THEOREM_52_CONDITIONAL, analyzers=THREE_WAY_ANALYZERS)
         assert report.semantic.constant_of("a2") == 3
         assert report.syntactic.constant_of("a2") == 3
         assert report.semantic_vs_syntactic is Precision.EQUAL

@@ -9,7 +9,7 @@ which is the control-flow face of Theorem 5.1.
 
 import pytest
 
-from repro import run_three_way
+from repro import THREE_WAY_ANALYZERS, run_comparison
 from repro.anf import normalize
 from repro.cfg import build_call_graph, build_call_graph_from_cps
 from repro.corpus import PROGRAMS
@@ -18,7 +18,7 @@ from repro.lang.syntax import free_variables
 
 
 def graphs_of(program_or_source):
-    report = run_three_way(program_or_source)
+    report = run_comparison(program_or_source, analyzers=THREE_WAY_ANALYZERS)
     direct_graph = build_call_graph(report.term, report.direct)
     cps_graph = build_call_graph_from_cps(report.term, report.syntactic)
     return direct_graph, cps_graph

@@ -1,0 +1,336 @@
+"""Differential tests: the optimized plan tier replays the baseline
+tier bit for bit.
+
+`repro.machine.absplan.optimize_anf_plan` / `optimize_cps_plan` may
+fuse opcodes into superinstructions, pre-join interned constant
+abstract values, and precompute branch targets — but an optimized run
+must be indistinguishable from the baseline run: same answer value,
+same final abstract store, same visit count, same loop cuts, same
+widenings (the full `AnalysisStats` dict).  These tests compare the
+two tiers over:
+
+- the full corpus, for all four plan analyzers, over every number
+  domain;
+- the Section 6.2 parametric families (including an ``unroll``
+  loop-mode case);
+- 300 seeded random open terms (⊤ initial assumptions);
+- the `repro.perf` caches stacked on top.
+
+Work-budget agreement is part of the contract: when the baseline tier
+raises `BudgetExceeded`, the optimized tier must raise it too.  The
+structural tests at the bottom pin the optimizer's shape invariants
+(no instruction added, removed, or renumbered; idempotence).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.common import BudgetExceeded
+from repro.analysis.delta import delta_store
+from repro.analysis.direct import analyze_direct
+from repro.analysis.polyvariant import analyze_polyvariant
+from repro.analysis.semantic_cps import analyze_semantic_cps
+from repro.analysis.syntactic_cps import analyze_syntactic_cps
+from repro.anf import normalize
+from repro.corpus.programs import (
+    PROGRAMS,
+    call_site_chain,
+    conditional_chain,
+    loop_feeding_conditional,
+    top_conditional_chain,
+)
+from repro.cps import cps_transform
+from repro.domains import (
+    ConstPropDomain,
+    IntervalDomain,
+    Lattice,
+    ParityDomain,
+    SignDomain,
+    UnitDomain,
+)
+from repro.domains.store import AbsStore
+from repro.gen.random_terms import random_open_term
+from repro.lang.syntax import free_variables
+from repro.machine.absplan import (
+    PLAN_TIERS,
+    compile_anf_plan,
+    compile_cps_plan,
+    optimize_anf_plan,
+    optimize_cps_plan,
+)
+
+BUDGET = 100_000
+
+DOMAINS = {
+    "constprop": ConstPropDomain,
+    "unit": UnitDomain,
+    "parity": ParityDomain,
+    "sign": SignDomain,
+    "interval": IntervalDomain,
+}
+
+
+def _fingerprint(run):
+    """Everything observable about one analysis run, or the budget
+    outcome — both tiers must produce the same tuple."""
+    try:
+        result = run()
+    except BudgetExceeded:
+        return ("budget-exceeded",)
+    return (
+        "ok",
+        result.value,
+        dict(result.store.items()),
+        result.stats.as_dict(),
+    )
+
+
+def _poly_fingerprint(run):
+    try:
+        result = run()
+    except BudgetExceeded:
+        return ("budget-exceeded",)
+    return (
+        "ok",
+        result.value,
+        dict(result._store.items()),
+        result.analyzer.stats.as_dict(),
+    )
+
+
+def _assert_direct_agrees(term, domain, initial, cache=None):
+    fingerprints = [
+        _fingerprint(
+            lambda t=tier: analyze_direct(
+                term,
+                domain,
+                initial=initial,
+                max_visits=BUDGET,
+                cache=cache,
+                engine="plan",
+                plan_tier=t,
+            )
+        )
+        for tier in PLAN_TIERS
+    ]
+    assert fingerprints[0] == fingerprints[1]
+
+
+def _assert_semantic_agrees(
+    term, domain, initial, loop_mode="top", unroll_bound=32, cache=None
+):
+    fingerprints = [
+        _fingerprint(
+            lambda t=tier: analyze_semantic_cps(
+                term,
+                domain,
+                initial=initial,
+                loop_mode=loop_mode,
+                unroll_bound=unroll_bound,
+                max_visits=BUDGET,
+                cache=cache,
+                engine="plan",
+                plan_tier=t,
+            )
+        )
+        for tier in PLAN_TIERS
+    ]
+    assert fingerprints[0] == fingerprints[1]
+
+
+def _assert_syntactic_agrees(
+    cterm, domain, cps_initial, loop_mode="top", unroll_bound=32, cache=None
+):
+    fingerprints = [
+        _fingerprint(
+            lambda t=tier: analyze_syntactic_cps(
+                cterm,
+                domain,
+                initial=cps_initial,
+                loop_mode=loop_mode,
+                unroll_bound=unroll_bound,
+                max_visits=BUDGET,
+                cache=cache,
+                engine="plan",
+                plan_tier=t,
+            )
+        )
+        for tier in PLAN_TIERS
+    ]
+    assert fingerprints[0] == fingerprints[1]
+
+
+def _assert_polyvariant_agrees(term, domain, initial, k, cache=None):
+    fingerprints = [
+        _poly_fingerprint(
+            lambda t=tier: analyze_polyvariant(
+                term,
+                domain,
+                k=k,
+                initial=initial,
+                max_visits=BUDGET,
+                cache=cache,
+                engine="plan",
+                plan_tier=t,
+            )
+        )
+        for tier in PLAN_TIERS
+    ]
+    assert fingerprints[0] == fingerprints[1]
+
+
+def _cps_side(term, lattice, initial):
+    return cps_transform(term), dict(
+        delta_store(AbsStore(lattice, initial)).items()
+    )
+
+
+@pytest.mark.parametrize("domain_name", sorted(DOMAINS))
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+class TestCorpusAllDomains:
+    """Full corpus x all four plan analyzers x every number domain."""
+
+    def test_direct(self, name, domain_name):
+        domain = DOMAINS[domain_name]()
+        program = PROGRAMS[name]
+        initial = program.initial_for(Lattice(domain))
+        _assert_direct_agrees(program.term, domain, initial)
+
+    def test_semantic_cps(self, name, domain_name):
+        domain = DOMAINS[domain_name]()
+        program = PROGRAMS[name]
+        initial = program.initial_for(Lattice(domain))
+        _assert_semantic_agrees(program.term, domain, initial)
+
+    def test_syntactic_cps(self, name, domain_name):
+        domain = DOMAINS[domain_name]()
+        program = PROGRAMS[name]
+        lattice = Lattice(domain)
+        initial = program.initial_for(lattice)
+        cterm, cps_initial = _cps_side(program.term, lattice, initial)
+        _assert_syntactic_agrees(cterm, domain, cps_initial)
+
+    def test_polyvariant(self, name, domain_name):
+        domain = DOMAINS[domain_name]()
+        program = PROGRAMS[name]
+        initial = program.initial_for(Lattice(domain))
+        _assert_polyvariant_agrees(program.term, domain, initial, k=1)
+
+
+@pytest.mark.parametrize(
+    "program",
+    [
+        conditional_chain(8),
+        call_site_chain(6),
+        top_conditional_chain(10),
+        loop_feeding_conditional(3),
+    ],
+    ids=lambda p: p.name,
+)
+def test_families(program):
+    domain = ConstPropDomain()
+    lattice = Lattice(domain)
+    initial = program.initial_for(lattice)
+    _assert_direct_agrees(program.term, domain, initial)
+    _assert_semantic_agrees(program.term, domain, initial)
+    cterm, cps_initial = _cps_side(program.term, lattice, initial)
+    _assert_syntactic_agrees(cterm, domain, cps_initial)
+
+
+def test_loop_unroll_mode():
+    """The `loop` handling must agree in `unroll` mode too (the bound
+    changes the answer, identically on both tiers)."""
+    program = loop_feeding_conditional(3)
+    domain = ConstPropDomain()
+    lattice = Lattice(domain)
+    initial = program.initial_for(lattice)
+    _assert_semantic_agrees(
+        program.term, domain, initial, loop_mode="unroll", unroll_bound=8
+    )
+    cterm, cps_initial = _cps_side(program.term, lattice, initial)
+    _assert_syntactic_agrees(
+        cterm, domain, cps_initial, loop_mode="unroll", unroll_bound=8
+    )
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_corpus_with_caches_stacked(name):
+    """`repro.perf` caches on top of the optimized tier must not
+    change the (already cache-perturbed) statistics relative to the
+    baseline tier with the same caches."""
+    domain = ConstPropDomain()
+    program = PROGRAMS[name]
+    lattice = Lattice(domain)
+    initial = program.initial_for(lattice)
+    _assert_direct_agrees(program.term, domain, initial, cache=True)
+    _assert_semantic_agrees(program.term, domain, initial, cache=True)
+    cterm, cps_initial = _cps_side(program.term, lattice, initial)
+    _assert_syntactic_agrees(cterm, domain, cps_initial, cache=True)
+    _assert_polyvariant_agrees(
+        program.term, domain, initial, k=1, cache=True
+    )
+
+
+@pytest.mark.parametrize("chunk", range(10))
+def test_random_open_terms(chunk):
+    """300 seeded random open programs (30 per chunk), all three
+    monovariant analyzers, ⊤ assumptions for the free inputs."""
+    domain = ConstPropDomain()
+    lattice = Lattice(domain)
+    for seed in range(chunk * 30, (chunk + 1) * 30):
+        term = normalize(random_open_term(random.Random(seed), 4))
+        initial = {
+            name: lattice.of_num(domain.top)
+            for name in free_variables(term)
+        }
+        cache = True if seed % 5 == 0 else None
+        _assert_direct_agrees(term, domain, initial, cache=cache)
+        _assert_semantic_agrees(term, domain, initial, cache=cache)
+        cterm, cps_initial = _cps_side(term, lattice, initial)
+        _assert_syntactic_agrees(cterm, domain, cps_initial, cache=cache)
+
+
+# ----------------------------------------------------------------------
+# Optimizer shape invariants
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_optimizer_preserves_plan_shape(name):
+    """The peephole passes specialize instructions in place: the pc
+    numbering, source-term labels, slot table, and constant pool are
+    untouched, so trace labels and error messages keep pointing at the
+    same program points on both tiers."""
+    term = PROGRAMS[name].term
+    base = compile_anf_plan(term)
+    opt = optimize_anf_plan(compile_anf_plan(term))
+    assert len(opt.code) == len(base.code)
+    assert opt.entry_pc == base.entry_pc
+    assert opt.terms == base.terms
+    assert opt.slot_names == base.slot_names
+    assert opt.consts == base.consts
+    assert opt.entries == base.entries
+    assert opt.optimized and not base.optimized
+
+    cterm = cps_transform(term)
+    cbase = compile_cps_plan(cterm)
+    copt = optimize_cps_plan(compile_cps_plan(cterm))
+    assert len(copt.code) == len(cbase.code)
+    assert copt.entry_pc == cbase.entry_pc
+    assert copt.terms == cbase.terms
+    assert copt.slot_names == cbase.slot_names
+    assert copt.consts == cbase.consts
+    assert copt.optimized and not cbase.optimized
+
+
+def test_optimizer_is_idempotent():
+    term = PROGRAMS["factorial"].term
+    once = optimize_anf_plan(compile_anf_plan(term))
+    again = optimize_anf_plan(once)
+    assert again is once
+
+    cterm = cps_transform(term)
+    conce = optimize_cps_plan(compile_cps_plan(cterm))
+    cagain = optimize_cps_plan(conce)
+    assert cagain is conce

@@ -15,7 +15,7 @@ import json
 import pytest
 
 from repro.analysis.direct import analyze_direct
-from repro.api import run_three_way
+from repro.api import THREE_WAY_ANALYZERS, run_comparison
 from repro.corpus import corpus_program
 from repro.cps import cps_transform
 from repro.dataflow.framework import build_problem
@@ -108,7 +108,7 @@ class TestAnalyzerTracing:
 
     def test_visit_events_match_stats_for_all_three(self):
         sink = RecordingSink()
-        report = run_three_way(self.SOURCE, trace=sink)
+        report = run_comparison(self.SOURCE, trace=sink, analyzers=THREE_WAY_ANALYZERS)
         visits = sink.by_kind("analysis.visit")
         for result in (report.direct, report.semantic, report.syntactic):
             per_analyzer = [
@@ -118,7 +118,7 @@ class TestAnalyzerTracing:
 
     def test_join_events_match_stats(self):
         sink = RecordingSink()
-        report = run_three_way(self.SOURCE, trace=sink)
+        report = run_comparison(self.SOURCE, trace=sink, analyzers=THREE_WAY_ANALYZERS)
         joins = sink.by_kind("analysis.join")
         for result in (report.direct, report.semantic, report.syntactic):
             count = sum(1 for e in joins if e.analyzer == result.analyzer)
@@ -139,7 +139,7 @@ class TestDisabledPath:
         # ExplodingSink.emit raises, so this passes only if every
         # producer hoists the `enabled` check before building events.
         sink = ExplodingSink()
-        run_three_way(self.SOURCE, trace=sink)
+        run_comparison(self.SOURCE, trace=sink, analyzers=THREE_WAY_ANALYZERS)
         run_direct(normalize(parse("(add1 1)")), trace=sink)
         run_semantic_cps(normalize(parse("(add1 1)")), trace=sink)
         run_syntactic_cps(cps_transform(normalize(parse("(add1 1)"))), trace=sink)
@@ -165,10 +165,10 @@ class TestDisabledPath:
         # results, only record timings around them.
         from repro.obs.trace import activate, begin_trace
 
-        plain = run_three_way(self.SOURCE)
+        plain = run_comparison(self.SOURCE, analyzers=THREE_WAY_ANALYZERS)
         ctx = begin_trace()
         with activate(ctx):
-            traced = run_three_way(self.SOURCE)
+            traced = run_comparison(self.SOURCE, analyzers=THREE_WAY_ANALYZERS)
         for a, b in (
             (traced.direct, plain.direct),
             (traced.semantic, plain.semantic),
@@ -179,8 +179,8 @@ class TestDisabledPath:
             assert a.stats.as_dict() == b.stats.as_dict()
 
     def test_results_identical_with_and_without_tracing(self):
-        traced = run_three_way(self.SOURCE, trace=RecordingSink())
-        plain = run_three_way(self.SOURCE)
+        traced = run_comparison(self.SOURCE, trace=RecordingSink(), analyzers=THREE_WAY_ANALYZERS)
+        plain = run_comparison(self.SOURCE, analyzers=THREE_WAY_ANALYZERS)
         for a, b in (
             (traced.direct, plain.direct),
             (traced.semantic, plain.semantic),

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import Precision, run_three_way
+from repro import Precision, THREE_WAY_ANALYZERS, run_comparison
 from repro.analysis import analyze_direct
 from repro.analysis.compare import compare_answers
 from repro.anf import normalize, validate_anf
@@ -80,7 +80,7 @@ class TestAbstractClaim:
     def test_duplicated_direct_matches_cps_result(self):
         program = THEOREM_52_CONDITIONAL
         initial = program.initial_for(LAT)
-        report = run_three_way(program)
+        report = run_comparison(program, analyzers=THREE_WAY_ANALYZERS)
         duplicated = duplicate_join_continuations(program.term)
         after = analyze_direct(duplicated, DOM, initial=initial)
         assert after.value.num == report.syntactic.value.num == 3

@@ -10,7 +10,7 @@ is the point); answers may not move.
 import pytest
 
 from repro.analysis.polyvariant import analyze_polyvariant
-from repro.api import run_three_way
+from repro.api import THREE_WAY_ANALYZERS, run_comparison
 from repro.corpus import (
     PROGRAMS,
     call_site_chain,
@@ -49,8 +49,8 @@ def assert_reports_identical(cached, uncached):
 @pytest.mark.parametrize("name", CORPUS)
 def test_corpus_cached_equals_uncached(name):
     program = PROGRAMS[name]
-    uncached = run_three_way(program, loop_mode="top", cache=False)
-    cached = run_three_way(program, loop_mode="top", cache=True)
+    uncached = run_comparison(program, loop_mode="top", cache=False, analyzers=THREE_WAY_ANALYZERS)
+    cached = run_comparison(program, loop_mode="top", cache=True, analyzers=THREE_WAY_ANALYZERS)
     assert_reports_identical(cached, uncached)
 
 
@@ -58,8 +58,8 @@ def test_corpus_cached_equals_uncached(name):
     "program", FAMILIES, ids=[p.name for p in FAMILIES]
 )
 def test_families_cached_equals_uncached(program):
-    uncached = run_three_way(program, cache=False)
-    cached = run_three_way(program, cache=True)
+    uncached = run_comparison(program, cache=False, analyzers=THREE_WAY_ANALYZERS)
+    cached = run_comparison(program, cache=True, analyzers=THREE_WAY_ANALYZERS)
     assert_reports_identical(cached, uncached)
     # The blowup families are where the memo actually earns its keep.
     if program.name.startswith("top-conditional-chain"):
@@ -94,8 +94,8 @@ def test_memo_collapses_top_conditional_chain():
     stores, so the eval memo collapses the semantic-CPS run from
     exponential to linear visits."""
     program = top_conditional_chain(12)
-    uncached = run_three_way(program, cache=False)
-    cached = run_three_way(program, cache=True)
+    uncached = run_comparison(program, cache=False, analyzers=THREE_WAY_ANALYZERS)
+    cached = run_comparison(program, cache=True, analyzers=THREE_WAY_ANALYZERS)
     assert_reports_identical(cached, uncached)
     assert uncached.semantic.stats.visits > 2**12
     assert cached.semantic.stats.visits < 100

@@ -8,7 +8,7 @@ unit's own suite.
 
 import pytest
 
-from repro import run_three_way
+from repro import THREE_WAY_ANALYZERS, run_comparison
 from repro.analysis import analyze_direct
 from repro.anf import validate_anf
 from repro.corpus import PROGRAMS
@@ -49,7 +49,7 @@ class TestFullPipelinePerProgram:
     def test_interpreters_machines_and_analyzers_cohere(self, name):
         term = PROGRAMS[name].term
         concrete = run_direct(term, fuel=2_000_000)
-        report = run_three_way(PROGRAMS[name])
+        report = run_comparison(PROGRAMS[name], analyzers=THREE_WAY_ANALYZERS)
         # machine back ends agree with the interpreter
         if isinstance(concrete.value, int):
             direct_value, _ = run_code(compile_direct(term), fuel=10_000_000)
